@@ -1,0 +1,340 @@
+//! The selecting NFA of Section 3.4.
+//!
+//! Given an X expression in normal form β₁[q₁]/…/βₖ[qₖ], the selecting
+//! NFA `Mp` has a start state plus one state per step. Transitions follow
+//! the paper's construction exactly:
+//!
+//! * `βᵢ₊₁ = l` or `*`  →  `δ(sᵢ, βᵢ₊₁) = {sᵢ₊₁}`;
+//! * `βᵢ₊₁ = //`        →  `δ(sᵢ, ε) = {sᵢ₊₁}` and `δ(sᵢ₊₁, ∗) = {sᵢ₊₁}`
+//!   (the ∗ self-loop — the only cycles in the automaton, giving it the
+//!   semi-linear structure the paper highlights).
+//!
+//! The automaton is built in O(|p|) time and has O(|p|) states.
+
+use xust_xpath::{Path, Qualifier, StepKind};
+
+use crate::stateset::StateSet;
+
+/// Identifier of an NFA state (index into the state vector).
+pub type StateId = usize;
+
+/// One state of a selecting NFA.
+#[derive(Debug, Clone)]
+pub struct SelState {
+    /// Index of the path step this state corresponds to (None for the
+    /// start state). The step's qualifier is this state's `[q]`.
+    pub step: Option<usize>,
+    /// `δ(s, l)` for a specific label.
+    pub label_trans: Option<(String, StateId)>,
+    /// `δ(s, ∗)` to the *next* state (wildcard step).
+    pub star_trans: Option<StateId>,
+    /// `δ(s, ∗) = {s}` self-loop (descendant step state).
+    pub self_loop: bool,
+    /// `δ(s, ε)` into a descendant step state.
+    pub eps: Option<StateId>,
+}
+
+impl SelState {
+    fn new(step: Option<usize>) -> Self {
+        SelState {
+            step,
+            label_trans: None,
+            star_trans: None,
+            self_loop: false,
+            eps: None,
+        }
+    }
+}
+
+/// The selecting NFA `Mp` of an X expression.
+#[derive(Debug, Clone)]
+pub struct SelectingNfa {
+    /// States indexed by [`StateId`]; `states[start]` is the start state.
+    pub states: Vec<SelState>,
+    /// The start state `(s₀, [true])`.
+    pub start: StateId,
+    /// The final state `(sₖ, [qₖ])` — reaching it selects the node.
+    pub final_state: StateId,
+    /// The source path (states reference its steps for qualifiers).
+    pub path: Path,
+}
+
+impl SelectingNfa {
+    /// Builds `Mp` from a path — O(|p|).
+    pub fn new(path: &Path) -> SelectingNfa {
+        let mut states = vec![SelState::new(None)];
+        let mut prev: StateId = 0;
+        for (i, step) in path.steps.iter().enumerate() {
+            let id = states.len();
+            states.push(SelState::new(Some(i)));
+            match &step.kind {
+                StepKind::Label(l) => states[prev].label_trans = Some((l.clone(), id)),
+                StepKind::Wildcard => states[prev].star_trans = Some(id),
+                StepKind::Descendant => {
+                    states[prev].eps = Some(id);
+                    states[id].self_loop = true;
+                }
+            }
+            prev = id;
+        }
+        SelectingNfa {
+            final_state: prev,
+            states,
+            start: 0,
+            path: path.clone(),
+        }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True for the degenerate ε path (start == final).
+    pub fn is_empty(&self) -> bool {
+        self.states.len() == 1
+    }
+
+    /// The qualifier attached to a state, if any.
+    pub fn qualifier(&self, state: StateId) -> Option<&Qualifier> {
+        let step = self.states[state].step?;
+        self.path.steps[step].qualifier.as_ref()
+    }
+
+    /// The initial state set: the ε-closure of the start state.
+    pub fn initial(&self) -> StateSet {
+        let mut s = StateSet::singleton(self.len(), self.start);
+        self.eps_closure(&mut s);
+        s
+    }
+
+    /// Extends `s` with everything reachable over ε transitions.
+    pub fn eps_closure(&self, s: &mut StateSet) {
+        // Semi-linear structure: ε edges point strictly forward, so one
+        // ascending sweep reaches the fixpoint.
+        for id in 0..self.len() {
+            if s.contains(id) {
+                if let Some(t) = self.states[id].eps {
+                    s.insert(t);
+                }
+            }
+        }
+    }
+
+    /// The `nextStates()` of Fig. 4: computes the states reached from `s`
+    /// on reading a node labelled `label`, keeping only those whose
+    /// qualifier passes `check` (the `checkp` oracle, abstracted so the
+    /// same automaton serves GENTOP — native evaluation — and TD-BU —
+    /// annotation lookup), then takes the ε-closure.
+    pub fn next_states<F>(&self, s: &StateSet, label: &str, mut check: F) -> StateSet
+    where
+        F: FnMut(usize, &Qualifier) -> bool,
+    {
+        let mut out = StateSet::new(self.len());
+        for id in s.iter() {
+            let st = &self.states[id];
+            if st.self_loop {
+                out.insert(id); // δ(s, ∗) = {s}
+            }
+            if let Some(t) = st.star_trans {
+                out.insert(t);
+            }
+            if let Some((l, t)) = &st.label_trans {
+                if l == label {
+                    out.insert(*t);
+                }
+            }
+        }
+        // Filter by qualifiers (Fig. 4 line 3). Self-loop re-entries have
+        // qualifier [true] by construction (descendant states carry no
+        // qualifier), so only genuine step states are checked.
+        let mut filtered = StateSet::new(self.len());
+        for id in out.iter() {
+            let keep = match self.qualifier(id) {
+                Some(q) => {
+                    let step = self.states[id].step.expect("qualified states have steps");
+                    check(step, q)
+                }
+                None => true,
+            };
+            if keep {
+                filtered.insert(id);
+            }
+        }
+        self.eps_closure(&mut filtered);
+        filtered
+    }
+
+    /// Variant of `nextStates` without qualifier filtering — the raw
+    /// reachability used by the composition algorithm (Section 4), which
+    /// defers qualifier handling to rewrite time. Returns the new set; the
+    /// caller inspects which states carry qualifiers.
+    pub fn next_states_unchecked(&self, s: &StateSet, label: &str) -> StateSet {
+        self.next_states(s, label, |_, _| true)
+    }
+
+    /// δ′(S, ∗) for composition: a user-path wildcard step traverses
+    /// *any* transition (label transitions included, per the paper's
+    /// extension (1) of δ).
+    pub fn next_states_wild(&self, s: &StateSet) -> StateSet {
+        let mut out = StateSet::new(self.len());
+        for id in s.iter() {
+            let st = &self.states[id];
+            if st.self_loop {
+                out.insert(id);
+            }
+            if let Some(t) = st.star_trans {
+                out.insert(t);
+            }
+            if let Some((_, t)) = &st.label_trans {
+                out.insert(*t);
+            }
+        }
+        self.eps_closure(&mut out);
+        out
+    }
+
+    /// δ′(S, //) for composition: all states reachable via an unbounded
+    /// sequence of ∗ (extension (2) of δ), including zero repetitions —
+    /// `//` in a user path means descendant-or-self.
+    pub fn desc_closure(&self, s: &StateSet) -> StateSet {
+        let mut cur = s.clone();
+        self.eps_closure(&mut cur);
+        loop {
+            let mut next = self.next_states_wild(&cur);
+            next.union_with(&cur);
+            if next == cur {
+                return cur;
+            }
+            cur = next;
+        }
+    }
+
+    /// Runs the automaton over a sequence of labels from the initial set
+    /// (convenience for tests): returns whether the final state is
+    /// reached, ignoring qualifiers.
+    pub fn accepts_word(&self, labels: &[&str]) -> bool {
+        let mut s = self.initial();
+        for l in labels {
+            s = self.next_states_unchecked(&s, l);
+            if s.is_empty() {
+                return false;
+            }
+        }
+        s.contains(self.final_state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xust_xpath::parse_path;
+
+    fn nfa(p: &str) -> SelectingNfa {
+        SelectingNfa::new(&parse_path(p).unwrap())
+    }
+
+    #[test]
+    fn fig5_structure() {
+        // p1 = //part[q1]//part[q2] → 5 states (Fig. 5).
+        let m = nfa("//part[pname = 'keyboard']//part[supplier]");
+        assert_eq!(m.len(), 5);
+        // s0 --ε--> s1 (self-loop) --part--> s2 --ε--> s3 (self-loop) --part--> s4
+        assert_eq!(m.states[0].eps, Some(1));
+        assert!(m.states[1].self_loop);
+        assert_eq!(m.states[1].label_trans, Some(("part".into(), 2)));
+        assert_eq!(m.states[2].eps, Some(3));
+        assert!(m.states[3].self_loop);
+        assert_eq!(m.states[3].label_trans, Some(("part".into(), 4)));
+        assert_eq!(m.final_state, 4);
+        assert!(m.qualifier(2).is_some());
+        assert!(m.qualifier(4).is_some());
+        assert!(m.qualifier(1).is_none());
+    }
+
+    #[test]
+    fn initial_closure_includes_descendant_state() {
+        let m = nfa("//part");
+        let init = m.initial();
+        assert!(init.contains(0) && init.contains(1));
+    }
+
+    #[test]
+    fn word_acceptance_simple_path() {
+        let m = nfa("/site/people/person");
+        assert!(m.accepts_word(&["site", "people", "person"]));
+        assert!(!m.accepts_word(&["site", "people"]));
+        assert!(!m.accepts_word(&["site", "regions", "person"]));
+    }
+
+    #[test]
+    fn word_acceptance_descendant() {
+        let m = nfa("/site//description");
+        assert!(m.accepts_word(&["site", "description"]));
+        assert!(m.accepts_word(&["site", "a", "b", "description"]));
+        assert!(!m.accepts_word(&["other", "description"]));
+        // Matching at any depth keeps the loop state alive.
+        let m = nfa("//item");
+        assert!(m.accepts_word(&["item"]));
+        assert!(m.accepts_word(&["x", "y", "item"]));
+    }
+
+    #[test]
+    fn word_acceptance_wildcard() {
+        let m = nfa("a/*/c");
+        assert!(m.accepts_word(&["a", "anything", "c"]));
+        assert!(!m.accepts_word(&["a", "c"]));
+    }
+
+    #[test]
+    fn qualifier_filtering_blocks_transition() {
+        let m = nfa("a[x]/b");
+        let init = m.initial();
+        // With the qualifier reported false, state for `a` is dropped and
+        // `b` is unreachable.
+        let s = m.next_states(&init, "a", |_, _| false);
+        assert!(s.is_empty());
+        let s = m.next_states(&init, "a", |_, _| true);
+        assert!(s.contains(1));
+    }
+
+    #[test]
+    fn empty_set_stays_empty() {
+        let m = nfa("a/b");
+        let empty = StateSet::new(m.len());
+        let s = m.next_states_unchecked(&empty, "a");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn wild_transition_for_composition() {
+        let m = nfa("a/b");
+        let s = m.next_states_wild(&m.initial());
+        // A user-path `*` step can traverse the `a` transition.
+        assert!(s.contains(1));
+    }
+
+    #[test]
+    fn desc_closure_reaches_everything() {
+        let m = nfa("a/b/c");
+        let s = m.desc_closure(&m.initial());
+        // `//` can stand for any number of steps: every state reachable.
+        for id in 0..m.len() {
+            assert!(s.contains(id), "state {id} missing from closure");
+        }
+    }
+
+    #[test]
+    fn size_linear_in_path() {
+        let m = nfa("/site/closed_auctions/closed_auction/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword");
+        assert_eq!(m.len(), 13);
+    }
+
+    #[test]
+    fn epsilon_path() {
+        let m = SelectingNfa::new(&Path::empty());
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.start, m.final_state);
+        assert!(m.initial().contains(m.final_state));
+    }
+}

@@ -1,0 +1,129 @@
+/// A set of automaton states, bit-packed.
+///
+/// Selecting and filtering NFAs are linear in |p| (Section 3.4), so state
+/// sets are one or two machine words for realistic queries; `nextStates`
+/// becomes a handful of shifts and ORs. The `ablation_stateset` bench
+/// compares this against a plain vector representation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StateSet {
+    words: Vec<u64>,
+}
+
+impl StateSet {
+    /// Empty set sized for an automaton with `n` states.
+    pub fn new(n: usize) -> StateSet {
+        StateSet {
+            words: vec![0; n.div_ceil(64).max(1)],
+        }
+    }
+
+    /// Singleton set.
+    pub fn singleton(n: usize, state: usize) -> StateSet {
+        let mut s = StateSet::new(n);
+        s.insert(state);
+        s
+    }
+
+    /// Adds a state.
+    #[inline]
+    pub fn insert(&mut self, state: usize) {
+        self.words[state / 64] |= 1u64 << (state % 64);
+    }
+
+    /// Removes a state (no-op when absent).
+    #[inline]
+    pub fn remove(&mut self, state: usize) {
+        self.words[state / 64] &= !(1u64 << (state % 64));
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, state: usize) -> bool {
+        (self.words[state / 64] >> (state % 64)) & 1 == 1
+    }
+
+    /// True if no states are present — the pruning condition of
+    /// `topDown` (Fig. 3 line 2) and `bottomUp` (Fig. 9 line 6).
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of states present.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates over member states in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &StateSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Clears the set.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains() {
+        let mut s = StateSet::new(100);
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(99);
+        assert!(s.contains(0) && s.contains(63) && s.contains(64) && s.contains(99));
+        assert!(!s.contains(1) && !s.contains(65));
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn iteration_order() {
+        let mut s = StateSet::new(130);
+        for i in [5, 70, 128, 2] {
+            s.insert(i);
+        }
+        let v: Vec<usize> = s.iter().collect();
+        assert_eq!(v, vec![2, 5, 70, 128]);
+    }
+
+    #[test]
+    fn empty_and_union() {
+        let mut a = StateSet::new(10);
+        assert!(a.is_empty());
+        let b = StateSet::singleton(10, 3);
+        a.union_with(&b);
+        assert!(!a.is_empty());
+        assert!(a.contains(3));
+        a.clear();
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn zero_state_automaton() {
+        let s = StateSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+}

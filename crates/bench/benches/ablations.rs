@@ -1,0 +1,110 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! subtree pruning, qualifier strategy, Ld storage, state-set
+//! representation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xust_automata::{SelectingNfa, StateSet};
+use xust_bench::{insert_query, u_name, xmark_doc, xmark_file};
+use xust_core::{evaluate, two_pass_sax_files, LdStorage, Method};
+use xust_xpath::parse_path;
+
+fn pruning(c: &mut Criterion) {
+    let doc = xmark_doc(0.01);
+    let mut g = c.benchmark_group("ablation_pruning");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(900));
+    for qi in [1usize, 5] {
+        let q = insert_query(qi);
+        g.bench_with_input(BenchmarkId::new("with", u_name(qi)), &q, |b, q| {
+            b.iter(|| xust_core::top_down(&doc, q))
+        });
+        g.bench_with_input(BenchmarkId::new("without", u_name(qi)), &q, |b, q| {
+            b.iter(|| xust_core::top_down_no_prune(&doc, q))
+        });
+    }
+    g.finish();
+}
+
+fn qualifiers(c: &mut Criterion) {
+    let doc = xmark_doc(0.01);
+    let mut g = c.benchmark_group("ablation_qualifiers");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(900));
+    for qi in [2usize, 6, 7] {
+        let q = insert_query(qi);
+        g.bench_with_input(BenchmarkId::new("GENTOP", u_name(qi)), &q, |b, q| {
+            b.iter(|| evaluate(&doc, q, Method::TopDown).expect("evaluation"))
+        });
+        g.bench_with_input(BenchmarkId::new("TD-BU", u_name(qi)), &q, |b, q| {
+            b.iter(|| evaluate(&doc, q, Method::TwoPass).expect("evaluation"))
+        });
+    }
+    g.finish();
+}
+
+fn ld_storage(c: &mut Criterion) {
+    let (path, _) = xmark_file(0.02);
+    let q = insert_query(6);
+    let out = std::env::temp_dir().join("xust-abl-ld.xml");
+    let mut g = c.benchmark_group("ablation_ld_storage");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(900));
+    g.bench_function("memory", |b| {
+        b.iter(|| two_pass_sax_files(&path, &q, &out, LdStorage::Memory).expect("stream"))
+    });
+    g.bench_function("tempfile", |b| {
+        b.iter(|| two_pass_sax_files(&path, &q, &out, LdStorage::TempFile).expect("stream"))
+    });
+    std::fs::remove_file(&out).ok();
+    g.finish();
+}
+
+/// Bitset state sets (the shipped representation) vs a plain-vector
+/// simulation of nextStates, on a long path with self-loops.
+fn stateset(c: &mut Criterion) {
+    let path = parse_path("/site//open_auctions/open_auction//annotation//description//text")
+        .expect("path parses");
+    let nfa = SelectingNfa::new(&path);
+    let labels = ["site", "open_auctions", "open_auction", "x", "annotation", "y", "description", "text"];
+    let mut g = c.benchmark_group("ablation_stateset");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(900));
+    g.bench_function("bitset", |b| {
+        b.iter(|| {
+            let mut s = nfa.initial();
+            for _ in 0..100 {
+                for l in labels {
+                    s = nfa.next_states_unchecked(&s, l);
+                }
+            }
+            s.len()
+        })
+    });
+    g.bench_function("vec", |b| {
+        b.iter(|| {
+            // Same transition relation over a sorted Vec<usize>.
+            let mut s: Vec<usize> = nfa.initial().iter().collect();
+            for _ in 0..100 {
+                for l in labels {
+                    let mut set = StateSet::new(nfa.len());
+                    for &id in &s {
+                        set.insert(id);
+                    }
+                    let next = nfa.next_states_unchecked(&set, l);
+                    s = next.iter().collect();
+                    s.sort_unstable();
+                    s.dedup();
+                }
+            }
+            s.len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, pruning, qualifiers, ld_storage, stateset);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Extension benches (beyond the paper's figures):
+//!
+//! * `ops` — every update kind through GENTOP (the paper's "other types
+//!   yield qualitatively similar results" remark, measured);
+//! * `multi` — fused k-automaton multi-update vs k chained topDown
+//!   passes vs the snapshot reference;
+//! * `stream_compose` — streaming composition vs the DOM Compose Method
+//!   (pair (U1,U2), where composition is fully static).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xust_bench::{composition_pairs, multi_query, op_query, xmark_doc};
+use xust_compose::{compose, compose_sax_str};
+use xust_core::{apply_chain, multi_snapshot, multi_top_down, top_down, TransformQuery};
+
+fn ops(c: &mut Criterion) {
+    let doc = xmark_doc(0.01);
+    let mut g = c.benchmark_group("ops");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    for kind in [
+        "insert",
+        "insert-first",
+        "insert-before",
+        "insert-after",
+        "delete",
+        "replace",
+        "rename",
+    ] {
+        // U9: descendant + qualifier, a representative mixed path.
+        let q = op_query(8, kind);
+        g.bench_with_input(BenchmarkId::new("gentop-U9", kind), &q, |b, q| {
+            b.iter(|| top_down(&doc, q))
+        });
+    }
+    g.finish();
+}
+
+fn multi(c: &mut Criterion) {
+    let doc = xmark_doc(0.01);
+    let mut g = c.benchmark_group("multi");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    for k in [1usize, 2, 4] {
+        let mq = multi_query(k);
+        let chain: Vec<TransformQuery> = mq
+            .updates
+            .iter()
+            .map(|(p, op)| TransformQuery {
+                var: "a".into(),
+                doc_name: "xmark".into(),
+                path: p.clone(),
+                op: op.clone(),
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::new("fused", k), &mq, |b, mq| {
+            b.iter(|| multi_top_down(&doc, mq))
+        });
+        g.bench_with_input(BenchmarkId::new("snapshot", k), &mq, |b, mq| {
+            b.iter(|| multi_snapshot(&doc, mq))
+        });
+        g.bench_with_input(BenchmarkId::new("chained", k), &chain, |b, chain| {
+            b.iter(|| apply_chain(&doc, chain))
+        });
+    }
+    g.finish();
+}
+
+fn stream_compose(c: &mut Criterion) {
+    let doc = xmark_doc(0.01);
+    let xml = doc.serialize();
+    let mut g = c.benchmark_group("stream_compose");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    let (name, qt, uq) = composition_pairs().remove(0);
+    let qc = compose(&qt, &uq).expect("composable");
+    g.bench_function(BenchmarkId::new("dom-compose", name), |b| {
+        b.iter(|| qc.execute_to_string(&doc).expect("composed"))
+    });
+    g.bench_function(BenchmarkId::new("streaming", name), |b| {
+        b.iter(|| compose_sax_str(&xml, &qt, &uq).expect("streamed"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, ops, multi, stream_compose);
+criterion_main!(benches);

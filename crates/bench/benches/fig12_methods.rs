@@ -1,0 +1,38 @@
+//! Fig. 12 — execution time of the evaluation methods on U1–U10
+//! (insert transform queries over an XMark document).
+//!
+//! Criterion variant at reduced scale; `experiments -- fig12` prints the
+//! paper-scale single-shot table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xust_bench::{insert_query, run_method, u_name, xmark_doc, WORKLOAD};
+use xust_core::Method;
+
+fn fig12(c: &mut Criterion) {
+    let doc = xmark_doc(0.01);
+    let xml = doc.serialize();
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(900));
+    for i in 0..WORKLOAD.len() {
+        let q = insert_query(i);
+        for m in [
+            Method::CopyUpdate,
+            Method::Naive,
+            Method::TwoPass,
+            Method::TopDown,
+            Method::TwoPassSax,
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(m.paper_name(), u_name(i)),
+                &q,
+                |b, q| b.iter(|| run_method(&doc, &xml, q, m)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig12);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Fig. 13 — scalability with document size for U2, U4, U7, U10.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xust_bench::{insert_query, u_name, xmark_doc};
+use xust_core::{evaluate, Method};
+
+fn fig13(c: &mut Criterion) {
+    let factors = [0.005, 0.01, 0.02];
+    let queries = [1usize, 3, 6, 9];
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(900));
+    for f in factors {
+        let doc = xmark_doc(f);
+        let bytes = doc.serialize().len() as u64;
+        g.throughput(Throughput::Bytes(bytes));
+        for qi in queries {
+            let q = insert_query(qi);
+            for m in [Method::Naive, Method::TwoPass, Method::TopDown] {
+                g.bench_with_input(
+                    BenchmarkId::new(
+                        format!("{}/{}", u_name(qi), m.paper_name()),
+                        format!("f{f}"),
+                    ),
+                    &q,
+                    |b, q| b.iter(|| evaluate(&doc, q, m).expect("evaluation")),
+                );
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig13);
+criterion_main!(benches);

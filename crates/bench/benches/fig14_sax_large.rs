@@ -1,0 +1,37 @@
+//! Fig. 14 — twoPassSAX streaming over files; throughput scales linearly
+//! and memory stays bounded by document depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xust_bench::{insert_query, u_name, xmark_file};
+use xust_core::{two_pass_sax_files, LdStorage};
+
+fn fig14(c: &mut Criterion) {
+    let factors = [0.02, 0.05, 0.1];
+    let queries = [1usize, 3, 6, 9];
+    let mut g = c.benchmark_group("fig14");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    for f in factors {
+        let (path, size) = xmark_file(f);
+        g.throughput(Throughput::Bytes(size));
+        for qi in queries {
+            let q = insert_query(qi);
+            let out = std::env::temp_dir().join(format!("xust-bench14-{f}-{qi}.xml"));
+            g.bench_with_input(
+                BenchmarkId::new(u_name(qi), format!("f{f}")),
+                &q,
+                |b, q| {
+                    b.iter(|| {
+                        two_pass_sax_files(&path, q, &out, LdStorage::Memory).expect("stream")
+                    })
+                },
+            );
+            std::fs::remove_file(&out).ok();
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig14);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Fig. 15 — Compose vs Naive Composition on the four (Qt, Q) pairs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xust_bench::{composition_pairs, xmark_doc};
+use xust_compose::{compose, naive_composition_in_engine};
+use xust_xquery::Engine;
+
+fn fig15(c: &mut Criterion) {
+    let doc = xmark_doc(0.01);
+    let mut g = c.benchmark_group("fig15");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    for (name, qt, uq) in composition_pairs() {
+        let qc = compose(&qt, &uq).expect("composable");
+        g.bench_with_input(BenchmarkId::new("NaiveComposition", name), &qt, |b, qt| {
+            b.iter_batched(
+                || {
+                    let mut e = Engine::new();
+                    e.load_doc("xmark", doc.clone());
+                    e
+                },
+                |mut e| naive_composition_in_engine(&mut e, qt, &uq).expect("naive"),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("Compose", name), &qc, |b, qc| {
+            b.iter_batched(
+                || {
+                    let mut e = Engine::new();
+                    e.load_doc("xmark", doc.clone());
+                    e
+                },
+                |mut e| qc.execute_in_engine(&mut e).expect("composed"),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig15);
+criterion_main!(benches);

@@ -1,0 +1,400 @@
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation (Section 7).
+//!
+//! ```text
+//! cargo run -p xust-bench --release --bin experiments -- all
+//! cargo run -p xust-bench --release --bin experiments -- fig12 [--factor 0.02]
+//! cargo run -p xust-bench --release --bin experiments -- fig13 --full
+//! ```
+//!
+//! Absolute times are not comparable to the paper's 2007 Pentium IV +
+//! Qizx numbers; the *shape* (method ordering, growth with |T|, memory
+//! independence of twoPassSAX, Compose vs Naive composition) is what the
+//! harness reproduces. See EXPERIMENTS.md for recorded runs.
+
+use std::time::Instant;
+
+use xust_bench::*;
+use xust_compose::{compose, naive_composition_in_engine};
+use xust_core::{evaluate, two_pass_sax_files, LdStorage, Method};
+use xust_xquery::Engine;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let full = args.iter().any(|a| a == "--full");
+    let factor = args
+        .iter()
+        .position(|a| a == "--factor")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<f64>().ok());
+
+    match which {
+        "fig11" => fig11(),
+        "fig12" => fig12(factor.unwrap_or(0.02)),
+        "fig13" => fig13(full),
+        "fig14" => fig14(full),
+        "fig15" => fig15(full),
+        "ablations" => ablations(),
+        "ops" => ops(factor.unwrap_or(0.02)),
+        "multi" => multi(factor.unwrap_or(0.02)),
+        "streamcompose" => streamcompose(full),
+        "all" => {
+            fig11();
+            fig12(factor.unwrap_or(0.02));
+            fig13(full);
+            fig14(full);
+            fig15(full);
+            ablations();
+            ops(factor.unwrap_or(0.02));
+            multi(factor.unwrap_or(0.02));
+            streamcompose(full);
+        }
+        other => {
+            eprintln!(
+                "unknown experiment '{other}'; use \
+                 fig11|fig12|fig13|fig14|fig15|ablations|ops|multi|streamcompose|all"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Fig. 11 — the workload table itself (validated by parsing).
+fn fig11() {
+    println!("== Fig. 11: embedded XPath queries ==");
+    for (i, p) in WORKLOAD.iter().enumerate() {
+        let parsed = xust_xpath::parse_path(p).expect("workload parses");
+        println!("  {:<4} |p|={:<3} {p}", u_name(i), parsed.size());
+    }
+    println!();
+}
+
+/// Fig. 12 — execution time of the five methods on U1–U10.
+fn fig12(factor: f64) {
+    let doc = xmark_doc(factor);
+    let xml = doc.serialize();
+    let bytes = xml.len();
+    println!(
+        "== Fig. 12: method comparison, insert transforms, XMark factor {factor} ({:.2} MB) ==",
+        bytes as f64 / 1e6
+    );
+    let methods = [
+        Method::CopyUpdate,
+        Method::Naive,
+        Method::TwoPass,
+        Method::TopDown,
+        Method::TwoPassSax,
+    ];
+    print!("{:<6}", "query");
+    for m in methods {
+        print!("{:>14}", m.paper_name());
+    }
+    println!("   (seconds)");
+    for i in 0..WORKLOAD.len() {
+        let q = insert_query(i);
+        print!("{:<6}", u_name(i));
+        for m in methods {
+            let (d, _) = time_once(|| run_method(&doc, &xml, &q, m));
+            print!("{:>14}", secs(d));
+        }
+        println!();
+    }
+    // The XQuery-engine realization of NAIVE, reported once (it is the
+    // paper's portability artifact, not a performance contender here).
+    let q = insert_query(1);
+    let (d, _) = time_once(|| evaluate(&doc, &q, Method::NaiveXQuery).expect("evaluation"));
+    println!("  (NAIVE as generated XQuery text on xust-xquery, U2: {} s)", secs(d));
+    println!();
+}
+
+/// Fig. 13 — scalability with file size for U2, U4, U7, U10.
+fn fig13(full: bool) {
+    let factors: &[f64] = if full {
+        &[0.02, 0.1, 0.18, 0.26, 0.34]
+    } else {
+        &[0.02, 0.06, 0.1]
+    };
+    let queries = [1usize, 3, 6, 9]; // U2, U4, U7, U10
+    let methods = [
+        Method::CopyUpdate,
+        Method::Naive,
+        Method::TwoPass,
+        Method::TopDown,
+        Method::TwoPassSax,
+    ];
+    println!("== Fig. 13: scalability with XMark factor (insert transforms; seconds) ==");
+    for &qi in &queries {
+        println!("-- {} : {}", u_name(qi), WORKLOAD[qi]);
+        print!("{:<8}", "factor");
+        for m in methods {
+            print!("{:>14}", m.paper_name());
+        }
+        println!();
+        for &f in factors {
+            let doc = xmark_doc(f);
+            let xml = doc.serialize();
+            let q = insert_query(qi);
+            print!("{:<8}", f);
+            for m in methods {
+                let (d, _) = time_once(|| run_method(&doc, &xml, &q, m));
+                print!("{:>14}", secs(d));
+            }
+            println!();
+        }
+    }
+    println!();
+}
+
+/// Fig. 14 — twoPassSAX on large files, streaming file→file.
+fn fig14(full: bool) {
+    let factors: &[f64] = if full {
+        &[0.5, 1.0, 2.0, 4.0]
+    } else {
+        &[0.2, 0.5, 1.0]
+    };
+    let queries = [1usize, 3, 6, 9];
+    println!("== Fig. 14: twoPassSAX on large files (streaming; seconds) ==");
+    print!("{:<8}{:>10}", "factor", "MB");
+    for &qi in &queries {
+        print!("{:>10}", u_name(qi));
+    }
+    println!("{:>12}{:>10}", "Ld entries", "depth");
+    for &f in factors {
+        let (path, size) = xmark_file(f);
+        print!("{:<8}{:>10.1}", f, size as f64 / 1e6);
+        let mut last_stats = None;
+        for &qi in &queries {
+            let q = insert_query(qi);
+            let out = std::env::temp_dir().join("xust-fig14-out.xml");
+            let t = Instant::now();
+            let stats =
+                two_pass_sax_files(&path, &q, &out, LdStorage::TempFile).expect("stream");
+            print!("{:>10.3}", t.elapsed().as_secs_f64());
+            last_stats = Some(stats);
+            std::fs::remove_file(&out).ok();
+        }
+        let stats = last_stats.expect("at least one query ran");
+        println!("{:>12}{:>10}", stats.ld_entries, stats.max_depth);
+    }
+    println!("  (stack depth constant across factors = memory independent of |T|)");
+    println!();
+}
+
+/// Fig. 15 — composition: Compose vs Naive Composition.
+fn fig15(full: bool) {
+    let factors: &[f64] = if full {
+        &[0.02, 0.1, 0.18, 0.26, 0.34]
+    } else {
+        &[0.02, 0.06, 0.1]
+    };
+    println!("== Fig. 15: composition of user and transform queries (seconds) ==");
+    for (name, qt, uq) in composition_pairs() {
+        let qc = compose(&qt, &uq).expect("composable");
+        println!(
+            "-- pair {name}: composed size {}, topDown sites {}, fallbacks {}",
+            qc.size(),
+            qc.transform_sites(),
+            qc.fallback_sites
+        );
+        println!("{:<8}{:>18}{:>12}", "factor", "NaiveComposition", "Compose");
+        for &f in factors {
+            // Fair fixture: each strategy queries a freshly loaded store
+            // holding the same document (the paper's setup on Qizx);
+            // best of 3 runs to damp allocator noise.
+            let doc = xmark_doc(f);
+            let mut best_naive = std::time::Duration::MAX;
+            let mut best_comp = std::time::Duration::MAX;
+            let mut answers = (String::new(), String::new());
+            for _ in 0..3 {
+                let mut e1 = Engine::new();
+                e1.load_doc("xmark", doc.clone());
+                let (d, a) = time_once(|| {
+                    naive_composition_in_engine(&mut e1, &qt, &uq).expect("naive")
+                });
+                best_naive = best_naive.min(d);
+                let mut e2 = Engine::new();
+                e2.load_doc("xmark", doc.clone());
+                let (d, b) = time_once(|| qc.execute_in_engine(&mut e2).expect("composed"));
+                best_comp = best_comp.min(d);
+                answers = (a, b);
+            }
+            assert_eq!(answers.0, answers.1, "composition answers must agree");
+            println!("{:<8}{:>18}{:>12}", f, secs(best_naive), secs(best_comp));
+        }
+    }
+    println!();
+}
+
+/// Extension: all update kinds on representative paths — checks the
+/// paper's remark that non-insert transforms "consistently yield
+/// qualitatively similar results" (Section 7, experimental setup).
+fn ops(factor: f64) {
+    let doc = xmark_doc(factor);
+    let xml = doc.serialize();
+    let kinds = [
+        "insert",
+        "insert-first",
+        "insert-before",
+        "insert-after",
+        "delete",
+        "replace",
+        "rename",
+    ];
+    let methods = [Method::Naive, Method::TopDown, Method::TwoPassSax];
+    println!(
+        "== Extension: update kinds on U2/U4/U9, XMark factor {factor} (seconds) =="
+    );
+    for &qi in &[1usize, 3, 8] {
+        println!("-- {}", u_name(qi));
+        print!("{:<16}", "kind");
+        for m in methods {
+            print!("{:>14}", m.paper_name());
+        }
+        println!();
+        for kind in kinds {
+            let q = op_query(qi, kind);
+            print!("{:<16}", kind);
+            for m in methods {
+                let (d, _) = time_once(|| run_method(&doc, &xml, &q, m));
+                print!("{:>14}", secs(d));
+            }
+            println!();
+        }
+    }
+    println!("  (per method, kinds should sit within a small constant of each other)");
+    println!();
+}
+
+/// Extension: multi-update transforms — one fused k-automaton pass vs
+/// the snapshot reference vs k chained single-update topDown passes.
+fn multi(factor: f64) {
+    use xust_core::{apply_chain, multi_snapshot, multi_top_down, TransformQuery};
+    let doc = xmark_doc(factor);
+    println!(
+        "== Extension: multi-update transforms, XMark factor {factor} (seconds) =="
+    );
+    println!(
+        "{:<8}{:>12}{:>12}{:>14}",
+        "k rules", "fused", "snapshot", "k topDown"
+    );
+    for k in 1..=4 {
+        let mq = multi_query(k);
+        let chain: Vec<TransformQuery> = mq
+            .updates
+            .iter()
+            .map(|(p, op)| TransformQuery {
+                var: "a".into(),
+                doc_name: "xmark".into(),
+                path: p.clone(),
+                op: op.clone(),
+            })
+            .collect();
+        let (fused, _) = time_once(|| multi_top_down(&doc, &mq));
+        let (snap, _) = time_once(|| multi_snapshot(&doc, &mq));
+        let (chained, _) = time_once(|| apply_chain(&doc, &chain));
+        println!(
+            "{:<8}{:>12}{:>12}{:>14}",
+            k,
+            secs(fused),
+            secs(snap),
+            secs(chained)
+        );
+    }
+    println!("  (fused grows sub-linearly in k; chained pays one traversal per rule;");
+    println!("   chained and snapshot answers differ when rules interact — see multi.rs docs)");
+    println!();
+}
+
+/// Extension: streaming composition (3 SAX passes, no DOM) vs the DOM
+/// Compose Method vs Naive composition on the Fig. 15 pairs.
+fn streamcompose(full: bool) {
+    use xust_compose::compose_sax_files;
+    let factors: &[f64] = if full { &[0.02, 0.1, 0.18] } else { &[0.02, 0.06] };
+    println!("== Extension: streaming composition (seconds) ==");
+    for (name, qt, uq) in composition_pairs() {
+        let qc = compose(&qt, &uq).expect("composable");
+        println!("-- pair {name}");
+        println!(
+            "{:<8}{:>18}{:>12}{:>14}{:>16}",
+            "factor", "NaiveComposition", "Compose", "streamCompose", "peak buf nodes"
+        );
+        for &f in factors {
+            let doc = xmark_doc(f);
+            let (path, _) = xmark_file(f);
+            let mut e1 = Engine::new();
+            e1.load_doc("xmark", doc.clone());
+            let (naive_d, a) =
+                time_once(|| naive_composition_in_engine(&mut e1, &qt, &uq).expect("naive"));
+            let mut e2 = Engine::new();
+            e2.load_doc("xmark", doc.clone());
+            let (comp_d, b) = time_once(|| qc.execute_in_engine(&mut e2).expect("composed"));
+            let out = std::env::temp_dir().join("xust-streamcompose-out.xml");
+            let (stream_d, stats) = time_once(|| {
+                compose_sax_files(&path, &qt, &uq, &out).expect("stream composition")
+            });
+            let c = std::fs::read_to_string(&out).expect("read result");
+            std::fs::remove_file(&out).ok();
+            assert_eq!(a, b, "Compose must agree with naive composition");
+            assert_eq!(a, c, "streaming must agree with naive composition");
+            println!(
+                "{:<8}{:>18}{:>12}{:>14}{:>16}",
+                f,
+                secs(naive_d),
+                secs(comp_d),
+                secs(stream_d),
+                stats.peak_buffer_nodes
+            );
+        }
+    }
+    println!("  (streaming pays 3 parses but never builds a DOM; peak buffer is the");
+    println!("   largest matched binding, independent of the factor)");
+    println!();
+}
+
+/// Ablations called out in DESIGN.md.
+fn ablations() {
+    println!("== Ablations ==");
+    let doc = xmark_doc(0.02);
+
+    // 1. NFA subtree pruning on/off (topDown).
+    println!("-- pruning (GENTOP with/without empty-state subtree copy-out; seconds)");
+    for &qi in &[1usize, 5] {
+        let q = insert_query(qi);
+        let (with, _) = time_once(|| xust_core::top_down(&doc, &q));
+        let (without, _) = time_once(|| xust_core::top_down_no_prune(&doc, &q));
+        println!(
+            "  {:<4} with pruning {:>8}   without {:>8}",
+            u_name(qi),
+            secs(with),
+            secs(without)
+        );
+    }
+
+    // 2. Qualifier strategy: native (GENTOP) vs annotations (TD-BU).
+    println!("-- qualifier strategy (simple U3 vs complex U7; seconds)");
+    for &qi in &[2usize, 6] {
+        let q = insert_query(qi);
+        let (gentop, _) = time_once(|| evaluate(&doc, &q, Method::TopDown).unwrap());
+        let (tdbu, _) = time_once(|| evaluate(&doc, &q, Method::TwoPass).unwrap());
+        println!(
+            "  {:<4} GENTOP {:>8}   TD-BU {:>8}",
+            u_name(qi),
+            secs(gentop),
+            secs(tdbu)
+        );
+    }
+
+    // 3. Ld storage: memory vs temp file.
+    println!("-- Ld storage (twoPassSAX, U7; seconds)");
+    let (path, _) = xmark_file(0.05);
+    let q = insert_query(6);
+    for (label, storage) in [("memory", LdStorage::Memory), ("file", LdStorage::TempFile)] {
+        let out = std::env::temp_dir().join("xust-abl-out.xml");
+        let t = Instant::now();
+        two_pass_sax_files(&path, &q, &out, storage).expect("stream");
+        println!("  Ld in {label:<7} {:>8.3}", t.elapsed().as_secs_f64());
+        std::fs::remove_file(&out).ok();
+    }
+    println!();
+}

@@ -1,0 +1,744 @@
+//! The Compose Method (Section 4).
+//!
+//! Given a transform query `Qt` (with selecting NFA `Mp`) and a user
+//! query `Q`, produce a single query `Qc` with `Qc(T) = Q(Qt(T))`. The
+//! path expressions of `Q` are treated as *words* and run through `Mp`
+//! (via the δ′ extensions for `*` and `//`); where the automaton's
+//! progress is statically known the update is folded into the query:
+//!
+//! * a qualified state entered at a user step becomes a runtime branch
+//!   `if (empty($y[q])) then F1 else F2` (Example 4.2 line 5);
+//! * the final state entered at a user step applies the update to that
+//!   binding: `()` for delete, compile-time–evaluated matches inside the
+//!   constant element `e` for insert/replace continuations;
+//! * a binding whose subtree may still contain selected nodes is wrapped
+//!   in an inlined `topDown(Mp, S, Qt, $z)` call — registered as a native
+//!   function on the XQuery engine (the paper includes `topDown` as a
+//!   user-defined function in the rewritten query);
+//! * steps where `Mp` is *disjoint* need no rewriting at all — the case
+//!   that makes (U9, U1) in Fig. 15 so much faster than naive
+//!   composition.
+//!
+//! Where a static account is impossible (a `//` user step whose
+//! descendant closure could select or qualify *intermediate* nodes, a
+//! user-step qualifier whose paths the update can reach, rename/label
+//! collisions), we degrade gracefully: the *prefix subtree reached so
+//! far* is transformed with the inlined `topDown` and the remainder of
+//! the user query runs over it untouched. This "semi-fallback" keeps
+//! `Qc` correct on all inputs while still confining the transform to the
+//! part of the document the user query visits.
+
+use xust_automata::{SelectingNfa, StateSet};
+use xust_core::{top_down_subtree, InsertPos, TransformQuery, UpdateOp};
+use xust_tree::Document;
+use xust_xpath::{eval_path, Path, Qualifier, Step, StepKind};
+use xust_xquery::{parse_expr, Engine, Expr, Item, QueryError, Store, Value};
+
+use crate::user::{ComposeError, UserQuery};
+
+/// A composed query: a standard-XQuery expression plus the inlined
+/// `topDown` call sites it references.
+#[derive(Debug, Clone)]
+pub struct ComposedQuery {
+    /// The composed expression `Qc` (references natives `xust:tdK`).
+    pub expr: Expr,
+    /// The transform it folds in.
+    qt: TransformQuery,
+    /// State sets captured by each `xust:tdK` call.
+    calls: Vec<StateSet>,
+    /// Number of semi-fallback sites (0 ⇒ fully static composition).
+    pub fallback_sites: usize,
+    doc_name: String,
+}
+
+impl ComposedQuery {
+    /// Size of the composed expression — the paper argues it is linear in
+    /// |Qt| + |Q|.
+    pub fn size(&self) -> usize {
+        self.expr.size()
+    }
+
+    /// Number of inlined `topDown` call sites.
+    pub fn transform_sites(&self) -> usize {
+        self.calls.len()
+    }
+
+    /// Registers the natives and evaluates `Qc` against `doc`, returning
+    /// the result value serialized by the engine.
+    pub fn execute_to_string(&self, doc: &Document) -> Result<String, ComposeError> {
+        let mut engine = self.prepare(doc);
+        let v = engine
+            .eval_expr(&self.expr, &[])
+            .map_err(|e| ComposeError::new(e.to_string()))?;
+        Ok(engine.serialize_value(&v))
+    }
+
+    /// Evaluates `Qc` and materializes the (single-rooted) result.
+    pub fn execute(&self, doc: &Document) -> Result<Document, ComposeError> {
+        let mut engine = self.prepare(doc);
+        let v = engine
+            .eval_expr(&self.expr, &[])
+            .map_err(|e| ComposeError::new(e.to_string()))?;
+        engine
+            .value_to_document(&v)
+            .map_err(|e| ComposeError::new(e.to_string()))
+    }
+
+    fn prepare(&self, doc: &Document) -> Engine {
+        let mut engine = Engine::new();
+        engine.load_doc(self.doc_name.clone(), doc.clone());
+        self.register_natives(&mut engine);
+        engine
+    }
+
+    /// Registers the `xust:tdK` natives on an engine that already holds
+    /// the queried document.
+    pub fn register_natives(&self, engine: &mut Engine) {
+        let nfa = SelectingNfa::new(&self.qt.path);
+        for (k, states) in self.calls.iter().enumerate() {
+            let nfa = nfa.clone();
+            let states = states.clone();
+            let qt = self.qt.clone();
+            engine.register_native(call_name(k), move |store, args| {
+                run_inlined_topdown(store, args, &nfa, &states, &qt)
+            });
+        }
+    }
+
+    /// Evaluates `Qc` against a pre-loaded engine (the document must be
+    /// registered under the transform's `doc_name`). This is the fair
+    /// fixture for benchmarks: both composition strategies then query the
+    /// same loaded store, as in the paper's Qizx setup.
+    pub fn execute_in_engine(&self, engine: &mut Engine) -> Result<String, ComposeError> {
+        self.register_natives(engine);
+        let v = engine
+            .eval_expr(&self.expr, &[])
+            .map_err(|e| ComposeError::new(e.to_string()))?;
+        Ok(engine.serialize_value(&v))
+    }
+}
+
+fn call_name(k: usize) -> String {
+    format!("xust:td{k}")
+}
+
+/// The native body of an inlined `topDown(Mp, S, Qt, $z)` call.
+fn run_inlined_topdown(
+    store: &mut Store,
+    args: &[Value],
+    nfa: &SelectingNfa,
+    states: &StateSet,
+    qt: &TransformQuery,
+) -> Result<Value, QueryError> {
+    let arg = args
+        .first()
+        .ok_or_else(|| QueryError::new("xust:td needs one argument"))?;
+    match arg.as_slice() {
+        [] => Ok(vec![]),
+        [Item::Node(d, n)] => {
+            let src = std::mem::take(store.doc_mut(*d));
+            let out = top_down_subtree(&src, *n, nfa, states, qt);
+            *store.doc_mut(*d) = src;
+            match out.root() {
+                Some(_) => {
+                    let id = store.add_anonymous(out);
+                    let root = store.doc(id).root().expect("just checked");
+                    Ok(vec![Item::Node(id, root)])
+                }
+                None => Ok(vec![]),
+            }
+        }
+        [Item::DocNode(d)] => {
+            // Whole-document transform (semi-fallback at step 0).
+            let src = std::mem::take(store.doc_mut(*d));
+            let out = xust_core::top_down(&src, qt);
+            *store.doc_mut(*d) = src;
+            let id = store.add_anonymous(out);
+            Ok(vec![Item::DocNode(id)])
+        }
+        _ => Err(QueryError::new("xust:td expects a single node")),
+    }
+}
+
+/// Composes `Q ∘ Qt` into a single query.
+pub fn compose(qt: &TransformQuery, uq: &UserQuery) -> Result<ComposedQuery, ComposeError> {
+    if qt.doc_name != uq.doc_name {
+        return Err(ComposeError::new(format!(
+            "transform reads doc(\"{}\") but user query reads doc(\"{}\")",
+            qt.doc_name, uq.doc_name
+        )));
+    }
+    let nfa = SelectingNfa::new(&qt.path);
+    let mut g = Gen {
+        nfa: &nfa,
+        qt,
+        uq,
+        calls: Vec::new(),
+        fallback_sites: 0,
+        fresh: 0,
+    };
+    // Rename/replace collision: renamed (or replaced-in) nodes could start
+    // matching user label tests by their *new* label even though the
+    // original label never takes the corresponding NFA transition; no
+    // static account, transform everything the query touches.
+    let expr = if rename_collides(qt, uq) || replace_collides(qt, uq) || insert_collides(qt, uq)
+    {
+        g.semi_fallback(0, &nfa.initial(), Expr::Doc(uq.doc_name.clone()))
+    } else {
+        g.steps(0, nfa.initial(), Expr::Doc(uq.doc_name.clone()), false)
+    };
+    let inner = expr;
+    let expr = match &uq.wrapper {
+        Some((name, attrs)) => Expr::DirectElem {
+            name: name.clone(),
+            attrs: attrs.clone(),
+            content: vec![inner],
+        },
+        None => inner,
+    };
+    Ok(ComposedQuery {
+        expr,
+        qt: qt.clone(),
+        calls: g.calls,
+        fallback_sites: g.fallback_sites,
+        doc_name: uq.doc_name.clone(),
+    })
+}
+
+fn rename_collides(qt: &TransformQuery, uq: &UserQuery) -> bool {
+    let UpdateOp::Rename { name } = &qt.op else {
+        return false;
+    };
+    user_mentions_label(uq, name)
+}
+
+/// `replace p with e` makes every selected node appear under e's root
+/// label. A user step carrying that label could then match a node whose
+/// *original* label never drives the NFA transition (e.g. `replace r/c
+/// with <b/>` followed by `for $x in r/b`), so the per-step word
+/// simulation is unsound and we must fall back.
+fn replace_collides(qt: &TransformQuery, uq: &UserQuery) -> bool {
+    let UpdateOp::Replace { elem } = &qt.op else {
+        return false;
+    };
+    let Some(name) = elem.root().and_then(|r| elem.name(r)) else {
+        return false;
+    };
+    user_mentions_label(uq, name)
+}
+
+/// Does the user source path mention `name` anywhere — as a step label,
+/// or inside a step qualifier (qualifiers are evaluated against the
+/// *original* document, so a label the update can mint must force the
+/// fallback there too)? The return body is exempt: `tail()` binds `$x`
+/// to the already-transformed subtree.
+/// `insert e before|after p` makes e a *sibling* of each selected node,
+/// so e can be matched by the same user step that matched the node —
+/// including steps whose label never drives the corresponding NFA
+/// transition (the replace-collision situation). Child positions
+/// (`into` / `as first into`) are handled statically in `consumed`.
+fn insert_collides(qt: &TransformQuery, uq: &UserQuery) -> bool {
+    let UpdateOp::Insert { elem, pos } = &qt.op else {
+        return false;
+    };
+    if !pos.is_sibling() {
+        return false;
+    }
+    let Some(name) = elem.root().and_then(|r| elem.name(r)) else {
+        return false;
+    };
+    user_mentions_label(uq, name)
+}
+
+fn user_mentions_label(uq: &UserQuery, name: &str) -> bool {
+    uq.source.steps.iter().any(|s| step_mentions_label(s, name))
+}
+
+fn step_mentions_label(s: &Step, name: &str) -> bool {
+    if matches!(&s.kind, StepKind::Label(l) if l == name) {
+        return true;
+    }
+    s.qualifier
+        .as_ref()
+        .is_some_and(|q| qual_mentions_label(q, name))
+}
+
+fn qual_mentions_label(q: &Qualifier, name: &str) -> bool {
+    match q {
+        Qualifier::And(a, b) | Qualifier::Or(a, b) => {
+            qual_mentions_label(a, name) || qual_mentions_label(b, name)
+        }
+        Qualifier::Not(a) => qual_mentions_label(a, name),
+        Qualifier::LabelIs(l) => l == name,
+        Qualifier::Exists(qp) | Qualifier::Cmp(qp, _, _) => {
+            qp.path.steps.iter().any(|s| step_mentions_label(s, name))
+        }
+    }
+}
+
+struct Gen<'a> {
+    nfa: &'a SelectingNfa,
+    qt: &'a TransformQuery,
+    uq: &'a UserQuery,
+    calls: Vec<StateSet>,
+    fallback_sites: usize,
+    fresh: usize,
+}
+
+impl Gen<'_> {
+    fn fresh_var(&mut self) -> String {
+        self.fresh += 1;
+        format!("y{}", self.fresh)
+    }
+
+    fn register_call(&mut self, states: &StateSet) -> String {
+        self.calls.push(states.clone());
+        call_name(self.calls.len() - 1)
+    }
+
+    /// Generates the remainder of the composed query from user step `i`,
+    /// given automaton states `s` at the current binding and `prev`, the
+    /// expression yielding that binding. `pending_desc` records a `//`
+    /// user step waiting to be fused into the next labelled step.
+    fn steps(&mut self, i: usize, s: StateSet, prev: Expr, pending_desc: bool) -> Expr {
+        let user_steps = &self.uq.source.steps;
+        if i == user_steps.len() {
+            return self.tail(&s, prev);
+        }
+        let step = &user_steps[i];
+        match &step.kind {
+            StepKind::Descendant => {
+                // δ′(S, //): everything reachable over any label sequence.
+                // Whether a state gained by the closure actually holds at
+                // a given binding depends on the labels of the unknown
+                // intermediate nodes, so the step is only statically
+                // composable when the closure is a fixpoint already.
+                //
+                // Even at a fixpoint, if the final state is reachable an
+                // *intermediate* node skipped by `//` can be selected and
+                // receive inserted content that the rest of the user path
+                // would match inside — content no loop over the original
+                // document can bind. (Delete/replace are safe: an
+                // unconditionally-final previous step returned early in
+                // `consumed`, and a conditional final breaks the fixpoint
+                // in the qualifier-false branch. Rename is safe: `//`
+                // skips labels, and bound renamed nodes are handled at
+                // their own step.)
+                let closure = self.nfa.desc_closure(&s);
+                let insert_leak = matches!(self.qt.op, UpdateOp::Insert { .. })
+                    && closure.contains(self.nfa.final_state);
+                if closure == s && !insert_leak {
+                    self.steps(i + 1, closure, prev, true)
+                } else {
+                    self.semi_fallback(i, &s, prev)
+                }
+            }
+            StepKind::Label(_) | StepKind::Wildcard => {
+                // The user-step qualifier is evaluated on the *original*
+                // document inside the loop; that is only sound if the
+                // update cannot reach the qualifier's paths.
+                if let Some(q) = &step.qualifier {
+                    if self.qualifier_affected(&s, q, pending_desc) {
+                        return self.semi_fallback_desc(i, &s, prev, pending_desc);
+                    }
+                }
+                let (entered, qualified) = self.enter_targets(&s, &step.kind, pending_desc);
+                let prev_for_fallback = prev.clone();
+                let var = self.fresh_var();
+                let mut seq_steps = Vec::new();
+                if pending_desc {
+                    seq_steps.push(Step::plain(StepKind::Descendant));
+                }
+                seq_steps.push(step.clone());
+                let seq = Expr::path(prev, Path { steps: seq_steps });
+
+                let body = match qualified.as_slice() {
+                    [] => self.consumed(i, self.close(&entered), &var),
+                    [(t, q)] => {
+                        let t = *t;
+                        // Example 4.2 line 5: branch on the qualifier.
+                        let with = self.close(&entered);
+                        let without_vec: Vec<usize> =
+                            entered.iter().copied().filter(|&x| x != t).collect();
+                        let without = self.close(&without_vec);
+                        let f2 = self.consumed(i, with, &var);
+                        let f1 = self.consumed(i, without, &var);
+                        Expr::if_then_else(
+                            Expr::empty_call(Expr::Filter {
+                                base: Box::new(Expr::var(&var)),
+                                qualifier: q.clone(),
+                            }),
+                            f1,
+                            f2,
+                        )
+                    }
+                    _ => {
+                        // Several qualifiers would need simultaneous
+                        // branching — degrade.
+                        return self.semi_fallback_desc(i, &s, prev_for_fallback, pending_desc);
+                    }
+                };
+                Expr::For {
+                    var,
+                    seq: Box::new(seq),
+                    body: Box::new(body),
+                }
+            }
+        }
+    }
+
+    /// Handles the consequences of having consumed user step `i` with
+    /// resulting states `s` at binding `$var` (the update's final-state
+    /// actions of Section 4).
+    fn consumed(&mut self, i: usize, s: StateSet, var: &str) -> Expr {
+        let selected = s.contains(self.nfa.final_state);
+        let remaining = &self.uq.source.steps[i + 1..];
+        if selected {
+            match &self.qt.op {
+                UpdateOp::Delete => return Expr::empty(),
+                UpdateOp::Replace { elem } => {
+                    // e stands in *place* of the node: this step's node
+                    // test re-matches against e's root (label collisions
+                    // were excluded by `replace_collides`, qualified
+                    // steps by `qualifier_affected`), and the remaining
+                    // user path continues inside e — all decidable at
+                    // compile time, so the whole contribution of this
+                    // binding becomes a constant continuation rooted at
+                    // step i.
+                    return self.const_continuation(elem, &self.uq.source.steps[i..]);
+                }
+                UpdateOp::Insert { elem, pos } => {
+                    // Where does e land, and which user steps does it face?
+                    // * child positions (`into` / `as first into`): e is a
+                    //   child of the selected node, matched by the *next*
+                    //   user step — compile-time matches inside e continue
+                    //   at `remaining` (empty ⇒ the tail's inlined topDown
+                    //   splices e into `$x` itself).
+                    // * sibling positions (`before` / `after`): e sits
+                    //   beside the selected node and is re-matched by
+                    //   *this* step, so the constant continuation starts
+                    //   at step `i` (its node test and qualifier evaluate
+                    //   against e at compile time).
+                    let consts = if pos.is_sibling() {
+                        Some(self.const_continuation(elem, &self.uq.source.steps[i..]))
+                    } else if remaining.is_empty() {
+                        None
+                    } else {
+                        Some(self.const_continuation(elem, remaining))
+                    };
+                    if let Some(consts) = consts {
+                        // The insert at *this* binding is now fully
+                        // accounted for by `consts`; drop the final state
+                        // so downstream fallbacks / inlined topDown calls
+                        // don't re-apply it (the final state has no
+                        // outgoing transitions, so nothing else is lost).
+                        let mut s_rest = s.clone();
+                        s_rest.remove(self.nfa.final_state);
+                        let normal = self.steps(i + 1, s_rest, Expr::var(var), false);
+                        // Sequence order = document order of Qt(T).
+                        return match pos {
+                            InsertPos::LastInto | InsertPos::After => {
+                                Expr::Seq(vec![normal, consts])
+                            }
+                            InsertPos::FirstInto | InsertPos::Before => {
+                                Expr::Seq(vec![consts, normal])
+                            }
+                        };
+                    }
+                }
+                UpdateOp::Rename { name } => {
+                    // Collisions were excluded up front; a selected node
+                    // that the user step matched by its *old* label no
+                    // longer matches after the rename.
+                    if let StepKind::Label(l) = &self.uq.source.steps[i].kind {
+                        if l != name {
+                            return Expr::empty();
+                        }
+                    }
+                }
+            }
+        }
+        self.steps(i + 1, s, Expr::var(var), false)
+    }
+
+    /// Compile-time evaluation of the remaining user path inside the
+    /// constant element `e` — "the qualifier in Q′2 is already evaluated
+    /// … at compile time" generalized to path continuations.
+    fn const_continuation(&mut self, elem: &Document, remaining: &[Step]) -> Expr {
+        let Some(e_root) = elem.root() else {
+            return Expr::empty();
+        };
+        // e becomes a *child* of the updated node, so the first remaining
+        // step is matched against e's root: wrap in a scratch parent.
+        let mut wrapper = Document::new();
+        let w_root = wrapper.create_element("xust-wrap");
+        let copy = wrapper.deep_copy_from(elem, e_root);
+        wrapper.append_child(w_root, copy);
+        wrapper.set_root(w_root);
+        let rest = Path {
+            steps: remaining.to_vec(),
+        };
+        let matches = eval_path(&wrapper, w_root, &rest);
+        let mut parts = Vec::new();
+        for m in matches {
+            if let Ok(e) = parse_expr(&wrapper.serialize_subtree(m)) {
+                parts.push(Expr::let_in(
+                    self.uq.var.clone(),
+                    e,
+                    self.uq.body.clone(),
+                ));
+            }
+        }
+        Expr::Seq(parts)
+    }
+
+    /// The value-to-be-returned rewriting: binds `$x` to the (possibly
+    /// transformed) node and applies the user body.
+    fn tail(&mut self, s: &StateSet, prev: Expr) -> Expr {
+        let needs_transform = !s.is_empty()
+            && (s.contains(self.nfa.final_state)
+                || s.iter().any(|id| self.state_live(id)));
+        let value = if needs_transform {
+            let name = self.register_call(s);
+            Expr::Call {
+                name,
+                args: vec![prev],
+            }
+        } else {
+            prev
+        };
+        Expr::let_in(self.uq.var.clone(), value, self.uq.body.clone())
+    }
+
+    fn state_live(&self, id: usize) -> bool {
+        let st = &self.nfa.states[id];
+        st.self_loop || st.star_trans.is_some() || st.label_trans.is_some() || st.eps.is_some()
+    }
+
+    /// Degraded composition: transform the subtree(s) reached so far with
+    /// the inlined topDown, then run the remaining user path untouched.
+    fn semi_fallback(&mut self, i: usize, s: &StateSet, prev: Expr) -> Expr {
+        self.fallback_sites += 1;
+        let name = self.register_call(s);
+        let rest = Path {
+            steps: self.uq.source.steps[i..].to_vec(),
+        };
+        let fz = self.fresh_var();
+        let transformed = Expr::Call {
+            name,
+            args: vec![Expr::var(&fz)],
+        };
+        let inner = Expr::For {
+            var: self.uq.var.clone(),
+            seq: Box::new(Expr::path(transformed, rest)),
+            body: Box::new(self.uq.body.clone()),
+        };
+        Expr::For {
+            var: fz,
+            seq: Box::new(prev),
+            body: Box::new(inner),
+        }
+    }
+
+    fn semi_fallback_desc(
+        &mut self,
+        i: usize,
+        s: &StateSet,
+        prev: Expr,
+        pending_desc: bool,
+    ) -> Expr {
+        if pending_desc {
+            // Re-attach the pending `//` to the residual path.
+            let mut steps = vec![Step::plain(StepKind::Descendant)];
+            steps.extend_from_slice(&self.uq.source.steps[i..]);
+            self.fallback_sites += 1;
+            let name = self.register_call(s);
+            let fz = self.fresh_var();
+            let transformed = Expr::Call {
+                name,
+                args: vec![Expr::var(&fz)],
+            };
+            let inner = Expr::For {
+                var: self.uq.var.clone(),
+                seq: Box::new(Expr::path(transformed, Path { steps })),
+                body: Box::new(self.uq.body.clone()),
+            };
+            Expr::For {
+                var: fz,
+                seq: Box::new(prev),
+                body: Box::new(inner),
+            }
+        } else {
+            self.semi_fallback(i, s, prev)
+        }
+    }
+
+    /// Targets entered by consuming one user letter from `s`, before
+    /// ε-closure. Each conditional target carries the runtime check that
+    /// gates it: its step qualifier, and — for a wildcard user step taking
+    /// a *label* transition — a `label() = l` test, since only bindings
+    /// with that label actually make the move.
+    fn enter_targets(
+        &self,
+        s: &StateSet,
+        kind: &StepKind,
+        pending_desc: bool,
+    ) -> (Vec<usize>, Vec<(usize, Qualifier)>) {
+        // When a `//` was fused in, the effective source set is the
+        // descendant closure, which `steps()` already applied: here `s`
+        // is that closure.
+        let _ = pending_desc;
+        let mut entered: Vec<(usize, Option<Qualifier>)> = Vec::new();
+        let push = |t: usize, label_cond: Option<&str>, entered: &mut Vec<(usize, Option<Qualifier>)>| {
+            let mut cond = self.nfa.qualifier(t).cloned();
+            if let Some(l) = label_cond {
+                let lab = Qualifier::LabelIs(l.to_string());
+                cond = Some(match cond {
+                    Some(q) => Qualifier::and(lab, q),
+                    None => lab,
+                });
+            }
+            if let Some(slot) = entered.iter_mut().find(|(x, _)| *x == t) {
+                // Entered both conditionally and unconditionally: the
+                // weaker (unconditional) entry wins only if genuinely
+                // unconditional; otherwise keep the first condition (the
+                // two paths are the same transition in our NFAs).
+                if cond.is_none() {
+                    slot.1 = None;
+                }
+            } else {
+                entered.push((t, cond));
+            }
+        };
+        for id in s.iter() {
+            let st = &self.nfa.states[id];
+            if st.self_loop {
+                push(id, None, &mut entered);
+            }
+            if let Some(t) = st.star_trans {
+                push(t, None, &mut entered);
+            }
+            if let Some((l, t)) = &st.label_trans {
+                match kind {
+                    StepKind::Label(user_l) if l == user_l => push(*t, None, &mut entered),
+                    StepKind::Label(_) => {}
+                    // A wildcard step only takes the transition when the
+                    // bound node happens to carry the label.
+                    StepKind::Wildcard => push(*t, Some(l), &mut entered),
+                    StepKind::Descendant => unreachable!("handled in steps()"),
+                }
+            }
+        }
+        let ids: Vec<usize> = entered.iter().map(|(t, _)| *t).collect();
+        let qualified = entered
+            .into_iter()
+            .filter_map(|(t, cond)| cond.map(|q| (t, q)))
+            .collect();
+        (ids, qualified)
+    }
+
+    fn close(&self, entered: &[usize]) -> StateSet {
+        let mut s = StateSet::new(self.nfa.len());
+        for &t in entered {
+            s.insert(t);
+        }
+        self.nfa.eps_closure(&mut s);
+        s
+    }
+
+    /// Can the update reach any path mentioned in a user-step qualifier
+    /// anchored at states `s`? (If so the qualifier's original-document
+    /// evaluation would be unsound.)
+    fn qualifier_affected(&self, s: &StateSet, q: &Qualifier, pending_desc: bool) -> bool {
+        // The qualifier is evaluated at the *target* node of this step;
+        // approximate its automaton context by one wildcard consumption
+        // (superset of the label consumption).
+        let mut at_node = self.nfa.next_states_wild(s);
+        if pending_desc {
+            at_node = self.nfa.desc_closure(&at_node);
+        }
+        // If the bound node itself can be selected: a replace rewrites it
+        // wholesale; a child-position insert adds an element child, which
+        // can only change qualifiers that look at child/descendant
+        // *elements* (attribute and text() tests are untouched); a
+        // sibling-position insert leaves the node's own downward-only
+        // qualifier scope intact; a rename flips `label() = l` tests.
+        if at_node.contains(self.nfa.final_state) {
+            match &self.qt.op {
+                UpdateOp::Replace { .. } => return true,
+                UpdateOp::Insert { pos, .. }
+                    if !pos.is_sibling() && qual_has_element_path(q) =>
+                {
+                    return true
+                }
+                UpdateOp::Rename { .. } if qual_has_label_test(q) => return true,
+                _ => {}
+            }
+        }
+        self.qual_walk_hits_final(&at_node, q)
+    }
+
+    fn qual_walk_hits_final(&self, s: &StateSet, q: &Qualifier) -> bool {
+        match q {
+            Qualifier::And(a, b) | Qualifier::Or(a, b) => {
+                self.qual_walk_hits_final(s, a) || self.qual_walk_hits_final(s, b)
+            }
+            Qualifier::Not(a) => self.qual_walk_hits_final(s, a),
+            Qualifier::LabelIs(_) => false,
+            Qualifier::Exists(qp) | Qualifier::Cmp(qp, _, _) => {
+                let mut cur = s.clone();
+                for step in &qp.path.steps {
+                    cur = match &step.kind {
+                        StepKind::Label(l) => self.nfa.next_states_unchecked(&cur, l),
+                        StepKind::Wildcard => self.nfa.next_states_wild(&cur),
+                        StepKind::Descendant => self.nfa.desc_closure(&cur),
+                    };
+                    if cur.contains(self.nfa.final_state) {
+                        return true;
+                    }
+                    // Nested qualifiers inside the qualifier path.
+                    if let Some(nested) = &step.qualifier {
+                        if self.qual_walk_hits_final(&cur, nested) {
+                            return true;
+                        }
+                    }
+                    if cur.is_empty() {
+                        break;
+                    }
+                }
+                false
+            }
+        }
+    }
+}
+
+/// Does the qualifier contain a `label() = l` test anywhere? (Rename can
+/// flip those at a selected node.)
+fn qual_has_label_test(q: &Qualifier) -> bool {
+    match q {
+        Qualifier::And(a, b) | Qualifier::Or(a, b) => {
+            qual_has_label_test(a) || qual_has_label_test(b)
+        }
+        Qualifier::Not(a) => qual_has_label_test(a),
+        Qualifier::LabelIs(_) => true,
+        Qualifier::Exists(qp) | Qualifier::Cmp(qp, _, _) => qp
+            .path
+            .steps
+            .iter()
+            .any(|s| s.qualifier.as_ref().is_some_and(qual_has_label_test)),
+    }
+}
+
+/// Does the qualifier contain a path atom that descends into element
+/// children (as opposed to attribute-only or text()-only tests)?
+fn qual_has_element_path(q: &Qualifier) -> bool {
+    match q {
+        Qualifier::And(a, b) | Qualifier::Or(a, b) => {
+            qual_has_element_path(a) || qual_has_element_path(b)
+        }
+        Qualifier::Not(a) => qual_has_element_path(a),
+        Qualifier::LabelIs(_) => false,
+        Qualifier::Exists(qp) | Qualifier::Cmp(qp, _, _) => !qp.path.is_empty(),
+    }
+}
+

@@ -1,0 +1,294 @@
+#![warn(missing_docs)]
+//! `xust-compose` — composition of user queries with transform queries
+//! (Section 4 of *Querying XML with Update Syntax*).
+//!
+//! Given a transform query `Qt` and a user query
+//! `Q = for $x in ρ where … return exp(…)`, [`compose`] produces a single
+//! query `Qc` in (our subset of) standard XQuery with
+//! `Qc(T) = Q(Qt(T))` — the key enabler for hypothetical queries and for
+//! querying "updated" virtual views without materializing them.
+//! [`naive_composition`] is the sequential baseline of Fig. 15.
+//!
+//! # Example (the paper's Examples 4.1/4.2)
+//!
+//! ```
+//! use xust_tree::Document;
+//! use xust_core::parse_transform;
+//! use xust_compose::{compose, naive_composition, UserQuery};
+//!
+//! let doc = Document::parse(
+//!     "<db><part><pname>keyboard</pname>\
+//!      <supplier><sname>s1</sname><country>A</country></supplier>\
+//!      <supplier><sname>s2</sname><country>B</country></supplier></part></db>",
+//! ).unwrap();
+//! // Qt: the security view deleting suppliers from country A.
+//! let qt = parse_transform(
+//!     r#"transform copy $a := doc("foo") modify do delete $a//supplier[country = 'A'] return $a"#,
+//! ).unwrap();
+//! // Q: suppliers for keyboard, over the view.
+//! let q = UserQuery::parse(
+//!     "<result>{ for $x in doc(\"foo\")/db/part[pname = 'keyboard']/supplier return $x }</result>",
+//! ).unwrap();
+//! let qc = compose(&qt, &q).unwrap();
+//! let composed = qc.execute(&doc).unwrap();
+//! let sequential = naive_composition(&doc, &qt, &q).unwrap();
+//! assert_eq!(composed.serialize(), sequential.serialize());
+//! assert_eq!(
+//!     composed.serialize(),
+//!     "<result><supplier><sname>s2</sname><country>B</country></supplier></result>"
+//! );
+//! ```
+
+mod compose;
+mod naive;
+pub mod stream;
+mod user;
+
+pub use compose::{compose, ComposedQuery};
+pub use stream::{compose_sax_files, compose_sax_str, compose_two_pass_sax, StreamComposeStats};
+pub use naive::{naive_composition, naive_composition_in_engine, naive_composition_to_string};
+pub use user::{ComposeError, UserQuery};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xust_core::TransformQuery;
+    use xust_tree::Document;
+    use xust_xpath::parse_path;
+
+    fn doc() -> Document {
+        Document::parse(
+            "<db><part><pname>keyboard</pname><supplier><sname>s1</sname><country>A</country><price>10</price></supplier><supplier><sname>s2</sname><country>B</country><price>20</price></supplier><part><pname>key</pname><supplier><sname>s3</sname><country>A</country></supplier></part></part><part><pname>mouse</pname><supplier><sname>s4</sname><country>B</country></supplier></part></db>",
+        )
+        .unwrap()
+    }
+
+    fn agree(qt: &TransformQuery, uq_text: &str) -> ComposedQuery {
+        let uq = UserQuery::parse(uq_text).unwrap();
+        let qc = compose(qt, &uq).unwrap();
+        let composed = qc.execute_to_string(&doc()).unwrap();
+        let sequential = naive_composition_to_string(&doc(), qt, &uq).unwrap();
+        assert_eq!(
+            composed, sequential,
+            "Qc(T) != Q(Qt(T)) for {} {} / {uq_text}",
+            qt.op.kind(),
+            qt.path
+        );
+        qc
+    }
+
+    #[test]
+    fn example_42_delete_supplier_by_country() {
+        let qt = TransformQuery::delete(
+            "d",
+            parse_path("//supplier[country = 'A']").unwrap(),
+        );
+        let qc = agree(
+            &qt,
+            "<result>{ for $x in doc(\"d\")/db/part[pname = 'keyboard']/supplier return $x }</result>",
+        );
+        // Fully static: one qualifier branch, no fallback.
+        assert_eq!(qc.fallback_sites, 0);
+    }
+
+    #[test]
+    fn example_43_q1_delete_with_qualifier() {
+        // Q1: delete a/b[q]; Q′1: for $x in a/b/c.
+        let d = Document::parse(
+            "<a><b><flag/><c>1</c></b><b><c>2</c></b></a>",
+        )
+        .unwrap();
+        let qt = TransformQuery::delete("f", parse_path("a/b[flag]").unwrap());
+        let uq =
+            UserQuery::parse("<r>{ for $x in doc(\"f\")/a/b/c return $x }</r>").unwrap();
+        let qc = compose(&qt, &uq).unwrap();
+        assert_eq!(qc.fallback_sites, 0);
+        let got = qc.execute(&d).unwrap();
+        assert_eq!(got.serialize(), "<r><c>2</c></r>");
+        let seq = naive_composition(&d, &qt, &uq).unwrap();
+        assert_eq!(got.serialize(), seq.serialize());
+    }
+
+    #[test]
+    fn example_43_q2_qualifier_affected_by_delete() {
+        // Q2: delete a/b/c; Q′2: for $x in a/b[not(./c = 'A')] — the
+        // user qualifier mentions the deleted c's; must still agree
+        // (via semi-fallback where the paper folds it at compile time).
+        let d = Document::parse("<a><b><c>A</c></b><b><c>B</c></b><b/></a>").unwrap();
+        let qt = TransformQuery::delete("f", parse_path("a/b/c").unwrap());
+        let uq = UserQuery::parse(
+            "<r>{ for $x in doc(\"f\")/a/b[not(c = 'A')] return $x }</r>",
+        )
+        .unwrap();
+        let qc = compose(&qt, &uq).unwrap();
+        let got = qc.execute(&d).unwrap();
+        let seq = naive_composition(&d, &qt, &uq).unwrap();
+        assert_eq!(got.serialize(), seq.serialize());
+        // All three b's survive with c deleted.
+        assert_eq!(got.serialize(), "<r><b/><b/><b/></r>");
+    }
+
+    #[test]
+    fn example_43_q3_insert_needs_inlined_topdown() {
+        // Q3: insert e into a//c; Q′3: for $x in a/b return $x — the
+        // returned subtree may contain c's, so topDown is inlined.
+        let d = Document::parse("<a><b><c>x</c></b><b>plain</b></a>").unwrap();
+        let qt = TransformQuery::insert(
+            "f",
+            parse_path("a//c").unwrap(),
+            Document::parse("<e/>").unwrap(),
+        );
+        let uq = UserQuery::parse("<r>{ for $x in doc(\"f\")/a/b return $x }</r>").unwrap();
+        let qc = compose(&qt, &uq).unwrap();
+        assert!(qc.transform_sites() >= 1, "expected an inlined topDown");
+        let got = qc.execute(&d).unwrap();
+        let seq = naive_composition(&d, &qt, &uq).unwrap();
+        assert_eq!(got.serialize(), seq.serialize());
+        assert_eq!(got.serialize(), "<r><b><c>x<e/></c></b><b>plain</b></r>");
+    }
+
+    #[test]
+    fn disjoint_paths_no_rewriting() {
+        // The (U9, U1) effect: transform path disjoint from user path.
+        let qt = TransformQuery::insert(
+            "d",
+            parse_path("db/zone//item[location = 'US']").unwrap(),
+            Document::parse("<x/>").unwrap(),
+        );
+        let qc = agree(
+            &qt,
+            "<result>{ for $x in doc(\"d\")/db/part/pname return $x }</result>",
+        );
+        assert_eq!(qc.transform_sites(), 0, "disjoint ⇒ no transform at all");
+        assert_eq!(qc.fallback_sites, 0);
+    }
+
+    #[test]
+    fn insert_at_bound_node_appends_constant() {
+        // Final state at the user's last step: e appended to $x itself.
+        let qt = TransformQuery::insert(
+            "d",
+            parse_path("db/part[pname = 'mouse']").unwrap(),
+            Document::parse("<note>n</note>").unwrap(),
+        );
+        agree(
+            &qt,
+            "<result>{ for $x in doc(\"d\")/db/part return $x }</result>",
+        );
+    }
+
+    #[test]
+    fn insert_with_continuation_into_e() {
+        // Final state mid-path: the user path continues *into* e.
+        let qt = TransformQuery::insert(
+            "d",
+            parse_path("db/part").unwrap(),
+            Document::parse("<supplier><sname>inserted</sname></supplier>").unwrap(),
+        );
+        let qc = agree(
+            &qt,
+            "<result>{ for $x in doc(\"d\")/db/part/supplier/sname return $x }</result>",
+        );
+        let got = qc.execute_to_string(&doc()).unwrap();
+        assert_eq!(got.matches("inserted").count(), 2, "one per top-level part");
+    }
+
+    #[test]
+    fn replace_at_bound_node() {
+        let qt = TransformQuery::replace(
+            "d",
+            parse_path("//supplier[country = 'A']").unwrap(),
+            Document::parse("<redacted/>").unwrap(),
+        );
+        agree(
+            &qt,
+            "<result>{ for $x in doc(\"d\")/db/part[pname = 'keyboard']/supplier return $x }</result>",
+        );
+    }
+
+    #[test]
+    fn rename_non_colliding() {
+        let qt = TransformQuery::rename("d", parse_path("//supplier").unwrap(), "vendor");
+        agree(
+            &qt,
+            "<result>{ for $x in doc(\"d\")/db/part/pname return $x }</result>",
+        );
+    }
+
+    #[test]
+    fn rename_colliding_forces_fallback() {
+        let qt = TransformQuery::rename("d", parse_path("//supplier").unwrap(), "part");
+        let uq = UserQuery::parse(
+            "<result>{ for $x in doc(\"d\")/db/part return $x }</result>",
+        )
+        .unwrap();
+        let qc = compose(&qt, &uq).unwrap();
+        assert!(qc.fallback_sites >= 1);
+        let got = qc.execute_to_string(&doc()).unwrap();
+        let seq = naive_composition_to_string(&doc(), &qt, &uq).unwrap();
+        assert_eq!(got, seq);
+    }
+
+    #[test]
+    fn descendant_user_step_with_qualified_transform() {
+        // The (U9, U4) shape: user `//item`-style step; transform
+        // qualifies the same nodes — requires the semi-fallback but must
+        // stay correct, including on *nested* matches.
+        let d = Document::parse(
+            "<a><zone><item><location>US</location><item><location>EU</location></item></item></zone></a>",
+        )
+        .unwrap();
+        let qt = TransformQuery::delete(
+            "d",
+            parse_path("a/zone//item[location = 'US']").unwrap(),
+        );
+        let uq =
+            UserQuery::parse("<r>{ for $x in doc(\"d\")/a/zone//item return $x }</r>").unwrap();
+        let qc = compose(&qt, &uq).unwrap();
+        let got = qc.execute(&d).unwrap();
+        let seq = naive_composition(&d, &qt, &uq).unwrap();
+        // The US item is deleted along with its nested EU item.
+        assert_eq!(got.serialize(), seq.serialize());
+        assert_eq!(got.serialize(), "<r/>");
+    }
+
+    #[test]
+    fn where_clause_on_transformed_binding() {
+        // The where clause must see the *transformed* subtree: delete the
+        // price, then filter on its absence.
+        let qt = TransformQuery::delete("d", parse_path("//price").unwrap());
+        let uq = UserQuery::parse(
+            "<r>{ for $x in doc(\"d\")/db/part/supplier where empty($x/price) return $x/sname }</r>",
+        )
+        .unwrap();
+        let qc = compose(&qt, &uq).unwrap();
+        let got = qc.execute(&doc()).unwrap();
+        let seq = naive_composition(&doc(), &qt, &uq).unwrap();
+        assert_eq!(got.serialize(), seq.serialize());
+        // Every supplier on db/part/supplier matches after the delete
+        // (the nested part's supplier is not on the path).
+        assert_eq!(got.serialize().matches("<sname>").count(), 3);
+    }
+
+    #[test]
+    fn composed_query_size_linear() {
+        let qt = TransformQuery::delete(
+            "d",
+            parse_path("//supplier[country = 'A']").unwrap(),
+        );
+        let uq = UserQuery::parse(
+            "<result>{ for $x in doc(\"d\")/db/part[pname = 'keyboard']/supplier return $x }</result>",
+        )
+        .unwrap();
+        let qc = compose(&qt, &uq).unwrap();
+        // |Qc| is linear in |Qt| + |Q| (coarse bound, the paper's claim).
+        assert!(qc.size() < 40, "composed size {}", qc.size());
+    }
+
+    #[test]
+    fn mismatched_doc_names_rejected() {
+        let qt = TransformQuery::delete("one", parse_path("//x").unwrap());
+        let uq = UserQuery::parse("for $x in doc(\"two\")/a return $x").unwrap();
+        assert!(compose(&qt, &uq).is_err());
+    }
+}

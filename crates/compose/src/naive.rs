@@ -1,0 +1,86 @@
+//! The Naive Composition Method (Section 4):
+//!
+//! ```text
+//! let $d := Qt(T)  let $d′ := Q($d)  return $d′
+//! ```
+//!
+//! — evaluate the transform query first (with GENTOP, the fastest
+//! on-top-of-engine method per Section 7.1), then run the user query over
+//! the materialized result. This is the baseline the Compose Method is
+//! measured against in Fig. 15.
+
+use xust_core::{top_down, TransformQuery};
+use xust_tree::Document;
+use xust_xquery::Engine;
+
+use crate::user::{ComposeError, UserQuery};
+
+/// Evaluates `Q(Qt(T))` sequentially.
+pub fn naive_composition(
+    doc: &Document,
+    qt: &TransformQuery,
+    uq: &UserQuery,
+) -> Result<Document, ComposeError> {
+    let transformed = top_down(doc, qt);
+    let mut engine = Engine::new();
+    engine.load_doc(uq.doc_name.clone(), transformed);
+    let v = engine
+        .eval_expr(&uq.to_expr(), &[])
+        .map_err(|e| ComposeError::new(e.to_string()))?;
+    engine
+        .value_to_document(&v)
+        .map_err(|e| ComposeError::new(e.to_string()))
+}
+
+/// Naive composition against a pre-loaded engine: evaluates `Qt` over
+/// the stored document with GENTOP (no copy of the source), stores the
+/// result, and runs `Q` over it — the engine-side rendering of
+/// `let $d := Qt(T) let $d′ := Q($d) return $d′`.
+pub fn naive_composition_in_engine(
+    engine: &mut Engine,
+    qt: &TransformQuery,
+    uq: &UserQuery,
+) -> Result<String, ComposeError> {
+    use xust_xquery::{Expr, Item};
+    let d = engine
+        .store
+        .resolve(&uq.doc_name)
+        .ok_or_else(|| ComposeError::new(format!("doc(\"{}\") not loaded", uq.doc_name)))?;
+    let src = std::mem::take(engine.store.doc_mut(d));
+    let transformed = top_down(&src, qt);
+    *engine.store.doc_mut(d) = src;
+    let new_id = engine.store.add_anonymous(transformed);
+    // Q with its doc(…) base rebased onto the transformed document.
+    let inner = Expr::For {
+        var: uq.var.clone(),
+        seq: Box::new(Expr::path(Expr::var("xust-base"), uq.source.clone())),
+        body: Box::new(uq.body.clone()),
+    };
+    let expr = match &uq.wrapper {
+        Some((name, attrs)) => Expr::DirectElem {
+            name: name.clone(),
+            attrs: attrs.clone(),
+            content: vec![inner],
+        },
+        None => inner,
+    };
+    let v = engine
+        .eval_expr(&expr, &[("xust-base".to_string(), vec![Item::DocNode(new_id)])])
+        .map_err(|e| ComposeError::new(e.to_string()))?;
+    Ok(engine.serialize_value(&v))
+}
+
+/// String-result variant (for queries without a single-root wrapper).
+pub fn naive_composition_to_string(
+    doc: &Document,
+    qt: &TransformQuery,
+    uq: &UserQuery,
+) -> Result<String, ComposeError> {
+    let transformed = top_down(doc, qt);
+    let mut engine = Engine::new();
+    engine.load_doc(uq.doc_name.clone(), transformed);
+    let v = engine
+        .eval_expr(&uq.to_expr(), &[])
+        .map_err(|e| ComposeError::new(e.to_string()))?;
+    Ok(engine.serialize_value(&v))
+}

@@ -1,0 +1,198 @@
+//! User queries (Section 4):
+//!
+//! ```text
+//! for $x in ρ
+//! where ρ′1 = ρ″1 and … and ρ′k = ρ″k
+//! return exp(ϱ1, …, ϱm)
+//! ```
+//!
+//! where ρ is an X expression and `exp` is an element template. We accept
+//! the concrete XQuery form via `xust-xquery`'s parser and pattern-match
+//! it into [`UserQuery`]; the `where` clause (already desugared into an
+//! `if` by the parser) and the template are carried as expressions and
+//! re-anchored on the transformed binding by the composition.
+
+use std::fmt;
+
+use xust_xpath::Path;
+use xust_xquery::{parse_expr, Expr};
+
+/// A parsed user query.
+#[derive(Debug, Clone)]
+pub struct UserQuery {
+    /// The bound variable (the `$x`).
+    pub var: String,
+    /// ρ — the absolute source path (rooted at `doc(name)`).
+    pub source: Path,
+    /// Name of the queried document.
+    pub doc_name: String,
+    /// The body: everything after `return` (with any `where` folded in as
+    /// an `if`), referencing `$x`.
+    pub body: Expr,
+    /// Optional literal element wrapper (`<result> { … } </result>`).
+    pub wrapper: Option<(String, Vec<(String, String)>)>,
+}
+
+/// Error constructing or composing a user query.
+#[derive(Debug, Clone)]
+pub struct ComposeError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ComposeError {
+    /// Wraps a message.
+    pub fn new(m: impl Into<String>) -> ComposeError {
+        ComposeError { message: m.into() }
+    }
+}
+
+impl fmt::Display for ComposeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "composition error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ComposeError {}
+
+impl UserQuery {
+    /// Builds a user query programmatically.
+    pub fn new(
+        doc_name: impl Into<String>,
+        source: Path,
+        var: impl Into<String>,
+        body: Expr,
+    ) -> UserQuery {
+        UserQuery {
+            var: var.into(),
+            source,
+            doc_name: doc_name.into(),
+            body,
+            wrapper: None,
+        }
+    }
+
+    /// Parses the restricted concrete form, e.g.
+    ///
+    /// ```text
+    /// <result> { for $x in doc("xmark")/site/people/person[@id = "person10"]
+    ///            return $x } </result>
+    /// ```
+    pub fn parse(text: &str) -> Result<UserQuery, ComposeError> {
+        let expr = parse_expr(text).map_err(|e| ComposeError::new(e.to_string()))?;
+        Self::from_expr(expr)
+    }
+
+    fn from_expr(expr: Expr) -> Result<UserQuery, ComposeError> {
+        // Optional <wrapper>{ flwor }</wrapper>
+        let (wrapper, inner) = match expr {
+            Expr::DirectElem {
+                name,
+                attrs,
+                mut content,
+            } if content.len() == 1 => (Some((name, attrs)), content.remove(0)),
+            other => (None, other),
+        };
+        match inner {
+            Expr::For { var, seq, body } => {
+                let (doc_name, source) = match *seq {
+                    Expr::PathExpr { base, path } => match *base {
+                        Expr::Doc(name) => (name, path),
+                        _ => {
+                            return Err(ComposeError::new(
+                                "user query must iterate doc(\"…\")/ρ",
+                            ))
+                        }
+                    },
+                    _ => {
+                        return Err(ComposeError::new(
+                            "user query must iterate a path expression",
+                        ))
+                    }
+                };
+                Ok(UserQuery {
+                    var,
+                    source,
+                    doc_name,
+                    body: *body,
+                    wrapper,
+                })
+            }
+            _ => Err(ComposeError::new(
+                "user query must be `for $x in ρ (where …)? return exp`",
+            )),
+        }
+    }
+
+    /// Reconstructs the plain (uncomposed) query expression — what the
+    /// naive composition evaluates against the transformed document.
+    pub fn to_expr(&self) -> Expr {
+        let inner = Expr::For {
+            var: self.var.clone(),
+            seq: Box::new(Expr::path(Expr::Doc(self.doc_name.clone()), self.source.clone())),
+            body: Box::new(self.body.clone()),
+        };
+        match &self.wrapper {
+            Some((name, attrs)) => Expr::DirectElem {
+                name: name.clone(),
+                attrs: attrs.clone(),
+                content: vec![inner],
+            },
+            None => inner,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_minimal() {
+        let q = UserQuery::parse("for $x in doc(\"d\")/site/people/person return $x").unwrap();
+        assert_eq!(q.var, "x");
+        assert_eq!(q.doc_name, "d");
+        assert_eq!(q.source.to_string(), "site/people/person");
+        assert!(q.wrapper.is_none());
+        assert_eq!(q.body, Expr::Var("x".into()));
+    }
+
+    #[test]
+    fn parse_with_wrapper_and_where() {
+        let q = UserQuery::parse(
+            "<result>{ for $x in doc(\"d\")/a/b where $x/c = 'v' return $x }</result>",
+        )
+        .unwrap();
+        assert_eq!(q.wrapper.as_ref().unwrap().0, "result");
+        assert!(matches!(q.body, Expr::If { .. }));
+    }
+
+    #[test]
+    fn parse_example_41() {
+        // The user query of Example 4.1: suppliers for keyboard.
+        let q = UserQuery::parse(
+            "<result>{ for $x in doc(\"foo\")/db/part[pname = 'keyboard']/supplier return $x }</result>",
+        )
+        .unwrap();
+        assert_eq!(q.source.steps.len(), 3);
+    }
+
+    #[test]
+    fn parse_rejects_non_flwor() {
+        assert!(UserQuery::parse("doc(\"d\")/a").is_err());
+        assert!(UserQuery::parse("for $x in (1,2) return $x").is_err());
+    }
+
+    #[test]
+    fn to_expr_roundtrip() {
+        let q = UserQuery::parse(
+            "<r>{ for $x in doc(\"d\")/a where $x/b = '1' return $x }</r>",
+        )
+        .unwrap();
+        let e = q.to_expr();
+        assert!(matches!(e, Expr::DirectElem { .. }));
+        // Re-deriving the user query from the reconstruction agrees.
+        let q2 = UserQuery::from_expr(e).unwrap();
+        assert_eq!(q2.source.to_string(), q.source.to_string());
+    }
+}

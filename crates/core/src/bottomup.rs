@@ -1,0 +1,260 @@
+//! Algorithm `bottomUp` (Fig. 9) — one-pass bottom-up qualifier
+//! evaluation (Section 5).
+//!
+//! Driven by the **filtering NFA** `Mf`, a single traversal of `T`
+//! evaluates every qualifier in the embedded XPath `p` and annotates each
+//! visited node with the truth values of the sub-qualifier list `LQ`
+//! (`satₙ`). `QualDP` (Fig. 7, implemented in `xust_xpath::qual_dp`)
+//! does constant work per sub-qualifier per node given the child and
+//! descendant aggregates `csatₙ`/`dsatₙ`.
+//!
+//! Differences from the paper's presentation, both behaviour-preserving:
+//!
+//! * The paper encodes the bottom-up traversal as recursion on the
+//!   *left-most child* and *immediate right sibling*, threading `rsat`/
+//!   `rdsat` vectors, purely to stay side-effect free in XQuery. In Rust
+//!   we use an explicit post-order stack and accumulate `csat`/`dsat`
+//!   directly in the parent's frame (`rsatₙc = csatₙ`, `rdsatₙc = dsatₙ`
+//!   by the paper's own Lemma-level observations).
+//! * At each *visited* node we evaluate the full `LQ` rather than only
+//!   `LQ(S′)`; values that the paper's per-state lists would skip are
+//!   never consumed (see the module tests), and the complexity stays
+//!   within the paper's O(|T|·|p|²) bound. Subtree pruning on `S′ = ∅`
+//!   — the part that matters asymptotically — is identical (Fig. 9
+//!   line 6).
+
+use xust_automata::{FilteringNfa, StateSet};
+use xust_tree::{Document, NodeId};
+use xust_xpath::{qual_dp, Path, QualTable, SatVec};
+
+/// Per-node qualifier annotations produced by the bottom-up pass.
+///
+/// `sat[n]` is `None` for nodes the filtering NFA pruned (never consulted
+/// by the subsequent top-down pass) and for text nodes.
+pub struct Annotations {
+    /// The normalized sub-qualifier table `LQ` the values refer to.
+    pub table: QualTable,
+    sat: Vec<Option<SatVec>>,
+    /// Number of element nodes actually visited (not pruned) — exposed
+    /// for the pruning ablation bench.
+    pub visited: usize,
+}
+
+impl Annotations {
+    /// `checkp(qᵢ, n)` in O(1): truth of the qualifier of path step
+    /// `step` at node `n`.
+    pub fn check(&self, node: NodeId, step: usize) -> bool {
+        match (&self.sat[node.index()], self.table.step_roots[step]) {
+            (Some(sat), Some(root)) => sat.get(root),
+            // A step without qualifier is [true].
+            (_, None) => true,
+            // Pruned nodes are never on a qualified selecting path.
+            (None, Some(_)) => false,
+        }
+    }
+
+    /// Raw satisfaction vector of a node (None if pruned).
+    pub fn sat(&self, node: NodeId) -> Option<&SatVec> {
+        self.sat[node.index()].as_ref()
+    }
+}
+
+/// Runs the bottom-up pass over `doc` for the selecting path `path`.
+pub fn bottom_up(doc: &Document, path: &Path) -> Annotations {
+    let table = QualTable::from_path(path);
+    let nfa = FilteringNfa::new(path);
+    let mut ann = Annotations {
+        sat: vec![None; doc.arena_len()],
+        table,
+        visited: 0,
+    };
+    let Some(root) = doc.root() else {
+        return ann;
+    };
+    let nq = ann.table.len();
+
+    // Explicit post-order traversal. Each frame owns the child/descendant
+    // aggregates for one element being visited.
+    struct Frame {
+        node: NodeId,
+        children: Vec<NodeId>,
+        next_child: usize,
+        states: StateSet,
+        csat: SatVec,
+        dsat: SatVec,
+    }
+
+    let initial = nfa.initial();
+    let root_states = next_for(doc, &nfa, &initial, root);
+    if root_states.is_empty() && !path.is_empty() {
+        // Even the root is irrelevant — nothing to annotate.
+        return ann;
+    }
+    let mut stack = vec![Frame {
+        node: root,
+        children: doc.element_children(root).collect(),
+        next_child: 0,
+        states: root_states,
+        csat: SatVec::new(nq),
+        dsat: SatVec::new(nq),
+    }];
+
+    // (sat, subtree_sat) of the most recently completed child, to be
+    // merged into its parent's aggregates.
+    while let Some(frame) = stack.last_mut() {
+        if frame.next_child < frame.children.len() {
+            let child = frame.children[frame.next_child];
+            frame.next_child += 1;
+            let child_states = next_for(doc, &nfa, &frame.states, child);
+            if child_states.is_empty() {
+                // Fig. 9 line 6: prune — the subtree contributes to no
+                // selection decision, so no annotations are needed.
+                continue;
+            }
+            stack.push(Frame {
+                node: child,
+                children: doc.element_children(child).collect(),
+                next_child: 0,
+                states: child_states,
+                csat: SatVec::new(nq),
+                dsat: SatVec::new(nq),
+            });
+        } else {
+            // All children done: evaluate LQ at this node (Fig. 9
+            // line 12) and fold into the parent.
+            let frame = stack.pop().expect("frame exists");
+            let mut sat = SatVec::new(nq);
+            qual_dp(&ann.table, doc, frame.node, &frame.csat, &frame.dsat, &mut sat);
+            ann.visited += 1;
+            if let Some(parent) = stack.last_mut() {
+                parent.csat.or_assign(&sat);
+                parent.dsat.or_assign(&sat);
+                parent.dsat.or_assign(&frame.dsat);
+            }
+            ann.sat[frame.node.index()] = Some(sat);
+        }
+    }
+    ann
+}
+
+fn next_for(doc: &Document, nfa: &FilteringNfa, states: &StateSet, node: NodeId) -> StateSet {
+    let label = doc.name(node).unwrap_or("");
+    nfa.next_states(states, label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xust_xpath::{eval_qualifier, parse_path};
+
+    fn doc() -> Document {
+        Document::parse(
+            "<db><part><pname>keyboard</pname><supplier><sname>HP</sname><price>12</price></supplier><part><pname>key</pname></part></part><part><pname>mouse</pname><supplier><sname>IBM</sname><price>20</price></supplier></part></db>",
+        )
+        .unwrap()
+    }
+
+    /// The central invariant: wherever the selecting path needs a
+    /// qualifier decision, the annotation equals direct evaluation.
+    #[test]
+    fn annotations_agree_with_direct_eval_on_selecting_nodes() {
+        let d = doc();
+        let paths = [
+            "//part[pname = 'keyboard']",
+            "//part[not(supplier/sname = 'HP') and not(supplier/price < 15)]",
+            "db/part[supplier/price < 15]/supplier",
+            "//supplier[sname = 'IBM' or sname = 'HP']",
+            "//part[pname]",
+        ];
+        for p in paths {
+            let path = parse_path(p).unwrap();
+            let ann = bottom_up(&d, &path);
+            for (i, step) in path.steps.iter().enumerate() {
+                let Some(q) = &step.qualifier else { continue };
+                for n in d.descendants_or_self(d.root().unwrap()) {
+                    if !d.is_element(n) || ann.sat(n).is_none() {
+                        continue;
+                    }
+                    // Only nodes whose label can match the step matter.
+                    let matches_label = match &step.kind {
+                        xust_xpath::StepKind::Label(l) => d.name(n) == Some(l.as_str()),
+                        _ => true,
+                    };
+                    if !matches_label {
+                        continue;
+                    }
+                    assert_eq!(
+                        ann.check(n, i),
+                        eval_qualifier(&d, n, q),
+                        "path {p}, step {i}, node <{}>",
+                        d.name(n).unwrap()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_skips_irrelevant_subtrees() {
+        let d = doc();
+        // `supplier//part` anchors nowhere (root has no supplier child):
+        // Example 5.3's second case — bottomUp returns immediately.
+        let path = parse_path("supplier//part").unwrap();
+        let ann = bottom_up(&d, &path);
+        assert_eq!(ann.visited, 0);
+
+        // A rooted path only visits its spine and qualifier regions.
+        let path = parse_path("db/part[pname = 'keyboard']").unwrap();
+        let ann = bottom_up(&d, &path);
+        // Visited: db, 2 parts, their pname children (qualifier branch) —
+        // suppliers and deeper parts are *not* all visited. (The nested
+        // part under part matches no state: `part` continuation only at
+        // depth 1.)
+        assert!(ann.visited <= 7, "visited {} nodes", ann.visited);
+        assert!(ann.visited >= 5);
+    }
+
+    #[test]
+    fn no_qualifiers_means_reachability_only() {
+        let d = doc();
+        let path = parse_path("//price").unwrap();
+        let ann = bottom_up(&d, &path);
+        assert!(ann.table.is_empty());
+        // With // everything is reachable: all elements visited.
+        let elements = d
+            .descendants_or_self(d.root().unwrap())
+            .filter(|&n| d.is_element(n))
+            .count();
+        assert_eq!(ann.visited, elements);
+        // checkp on qualifier-less steps is vacuously true.
+        assert!(ann.check(d.root().unwrap(), 0));
+    }
+
+    #[test]
+    fn empty_document() {
+        let path = parse_path("//x[y]").unwrap();
+        let ann = bottom_up(&Document::new(), &path);
+        assert_eq!(ann.visited, 0);
+    }
+
+    #[test]
+    fn deep_document_no_stack_overflow() {
+        // 50k-deep chain exercises the explicit stack.
+        let mut d = Document::new();
+        let root = d.create_element("n");
+        d.set_root(root);
+        let mut cur = root;
+        for _ in 0..50_000 {
+            let c = d.create_element("n");
+            d.append_child(cur, c);
+            cur = c;
+        }
+        let leaf_flag = d.create_element("flag");
+        d.append_child(cur, leaf_flag);
+        let path = parse_path("//n[flag]").unwrap();
+        let ann = bottom_up(&d, &path);
+        // The deepest n has the flag child.
+        assert!(ann.check(cur, 1));
+        assert!(!ann.check(root, 1));
+    }
+}

@@ -1,0 +1,166 @@
+//! The copy-and-update baseline (≈ GalaXUpdate in the experiments).
+//!
+//! This implements the *conceptual semantics* of Section 2 literally:
+//! (a) copy the input tree, (b) evaluate `r[[p]]` on the copy, (c) apply
+//! the update in place, (d) return the copy. It always costs Ω(|T|) time
+//! *and* space — the profile the paper attributes to Galax ("it appears
+//! that Galax implements transform queries by taking a snapshot") — and
+//! it is the ground truth the other four methods are tested against.
+
+use xust_tree::{Document, NodeId};
+use xust_xpath::eval_path_root;
+
+use crate::query::{InsertPos, TransformQuery, UpdateOp};
+
+/// Evaluates `Qt(T)` by snapshot-and-update.
+pub fn copy_update(doc: &Document, q: &TransformQuery) -> Document {
+    let mut copy = doc.clone();
+    let targets = eval_path_root(&copy, &q.path);
+    apply_update(&mut copy, &targets, &q.op);
+    copy
+}
+
+/// Applies an update to an already-materialized node set — the shared
+/// "execute `u` on `r[[p]]`" primitive (also used to *destructively*
+/// update documents, which transform queries by definition never do to
+/// their source).
+pub fn apply_update(doc: &mut Document, targets: &[NodeId], op: &UpdateOp) {
+    match op {
+        UpdateOp::Insert { elem, pos } => {
+            let src_root = match elem.root() {
+                Some(r) => r,
+                None => return,
+            };
+            for &v in targets {
+                // Sibling positions are undefined at the root (a document
+                // has exactly one root): skip, matching every method.
+                if pos.is_sibling() && doc.parent(v).is_none() {
+                    continue;
+                }
+                // Each selected node receives its own fresh copy of e.
+                let copy = doc.deep_copy_from(elem, src_root);
+                match pos {
+                    InsertPos::LastInto => doc.append_child(v, copy),
+                    InsertPos::FirstInto => doc.prepend_child(v, copy),
+                    InsertPos::Before => doc.insert_before(v, copy),
+                    InsertPos::After => doc.insert_after(v, copy),
+                }
+            }
+        }
+        UpdateOp::Delete => {
+            for &v in targets {
+                doc.detach(v);
+            }
+        }
+        UpdateOp::Replace { elem } => {
+            let src_root = match elem.root() {
+                Some(r) => r,
+                None => return,
+            };
+            for &v in targets {
+                let copy = doc.deep_copy_from(elem, src_root);
+                doc.replace(v, copy);
+            }
+        }
+        UpdateOp::Rename { name } => {
+            for &v in targets {
+                doc.rename(v, name.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xust_xpath::parse_path;
+
+    fn doc() -> Document {
+        Document::parse(
+            "<db><part><pname>kb</pname><supplier><price>9</price></supplier></part><part><pname>mouse</pname></part></db>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn delete_prices() {
+        let q = TransformQuery::delete("d", parse_path("//price").unwrap());
+        let out = copy_update(&doc(), &q);
+        assert_eq!(
+            out.serialize(),
+            "<db><part><pname>kb</pname><supplier/></part><part><pname>mouse</pname></part></db>"
+        );
+        // Source untouched (non-destructive).
+        assert!(doc().serialize().contains("price"));
+    }
+
+    #[test]
+    fn insert_into_each_target() {
+        let q = TransformQuery::insert(
+            "d",
+            parse_path("db/part").unwrap(),
+            Document::parse("<tag/>").unwrap(),
+        );
+        let out = copy_update(&doc(), &q);
+        assert_eq!(out.serialize().matches("<tag/>").count(), 2);
+        // Inserted as *last* child.
+        assert!(out
+            .serialize()
+            .contains("<pname>mouse</pname><tag/></part>"));
+    }
+
+    #[test]
+    fn replace_supplier() {
+        let q = TransformQuery::replace(
+            "d",
+            parse_path("db/part/supplier").unwrap(),
+            Document::parse("<redacted/>").unwrap(),
+        );
+        let out = copy_update(&doc(), &q);
+        assert!(out.serialize().contains("<redacted/>"));
+        assert!(!out.serialize().contains("price"));
+    }
+
+    #[test]
+    fn rename_parts() {
+        let q = TransformQuery::rename("d", parse_path("db/part").unwrap(), "component");
+        let out = copy_update(&doc(), &q);
+        assert_eq!(out.serialize().matches("<component>").count(), 2);
+        assert!(!out.serialize().contains("<part>"));
+    }
+
+    #[test]
+    fn delete_root_yields_empty() {
+        let q = TransformQuery::delete("d", parse_path("//db").unwrap());
+        let out = copy_update(&doc(), &q);
+        assert_eq!(out.root(), None);
+        assert_eq!(out.serialize(), "");
+    }
+
+    #[test]
+    fn rename_root() {
+        let q = TransformQuery::rename("d", xust_xpath::Path::empty(), "newdb");
+        let out = copy_update(&doc(), &q);
+        assert!(out.serialize().starts_with("<newdb>"));
+    }
+
+    #[test]
+    fn nested_targets_insert() {
+        let d = Document::parse("<a><b><b/></b></a>").unwrap();
+        let q = TransformQuery::insert(
+            "d",
+            parse_path("//b").unwrap(),
+            Document::parse("<x/>").unwrap(),
+        );
+        let out = copy_update(&d, &q);
+        assert_eq!(out.serialize(), "<a><b><b><x/></b><x/></b></a>");
+    }
+
+    #[test]
+    fn overlapping_delete_targets() {
+        let d = Document::parse("<a><b><b/></b><b/></a>").unwrap();
+        let q = TransformQuery::delete("d", parse_path("//b").unwrap());
+        let out = copy_update(&d, &q);
+        assert_eq!(out.serialize(), "<a/>");
+    }
+}

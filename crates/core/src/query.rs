@@ -1,0 +1,760 @@
+//! Transform queries (Section 2):
+//!
+//! ```text
+//! transform copy $a := doc("T") modify do u($a) return $a
+//! ```
+//!
+//! with the four embedded update forms supported by the XML update
+//! language proposals the paper surveys:
+//!
+//! ```text
+//! insert e into $a/p      delete $a/p
+//! replace $a/p with e     rename $a/p as l
+//! ```
+
+use std::fmt;
+
+use xust_tree::Document;
+use xust_xpath::{parse_path, Path};
+
+/// Where an `insert` places the new element relative to each selected
+/// node — the position variants of the XQuery Update Facility \[6\]. The
+/// paper's experiments use the default (`into` = last child); the other
+/// three are the "more involved updates" its conclusion defers to future
+/// work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum InsertPos {
+    /// `insert e into p` / `insert e as last into p` — rightmost child.
+    #[default]
+    LastInto,
+    /// `insert e as first into p` — leftmost child.
+    FirstInto,
+    /// `insert e before p` — immediately-preceding sibling. A selected
+    /// *root* receives no sibling (a document has exactly one root; the
+    /// W3C draft raises `XUDY0015`-style errors here, we skip).
+    Before,
+    /// `insert e after p` — immediately-following sibling (root skipped,
+    /// as for [`InsertPos::Before`]).
+    After,
+}
+
+impl InsertPos {
+    /// Does this position create a *sibling* of the selected node (as
+    /// opposed to a child)?
+    pub fn is_sibling(&self) -> bool {
+        matches!(self, InsertPos::Before | InsertPos::After)
+    }
+
+    /// The surface syntax connective (`into`, `as first into`, …).
+    pub fn syntax(&self) -> &'static str {
+        match self {
+            InsertPos::LastInto => "into",
+            InsertPos::FirstInto => "as first into",
+            InsertPos::Before => "before",
+            InsertPos::After => "after",
+        }
+    }
+}
+
+impl fmt::Display for InsertPos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.syntax())
+    }
+}
+
+/// The embedded update `u($a)`.
+#[derive(Debug, Clone)]
+pub enum UpdateOp {
+    /// `insert e [as first|as last] into $a/p`, `insert e before|after
+    /// $a/p` — adds `e` at [`InsertPos`] relative to every selected node.
+    Insert {
+        /// The constant element to splice in.
+        elem: Document,
+        /// Where it lands relative to each selected node.
+        pos: InsertPos,
+    },
+    /// `delete $a/p` — removes every selected node with its subtree.
+    Delete,
+    /// `replace $a/p with e`.
+    Replace {
+        /// The replacement element.
+        elem: Document,
+    },
+    /// `rename $a/p as l`.
+    Rename {
+        /// The new label.
+        name: String,
+    },
+}
+
+impl UpdateOp {
+    /// Short tag for display/bench labels.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            UpdateOp::Insert {
+                pos: InsertPos::LastInto,
+                ..
+            } => "insert",
+            UpdateOp::Insert {
+                pos: InsertPos::FirstInto,
+                ..
+            } => "insert-first",
+            UpdateOp::Insert {
+                pos: InsertPos::Before,
+                ..
+            } => "insert-before",
+            UpdateOp::Insert {
+                pos: InsertPos::After,
+                ..
+            } => "insert-after",
+            UpdateOp::Delete => "delete",
+            UpdateOp::Replace { .. } => "replace",
+            UpdateOp::Rename { .. } => "rename",
+        }
+    }
+}
+
+/// A parsed transform query.
+#[derive(Debug, Clone)]
+pub struct TransformQuery {
+    /// Variable bound by `copy` (usually `a`).
+    pub var: String,
+    /// Document name inside `doc("…")`.
+    pub doc_name: String,
+    /// The selecting path `p` of the embedded update.
+    pub path: Path,
+    /// The update operation.
+    pub op: UpdateOp,
+}
+
+impl TransformQuery {
+    /// Builds an `insert e into p` transform query programmatically.
+    pub fn insert(doc_name: impl Into<String>, path: Path, elem: Document) -> TransformQuery {
+        Self::insert_at(doc_name, path, elem, InsertPos::LastInto)
+    }
+
+    /// Builds an insert transform query with an explicit position
+    /// (`as first into`, `before`, `after`).
+    pub fn insert_at(
+        doc_name: impl Into<String>,
+        path: Path,
+        elem: Document,
+        pos: InsertPos,
+    ) -> TransformQuery {
+        TransformQuery {
+            var: "a".into(),
+            doc_name: doc_name.into(),
+            path,
+            op: UpdateOp::Insert { elem, pos },
+        }
+    }
+
+    /// Builds a delete transform query programmatically.
+    pub fn delete(doc_name: impl Into<String>, path: Path) -> TransformQuery {
+        TransformQuery {
+            var: "a".into(),
+            doc_name: doc_name.into(),
+            path,
+            op: UpdateOp::Delete,
+        }
+    }
+
+    /// Builds a replace transform query programmatically.
+    pub fn replace(doc_name: impl Into<String>, path: Path, elem: Document) -> TransformQuery {
+        TransformQuery {
+            var: "a".into(),
+            doc_name: doc_name.into(),
+            path,
+            op: UpdateOp::Replace { elem },
+        }
+    }
+
+    /// Builds a rename transform query programmatically.
+    pub fn rename(
+        doc_name: impl Into<String>,
+        path: Path,
+        name: impl Into<String>,
+    ) -> TransformQuery {
+        TransformQuery {
+            var: "a".into(),
+            doc_name: doc_name.into(),
+            path,
+            op: UpdateOp::Rename { name: name.into() },
+        }
+    }
+}
+
+/// Error parsing transform-query syntax.
+#[derive(Debug, Clone)]
+pub struct TransformParseError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for TransformParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transform query parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for TransformParseError {}
+
+fn err(message: impl Into<String>) -> TransformParseError {
+    TransformParseError {
+        message: message.into(),
+    }
+}
+
+/// Parses the transform syntax of \[6\]:
+///
+/// ```
+/// use xust_core::parse_transform;
+///
+/// let q = parse_transform(
+///     r#"transform copy $a := doc("foo") modify do delete $a//price return $a"#,
+/// ).unwrap();
+/// assert_eq!(q.doc_name, "foo");
+/// assert_eq!(q.op.kind(), "delete");
+/// ```
+pub fn parse_transform(input: &str) -> Result<TransformQuery, TransformParseError> {
+    let mut s = Scanner::new(input);
+    s.keyword("transform")?;
+    s.keyword("copy")?;
+    let var = s.variable()?;
+    s.symbol(":=")?;
+    s.keyword("doc")?;
+    s.symbol("(")?;
+    let doc_name = s.string_literal()?;
+    s.symbol(")")?;
+    s.keyword("modify")?;
+    s.keyword("do")?;
+
+    let (op, path) = parse_one_update(&mut s, &var, false)?;
+    parse_footer(&mut s, &var)?;
+    Ok(TransformQuery {
+        var,
+        doc_name,
+        path,
+        op,
+    })
+}
+
+/// Parses the multi-update syntax
+/// `transform copy $a := doc("T") modify do (u1, u2, …) return $a`
+/// with snapshot semantics (see [`crate::multi`]). A single
+/// un-parenthesized update is accepted too.
+pub(crate) fn parse_multi(
+    input: &str,
+) -> Result<crate::multi::MultiTransformQuery, TransformParseError> {
+    let mut s = Scanner::new(input);
+    s.keyword("transform")?;
+    s.keyword("copy")?;
+    let var = s.variable()?;
+    s.symbol(":=")?;
+    s.keyword("doc")?;
+    s.symbol("(")?;
+    let doc_name = s.string_literal()?;
+    s.symbol(")")?;
+    s.keyword("modify")?;
+    s.keyword("do")?;
+
+    let mut updates = Vec::new();
+    if s.try_symbol("(") {
+        loop {
+            let (op, path) = parse_one_update(&mut s, &var, true)?;
+            updates.push((path, op));
+            if s.try_symbol(",") {
+                continue;
+            }
+            s.symbol(")")?;
+            break;
+        }
+    } else {
+        let (op, path) = parse_one_update(&mut s, &var, false)?;
+        updates.push((path, op));
+    }
+    parse_footer(&mut s, &var)?;
+    Ok(crate::multi::MultiTransformQuery {
+        var,
+        doc_name,
+        updates,
+    })
+}
+
+/// `return $a` + EOF, checking the variable matches the copy binding.
+fn parse_footer(s: &mut Scanner<'_>, var: &str) -> Result<(), TransformParseError> {
+    s.keyword("return")?;
+    let ret = s.variable()?;
+    if ret != var {
+        return Err(err(format!(
+            "return variable ${ret} does not match copy variable ${var}"
+        )));
+    }
+    s.expect_eof()
+}
+
+/// One embedded update. `in_list` additionally terminates paths at a
+/// top-level `,` or `)` (the multi-update delimiters).
+fn parse_one_update(
+    s: &mut Scanner<'_>,
+    var: &str,
+    in_list: bool,
+) -> Result<(UpdateOp, Path), TransformParseError> {
+    let stops: &[u8] = if in_list { b",)" } else { b"" };
+    let op_word = s.word()?;
+    match op_word.as_str() {
+        "insert" => {
+            let elem = s.xml_fragment()?;
+            // `into` | `as first into` | `as last into` | `before` | `after`
+            let pos = if s.try_keyword("into") {
+                InsertPos::LastInto
+            } else if s.try_keyword("as") {
+                let which = s.word()?;
+                let pos = match which.as_str() {
+                    "first" => InsertPos::FirstInto,
+                    "last" => InsertPos::LastInto,
+                    other => {
+                        return Err(err(format!(
+                            "expected 'first' or 'last' after 'as', found '{other}'"
+                        )))
+                    }
+                };
+                s.keyword("into")?;
+                pos
+            } else if s.try_keyword("before") {
+                InsertPos::Before
+            } else if s.try_keyword("after") {
+                InsertPos::After
+            } else {
+                return Err(err(
+                    "expected 'into', 'as first into', 'as last into', 'before' or 'after'",
+                ));
+            };
+            let path = s.update_path(var, stops)?;
+            Ok((UpdateOp::Insert { elem, pos }, path))
+        }
+        "delete" => {
+            let path = s.update_path(var, stops)?;
+            Ok((UpdateOp::Delete, path))
+        }
+        "replace" => {
+            let path = s.update_path(var, b"")?;
+            s.keyword("with")?;
+            let elem = s.xml_fragment()?;
+            Ok((UpdateOp::Replace { elem }, path))
+        }
+        "rename" => {
+            let path = s.update_path(var, b"")?;
+            s.keyword("as")?;
+            let name = s.word()?;
+            Ok((UpdateOp::Rename { name }, path))
+        }
+        other => Err(err(format!("unknown update operation '{other}'"))),
+    }
+}
+
+/// A small hand scanner for the transform wrapper syntax; path and
+/// element payloads are delegated to `xust-xpath` and `xust-tree`.
+struct Scanner<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(input: &'a str) -> Self {
+        Scanner { input, pos: 0 }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.input.len() - trimmed.len();
+    }
+
+    /// Consumes `kw` if present; returns whether it was.
+    fn try_keyword(&mut self, kw: &str) -> bool {
+        let saved = self.pos;
+        if self.keyword(kw).is_ok() {
+            true
+        } else {
+            self.pos = saved;
+            false
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), TransformParseError> {
+        self.skip_ws();
+        if self.rest().starts_with(kw)
+            && !self.rest()[kw.len()..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(err(format!(
+                "expected '{kw}' at …{}",
+                &self.rest()[..self.rest().len().min(30)]
+            )))
+        }
+    }
+
+    fn symbol(&mut self, sym: &str) -> Result<(), TransformParseError> {
+        self.skip_ws();
+        if self.rest().starts_with(sym) {
+            self.pos += sym.len();
+            Ok(())
+        } else {
+            Err(err(format!("expected '{sym}'")))
+        }
+    }
+
+    fn variable(&mut self) -> Result<String, TransformParseError> {
+        self.skip_ws();
+        if !self.rest().starts_with('$') {
+            return Err(err("expected variable"));
+        }
+        self.pos += 1;
+        self.word()
+    }
+
+    fn word(&mut self) -> Result<String, TransformParseError> {
+        self.skip_ws();
+        let end = self
+            .rest()
+            .find(|c: char| !(c.is_alphanumeric() || c == '_' || c == '-'))
+            .unwrap_or(self.rest().len());
+        if end == 0 {
+            return Err(err("expected a name"));
+        }
+        let w = self.rest()[..end].to_string();
+        self.pos += end;
+        Ok(w)
+    }
+
+    fn string_literal(&mut self) -> Result<String, TransformParseError> {
+        self.skip_ws();
+        let quote = self
+            .rest()
+            .chars()
+            .next()
+            .filter(|&c| c == '"' || c == '\'')
+            .ok_or_else(|| err("expected string literal"))?;
+        let body = &self.rest()[1..];
+        let end = body
+            .find(quote)
+            .ok_or_else(|| err("unterminated string literal"))?;
+        let s = body[..end].to_string();
+        self.pos += end + 2;
+        Ok(s)
+    }
+
+    /// Consumes `sym` if present; returns whether it was.
+    fn try_symbol(&mut self, sym: &str) -> bool {
+        let saved = self.pos;
+        if self.symbol(sym).is_ok() {
+            true
+        } else {
+            self.pos = saved;
+            false
+        }
+    }
+
+    /// `$a/p` or `$a//p` — strips the variable and parses the rest as X.
+    /// `stops` are additional single-byte terminators at bracket depth 0
+    /// (the `,`/`)` delimiters of a multi-update list).
+    fn update_path(&mut self, var: &str, stops: &[u8]) -> Result<Path, TransformParseError> {
+        self.skip_ws();
+        let v = self.variable()?;
+        if v != var {
+            return Err(err(format!("path must start with ${var}, found ${v}")));
+        }
+        self.skip_ws();
+        if !self.rest().starts_with('/') {
+            // `$a` alone — ε path (the root itself).
+            return Ok(Path::empty());
+        }
+        // The path extends to the next top-level keyword (`return`,
+        // `with`, `as`) outside quotes and brackets, or a stop byte.
+        let raw = self.scan_until_keyword(&["return", "with", "as"], stops)?;
+        parse_path(raw.trim()).map_err(|e| err(e.to_string()))
+    }
+
+    fn scan_until_keyword(
+        &mut self,
+        keywords: &[&str],
+        stops: &[u8],
+    ) -> Result<&'a str, TransformParseError> {
+        let start = self.pos;
+        let bytes = self.input.as_bytes();
+        let mut i = self.pos;
+        let mut depth = 0usize; // bracket nesting
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\'' | b'"' => {
+                    let q = bytes[i];
+                    i += 1;
+                    while i < bytes.len() && bytes[i] != q {
+                        i += 1;
+                    }
+                }
+                c if depth == 0 && stops.contains(&c) => {
+                    let text = &self.input[start..i];
+                    self.pos = i;
+                    return Ok(text);
+                }
+                b'[' | b'(' => depth += 1,
+                b']' | b')' => depth = depth.saturating_sub(1),
+                c if depth == 0 && (c as char).is_whitespace() => {
+                    // Check whether the next word is one of the keywords.
+                    let rest = self.input[i..].trim_start();
+                    for kw in keywords {
+                        if rest.starts_with(kw)
+                            && !rest[kw.len()..]
+                                .chars()
+                                .next()
+                                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                        {
+                            let text = &self.input[start..i];
+                            self.pos = i;
+                            return Ok(text);
+                        }
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        Err(err(format!(
+            "expected one of {keywords:?} after the path"
+        )))
+    }
+
+    /// A balanced XML fragment (`<name …>…</name>` or `<name …/>`).
+    fn xml_fragment(&mut self) -> Result<Document, TransformParseError> {
+        self.skip_ws();
+        if !self.rest().starts_with('<') {
+            return Err(err("expected an XML element"));
+        }
+        let frag = scan_balanced_xml(self.rest()).ok_or_else(|| err("unbalanced XML element"))?;
+        let doc = Document::parse(frag).map_err(|e| err(e.to_string()))?;
+        self.pos += frag.len();
+        Ok(doc)
+    }
+
+    fn expect_eof(&mut self) -> Result<(), TransformParseError> {
+        self.skip_ws();
+        if self.rest().is_empty() {
+            Ok(())
+        } else {
+            Err(err(format!("trailing input: {}", self.rest())))
+        }
+    }
+}
+
+/// Finds the prefix of `s` that is one balanced XML element, respecting
+/// quoted attribute values.
+fn scan_balanced_xml(s: &str) -> Option<&str> {
+    let bytes = s.as_bytes();
+    let mut i = 0usize;
+    let mut depth = 0usize;
+    while i < bytes.len() {
+        if bytes[i] == b'<' {
+            let closing = bytes.get(i + 1) == Some(&b'/');
+            // scan to '>' respecting quotes
+            let mut j = i + 1;
+            let mut quote: Option<u8> = None;
+            while j < bytes.len() {
+                match (quote, bytes[j]) {
+                    (Some(q), c) if c == q => quote = None,
+                    (Some(_), _) => {}
+                    (None, b'"') | (None, b'\'') => quote = Some(bytes[j]),
+                    (None, b'>') => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if j >= bytes.len() {
+                return None;
+            }
+            let self_closing = bytes[j - 1] == b'/';
+            if closing {
+                depth = depth.checked_sub(1)?;
+            } else if !self_closing {
+                depth += 1;
+            }
+            i = j + 1;
+            if depth == 0 {
+                return Some(&s[..i]);
+            }
+        } else {
+            i += 1;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_delete() {
+        let q = parse_transform(
+            r#"transform copy $a := doc("foo") modify do delete $a//price return $a"#,
+        )
+        .unwrap();
+        assert_eq!(q.var, "a");
+        assert_eq!(q.doc_name, "foo");
+        assert_eq!(q.path.to_string(), "//price");
+        assert!(matches!(q.op, UpdateOp::Delete));
+    }
+
+    #[test]
+    fn parse_insert() {
+        let q = parse_transform(
+            r#"transform copy $a := doc("T") modify do insert <supplier><sname>HP</sname></supplier> into $a//part[pname = 'keyboard'] return $a"#,
+        )
+        .unwrap();
+        match &q.op {
+            UpdateOp::Insert { elem, pos } => {
+                assert_eq!(
+                    elem.serialize(),
+                    "<supplier><sname>HP</sname></supplier>"
+                );
+                assert_eq!(*pos, InsertPos::LastInto);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(q.path.to_string(), "//part[pname = \"keyboard\"]");
+    }
+
+    #[test]
+    fn parse_insert_position_variants() {
+        for (syntax, pos) in [
+            ("into", InsertPos::LastInto),
+            ("as last into", InsertPos::LastInto),
+            ("as first into", InsertPos::FirstInto),
+            ("before", InsertPos::Before),
+            ("after", InsertPos::After),
+        ] {
+            let q = parse_transform(&format!(
+                r#"transform copy $a := doc("T") modify do insert <n/> {syntax} $a//part return $a"#
+            ))
+            .unwrap();
+            match &q.op {
+                UpdateOp::Insert { pos: got, .. } => assert_eq!(*got, pos, "{syntax}"),
+                other => panic!("unexpected {other:?}"),
+            }
+            assert_eq!(q.path.to_string(), "//part", "{syntax}");
+        }
+        // Bad position keywords are rejected.
+        for bad in ["onto", "as middle into", "as first", "besides"] {
+            assert!(
+                parse_transform(&format!(
+                    r#"transform copy $a := doc("T") modify do insert <n/> {bad} $a//part return $a"#
+                ))
+                .is_err(),
+                "accepted '{bad}'"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_replace() {
+        let q = parse_transform(
+            r#"transform copy $a := doc("T") modify do replace $a/part/price with <price>0</price> return $a"#,
+        )
+        .unwrap();
+        assert!(matches!(q.op, UpdateOp::Replace { .. }));
+        assert_eq!(q.path.to_string(), "part/price");
+    }
+
+    #[test]
+    fn parse_rename() {
+        let q = parse_transform(
+            r#"transform copy $a := doc("T") modify do rename $a//supplier as vendor return $a"#,
+        )
+        .unwrap();
+        match &q.op {
+            UpdateOp::Rename { name } => assert_eq!(name, "vendor"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_security_view_example() {
+        // Example 1.1's security view (with or-qualifiers).
+        let q = parse_transform(
+            r#"transform copy $a := doc("foo") modify do delete $a//supplier[country='c1' or country='c2']/price return $a"#,
+        )
+        .unwrap();
+        assert!(matches!(q.op, UpdateOp::Delete));
+        assert!(q.path.to_string().contains("supplier"));
+    }
+
+    #[test]
+    fn parse_epsilon_path() {
+        let q = parse_transform(
+            r#"transform copy $a := doc("T") modify do rename $a as newroot return $a"#,
+        )
+        .unwrap();
+        assert!(q.path.is_empty());
+    }
+
+    #[test]
+    fn keyword_inside_string_not_a_terminator() {
+        let q = parse_transform(
+            r#"transform copy $a := doc("T") modify do delete $a/x[y = ' return with as '] return $a"#,
+        )
+        .unwrap();
+        assert_eq!(q.path.steps.len(), 1);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_transform("nonsense").is_err());
+        assert!(parse_transform(
+            r#"transform copy $a := doc("T") modify do obliterate $a/x return $a"#
+        )
+        .is_err());
+        assert!(parse_transform(
+            r#"transform copy $a := doc("T") modify do delete $b/x return $a"#
+        )
+        .is_err());
+        assert!(parse_transform(
+            r#"transform copy $a := doc("T") modify do delete $a/x return $b"#
+        )
+        .is_err());
+        assert!(parse_transform(
+            r#"transform copy $a := doc("T") modify do insert <a><b></a> into $a/x return $a"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn scan_balanced() {
+        assert_eq!(scan_balanced_xml("<a/> rest"), Some("<a/>"));
+        assert_eq!(scan_balanced_xml("<a><b/></a>tail"), Some("<a><b/></a>"));
+        assert_eq!(
+            scan_balanced_xml(r#"<a x="1>2"><b>t</b></a> into"#),
+            Some(r#"<a x="1>2"><b>t</b></a>"#)
+        );
+        assert_eq!(scan_balanced_xml("<a><b></a>"), None); // never re-balances
+        assert_eq!(scan_balanced_xml("<a><b>"), None);
+    }
+
+    #[test]
+    fn builders() {
+        let p = parse_path("//x").unwrap();
+        let e = Document::parse("<n/>").unwrap();
+        assert_eq!(TransformQuery::insert("d", p.clone(), e.clone()).op.kind(), "insert");
+        assert_eq!(TransformQuery::delete("d", p.clone()).op.kind(), "delete");
+        assert_eq!(TransformQuery::replace("d", p.clone(), e).op.kind(), "replace");
+        assert_eq!(TransformQuery::rename("d", p, "y").op.kind(), "rename");
+    }
+}

@@ -1,0 +1,490 @@
+//! Algorithm `topDown` (Fig. 3) — the Top Down Method of Section 3.3.
+//!
+//! A single recursive pass drives the selecting NFA over the input tree
+//! and produces the transformed output as it goes:
+//!
+//! * empty state set → the subtree cannot be affected, copy it wholesale
+//!   (Fig. 3 lines 2–3 — the pruning that lets topDown touch only the
+//!   necessary part of `T`);
+//! * final state present (with its qualifier satisfied) → the node is in
+//!   `r[[p]]`, apply the update action;
+//! * otherwise recurse into children with the new state set.
+//!
+//! The qualifier oracle `checkp` is a parameter: the **GENTOP** variant
+//! passes native XPath evaluation (`xust_xpath::eval_qualifier`), the
+//! **TD-BU**/twoPass variant passes an O(1) lookup into the `bottomUp`
+//! annotations (Section 5).
+
+use xust_automata::{SelectingNfa, StateSet};
+use xust_tree::{Document, NodeId, NodeKind};
+use xust_xpath::{eval_qualifier, Qualifier};
+
+use crate::query::{InsertPos, TransformQuery, UpdateOp};
+
+/// The `checkp(q, n)` oracle: decides whether the qualifier of path step
+/// `step` holds at node `n`.
+pub type CheckP<'a> = dyn FnMut(&Document, NodeId, usize, &Qualifier) -> bool + 'a;
+
+/// Evaluates `Qt(T)` with the Top Down Method and native qualifier
+/// evaluation — the experiments' **GENTOP**.
+pub fn top_down(doc: &Document, q: &TransformQuery) -> Document {
+    top_down_with(doc, q, &mut |d, n, _step, qual| eval_qualifier(d, n, qual))
+}
+
+/// GENTOP with the empty-state-set subtree pruning (Fig. 3 lines 2–3)
+/// disabled — every node is visited and rebuilt even when the automaton
+/// is dead. Exists only for the `ablation_pruning` bench, which
+/// quantifies how much of topDown's win comes from pruning.
+pub fn top_down_no_prune(doc: &Document, q: &TransformQuery) -> Document {
+    let mut out = Document::with_capacity(doc.arena_len());
+    let Some(root) = doc.root() else {
+        return out;
+    };
+    if q.path.is_empty() {
+        return top_down(doc, q);
+    }
+    let nfa = SelectingNfa::new(&q.path);
+    fn rec(
+        src: &Document,
+        out: &mut Document,
+        nfa: &SelectingNfa,
+        op: &UpdateOp,
+        n: NodeId,
+        s: &StateSet,
+        is_root: bool,
+    ) -> Vec<NodeId> {
+        let label = match src.kind(n) {
+            NodeKind::Text(t) => return vec![out.create_text(t.clone())],
+            NodeKind::Element { name, .. } => name.clone(),
+        };
+        let s_next = nfa.next_states(s, &label, |_, qual| eval_qualifier(src, n, qual));
+        let selected = s_next.contains(nfa.final_state);
+        if selected {
+            match op {
+                UpdateOp::Delete => return Vec::new(),
+                UpdateOp::Replace { elem } => {
+                    return match elem.root() {
+                        Some(r) => vec![out.deep_copy_from(elem, r)],
+                        None => Vec::new(),
+                    }
+                }
+                _ => {}
+            }
+        }
+        let name = match (selected, op) {
+            (true, UpdateOp::Rename { name }) => name.clone(),
+            _ => label,
+        };
+        let node = out.create_element_with_attrs(name, src.attrs(n).to_vec());
+        if selected {
+            if let UpdateOp::Insert {
+                elem,
+                pos: InsertPos::FirstInto,
+            } = op
+            {
+                if let Some(r) = elem.root() {
+                    let copy = out.deep_copy_from(elem, r);
+                    out.append_child(node, copy);
+                }
+            }
+        }
+        let children: Vec<NodeId> = src.children(n).collect();
+        for c in children {
+            // No pruning: recurse even on empty state sets.
+            for p in rec(src, out, nfa, op, c, &s_next, false) {
+                out.append_child(node, p);
+            }
+        }
+        if selected {
+            if let UpdateOp::Insert {
+                elem,
+                pos: InsertPos::LastInto,
+            } = op
+            {
+                if let Some(r) = elem.root() {
+                    let copy = out.deep_copy_from(elem, r);
+                    out.append_child(node, copy);
+                }
+            }
+        }
+        if selected && !is_root {
+            if let UpdateOp::Insert { elem, pos } = op {
+                if pos.is_sibling() {
+                    if let Some(r) = elem.root() {
+                        let copy = out.deep_copy_from(elem, r);
+                        return match pos {
+                            InsertPos::Before => vec![copy, node],
+                            InsertPos::After => vec![node, copy],
+                            _ => unreachable!(),
+                        };
+                    }
+                }
+            }
+        }
+        vec![node]
+    }
+    let produced = rec(doc, &mut out, &nfa, &q.op, root, &nfa.initial(), true);
+    if let Some(&r) = produced.first() {
+        out.set_root(r);
+    }
+    out
+}
+
+/// Evaluates `Qt(T)` with a caller-supplied `checkp` oracle.
+pub fn top_down_with(doc: &Document, q: &TransformQuery, check: &mut CheckP<'_>) -> Document {
+    let mut out = Document::with_capacity(doc.arena_len());
+    let Some(root) = doc.root() else {
+        return out;
+    };
+    // ε path: r[[ε]] = {root} — the automaton has nothing to consume, so
+    // the update applies to the root directly.
+    if q.path.is_empty() {
+        match &q.op {
+            UpdateOp::Delete => return out,
+            UpdateOp::Replace { elem } => {
+                if let Some(e_root) = elem.root() {
+                    let copy = out.deep_copy_from(elem, e_root);
+                    out.set_root(copy);
+                }
+                return out;
+            }
+            UpdateOp::Rename { name } => {
+                let copy = out.deep_copy_from(doc, root);
+                out.rename(copy, name.clone());
+                out.set_root(copy);
+                return out;
+            }
+            UpdateOp::Insert { elem, pos } => {
+                let copy = out.deep_copy_from(doc, root);
+                // Sibling positions are undefined at the root — skip.
+                if !pos.is_sibling() {
+                    if let Some(e_root) = elem.root() {
+                        let e_copy = out.deep_copy_from(elem, e_root);
+                        match pos {
+                            InsertPos::LastInto => out.append_child(copy, e_copy),
+                            InsertPos::FirstInto => out.prepend_child(copy, e_copy),
+                            InsertPos::Before | InsertPos::After => unreachable!(),
+                        }
+                    }
+                }
+                out.set_root(copy);
+                return out;
+            }
+        }
+    }
+    let nfa = SelectingNfa::new(&q.path);
+    let init = nfa.initial();
+    // The root is handled outside `rec` so that sibling inserts (`before`
+    // / `after`) on a selected root are skipped: a document has exactly
+    // one root, so there is no position to put the sibling.
+    let root_label = doc.name(root).expect("root is an element").to_string();
+    let s_next = nfa.next_states(&init, &root_label, |step, qual| check(doc, root, step, qual));
+    if s_next.is_empty() {
+        let copy = out.deep_copy_from(doc, root);
+        out.set_root(copy);
+        return out;
+    }
+    let mut cx = Cx {
+        src: doc,
+        out: &mut out,
+        nfa: &nfa,
+        op: &q.op,
+        check,
+    };
+    let produced = cx.process(root, &s_next);
+    debug_assert!(produced.len() <= 1, "root produces at most one node");
+    if let Some(&new_root) = produced.first() {
+        out.set_root(new_root);
+    }
+    out
+}
+
+struct Cx<'a, 'c> {
+    src: &'a Document,
+    out: &'a mut Document,
+    nfa: &'a SelectingNfa,
+    op: &'a UpdateOp,
+    check: &'a mut CheckP<'c>,
+}
+
+impl Cx<'_, '_> {
+    /// Transforms the subtree rooted at `n`, given the states `s` reached
+    /// at `n`'s *parent*. Returns the produced node(s): none for a
+    /// deleted node, one otherwise.
+    fn rec(&mut self, n: NodeId, s: &StateSet) -> Vec<NodeId> {
+        // Text nodes are never matched by X steps: copy through.
+        let label = match self.src.kind(n) {
+            NodeKind::Text(t) => {
+                let copy = self.out.create_text(t.clone());
+                return vec![copy];
+            }
+            NodeKind::Element { name, .. } => name.clone(),
+        };
+        let src = self.src;
+        let check = &mut *self.check;
+        let s_next = self
+            .nfa
+            .next_states(s, &label, |step, qual| check(src, n, step, qual));
+
+        // Fig. 3 lines 2–3: unaffected subtree — copy unchanged.
+        if s_next.is_empty() {
+            let copy = self.out.deep_copy_from(self.src, n);
+            return vec![copy];
+        }
+        let mut produced = self.process(n, &s_next);
+        // Sibling inserts: `process` is sibling-free (composition resumes
+        // it mid-tree where the siblings belong to the caller), so wrap
+        // the produced node here.
+        if let UpdateOp::Insert { elem, pos } = self.op {
+            if pos.is_sibling() && s_next.contains(self.nfa.final_state) {
+                if let Some(e_root) = elem.root() {
+                    let e_copy = self.out.deep_copy_from(elem, e_root);
+                    match pos {
+                        InsertPos::Before => produced.insert(0, e_copy),
+                        InsertPos::After => produced.push(e_copy),
+                        _ => unreachable!(),
+                    }
+                }
+            }
+        }
+        produced
+    }
+
+    /// The post-transition body of `rec`: transforms `n` given the states
+    /// already reached *at* `n`. Exposed (via [`top_down_subtree`]) for the
+    /// composition algorithm, whose inlined `topDown(Mp, S, Qt, $z)` calls
+    /// resume the automaton mid-document with a compile-time state set.
+    fn process(&mut self, n: NodeId, s_next: &StateSet) -> Vec<NodeId> {
+        let selected = s_next.contains(self.nfa.final_state);
+        if selected {
+            match self.op {
+                UpdateOp::Delete => return Vec::new(),
+                UpdateOp::Replace { elem } => {
+                    let Some(e_root) = elem.root() else {
+                        return Vec::new();
+                    };
+                    let copy = self.out.deep_copy_from(elem, e_root);
+                    return vec![copy];
+                }
+                UpdateOp::Insert { .. } | UpdateOp::Rename { .. } => {
+                    // fall through: children still processed (nested
+                    // matches inside a selected node must be handled).
+                }
+            }
+        }
+
+        let out_name = match (selected, self.op) {
+            (true, UpdateOp::Rename { name }) => name.clone(),
+            _ => self
+                .src
+                .name(n)
+                .expect("process() is called on elements")
+                .to_string(),
+        };
+        let attrs = self.src.attrs(n).to_vec();
+        let new_node = self.out.create_element_with_attrs(out_name, attrs);
+        if selected {
+            if let UpdateOp::Insert {
+                elem,
+                pos: InsertPos::FirstInto,
+            } = self.op
+            {
+                if let Some(e_root) = elem.root() {
+                    let copy = self.out.deep_copy_from(elem, e_root);
+                    self.out.append_child(new_node, copy);
+                }
+            }
+        }
+        let children: Vec<NodeId> = self.src.children(n).collect();
+        for c in children {
+            for produced in self.rec(c, s_next) {
+                self.out.append_child(new_node, produced);
+            }
+        }
+        if selected {
+            if let UpdateOp::Insert {
+                elem,
+                pos: InsertPos::LastInto,
+            } = self.op
+            {
+                if let Some(e_root) = elem.root() {
+                    // Fig. 3 lines 7–8: add e as the last child.
+                    let copy = self.out.deep_copy_from(elem, e_root);
+                    self.out.append_child(new_node, copy);
+                }
+            }
+        }
+        vec![new_node]
+    }
+}
+
+/// Entry point for composition (Section 4): transforms the subtree rooted
+/// at `node`, where `states` are the selecting-NFA states already reached
+/// *at* `node` (after consuming its label on the path from the root).
+/// Returns a document holding zero or one produced roots.
+pub fn top_down_subtree(
+    src: &Document,
+    node: NodeId,
+    nfa: &SelectingNfa,
+    states: &StateSet,
+    q: &TransformQuery,
+) -> Document {
+    let mut out = Document::new();
+    if states.is_empty() {
+        let copy = out.deep_copy_from(src, node);
+        out.set_root(copy);
+        return out;
+    }
+    let mut check: Box<CheckP<'_>> = Box::new(|d, n, _step, qual| eval_qualifier(d, n, qual));
+    let mut cx = Cx {
+        src,
+        out: &mut out,
+        nfa,
+        op: &q.op,
+        check: &mut check,
+    };
+    let produced = cx.process(node, states);
+    if let Some(&r) = produced.first() {
+        out.set_root(r);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::copy_update::copy_update;
+    use xust_tree::docs_eq;
+    use xust_xpath::parse_path;
+
+    fn doc() -> Document {
+        Document::parse(
+            "<db><part><pname>keyboard</pname><supplier><sname>HP</sname><price>12</price></supplier><part><pname>key</pname></part></part><part><pname>mouse</pname><supplier><sname>IBM</sname><price>20</price></supplier></part></db>",
+        )
+        .unwrap()
+    }
+
+    fn agree(q: &TransformQuery) {
+        let d = doc();
+        let expected = copy_update(&d, q);
+        let got = top_down(&d, q);
+        assert!(
+            docs_eq(&expected, &got),
+            "topDown disagrees with copy-update\nexpected: {}\ngot:      {}",
+            expected.serialize(),
+            got.serialize()
+        );
+    }
+
+    #[test]
+    fn delete_matches_baseline() {
+        agree(&TransformQuery::delete("d", parse_path("//price").unwrap()));
+        agree(&TransformQuery::delete("d", parse_path("db/part/supplier").unwrap()));
+        agree(&TransformQuery::delete(
+            "d",
+            parse_path("//part[pname = 'keyboard']//part").unwrap(),
+        ));
+    }
+
+    #[test]
+    fn insert_matches_baseline() {
+        let e = Document::parse("<supplier><sname>New</sname></supplier>").unwrap();
+        agree(&TransformQuery::insert(
+            "d",
+            parse_path("//part[pname = 'keyboard']").unwrap(),
+            e.clone(),
+        ));
+        agree(&TransformQuery::insert("d", parse_path("//part").unwrap(), e));
+    }
+
+    #[test]
+    fn replace_matches_baseline() {
+        let e = Document::parse("<hidden/>").unwrap();
+        agree(&TransformQuery::replace(
+            "d",
+            parse_path("//supplier[price < 15]").unwrap(),
+            e,
+        ));
+    }
+
+    #[test]
+    fn rename_matches_baseline() {
+        agree(&TransformQuery::rename(
+            "d",
+            parse_path("//supplier").unwrap(),
+            "vendor",
+        ));
+    }
+
+    #[test]
+    fn qualifier_checked_at_correct_node() {
+        // Example 3.1's p1: the nested part under keyboard qualifies (no
+        // supplier at all ⇒ both negations hold).
+        let q = TransformQuery::insert(
+            "d",
+            parse_path(
+                "//part[pname = 'keyboard']//part[not(supplier/sname = 'HP') and not(supplier/price < 15)]",
+            )
+            .unwrap(),
+            Document::parse("<supplier><sname>HP</sname></supplier>").unwrap(),
+        );
+        agree(&q);
+        let out = top_down(&doc(), &q);
+        let s = out.serialize();
+        // exactly one insertion: under the nested part
+        assert_eq!(s.matches("<sname>HP</sname></supplier></part>").count(), 1);
+    }
+
+    #[test]
+    fn delete_root() {
+        let q = TransformQuery::delete("d", parse_path("//db").unwrap());
+        let out = top_down(&doc(), &q);
+        assert_eq!(out.root(), None);
+    }
+
+    #[test]
+    fn empty_document() {
+        let q = TransformQuery::delete("d", parse_path("//x").unwrap());
+        let out = top_down(&Document::new(), &q);
+        assert_eq!(out.root(), None);
+    }
+
+    #[test]
+    fn unmatched_path_is_identity() {
+        let d = doc();
+        let q = TransformQuery::delete("d", parse_path("zzz/yyy").unwrap());
+        let out = top_down(&d, &q);
+        assert!(docs_eq(&d, &out));
+    }
+
+    #[test]
+    fn text_preserved_in_mixed_content() {
+        let d = Document::parse("<a>x<b/>y<c/>z</a>").unwrap();
+        let q = TransformQuery::delete("d", parse_path("a/b").unwrap());
+        let out = top_down(&d, &q);
+        assert_eq!(out.serialize(), "<a>xy<c/>z</a>");
+    }
+
+    #[test]
+    fn oracle_call_sites() {
+        // The check oracle must be consulted exactly for candidate steps
+        // with qualifiers, at the right nodes.
+        let d = doc();
+        let q = TransformQuery::delete(
+            "d",
+            parse_path("db/part[pname = 'mouse']/supplier").unwrap(),
+        );
+        let mut consulted = Vec::new();
+        let out = top_down_with(&d, &q, &mut |doc, n, step, qual| {
+            consulted.push((doc.name(n).unwrap().to_string(), step));
+            eval_qualifier(doc, n, qual)
+        });
+        // qualifier on step 1 (part) checked at each top-level part
+        assert_eq!(
+            consulted,
+            vec![("part".to_string(), 1), ("part".to_string(), 1)]
+        );
+        assert!(out.serialize().contains("keyboard"));
+        assert!(!out.serialize().contains("IBM"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Algorithm `twoPass` — `bottomUp` followed by `topDown` (Fig. 10),
+//! the experiments' **TD-BU**.
+//!
+//! After the bottom-up pass annotates every relevant node with qualifier
+//! truth values, `checkp(q, n)` in the top-down pass is a constant-time
+//! lookup, making the whole transform O(|T|·|p|²) combined and linear in
+//! |T| — the paper's optimality argument (two passes are necessary for
+//! evaluating the embedded XPath alone, per Koch \[19\]).
+
+use xust_tree::Document;
+
+use crate::bottomup::bottom_up;
+use crate::query::TransformQuery;
+use crate::topdown::top_down_with;
+
+/// Evaluates `Qt(T)` with the two-pass method.
+pub fn two_pass(doc: &Document, q: &TransformQuery) -> Document {
+    // Pass 1 (Fig. 10 lines 1–3): filtering NFA + qualifier annotation.
+    let ann = bottom_up(doc, &q.path);
+    // Pass 2 (lines 4–6): selecting NFA with O(1) checkp.
+    top_down_with(doc, q, &mut |_, n, step, _| ann.check(n, step))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::copy_update::copy_update;
+    use crate::query::UpdateOp;
+    use xust_tree::docs_eq;
+    use xust_xpath::parse_path;
+
+    fn doc() -> Document {
+        Document::parse(
+            "<db><part><pname>keyboard</pname><supplier><sname>HP</sname><price>12</price></supplier><part><pname>key</pname></part></part><part><pname>mouse</pname><supplier><sname>IBM</sname><price>20</price></supplier></part></db>",
+        )
+        .unwrap()
+    }
+
+    fn agree(q: &TransformQuery) {
+        let d = doc();
+        let expected = copy_update(&d, q);
+        let got = two_pass(&d, q);
+        assert!(
+            docs_eq(&expected, &got),
+            "twoPass disagrees with copy-update for {} {}\nexpected: {}\ngot:      {}",
+            q.op.kind(),
+            q.path,
+            expected.serialize(),
+            got.serialize()
+        );
+    }
+
+    #[test]
+    fn all_ops_match_baseline() {
+        let e = Document::parse("<mark/>").unwrap();
+        for path in [
+            "//price",
+            "db/part/supplier",
+            "//part[pname = 'keyboard']//part",
+            "//supplier[price < 15]",
+            "//part[not(supplier/sname = 'HP') and not(supplier/price < 15)]",
+            "db/part[supplier/sname = 'IBM']/pname",
+            "//part[pname = 'keyboard' or pname = 'mouse']",
+            "zzz/nothing",
+        ] {
+            let p = parse_path(path).unwrap();
+            agree(&TransformQuery::delete("d", p.clone()));
+            agree(&TransformQuery::insert("d", p.clone(), e.clone()));
+            agree(&TransformQuery::replace("d", p.clone(), e.clone()));
+            agree(&TransformQuery::rename("d", p, "renamed"));
+        }
+    }
+
+    #[test]
+    fn paper_example_32() {
+        // Example 3.2: insert supplier HP into every part selected by p1.
+        let q = TransformQuery::insert(
+            "d",
+            parse_path(
+                "//part[pname = 'keyboard']//part[not(supplier/sname = 'HP') and not(supplier/price < 15)]",
+            )
+            .unwrap(),
+            Document::parse("<supplier><sname>HP</sname></supplier>").unwrap(),
+        );
+        let out = two_pass(&doc(), &q);
+        // Only the nested part (no supplier) qualifies.
+        assert_eq!(
+            out.serialize(),
+            "<db><part><pname>keyboard</pname><supplier><sname>HP</sname><price>12</price></supplier><part><pname>key</pname><supplier><sname>HP</sname></supplier></part></part><part><pname>mouse</pname><supplier><sname>IBM</sname><price>20</price></supplier></part></db>"
+        );
+    }
+
+    #[test]
+    fn epsilon_path() {
+        let q = TransformQuery::rename("d", xust_xpath::Path::empty(), "root2");
+        let out = two_pass(&doc(), &q);
+        assert!(out.serialize().starts_with("<root2>"));
+    }
+
+    #[test]
+    fn security_view_example_11() {
+        // Example 1.1: delete //supplier[country=…]/price as a security
+        // view.
+        let d = Document::parse(
+            "<db><part><supplier><price>9</price><country>c1</country></supplier><supplier><price>8</price><country>ok</country></supplier></part></db>",
+        )
+        .unwrap();
+        let q = TransformQuery::delete(
+            "d",
+            parse_path("//supplier[country = 'c1']/price").unwrap(),
+        );
+        let out = two_pass(&d, &q);
+        let expected = copy_update(&d, &q);
+        assert!(docs_eq(&expected, &out));
+        assert_eq!(out.serialize().matches("<price>").count(), 1);
+        assert!(out.serialize().contains("<price>8</price>"));
+    }
+
+    #[test]
+    fn matches_on_update_kind(){
+        assert_eq!(UpdateOp::Delete.kind(), "delete");
+    }
+}

@@ -1,0 +1,110 @@
+use std::fmt;
+
+/// Errors raised while parsing or writing XML at the event level.
+#[derive(Debug)]
+pub enum SaxError {
+    /// Malformed markup at the given byte offset.
+    Syntax {
+        /// Byte offset in the input.
+        offset: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// End tag does not match the innermost open start tag.
+    MismatchedTag {
+        /// Byte offset of the end tag.
+        offset: usize,
+        /// The innermost open element name.
+        expected: String,
+        /// The end-tag name actually found.
+        found: String,
+    },
+    /// Input ended while markup was still open.
+    UnexpectedEof {
+        /// Byte offset where input ended.
+        offset: usize,
+    },
+    /// The document nests deeper than the configured limit.
+    TooDeep {
+        /// The configured depth limit.
+        limit: usize,
+    },
+    /// An underlying I/O error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for SaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SaxError::Syntax { offset, message } => {
+                write!(f, "XML syntax error at byte {offset}: {message}")
+            }
+            SaxError::MismatchedTag {
+                offset,
+                expected,
+                found,
+            } => write!(
+                f,
+                "mismatched end tag at byte {offset}: expected </{expected}>, found </{found}>"
+            ),
+            SaxError::UnexpectedEof { offset } => {
+                write!(f, "unexpected end of input at byte {offset}")
+            }
+            SaxError::TooDeep { limit } => {
+                write!(f, "document exceeds nesting depth limit of {limit}")
+            }
+            SaxError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SaxError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SaxError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SaxError {
+    fn from(e: std::io::Error) -> Self {
+        SaxError::Io(e)
+    }
+}
+
+/// Result alias for SAX-level operations.
+pub type SaxResult<T> = Result<T, SaxError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SaxError::Syntax {
+            offset: 5,
+            message: "bad tag".into(),
+        };
+        assert!(e.to_string().contains("byte 5"));
+        let e = SaxError::MismatchedTag {
+            offset: 1,
+            expected: "a".into(),
+            found: "b".into(),
+        };
+        assert!(e.to_string().contains("</a>"));
+        assert!(e.to_string().contains("</b>"));
+        let e = SaxError::UnexpectedEof { offset: 9 };
+        assert!(e.to_string().contains("byte 9"));
+        let e = SaxError::TooDeep { limit: 3 };
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn io_conversion() {
+        let io = std::io::Error::other("boom");
+        let e: SaxError = io.into();
+        assert!(matches!(e, SaxError::Io(_)));
+        assert!(e.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Entity escaping and unescaping for XML character data.
+
+/// Escapes text content: `&`, `<`, `>` become entity references.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_text_into(s, &mut out);
+    out
+}
+
+/// Escapes text content, appending to an existing buffer (avoids an
+/// allocation per call on hot serialization paths).
+pub fn escape_text_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Escapes an attribute value (double-quote delimited).
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_attr_into(s, &mut out);
+    out
+}
+
+/// Escapes an attribute value, appending to an existing buffer.
+pub fn escape_attr_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Resolves the five predefined entities and numeric character references.
+///
+/// Unknown entities are left verbatim (lenient mode), matching the
+/// behaviour of most streaming parsers when no DTD is available.
+pub fn unescape(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'&' {
+            if let Some(semi) = s[i..].find(';').map(|p| i + p) {
+                let entity = &s[i + 1..semi];
+                if let Some(c) = resolve_entity(entity) {
+                    out.push(c);
+                    i = semi + 1;
+                    continue;
+                }
+            }
+            out.push('&');
+            i += 1;
+        } else {
+            // Copy the full UTF-8 character.
+            let ch_len = utf8_len(bytes[i]);
+            out.push_str(&s[i..i + ch_len]);
+            i += ch_len;
+        }
+    }
+    out
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+fn resolve_entity(entity: &str) -> Option<char> {
+    match entity {
+        "amp" => Some('&'),
+        "lt" => Some('<'),
+        "gt" => Some('>'),
+        "quot" => Some('"'),
+        "apos" => Some('\''),
+        _ => {
+            let rest = entity.strip_prefix('#')?;
+            let code = if let Some(hex) = rest.strip_prefix('x').or(rest.strip_prefix('X')) {
+                u32::from_str_radix(hex, 16).ok()?
+            } else {
+                rest.parse::<u32>().ok()?
+            };
+            char::from_u32(code)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_text_basic() {
+        assert_eq!(escape_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+        assert_eq!(escape_text("plain"), "plain");
+    }
+
+    #[test]
+    fn escape_attr_quotes() {
+        assert_eq!(escape_attr(r#"he said "hi"'s"#), "he said &quot;hi&quot;&apos;s");
+    }
+
+    #[test]
+    fn unescape_predefined() {
+        assert_eq!(unescape("a&lt;b&amp;c&gt;d&quot;&apos;"), "a<b&c>d\"'");
+    }
+
+    #[test]
+    fn unescape_numeric() {
+        assert_eq!(unescape("&#65;&#x42;&#x63;"), "ABc");
+    }
+
+    #[test]
+    fn unescape_unknown_entity_left_verbatim() {
+        assert_eq!(unescape("&nbsp;x"), "&nbsp;x");
+        assert_eq!(unescape("a & b"), "a & b");
+    }
+
+    #[test]
+    fn unescape_no_amp_fast_path() {
+        assert_eq!(unescape("nothing here"), "nothing here");
+    }
+
+    #[test]
+    fn unescape_multibyte_passthrough() {
+        assert_eq!(unescape("héllo&amp;wörld"), "héllo&wörld");
+    }
+
+    #[test]
+    fn roundtrip() {
+        let original = "x < y && z > \"w\" 'v'";
+        assert_eq!(unescape(&escape_attr(original)), original);
+        assert_eq!(unescape(&escape_text(original)), original);
+    }
+}

@@ -1,0 +1,77 @@
+/// A SAX event, as in Section 6 of the paper.
+///
+/// Attribute values and text content are stored unescaped (entity
+/// references already resolved); the [`crate::SaxWriter`] re-escapes them
+/// on output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SaxEvent {
+    /// Emitted once before any other event.
+    StartDocument,
+    /// The start tag of an element, with its attributes in document order.
+    StartElement {
+        /// Element name.
+        name: String,
+        /// Attributes in document order.
+        attrs: Vec<(String, String)>,
+    },
+    /// A run of character data (PCDATA or CDATA).
+    Text(String),
+    /// The end tag of the element with the given name.
+    EndElement(String),
+    /// Emitted once after the root element closes.
+    EndDocument,
+}
+
+impl SaxEvent {
+    /// Convenience constructor for a start element without attributes.
+    pub fn start(name: impl Into<String>) -> Self {
+        SaxEvent::StartElement {
+            name: name.into(),
+            attrs: Vec::new(),
+        }
+    }
+
+    /// Convenience constructor for an end element.
+    pub fn end(name: impl Into<String>) -> Self {
+        SaxEvent::EndElement(name.into())
+    }
+
+    /// Convenience constructor for a text event.
+    pub fn text(t: impl Into<String>) -> Self {
+        SaxEvent::Text(t.into())
+    }
+
+    /// Returns the element name for start/end element events.
+    pub fn element_name(&self) -> Option<&str> {
+        match self {
+            SaxEvent::StartElement { name, .. } | SaxEvent::EndElement(name) => Some(name),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(
+            SaxEvent::start("a"),
+            SaxEvent::StartElement {
+                name: "a".into(),
+                attrs: vec![]
+            }
+        );
+        assert_eq!(SaxEvent::end("a"), SaxEvent::EndElement("a".into()));
+        assert_eq!(SaxEvent::text("x"), SaxEvent::Text("x".into()));
+    }
+
+    #[test]
+    fn element_name() {
+        assert_eq!(SaxEvent::start("a").element_name(), Some("a"));
+        assert_eq!(SaxEvent::end("b").element_name(), Some("b"));
+        assert_eq!(SaxEvent::text("t").element_name(), None);
+        assert_eq!(SaxEvent::StartDocument.element_name(), None);
+    }
+}

@@ -1,0 +1,739 @@
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufReader, Read};
+use std::path::Path;
+
+use crate::error::{SaxError, SaxResult};
+use crate::escape::unescape;
+use crate::event::SaxEvent;
+
+/// Default limit on element nesting depth, to protect the recursive
+/// consumers elsewhere in the workspace from stack exhaustion.
+pub const DEFAULT_DEPTH_LIMIT: usize = 4096;
+
+const CHUNK: usize = 64 * 1024;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    NotStarted,
+    InDocument,
+    AfterRoot,
+    Done,
+}
+
+/// A pull-based streaming XML parser.
+///
+/// The parser reads from any [`Read`] source incrementally; its memory use
+/// is bounded by the size of the largest single token (tag or text run),
+/// not by the document size. This property underpins the paper's
+/// `twoPassSAX` algorithm (Section 6), whose memory footprint must stay
+/// independent of |T|.
+pub struct SaxParser<R: Read> {
+    src: R,
+    buf: Vec<u8>,
+    /// Read position within `buf`.
+    pos: usize,
+    /// Number of valid bytes in `buf`.
+    len: usize,
+    /// Global byte offset of `buf[0]` in the input.
+    base: usize,
+    eof: bool,
+    state: State,
+    stack: Vec<String>,
+    pending: VecDeque<SaxEvent>,
+    depth_limit: usize,
+}
+
+impl SaxParser<BufReader<File>> {
+    /// Opens a file for streaming parsing.
+    pub fn from_file(path: impl AsRef<Path>) -> SaxResult<Self> {
+        Ok(Self::from_reader(BufReader::new(File::open(path)?)))
+    }
+}
+
+impl SaxParser<std::io::Cursor<Vec<u8>>> {
+    /// Parses an in-memory string.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(s: &str) -> Self {
+        Self::from_reader(std::io::Cursor::new(s.as_bytes().to_vec()))
+    }
+
+    /// Parses an in-memory byte buffer.
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        Self::from_reader(std::io::Cursor::new(bytes))
+    }
+}
+
+impl<R: Read> SaxParser<R> {
+    /// Wraps an arbitrary reader.
+    pub fn from_reader(src: R) -> Self {
+        SaxParser {
+            src,
+            buf: Vec::with_capacity(CHUNK),
+            pos: 0,
+            len: 0,
+            base: 0,
+            eof: false,
+            state: State::NotStarted,
+            stack: Vec::new(),
+            pending: VecDeque::new(),
+            depth_limit: DEFAULT_DEPTH_LIMIT,
+        }
+    }
+
+    /// Overrides the nesting-depth limit.
+    pub fn with_depth_limit(mut self, limit: usize) -> Self {
+        self.depth_limit = limit;
+        self
+    }
+
+    /// Current element nesting depth (number of open elements).
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    fn offset(&self) -> usize {
+        self.base + self.pos
+    }
+
+    /// Ensures at least `n` unread bytes are buffered, unless EOF.
+    fn ensure(&mut self, n: usize) -> SaxResult<bool> {
+        while self.len - self.pos < n && !self.eof {
+            self.fill()?;
+        }
+        Ok(self.len - self.pos >= n)
+    }
+
+    fn fill(&mut self) -> SaxResult<()> {
+        // Compact: drop consumed prefix so the buffer does not grow with
+        // the document.
+        if self.pos > 0 {
+            self.buf.copy_within(self.pos..self.len, 0);
+            self.len -= self.pos;
+            self.base += self.pos;
+            self.pos = 0;
+        }
+        if self.buf.len() < self.len + CHUNK {
+            self.buf.resize(self.len + CHUNK, 0);
+        }
+        let n = self.src.read(&mut self.buf[self.len..])?;
+        if n == 0 {
+            self.eof = true;
+        }
+        self.len += n;
+        Ok(())
+    }
+
+    fn peek(&mut self) -> SaxResult<Option<u8>> {
+        if self.ensure(1)? {
+            Ok(Some(self.buf[self.pos]))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Finds `needle` in the unread buffer starting at `self.pos + from`,
+    /// reading more input as required. Returns the index relative to
+    /// `self.pos`.
+    fn find(&mut self, needle: &[u8], from: usize) -> SaxResult<usize> {
+        let mut search_from = from;
+        loop {
+            let hay = &self.buf[self.pos..self.len];
+            if hay.len() >= needle.len() {
+                let window_start = search_from.saturating_sub(needle.len() - 1);
+                for i in window_start..=hay.len() - needle.len() {
+                    if &hay[i..i + needle.len()] == needle {
+                        return Ok(i);
+                    }
+                }
+            }
+            if self.eof {
+                return Err(SaxError::UnexpectedEof {
+                    offset: self.base + self.len,
+                });
+            }
+            search_from = (self.len - self.pos).max(from);
+            self.fill()?;
+        }
+    }
+
+    /// Main pull interface: returns the next event, or `None` after
+    /// `EndDocument` has been delivered.
+    pub fn next_event(&mut self) -> SaxResult<Option<SaxEvent>> {
+        if let Some(ev) = self.pending.pop_front() {
+            return Ok(Some(ev));
+        }
+        match self.state {
+            State::NotStarted => {
+                self.state = State::InDocument;
+                Ok(Some(SaxEvent::StartDocument))
+            }
+            State::Done => Ok(None),
+            State::AfterRoot => {
+                self.skip_misc()?;
+                if self.peek()?.is_some() {
+                    return Err(SaxError::Syntax {
+                        offset: self.offset(),
+                        message: "content after root element".into(),
+                    });
+                }
+                self.state = State::Done;
+                Ok(Some(SaxEvent::EndDocument))
+            }
+            State::InDocument => self.next_in_document(),
+        }
+    }
+
+    fn next_in_document(&mut self) -> SaxResult<Option<SaxEvent>> {
+        loop {
+            if self.stack.is_empty() {
+                // Before the root element: skip prolog and whitespace.
+                self.skip_misc()?;
+            }
+            let Some(b) = self.peek()? else {
+                return Err(SaxError::UnexpectedEof {
+                    offset: self.offset(),
+                });
+            };
+            if b != b'<' {
+                return self.parse_text().map(Some);
+            }
+            // Markup.
+            if !self.ensure(2)? {
+                return Err(SaxError::UnexpectedEof {
+                    offset: self.offset(),
+                });
+            }
+            match self.buf[self.pos + 1] {
+                b'/' => return self.parse_end_tag().map(Some),
+                b'?' => {
+                    self.skip_pi()?;
+                }
+                b'!' => {
+                    if self.lookahead(b"<!--")? {
+                        self.skip_comment()?;
+                    } else if self.lookahead(b"<![CDATA[")? {
+                        return self.parse_cdata().map(Some);
+                    } else {
+                        self.skip_doctype()?;
+                    }
+                }
+                _ => return self.parse_start_tag().map(Some),
+            }
+        }
+    }
+
+    fn lookahead(&mut self, prefix: &[u8]) -> SaxResult<bool> {
+        if !self.ensure(prefix.len())? {
+            return Ok(false);
+        }
+        Ok(&self.buf[self.pos..self.pos + prefix.len()] == prefix)
+    }
+
+    fn skip_misc(&mut self) -> SaxResult<()> {
+        loop {
+            while let Some(b) = self.peek()? {
+                if b.is_ascii_whitespace() {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            if self.lookahead(b"<?")? {
+                self.skip_pi()?;
+            } else if self.lookahead(b"<!--")? {
+                self.skip_comment()?;
+            } else if self.lookahead(b"<!DOCTYPE")? {
+                self.skip_doctype()?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_pi(&mut self) -> SaxResult<()> {
+        let end = self.find(b"?>", 2)?;
+        self.pos += end + 2;
+        Ok(())
+    }
+
+    fn skip_comment(&mut self) -> SaxResult<()> {
+        let end = self.find(b"-->", 4)?;
+        self.pos += end + 3;
+        Ok(())
+    }
+
+    fn skip_doctype(&mut self) -> SaxResult<()> {
+        // Scan to the matching '>' accounting for an optional internal
+        // subset delimited by brackets.
+        let mut depth = 0usize;
+        let mut i = 0usize;
+        loop {
+            if self.pos + i >= self.len {
+                if self.eof {
+                    return Err(SaxError::UnexpectedEof {
+                        offset: self.offset(),
+                    });
+                }
+                self.fill()?;
+                continue;
+            }
+            match self.buf[self.pos + i] {
+                b'[' => depth += 1,
+                b']' => depth = depth.saturating_sub(1),
+                b'>' if depth == 0 => {
+                    self.pos += i + 1;
+                    return Ok(());
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    fn parse_text(&mut self) -> SaxResult<SaxEvent> {
+        let mut text = String::new();
+        loop {
+            // Collect bytes up to the next '<' (or EOF, which is an error
+            // because an element is still open).
+            let mut i = 0usize;
+            let mut found = false;
+            loop {
+                if self.pos + i >= self.len {
+                    if self.eof {
+                        break;
+                    }
+                    self.fill()?;
+                    continue;
+                }
+                if self.buf[self.pos + i] == b'<' {
+                    found = true;
+                    break;
+                }
+                i += 1;
+            }
+            let raw = std::str::from_utf8(&self.buf[self.pos..self.pos + i]).map_err(|_| {
+                SaxError::Syntax {
+                    offset: self.offset(),
+                    message: "invalid UTF-8 in text".into(),
+                }
+            })?;
+            text.push_str(&unescape(raw));
+            self.pos += i;
+            if !found {
+                return Err(SaxError::UnexpectedEof {
+                    offset: self.offset(),
+                });
+            }
+            // Merge adjacent CDATA into this text event so consumers see
+            // one text node per run of character data.
+            if self.lookahead(b"<![CDATA[")? {
+                self.pos += 9;
+                let end = self.find(b"]]>", 0)?;
+                let raw = std::str::from_utf8(&self.buf[self.pos..self.pos + end])
+                    .map_err(|_| SaxError::Syntax {
+                        offset: self.offset(),
+                        message: "invalid UTF-8 in CDATA".into(),
+                    })?
+                    .to_string();
+                text.push_str(&raw);
+                self.pos += end + 3;
+            } else {
+                return Ok(SaxEvent::Text(text));
+            }
+        }
+    }
+
+    fn parse_cdata(&mut self) -> SaxResult<SaxEvent> {
+        self.pos += 9; // <![CDATA[
+        let end = self.find(b"]]>", 0)?;
+        let raw = std::str::from_utf8(&self.buf[self.pos..self.pos + end])
+            .map_err(|_| SaxError::Syntax {
+                offset: self.offset(),
+                message: "invalid UTF-8 in CDATA".into(),
+            })?
+            .to_string();
+        self.pos += end + 3;
+        Ok(SaxEvent::Text(raw))
+    }
+
+    fn parse_end_tag(&mut self) -> SaxResult<SaxEvent> {
+        let start_offset = self.offset();
+        let close = self.find(b">", 2)?;
+        let raw = std::str::from_utf8(&self.buf[self.pos + 2..self.pos + close]).map_err(|_| {
+            SaxError::Syntax {
+                offset: start_offset,
+                message: "invalid UTF-8 in end tag".into(),
+            }
+        })?;
+        // `</a >` is legal; `</ a>` is not.
+        if raw.starts_with(|c: char| c.is_ascii_whitespace()) {
+            return Err(SaxError::Syntax {
+                offset: start_offset,
+                message: "whitespace before end-tag name".into(),
+            });
+        }
+        let name = raw.trim_end().to_string();
+        if !is_valid_xml_name(&name) {
+            return Err(SaxError::Syntax {
+                offset: start_offset,
+                message: format!("invalid end-tag name '{name}'"),
+            });
+        }
+        self.pos += close + 1;
+        match self.stack.pop() {
+            Some(open) if open == name => {}
+            Some(open) => {
+                return Err(SaxError::MismatchedTag {
+                    offset: start_offset,
+                    expected: open,
+                    found: name,
+                })
+            }
+            None => {
+                return Err(SaxError::Syntax {
+                    offset: start_offset,
+                    message: format!("end tag </{name}> with no open element"),
+                })
+            }
+        }
+        if self.stack.is_empty() {
+            self.state = State::AfterRoot;
+        }
+        Ok(SaxEvent::EndElement(name))
+    }
+
+    /// Scans a start tag to its closing `>`, honouring quoted attribute
+    /// values (which may legally contain `>`), then parses name and
+    /// attributes.
+    fn parse_start_tag(&mut self) -> SaxResult<SaxEvent> {
+        let start_offset = self.offset();
+        let mut i = 1usize; // skip '<'
+        let mut quote: Option<u8> = None;
+        let close;
+        loop {
+            if self.pos + i >= self.len {
+                if self.eof {
+                    return Err(SaxError::UnexpectedEof {
+                        offset: self.offset(),
+                    });
+                }
+                self.fill()?;
+                continue;
+            }
+            let b = self.buf[self.pos + i];
+            match quote {
+                Some(q) if b == q => quote = None,
+                Some(_) => {}
+                None if b == b'"' || b == b'\'' => quote = Some(b),
+                None if b == b'>' => {
+                    close = i;
+                    break;
+                }
+                None => {}
+            }
+            i += 1;
+        }
+        let tag = std::str::from_utf8(&self.buf[self.pos + 1..self.pos + close])
+            .map_err(|_| SaxError::Syntax {
+                offset: start_offset,
+                message: "invalid UTF-8 in start tag".into(),
+            })?
+            .to_string();
+        self.pos += close + 1;
+
+        let (body, self_closing) = match tag.strip_suffix('/') {
+            Some(b) => (b, true),
+            None => (tag.as_str(), false),
+        };
+        let (name, attrs) = parse_tag_body(body, start_offset)?;
+        if name.is_empty() {
+            return Err(SaxError::Syntax {
+                offset: start_offset,
+                message: "empty element name".into(),
+            });
+        }
+        if self_closing {
+            self.pending.push_back(SaxEvent::EndElement(name.clone()));
+            if self.stack.is_empty() {
+                self.state = State::AfterRoot;
+            }
+        } else {
+            if self.stack.len() >= self.depth_limit {
+                return Err(SaxError::TooDeep {
+                    limit: self.depth_limit,
+                });
+            }
+            self.stack.push(name.clone());
+        }
+        Ok(SaxEvent::StartElement { name, attrs })
+    }
+
+    /// Drains the remaining events into a vector (useful in tests).
+    pub fn collect_events(mut self) -> SaxResult<Vec<SaxEvent>> {
+        let mut out = Vec::new();
+        while let Some(ev) = self.next_event()? {
+            out.push(ev);
+        }
+        Ok(out)
+    }
+}
+
+/// Is `name` a well-formed XML element/attribute name? (Name-start char
+/// followed by name chars; ASCII-centric with alphabetic Unicode allowed,
+/// matching the subset the rest of the library emits.)
+pub(crate) fn is_valid_xml_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_alphanumeric() || matches!(c, '-' | '.' | '_' | ':'))
+}
+
+/// Parses `name attr="v" …` from the interior of a start tag.
+fn parse_tag_body(body: &str, offset: usize) -> SaxResult<(String, Vec<(String, String)>)> {
+    // XML requires the name to follow `<` immediately: `< a/>` is not a tag.
+    if body.starts_with(|c: char| c.is_ascii_whitespace()) {
+        return Err(SaxError::Syntax {
+            offset,
+            message: "whitespace before element name".into(),
+        });
+    }
+    let body = body.trim_end();
+    let name_end = body
+        .find(|c: char| c.is_ascii_whitespace())
+        .unwrap_or(body.len());
+    let name = body[..name_end].to_string();
+    if !is_valid_xml_name(&name) {
+        return Err(SaxError::Syntax {
+            offset,
+            message: format!("invalid element name '{name}'"),
+        });
+    }
+    let mut attrs = Vec::new();
+    let rest = &body[name_end..];
+    let bytes = rest.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            break;
+        }
+        let key_start = i;
+        while i < bytes.len() && bytes[i] != b'=' && !bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let key = rest[key_start..i].to_string();
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= bytes.len() || bytes[i] != b'=' {
+            return Err(SaxError::Syntax {
+                offset,
+                message: format!("attribute '{key}' missing '='"),
+            });
+        }
+        i += 1; // '='
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= bytes.len() || (bytes[i] != b'"' && bytes[i] != b'\'') {
+            return Err(SaxError::Syntax {
+                offset,
+                message: format!("attribute '{key}' value must be quoted"),
+            });
+        }
+        let q = bytes[i];
+        i += 1;
+        let val_start = i;
+        while i < bytes.len() && bytes[i] != q {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            return Err(SaxError::Syntax {
+                offset,
+                message: format!("attribute '{key}' has unterminated value"),
+            });
+        }
+        let value = unescape(&rest[val_start..i]);
+        i += 1; // closing quote
+        attrs.push((key, value));
+    }
+    Ok((name, attrs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(xml: &str) -> Vec<SaxEvent> {
+        SaxParser::from_str(xml).collect_events().unwrap()
+    }
+
+    #[test]
+    fn minimal_document() {
+        assert_eq!(
+            events("<a/>"),
+            vec![
+                SaxEvent::StartDocument,
+                SaxEvent::start("a"),
+                SaxEvent::end("a"),
+                SaxEvent::EndDocument
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_with_text() {
+        assert_eq!(
+            events("<a><b>hi</b></a>"),
+            vec![
+                SaxEvent::StartDocument,
+                SaxEvent::start("a"),
+                SaxEvent::start("b"),
+                SaxEvent::text("hi"),
+                SaxEvent::end("b"),
+                SaxEvent::end("a"),
+                SaxEvent::EndDocument
+            ]
+        );
+    }
+
+    #[test]
+    fn attributes_double_and_single_quotes() {
+        let evs = events(r#"<a x="1" y='two'/>"#);
+        assert_eq!(
+            evs[1],
+            SaxEvent::StartElement {
+                name: "a".into(),
+                attrs: vec![("x".into(), "1".into()), ("y".into(), "two".into())]
+            }
+        );
+    }
+
+    #[test]
+    fn attribute_value_with_gt_and_entities() {
+        let evs = events(r#"<a x="p>q" y="a&amp;b"/>"#);
+        assert_eq!(
+            evs[1],
+            SaxEvent::StartElement {
+                name: "a".into(),
+                attrs: vec![("x".into(), "p>q".into()), ("y".into(), "a&b".into())]
+            }
+        );
+    }
+
+    #[test]
+    fn prolog_doctype_comments_skipped() {
+        let xml = "<?xml version=\"1.0\"?><!DOCTYPE a [<!ELEMENT a ANY>]><!-- c --><a><!-- inner -->t</a>";
+        assert_eq!(
+            events(xml),
+            vec![
+                SaxEvent::StartDocument,
+                SaxEvent::start("a"),
+                SaxEvent::text("t"),
+                SaxEvent::end("a"),
+                SaxEvent::EndDocument
+            ]
+        );
+    }
+
+    #[test]
+    fn cdata_is_text() {
+        let evs = events("<a><![CDATA[x < y & z]]></a>");
+        assert_eq!(evs[2], SaxEvent::text("x < y & z"));
+    }
+
+    #[test]
+    fn cdata_merges_with_adjacent_text() {
+        let evs = events("<a>pre<![CDATA[<mid>]]>post</a>");
+        assert_eq!(evs[2], SaxEvent::text("pre<mid>post"));
+    }
+
+    #[test]
+    fn entities_in_text() {
+        let evs = events("<a>1 &lt; 2 &amp;&amp; 3 &gt; 2</a>");
+        assert_eq!(evs[2], SaxEvent::text("1 < 2 && 3 > 2"));
+    }
+
+    #[test]
+    fn mismatched_tag_rejected() {
+        let err = SaxParser::from_str("<a><b></a></b>").collect_events();
+        assert!(matches!(err, Err(SaxError::MismatchedTag { .. })));
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let err = SaxParser::from_str("<a><b>text").collect_events();
+        assert!(matches!(err, Err(SaxError::UnexpectedEof { .. })));
+    }
+
+    #[test]
+    fn content_after_root_rejected() {
+        let err = SaxParser::from_str("<a/><b/>").collect_events();
+        assert!(matches!(err, Err(SaxError::Syntax { .. })));
+    }
+
+    #[test]
+    fn unquoted_attribute_rejected() {
+        let err = SaxParser::from_str("<a x=1/>").collect_events();
+        assert!(matches!(err, Err(SaxError::Syntax { .. })));
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        let xml = "<a><a><a><a/></a></a></a>";
+        let err = SaxParser::from_str(xml)
+            .with_depth_limit(2)
+            .collect_events();
+        assert!(matches!(err, Err(SaxError::TooDeep { limit: 2 })));
+    }
+
+    #[test]
+    fn whitespace_between_elements_preserved() {
+        let evs = events("<a> <b/> </a>");
+        assert_eq!(evs[2], SaxEvent::text(" "));
+        assert_eq!(evs[5], SaxEvent::text(" "));
+    }
+
+    #[test]
+    fn small_chunks_streaming() {
+        // Force many tiny reads to exercise buffer refills across token
+        // boundaries.
+        struct OneByte<'a>(&'a [u8], usize);
+        impl Read for OneByte<'_> {
+            fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+                if self.1 >= self.0.len() {
+                    return Ok(0);
+                }
+                out[0] = self.0[self.1];
+                self.1 += 1;
+                Ok(1)
+            }
+        }
+        let xml = r#"<root a="v"><x>some text &amp; more</x><y/><!-- c --><z>t</z></root>"#;
+        let evs = SaxParser::from_reader(OneByte(xml.as_bytes(), 0))
+            .collect_events()
+            .unwrap();
+        let direct = events(xml);
+        assert_eq!(evs, direct);
+    }
+
+    #[test]
+    fn depth_tracking() {
+        let mut p = SaxParser::from_str("<a><b/></a>");
+        assert_eq!(p.depth(), 0);
+        p.next_event().unwrap(); // StartDocument
+        p.next_event().unwrap(); // <a>
+        assert_eq!(p.depth(), 1);
+    }
+
+    #[test]
+    fn multibyte_text() {
+        let evs = events("<a>héllo wörld — ünïcode</a>");
+        assert_eq!(evs[2], SaxEvent::text("héllo wörld — ünïcode"));
+    }
+}

@@ -1,0 +1,171 @@
+use std::io::Write;
+
+use crate::error::{SaxError, SaxResult};
+use crate::escape::{escape_attr_into, escape_text_into};
+use crate::event::SaxEvent;
+
+/// Serializes a stream of [`SaxEvent`]s back to XML text.
+///
+/// The writer buffers one tag at a time, so its memory use is independent
+/// of the document size — the property the second pass of `twoPassSAX`
+/// relies on to stream transformed documents to disk.
+pub struct SaxWriter<W: Write> {
+    out: W,
+    scratch: String,
+    depth: usize,
+    /// True while a start tag is open and unclosed (`<name attrs…`), so a
+    /// following end tag can collapse to `/>`.
+    open_tag: bool,
+}
+
+impl<W: Write> SaxWriter<W> {
+    /// Creates a writer over any [`Write`] sink.
+    pub fn new(out: W) -> Self {
+        SaxWriter {
+            out,
+            scratch: String::with_capacity(256),
+            depth: 0,
+            open_tag: false,
+        }
+    }
+
+    /// Writes one event.
+    pub fn write_event(&mut self, ev: &SaxEvent) -> SaxResult<()> {
+        match ev {
+            SaxEvent::StartDocument | SaxEvent::EndDocument => Ok(()),
+            SaxEvent::StartElement { name, attrs } => self.start_element(name, attrs),
+            SaxEvent::Text(t) => self.text(t),
+            SaxEvent::EndElement(name) => self.end_element(name),
+        }
+    }
+
+    /// Writes the start of an element.
+    pub fn start_element(&mut self, name: &str, attrs: &[(String, String)]) -> SaxResult<()> {
+        self.close_pending()?;
+        self.scratch.clear();
+        self.scratch.push('<');
+        self.scratch.push_str(name);
+        for (k, v) in attrs {
+            self.scratch.push(' ');
+            self.scratch.push_str(k);
+            self.scratch.push_str("=\"");
+            escape_attr_into(v, &mut self.scratch);
+            self.scratch.push('"');
+        }
+        self.out.write_all(self.scratch.as_bytes())?;
+        self.open_tag = true;
+        self.depth += 1;
+        Ok(())
+    }
+
+    /// Writes character data.
+    pub fn text(&mut self, t: &str) -> SaxResult<()> {
+        self.close_pending()?;
+        self.scratch.clear();
+        escape_text_into(t, &mut self.scratch);
+        self.out.write_all(self.scratch.as_bytes())?;
+        Ok(())
+    }
+
+    /// Writes the end of an element.
+    pub fn end_element(&mut self, name: &str) -> SaxResult<()> {
+        if self.depth == 0 {
+            return Err(SaxError::Syntax {
+                offset: 0,
+                message: format!("end_element(</{name}>) with no open element"),
+            });
+        }
+        self.depth -= 1;
+        if self.open_tag {
+            self.out.write_all(b"/>")?;
+            self.open_tag = false;
+        } else {
+            self.scratch.clear();
+            self.scratch.push_str("</");
+            self.scratch.push_str(name);
+            self.scratch.push('>');
+            self.out.write_all(self.scratch.as_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Flushes and returns the underlying sink.
+    pub fn finish(mut self) -> SaxResult<W> {
+        if self.depth != 0 {
+            return Err(SaxError::UnexpectedEof { offset: 0 });
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+
+    fn close_pending(&mut self) -> SaxResult<()> {
+        if self.open_tag {
+            self.out.write_all(b">")?;
+            self.open_tag = false;
+        }
+        Ok(())
+    }
+}
+
+/// Serializes a slice of events to a string (convenience for tests).
+pub fn events_to_string(events: &[SaxEvent]) -> SaxResult<String> {
+    let mut w = SaxWriter::new(Vec::new());
+    for ev in events {
+        w.write_event(ev)?;
+    }
+    let bytes = w.finish()?;
+    Ok(String::from_utf8(bytes).expect("writer produces UTF-8"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::SaxParser;
+
+    fn roundtrip(xml: &str) -> String {
+        let events = SaxParser::from_str(xml).collect_events().unwrap();
+        events_to_string(&events).unwrap()
+    }
+
+    #[test]
+    fn simple_roundtrip() {
+        assert_eq!(roundtrip("<a><b>hi</b><c/></a>"), "<a><b>hi</b><c/></a>");
+    }
+
+    #[test]
+    fn self_closing_collapse() {
+        assert_eq!(roundtrip("<a></a>"), "<a/>");
+    }
+
+    #[test]
+    fn attributes_escaped() {
+        let out = roundtrip(r#"<a x="1 &lt; 2 &amp; &quot;q&quot;"/>"#);
+        assert_eq!(out, r#"<a x="1 &lt; 2 &amp; &quot;q&quot;"/>"#);
+    }
+
+    #[test]
+    fn text_escaped() {
+        assert_eq!(roundtrip("<a>1 &lt; 2</a>"), "<a>1 &lt; 2</a>");
+    }
+
+    #[test]
+    fn unbalanced_end_rejected() {
+        let mut w = SaxWriter::new(Vec::new());
+        assert!(w.end_element("a").is_err());
+    }
+
+    #[test]
+    fn unfinished_document_rejected() {
+        let mut w = SaxWriter::new(Vec::new());
+        w.start_element("a", &[]).unwrap();
+        assert!(w.finish().is_err());
+    }
+
+    #[test]
+    fn double_roundtrip_fixpoint() {
+        let xml = r#"<site><regions><item id="i1"><location>United States</location></item></regions></site>"#;
+        let once = roundtrip(xml);
+        let twice = roundtrip(&once);
+        assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,111 @@
+use crate::document::Document;
+use crate::node::NodeId;
+
+/// Fluent builder for constructing element subtrees in tests and examples.
+///
+/// ```
+/// use xust_tree::{Document, ElementBuilder};
+///
+/// let mut doc = Document::new();
+/// let node = ElementBuilder::new("supplier")
+///     .attr("country", "US")
+///     .child(ElementBuilder::new("sname").text("HP"))
+///     .child(ElementBuilder::new("price").text("12"))
+///     .build(&mut doc);
+/// assert_eq!(
+///     doc.serialize_subtree(node),
+///     "<supplier country=\"US\"><sname>HP</sname><price>12</price></supplier>"
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct ElementBuilder {
+    name: String,
+    attrs: Vec<(String, String)>,
+    children: Vec<Child>,
+}
+
+#[derive(Debug, Clone)]
+enum Child {
+    Element(ElementBuilder),
+    Text(String),
+}
+
+impl ElementBuilder {
+    /// Starts a new element.
+    pub fn new(name: impl Into<String>) -> Self {
+        ElementBuilder {
+            name: name.into(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Adds an attribute.
+    pub fn attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attrs.push((name.into(), value.into()));
+        self
+    }
+
+    /// Adds an element child.
+    pub fn child(mut self, child: ElementBuilder) -> Self {
+        self.children.push(Child::Element(child));
+        self
+    }
+
+    /// Adds a text child.
+    pub fn text(mut self, text: impl Into<String>) -> Self {
+        self.children.push(Child::Text(text.into()));
+        self
+    }
+
+    /// Materializes the subtree into `doc`, returning its detached root.
+    pub fn build(self, doc: &mut Document) -> NodeId {
+        let node = doc.create_element_with_attrs(self.name, self.attrs);
+        for child in self.children {
+            let c = match child {
+                Child::Element(b) => b.build(doc),
+                Child::Text(t) => doc.create_text(t),
+            };
+            doc.append_child(node, c);
+        }
+        node
+    }
+
+    /// Builds a fresh document whose root is this element.
+    pub fn build_document(self) -> Document {
+        let mut doc = Document::new();
+        let root = self.build(&mut doc);
+        doc.set_root(root);
+        doc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_builder() {
+        let doc = ElementBuilder::new("db")
+            .child(
+                ElementBuilder::new("part")
+                    .attr("id", "p1")
+                    .child(ElementBuilder::new("pname").text("keyboard")),
+            )
+            .build_document();
+        assert_eq!(
+            doc.serialize(),
+            "<db><part id=\"p1\"><pname>keyboard</pname></part></db>"
+        );
+    }
+
+    #[test]
+    fn mixed_content() {
+        let doc = ElementBuilder::new("p")
+            .text("a")
+            .child(ElementBuilder::new("b").text("c"))
+            .text("d")
+            .build_document();
+        assert_eq!(doc.serialize(), "<p>a<b>c</b>d</p>");
+    }
+}

@@ -1,0 +1,662 @@
+use crate::iter::{Ancestors, Children, Descendants};
+use crate::node::{NodeData, NodeId, NodeKind, NIL};
+
+/// An XML document: a node arena plus a distinguished root element.
+///
+/// Editing operations implement exactly the four update primitives of the
+/// paper (Section 2): `insert e into p` ([`Document::append_child`] of a
+/// copied subtree), `delete p` ([`Document::detach`]),
+/// `replace p with e` ([`Document::replace`]), and `rename p as l`
+/// ([`Document::rename`]).
+#[derive(Debug, Clone, Default)]
+pub struct Document {
+    pub(crate) nodes: Vec<NodeData>,
+    pub(crate) root: u32,
+}
+
+impl Document {
+    /// Creates an empty document (no root yet).
+    pub fn new() -> Self {
+        Document {
+            nodes: Vec::new(),
+            root: NIL,
+        }
+    }
+
+    /// Creates an empty document with arena capacity for `n` nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        Document {
+            nodes: Vec::with_capacity(n),
+            root: NIL,
+        }
+    }
+
+    /// The root element, if set.
+    pub fn root(&self) -> Option<NodeId> {
+        NodeId::from_raw(self.root)
+    }
+
+    /// Sets the root element. The node must be detached (no parent).
+    pub fn set_root(&mut self, node: NodeId) {
+        debug_assert_eq!(self.nodes[node.index()].parent, NIL);
+        self.root = node.0;
+    }
+
+    /// Number of live slots in the arena (includes detached nodes).
+    pub fn arena_len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of nodes reachable from the root.
+    pub fn node_count(&self) -> usize {
+        match self.root() {
+            Some(r) => self.descendants_or_self(r).count(),
+            None => 0,
+        }
+    }
+
+    // ---- construction ----
+
+    fn alloc(&mut self, kind: NodeKind) -> NodeId {
+        let id = self.nodes.len() as u32;
+        assert!(id != NIL, "document arena full");
+        self.nodes.push(NodeData::new(kind));
+        NodeId(id)
+    }
+
+    /// Creates a detached element node.
+    pub fn create_element(&mut self, name: impl Into<String>) -> NodeId {
+        self.alloc(NodeKind::Element {
+            name: name.into(),
+            attrs: Vec::new(),
+        })
+    }
+
+    /// Creates a detached element node with attributes.
+    pub fn create_element_with_attrs(
+        &mut self,
+        name: impl Into<String>,
+        attrs: Vec<(String, String)>,
+    ) -> NodeId {
+        self.alloc(NodeKind::Element {
+            name: name.into(),
+            attrs,
+        })
+    }
+
+    /// Creates a detached text node.
+    pub fn create_text(&mut self, text: impl Into<String>) -> NodeId {
+        self.alloc(NodeKind::Text(text.into()))
+    }
+
+    // ---- accessors ----
+
+    /// The node's payload.
+    pub fn kind(&self, node: NodeId) -> &NodeKind {
+        &self.nodes[node.index()].kind
+    }
+
+    /// Element name (None for text nodes).
+    pub fn name(&self, node: NodeId) -> Option<&str> {
+        self.nodes[node.index()].kind.name()
+    }
+
+    /// True if `node` is an element.
+    pub fn is_element(&self, node: NodeId) -> bool {
+        self.nodes[node.index()].kind.is_element()
+    }
+
+    /// True if `node` is a text node.
+    pub fn is_text(&self, node: NodeId) -> bool {
+        self.nodes[node.index()].kind.is_text()
+    }
+
+    /// Text content of a text node (None for elements).
+    pub fn text(&self, node: NodeId) -> Option<&str> {
+        match &self.nodes[node.index()].kind {
+            NodeKind::Text(t) => Some(t),
+            NodeKind::Element { .. } => None,
+        }
+    }
+
+    /// Attributes of an element (empty slice for text nodes).
+    pub fn attrs(&self, node: NodeId) -> &[(String, String)] {
+        match &self.nodes[node.index()].kind {
+            NodeKind::Element { attrs, .. } => attrs,
+            NodeKind::Text(_) => &[],
+        }
+    }
+
+    /// Value of the attribute `name`, if present.
+    pub fn attr(&self, node: NodeId, name: &str) -> Option<&str> {
+        self.attrs(node)
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Sets (or adds) an attribute on an element.
+    pub fn set_attr(&mut self, node: NodeId, name: impl Into<String>, value: impl Into<String>) {
+        if let NodeKind::Element { attrs, .. } = &mut self.nodes[node.index()].kind {
+            let name = name.into();
+            let value = value.into();
+            if let Some(slot) = attrs.iter_mut().find(|(k, _)| *k == name) {
+                slot.1 = value;
+            } else {
+                attrs.push((name, value));
+            }
+        }
+    }
+
+    /// Concatenation of the *immediate* text children — the `text()` used
+    /// by qualifier comparisons in the paper's QualDP case
+    /// `ǫ = 's' → satn(q) := (text() = s)`.
+    pub fn immediate_text(&self, node: NodeId) -> String {
+        let mut out = String::new();
+        for c in self.children(node) {
+            if let NodeKind::Text(t) = self.kind(c) {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// XPath string-value: concatenation of all descendant text.
+    pub fn string_value(&self, node: NodeId) -> String {
+        let mut out = String::new();
+        for n in self.descendants_or_self(node) {
+            if let NodeKind::Text(t) = self.kind(n) {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    // ---- links ----
+
+    /// Parent node, if any.
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        NodeId::from_raw(self.nodes[node.index()].parent)
+    }
+
+    /// First (left-most) child.
+    pub fn first_child(&self, node: NodeId) -> Option<NodeId> {
+        NodeId::from_raw(self.nodes[node.index()].first_child)
+    }
+
+    /// Last (right-most) child.
+    pub fn last_child(&self, node: NodeId) -> Option<NodeId> {
+        NodeId::from_raw(self.nodes[node.index()].last_child)
+    }
+
+    /// Immediate right sibling.
+    pub fn next_sibling(&self, node: NodeId) -> Option<NodeId> {
+        NodeId::from_raw(self.nodes[node.index()].next_sibling)
+    }
+
+    /// Immediate left sibling.
+    pub fn prev_sibling(&self, node: NodeId) -> Option<NodeId> {
+        NodeId::from_raw(self.nodes[node.index()].prev_sibling)
+    }
+
+    /// Iterator over direct children in document order.
+    pub fn children(&self, node: NodeId) -> Children<'_> {
+        Children::new(self, self.first_child(node))
+    }
+
+    /// Iterator over element children only.
+    pub fn element_children(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.children(node).filter(move |&c| self.is_element(c))
+    }
+
+    /// Preorder iterator over `node` and all its descendants.
+    pub fn descendants_or_self(&self, node: NodeId) -> Descendants<'_> {
+        Descendants::new(self, node)
+    }
+
+    /// Iterator over ancestors, nearest first.
+    pub fn ancestors(&self, node: NodeId) -> Ancestors<'_> {
+        Ancestors::new(self, node)
+    }
+
+    /// Depth of the node (root is 0).
+    pub fn depth(&self, node: NodeId) -> usize {
+        self.ancestors(node).count()
+    }
+
+    // ---- editing (the paper's update primitives) ----
+
+    /// Appends `child` as the *last* child of `parent` — the placement
+    /// mandated by `insert e into p` ("adds e as the rightmost child").
+    pub fn append_child(&mut self, parent: NodeId, child: NodeId) {
+        debug_assert_eq!(self.nodes[child.index()].parent, NIL, "child must be detached");
+        let old_last = self.nodes[parent.index()].last_child;
+        self.nodes[child.index()].parent = parent.0;
+        self.nodes[child.index()].prev_sibling = old_last;
+        self.nodes[child.index()].next_sibling = NIL;
+        if old_last == NIL {
+            self.nodes[parent.index()].first_child = child.0;
+        } else {
+            self.nodes[old_last as usize].next_sibling = child.0;
+        }
+        self.nodes[parent.index()].last_child = child.0;
+    }
+
+    /// Prepends `child` as the *first* child of `parent` —
+    /// `insert e as first into p`.
+    pub fn prepend_child(&mut self, parent: NodeId, child: NodeId) {
+        debug_assert_eq!(self.nodes[child.index()].parent, NIL, "child must be detached");
+        let old_first = self.nodes[parent.index()].first_child;
+        self.nodes[child.index()].parent = parent.0;
+        self.nodes[child.index()].prev_sibling = NIL;
+        self.nodes[child.index()].next_sibling = old_first;
+        if old_first == NIL {
+            self.nodes[parent.index()].last_child = child.0;
+        } else {
+            self.nodes[old_first as usize].prev_sibling = child.0;
+        }
+        self.nodes[parent.index()].first_child = child.0;
+    }
+
+    /// Inserts `node` immediately after `reference` (which must have a
+    /// parent) — `insert e after p`.
+    pub fn insert_after(&mut self, reference: NodeId, node: NodeId) {
+        let parent = self.nodes[reference.index()].parent;
+        debug_assert_ne!(parent, NIL, "reference must have a parent");
+        let next = self.nodes[reference.index()].next_sibling;
+        self.nodes[node.index()].parent = parent;
+        self.nodes[node.index()].prev_sibling = reference.0;
+        self.nodes[node.index()].next_sibling = next;
+        self.nodes[reference.index()].next_sibling = node.0;
+        if next == NIL {
+            self.nodes[parent as usize].last_child = node.0;
+        } else {
+            self.nodes[next as usize].prev_sibling = node.0;
+        }
+    }
+
+    /// Inserts `node` immediately before `reference` (which must have a
+    /// parent).
+    pub fn insert_before(&mut self, reference: NodeId, node: NodeId) {
+        let parent = self.nodes[reference.index()].parent;
+        debug_assert_ne!(parent, NIL, "reference must have a parent");
+        let prev = self.nodes[reference.index()].prev_sibling;
+        self.nodes[node.index()].parent = parent;
+        self.nodes[node.index()].prev_sibling = prev;
+        self.nodes[node.index()].next_sibling = reference.0;
+        self.nodes[reference.index()].prev_sibling = node.0;
+        if prev == NIL {
+            self.nodes[parent as usize].first_child = node.0;
+        } else {
+            self.nodes[prev as usize].next_sibling = node.0;
+        }
+    }
+
+    /// Detaches `node` (and its subtree) from its parent — `delete p`.
+    /// The slot remains in the arena but is unreachable from the root.
+    pub fn detach(&mut self, node: NodeId) {
+        let data = &self.nodes[node.index()];
+        let (parent, prev, next) = (data.parent, data.prev_sibling, data.next_sibling);
+        if prev != NIL {
+            self.nodes[prev as usize].next_sibling = next;
+        } else if parent != NIL {
+            self.nodes[parent as usize].first_child = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev_sibling = prev;
+        } else if parent != NIL {
+            self.nodes[parent as usize].last_child = prev;
+        }
+        let data = &mut self.nodes[node.index()];
+        data.parent = NIL;
+        data.prev_sibling = NIL;
+        data.next_sibling = NIL;
+        if self.root == node.0 {
+            self.root = NIL;
+        }
+    }
+
+    /// Replaces `old` with `new` in the tree — `replace p with e`.
+    /// `new` must be detached.
+    pub fn replace(&mut self, old: NodeId, new: NodeId) {
+        if self.nodes[old.index()].parent == NIL {
+            // Replacing the root.
+            if self.root == old.0 {
+                self.root = new.0;
+            }
+            return;
+        }
+        self.insert_before(old, new);
+        self.detach(old);
+    }
+
+    /// Renames an element — `rename p as l`. No-op on text nodes.
+    pub fn rename(&mut self, node: NodeId, new_name: impl Into<String>) {
+        if let NodeKind::Element { name, .. } = &mut self.nodes[node.index()].kind {
+            *name = new_name.into();
+        }
+    }
+
+    /// Compares two nodes by document order (preorder position). An
+    /// ancestor precedes its descendants. Cost is O(depth + sibling
+    /// distance at the divergence point) per comparison — no global
+    /// index is maintained, so edits never invalidate anything.
+    pub fn doc_order_cmp(&self, a: NodeId, b: NodeId) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        if a == b {
+            return Ordering::Equal;
+        }
+        // Root-to-node ancestor chains (inclusive).
+        let chain = |n: NodeId| -> Vec<NodeId> {
+            let mut c: Vec<NodeId> = std::iter::successors(Some(n), |&x| self.parent(x)).collect();
+            c.reverse();
+            c
+        };
+        let ca = chain(a);
+        let cb = chain(b);
+        let mut k = 0;
+        while k < ca.len() && k < cb.len() && ca[k] == cb[k] {
+            k += 1;
+        }
+        match (ca.get(k), cb.get(k)) {
+            // One is an ancestor of the other: the ancestor comes first.
+            (None, _) => Ordering::Less,
+            (_, None) => Ordering::Greater,
+            (Some(&x), Some(&y)) => {
+                // Siblings under ca[k-1]: whichever is reached first
+                // walking the sibling list precedes.
+                let mut cur = Some(x);
+                while let Some(n) = cur {
+                    if n == y {
+                        return Ordering::Less;
+                    }
+                    cur = self.next_sibling(n);
+                }
+                Ordering::Greater
+            }
+        }
+    }
+
+    /// Deep-copies the subtree rooted at `src_node` of `src` into `self`,
+    /// returning the new detached root of the copy.
+    pub fn deep_copy_from(&mut self, src: &Document, src_node: NodeId) -> NodeId {
+        let new_root = self.alloc(src.nodes[src_node.index()].kind.clone());
+        // Iterative copy to avoid recursion depth limits: stack of
+        // (source child, destination parent).
+        let mut stack: Vec<(NodeId, NodeId)> = Vec::new();
+        // Push children in reverse so they are appended in order.
+        let children: Vec<NodeId> = src.children(src_node).collect();
+        for &c in children.iter().rev() {
+            stack.push((c, new_root));
+        }
+        while let Some((src_child, dst_parent)) = stack.pop() {
+            let copy = self.alloc(src.nodes[src_child.index()].kind.clone());
+            self.append_child(dst_parent, copy);
+            let children: Vec<NodeId> = src.children(src_child).collect();
+            for &c in children.iter().rev() {
+                stack.push((c, copy));
+            }
+        }
+        new_root
+    }
+
+    /// Deep-copies a subtree *within* this document (needed when an insert
+    /// targets many nodes: each gets a fresh copy of `e`).
+    pub fn deep_copy(&mut self, node: NodeId) -> NodeId {
+        let src = self.clone_subtree_kinds(node);
+        self.rebuild_from_kinds(&src)
+    }
+
+    fn clone_subtree_kinds(&self, node: NodeId) -> Vec<(usize, NodeKind)> {
+        // (depth, kind) pairs in preorder.
+        let mut out = Vec::new();
+        let base_depth = self.depth(node);
+        for n in self.descendants_or_self(node) {
+            out.push((self.depth(n) - base_depth, self.kind(n).clone()));
+        }
+        out
+    }
+
+    fn rebuild_from_kinds(&mut self, items: &[(usize, NodeKind)]) -> NodeId {
+        let root = self.alloc(items[0].1.clone());
+        let mut path: Vec<NodeId> = vec![root];
+        for (depth, kind) in &items[1..] {
+            let node = self.alloc(kind.clone());
+            path.truncate(*depth);
+            let parent = *path.last().expect("preorder depth sequence is valid");
+            self.append_child(parent, node);
+            path.push(node);
+        }
+        root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Document, NodeId, NodeId, NodeId) {
+        let mut d = Document::new();
+        let root = d.create_element("db");
+        d.set_root(root);
+        let part = d.create_element("part");
+        d.append_child(root, part);
+        let pname = d.create_element("pname");
+        d.append_child(part, pname);
+        let t = d.create_text("keyboard");
+        d.append_child(pname, t);
+        (d, root, part, pname)
+    }
+
+    #[test]
+    fn build_and_navigate() {
+        let (d, root, part, pname) = sample();
+        assert_eq!(d.root(), Some(root));
+        assert_eq!(d.parent(part), Some(root));
+        assert_eq!(d.first_child(root), Some(part));
+        assert_eq!(d.last_child(part), Some(pname));
+        assert_eq!(d.name(pname), Some("pname"));
+        assert_eq!(d.node_count(), 4);
+    }
+
+    #[test]
+    fn immediate_text_and_string_value() {
+        let (d, root, _, pname) = sample();
+        assert_eq!(d.immediate_text(pname), "keyboard");
+        assert_eq!(d.immediate_text(root), "");
+        assert_eq!(d.string_value(root), "keyboard");
+    }
+
+    #[test]
+    fn attributes() {
+        let mut d = Document::new();
+        let e = d.create_element_with_attrs("a", vec![("id".into(), "x1".into())]);
+        assert_eq!(d.attr(e, "id"), Some("x1"));
+        assert_eq!(d.attr(e, "nope"), None);
+        d.set_attr(e, "id", "y2");
+        d.set_attr(e, "k", "v");
+        assert_eq!(d.attr(e, "id"), Some("y2"));
+        assert_eq!(d.attr(e, "k"), Some("v"));
+    }
+
+    #[test]
+    fn append_maintains_sibling_chain() {
+        let mut d = Document::new();
+        let r = d.create_element("r");
+        d.set_root(r);
+        let a = d.create_element("a");
+        let b = d.create_element("b");
+        let c = d.create_element("c");
+        d.append_child(r, a);
+        d.append_child(r, b);
+        d.append_child(r, c);
+        let kids: Vec<_> = d.children(r).collect();
+        assert_eq!(kids, vec![a, b, c]);
+        assert_eq!(d.prev_sibling(b), Some(a));
+        assert_eq!(d.next_sibling(b), Some(c));
+        assert_eq!(d.last_child(r), Some(c));
+    }
+
+    #[test]
+    fn detach_middle_child() {
+        let mut d = Document::new();
+        let r = d.create_element("r");
+        d.set_root(r);
+        let a = d.create_element("a");
+        let b = d.create_element("b");
+        let c = d.create_element("c");
+        d.append_child(r, a);
+        d.append_child(r, b);
+        d.append_child(r, c);
+        d.detach(b);
+        let kids: Vec<_> = d.children(r).collect();
+        assert_eq!(kids, vec![a, c]);
+        assert_eq!(d.parent(b), None);
+        assert_eq!(d.next_sibling(a), Some(c));
+        assert_eq!(d.prev_sibling(c), Some(a));
+    }
+
+    #[test]
+    fn detach_first_and_last() {
+        let mut d = Document::new();
+        let r = d.create_element("r");
+        d.set_root(r);
+        let a = d.create_element("a");
+        let b = d.create_element("b");
+        d.append_child(r, a);
+        d.append_child(r, b);
+        d.detach(a);
+        assert_eq!(d.first_child(r), Some(b));
+        d.detach(b);
+        assert_eq!(d.first_child(r), None);
+        assert_eq!(d.last_child(r), None);
+    }
+
+    #[test]
+    fn replace_node() {
+        let (mut d, _, part, _) = sample();
+        let sub = d.create_element("widget");
+        d.replace(part, sub);
+        let root = d.root().unwrap();
+        let kids: Vec<_> = d.children(root).collect();
+        assert_eq!(kids.len(), 1);
+        assert_eq!(d.name(kids[0]), Some("widget"));
+    }
+
+    #[test]
+    fn replace_root() {
+        let (mut d, root, _, _) = sample();
+        let new_root = d.create_element("newdb");
+        d.replace(root, new_root);
+        assert_eq!(d.root(), Some(new_root));
+    }
+
+    #[test]
+    fn rename_element() {
+        let (mut d, _, part, _) = sample();
+        d.rename(part, "component");
+        assert_eq!(d.name(part), Some("component"));
+    }
+
+    #[test]
+    fn rename_text_noop() {
+        let mut d = Document::new();
+        let t = d.create_text("x");
+        d.rename(t, "y");
+        assert!(d.is_text(t));
+    }
+
+    #[test]
+    fn deep_copy_from_other_document() {
+        let (src, _, part, _) = sample();
+        let mut dst = Document::new();
+        let copy = dst.deep_copy_from(&src, part);
+        assert_eq!(dst.name(copy), Some("part"));
+        assert!(crate::eq::deep_eq(&src, part, &dst, copy));
+    }
+
+    #[test]
+    fn deep_copy_within_document() {
+        let (mut d, root, part, _) = sample();
+        let copy = d.deep_copy(part);
+        assert!(crate::eq::deep_eq(&d, part, &d, copy));
+        d.append_child(root, copy);
+        assert_eq!(d.children(root).count(), 2);
+    }
+
+    #[test]
+    fn insert_before_front() {
+        let mut d = Document::new();
+        let r = d.create_element("r");
+        d.set_root(r);
+        let a = d.create_element("a");
+        d.append_child(r, a);
+        let z = d.create_element("z");
+        d.insert_before(a, z);
+        let kids: Vec<_> = d.children(r).collect();
+        assert_eq!(d.name(kids[0]), Some("z"));
+        assert_eq!(d.first_child(r), Some(z));
+    }
+
+    #[test]
+    fn depth_and_ancestors() {
+        let (d, root, part, pname) = sample();
+        assert_eq!(d.depth(root), 0);
+        assert_eq!(d.depth(pname), 2);
+        let anc: Vec<_> = d.ancestors(pname).collect();
+        assert_eq!(anc, vec![part, root]);
+    }
+
+    #[test]
+    fn prepend_child_orders() {
+        let mut d = Document::new();
+        let r = d.create_element("r");
+        d.set_root(r);
+        let a = d.create_element("a");
+        d.prepend_child(r, a); // into empty parent
+        let b = d.create_element("b");
+        d.prepend_child(r, b); // in front of a
+        let names: Vec<_> = d.children(r).map(|c| d.name(c).unwrap().to_string()).collect();
+        assert_eq!(names, ["b", "a"]);
+        assert_eq!(d.first_child(r), Some(b));
+        assert_eq!(d.last_child(r), Some(a));
+        assert_eq!(d.prev_sibling(a), Some(b));
+        assert_eq!(d.next_sibling(b), Some(a));
+    }
+
+    #[test]
+    fn insert_after_middle_and_end() {
+        let mut d = Document::parse("<r><a/><b/></r>").unwrap();
+        let r = d.root().unwrap();
+        let a = d.first_child(r).unwrap();
+        let b = d.last_child(r).unwrap();
+        let x = d.create_element("x");
+        d.insert_after(a, x); // middle
+        let y = d.create_element("y");
+        d.insert_after(b, y); // end — must update last_child
+        let names: Vec<_> = d.children(r).map(|c| d.name(c).unwrap().to_string()).collect();
+        assert_eq!(names, ["a", "x", "b", "y"]);
+        assert_eq!(d.last_child(r), Some(y));
+        assert_eq!(d.serialize(), "<r><a/><x/><b/><y/></r>");
+    }
+
+    #[test]
+    fn doc_order_cmp_total_order() {
+        use std::cmp::Ordering;
+        let d = Document::parse("<r><a><b/><c><d/></c></a><e/></r>").unwrap();
+        let root = d.root().unwrap();
+        // Preorder traversal is the expected document order.
+        let order: Vec<NodeId> = d.descendants_or_self(root).collect();
+        for (i, &x) in order.iter().enumerate() {
+            for (j, &y) in order.iter().enumerate() {
+                let expect = i.cmp(&j);
+                assert_eq!(d.doc_order_cmp(x, y), expect, "pair ({i},{j})");
+            }
+        }
+        assert_eq!(d.doc_order_cmp(root, root), Ordering::Equal);
+        // Sorting a shuffled set restores preorder.
+        let mut shuffled: Vec<NodeId> = order.iter().rev().copied().collect();
+        shuffled.sort_by(|&a, &b| d.doc_order_cmp(a, b));
+        assert_eq!(shuffled, order);
+    }
+}

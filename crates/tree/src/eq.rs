@@ -1,0 +1,105 @@
+use crate::document::Document;
+use crate::node::{NodeId, NodeKind};
+
+/// Structural equality of two subtrees, possibly from different documents.
+///
+/// Elements compare by name, attribute list (order-sensitive, as in the
+/// serialized form), and child sequence; text nodes by content. This is
+/// the notion of equality the cross-method equivalence tests use: two
+/// evaluation algorithms agree iff their results are `deep_eq`.
+pub fn deep_eq(da: &Document, a: NodeId, db: &Document, b: NodeId) -> bool {
+    // Iterative pairwise comparison.
+    let mut stack = vec![(a, b)];
+    while let Some((x, y)) = stack.pop() {
+        match (da.kind(x), db.kind(y)) {
+            (NodeKind::Text(tx), NodeKind::Text(ty)) => {
+                if tx != ty {
+                    return false;
+                }
+            }
+            (
+                NodeKind::Element {
+                    name: nx,
+                    attrs: ax,
+                },
+                NodeKind::Element {
+                    name: ny,
+                    attrs: ay,
+                },
+            ) => {
+                if nx != ny || ax != ay {
+                    return false;
+                }
+                let cx: Vec<NodeId> = da.children(x).collect();
+                let cy: Vec<NodeId> = db.children(y).collect();
+                if cx.len() != cy.len() {
+                    return false;
+                }
+                stack.extend(cx.into_iter().zip(cy));
+            }
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// Whole-document structural equality.
+pub fn docs_eq(da: &Document, db: &Document) -> bool {
+    match (da.root(), db.root()) {
+        (Some(a), Some(b)) => deep_eq(da, a, db, b),
+        (None, None) => true,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_trees() {
+        let a = Document::parse("<a x=\"1\"><b>t</b></a>").unwrap();
+        let b = Document::parse("<a x=\"1\"><b>t</b></a>").unwrap();
+        assert!(docs_eq(&a, &b));
+    }
+
+    #[test]
+    fn different_name() {
+        let a = Document::parse("<a/>").unwrap();
+        let b = Document::parse("<b/>").unwrap();
+        assert!(!docs_eq(&a, &b));
+    }
+
+    #[test]
+    fn different_attr_value() {
+        let a = Document::parse("<a x=\"1\"/>").unwrap();
+        let b = Document::parse("<a x=\"2\"/>").unwrap();
+        assert!(!docs_eq(&a, &b));
+    }
+
+    #[test]
+    fn different_child_count() {
+        let a = Document::parse("<a><b/></a>").unwrap();
+        let b = Document::parse("<a><b/><b/></a>").unwrap();
+        assert!(!docs_eq(&a, &b));
+    }
+
+    #[test]
+    fn different_text() {
+        let a = Document::parse("<a>x</a>").unwrap();
+        let b = Document::parse("<a>y</a>").unwrap();
+        assert!(!docs_eq(&a, &b));
+    }
+
+    #[test]
+    fn text_vs_element_child() {
+        let a = Document::parse("<a>b</a>").unwrap();
+        let b = Document::parse("<a><b/></a>").unwrap();
+        assert!(!docs_eq(&a, &b));
+    }
+
+    #[test]
+    fn empty_documents_equal() {
+        assert!(docs_eq(&Document::new(), &Document::new()));
+    }
+}

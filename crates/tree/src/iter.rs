@@ -1,0 +1,151 @@
+use crate::document::Document;
+use crate::node::NodeId;
+
+/// Iterator over the direct children of a node, in document order.
+pub struct Children<'a> {
+    doc: &'a Document,
+    next: Option<NodeId>,
+}
+
+impl<'a> Children<'a> {
+    pub(crate) fn new(doc: &'a Document, first: Option<NodeId>) -> Self {
+        Children { doc, next: first }
+    }
+}
+
+impl Iterator for Children<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        self.next = self.doc.next_sibling(cur);
+        Some(cur)
+    }
+}
+
+/// Preorder iterator over a subtree (including its root), without
+/// recursion — safe for arbitrarily deep documents.
+pub struct Descendants<'a> {
+    doc: &'a Document,
+    start: NodeId,
+    next: Option<NodeId>,
+}
+
+impl<'a> Descendants<'a> {
+    pub(crate) fn new(doc: &'a Document, start: NodeId) -> Self {
+        Descendants {
+            doc,
+            start,
+            next: Some(start),
+        }
+    }
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        // Compute successor in preorder, staying inside the subtree.
+        self.next = if let Some(c) = self.doc.first_child(cur) {
+            Some(c)
+        } else {
+            let mut n = cur;
+            loop {
+                if n == self.start {
+                    break None;
+                }
+                if let Some(s) = self.doc.next_sibling(n) {
+                    break Some(s);
+                }
+                match self.doc.parent(n) {
+                    Some(p) => n = p,
+                    None => break None,
+                }
+            }
+        };
+        Some(cur)
+    }
+}
+
+/// Iterator over ancestors, nearest first (excludes the node itself).
+pub struct Ancestors<'a> {
+    doc: &'a Document,
+    next: Option<NodeId>,
+}
+
+impl<'a> Ancestors<'a> {
+    pub(crate) fn new(doc: &'a Document, node: NodeId) -> Self {
+        Ancestors {
+            doc,
+            next: doc.parent(node),
+        }
+    }
+}
+
+impl Iterator for Ancestors<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        self.next = self.doc.parent(cur);
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Document;
+
+    #[test]
+    fn descendants_preorder() {
+        let d = Document::parse("<a><b><c/><d/></b><e/></a>").unwrap();
+        let names: Vec<_> = d
+            .descendants_or_self(d.root().unwrap())
+            .map(|n| d.name(n).unwrap().to_string())
+            .collect();
+        assert_eq!(names, ["a", "b", "c", "d", "e"]);
+    }
+
+    #[test]
+    fn descendants_of_subtree_stay_inside() {
+        let d = Document::parse("<a><b><c/></b><e/></a>").unwrap();
+        let root = d.root().unwrap();
+        let b = d.first_child(root).unwrap();
+        let names: Vec<_> = d
+            .descendants_or_self(b)
+            .map(|n| d.name(n).unwrap().to_string())
+            .collect();
+        assert_eq!(names, ["b", "c"]);
+    }
+
+    #[test]
+    fn descendants_single_node() {
+        let mut d = Document::new();
+        let solo = d.create_element("solo");
+        let items: Vec<_> = d.descendants_or_self(solo).collect();
+        assert_eq!(items, vec![solo]);
+    }
+
+    #[test]
+    fn children_empty() {
+        let mut d = Document::new();
+        let e = d.create_element("e");
+        assert_eq!(d.children(e).count(), 0);
+    }
+
+    #[test]
+    fn deep_document_iteration_no_stack_overflow() {
+        // 100k-deep chain: preorder iteration must be iterative.
+        let mut d = Document::new();
+        let root = d.create_element("n");
+        d.set_root(root);
+        let mut cur = root;
+        for _ in 0..100_000 {
+            let c = d.create_element("n");
+            d.append_child(cur, c);
+            cur = c;
+        }
+        assert_eq!(d.descendants_or_self(root).count(), 100_001);
+    }
+}

@@ -1,0 +1,112 @@
+/// Index of a node within a [`crate::Document`] arena.
+///
+/// `NodeId`s are only meaningful relative to the document that issued
+/// them; mixing ids across documents is a logic error (caught by debug
+/// assertions in accessors where cheap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+/// Sentinel for "no node" in the internal link fields.
+pub(crate) const NIL: u32 = u32::MAX;
+
+impl NodeId {
+    /// Raw index (stable for the lifetime of the document; detached nodes
+    /// keep their slot).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    pub(crate) fn from_raw(raw: u32) -> Option<NodeId> {
+        if raw == NIL {
+            None
+        } else {
+            Some(NodeId(raw))
+        }
+    }
+}
+
+/// The payload of a node: an element (with attributes) or a text node.
+///
+/// Attributes are kept inline on the element in document order, matching
+/// how the SAX layer reports them; the XPath fragment X reaches them via
+/// `@name` tests in qualifiers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An element with its attributes in document order.
+    Element {
+        /// Element name (label).
+        name: String,
+        /// Attributes in document order.
+        attrs: Vec<(String, String)>,
+    },
+    /// A text node (PCDATA).
+    Text(String),
+}
+
+impl NodeKind {
+    /// Returns the element name, or `None` for text nodes.
+    pub fn name(&self) -> Option<&str> {
+        match self {
+            NodeKind::Element { name, .. } => Some(name),
+            NodeKind::Text(_) => None,
+        }
+    }
+
+    /// Returns true for element nodes.
+    pub fn is_element(&self) -> bool {
+        matches!(self, NodeKind::Element { .. })
+    }
+
+    /// Returns true for text nodes.
+    pub fn is_text(&self) -> bool {
+        matches!(self, NodeKind::Text(_))
+    }
+}
+
+/// Internal node representation: payload plus sibling/child links.
+#[derive(Debug, Clone)]
+pub(crate) struct NodeData {
+    pub(crate) parent: u32,
+    pub(crate) first_child: u32,
+    pub(crate) last_child: u32,
+    pub(crate) prev_sibling: u32,
+    pub(crate) next_sibling: u32,
+    pub(crate) kind: NodeKind,
+}
+
+impl NodeData {
+    pub(crate) fn new(kind: NodeKind) -> Self {
+        NodeData {
+            parent: NIL,
+            first_child: NIL,
+            last_child: NIL,
+            prev_sibling: NIL,
+            next_sibling: NIL,
+            kind,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        let e = NodeKind::Element {
+            name: "a".into(),
+            attrs: vec![],
+        };
+        let t = NodeKind::Text("x".into());
+        assert!(e.is_element() && !e.is_text());
+        assert!(t.is_text() && !t.is_element());
+        assert_eq!(e.name(), Some("a"));
+        assert_eq!(t.name(), None);
+    }
+
+    #[test]
+    fn from_raw_nil() {
+        assert_eq!(NodeId::from_raw(NIL), None);
+        assert_eq!(NodeId::from_raw(3), Some(NodeId(3)));
+    }
+}

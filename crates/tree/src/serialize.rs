@@ -1,0 +1,110 @@
+use std::io::Write;
+
+use xust_sax::{SaxResult, SaxWriter};
+
+use crate::document::Document;
+use crate::node::{NodeId, NodeKind};
+
+impl Document {
+    /// Serializes the whole document to a string.
+    pub fn serialize(&self) -> String {
+        match self.root() {
+            Some(r) => self.serialize_subtree(r),
+            None => String::new(),
+        }
+    }
+
+    /// Serializes the subtree rooted at `node` to a string.
+    pub fn serialize_subtree(&self, node: NodeId) -> String {
+        let mut buf = Vec::new();
+        self.write_subtree(node, &mut buf)
+            .expect("writing to Vec cannot fail");
+        String::from_utf8(buf).expect("serializer produces UTF-8")
+    }
+
+    /// Streams the subtree rooted at `node` to any [`Write`] sink using an
+    /// iterative traversal (no recursion, bounded memory).
+    pub fn write_subtree<W: Write>(&self, node: NodeId, out: W) -> SaxResult<()> {
+        let mut w = SaxWriter::new(out);
+        // Explicit stack of (node, entered) frames: `entered == true`
+        // means children already emitted and the end tag is due.
+        enum Frame {
+            Enter(NodeId),
+            Exit(NodeId),
+        }
+        let mut stack = vec![Frame::Enter(node)];
+        while let Some(frame) = stack.pop() {
+            match frame {
+                Frame::Enter(n) => match self.kind(n) {
+                    NodeKind::Text(t) => w.text(t)?,
+                    NodeKind::Element { name, attrs } => {
+                        w.start_element(name, attrs)?;
+                        stack.push(Frame::Exit(n));
+                        let children: Vec<NodeId> = self.children(n).collect();
+                        for &c in children.iter().rev() {
+                            stack.push(Frame::Enter(c));
+                        }
+                    }
+                },
+                Frame::Exit(n) => {
+                    let name = self.name(n).expect("exit frames are elements");
+                    w.end_element(name)?;
+                }
+            }
+        }
+        w.finish()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Document;
+
+    #[test]
+    fn roundtrip_simple() {
+        let xml = "<db><part pname=\"kb\"><sub/>t</part></db>";
+        let d = Document::parse(xml).unwrap();
+        assert_eq!(d.serialize(), xml);
+    }
+
+    #[test]
+    fn escaping_roundtrip() {
+        let xml = "<a x=\"1 &lt; 2\">3 &gt; 2 &amp; 1 &lt; 2</a>";
+        let d = Document::parse(xml).unwrap();
+        let out = d.serialize();
+        let d2 = Document::parse(&out).unwrap();
+        assert_eq!(d2.serialize(), out);
+        assert!(out.contains("&lt;"));
+    }
+
+    #[test]
+    fn empty_document_serializes_empty() {
+        let d = Document::new();
+        assert_eq!(d.serialize(), "");
+    }
+
+    #[test]
+    fn serialize_subtree_only() {
+        let d = Document::parse("<a><b>x</b><c/></a>").unwrap();
+        let root = d.root().unwrap();
+        let b = d.first_child(root).unwrap();
+        assert_eq!(d.serialize_subtree(b), "<b>x</b>");
+    }
+
+    #[test]
+    fn deep_tree_serialization_iterative() {
+        let mut d = Document::new();
+        let root = d.create_element("n");
+        d.set_root(root);
+        let mut cur = root;
+        for _ in 0..50_000 {
+            let c = d.create_element("n");
+            d.append_child(cur, c);
+            cur = c;
+        }
+        let s = d.serialize();
+        assert!(s.starts_with("<n><n>"));
+        assert!(s.ends_with("</n></n>"));
+    }
+}

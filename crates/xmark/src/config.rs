@@ -1,0 +1,98 @@
+/// Configuration for the XMark-like generator.
+///
+/// `factor` is the XMark scaling factor: the paper's experiments use
+/// 0.02–0.34 for the DOM algorithms (2.22 MB–37.8 MB documents) and 2–10
+/// for the SAX algorithm (224 MB–1.1 GB). Entity counts scale linearly
+/// with the factor, calibrated so factor 0.02 yields roughly a 2 MB
+/// serialized document like the original generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct XmarkConfig {
+    /// XMark scaling factor (> 0).
+    pub factor: f64,
+    /// RNG seed — generation is fully deterministic given (factor, seed).
+    pub seed: u64,
+}
+
+/// Entity counts at scaling factor 1.0, matching the original XMark
+/// proportions (items : persons : open : closed ≈ 21750 : 25500 : 12000 :
+/// 9750).
+pub(crate) const ITEMS_AT_1: f64 = 21750.0;
+pub(crate) const PERSONS_AT_1: f64 = 25500.0;
+pub(crate) const OPEN_AT_1: f64 = 12000.0;
+pub(crate) const CLOSED_AT_1: f64 = 9750.0;
+pub(crate) const CATEGORIES_AT_1: f64 = 1000.0;
+
+impl XmarkConfig {
+    /// Config with the default seed.
+    pub fn new(factor: f64) -> XmarkConfig {
+        assert!(factor > 0.0, "XMark factor must be positive");
+        XmarkConfig {
+            factor,
+            seed: 0x5EED_0001,
+        }
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> XmarkConfig {
+        self.seed = seed;
+        self
+    }
+
+    pub(crate) fn count(&self, at_1: f64) -> usize {
+        ((at_1 * self.factor).round() as usize).max(1)
+    }
+
+    /// Number of `item` elements across all regions.
+    pub fn items(&self) -> usize {
+        self.count(ITEMS_AT_1)
+    }
+
+    /// Number of `person` elements.
+    pub fn persons(&self) -> usize {
+        self.count(PERSONS_AT_1)
+    }
+
+    /// Number of `open_auction` elements.
+    pub fn open_auctions(&self) -> usize {
+        self.count(OPEN_AT_1)
+    }
+
+    /// Number of `closed_auction` elements.
+    pub fn closed_auctions(&self) -> usize {
+        self.count(CLOSED_AT_1)
+    }
+
+    /// Number of `category` elements.
+    pub fn categories(&self) -> usize {
+        self.count(CATEGORIES_AT_1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_scale_linearly() {
+        let small = XmarkConfig::new(0.02);
+        let large = XmarkConfig::new(0.2);
+        assert_eq!(small.items(), 435);
+        assert_eq!(large.items(), 4350);
+        assert_eq!(small.persons(), 510);
+        assert_eq!(small.open_auctions(), 240);
+        assert_eq!(small.closed_auctions(), 195);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_factor_rejected() {
+        XmarkConfig::new(0.0);
+    }
+
+    #[test]
+    fn tiny_factor_still_produces_entities() {
+        let c = XmarkConfig::new(0.00001);
+        assert!(c.items() >= 1);
+        assert!(c.persons() >= 1);
+    }
+}

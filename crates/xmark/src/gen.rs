@@ -1,0 +1,621 @@
+//! The generator proper: emits an XMark-like `site` document to any
+//! [`XmlSink`].
+//!
+//! Schema coverage is driven by the paper's workload (Fig. 11): every
+//! element and attribute that U1–U10 touch is produced with realistic
+//! selectivity — `person/@id`, `profile/age`, `regions//item/location`,
+//! `open_auction` `initial`/`reserve`/`bidder/increase`,
+//! `annotation/happiness`, and descriptions with nested
+//! `parlist/listitem/text/emph/keyword` structure (U6's 12-step path).
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use xust_tree::Document;
+
+use crate::config::XmarkConfig;
+use crate::sink::{TreeSink, WriteSink, XmlSink};
+use crate::vocab::{COUNTRIES, FIRST_NAMES, LAST_NAMES, WORDS};
+
+/// Generates an in-memory document.
+pub fn generate(cfg: XmarkConfig) -> Document {
+    let mut sink = TreeSink::new();
+    Generator::new(cfg).run(&mut sink);
+    sink.finish()
+}
+
+/// Generates directly to a writer with O(depth) memory.
+pub fn generate_to_writer<W: Write>(cfg: XmarkConfig, out: W) -> io::Result<()> {
+    let mut sink = WriteSink::new(out);
+    Generator::new(cfg).run(&mut sink);
+    sink.finish()
+        .map_err(|e| io::Error::other(e.to_string()))?;
+    Ok(())
+}
+
+/// Generates to a file (buffered).
+pub fn generate_to_file(cfg: XmarkConfig, path: impl AsRef<Path>) -> io::Result<()> {
+    let f = BufWriter::new(File::create(path)?);
+    generate_to_writer(cfg, f)
+}
+
+/// Generates serialized XML as a string.
+pub fn generate_string(cfg: XmarkConfig) -> String {
+    let mut buf = Vec::new();
+    generate_to_writer(cfg, &mut buf).expect("in-memory generation cannot fail");
+    String::from_utf8(buf).expect("generator produces UTF-8")
+}
+
+/// Region names with their share of items; `namerica` dominates as in
+/// original XMark, making U9's `location = "United States"` qualifier
+/// broad but not universal.
+const REGIONS: &[(&str, f64)] = &[
+    ("africa", 0.07),
+    ("asia", 0.10),
+    ("australia", 0.07),
+    ("europe", 0.20),
+    ("namerica", 0.50),
+    ("samerica", 0.06),
+];
+
+struct Generator {
+    cfg: XmarkConfig,
+    rng: StdRng,
+}
+
+impl Generator {
+    fn new(cfg: XmarkConfig) -> Generator {
+        // Mix the factor into the seed so different scales produce
+        // different (but reproducible) content.
+        let seed = cfg.seed ^ cfg.factor.to_bits().rotate_left(17);
+        Generator {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn run(&mut self, s: &mut dyn XmlSink) {
+        s.start("site", vec![]);
+        self.regions(s);
+        self.categories(s);
+        self.catgraph(s);
+        self.people(s);
+        self.open_auctions(s);
+        self.closed_auctions(s);
+        s.end("site");
+    }
+
+    // ---- helpers ----
+
+    fn word(&mut self) -> &'static str {
+        WORDS[self.rng.gen_range(0..WORDS.len())]
+    }
+
+    fn words(&mut self, n: usize) -> String {
+        let mut out = String::with_capacity(n * 8);
+        for i in 0..n {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(self.word());
+        }
+        out
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p)
+    }
+
+    fn money(&mut self, max: f64) -> String {
+        format!("{:.2}", self.rng.gen_range(0.0..max))
+    }
+
+    fn date(&mut self) -> String {
+        format!(
+            "{:02}/{:02}/{}",
+            self.rng.gen_range(1..=12),
+            self.rng.gen_range(1..=28),
+            self.rng.gen_range(1998..=2001)
+        )
+    }
+
+    fn simple(&mut self, s: &mut dyn XmlSink, name: &str, content: &str) {
+        s.start(name, vec![]);
+        s.text(content);
+        s.end(name);
+    }
+
+    /// `<text>` with inline `emph`/`keyword` markup; `emph` occasionally
+    /// nests a `keyword` (the tail of U6's path `…/text/emph/keyword`).
+    fn rich_text(&mut self, s: &mut dyn XmlSink, mean_words: usize) {
+        s.start("text", vec![]);
+        let chunks = self.rng.gen_range(2..=4);
+        for _ in 0..chunks {
+            let n = (mean_words / chunks).max(3);
+            let count = self.rng.gen_range(n / 2..=n + n / 2);
+            let w = self.words(count);
+            s.text(&w);
+            match self.rng.gen_range(0..10) {
+                0..=3 => {
+                    // emph, half the time containing a keyword
+                    s.start("emph", vec![]);
+                    if self.chance(0.6) {
+                        s.start("keyword", vec![]);
+                        let count = self.rng.gen_range(1..=2);
+                        let kw = self.words(count);
+                        s.text(&kw);
+                        s.end("keyword");
+                        let tail = self.words(1);
+                        s.text(&tail);
+                    } else {
+                        let count = self.rng.gen_range(1..=3);
+                        let w = self.words(count);
+                        s.text(&w);
+                    }
+                    s.end("emph");
+                }
+                4..=6 => {
+                    s.start("keyword", vec![]);
+                    let count = self.rng.gen_range(1..=2);
+                    let w = self.words(count);
+                    s.text(&w);
+                    s.end("keyword");
+                }
+                _ => {}
+            }
+        }
+        s.end("text");
+    }
+
+    /// `description`: either a flat `text` or a `parlist` of `listitem`s,
+    /// where a listitem may nest another `parlist` (depth ≤ 2 as in U6).
+    fn description(&mut self, s: &mut dyn XmlSink, nested_bias: f64) {
+        s.start("description", vec![]);
+        if self.chance(0.3) {
+            self.rich_text(s, 40);
+        } else {
+            self.parlist(s, nested_bias, 0);
+        }
+        s.end("description");
+    }
+
+    fn parlist(&mut self, s: &mut dyn XmlSink, nested_bias: f64, depth: usize) {
+        s.start("parlist", vec![]);
+        let items = self.rng.gen_range(1..=3);
+        for _ in 0..items {
+            s.start("listitem", vec![]);
+            if depth == 0 && self.chance(nested_bias) {
+                self.parlist(s, nested_bias, 1);
+            } else {
+                self.rich_text(s, 30);
+            }
+            s.end("listitem");
+        }
+        s.end("parlist");
+    }
+
+    // ---- sections ----
+
+    fn regions(&mut self, s: &mut dyn XmlSink) {
+        s.start("regions", vec![]);
+        let total = self.cfg.items();
+        let mut item_id = 0usize;
+        for (region, share) in REGIONS {
+            s.start(region, vec![]);
+            let count = ((total as f64) * share).round() as usize;
+            for _ in 0..count {
+                self.item(s, item_id, region);
+                item_id += 1;
+            }
+            s.end(region);
+        }
+        s.end("regions");
+    }
+
+    fn item(&mut self, s: &mut dyn XmlSink, id: usize, region: &str) {
+        s.start("item", vec![("id".into(), format!("item{id}"))]);
+        let location = if region == "namerica" && self.chance(0.9) {
+            COUNTRIES[0] // United States
+        } else {
+            COUNTRIES[self.rng.gen_range(1..COUNTRIES.len())]
+        };
+        self.simple(s, "location", location);
+        let qty = self.rng.gen_range(1..=5).to_string();
+        self.simple(s, "quantity", &qty);
+        let name = self.words(2);
+        self.simple(s, "name", &name);
+        let payment = if self.chance(0.5) {
+            "Creditcard"
+        } else {
+            "Money order, Cash"
+        };
+        self.simple(s, "payment", payment);
+        self.description(s, 0.4);
+        let shipping = if self.chance(0.5) {
+            "Will ship internationally"
+        } else {
+            "Buyer pays fixed shipping charges"
+        };
+        self.simple(s, "shipping", shipping);
+        for _ in 0..self.rng.gen_range(1..=3) {
+            let cat = self.rng.gen_range(0..self.cfg.categories());
+            s.start("incategory", vec![("category".into(), format!("category{cat}"))]);
+            s.end("incategory");
+        }
+        if self.chance(0.6) {
+            s.start("mailbox", vec![]);
+            for _ in 0..self.rng.gen_range(1..=2) {
+                s.start("mail", vec![]);
+                let from = self.person_ref_name();
+                self.simple(s, "from", &from);
+                let to = self.person_ref_name();
+                self.simple(s, "to", &to);
+                let d = self.date();
+                self.simple(s, "date", &d);
+                self.rich_text(s, 50);
+                s.end("mail");
+            }
+            s.end("mailbox");
+        }
+        s.end("item");
+    }
+
+    fn person_ref_name(&mut self) -> String {
+        let f = FIRST_NAMES[self.rng.gen_range(0..FIRST_NAMES.len())];
+        let l = LAST_NAMES[self.rng.gen_range(0..LAST_NAMES.len())];
+        format!("{f} {l}")
+    }
+
+    fn categories(&mut self, s: &mut dyn XmlSink) {
+        s.start("categories", vec![]);
+        for i in 0..self.cfg.categories() {
+            s.start("category", vec![("id".into(), format!("category{i}"))]);
+            let name = self.words(1);
+            self.simple(s, "name", &name);
+            self.description(s, 0.2);
+            s.end("category");
+        }
+        s.end("categories");
+    }
+
+    fn catgraph(&mut self, s: &mut dyn XmlSink) {
+        s.start("catgraph", vec![]);
+        let n = self.cfg.categories();
+        for _ in 0..n {
+            let from = self.rng.gen_range(0..n);
+            let to = self.rng.gen_range(0..n);
+            s.start(
+                "edge",
+                vec![
+                    ("from".into(), format!("category{from}")),
+                    ("to".into(), format!("category{to}")),
+                ],
+            );
+            s.end("edge");
+        }
+        s.end("catgraph");
+    }
+
+    fn people(&mut self, s: &mut dyn XmlSink) {
+        s.start("people", vec![]);
+        for i in 0..self.cfg.persons() {
+            self.person(s, i);
+        }
+        s.end("people");
+    }
+
+    fn person(&mut self, s: &mut dyn XmlSink, id: usize) {
+        s.start("person", vec![("id".into(), format!("person{id}"))]);
+        let name = self.person_ref_name();
+        self.simple(s, "name", &name);
+        let email = format!(
+            "mailto:{}@example.com",
+            name.to_lowercase().replace(' ', ".")
+        );
+        self.simple(s, "emailaddress", &email);
+        if self.chance(0.5) {
+            let phone = format!(
+                "+{} ({}) {}",
+                self.rng.gen_range(1..99),
+                self.rng.gen_range(100..999),
+                self.rng.gen_range(1_000_000..9_999_999)
+            );
+            self.simple(s, "phone", &phone);
+        }
+        if self.chance(0.4) {
+            s.start("address", vec![]);
+            let street = format!("{} {} St", self.rng.gen_range(1..99), self.word());
+            self.simple(s, "street", &street);
+            let city = self.word().to_string();
+            self.simple(s, "city", &city);
+            let country = COUNTRIES[self.rng.gen_range(0..COUNTRIES.len())];
+            self.simple(s, "country", country);
+            let zip = self.rng.gen_range(10000..99999).to_string();
+            self.simple(s, "zipcode", &zip);
+            s.end("address");
+        }
+        if self.chance(0.3) {
+            let hp = format!("http://example.com/~person{id}");
+            self.simple(s, "homepage", &hp);
+        }
+        if self.chance(0.25) {
+            let cc = format!(
+                "{} {} {} {}",
+                self.rng.gen_range(1000..9999),
+                self.rng.gen_range(1000..9999),
+                self.rng.gen_range(1000..9999),
+                self.rng.gen_range(1000..9999)
+            );
+            self.simple(s, "creditcard", &cc);
+        }
+        // profile — U3's `profile/age > 20` needs age to exist often and
+        // exceed 20 most of the time (ages 18–70).
+        s.start(
+            "profile",
+            vec![("income".into(), self.money(100_000.0))],
+        );
+        for _ in 0..self.rng.gen_range(0..=3) {
+            let cat = self.rng.gen_range(0..self.cfg.categories());
+            s.start("interest", vec![("category".into(), format!("category{cat}"))]);
+            s.end("interest");
+        }
+        if self.chance(0.3) {
+            s.start("education", vec![]);
+            s.text(
+                ["High School", "College", "Graduate School", "Other"]
+                    [self.rng.gen_range(0..4)],
+            );
+            s.end("education");
+        }
+        if self.chance(0.5) {
+            let g = if self.chance(0.5) { "male" } else { "female" };
+            self.simple(s, "gender", g);
+        }
+        let business = if self.chance(0.5) { "Yes" } else { "No" };
+        self.simple(s, "business", business);
+        if self.chance(0.7) {
+            let age = self.rng.gen_range(18..=70).to_string();
+            self.simple(s, "age", &age);
+        }
+        s.end("profile");
+        if self.chance(0.4) {
+            s.start("watches", vec![]);
+            for _ in 0..self.rng.gen_range(1..=2) {
+                let a = self.rng.gen_range(0..self.cfg.open_auctions());
+                s.start(
+                    "watch",
+                    vec![("open_auction".into(), format!("open_auction{a}"))],
+                );
+                s.end("watch");
+            }
+            s.end("watches");
+        }
+        s.end("person");
+    }
+
+    fn open_auctions(&mut self, s: &mut dyn XmlSink) {
+        s.start("open_auctions", vec![]);
+        for i in 0..self.cfg.open_auctions() {
+            self.open_auction(s, i);
+        }
+        s.end("open_auctions");
+    }
+
+    fn open_auction(&mut self, s: &mut dyn XmlSink, id: usize) {
+        s.start(
+            "open_auction",
+            vec![("id".into(), format!("open_auction{id}"))],
+        );
+        // U8: initial > 10 (≈ 80% of auctions) and reserve > 50 (present
+        // 45%, above 50 ≈ 70% of those).
+        let initial = self.money(100.0);
+        self.simple(s, "initial", &initial);
+        if self.chance(0.45) {
+            let r = format!("{:.2}", self.rng.gen_range(10.0..200.0));
+            self.simple(s, "reserve", &r);
+        }
+        let bidders = self.rng.gen_range(0..=5);
+        for _ in 0..bidders {
+            s.start("bidder", vec![]);
+            let d = self.date();
+            self.simple(s, "date", &d);
+            let t = format!(
+                "{:02}:{:02}:{:02}",
+                self.rng.gen_range(0..24),
+                self.rng.gen_range(0..60),
+                self.rng.gen_range(0..60)
+            );
+            self.simple(s, "time", &t);
+            let p = self.rng.gen_range(0..self.cfg.persons());
+            s.start("personref", vec![("person".into(), format!("person{p}"))]);
+            s.end("personref");
+            // U7: increase > 5; U10: increase > 10 — draw 1.5..30.
+            let inc = format!("{:.2}", self.rng.gen_range(1.5..30.0));
+            self.simple(s, "increase", &inc);
+            s.end("bidder");
+        }
+        let current = self.money(300.0);
+        self.simple(s, "current", &current);
+        if self.chance(0.2) {
+            self.simple(s, "privacy", "Yes");
+        }
+        let item = self.rng.gen_range(0..self.cfg.items());
+        s.start("itemref", vec![("item".into(), format!("item{item}"))]);
+        s.end("itemref");
+        let seller = self.rng.gen_range(0..self.cfg.persons());
+        s.start("seller", vec![("person".into(), format!("person{seller}"))]);
+        s.end("seller");
+        self.annotation(s);
+        let qty = self.rng.gen_range(1..=5).to_string();
+        self.simple(s, "quantity", &qty);
+        let ty = if self.chance(0.7) {
+            "Regular"
+        } else {
+            "Featured"
+        };
+        self.simple(s, "type", ty);
+        s.start("interval", vec![]);
+        let d = self.date();
+        self.simple(s, "start", &d);
+        let d = self.date();
+        self.simple(s, "end", &d);
+        s.end("interval");
+        s.end("open_auction");
+    }
+
+    /// `annotation` with `happiness` drawn 0..30, so U7's
+    /// `happiness < 20` holds for about two thirds of annotations.
+    fn annotation(&mut self, s: &mut dyn XmlSink) {
+        s.start("annotation", vec![]);
+        let p = self.rng.gen_range(0..self.cfg.persons());
+        s.start("author", vec![("person".into(), format!("person{p}"))]);
+        s.end("author");
+        // High nesting bias: U6 requires depth-2 parlists under
+        // closed-auction descriptions.
+        self.description(s, 0.6);
+        let h = self.rng.gen_range(0..30).to_string();
+        self.simple(s, "happiness", &h);
+        s.end("annotation");
+    }
+
+    fn closed_auctions(&mut self, s: &mut dyn XmlSink) {
+        s.start("closed_auctions", vec![]);
+        for _ in 0..self.cfg.closed_auctions() {
+            s.start("closed_auction", vec![]);
+            let seller = self.rng.gen_range(0..self.cfg.persons());
+            s.start("seller", vec![("person".into(), format!("person{seller}"))]);
+            s.end("seller");
+            let buyer = self.rng.gen_range(0..self.cfg.persons());
+            s.start("buyer", vec![("person".into(), format!("person{buyer}"))]);
+            s.end("buyer");
+            let item = self.rng.gen_range(0..self.cfg.items());
+            s.start("itemref", vec![("item".into(), format!("item{item}"))]);
+            s.end("itemref");
+            let price = self.money(400.0);
+            self.simple(s, "price", &price);
+            let d = self.date();
+            self.simple(s, "date", &d);
+            let qty = self.rng.gen_range(1..=5).to_string();
+            self.simple(s, "quantity", &qty);
+            let ty = if self.chance(0.7) {
+                "Regular"
+            } else {
+                "Featured"
+            };
+            self.simple(s, "type", ty);
+            self.annotation(s);
+            s.end("closed_auction");
+        }
+        s.end("closed_auctions");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xust_xpath::{eval_path_root, parse_path};
+
+    #[test]
+    fn deterministic() {
+        let a = generate_string(XmarkConfig::new(0.005));
+        let b = generate_string(XmarkConfig::new(0.005));
+        assert_eq!(a, b);
+        let c = generate_string(XmarkConfig::new(0.005).with_seed(7));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn tree_and_stream_agree() {
+        let cfg = XmarkConfig::new(0.002);
+        let doc = generate(cfg);
+        let streamed = generate_string(cfg);
+        assert_eq!(doc.serialize(), streamed);
+    }
+
+    #[test]
+    fn top_level_structure() {
+        let doc = generate(XmarkConfig::new(0.002));
+        let root = doc.root().unwrap();
+        assert_eq!(doc.name(root), Some("site"));
+        let sections: Vec<_> = doc
+            .element_children(root)
+            .map(|n| doc.name(n).unwrap().to_string())
+            .collect();
+        assert_eq!(
+            sections,
+            [
+                "regions",
+                "categories",
+                "catgraph",
+                "people",
+                "open_auctions",
+                "closed_auctions"
+            ]
+        );
+    }
+
+    #[test]
+    fn all_workload_paths_non_empty() {
+        // Every U1–U10 path must select at least one node at factor 0.02,
+        // otherwise the Fig. 12 experiment degenerates.
+        let doc = generate(XmarkConfig::new(0.02));
+        let queries = [
+            "/site/people/person",
+            "/site/people/person[@id = \"person10\"]",
+            "/site/people/person[profile/age > 20]",
+            "/site/regions//item",
+            "/site//description",
+            "/site/closed_auctions/closed_auction/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword",
+            "/site/open_auctions/open_auction[bidder/increase>5]/annotation[happiness < 20]/description//text",
+            "/site/open_auctions/open_auction[initial > 10 and reserve >50]/bidder",
+            "/site/regions//item[location =\"United States\"]",
+            "/site//open_auctions/open_auction[not(@id =\"open_auction2\")]/bidder[increase > 10]",
+        ];
+        for q in queries {
+            let path = parse_path(q).unwrap();
+            let hits = eval_path_root(&doc, &path);
+            assert!(!hits.is_empty(), "{q} selected nothing");
+        }
+    }
+
+    #[test]
+    fn u2_selects_exactly_one_person() {
+        let doc = generate(XmarkConfig::new(0.02));
+        let path = parse_path("/site/people/person[@id = \"person10\"]").unwrap();
+        assert_eq!(eval_path_root(&doc, &path).len(), 1);
+    }
+
+    #[test]
+    fn size_scales_linearly() {
+        let small = generate_string(XmarkConfig::new(0.002)).len();
+        let large = generate_string(XmarkConfig::new(0.008)).len();
+        let ratio = large as f64 / small as f64;
+        assert!(
+            (2.5..6.0).contains(&ratio),
+            "4x factor should give ≈4x bytes, got {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn calibration_factor_002_is_about_2mb() {
+        let bytes = generate_string(XmarkConfig::new(0.02)).len();
+        let mb = bytes as f64 / 1e6;
+        assert!(
+            (1.3..3.5).contains(&mb),
+            "factor 0.02 should be ≈2.2 MB, got {mb:.2} MB"
+        );
+    }
+
+    #[test]
+    fn generate_to_file_roundtrip() {
+        let path = std::env::temp_dir().join("xust_xmark_test.xml");
+        generate_to_file(XmarkConfig::new(0.001), &path).unwrap();
+        let doc = Document::parse_file(&path).unwrap();
+        assert_eq!(doc.name(doc.root().unwrap()), Some("site"));
+        std::fs::remove_file(&path).ok();
+    }
+}

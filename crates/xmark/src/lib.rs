@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+//! `xust-xmark` — a deterministic XMark-like benchmark data generator.
+//!
+//! The paper's experiments (Section 7) run on documents produced by the
+//! XMark generator \[24\] at scaling factors 0.02–0.34 (DOM experiments)
+//! and 2–10 (SAX experiments). This crate is the substitute substrate: a
+//! seeded, reproducible generator covering the slice of the XMark schema
+//! that the workload queries U1–U10 exercise, with entity counts and
+//! document sizes calibrated to the original's (factor 0.02 ≈ 2 MB).
+//!
+//! # Example
+//!
+//! ```
+//! use xust_xmark::{generate, XmarkConfig};
+//!
+//! let doc = generate(XmarkConfig::new(0.001));
+//! assert_eq!(doc.name(doc.root().unwrap()), Some("site"));
+//! ```
+
+mod config;
+mod gen;
+mod sink;
+mod vocab;
+
+pub use config::XmarkConfig;
+pub use gen::{generate, generate_string, generate_to_file, generate_to_writer};
+pub use sink::{TreeSink, WriteSink, XmlSink};

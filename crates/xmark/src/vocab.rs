@@ -1,0 +1,80 @@
+//! Word lists for synthetic text content.
+//!
+//! The original XMark generator draws its prose from Shakespeare; we use
+//! a fixed vocabulary of common English words, which reproduces the
+//! property that matters for the experiments: element text is incompressible
+//! filler whose volume dominates document size.
+
+/// Words used to fill `text`, `description`, and `name` elements.
+pub const WORDS: &[&str] = &[
+    "against", "ancient", "anything", "appear", "battle", "beauty", "because", "believe",
+    "between", "blood", "bright", "broken", "brother", "castle", "change", "country", "courage",
+    "crown", "danger", "daughter", "death", "desire", "dream", "earth", "empire", "enemy",
+    "evening", "father", "feather", "fire", "flower", "follow", "forest", "fortune", "freedom",
+    "friend", "garden", "gentle", "glory", "golden", "grace", "great", "heart", "heaven",
+    "honest", "honour", "horse", "house", "hunger", "island", "journey", "justice", "kingdom",
+    "knight", "labour", "letter", "light", "little", "lonely", "market", "marriage", "master",
+    "memory", "mercy", "midnight", "mirror", "moment", "morning", "mother", "mountain", "murder",
+    "music", "nature", "never", "night", "noble", "nothing", "ocean", "orange", "palace",
+    "passion", "patience", "peace", "people", "perhaps", "pleasure", "poison", "power", "prince",
+    "prison", "promise", "proud", "purple", "quarrel", "queen", "quiet", "reason", "remember",
+    "return", "river", "royal", "sacred", "sailor", "season", "secret", "shadow", "silence",
+    "silver", "simple", "sister", "soldier", "sorrow", "spirit", "spring", "stone", "storm",
+    "stranger", "summer", "sunset", "sweet", "sword", "temple", "thunder", "tomorrow", "tonight",
+    "treasure", "trouble", "trust", "truth", "valley", "velvet", "victory", "village", "virtue",
+    "voyage", "wander", "warrior", "water", "weather", "welcome", "whisper", "window", "winter",
+    "wisdom", "wonder", "worthy", "yellow", "yesterday", "young",
+];
+
+/// Countries used for `location` and `country` elements. The first entry
+/// is weighted heavily for items in the `namerica` region, which is what
+/// makes U9's `[location = "United States"]` selective but non-trivial —
+/// mirroring real XMark, where roughly three quarters of items sit in
+/// `namerica` with a United States location.
+pub const COUNTRIES: &[&str] = &[
+    "United States",
+    "Germany",
+    "France",
+    "Japan",
+    "Brazil",
+    "Australia",
+    "Canada",
+    "Italy",
+    "Spain",
+    "Kenya",
+    "Egypt",
+    "India",
+    "China",
+    "Mexico",
+    "Norway",
+    "Poland",
+];
+
+/// Given names for `person/name`.
+pub const FIRST_NAMES: &[&str] = &[
+    "Ada", "Alan", "Barbara", "Claude", "Donald", "Edsger", "Frances", "Grace", "Hedy", "John",
+    "Katherine", "Kurt", "Leslie", "Margaret", "Niklaus", "Radia", "Robin", "Shafi", "Tim",
+    "Vint",
+];
+
+/// Family names for `person/name`.
+pub const LAST_NAMES: &[&str] = &[
+    "Baker", "Chen", "Dubois", "Evans", "Fischer", "Garcia", "Hansen", "Ivanov", "Johnson",
+    "Kim", "Larsen", "Moreau", "Nakamura", "Okafor", "Patel", "Quinn", "Rossi", "Schmidt",
+    "Tanaka", "Weber",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocabularies_non_empty_and_unique() {
+        assert!(WORDS.len() > 100);
+        let mut sorted = WORDS.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), WORDS.len(), "duplicate word in vocabulary");
+        assert_eq!(COUNTRIES[0], "United States");
+    }
+}

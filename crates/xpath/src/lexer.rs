@@ -1,0 +1,379 @@
+use std::fmt;
+
+/// Tokens of the X fragment's concrete syntax.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// `/` — child axis separator.
+    Slash,
+    /// `//` — descendant-or-self shorthand.
+    DoubleSlash,
+    /// `*` — wildcard node test.
+    Star,
+    /// `.` — self (ε).
+    Dot,
+    /// `@` — attribute accessor prefix.
+    At,
+    /// `[` opening a qualifier.
+    LBracket,
+    /// `]` closing a qualifier.
+    RBracket,
+    /// `(` grouping.
+    LParen,
+    /// `)` grouping.
+    RParen,
+    /// `=`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `and`.
+    And,
+    /// `or`.
+    Or,
+    /// `not`.
+    Not,
+    /// `label()` — the label test of the fragment.
+    LabelFn,
+    /// `text()` — synonym for `.` in comparison positions.
+    TextFn,
+    /// An element label.
+    Name(String),
+    /// A quoted string literal.
+    Str(String),
+    /// A numeric literal.
+    Num(f64),
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Slash => write!(f, "/"),
+            Token::DoubleSlash => write!(f, "//"),
+            Token::Star => write!(f, "*"),
+            Token::Dot => write!(f, "."),
+            Token::At => write!(f, "@"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::And => write!(f, "and"),
+            Token::Or => write!(f, "or"),
+            Token::Not => write!(f, "not"),
+            Token::LabelFn => write!(f, "label()"),
+            Token::TextFn => write!(f, "text()"),
+            Token::Name(n) => write!(f, "{n}"),
+            Token::Str(s) => write!(f, "\"{s}\""),
+            Token::Num(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// Lexer error with byte position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub pos: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lexical error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '-' || c == '.'
+}
+
+/// Tokenizes an X expression. Keywords `and`/`or`/`not` are recognized
+/// contextually by the parser where needed; the lexer classifies them
+/// eagerly, and the parser re-interprets `Name` vs keyword as required.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '/' => {
+                if chars.get(i + 1) == Some(&'/') {
+                    out.push(Token::DoubleSlash);
+                    i += 2;
+                } else {
+                    out.push(Token::Slash);
+                    i += 1;
+                }
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '@' => {
+                out.push(Token::At);
+                i += 1;
+            }
+            '[' => {
+                out.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                out.push(Token::RBracket);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        pos: i,
+                        message: "expected '=' after '!'".into(),
+                    });
+                }
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let start = i + 1;
+                let mut j = start;
+                while j < chars.len() && chars[j] != quote {
+                    j += 1;
+                }
+                if j >= chars.len() {
+                    return Err(LexError {
+                        pos: i,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                out.push(Token::Str(chars[start..j].iter().collect()));
+                i = j + 1;
+            }
+            '.' => {
+                if chars.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
+                    // A number like .5
+                    let (num, next) = lex_number(&chars, i)?;
+                    out.push(Token::Num(num));
+                    i = next;
+                } else {
+                    out.push(Token::Dot);
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let (num, next) = lex_number(&chars, i)?;
+                out.push(Token::Num(num));
+                i = next;
+            }
+            c if is_name_start(c) => {
+                let start = i;
+                let mut j = i;
+                while j < chars.len() && is_name_char(chars[j]) {
+                    j += 1;
+                }
+                let name: String = chars[start..j].iter().collect();
+                i = j;
+                // Function-call forms: name()
+                if chars.get(i) == Some(&'(')
+                    && chars.get(i + 1) == Some(&')')
+                    && matches!(name.as_str(), "label" | "text")
+                {
+                    out.push(if name == "label" {
+                        Token::LabelFn
+                    } else {
+                        Token::TextFn
+                    });
+                    i += 2;
+                    continue;
+                }
+                out.push(match name.as_str() {
+                    "and" => Token::And,
+                    "or" => Token::Or,
+                    "not" => Token::Not,
+                    _ => Token::Name(name),
+                });
+            }
+            _ => {
+                return Err(LexError {
+                    pos: i,
+                    message: format!("unexpected character '{c}'"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn lex_number(chars: &[char], start: usize) -> Result<(f64, usize), LexError> {
+    let mut j = start;
+    let mut seen_dot = false;
+    while j < chars.len() {
+        let c = chars[j];
+        if c.is_ascii_digit() {
+            j += 1;
+        } else if c == '.' && !seen_dot && chars.get(j + 1).is_some_and(|d| d.is_ascii_digit()) {
+            seen_dot = true;
+            j += 1;
+        } else {
+            break;
+        }
+    }
+    let text: String = chars[start..j].iter().collect();
+    text.parse::<f64>()
+        .map(|n| (n, j))
+        .map_err(|_| LexError {
+            pos: start,
+            message: format!("invalid number '{text}'"),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lex_simple_path() {
+        assert_eq!(
+            lex("/site/people/person").unwrap(),
+            vec![
+                Token::Slash,
+                Token::Name("site".into()),
+                Token::Slash,
+                Token::Name("people".into()),
+                Token::Slash,
+                Token::Name("person".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_double_slash_and_star() {
+        assert_eq!(
+            lex("//part/*").unwrap(),
+            vec![
+                Token::DoubleSlash,
+                Token::Name("part".into()),
+                Token::Slash,
+                Token::Star
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_qualifier_tokens() {
+        let toks = lex("person[@id = \"person10\"]").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Name("person".into()),
+                Token::LBracket,
+                Token::At,
+                Token::Name("id".into()),
+                Token::Eq,
+                Token::Str("person10".into()),
+                Token::RBracket,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_comparison_operators() {
+        let toks = lex("a >= 1 and b <= 2 or not(c != 'x') and d < .5").unwrap();
+        assert!(toks.contains(&Token::Ge));
+        assert!(toks.contains(&Token::Le));
+        assert!(toks.contains(&Token::Ne));
+        assert!(toks.contains(&Token::And));
+        assert!(toks.contains(&Token::Or));
+        assert!(toks.contains(&Token::Not));
+        assert!(toks.contains(&Token::Num(0.5)));
+    }
+
+    #[test]
+    fn lex_label_and_text_functions() {
+        assert_eq!(
+            lex("label() = part").unwrap(),
+            vec![Token::LabelFn, Token::Eq, Token::Name("part".into())]
+        );
+        assert_eq!(
+            lex("text() = 'x'").unwrap(),
+            vec![Token::TextFn, Token::Eq, Token::Str("x".into())]
+        );
+    }
+
+    #[test]
+    fn lex_numbers() {
+        assert_eq!(lex("15").unwrap(), vec![Token::Num(15.0)]);
+        assert_eq!(lex("3.25").unwrap(), vec![Token::Num(3.25)]);
+    }
+
+    #[test]
+    fn lex_names_with_underscores() {
+        assert_eq!(
+            lex("open_auction").unwrap(),
+            vec![Token::Name("open_auction".into())]
+        );
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(lex("a ! b").is_err());
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("a # b").is_err());
+    }
+
+    #[test]
+    fn dot_vs_number() {
+        assert_eq!(lex(".").unwrap(), vec![Token::Dot]);
+        assert_eq!(lex("./a").unwrap()[0], Token::Dot);
+    }
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+//! `xust-xpath` — the XPath fragment **X** of *Querying XML with Update
+//! Syntax* (Section 2):
+//!
+//! ```text
+//! p ::= ε | l | * | p/p | p//p | p[q]
+//! q ::= p | p = 's' | label() = l | q ∧ q | q ∨ q | ¬q
+//! ```
+//!
+//! plus the attribute tests and numeric comparisons that the paper's own
+//! experimental workload (Fig. 11) requires.
+//!
+//! The crate provides:
+//! * an AST in the paper's normal form β₁\[q₁\]/…/βₖ\[qₖ\] ([`Path`]),
+//! * a parser ([`parse_path`], [`parse_qualifier`]),
+//! * a direct DOM evaluator ([`eval_path`], [`eval_qualifier`]) — the
+//!   "native" `checkp()` oracle of the topDown/GENTOP method,
+//! * the qualifier normalization and dynamic program of Section 5
+//!   ([`QualTable`], [`qual_dp`]) used by `bottomUp`.
+//!
+//! # Example
+//!
+//! ```
+//! use xust_tree::Document;
+//! use xust_xpath::{parse_path, eval_path};
+//!
+//! let doc = Document::parse(
+//!     "<db><part><pname>keyboard</pname></part><part><pname>mouse</pname></part></db>",
+//! ).unwrap();
+//! let path = parse_path("part[pname = 'keyboard']").unwrap();
+//! let hits = eval_path(&doc, doc.root().unwrap(), &path);
+//! assert_eq!(hits.len(), 1);
+//! ```
+
+mod ast;
+mod eval;
+mod lexer;
+mod normalize;
+mod parser;
+
+pub use ast::{CmpOp, Literal, Path, QPath, Qualifier, Step, StepKind};
+pub use eval::{eval_path, eval_path_root, eval_qualifier};
+pub use lexer::{lex, LexError, Token};
+pub use normalize::{qual_dp, qual_dp_facts, ExprId, NQual, NodeFacts, QualTable, SatVec};
+pub use parser::{parse_path, parse_qualifier, ParseError};

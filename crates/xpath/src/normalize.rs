@@ -1,0 +1,489 @@
+//! Qualifier normalization for the bottom-up dynamic program (Section 5).
+//!
+//! The paper normalizes each qualifier path to the form `η/p'` with
+//! `η ∈ {*, //, ε[q]}` using rewriting rules (1)–(4), then evaluates the
+//! resulting list `LQ` of sub-qualifiers bottom-up with `QualDP` (Fig. 7).
+//!
+//! [`QualTable`] is the compiled form of `LQ`: a hash-consed expression
+//! pool, topologically sorted (sub-expressions strictly before their
+//! containing expressions, which is exactly the order `QualDP` needs),
+//! plus a map from selecting-path steps to the root expression of their
+//! qualifier.
+//!
+//! The expression variants correspond one-to-one to the nine cases of
+//! Fig. 7 (with attribute tests as a tenth, required by U2/U10 of the
+//! paper's own workload).
+
+use std::collections::HashMap;
+
+use crate::ast::{CmpOp, Literal, Path, QPath, Qualifier, StepKind};
+
+/// Index of a normalized expression within a [`QualTable`].
+pub type ExprId = usize;
+
+/// A normalized sub-qualifier — one entry of the paper's list `LQ`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NQual {
+    /// Case (1) `ε` — trivially true.
+    SelfTrue,
+    /// Case (2) `ε[q']/p` — `sat(q') ∧ sat(p)` at the same node.
+    SelfQual {
+        /// The `[q']` checked at the node itself.
+        qual: ExprId,
+        /// The remainder `p` checked at the same node.
+        rest: ExprId,
+    },
+    /// Case (3) `*/p` — `csat(p)`: some child satisfies `p`.
+    Child(ExprId),
+    /// Case (4) `//p` — `sat(p) ∨ dsat(p)`: self or some descendant.
+    Desc(ExprId),
+    /// Case (5) `ε op 's'` — comparison against the node's text.
+    TextCmp(CmpOp, Literal),
+    /// Case (6) `label() = l`.
+    LabelIs(String),
+    /// Extension: `@a op lit` at the node.
+    AttrCmp(String, CmpOp, Literal),
+    /// Extension: `@a` exists at the node.
+    AttrExists(String),
+    /// Case (7) `q1 ∧ q2`.
+    And(ExprId, ExprId),
+    /// Case (8) `q1 ∨ q2`.
+    Or(ExprId, ExprId),
+    /// Case (9) `¬q`.
+    Not(ExprId),
+}
+
+/// Compiled `LQ`: expression pool in topological (children-first) order.
+#[derive(Debug, Clone, Default)]
+pub struct QualTable {
+    /// The list LQ, topologically sorted (sub-expressions first).
+    pub exprs: Vec<NQual>,
+    /// For each step of the selecting path, the root expression of its
+    /// qualifier (None when the step has no qualifier, i.e. `[true]`).
+    pub step_roots: Vec<Option<ExprId>>,
+    /// Hash-consing index.
+    interned: HashMap<String, ExprId>,
+}
+
+impl QualTable {
+    /// Compiles the qualifiers of a selecting path.
+    pub fn from_path(path: &Path) -> QualTable {
+        let mut t = QualTable::default();
+        for step in &path.steps {
+            let root = step.qualifier.as_ref().map(|q| t.translate_qual(q));
+            t.step_roots.push(root);
+        }
+        t
+    }
+
+    /// Number of expressions — the |LQ| of the complexity bounds.
+    pub fn len(&self) -> usize {
+        self.exprs.len()
+    }
+
+    /// True when the path has no qualifiers at all (bottomUp degenerates
+    /// to pure reachability pruning).
+    pub fn is_empty(&self) -> bool {
+        self.exprs.is_empty()
+    }
+
+    fn intern(&mut self, e: NQual) -> ExprId {
+        let key = key_of(&e);
+        if let Some(&id) = self.interned.get(&key) {
+            return id;
+        }
+        let id = self.exprs.len();
+        self.exprs.push(e);
+        self.interned.insert(key, id);
+        id
+    }
+
+    /// Translates a source-level qualifier into the pool, returning its
+    /// root id. Children are interned before parents, preserving the
+    /// topological order QualDP requires.
+    pub fn translate_qual(&mut self, q: &Qualifier) -> ExprId {
+        match q {
+            Qualifier::LabelIs(l) => self.intern(NQual::LabelIs(l.clone())),
+            Qualifier::And(a, b) => {
+                let ia = self.translate_qual(a);
+                let ib = self.translate_qual(b);
+                self.intern(NQual::And(ia, ib))
+            }
+            Qualifier::Or(a, b) => {
+                let ia = self.translate_qual(a);
+                let ib = self.translate_qual(b);
+                self.intern(NQual::Or(ia, ib))
+            }
+            Qualifier::Not(a) => {
+                let ia = self.translate_qual(a);
+                self.intern(NQual::Not(ia))
+            }
+            Qualifier::Exists(qp) => {
+                let terminal = match &qp.attr {
+                    Some(a) => self.intern(NQual::AttrExists(a.clone())),
+                    None => self.intern(NQual::SelfTrue),
+                };
+                self.translate_qpath(qp, terminal)
+            }
+            Qualifier::Cmp(qp, op, lit) => {
+                let terminal = match &qp.attr {
+                    Some(a) => self.intern(NQual::AttrCmp(a.clone(), *op, lit.clone())),
+                    None => self.intern(NQual::TextCmp(*op, lit.clone())),
+                };
+                self.translate_qpath(qp, terminal)
+            }
+        }
+    }
+
+    /// Rewrites a qualifier path right-to-left using the paper's rules:
+    /// `l → */ε[label()=l]` (rule 1) and `p[q] → p/ε[q]` (rule 2).
+    fn translate_qpath(&mut self, qp: &QPath, terminal: ExprId) -> ExprId {
+        let mut rest = terminal;
+        for step in qp.path.steps.iter().rev() {
+            match &step.kind {
+                StepKind::Label(l) => {
+                    let label_id = self.intern(NQual::LabelIs(l.clone()));
+                    let guard = match &step.qualifier {
+                        Some(q) => {
+                            let qid = self.translate_qual(q);
+                            self.intern(NQual::And(label_id, qid))
+                        }
+                        None => label_id,
+                    };
+                    let sq = self.intern(NQual::SelfQual { qual: guard, rest });
+                    rest = self.intern(NQual::Child(sq));
+                }
+                StepKind::Wildcard => {
+                    rest = match &step.qualifier {
+                        Some(q) => {
+                            let qid = self.translate_qual(q);
+                            let sq = self.intern(NQual::SelfQual { qual: qid, rest });
+                            self.intern(NQual::Child(sq))
+                        }
+                        None => self.intern(NQual::Child(rest)),
+                    };
+                }
+                StepKind::Descendant => {
+                    rest = self.intern(NQual::Desc(rest));
+                }
+            }
+        }
+        rest
+    }
+}
+
+fn key_of(e: &NQual) -> String {
+    match e {
+        NQual::SelfTrue => "T".into(),
+        NQual::SelfQual { qual, rest } => format!("S{qual},{rest}"),
+        NQual::Child(p) => format!("C{p}"),
+        NQual::Desc(p) => format!("D{p}"),
+        NQual::TextCmp(op, lit) => format!("X{op:?}{}", lit_key(lit)),
+        NQual::LabelIs(l) => format!("L{l}"),
+        NQual::AttrCmp(a, op, lit) => format!("A{a}\u{0}{op:?}{}", lit_key(lit)),
+        NQual::AttrExists(a) => format!("E{a}"),
+        NQual::And(a, b) => format!("&{a},{b}"),
+        NQual::Or(a, b) => format!("|{a},{b}"),
+        NQual::Not(a) => format!("!{a}"),
+    }
+}
+
+fn lit_key(l: &Literal) -> String {
+    match l {
+        Literal::Str(s) => format!("s{s}"),
+        Literal::Num(n) => format!("n{}", n.to_bits()),
+    }
+}
+
+/// A fixed-width bit vector holding one boolean per [`QualTable`]
+/// expression. The per-node sat/csat/dsat annotations of `bottomUp` are
+/// `SatVec`s — one or two machine words per node for realistic queries,
+/// which is what keeps the annotation pass cheap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SatVec {
+    words: Vec<u64>,
+}
+
+impl SatVec {
+    /// All-false vector sized for `table`.
+    pub fn new(len: usize) -> SatVec {
+        SatVec {
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// Reads bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: bool) {
+        let w = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        if v {
+            *w |= mask;
+        } else {
+            *w &= !mask;
+        }
+    }
+
+    /// In-place OR — the aggregation used for `csat`/`dsat`/`rsat`.
+    pub fn or_assign(&mut self, other: &SatVec) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Clears all bits.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+}
+
+/// Local facts about one node, abstracting over the DOM (`Document` +
+/// `NodeId`) and the SAX stack entry of `twoPassSAX`, which carries the
+/// same information (label, attributes, accumulated text) without a tree.
+pub trait NodeFacts {
+    /// Element label (None for text nodes).
+    fn label(&self) -> Option<&str>;
+    /// Attribute lookup.
+    fn attr(&self, name: &str) -> Option<&str>;
+    /// Concatenated immediate text content.
+    fn immediate_text(&self) -> String;
+}
+
+/// DOM adapter.
+impl NodeFacts for (&xust_tree::Document, xust_tree::NodeId) {
+    fn label(&self) -> Option<&str> {
+        self.0.name(self.1)
+    }
+
+    fn attr(&self, name: &str) -> Option<&str> {
+        self.0.attr(self.1, name)
+    }
+
+    fn immediate_text(&self) -> String {
+        self.0.immediate_text(self.1)
+    }
+}
+
+/// Evaluates all expressions of `table` at one node, given the
+/// child/descendant aggregates — the paper's `QualDP` (Fig. 7), cases
+/// (1)–(9). Runs in O(|LQ|) per node.
+pub fn qual_dp(
+    table: &QualTable,
+    doc: &xust_tree::Document,
+    node: xust_tree::NodeId,
+    csat: &SatVec,
+    dsat: &SatVec,
+    sat: &mut SatVec,
+) {
+    qual_dp_facts(table, &(doc, node), csat, dsat, sat)
+}
+
+/// `QualDP` over abstract node facts (used directly by the SAX pass).
+pub fn qual_dp_facts(
+    table: &QualTable,
+    facts: &dyn NodeFacts,
+    csat: &SatVec,
+    dsat: &SatVec,
+    sat: &mut SatVec,
+) {
+    // A node's comparable text is needed by every TextCmp; compute at
+    // most once.
+    let mut text: Option<String> = None;
+    for (id, e) in table.exprs.iter().enumerate() {
+        let v = match e {
+            NQual::SelfTrue => true,
+            NQual::SelfQual { qual, rest } => sat.get(*qual) && sat.get(*rest),
+            NQual::Child(p) => csat.get(*p),
+            NQual::Desc(p) => sat.get(*p) || dsat.get(*p),
+            NQual::TextCmp(op, lit) => {
+                let t = text.get_or_insert_with(|| facts.immediate_text());
+                lit.compare(t, *op)
+            }
+            NQual::LabelIs(l) => facts.label() == Some(l.as_str()),
+            NQual::AttrCmp(a, op, lit) => facts
+                .attr(a)
+                .map(|v| lit.compare(v, *op))
+                .unwrap_or(false),
+            NQual::AttrExists(a) => facts.attr(a).is_some(),
+            NQual::And(a, b) => sat.get(*a) && sat.get(*b),
+            NQual::Or(a, b) => sat.get(*a) || sat.get(*b),
+            NQual::Not(a) => !sat.get(*a),
+        };
+        sat.set(id, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_path;
+    use xust_tree::Document;
+
+    #[test]
+    fn table_topological_order() {
+        let p = parse_path(
+            "//part[pname = 'keyboard']//part[not(supplier/sname = 'HP') and not(supplier/price < 15)]",
+        )
+        .unwrap();
+        let t = QualTable::from_path(&p);
+        // Every referenced id must be smaller than the referencing id.
+        for (id, e) in t.exprs.iter().enumerate() {
+            let refs: Vec<ExprId> = match e {
+                NQual::SelfQual { qual, rest } => vec![*qual, *rest],
+                NQual::Child(p) | NQual::Desc(p) | NQual::Not(p) => vec![*p],
+                NQual::And(a, b) | NQual::Or(a, b) => vec![*a, *b],
+                _ => vec![],
+            };
+            for r in refs {
+                assert!(r < id, "expr {id} references later expr {r}");
+            }
+        }
+        // Steps: //(no qual), part[q1], //(no qual), part[q2]
+        assert_eq!(t.step_roots.len(), 4);
+        assert!(t.step_roots[0].is_none());
+        assert!(t.step_roots[1].is_some());
+        assert!(t.step_roots[3].is_some());
+    }
+
+    #[test]
+    fn hash_consing_dedups() {
+        let p = parse_path("a[x = '1']/b[x = '1']").unwrap();
+        let t = QualTable::from_path(&p);
+        // The two identical qualifiers share every expression.
+        assert_eq!(t.step_roots[0], t.step_roots[1]);
+    }
+
+    #[test]
+    fn satvec_bits() {
+        let mut v = SatVec::new(130);
+        v.set(0, true);
+        v.set(64, true);
+        v.set(129, true);
+        assert!(v.get(0) && v.get(64) && v.get(129));
+        assert!(!v.get(1) && !v.get(63) && !v.get(128));
+        v.set(64, false);
+        assert!(!v.get(64));
+        let mut w = SatVec::new(130);
+        w.set(5, true);
+        v.or_assign(&w);
+        assert!(v.get(5) && v.get(0));
+        v.clear();
+        assert!(!v.get(0) && !v.get(5));
+    }
+
+    /// Evaluates the table bottom-up over a whole document (reference
+    /// implementation of the recursion, used to check qual_dp cases).
+    fn annotate(doc: &Document, table: &QualTable) -> Vec<SatVec> {
+        let mut sat = vec![SatVec::new(table.len()); doc.arena_len()];
+        fn rec(
+            doc: &Document,
+            table: &QualTable,
+            node: xust_tree::NodeId,
+            sat: &mut Vec<SatVec>,
+        ) -> (SatVec, SatVec) {
+            // returns (sat_n, satsubtree = sat of n or descendants)
+            let mut csat = SatVec::new(table.len());
+            let mut dsat = SatVec::new(table.len());
+            let children: Vec<_> = doc.children(node).collect();
+            for c in children {
+                let (cs, css) = rec(doc, table, c, sat);
+                csat.or_assign(&cs);
+                dsat.or_assign(&css);
+            }
+            let mut s = SatVec::new(table.len());
+            qual_dp(table, doc, node, &csat, &dsat, &mut s);
+            let mut subtree = dsat.clone();
+            subtree.or_assign(&s);
+            sat[node.index()] = s.clone();
+            (s, subtree)
+        }
+        if let Some(r) = doc.root() {
+            rec(doc, table, r, &mut sat);
+        }
+        sat
+    }
+
+    #[test]
+    fn qual_dp_agrees_with_direct_eval() {
+        let doc = Document::parse(
+            r#"<db><part><pname>keyboard</pname><supplier><sname>HP</sname><price>12</price></supplier></part><part><pname>mouse</pname><supplier><sname>IBM</sname><price>20</price></supplier></part></db>"#,
+        )
+        .unwrap();
+        let p = parse_path(
+            "//part[not(supplier/sname = 'HP') and not(supplier/price < 15)]",
+        )
+        .unwrap();
+        let table = QualTable::from_path(&p);
+        let root_expr = table.step_roots[1].unwrap();
+        let sat = annotate(&doc, &table);
+        let q = p.steps[1].qualifier.as_ref().unwrap();
+        for n in doc.descendants_or_self(doc.root().unwrap()) {
+            if !doc.is_element(n) {
+                continue;
+            }
+            let direct = crate::eval::eval_qualifier(&doc, n, q);
+            assert_eq!(
+                sat[n.index()].get(root_expr),
+                direct,
+                "node {:?} <{}>",
+                n,
+                doc.name(n).unwrap_or("?")
+            );
+        }
+    }
+
+    #[test]
+    fn qual_dp_descendant_qualifier() {
+        let doc = Document::parse("<a><b><c><d>hit</d></c></b><b/></a>").unwrap();
+        let p = parse_path("b[.//d = 'hit']").unwrap();
+        let table = QualTable::from_path(&p);
+        let root_expr = table.step_roots[0].unwrap();
+        let sat = annotate(&doc, &table);
+        let root = doc.root().unwrap();
+        let bs: Vec<_> = doc.element_children(root).collect();
+        assert!(sat[bs[0].index()].get(root_expr));
+        assert!(!sat[bs[1].index()].get(root_expr));
+    }
+
+    #[test]
+    fn qual_dp_attr_cases() {
+        let doc = Document::parse(r#"<db><p id="p10"/><p id="p11"/><p/></db>"#).unwrap();
+        let p = parse_path("p[@id = 'p10']").unwrap();
+        let table = QualTable::from_path(&p);
+        let root_expr = table.step_roots[0].unwrap();
+        let sat = annotate(&doc, &table);
+        let root = doc.root().unwrap();
+        let ps: Vec<_> = doc.element_children(root).collect();
+        assert!(sat[ps[0].index()].get(root_expr));
+        assert!(!sat[ps[1].index()].get(root_expr));
+        assert!(!sat[ps[2].index()].get(root_expr));
+    }
+
+    #[test]
+    fn qual_dp_numeric_comparisons() {
+        let doc =
+            Document::parse("<db><a><v>10</v></a><a><v>20</v></a><a><v>x</v></a></db>").unwrap();
+        for (expr, expected) in [
+            ("a[v > 15]", vec![false, true, false]),
+            ("a[v <= 10]", vec![true, false, false]),
+            ("a[v != 'x']", vec![true, true, false]),
+        ] {
+            let p = parse_path(expr).unwrap();
+            let table = QualTable::from_path(&p);
+            let root_expr = table.step_roots[0].unwrap();
+            let sat = annotate(&doc, &table);
+            let root = doc.root().unwrap();
+            let got: Vec<bool> = doc
+                .element_children(root)
+                .map(|n| sat[n.index()].get(root_expr))
+                .collect();
+            assert_eq!(got, expected, "{expr}");
+        }
+    }
+}

@@ -1,0 +1,496 @@
+use std::fmt;
+
+use crate::ast::{CmpOp, Literal, Path, QPath, Qualifier, Step, StepKind};
+use crate::lexer::{lex, LexError, Token};
+
+/// Parse error for X expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XPath parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Parses an X expression, e.g.
+/// `/site/open_auctions/open_auction[initial > 10 and reserve > 50]/bidder`.
+///
+/// A leading `/` is optional (paths are always evaluated at a context
+/// node, the document root for embedded update paths).
+pub fn parse_path(input: &str) -> Result<Path, ParseError> {
+    let tokens = lex(input)?;
+    let mut p = Parser::new(tokens);
+    let path = p.path()?;
+    p.expect_eof()?;
+    Ok(path)
+}
+
+/// Parses a standalone qualifier expression (without the brackets).
+pub fn parse_qualifier(input: &str) -> Result<Qualifier, ParseError> {
+    let tokens = lex(input)?;
+    let mut p = Parser::new(tokens);
+    let q = p.qualifier()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<(), ParseError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{t}'")))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), ParseError> {
+        match self.peek() {
+            None => Ok(()),
+            Some(t) => Err(ParseError {
+                message: format!("unexpected trailing token '{t}'"),
+            }),
+        }
+    }
+
+    fn error(&self, what: &str) -> ParseError {
+        let found = self
+            .peek()
+            .map(|t| format!("'{t}'"))
+            .unwrap_or_else(|| "end of input".into());
+        ParseError {
+            message: format!("{what}, found {found} at token {}", self.pos),
+        }
+    }
+
+    /// path := ['/' | '//'] step (('/' | '//') step)*  |  '.'
+    fn path(&mut self) -> Result<Path, ParseError> {
+        let mut steps = Vec::new();
+        // `.` alone (or `./rest`) — self.
+        if self.eat(&Token::Dot)
+            && (self.peek().is_none() || self.peek() == Some(&Token::RBracket)) {
+                return Ok(Path::empty());
+            }
+            // `./p` — just continue with the separator.
+        // Optional leading separator.
+        if self.eat(&Token::DoubleSlash) {
+            steps.push(Step::plain(StepKind::Descendant));
+        } else {
+            self.eat(&Token::Slash);
+        }
+        loop {
+            steps.push(self.step()?);
+            // Stop before a trailing attribute access `…/@name` — that
+            // belongs to the enclosing qualifier path (`qpath`).
+            if self.peek() == Some(&Token::Slash)
+                && self.tokens.get(self.pos + 1) == Some(&Token::At)
+            {
+                break;
+            }
+            if self.eat(&Token::DoubleSlash) {
+                steps.push(Step::plain(StepKind::Descendant));
+            } else if !self.eat(&Token::Slash) {
+                break;
+            }
+        }
+        Ok(Path { steps })
+    }
+
+    /// step := (name | '*') ('[' qualifier ']')*
+    fn step(&mut self) -> Result<Step, ParseError> {
+        let kind = match self.next() {
+            Some(Token::Name(n)) => StepKind::Label(n),
+            Some(Token::Star) => StepKind::Wildcard,
+            // `and`/`or`/`not` are legal element names when they appear in
+            // step position.
+            Some(Token::And) => StepKind::Label("and".into()),
+            Some(Token::Or) => StepKind::Label("or".into()),
+            Some(Token::Not) => StepKind::Label("not".into()),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                return Err(self.error("expected step (name or '*')"));
+            }
+        };
+        let mut qualifier: Option<Qualifier> = None;
+        // Multiple qualifiers conjoin: p[q1][q2] ≡ p[q1 ∧ q2]
+        // (normalization rule 3 of Section 5).
+        while self.eat(&Token::LBracket) {
+            let q = self.qualifier()?;
+            self.expect(&Token::RBracket)?;
+            qualifier = Some(match qualifier {
+                None => q,
+                Some(prev) => Qualifier::and(prev, q),
+            });
+        }
+        Ok(Step { kind, qualifier })
+    }
+
+    /// qualifier := or_expr
+    fn qualifier(&mut self) -> Result<Qualifier, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Qualifier, ParseError> {
+        let mut left = self.and_expr()?;
+        while self.eat(&Token::Or) {
+            let right = self.and_expr()?;
+            left = Qualifier::or(left, right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Qualifier, ParseError> {
+        let mut left = self.unary_expr()?;
+        while self.eat(&Token::And) {
+            let right = self.unary_expr()?;
+            left = Qualifier::and(left, right);
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> Result<Qualifier, ParseError> {
+        if self.eat(&Token::Not) {
+            self.expect(&Token::LParen)?;
+            let inner = self.qualifier()?;
+            self.expect(&Token::RParen)?;
+            return Ok(Qualifier::not(inner));
+        }
+        if self.eat(&Token::LParen) {
+            let inner = self.qualifier()?;
+            self.expect(&Token::RParen)?;
+            return Ok(inner);
+        }
+        self.atom()
+    }
+
+    /// atom := label() = l | qpath (op literal)?
+    fn atom(&mut self) -> Result<Qualifier, ParseError> {
+        if self.eat(&Token::LabelFn) {
+            self.expect(&Token::Eq)?;
+            let l = match self.next() {
+                Some(Token::Name(n)) => n,
+                Some(Token::Str(s)) => s,
+                _ => return Err(self.error("expected label name after 'label() ='")),
+            };
+            return Ok(Qualifier::LabelIs(l));
+        }
+        let qpath = self.qpath()?;
+        if let Some(op) = self.cmp_op() {
+            let lit = match self.next() {
+                Some(Token::Str(s)) => Literal::Str(s),
+                Some(Token::Num(n)) => Literal::Num(n),
+                _ => {
+                    return Err(self.error("expected string or number literal after comparison"))
+                }
+            };
+            Ok(Qualifier::Cmp(qpath, op, lit))
+        } else {
+            if qpath.path.is_empty() && qpath.attr.is_none() {
+                return Err(self.error("'.' qualifier needs a comparison"));
+            }
+            Ok(Qualifier::Exists(qpath))
+        }
+    }
+
+    /// qpath := '.' | text() | '@'name | path ('/@'name)?
+    fn qpath(&mut self) -> Result<QPath, ParseError> {
+        if self.eat(&Token::TextFn) {
+            return Ok(QPath::self_path());
+        }
+        if self.eat(&Token::At) {
+            let name = self.attr_name()?;
+            return Ok(QPath::attr_only(name));
+        }
+        if self.peek() == Some(&Token::Dot) {
+            // `.` or `./p…`
+            let save = self.pos;
+            self.pos += 1;
+            match self.peek() {
+                Some(Token::Slash) | Some(Token::DoubleSlash) => {
+                    self.pos = save; // let `path()` re-handle the dot
+                }
+                _ => return Ok(QPath::self_path()),
+            }
+        }
+        let path = self.path()?;
+        // A trailing attribute access `…/@name` (path() stops before it).
+        let mut attr = None;
+        if self.peek() == Some(&Token::Slash) && self.tokens.get(self.pos + 1) == Some(&Token::At)
+        {
+            self.pos += 2;
+            attr = Some(self.attr_name()?);
+        }
+        Ok(QPath { path, attr })
+    }
+
+    fn attr_name(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Name(n)) => Ok(n),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error("expected attribute name after '@'"))
+            }
+        }
+    }
+
+    fn cmp_op(&mut self) -> Option<CmpOp> {
+        let op = match self.peek()? {
+            Token::Eq => CmpOp::Eq,
+            Token::Ne => CmpOp::Ne,
+            Token::Lt => CmpOp::Lt,
+            Token::Le => CmpOp::Le,
+            Token::Gt => CmpOp::Gt,
+            Token::Ge => CmpOp::Ge,
+            _ => return None,
+        };
+        self.pos += 1;
+        Some(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(s: &str) -> String {
+        parse_path(s).unwrap().to_string()
+    }
+
+    #[test]
+    fn parse_simple() {
+        let p = parse_path("/site/people/person").unwrap();
+        assert_eq!(p.steps.len(), 3);
+        assert_eq!(p.to_string(), "site/people/person");
+    }
+
+    #[test]
+    fn parse_descendant() {
+        let p = parse_path("//part").unwrap();
+        assert_eq!(p.steps.len(), 2);
+        assert_eq!(p.steps[0].kind, StepKind::Descendant);
+        assert_eq!(p.to_string(), "//part");
+    }
+
+    #[test]
+    fn parse_inner_descendant() {
+        let p = parse_path("/site/regions//item").unwrap();
+        assert_eq!(p.to_string(), "site/regions//item");
+    }
+
+    #[test]
+    fn parse_wildcard() {
+        let p = parse_path("a/*/b").unwrap();
+        assert_eq!(p.steps[1].kind, StepKind::Wildcard);
+    }
+
+    #[test]
+    fn parse_attribute_qualifier() {
+        let p = parse_path("/site/people/person[@id = \"person10\"]").unwrap();
+        let q = p.steps[2].qualifier.as_ref().unwrap();
+        assert_eq!(
+            *q,
+            Qualifier::Cmp(
+                QPath::attr_only("id"),
+                CmpOp::Eq,
+                Literal::Str("person10".into())
+            )
+        );
+    }
+
+    #[test]
+    fn parse_numeric_qualifier() {
+        let p = parse_path("/site/people/person[profile/age > 20]").unwrap();
+        let q = p.steps[2].qualifier.as_ref().unwrap();
+        match q {
+            Qualifier::Cmp(qp, CmpOp::Gt, Literal::Num(n)) => {
+                assert_eq!(qp.path.to_string(), "profile/age");
+                assert_eq!(*n, 20.0);
+            }
+            other => panic!("unexpected qualifier {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_u7_nested() {
+        let p = parse_path(
+            "/site/open_auctions/open_auction[bidder/increase>5]/annotation[happiness < 20]/description//text",
+        )
+        .unwrap();
+        assert_eq!(p.steps.len(), 7); // site, open_auctions, open_auction, annotation, description, //, text
+        assert!(p.steps[2].qualifier.is_some());
+        assert!(p.steps[3].qualifier.is_some());
+    }
+
+    #[test]
+    fn parse_u8_conjunction() {
+        let p =
+            parse_path("/site/open_auctions/open_auction[initial > 10 and reserve >50]/bidder")
+                .unwrap();
+        let q = p.steps[2].qualifier.as_ref().unwrap();
+        assert!(matches!(q, Qualifier::And(_, _)));
+    }
+
+    #[test]
+    fn parse_u10_not() {
+        let p = parse_path(
+            "/site//open_auctions/open_auction[not(@id =\"open_auction2\")]/bidder[increase > 10]",
+        )
+        .unwrap();
+        let q = p.steps[3].qualifier.as_ref().unwrap();
+        assert!(matches!(q, Qualifier::Not(_)));
+    }
+
+    #[test]
+    fn parse_dot_comparison() {
+        let q = parse_qualifier("not(./c = 'A')").unwrap();
+        match q {
+            Qualifier::Not(inner) => match *inner {
+                Qualifier::Cmp(qp, CmpOp::Eq, Literal::Str(s)) => {
+                    assert_eq!(qp.path.to_string(), "c");
+                    assert_eq!(s, "A");
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_label_test() {
+        let q = parse_qualifier("label() = part").unwrap();
+        assert_eq!(q, Qualifier::LabelIs("part".into()));
+    }
+
+    #[test]
+    fn parse_text_fn() {
+        let q = parse_qualifier("text() = 'keyboard'").unwrap();
+        assert_eq!(
+            q,
+            Qualifier::Cmp(
+                QPath::self_path(),
+                CmpOp::Eq,
+                Literal::Str("keyboard".into())
+            )
+        );
+    }
+
+    #[test]
+    fn parse_or_and_precedence() {
+        // a and b or c and d  ==  (a and b) or (c and d)
+        let q = parse_qualifier("a and b or c and d").unwrap();
+        match q {
+            Qualifier::Or(l, r) => {
+                assert!(matches!(*l, Qualifier::And(_, _)));
+                assert!(matches!(*r, Qualifier::And(_, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_multiple_qualifiers_conjoin() {
+        let p = parse_path("part[pname = 'kb'][supplier]").unwrap();
+        let q = p.steps[0].qualifier.as_ref().unwrap();
+        assert!(matches!(q, Qualifier::And(_, _)));
+    }
+
+    #[test]
+    fn parse_qualifier_path_with_attr() {
+        let q = parse_qualifier("supplier/@id = '3'").unwrap();
+        match q {
+            Qualifier::Cmp(qp, CmpOp::Eq, _) => {
+                assert_eq!(qp.path.to_string(), "supplier");
+                assert_eq!(qp.attr.as_deref(), Some("id"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_path("").is_err());
+        assert!(parse_path("a/").is_err());
+        assert!(parse_path("a[").is_err());
+        assert!(parse_path("a[b").is_err());
+        assert!(parse_path("a]b").is_err());
+        assert!(parse_path("a[not b]").is_err());
+        assert!(parse_path("a[b =]").is_err());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for s in [
+            "site/people/person",
+            "//part",
+            "site/regions//item",
+            "a/*/b",
+            "part[pname = \"keyboard\"]",
+        ] {
+            let once = roundtrip(s);
+            let twice = parse_path(&once).unwrap().to_string();
+            assert_eq!(once, twice, "display must be a fixpoint for {s}");
+        }
+    }
+
+    #[test]
+    fn all_fig11_queries_parse() {
+        let queries = [
+            "/site/people/person",
+            "/site/people/person[@id = \"person10\"]",
+            "/site/people/person[profile/age > 20]",
+            "/site/regions//item",
+            "/site//description",
+            "/site/closed_auctions/closed_auction/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword",
+            "/site/open_auctions/open_auction[bidder/increase>5]/annotation[happiness < 20]/description//text",
+            "/site/open_auctions/open_auction[initial > 10 and reserve >50]/bidder",
+            "/site/regions//item[location =\"United States\"]",
+            "/site//open_auctions/open_auction[not(@id =\"open_auction2\")]/bidder[increase > 10]",
+        ];
+        for q in queries {
+            parse_path(q).unwrap_or_else(|e| panic!("{q}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! AST for the XQuery subset.
+//!
+//! The subset is scoped to what the paper needs:
+//!
+//! * Section 3.1 (the Naive method) rewrites transform queries into
+//!   standard XQuery using `let`, `document {…}`, recursive user-defined
+//!   functions, `if/then/else`, `some … satisfies`, and the node-identity
+//!   operator `is` (Fig. 2);
+//! * Section 4 (composition) produces queries with nested `for`/`let`/
+//!   `where`/`return`, `empty(…)` tests, and element constructors;
+//! * user queries are `for $x in ρ where … return exp(…)`.
+
+use std::fmt;
+
+use xust_xpath::Path;
+
+/// A query module: optional function declarations plus a body expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// Declared user functions, in declaration order.
+    pub functions: Vec<FunctionDecl>,
+    /// The main expression.
+    pub body: Expr,
+}
+
+/// `declare function local:name($a, $b) { body };`
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionDecl {
+    /// Function name (with its `local:` prefix).
+    pub name: String,
+    /// Parameter names (without `$`).
+    pub params: Vec<String>,
+    /// The function body.
+    pub body: Expr,
+}
+
+/// Comparison operators (general comparisons, existential semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompOp {
+    /// `=`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+}
+
+impl fmt::Display for CompOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CompOp::Eq => "=",
+            CompOp::Ne => "!=",
+            CompOp::Lt => "<",
+            CompOp::Le => "<=",
+            CompOp::Gt => ">",
+            CompOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Expressions of the subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `for $var in seq return body` (a `where` clause desugars into an
+    /// `If` around the body).
+    For {
+        /// Bound variable (without `$`).
+        var: String,
+        /// The iterated sequence.
+        seq: Box<Expr>,
+        /// Evaluated once per binding.
+        body: Box<Expr>,
+    },
+    /// `let $var := value return body`
+    Let {
+        /// Bound variable (without `$`).
+        var: String,
+        /// The bound value.
+        value: Box<Expr>,
+        /// Scope of the binding.
+        body: Box<Expr>,
+    },
+    /// `if (cond) then t else e`
+    If {
+        /// Condition (effective boolean value).
+        cond: Box<Expr>,
+        /// Taken when true.
+        then: Box<Expr>,
+        /// Taken when false.
+        els: Box<Expr>,
+    },
+    /// `some $var in seq satisfies cond`
+    Some {
+        /// Bound variable (without `$`).
+        var: String,
+        /// The quantified sequence.
+        seq: Box<Expr>,
+        /// The satisfaction test.
+        cond: Box<Expr>,
+    },
+    /// `base/path` — an X path applied to every node of `base`.
+    PathExpr {
+        /// Context sequence.
+        base: Box<Expr>,
+        /// The applied path.
+        path: Path,
+    },
+    /// `base/@name` — attribute access.
+    AttrAccess {
+        /// Context sequence.
+        base: Box<Expr>,
+        /// Attribute name.
+        name: String,
+    },
+    /// `base[qualifier]` — an X qualifier filtering a node sequence
+    /// (e.g. `$x[country = 'A']` in the paper's Example 4.2).
+    Filter {
+        /// Context sequence.
+        base: Box<Expr>,
+        /// The filtering qualifier.
+        qualifier: xust_xpath::Qualifier,
+    },
+    /// `$name`
+    Var(String),
+    /// `doc("name")`
+    Doc(String),
+    /// A string literal.
+    Str(String),
+    /// A numeric literal.
+    Num(f64),
+    /// `(e1, e2, …)` — sequence construction; `()` is the empty sequence.
+    Seq(Vec<Expr>),
+    /// Direct constructor `<name attr="v">{…}</name>`.
+    DirectElem {
+        /// Element name.
+        name: String,
+        /// Literal attributes.
+        attrs: Vec<(String, String)>,
+        /// Child content expressions.
+        content: Vec<Expr>,
+    },
+    /// Computed constructor `element {name-expr} {content}`.
+    ComputedElem {
+        /// Expression yielding the element name.
+        name: Box<Expr>,
+        /// Child content expressions.
+        content: Vec<Expr>,
+    },
+    /// `text {e}`
+    TextCtor(Box<Expr>),
+    /// Function call `fn:name(args)` / `local:name(args)` / builtin.
+    Call {
+        /// Function name (with prefix).
+        name: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// General comparison `left op right`.
+    Comp {
+        /// The comparison operator.
+        op: CompOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Node identity `left is right`.
+    Is {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Logical conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical disjunction.
+    Or(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Empty sequence `()`.
+    pub fn empty() -> Expr {
+        Expr::Seq(Vec::new())
+    }
+
+    /// Convenience: `for $var in seq return body`.
+    pub fn for_in(var: impl Into<String>, seq: Expr, body: Expr) -> Expr {
+        Expr::For {
+            var: var.into(),
+            seq: Box::new(seq),
+            body: Box::new(body),
+        }
+    }
+
+    /// Convenience: `let $var := value return body`.
+    pub fn let_in(var: impl Into<String>, value: Expr, body: Expr) -> Expr {
+        Expr::Let {
+            var: var.into(),
+            value: Box::new(value),
+            body: Box::new(body),
+        }
+    }
+
+    /// Convenience: `if (cond) then t else e`.
+    pub fn if_then_else(cond: Expr, then: Expr, els: Expr) -> Expr {
+        Expr::If {
+            cond: Box::new(cond),
+            then: Box::new(then),
+            els: Box::new(els),
+        }
+    }
+
+    /// Convenience: `empty(e)`.
+    pub fn empty_call(e: Expr) -> Expr {
+        Expr::Call {
+            name: "empty".into(),
+            args: vec![e],
+        }
+    }
+
+    /// Convenience: `$name`.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// Convenience: path applied to an expression.
+    pub fn path(base: Expr, path: Path) -> Expr {
+        Expr::PathExpr {
+            base: Box::new(base),
+            path,
+        }
+    }
+
+    /// Size of the expression tree (used to check the paper's claim that
+    /// composed queries are linear in |Q| + |Qt|).
+    pub fn size(&self) -> usize {
+        1 + match self {
+            Expr::For { seq, body, .. } => seq.size() + body.size(),
+            Expr::Let { value, body, .. } => value.size() + body.size(),
+            Expr::If { cond, then, els } => cond.size() + then.size() + els.size(),
+            Expr::Some { seq, cond, .. } => seq.size() + cond.size(),
+            Expr::PathExpr { base, path } => base.size() + path.size(),
+            Expr::AttrAccess { base, .. } => base.size(),
+            Expr::Filter { base, .. } => base.size() + 1,
+            Expr::Var(_) | Expr::Doc(_) | Expr::Str(_) | Expr::Num(_) => 0,
+            Expr::Seq(es) => es.iter().map(Expr::size).sum(),
+            Expr::DirectElem { content, .. } => content.iter().map(Expr::size).sum(),
+            Expr::ComputedElem { name, content } => {
+                name.size() + content.iter().map(Expr::size).sum::<usize>()
+            }
+            Expr::TextCtor(e) => e.size(),
+            Expr::Call { args, .. } => args.iter().map(Expr::size).sum(),
+            Expr::Comp { left, right, .. } | Expr::Is { left, right } => {
+                left.size() + right.size()
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => a.size() + b.size(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders() {
+        let e = Expr::for_in(
+            "x",
+            Expr::Doc("f".into()),
+            Expr::if_then_else(
+                Expr::empty_call(Expr::var("x")),
+                Expr::empty(),
+                Expr::var("x"),
+            ),
+        );
+        assert!(e.size() > 4);
+        match e {
+            Expr::For { var, .. } => assert_eq!(var, "x"),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn display_comp_op() {
+        assert_eq!(CompOp::Le.to_string(), "<=");
+        assert_eq!(CompOp::Eq.to_string(), "=");
+    }
+}

@@ -1,0 +1,36 @@
+use std::fmt;
+
+/// Runtime error during query evaluation.
+#[derive(Debug, Clone)]
+pub struct QueryError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl QueryError {
+    /// Wraps a message.
+    pub fn new(message: impl Into<String>) -> QueryError {
+        QueryError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XQuery evaluation error: {}", self.message)
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = QueryError::new("boom");
+        assert!(e.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,623 @@
+//! Lexer for the XQuery subset.
+//!
+//! Two context-sensitive wrinkles are handled here rather than in the
+//! parser:
+//!
+//! * `<name` with no intervening space starts a *direct element
+//!   constructor*; a `<` elsewhere is the less-than operator (the same
+//!   rule real XQuery grammars use);
+//! * the contents of a step predicate `[…]` are captured verbatim as a
+//!   [`Tok::Predicate`] and re-parsed by `xust-xpath`'s qualifier parser,
+//!   so the X fragment grammar lives in exactly one place.
+
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    // keywords
+    For,
+    Let,
+    Where,
+    Return,
+    In,
+    If,
+    Then,
+    Else,
+    Some,
+    Satisfies,
+    Declare,
+    Function,
+    Element,
+    Text,
+    Document,
+    And,
+    Or,
+    Is,
+    // punctuation
+    Dollar(String),   // $name
+    Assign,           // :=
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Comma,
+    Semicolon,
+    Slash,
+    DoubleSlash,
+    Star,
+    At,
+    Dot,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// Raw text of a `[…]` predicate (brackets excluded).
+    Predicate(String),
+    /// `<name` opening a direct constructor (name captured).
+    StartTagOpen(String),
+    /// `</name>`
+    EndTag(String),
+    /// `>` closing a start tag — only emitted inside tag context.
+    TagClose,
+    /// `/>` — only emitted inside tag context.
+    TagSelfClose,
+    /// attribute `name="value"` inside a start tag
+    TagAttr(String, String),
+    /// literal text between constructor tags
+    TagText(String),
+    Name(String), // possibly qualified: local:foo, fn:doc
+    Str(String),
+    Num(f64),
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct QLexError {
+    pub pos: usize,
+    pub message: String,
+}
+
+impl fmt::Display for QLexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XQuery lexical error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for QLexError {}
+
+pub struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    /// Mode stack for direct element constructors:
+    /// `InTag` between `<name` and `>`; `InContent` between `>` and the
+    /// matching end tag (literal text + `{expr}` islands).
+    modes: Vec<Mode>,
+    pub tokens: Vec<Tok>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    /// Normal expression tokens.
+    Expr { brace_depth: usize },
+    /// Inside `<name …` before `>`.
+    InTag,
+    /// Inside element content, until the matching end tag.
+    InContent,
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '-' || c == '.'
+}
+
+/// Tokenizes a query.
+pub fn lex(input: &str) -> Result<Vec<Tok>, QLexError> {
+    let mut lx = Lexer {
+        chars: input.chars().collect(),
+        pos: 0,
+        modes: vec![Mode::Expr { brace_depth: 0 }],
+        tokens: Vec::new(),
+    };
+    lx.run()?;
+    Ok(lx.tokens)
+}
+
+impl Lexer {
+    fn err(&self, message: impl Into<String>) -> QLexError {
+        QLexError {
+            pos: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<char> {
+        self.chars.get(self.pos + off).copied()
+    }
+
+    fn run(&mut self) -> Result<(), QLexError> {
+        while self.pos < self.chars.len() {
+            match *self.modes.last().expect("mode stack never empty") {
+                Mode::Expr { .. } => self.lex_expr()?,
+                Mode::InTag => self.lex_in_tag()?,
+                Mode::InContent => self.lex_content()?,
+            }
+        }
+        if self.modes.len() > 1 {
+            return Err(self.err("unterminated element constructor"));
+        }
+        Ok(())
+    }
+
+    fn read_name(&mut self) -> String {
+        let start = self.pos;
+        while self.pos < self.chars.len() && is_name_char(self.chars[self.pos]) {
+            self.pos += 1;
+        }
+        // qualified name: ns:local
+        if self.peek() == Some(':')
+            && self.peek_at(1).is_some_and(is_name_start)
+            // ':=' must not be eaten
+            && self.peek_at(1) != Some('=')
+        {
+            self.pos += 1;
+            while self.pos < self.chars.len() && is_name_char(self.chars[self.pos]) {
+                self.pos += 1;
+            }
+        }
+        self.chars[start..self.pos].iter().collect()
+    }
+
+    fn read_string(&mut self, quote: char) -> Result<String, QLexError> {
+        self.pos += 1; // opening quote
+        let start = self.pos;
+        while self.pos < self.chars.len() && self.chars[self.pos] != quote {
+            self.pos += 1;
+        }
+        if self.pos >= self.chars.len() {
+            return Err(self.err("unterminated string literal"));
+        }
+        let s: String = self.chars[start..self.pos].iter().collect();
+        self.pos += 1; // closing quote
+        Ok(s)
+    }
+
+    fn lex_expr(&mut self) -> Result<(), QLexError> {
+        let c = match self.peek() {
+            Some(c) => c,
+            None => return Ok(()),
+        };
+        match c {
+            c if c.is_whitespace() => {
+                self.pos += 1;
+            }
+            '(' => {
+                // comment (: … :)
+                if self.peek_at(1) == Some(':') {
+                    self.skip_comment()?;
+                } else {
+                    self.tokens.push(Tok::LParen);
+                    self.pos += 1;
+                }
+            }
+            ')' => {
+                self.tokens.push(Tok::RParen);
+                self.pos += 1;
+            }
+            '{' => {
+                self.tokens.push(Tok::LBrace);
+                if let Mode::Expr { brace_depth } = self.modes.last_mut().unwrap() {
+                    *brace_depth += 1;
+                }
+                self.pos += 1;
+            }
+            '}' => {
+                self.pos += 1;
+                match self.modes.last_mut().unwrap() {
+                    Mode::Expr { brace_depth } if *brace_depth > 0 => {
+                        *brace_depth -= 1;
+                        self.tokens.push(Tok::RBrace);
+                    }
+                    Mode::Expr { .. } => {
+                        // closing an enclosed expression inside element
+                        // content: pop back to content mode.
+                        if self.modes.len() > 1 {
+                            self.modes.pop();
+                            self.tokens.push(Tok::RBrace);
+                        } else {
+                            self.tokens.push(Tok::RBrace);
+                        }
+                    }
+                    _ => unreachable!("lex_expr only runs in Expr mode"),
+                }
+            }
+            ',' => {
+                self.tokens.push(Tok::Comma);
+                self.pos += 1;
+            }
+            ';' => {
+                self.tokens.push(Tok::Semicolon);
+                self.pos += 1;
+            }
+            '$' => {
+                self.pos += 1;
+                if !self.peek().is_some_and(is_name_start) {
+                    return Err(self.err("expected variable name after '$'"));
+                }
+                let name = self.read_name();
+                self.tokens.push(Tok::Dollar(name));
+            }
+            ':' => {
+                if self.peek_at(1) == Some('=') {
+                    self.tokens.push(Tok::Assign);
+                    self.pos += 2;
+                } else {
+                    return Err(self.err("unexpected ':'"));
+                }
+            }
+            '/' => {
+                if self.peek_at(1) == Some('/') {
+                    self.tokens.push(Tok::DoubleSlash);
+                    self.pos += 2;
+                } else {
+                    self.tokens.push(Tok::Slash);
+                    self.pos += 1;
+                }
+            }
+            '*' => {
+                self.tokens.push(Tok::Star);
+                self.pos += 1;
+            }
+            '@' => {
+                self.tokens.push(Tok::At);
+                self.pos += 1;
+            }
+            '.' => {
+                self.tokens.push(Tok::Dot);
+                self.pos += 1;
+            }
+            '=' => {
+                self.tokens.push(Tok::Eq);
+                self.pos += 1;
+            }
+            '!' => {
+                if self.peek_at(1) == Some('=') {
+                    self.tokens.push(Tok::Ne);
+                    self.pos += 2;
+                } else {
+                    return Err(self.err("expected '=' after '!'"));
+                }
+            }
+            '<' => {
+                // `<name` (no space) opens a direct constructor.
+                if self.peek_at(1).is_some_and(is_name_start) {
+                    self.pos += 1;
+                    let name = self.read_name();
+                    self.tokens.push(Tok::StartTagOpen(name));
+                    self.modes.push(Mode::InTag);
+                } else if self.peek_at(1) == Some('=') {
+                    self.tokens.push(Tok::Le);
+                    self.pos += 2;
+                } else {
+                    self.tokens.push(Tok::Lt);
+                    self.pos += 1;
+                }
+            }
+            '>' => {
+                if self.peek_at(1) == Some('=') {
+                    self.tokens.push(Tok::Ge);
+                    self.pos += 2;
+                } else {
+                    self.tokens.push(Tok::Gt);
+                    self.pos += 1;
+                }
+            }
+            '[' => {
+                // Capture balanced predicate text for the X parser.
+                let raw = self.read_predicate()?;
+                self.tokens.push(Tok::Predicate(raw));
+            }
+            '\'' | '"' => {
+                let s = self.read_string(c)?;
+                self.tokens.push(Tok::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = self.pos;
+                while self
+                    .peek()
+                    .is_some_and(|c| c.is_ascii_digit() || c == '.')
+                {
+                    self.pos += 1;
+                }
+                let text: String = self.chars[start..self.pos].iter().collect();
+                let n = text
+                    .parse::<f64>()
+                    .map_err(|_| self.err(format!("bad number '{text}'")))?;
+                self.tokens.push(Tok::Num(n));
+            }
+            c if is_name_start(c) => {
+                let name = self.read_name();
+                self.tokens.push(match name.as_str() {
+                    "for" => Tok::For,
+                    "let" => Tok::Let,
+                    "where" => Tok::Where,
+                    "return" => Tok::Return,
+                    "in" => Tok::In,
+                    "if" => Tok::If,
+                    "then" => Tok::Then,
+                    "else" => Tok::Else,
+                    "some" => Tok::Some,
+                    "satisfies" => Tok::Satisfies,
+                    "declare" => Tok::Declare,
+                    "function" => Tok::Function,
+                    "element" => Tok::Element,
+                    "text" => Tok::Text,
+                    "document" => Tok::Document,
+                    "and" => Tok::And,
+                    "or" => Tok::Or,
+                    "is" => Tok::Is,
+                    _ => Tok::Name(name),
+                });
+            }
+            other => return Err(self.err(format!("unexpected character '{other}'"))),
+        }
+        Ok(())
+    }
+
+    fn skip_comment(&mut self) -> Result<(), QLexError> {
+        // (: … :) with nesting
+        self.pos += 2;
+        let mut depth = 1;
+        while self.pos < self.chars.len() && depth > 0 {
+            if self.peek() == Some('(') && self.peek_at(1) == Some(':') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.peek() == Some(':') && self.peek_at(1) == Some(')') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.pos += 1;
+            }
+        }
+        if depth > 0 {
+            return Err(self.err("unterminated comment"));
+        }
+        Ok(())
+    }
+
+    fn read_predicate(&mut self) -> Result<String, QLexError> {
+        self.pos += 1; // '['
+        let start = self.pos;
+        let mut depth = 1usize;
+        while self.pos < self.chars.len() {
+            match self.chars[self.pos] {
+                '[' => depth += 1,
+                ']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        let raw: String = self.chars[start..self.pos].iter().collect();
+                        self.pos += 1;
+                        return Ok(raw);
+                    }
+                }
+                '\'' | '"' => {
+                    let q = self.chars[self.pos];
+                    self.pos += 1;
+                    while self.pos < self.chars.len() && self.chars[self.pos] != q {
+                        self.pos += 1;
+                    }
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated predicate"))
+    }
+
+    fn lex_in_tag(&mut self) -> Result<(), QLexError> {
+        let c = match self.peek() {
+            Some(c) => c,
+            None => return Err(self.err("unterminated start tag")),
+        };
+        match c {
+            c if c.is_whitespace() => {
+                self.pos += 1;
+            }
+            '>' => {
+                self.tokens.push(Tok::TagClose);
+                self.pos += 1;
+                *self.modes.last_mut().unwrap() = Mode::InContent;
+            }
+            '/' if self.peek_at(1) == Some('>') => {
+                self.tokens.push(Tok::TagSelfClose);
+                self.pos += 2;
+                self.modes.pop();
+            }
+            c if is_name_start(c) => {
+                let name = self.read_name();
+                // static attribute name="value"
+                if self.peek() != Some('=') {
+                    return Err(self.err(format!("attribute '{name}' needs '=\"value\"'")));
+                }
+                self.pos += 1;
+                let q = self
+                    .peek()
+                    .filter(|&q| q == '"' || q == '\'')
+                    .ok_or_else(|| self.err("attribute value must be quoted"))?;
+                let v = self.read_string(q)?;
+                self.tokens.push(Tok::TagAttr(name, v));
+            }
+            other => return Err(self.err(format!("unexpected '{other}' in start tag"))),
+        }
+        Ok(())
+    }
+
+    fn lex_content(&mut self) -> Result<(), QLexError> {
+        let c = match self.peek() {
+            Some(c) => c,
+            None => return Err(self.err("unterminated element content")),
+        };
+        match c {
+            '{' => {
+                self.tokens.push(Tok::LBrace);
+                self.pos += 1;
+                self.modes.push(Mode::Expr { brace_depth: 0 });
+            }
+            '<' => {
+                if self.peek_at(1) == Some('/') {
+                    self.pos += 2;
+                    let name = self.read_name();
+                    if self.peek() != Some('>') {
+                        return Err(self.err("expected '>' after end tag name"));
+                    }
+                    self.pos += 1;
+                    self.tokens.push(Tok::EndTag(name));
+                    self.modes.pop();
+                } else if self.peek_at(1).is_some_and(is_name_start) {
+                    self.pos += 1;
+                    let name = self.read_name();
+                    self.tokens.push(Tok::StartTagOpen(name));
+                    self.modes.push(Mode::InTag);
+                } else {
+                    return Err(self.err("stray '<' in element content"));
+                }
+            }
+            _ => {
+                // literal text until '<' or '{'
+                let start = self.pos;
+                while self
+                    .peek()
+                    .is_some_and(|c| c != '<' && c != '{')
+                {
+                    self.pos += 1;
+                }
+                let raw: String = self.chars[start..self.pos].iter().collect();
+                self.tokens.push(Tok::TagText(xust_sax::unescape(&raw)));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lex_flwor() {
+        let toks = lex("for $x in doc(\"f\")/a where $x/b = 'c' return $x").unwrap();
+        assert!(toks.contains(&Tok::For));
+        assert!(toks.contains(&Tok::Dollar("x".into())));
+        assert!(toks.contains(&Tok::Where));
+        assert!(toks.contains(&Tok::Return));
+        assert!(toks.contains(&Tok::Str("c".into())));
+    }
+
+    #[test]
+    fn lex_let_assign() {
+        let toks = lex("let $d := doc(\"f\") return $d").unwrap();
+        assert!(toks.contains(&Tok::Assign));
+    }
+
+    #[test]
+    fn lex_lt_vs_constructor() {
+        // space → comparison
+        let toks = lex("$a < $b").unwrap();
+        assert!(toks.contains(&Tok::Lt));
+        // no space before name → constructor
+        let toks = lex("<result>{$x}</result>").unwrap();
+        assert_eq!(toks[0], Tok::StartTagOpen("result".into()));
+        assert_eq!(toks[1], Tok::TagClose);
+        assert_eq!(toks[2], Tok::LBrace);
+        assert_eq!(toks[3], Tok::Dollar("x".into()));
+        assert_eq!(toks[4], Tok::RBrace);
+        assert_eq!(toks[5], Tok::EndTag("result".into()));
+    }
+
+    #[test]
+    fn lex_nested_constructors() {
+        let toks = lex("<a><b>hi</b>{$v}</a>").unwrap();
+        assert!(toks.contains(&Tok::StartTagOpen("b".into())));
+        assert!(toks.contains(&Tok::TagText("hi".into())));
+        assert!(toks.contains(&Tok::EndTag("a".into())));
+    }
+
+    #[test]
+    fn lex_self_closing_constructor() {
+        let toks = lex("<a/>").unwrap();
+        assert_eq!(
+            toks,
+            vec![Tok::StartTagOpen("a".into()), Tok::TagSelfClose]
+        );
+    }
+
+    #[test]
+    fn lex_static_attributes() {
+        let toks = lex(r#"<a k="v">x</a>"#).unwrap();
+        assert!(toks.contains(&Tok::TagAttr("k".into(), "v".into())));
+    }
+
+    #[test]
+    fn lex_predicate_raw() {
+        let toks = lex("$x/a[b = 'c и ]'] return 1").unwrap();
+        assert!(toks.contains(&Tok::Predicate("b = 'c и ]'".into())));
+    }
+
+    #[test]
+    fn lex_nested_predicate() {
+        let toks = lex("doc(\"f\")/a[b[c]]").unwrap();
+        assert!(toks.contains(&Tok::Predicate("b[c]".into())));
+    }
+
+    #[test]
+    fn lex_qualified_names() {
+        let toks = lex("local:copy($n), fn:local-name($n)").unwrap();
+        assert!(toks.contains(&Tok::Name("local:copy".into())));
+        assert!(toks.contains(&Tok::Name("fn:local-name".into())));
+    }
+
+    #[test]
+    fn lex_comments_skipped() {
+        let toks = lex("1 (: comment (: nested :) still :) , 2").unwrap();
+        assert_eq!(toks, vec![Tok::Num(1.0), Tok::Comma, Tok::Num(2.0)]);
+    }
+
+    #[test]
+    fn lex_braces_inside_content_expr() {
+        // enclosed expr with its own braces
+        let toks = lex("<a>{ element {fn:local-name($n)} {1} }</a>").unwrap();
+        assert!(toks.contains(&Tok::Element));
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(lex("$").is_err());
+        assert!(lex("'open").is_err());
+        assert!(lex("a ! b").is_err());
+        assert!(lex("<a>unclosed").is_err());
+        assert!(lex("(: unterminated").is_err());
+        assert!(lex("$x/a[unclosed").is_err());
+    }
+
+    #[test]
+    fn lex_keywords_vs_names() {
+        let toks = lex("if (x) then y else z").unwrap();
+        assert_eq!(toks[0], Tok::If);
+        assert!(toks.contains(&Tok::Then));
+        assert!(toks.contains(&Tok::Else));
+        assert!(toks.contains(&Tok::Name("x".into())));
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+//! `xust-xquery` — an XQuery subset engine.
+//!
+//! The paper implements its portable algorithms (Naive, topDown,
+//! twoPass) *in XQuery* on top of Qizx/Galax, and its composition
+//! algorithm (Section 4) emits composed queries in standard XQuery.
+//! There is no mature XQuery engine in the Rust ecosystem, so this crate
+//! provides the substrate: a from-scratch parser and interpreter for the
+//! slice of XQuery 1.0 those algorithms need —
+//!
+//! * FLWOR (`for`/`let`/`where`/`return`, multi-binding clauses),
+//! * `if/then/else`, `some … satisfies`, `and`/`or`,
+//! * general comparisons and the node-identity operator `is`,
+//! * path expressions over the X fragment (predicates re-use
+//!   `xust-xpath`'s grammar) and attribute access,
+//! * direct (`<r>{…}</r>`) and computed (`element {n} {c}`) constructors,
+//! * recursive user-defined functions (`declare function local:f…`),
+//! * a native-function hook used to inline `topDown` in composed queries.
+//!
+//! # Example
+//!
+//! ```
+//! use xust_tree::Document;
+//! use xust_xquery::Engine;
+//!
+//! let mut engine = Engine::new();
+//! engine.load_doc("parts", Document::parse(
+//!     "<db><part><pname>keyboard</pname></part><part><pname>mouse</pname></part></db>",
+//! ).unwrap());
+//! let v = engine.eval_str(
+//!     "for $p in doc(\"parts\")/db/part where $p/pname = 'mouse' return $p"
+//! ).unwrap();
+//! assert_eq!(engine.serialize_value(&v), "<part><pname>mouse</pname></part>");
+//! ```
+
+mod ast;
+mod error;
+mod eval;
+mod functions;
+mod lexer;
+mod parser;
+mod value;
+
+pub use ast::{CompOp, Expr, FunctionDecl, Module};
+pub use error::QueryError;
+pub use eval::{Engine, NativeFn};
+pub use parser::{parse_expr, parse_module, QParseError};
+pub use value::{effective_boolean, format_num, string_value, DocId, Item, Store, Value};

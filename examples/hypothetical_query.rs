@@ -1,0 +1,59 @@
+//! Hypothetical queries: "what would Q return if we executed U?"
+//!
+//! The classic `Q when {U}` form maps directly onto transform queries:
+//! embed U in a transform query Qt and compose Q with it. Here a vendor
+//! asks: *if we added our supplier entry to every keyboard part, which
+//! parts would list more than one supplier?* — without updating anything.
+//!
+//! Run with: `cargo run --example hypothetical_query`
+
+use xust::compose::{compose, UserQuery};
+use xust::core::{evaluate, Method, TransformQuery};
+use xust::tree::Document;
+use xust::xpath::parse_path;
+
+fn main() {
+    let doc = Document::parse(
+        "<db>\
+           <part><pname>keyboard</pname>\
+             <supplier><sname>HP</sname><price>12</price></supplier>\
+           </part>\
+           <part><pname>keyboard</pname></part>\
+           <part><pname>mouse</pname>\
+             <supplier><sname>IBM</sname><price>20</price></supplier>\
+           </part>\
+         </db>",
+    )
+    .expect("well-formed XML");
+
+    // U: insert our offer into every keyboard part.
+    let qt = TransformQuery::insert(
+        "db",
+        parse_path("db/part[pname = 'keyboard']").expect("valid path"),
+        Document::parse("<supplier><sname>ACME</sname><price>9</price></supplier>").unwrap(),
+    );
+
+    // Q: parts that list a supplier cheaper than 10 — on the hypothetical
+    // state.
+    let q = UserQuery::parse(
+        "<answer>{ for $x in doc(\"db\")/db/part[supplier/price < 10]/pname return $x }</answer>",
+    )
+    .expect("valid user query");
+
+    // Route 1: materialize the hypothetical state, then query it.
+    let hypothetical = evaluate(&doc, &qt, Method::TwoPass).expect("transform");
+    println!("hypothetical state:\n  {}\n", hypothetical.serialize());
+
+    // Route 2: compose — evaluate both in one pass over the real data.
+    let qc = compose(&qt, &q).expect("composable");
+    let answer = qc.execute(&doc).expect("composed evaluation");
+    println!("answer via composition:\n  {}", answer.serialize());
+
+    assert_eq!(
+        answer.serialize(),
+        "<answer><pname>keyboard</pname><pname>keyboard</pname></answer>"
+    );
+    // And the real data is untouched.
+    assert!(!doc.serialize().contains("ACME"));
+    println!("\nreal data untouched: the query was hypothetical.");
+}

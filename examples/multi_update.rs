@@ -1,0 +1,69 @@
+//! Multi-update transform queries: `modify do (u1, u2, …)` with
+//! snapshot semantics, contrasted with sequential chaining.
+//!
+//! Run with: `cargo run --example multi_update`
+
+use xust::core::{
+    apply_chain, conflicting_targets, multi_snapshot, multi_top_down, parse_multi_transform,
+    parse_transform,
+};
+use xust::tree::{docs_eq, Document};
+
+fn main() {
+    let doc = Document::parse(
+        "<db>\
+           <part><pname>keyboard</pname>\
+             <supplier><sname>HP</sname><price>12</price></supplier>\
+           </part>\
+           <part><pname>mouse</pname>\
+             <supplier><sname>IBM</sname><price>20</price></supplier>\
+           </part>\
+         </db>",
+    )
+    .expect("well-formed XML");
+
+    // One compound transform: strip prices, stamp each part as audited,
+    // and expose suppliers under a neutral label — all in a single
+    // query with snapshot semantics (every path reads the original).
+    let q = parse_multi_transform(
+        r#"transform copy $a := doc("db") modify do (
+             delete $a//price,
+             insert <audited/> as first into $a/db/part,
+             rename $a//supplier as source
+           ) return $a"#,
+    )
+    .expect("valid multi-update transform");
+
+    println!("source:\n  {}\n", doc.serialize());
+
+    // Overlap report: which nodes are touched by more than one update?
+    let overlaps = conflicting_targets(&doc, &q);
+    println!("nodes targeted by >1 update: {}", overlaps.len());
+
+    // The fused automaton plan and the reference snapshot plan agree.
+    let fused = multi_top_down(&doc, &q);
+    let reference = multi_snapshot(&doc, &q);
+    assert!(docs_eq(&fused, &reference));
+    println!("view (one fused pass):\n  {}\n", fused.serialize());
+
+    // Snapshot vs. chaining: rename x→y then delete y. Snapshot: the
+    // delete's path sees no `y` in the ORIGINAL document, so the renamed
+    // node survives. Chained: the second update sees the first's result.
+    let d2 = Document::parse("<db><x>v</x></db>").unwrap();
+    let snap = parse_multi_transform(
+        r#"transform copy $a := doc("d") modify do (
+             rename $a//x as y,
+             delete $a//y
+           ) return $a"#,
+    )
+    .unwrap();
+    let chained = [
+        parse_transform(r#"transform copy $a := doc("d") modify do rename $a//x as y return $a"#)
+            .unwrap(),
+        parse_transform(r#"transform copy $a := doc("d") modify do delete $a//y return $a"#)
+            .unwrap(),
+    ];
+    println!("rename x→y, delete y over {}:", d2.serialize());
+    println!("  snapshot semantics: {}", multi_top_down(&d2, &snap).serialize());
+    println!("  chained semantics:  {}", apply_chain(&d2, &chained).serialize());
+}

@@ -1,0 +1,38 @@
+//! Quickstart: evaluate a transform query with every method.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use xust::core::{evaluate_str, Method};
+use xust::tree::Document;
+
+fn main() {
+    // The document of the paper's Fig. 1: parts with suppliers.
+    let doc = Document::parse(
+        "<db>\
+           <part><pname>keyboard</pname>\
+             <supplier><sname>HP</sname><price>12</price><country>c1</country></supplier>\
+             <part><pname>key</pname></part>\
+           </part>\
+           <part><pname>mouse</pname>\
+             <supplier><sname>IBM</sname><price>20</price><country>c2</country></supplier>\
+           </part>\
+         </db>",
+    )
+    .expect("well-formed XML");
+
+    // Example 1.1: "all the information in T0 except price" — awkward in
+    // plain XQuery, a one-liner as a transform query.
+    let query = r#"transform copy $a := doc("db") modify do delete $a//price return $a"#;
+
+    println!("source document:\n  {}\n", doc.serialize());
+    println!("transform query:\n  {query}\n");
+
+    for method in Method::ALL {
+        let result = evaluate_str(&doc, query, method).expect("evaluation succeeds");
+        println!("{method:<14} -> {}", result.serialize());
+    }
+
+    // The source is untouched — transform queries are non-updating.
+    assert!(doc.serialize().contains("<price>"));
+    println!("\nsource still contains prices: transform queries have no side effects.");
+}

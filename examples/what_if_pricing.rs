@@ -1,0 +1,66 @@
+//! Hypothetical ("what-if") queries: `Q when {U}` — find what a query
+//! *would* return after an update, without performing the update.
+//!
+//! The paper traces transform queries back to hypothetical queries in
+//! decision support. Here a purchasing analyst asks: "if supplier HP
+//! raised every price to 15, which parts would still have a supplier
+//! under 18?" — answered by composing the user query with an update
+//! that never touches the catalog.
+//!
+//! Run with: `cargo run --example what_if_pricing`
+
+use xust::compose::{compose, naive_composition_to_string, UserQuery};
+use xust::core::{parse_transform, top_down};
+use xust::tree::Document;
+
+fn main() {
+    let catalog = Document::parse(
+        "<db>\
+           <part><pname>keyboard</pname>\
+             <supplier><sname>HP</sname><price>12</price></supplier>\
+             <supplier><sname>IBM</sname><price>21</price></supplier>\
+           </part>\
+           <part><pname>mouse</pname>\
+             <supplier><sname>HP</sname><price>9</price></supplier>\
+           </part>\
+           <part><pname>screen</pname>\
+             <supplier><sname>Dell</sname><price>17</price></supplier>\
+           </part>\
+         </db>",
+    )
+    .expect("well-formed XML");
+
+    // U: HP's price cards all become 15 (replace is the `U` of
+    // `Q when {U}`).
+    let what_if = parse_transform(
+        r#"transform copy $a := doc("db") modify
+           do replace $a//supplier[sname = 'HP']/price with <price>15</price>
+           return $a"#,
+    )
+    .expect("valid transform query");
+
+    // Q: parts with a supplier under 18 in the hypothetical state.
+    let q = UserQuery::parse(
+        "<answer>{ for $x in doc(\"db\")/db/part[supplier/price < 18]/pname return $x }</answer>",
+    )
+    .expect("valid user query");
+
+    // The Compose Method folds U into Q: one query, one pass, no copy
+    // of the catalog, no materialized hypothetical state.
+    let qc = compose(&what_if, &q).expect("composable");
+    let answer = qc.execute_to_string(&catalog).expect("evaluates");
+    println!("hypothetical answer: {answer}");
+
+    // Cross-check against the conceptual semantics (copy, update, query).
+    let sequential = naive_composition_to_string(&catalog, &what_if, &q).unwrap();
+    assert_eq!(answer, sequential);
+
+    // What the hypothetical state itself looks like (never stored):
+    println!(
+        "\nhypothetical catalog (for illustration only):\n  {}",
+        top_down(&catalog, &what_if).serialize()
+    );
+    // And the real catalog is untouched.
+    assert!(catalog.serialize().contains("<price>12</price>"));
+    println!("\nreal catalog untouched: HP keyboard price is still 12.");
+}

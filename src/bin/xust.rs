@@ -1,0 +1,409 @@
+//! `xust` — command-line front end for transform queries.
+//!
+//! ```text
+//! xust transform -q 'transform copy $a := doc("d") modify do delete $a//price return $a' \
+//!                -i catalog.xml [-o out.xml] [--method dom|stream|naive|copy]
+//! xust compose   -q '<transform …>' -u 'for $x in doc("d")/db/part return $x' \
+//!                -i catalog.xml [--stream]
+//! xust generate  --factor 0.1 [--seed 1] -o xmark.xml
+//! xust validate  -i file.xml
+//! ```
+//!
+//! `-q`/`-u` accept either inline text or `@path/to/file`. Multi-update
+//! transforms (`modify do (u1, u2, …)`) are detected automatically and
+//! routed to the fused multi-automaton (DOM) or the streaming
+//! multi-pass (stream) evaluator.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use xust::compose::{compose, compose_sax_files, compose_sax_str, UserQuery};
+use xust::core::{
+    multi_top_down, multi_two_pass_sax_files, multi_two_pass_sax_str, parse_multi_transform,
+    two_pass_sax_files, two_pass_sax_str, LdStorage, Method, MultiTransformQuery, TransformQuery,
+};
+use xust::sax::SaxParser;
+use xust::tree::Document;
+use xust::xmark::{generate_to_file, XmarkConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("xust: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(USAGE.trim().to_string());
+    };
+    let opts = Opts::parse(&args[1..])?;
+    match cmd.as_str() {
+        "transform" => cmd_transform(&opts),
+        "compose" => cmd_compose(&opts),
+        "generate" => cmd_generate(&opts),
+        "validate" => cmd_validate(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{}", USAGE.trim());
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{}", USAGE.trim())),
+    }
+}
+
+const USAGE: &str = r#"
+usage:
+  xust transform -q <query|@file> -i <input.xml> [-o <out.xml>] [--method dom|stream|naive|copy]
+  xust compose   -q <transform|@file> -u <user-query|@file> -i <input.xml> [-o <out.xml>] [--stream]
+  xust generate  --factor <f> [--seed <n>] -o <out.xml>
+  xust validate  -i <input.xml>
+"#;
+
+/// Parsed command-line options (shared across subcommands).
+#[derive(Debug, Default, PartialEq)]
+struct Opts {
+    query: Option<String>,
+    user_query: Option<String>,
+    input: Option<String>,
+    output: Option<String>,
+    method: Option<String>,
+    stream: bool,
+    factor: Option<f64>,
+    seed: Option<u64>,
+}
+
+impl Opts {
+    /// Hand-rolled flag parser: `-q/-u/-i/-o/--method/--factor/--seed`
+    /// take values, `--stream` is boolean. `@file` values are loaded.
+    fn parse(args: &[String]) -> Result<Opts, String> {
+        let mut o = Opts::default();
+        let mut it = args.iter();
+        let value = |flag: &str, it: &mut std::slice::Iter<'_, String>| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "-q" | "--query" => o.query = Some(load_arg(&value(a, &mut it)?)?),
+                "-u" | "--user-query" => o.user_query = Some(load_arg(&value(a, &mut it)?)?),
+                "-i" | "--input" => o.input = Some(value(a, &mut it)?),
+                "-o" | "--output" => o.output = Some(value(a, &mut it)?),
+                "--method" => o.method = Some(value(a, &mut it)?),
+                "--stream" => o.stream = true,
+                "--factor" => {
+                    o.factor = Some(
+                        value(a, &mut it)?
+                            .parse()
+                            .map_err(|e| format!("--factor: {e}"))?,
+                    )
+                }
+                "--seed" => {
+                    o.seed = Some(
+                        value(a, &mut it)?
+                            .parse()
+                            .map_err(|e| format!("--seed: {e}"))?,
+                    )
+                }
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+        }
+        Ok(o)
+    }
+}
+
+/// `@path` loads a file; anything else is taken verbatim.
+fn load_arg(v: &str) -> Result<String, String> {
+    match v.strip_prefix('@') {
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}")),
+        None => Ok(v.to_string()),
+    }
+}
+
+fn require<'a>(v: &'a Option<String>, what: &str) -> Result<&'a str, String> {
+    v.as_deref().ok_or_else(|| format!("missing {what}"))
+}
+
+/// Routes the parsed multi-transform: singleton lists use the
+/// single-update machinery (slightly leaner), larger ones the fused
+/// multi plans.
+enum AnyTransform {
+    Single(TransformQuery),
+    Multi(MultiTransformQuery),
+}
+
+fn parse_any_transform(text: &str) -> Result<AnyTransform, String> {
+    let mq = parse_multi_transform(text).map_err(|e| e.to_string())?;
+    if mq.updates.len() == 1 {
+        let mut mq = mq;
+        let (path, op) = mq.updates.remove(0);
+        Ok(AnyTransform::Single(TransformQuery {
+            var: mq.var,
+            doc_name: mq.doc_name,
+            path,
+            op,
+        }))
+    } else {
+        Ok(AnyTransform::Multi(mq))
+    }
+}
+
+fn emit(output: &Option<String>, text: &str) -> Result<(), String> {
+    match output {
+        Some(path) => std::fs::write(path, text).map_err(|e| format!("{path}: {e}")),
+        None => {
+            let mut stdout = std::io::stdout().lock();
+            stdout
+                .write_all(text.as_bytes())
+                .and_then(|_| stdout.write_all(b"\n"))
+                .map_err(|e| e.to_string())
+        }
+    }
+}
+
+fn cmd_transform(o: &Opts) -> Result<(), String> {
+    let query = require(&o.query, "-q <transform query>")?;
+    let input = require(&o.input, "-i <input.xml>")?;
+    let method = o.method.as_deref().unwrap_or("dom");
+    let q = parse_any_transform(query)?;
+
+    if method == "stream" {
+        // File→file when both ends are files; otherwise via strings.
+        return match (&q, &o.output) {
+            (AnyTransform::Single(q), Some(out)) => {
+                two_pass_sax_files(input, q, out, LdStorage::TempFile)
+                    .map(|_| ())
+                    .map_err(|e| e.to_string())
+            }
+            (AnyTransform::Multi(q), Some(out)) => {
+                multi_two_pass_sax_files(input, q, out, LdStorage::TempFile)
+                    .map(|_| ())
+                    .map_err(|e| e.to_string())
+            }
+            (q, None) => {
+                let xml =
+                    std::fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))?;
+                let result = match q {
+                    AnyTransform::Single(q) => two_pass_sax_str(&xml, q),
+                    AnyTransform::Multi(q) => multi_two_pass_sax_str(&xml, q),
+                }
+                .map_err(|e| e.to_string())?;
+                emit(&None, &result)
+            }
+        };
+    }
+
+    let xml = std::fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))?;
+    let doc = Document::parse(&xml).map_err(|e| e.to_string())?;
+    let result = match (&q, method) {
+        (AnyTransform::Single(q), "dom") => {
+            xust::core::evaluate(&doc, q, Method::TwoPass).map_err(|e| e.to_string())?
+        }
+        (AnyTransform::Single(q), "naive") => {
+            xust::core::evaluate(&doc, q, Method::Naive).map_err(|e| e.to_string())?
+        }
+        (AnyTransform::Single(q), "copy") => {
+            xust::core::evaluate(&doc, q, Method::CopyUpdate).map_err(|e| e.to_string())?
+        }
+        (AnyTransform::Multi(q), "dom") => multi_top_down(&doc, q),
+        (AnyTransform::Multi(_), m) => {
+            return Err(format!("multi-update transforms support --method dom|stream, not '{m}'"))
+        }
+        (_, m) => return Err(format!("unknown method '{m}' (dom|stream|naive|copy)")),
+    };
+    emit(&o.output, &result.serialize())
+}
+
+fn cmd_compose(o: &Opts) -> Result<(), String> {
+    let query = require(&o.query, "-q <transform query>")?;
+    let user = require(&o.user_query, "-u <user query>")?;
+    let input = require(&o.input, "-i <input.xml>")?;
+    let AnyTransform::Single(qt) = parse_any_transform(query)? else {
+        return Err("composition takes a single-update transform".into());
+    };
+    let uq = UserQuery::parse(user).map_err(|e| e.to_string())?;
+
+    if o.stream {
+        return match &o.output {
+            Some(out) => compose_sax_files(input, &qt, &uq, out)
+                .map(|_| ())
+                .map_err(|e| e.to_string()),
+            None => {
+                let xml =
+                    std::fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))?;
+                let result = compose_sax_str(&xml, &qt, &uq).map_err(|e| e.to_string())?;
+                emit(&None, &result)
+            }
+        };
+    }
+
+    let xml = std::fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))?;
+    let doc = Document::parse(&xml).map_err(|e| e.to_string())?;
+    let qc = compose(&qt, &uq).map_err(|e| e.to_string())?;
+    let result = qc.execute_to_string(&doc).map_err(|e| e.to_string())?;
+    emit(&o.output, &result)
+}
+
+fn cmd_generate(o: &Opts) -> Result<(), String> {
+    let factor = o.factor.ok_or("missing --factor")?;
+    let output = require(&o.output, "-o <out.xml>")?;
+    let mut cfg = XmarkConfig::new(factor);
+    if let Some(seed) = o.seed {
+        cfg = cfg.with_seed(seed);
+    }
+    generate_to_file(cfg, output).map_err(|e| e.to_string())?;
+    let size = std::fs::metadata(output).map(|m| m.len()).unwrap_or(0);
+    eprintln!("wrote {output} ({size} bytes)");
+    Ok(())
+}
+
+fn cmd_validate(o: &Opts) -> Result<(), String> {
+    let input = require(&o.input, "-i <input.xml>")?;
+    let mut parser = SaxParser::from_file(input).map_err(|e| e.to_string())?;
+    let mut elements = 0u64;
+    let mut depth = 0usize;
+    let mut max_depth = 0usize;
+    loop {
+        match parser.next_event() {
+            Ok(Some(xust::sax::SaxEvent::StartElement { .. })) => {
+                elements += 1;
+                depth += 1;
+                max_depth = max_depth.max(depth);
+            }
+            Ok(Some(xust::sax::SaxEvent::EndElement(_))) => depth -= 1,
+            Ok(Some(_)) => {}
+            Ok(None) => break,
+            Err(e) => return Err(format!("{input}: {e}")),
+        }
+    }
+    println!("{input}: well-formed, {elements} elements, depth {max_depth}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_flags() {
+        let o = Opts::parse(&s(&[
+            "-q", "qtext", "-i", "in.xml", "-o", "out.xml", "--method", "stream",
+        ]))
+        .unwrap();
+        assert_eq!(o.query.as_deref(), Some("qtext"));
+        assert_eq!(o.input.as_deref(), Some("in.xml"));
+        assert_eq!(o.output.as_deref(), Some("out.xml"));
+        assert_eq!(o.method.as_deref(), Some("stream"));
+        assert!(!o.stream);
+    }
+
+    #[test]
+    fn parse_stream_and_numbers() {
+        let o = Opts::parse(&s(&["--stream", "--factor", "0.25", "--seed", "7"])).unwrap();
+        assert!(o.stream);
+        assert_eq!(o.factor, Some(0.25));
+        assert_eq!(o.seed, Some(7));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_and_dangling() {
+        assert!(Opts::parse(&s(&["--nope"])).is_err());
+        assert!(Opts::parse(&s(&["-q"])).is_err());
+        assert!(Opts::parse(&s(&["--factor", "abc"])).is_err());
+    }
+
+    #[test]
+    fn at_file_loading() {
+        let p = std::env::temp_dir().join("xust_cli_q.txt");
+        std::fs::write(&p, "query from file").unwrap();
+        let loaded = load_arg(&format!("@{}", p.display())).unwrap();
+        assert_eq!(loaded, "query from file");
+        assert!(load_arg("@/no/such/file").is_err());
+        assert_eq!(load_arg("inline").unwrap(), "inline");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn any_transform_routing() {
+        let single = parse_any_transform(
+            r#"transform copy $a := doc("d") modify do delete $a//x return $a"#,
+        )
+        .unwrap();
+        assert!(matches!(single, AnyTransform::Single(_)));
+        let multi = parse_any_transform(
+            r#"transform copy $a := doc("d") modify do (delete $a//x, delete $a//y) return $a"#,
+        )
+        .unwrap();
+        assert!(matches!(multi, AnyTransform::Multi(_)));
+        assert!(parse_any_transform("garbage").is_err());
+    }
+
+    #[test]
+    fn end_to_end_transform_and_compose() {
+        let dir = std::env::temp_dir();
+        let input = dir.join("xust_cli_in.xml");
+        let output = dir.join("xust_cli_out.xml");
+        std::fs::write(&input, "<db><part><price>9</price><n>kb</n></part></db>").unwrap();
+
+        // transform, DOM method, file→file
+        run(&s(&[
+            "transform",
+            "-q",
+            r#"transform copy $a := doc("d") modify do delete $a//price return $a"#,
+            "-i",
+            input.to_str().unwrap(),
+            "-o",
+            output.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let got = std::fs::read_to_string(&output).unwrap();
+        assert_eq!(got, "<db><part><n>kb</n></part></db>");
+
+        // same through the streaming path
+        run(&s(&[
+            "transform",
+            "--method",
+            "stream",
+            "-q",
+            r#"transform copy $a := doc("d") modify do delete $a//price return $a"#,
+            "-i",
+            input.to_str().unwrap(),
+            "-o",
+            output.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(std::fs::read_to_string(&output).unwrap(), got);
+
+        // composition
+        run(&s(&[
+            "compose",
+            "-q",
+            r#"transform copy $a := doc("d") modify do delete $a//price return $a"#,
+            "-u",
+            r#"<out>{ for $x in doc("d")/db/part return $x }</out>"#,
+            "-i",
+            input.to_str().unwrap(),
+            "-o",
+            output.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&output).unwrap(),
+            "<out><part><n>kb</n></part></out>"
+        );
+
+        // validate
+        run(&s(&["validate", "-i", input.to_str().unwrap()])).unwrap();
+
+        std::fs::remove_file(&input).ok();
+        std::fs::remove_file(&output).ok();
+    }
+}

@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+//! `xust` — facade crate for the *Querying XML with Update Syntax*
+//! (SIGMOD 2007) reproduction.
+//!
+//! Re-exports the public API of every workspace crate so examples,
+//! integration tests, and downstream users can depend on a single crate.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use xust_automata as automata;
+pub use xust_compose as compose;
+pub use xust_core as core;
+pub use xust_sax as sax;
+pub use xust_secview as secview;
+pub use xust_tree as tree;
+pub use xust_xmark as xmark;
+pub use xust_xpath as xpath;
+pub use xust_xquery as xquery;

@@ -1,0 +1,167 @@
+//! The selecting NFA is the paper's core abstraction: driving it over a
+//! tree must select exactly `r[[p]]` (Section 3.4). These property tests
+//! pin that equivalence against the direct XPath evaluator, for the
+//! DOM walk and for the streaming selector alike.
+
+use proptest::prelude::*;
+
+use xust::automata::SelectingNfa;
+use xust::core::{LdStorage, PathPrepass};
+use xust::sax::{SaxEvent, SaxParser};
+use xust::tree::{Document, ElementBuilder, NodeId};
+use xust::xpath::{eval_path_root, eval_qualifier, parse_path};
+
+const LABELS: [&str; 4] = ["a", "b", "c", "d"];
+const TEXTS: [&str; 3] = ["x", "12", "A"];
+
+fn arb_tree(depth: u32) -> impl Strategy<Value = ElementBuilder> {
+    let leaf = (0..LABELS.len(), proptest::option::of(0..TEXTS.len())).prop_map(|(l, t)| {
+        let mut b = ElementBuilder::new(LABELS[l]);
+        if let Some(t) = t {
+            b = b.text(TEXTS[t]);
+        }
+        b
+    });
+    leaf.prop_recursive(depth, 24, 4, |inner| {
+        (0..LABELS.len(), prop::collection::vec(inner, 0..4)).prop_map(|(l, children)| {
+            let mut b = ElementBuilder::new(LABELS[l]);
+            for c in children {
+                b = b.child(c);
+            }
+            b
+        })
+    })
+}
+
+fn arb_doc() -> impl Strategy<Value = Document> {
+    arb_tree(3).prop_map(|b| ElementBuilder::new("r").child(b).build_document())
+}
+
+fn arb_path() -> impl Strategy<Value = String> {
+    let step = prop_oneof![
+        (0..LABELS.len()).prop_map(|l| LABELS[l].to_string()),
+        Just("*".to_string()),
+    ];
+    let qual = prop_oneof![
+        (0..LABELS.len()).prop_map(|l| format!("[{}]", LABELS[l])),
+        (0..LABELS.len(), 0..TEXTS.len())
+            .prop_map(|(l, t)| format!("[{} = '{}']", LABELS[l], TEXTS[t])),
+        (0..LABELS.len()).prop_map(|l| format!("[not({})]", LABELS[l])),
+        (0..LABELS.len()).prop_map(|l| format!("[{} < 20]", LABELS[l])),
+        Just("[label() = b]".to_string()),
+    ];
+    (
+        prop::collection::vec((step, proptest::option::of(qual), prop::bool::ANY), 1..4),
+        prop::bool::ANY,
+    )
+        .prop_map(|(steps, lead_desc)| {
+            let mut out = String::from(if lead_desc { "//" } else { "r/" });
+            for (i, (s, q, desc)) in steps.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(if *desc { "//" } else { "/" });
+                }
+                out.push_str(s);
+                if let Some(q) = q {
+                    out.push_str(q);
+                }
+            }
+            out
+        })
+}
+
+/// Drives the selecting NFA over the whole tree (no pruning) and
+/// returns the selected nodes in preorder = document order.
+fn nfa_select(doc: &Document, nfa: &SelectingNfa) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    let Some(root) = doc.root() else {
+        return out;
+    };
+    fn rec(
+        doc: &Document,
+        nfa: &SelectingNfa,
+        n: NodeId,
+        s: &xust::automata::StateSet,
+        out: &mut Vec<NodeId>,
+    ) {
+        let Some(label) = doc.name(n) else { return };
+        let label = label.to_string();
+        let next = nfa.next_states(s, &label, |_, qual| eval_qualifier(doc, n, qual));
+        if next.contains(nfa.final_state) {
+            out.push(n);
+        }
+        let children: Vec<NodeId> = doc.children(n).collect();
+        for c in children {
+            if doc.is_element(c) {
+                rec(doc, nfa, c, &next, out);
+            }
+        }
+    }
+    rec(doc, nfa, root, &nfa.initial(), &mut out);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 192, .. ProptestConfig::default() })]
+
+    /// Selecting NFA ≡ direct evaluator, node for node.
+    #[test]
+    fn selecting_nfa_matches_direct_eval(doc in arb_doc(), path in arb_path()) {
+        let p = parse_path(&path).unwrap();
+        let nfa = SelectingNfa::new(&p);
+        let via_nfa = nfa_select(&doc, &nfa);
+        let direct = eval_path_root(&doc, &p);
+        prop_assert_eq!(
+            &via_nfa,
+            &direct,
+            "NFA selection deviates for {} over {}",
+            path,
+            doc.serialize()
+        );
+    }
+
+    /// Streaming PathSelector (filtering NFA + Ld replay) ≡ direct
+    /// evaluator, including qualifier handling via the two-pass cursor.
+    #[test]
+    fn streaming_selector_matches_direct_eval(doc in arb_doc(), path in arb_path()) {
+        let p = parse_path(&path).unwrap();
+        let xml = doc.serialize();
+
+        let mut pre = PathPrepass::new(&p, LdStorage::Memory);
+        let mut parser = SaxParser::from_str(&xml);
+        let mut events = Vec::new();
+        while let Some(ev) = parser.next_event().unwrap() {
+            pre.feed(ev.clone());
+            events.push(ev);
+        }
+        let prepared = pre.finish().unwrap();
+        let mut sel = prepared.selector();
+        let mut got = Vec::new();
+        for ev in &events {
+            match ev {
+                SaxEvent::StartElement { name, .. } => {
+                    if sel.start_element(name) {
+                        got.push(name.clone());
+                    }
+                }
+                SaxEvent::EndElement(_) => sel.end_element(),
+                _ => {}
+            }
+        }
+        let expect: Vec<String> = eval_path_root(&doc, &p)
+            .into_iter()
+            .map(|n| doc.name(n).unwrap().to_string())
+            .collect();
+        prop_assert_eq!(got, expect, "selector deviates for {} over {}", path, xml);
+    }
+
+    /// NFA size bounds from Section 3.4: |Mp| = O(|p|), construction
+    /// never panics, and the state count is linear in the step count.
+    #[test]
+    fn nfa_size_linear_in_path(path in arb_path()) {
+        let p = parse_path(&path).unwrap();
+        let nfa = SelectingNfa::new(&p);
+        // steps + start state is the exact count for our construction.
+        prop_assert!(nfa.len() <= p.steps.len() + 1);
+        prop_assert!(nfa.final_state < nfa.len());
+    }
+}

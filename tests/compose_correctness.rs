@@ -1,0 +1,153 @@
+//! Composition correctness: `Qc(T) = Q(Qt(T))` (Section 4) on random
+//! documents, transforms, and user queries — including inputs that force
+//! the implementation's graceful-degradation paths.
+
+use proptest::prelude::*;
+
+use xust::compose::{compose, naive_composition_to_string, UserQuery};
+use xust::core::{InsertPos, TransformQuery};
+use xust::tree::{Document, ElementBuilder};
+use xust::xpath::parse_path;
+
+const LABELS: [&str; 3] = ["a", "b", "c"];
+const TEXTS: [&str; 3] = ["x", "A", "7"];
+
+fn arb_tree(depth: u32) -> impl Strategy<Value = ElementBuilder> {
+    let leaf = (0..LABELS.len(), 0..TEXTS.len())
+        .prop_map(|(l, t)| ElementBuilder::new(LABELS[l]).text(TEXTS[t]));
+    leaf.prop_recursive(depth, 20, 4, |inner| {
+        (0..LABELS.len(), prop::collection::vec(inner, 0..4)).prop_map(|(l, children)| {
+            let mut b = ElementBuilder::new(LABELS[l]);
+            for c in children {
+                b = b.child(c);
+            }
+            b
+        })
+    })
+}
+
+fn arb_doc() -> impl Strategy<Value = Document> {
+    arb_tree(3).prop_map(|b| ElementBuilder::new("r").child(b).build_document())
+}
+
+fn arb_simple_path() -> impl Strategy<Value = String> {
+    let step = prop_oneof![
+        (0..LABELS.len()).prop_map(|l| LABELS[l].to_string()),
+        Just("*".to_string()),
+    ];
+    let qual = prop_oneof![
+        (0..LABELS.len()).prop_map(|l| format!("[{}]", LABELS[l])),
+        (0..LABELS.len(), 0..TEXTS.len())
+            .prop_map(|(l, t)| format!("[{} = '{}']", LABELS[l], TEXTS[t])),
+    ];
+    (
+        prop::collection::vec((step, proptest::option::of(qual), prop::bool::ANY), 1..4),
+    )
+        .prop_map(|(steps,)| {
+            let mut out = String::from("r");
+            for (s, q, desc) in steps {
+                out.push_str(if desc { "//" } else { "/" });
+                out.push_str(&s);
+                if let Some(q) = q {
+                    out.push_str(&q);
+                }
+            }
+            out
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, .. ProptestConfig::default() })]
+
+    #[test]
+    fn composed_equals_sequential(
+        doc in arb_doc(),
+        qt_path in arb_simple_path(),
+        uq_path in arb_simple_path(),
+        op in 0u8..7,
+    ) {
+        // e's root label "b" collides with the user-path alphabet on
+        // purpose: it exercises the replace/rename/sibling-insert
+        // fallback guards.
+        let e = Document::parse("<b><t>n</t></b>").unwrap();
+        let p = parse_path(&qt_path).unwrap();
+        let qt = match op {
+            0 => TransformQuery::delete("d", p),
+            1 => TransformQuery::insert("d", p, e),
+            2 => TransformQuery::replace("d", p, e),
+            3 => TransformQuery::rename("d", p, "b"),
+            4 => TransformQuery::insert_at("d", p, e, InsertPos::FirstInto),
+            5 => TransformQuery::insert_at("d", p, e, InsertPos::Before),
+            _ => TransformQuery::insert_at("d", p, e, InsertPos::After),
+        };
+        let uq = UserQuery::parse(&format!(
+            "<out>{{ for $x in doc(\"d\")/{uq_path} return $x }}</out>"
+        ))
+        .unwrap();
+        let qc = compose(&qt, &uq).unwrap();
+        let composed = qc.execute_to_string(&doc).unwrap();
+        let sequential = naive_composition_to_string(&doc, &qt, &uq).unwrap();
+        prop_assert_eq!(
+            composed,
+            sequential,
+            "compose broke Qc(T) = Q(Qt(T)) for {} {} / user {} over {} (fallbacks {})",
+            qt.op.kind(),
+            qt.path,
+            uq_path,
+            doc.serialize(),
+            qc.fallback_sites
+        );
+    }
+
+    #[test]
+    fn streaming_composition_equals_sequential(
+        doc in arb_doc(),
+        qt_path in arb_simple_path(),
+        uq_path in arb_simple_path(),
+        op in 0u8..7,
+    ) {
+        let e = Document::parse("<b><t>n</t></b>").unwrap();
+        let p = parse_path(&qt_path).unwrap();
+        let qt = match op {
+            0 => TransformQuery::delete("d", p),
+            1 => TransformQuery::insert("d", p, e),
+            2 => TransformQuery::replace("d", p, e),
+            3 => TransformQuery::rename("d", p, "b"),
+            4 => TransformQuery::insert_at("d", p, e, InsertPos::FirstInto),
+            5 => TransformQuery::insert_at("d", p, e, InsertPos::Before),
+            _ => TransformQuery::insert_at("d", p, e, InsertPos::After),
+        };
+        let uq = UserQuery::parse(&format!(
+            "<out>{{ for $x in doc(\"d\")/{uq_path} return $x }}</out>"
+        ))
+        .unwrap();
+        let sequential = naive_composition_to_string(&doc, &qt, &uq).unwrap();
+        let streamed = xust::compose::compose_sax_str(&doc.serialize(), &qt, &uq).unwrap();
+        prop_assert_eq!(
+            streamed,
+            sequential,
+            "streaming compose broke Qc(T) = Q(Qt(T)) for {} {} / user {} over {}",
+            qt.op.kind(),
+            qt.path,
+            uq_path,
+            doc.serialize()
+        );
+    }
+
+    #[test]
+    fn composed_with_where_clause(
+        doc in arb_doc(),
+        qt_path in arb_simple_path(),
+        uq_path in arb_simple_path(),
+    ) {
+        let qt = TransformQuery::delete("d", parse_path(&qt_path).unwrap());
+        let uq = UserQuery::parse(&format!(
+            "<out>{{ for $x in doc(\"d\")/{uq_path} where empty($x/c) return $x }}</out>"
+        ))
+        .unwrap();
+        let qc = compose(&qt, &uq).unwrap();
+        let composed = qc.execute_to_string(&doc).unwrap();
+        let sequential = naive_composition_to_string(&doc, &qt, &uq).unwrap();
+        prop_assert_eq!(composed, sequential);
+    }
+}

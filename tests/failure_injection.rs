@@ -1,0 +1,146 @@
+//! Failure injection across every layer: malformed inputs must produce
+//! errors (never panics, never silently wrong output).
+
+use xust::core::{evaluate_str, parse_transform, two_pass_sax_str, Method, TransformQuery};
+use xust::sax::SaxParser;
+use xust::tree::Document;
+use xust::xpath::parse_path;
+use xust::xquery::Engine;
+
+#[test]
+fn sax_layer_rejects_malformed_xml() {
+    for bad in [
+        "",
+        "plain text",
+        "<a>",
+        "<a></b>",
+        "<a><b></a></b>",
+        "<a attr></a>",
+        "<a x=unquoted/>",
+        "<a/><b/>",
+        "<a>trailing</a>junk",
+        "< a/>",
+    ] {
+        assert!(
+            SaxParser::from_str(bad).collect_events().is_err(),
+            "SAX accepted malformed input: {bad:?}"
+        );
+        assert!(
+            Document::parse(bad).is_err(),
+            "tree parser accepted malformed input: {bad:?}"
+        );
+    }
+}
+
+#[test]
+fn sax_depth_limit_defends_stack() {
+    let mut xml = String::new();
+    for _ in 0..6000 {
+        xml.push_str("<d>");
+    }
+    // No closing tags needed: the limit trips during opening.
+    let err = SaxParser::from_str(&xml).collect_events();
+    assert!(err.is_err());
+}
+
+#[test]
+fn xpath_layer_rejects_malformed_paths() {
+    for bad in [
+        "", "/", "//", "a/", "a//", "a[", "a[]", "a[b", "a]b", "a[b =]", "a[= 'x']",
+        "a[not b]", "a b", "a[@]", "$x/a",
+    ] {
+        assert!(parse_path(bad).is_err(), "X parser accepted: {bad:?}");
+    }
+}
+
+#[test]
+fn transform_layer_rejects_malformed_queries() {
+    for bad in [
+        "",
+        "transform",
+        r#"transform copy $a := doc("T") return $a"#,
+        r#"transform copy $a := doc("T") modify do delete $a/x"#,
+        r#"transform copy $a := doc(T) modify do delete $a/x return $a"#,
+        r#"transform copy $a := doc("T") modify do insert into $a/x return $a"#,
+        r#"transform copy $a := doc("T") modify do replace $a/x with return $a"#,
+        r#"transform copy $a := doc("T") modify do rename $a/x as return $a"#,
+        r#"transform copy $a := doc("T") modify do delete $a/x return $a trailing"#,
+    ] {
+        assert!(parse_transform(bad).is_err(), "accepted: {bad:?}");
+    }
+}
+
+#[test]
+fn xquery_layer_rejects_malformed_queries() {
+    let mut e = Engine::new();
+    e.load_doc("d", Document::parse("<a/>").unwrap());
+    for bad in [
+        "for $x in",
+        "let $x doc(\"d\")",
+        "if (1) then 2",
+        "<a></b>",
+        "doc(\"d\")/",
+        "some $x in doc(\"d\")",
+        "$x/",
+        "declare function f { 1 }; 1",
+    ] {
+        assert!(e.eval_str(bad).is_err(), "engine accepted: {bad:?}");
+    }
+}
+
+#[test]
+fn xquery_runtime_errors_are_errors_not_panics() {
+    let mut e = Engine::new();
+    e.load_doc("d", Document::parse("<a>x</a>").unwrap());
+    for bad in [
+        "$nope",
+        "doc(\"missing\")/a",
+        "nosuchfn(1)",
+        "empty(1, 2)",
+        "'str'/child",
+        "element {''} {1}",
+    ] {
+        assert!(e.eval_str(bad).is_err(), "engine evaluated: {bad:?}");
+    }
+}
+
+#[test]
+fn streaming_transform_propagates_parse_errors() {
+    let q = TransformQuery::delete("d", parse_path("//x").unwrap());
+    for bad in ["<a><b></a>", "<a>", "nope"] {
+        assert!(two_pass_sax_str(bad, &q).is_err(), "streamed: {bad:?}");
+    }
+}
+
+#[test]
+fn evaluate_str_surfaces_all_error_paths() {
+    let doc = Document::parse("<a/>").unwrap();
+    for m in Method::ALL {
+        assert!(evaluate_str(&doc, "not a query", m).is_err(), "{m}");
+    }
+    // Querying a different doc name than loaded is fine for DOM methods
+    // (the name is part of the query identity only); parse errors aren't.
+    assert!(evaluate_str(
+        &doc,
+        r#"transform copy $a := doc("x") modify do delete $a/[ return $a"#,
+        Method::TwoPass
+    )
+    .is_err());
+}
+
+#[test]
+fn empty_and_degenerate_documents() {
+    let q = TransformQuery::delete("d", parse_path("//x").unwrap());
+    // Empty document: every DOM method returns an empty document.
+    let empty = Document::new();
+    for m in [Method::CopyUpdate, Method::Naive, Method::TopDown, Method::TwoPass] {
+        let out = xust::core::evaluate(&empty, &q, m).unwrap();
+        assert_eq!(out.root(), None, "{m}");
+    }
+    // Single-element document.
+    let tiny = Document::parse("<x/>").unwrap();
+    for m in [Method::CopyUpdate, Method::Naive, Method::TopDown, Method::TwoPass] {
+        let out = xust::core::evaluate(&tiny, &q, m).unwrap();
+        assert_eq!(out.serialize(), "", "{m}: root x must be deleted");
+    }
+}

@@ -1,0 +1,106 @@
+//! SAX layer invariants: parse→serialize roundtrips, event-stream
+//! equivalence with the DOM, and escaping correctness on hostile text.
+
+use proptest::prelude::*;
+
+use xust::sax::{events_to_string, SaxEvent, SaxParser};
+use xust::tree::{docs_eq, Document, ElementBuilder};
+
+const LABELS: [&str; 4] = ["a", "b", "long-name.x", "_u"];
+// Texts that force escaping and whitespace handling.
+const TEXTS: [&str; 6] = ["plain", "a<b", "x&y", "\"q\" 'p'", "  padded  ", "2>1"];
+
+fn arb_tree(depth: u32) -> impl Strategy<Value = ElementBuilder> {
+    let leaf = (0..LABELS.len(), proptest::option::of(0..TEXTS.len())).prop_map(|(l, t)| {
+        let mut b = ElementBuilder::new(LABELS[l]);
+        if let Some(t) = t {
+            b = b.text(TEXTS[t]);
+        }
+        b
+    });
+    leaf.prop_recursive(depth, 24, 4, |inner| {
+        (
+            0..LABELS.len(),
+            proptest::option::of((0..2usize, 0..TEXTS.len())),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(l, attr, children)| {
+                let mut b = ElementBuilder::new(LABELS[l]);
+                if let Some((k, v)) = attr {
+                    b = b.attr(["k", "id"][k], TEXTS[v]);
+                }
+                for c in children {
+                    b = b.child(c);
+                }
+                b
+            })
+    })
+}
+
+fn arb_doc() -> impl Strategy<Value = Document> {
+    arb_tree(3).prop_map(|b| ElementBuilder::new("root").child(b).build_document())
+}
+
+/// Collects the SAX events of a serialized document.
+fn events_of(xml: &str) -> Vec<SaxEvent> {
+    SaxParser::from_str(xml).collect_events().expect("parses")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 192, .. ProptestConfig::default() })]
+
+    /// serialize ∘ parse = id on the event stream (modulo Start/End
+    /// document framing).
+    #[test]
+    fn serialize_parse_event_fixpoint(doc in arb_doc()) {
+        let xml = doc.serialize();
+        let events = events_of(&xml);
+        // Events re-serialized give back the same bytes.
+        let again = events_to_string(&events).expect("serializable");
+        prop_assert_eq!(again, xml);
+    }
+
+    /// The DOM built from SAX events equals the original document.
+    #[test]
+    fn dom_roundtrip(doc in arb_doc()) {
+        let xml = doc.serialize();
+        let reparsed = Document::parse(&xml).expect("well-formed");
+        prop_assert!(docs_eq(&doc, &reparsed));
+    }
+
+    /// Escaping is involutive: text content and attribute values survive
+    /// a full write/read cycle byte-for-byte.
+    #[test]
+    fn hostile_text_survives(t in prop::sample::select(TEXTS.to_vec()), a in prop::sample::select(TEXTS.to_vec())) {
+        let mut d = Document::new();
+        let r = d.create_element_with_attrs("r", vec![("k".into(), a.to_string())]);
+        let txt = d.create_text(t);
+        d.append_child(r, txt);
+        d.set_root(r);
+        let xml = d.serialize();
+        let back = Document::parse(&xml).expect("well-formed");
+        let root = back.root().unwrap();
+        prop_assert_eq!(back.attr(root, "k"), Some(a));
+        prop_assert_eq!(back.immediate_text(root), t);
+    }
+}
+
+#[test]
+fn event_shapes() {
+    let events = events_of("<a k=\"v\">hi<b/></a>");
+    assert!(matches!(&events[0], SaxEvent::StartDocument));
+    assert!(
+        matches!(&events[1], SaxEvent::StartElement { name, attrs } if name == "a" && attrs.len() == 1)
+    );
+    assert!(matches!(&events[2], SaxEvent::Text(t) if t == "hi"));
+    assert!(matches!(&events[3], SaxEvent::StartElement { name, .. } if name == "b"));
+    assert!(matches!(&events[4], SaxEvent::EndElement(n) if n == "b"));
+    assert!(matches!(&events[5], SaxEvent::EndElement(n) if n == "a"));
+    assert!(matches!(&events[6], SaxEvent::EndDocument));
+}
+
+#[test]
+fn whitespace_only_text_preserved() {
+    let xml = "<a> <b/> </a>";
+    assert_eq!(events_to_string(&events_of(xml)).unwrap(), xml);
+}

@@ -1,0 +1,117 @@
+//! Security-view invariants on random documents and random policies:
+//! non-disclosure (hide rules leave no surviving matches), enforcement
+//! equivalence (composed == sequential == streaming), and source
+//! immutability.
+
+use proptest::prelude::*;
+
+use xust::secview::Policy;
+use xust::tree::{Document, ElementBuilder};
+
+const LABELS: [&str; 4] = ["a", "b", "c", "d"];
+const TEXTS: [&str; 3] = ["x", "10", "A"];
+
+fn arb_tree(depth: u32) -> impl Strategy<Value = ElementBuilder> {
+    let leaf = (0..LABELS.len(), proptest::option::of(0..TEXTS.len())).prop_map(|(l, t)| {
+        let mut b = ElementBuilder::new(LABELS[l]);
+        if let Some(t) = t {
+            b = b.text(TEXTS[t]);
+        }
+        b
+    });
+    leaf.prop_recursive(depth, 24, 4, |inner| {
+        (0..LABELS.len(), prop::collection::vec(inner, 0..4)).prop_map(|(l, children)| {
+            let mut b = ElementBuilder::new(LABELS[l]);
+            for c in children {
+                b = b.child(c);
+            }
+            b
+        })
+    })
+}
+
+fn arb_doc() -> impl Strategy<Value = Document> {
+    arb_tree(3).prop_map(|b| ElementBuilder::new("r").child(b).build_document())
+}
+
+fn arb_path() -> impl Strategy<Value = String> {
+    let step = prop_oneof![
+        (0..LABELS.len()).prop_map(|l| LABELS[l].to_string()),
+        Just("*".to_string()),
+    ];
+    let qual = prop_oneof![
+        (0..LABELS.len()).prop_map(|l| format!("[{}]", LABELS[l])),
+        (0..LABELS.len(), 0..TEXTS.len())
+            .prop_map(|(l, t)| format!("[{} = '{}']", LABELS[l], TEXTS[t])),
+    ];
+    (
+        prop::collection::vec((step, proptest::option::of(qual), prop::bool::ANY), 1..3),
+    )
+        .prop_map(|(steps,)| {
+            let mut out = String::from("r");
+            for (s, q, desc) in steps {
+                out.push_str(if desc { "//" } else { "/" });
+                out.push_str(&s);
+                if let Some(q) = q {
+                    out.push_str(&q);
+                }
+            }
+            out
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
+
+    /// Hide rules are *effective*: auditing the materialized view finds
+    /// no surviving match, for any rule set over any document.
+    ///
+    /// (This is not vacuous: deletes interact — an earlier rule can
+    /// remove the ancestor of a later rule's match — and the audit
+    /// re-evaluates every path on the transformed tree.)
+    #[test]
+    fn hide_policies_never_leak(
+        doc in arb_doc(),
+        paths in prop::collection::vec(arb_path(), 1..4),
+    ) {
+        let mut p = Policy::new("g", "d");
+        for (i, path) in paths.iter().enumerate() {
+            p = p.hide(format!("rule{i}"), path).unwrap();
+        }
+        let violations = p.audit(&doc);
+        prop_assert!(
+            violations.is_empty(),
+            "policy over {:?} leaked on {}: {:?}",
+            paths,
+            doc.serialize(),
+            violations
+        );
+    }
+
+    /// Single-rule enforcement agrees across all three strategies.
+    #[test]
+    fn enforcement_strategies_agree(
+        doc in arb_doc(),
+        deny in arb_path(),
+        ask in arb_path(),
+    ) {
+        let p = Policy::new("g", "d").hide("deny", &deny).unwrap();
+        let q = format!("<out>{{ for $x in doc(\"d\")/{ask} return $x }}</out>");
+        let composed = p.answer(&doc, &q).unwrap();
+        let sequential = p.answer_sequential(&doc, &q).unwrap();
+        let streamed = p.answer_streaming(&doc.serialize(), &q).unwrap();
+        prop_assert_eq!(&composed, &sequential, "compose deviates for deny {} ask {}", deny, ask);
+        prop_assert_eq!(&streamed, &sequential, "stream deviates for deny {} ask {}", deny, ask);
+    }
+
+    /// Enforcement never mutates the source document.
+    #[test]
+    fn enforcement_is_non_destructive(doc in arb_doc(), deny in arb_path()) {
+        let before = doc.serialize();
+        let p = Policy::new("g", "d").hide("deny", &deny).unwrap();
+        let _ = p.view(&doc);
+        let _ = p.audit(&doc);
+        let _ = p.answer(&doc, "for $x in doc(\"d\")/r return $x");
+        prop_assert_eq!(doc.serialize(), before);
+    }
+}
