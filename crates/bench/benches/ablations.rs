@@ -68,7 +68,16 @@ fn stateset(c: &mut Criterion) {
     let path = parse_path("/site//open_auctions/open_auction//annotation//description//text")
         .expect("path parses");
     let nfa = SelectingNfa::new(&path);
-    let labels = ["site", "open_auctions", "open_auction", "x", "annotation", "y", "description", "text"];
+    let labels = [
+        "site",
+        "open_auctions",
+        "open_auction",
+        "x",
+        "annotation",
+        "y",
+        "description",
+        "text",
+    ];
     let mut g = c.benchmark_group("ablation_stateset");
     g.sample_size(20);
     g.warm_up_time(std::time::Duration::from_millis(300));

@@ -24,11 +24,9 @@ fn fig12(c: &mut Criterion) {
             Method::TopDown,
             Method::TwoPassSax,
         ] {
-            g.bench_with_input(
-                BenchmarkId::new(m.paper_name(), u_name(i)),
-                &q,
-                |b, q| b.iter(|| run_method(&doc, &xml, q, m)),
-            );
+            g.bench_with_input(BenchmarkId::new(m.paper_name(), u_name(i)), &q, |b, q| {
+                b.iter(|| run_method(&doc, &xml, q, m))
+            });
         }
     }
     g.finish();

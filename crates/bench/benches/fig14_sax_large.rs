@@ -18,15 +18,9 @@ fn fig14(c: &mut Criterion) {
         for qi in queries {
             let q = insert_query(qi);
             let out = std::env::temp_dir().join(format!("xust-bench14-{f}-{qi}.xml"));
-            g.bench_with_input(
-                BenchmarkId::new(u_name(qi), format!("f{f}")),
-                &q,
-                |b, q| {
-                    b.iter(|| {
-                        two_pass_sax_files(&path, q, &out, LdStorage::Memory).expect("stream")
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(u_name(qi), format!("f{f}")), &q, |b, q| {
+                b.iter(|| two_pass_sax_files(&path, q, &out, LdStorage::Memory).expect("stream"))
+            });
             std::fs::remove_file(&out).ok();
         }
     }

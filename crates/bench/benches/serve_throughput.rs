@@ -1,0 +1,128 @@
+//! `xust-serve` throughput: prepared + planned execution versus fixed
+//! methods that re-parse and re-compile per request (what a naive
+//! service would do).
+//!
+//! The `served/*` rows go through the full serving stack — prepared
+//! cache, adaptive planner, stats — and should comfortably beat the
+//! worst fixed method (and, warmed up, track the best one) on the same
+//! XMark workload. The batch row measures the multi-document entry
+//! point fanning out over the worker pool.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xust_bench::{u_name, xmark_doc, WORKLOAD};
+use xust_core::{evaluate, parse_transform, Method};
+use xust_serve::{Request, Server};
+
+const FACTOR: f64 = 0.005;
+
+fn transform_syntax(i: usize) -> String {
+    format!(
+        r#"transform copy $a := doc("xmark") modify do insert <xust-mark><origin>bench</origin></xust-mark> into $a{} return $a"#,
+        WORKLOAD[i]
+    )
+}
+
+/// Fixed-method baseline: parse + compile + evaluate on every request,
+/// as a stateless handler would.
+fn fixed(c: &mut Criterion) {
+    let doc = xmark_doc(FACTOR);
+    let mut g = c.benchmark_group("serve_fixed");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(900));
+    for i in [0, 3, 7] {
+        let text = transform_syntax(i);
+        for m in [Method::CopyUpdate, Method::Naive, Method::TwoPass] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{m}"), u_name(i)),
+                &text,
+                |b, text| {
+                    b.iter(|| {
+                        // A stateless handler's full request cost:
+                        // parse, compile, evaluate, serialize the body.
+                        let q = parse_transform(text).expect("parses");
+                        evaluate(&doc, &q, m).expect("evaluates").serialize().len()
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+/// The serving stack: compiled once, planned per request.
+fn served(c: &mut Criterion) {
+    let doc = xmark_doc(FACTOR);
+    let server = Server::builder().threads(8).build();
+    server.load_doc("xmark", doc);
+    let mut g = c.benchmark_group("serve_prepared");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(900));
+    for i in [0, 3, 7] {
+        let request = Request::Transform {
+            doc: "xmark".into(),
+            query: transform_syntax(i),
+        };
+        // Warm the cache and the planner's latency model.
+        for _ in 0..8 {
+            server.handle(&request).expect("served");
+        }
+        g.bench_with_input(
+            BenchmarkId::new("planned", u_name(i)),
+            &request,
+            |b, request| b.iter(|| server.handle(request).expect("served").body.len()),
+        );
+    }
+    let snap = server.stats();
+    assert!(
+        snap.cache_hits > snap.compiles,
+        "bench must exercise the cache: {snap}"
+    );
+    println!("serve stats after bench: {snap}");
+    g.finish();
+}
+
+/// The batched multi-document entry point, 64 requests per batch.
+fn batched(c: &mut Criterion) {
+    let server = Server::builder().threads(8).build();
+    server.load_doc("xmark", xmark_doc(FACTOR));
+    server.load_doc("xmark2", xmark_doc(FACTOR / 2.0));
+    server
+        .register_view(
+            "nopeople",
+            r#"transform copy $a := doc("xmark") modify do delete $a/site/people return $a"#,
+        )
+        .expect("registers");
+    let mut g = c.benchmark_group("serve_batch");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    let batch: Vec<Request> = (0..64)
+        .map(|i| match i % 3 {
+            0 => Request::View {
+                view: "nopeople".into(),
+                doc: "xmark".into(),
+            },
+            1 => Request::View {
+                view: "nopeople".into(),
+                doc: "xmark2".into(),
+            },
+            _ => Request::Transform {
+                doc: "xmark".into(),
+                query: transform_syntax(0),
+            },
+        })
+        .collect();
+    g.bench_function("batch64", |b| {
+        b.iter(|| {
+            let results = server.execute_batch(batch.clone());
+            assert!(results.iter().all(|r| r.is_ok()));
+            results.len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fixed, served, batched);
+criterion_main!(benches);

@@ -104,7 +104,10 @@ fn fig12(factor: f64) {
     // paper's portability artifact, not a performance contender here).
     let q = insert_query(1);
     let (d, _) = time_once(|| evaluate(&doc, &q, Method::NaiveXQuery).expect("evaluation"));
-    println!("  (NAIVE as generated XQuery text on xust-xquery, U2: {} s)", secs(d));
+    println!(
+        "  (NAIVE as generated XQuery text on xust-xquery, U2: {} s)",
+        secs(d)
+    );
     println!();
 }
 
@@ -168,8 +171,7 @@ fn fig14(full: bool) {
             let q = insert_query(qi);
             let out = std::env::temp_dir().join("xust-fig14-out.xml");
             let t = Instant::now();
-            let stats =
-                two_pass_sax_files(&path, &q, &out, LdStorage::TempFile).expect("stream");
+            let stats = two_pass_sax_files(&path, &q, &out, LdStorage::TempFile).expect("stream");
             print!("{:>10.3}", t.elapsed().as_secs_f64());
             last_stats = Some(stats);
             std::fs::remove_file(&out).ok();
@@ -209,9 +211,8 @@ fn fig15(full: bool) {
             for _ in 0..3 {
                 let mut e1 = Engine::new();
                 e1.load_doc("xmark", doc.clone());
-                let (d, a) = time_once(|| {
-                    naive_composition_in_engine(&mut e1, &qt, &uq).expect("naive")
-                });
+                let (d, a) =
+                    time_once(|| naive_composition_in_engine(&mut e1, &qt, &uq).expect("naive"));
                 best_naive = best_naive.min(d);
                 let mut e2 = Engine::new();
                 e2.load_doc("xmark", doc.clone());
@@ -242,9 +243,7 @@ fn ops(factor: f64) {
         "rename",
     ];
     let methods = [Method::Naive, Method::TopDown, Method::TwoPassSax];
-    println!(
-        "== Extension: update kinds on U2/U4/U9, XMark factor {factor} (seconds) =="
-    );
+    println!("== Extension: update kinds on U2/U4/U9, XMark factor {factor} (seconds) ==");
     for &qi in &[1usize, 3, 8] {
         println!("-- {}", u_name(qi));
         print!("{:<16}", "kind");
@@ -271,9 +270,7 @@ fn ops(factor: f64) {
 fn multi(factor: f64) {
     use xust_core::{apply_chain, multi_snapshot, multi_top_down, TransformQuery};
     let doc = xmark_doc(factor);
-    println!(
-        "== Extension: multi-update transforms, XMark factor {factor} (seconds) =="
-    );
+    println!("== Extension: multi-update transforms, XMark factor {factor} (seconds) ==");
     println!(
         "{:<8}{:>12}{:>12}{:>14}",
         "k rules", "fused", "snapshot", "k topDown"
@@ -310,7 +307,11 @@ fn multi(factor: f64) {
 /// Compose Method vs Naive composition on the Fig. 15 pairs.
 fn streamcompose(full: bool) {
     use xust_compose::compose_sax_files;
-    let factors: &[f64] = if full { &[0.02, 0.1, 0.18] } else { &[0.02, 0.06] };
+    let factors: &[f64] = if full {
+        &[0.02, 0.1, 0.18]
+    } else {
+        &[0.02, 0.06]
+    };
     println!("== Extension: streaming composition (seconds) ==");
     for (name, qt, uq) in composition_pairs() {
         let qc = compose(&qt, &uq).expect("composable");
@@ -330,9 +331,8 @@ fn streamcompose(full: bool) {
             e2.load_doc("xmark", doc.clone());
             let (comp_d, b) = time_once(|| qc.execute_in_engine(&mut e2).expect("composed"));
             let out = std::env::temp_dir().join("xust-streamcompose-out.xml");
-            let (stream_d, stats) = time_once(|| {
-                compose_sax_files(&path, &qt, &uq, &out).expect("stream composition")
-            });
+            let (stream_d, stats) =
+                time_once(|| compose_sax_files(&path, &qt, &uq, &out).expect("stream composition"));
             let c = std::fs::read_to_string(&out).expect("read result");
             std::fs::remove_file(&out).ok();
             assert_eq!(a, b, "Compose must agree with naive composition");

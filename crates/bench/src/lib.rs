@@ -52,7 +52,10 @@ pub fn insert_query(i: usize) -> TransformQuery {
 
 /// A delete variant (used by the composition pairs).
 pub fn delete_query(i: usize) -> TransformQuery {
-    TransformQuery::delete("xmark", parse_path(WORKLOAD[i]).expect("workload paths parse"))
+    TransformQuery::delete(
+        "xmark",
+        parse_path(WORKLOAD[i]).expect("workload paths parse"),
+    )
 }
 
 /// A transform query over workload path `i` for any update kind — the

@@ -181,8 +181,7 @@ pub fn compose(qt: &TransformQuery, uq: &UserQuery) -> Result<ComposedQuery, Com
     // matching user label tests by their *new* label even though the
     // original label never takes the corresponding NFA transition; no
     // static account, transform everything the query touches.
-    let expr = if rename_collides(qt, uq) || replace_collides(qt, uq) || insert_collides(qt, uq)
-    {
+    let expr = if rename_collides(qt, uq) || replace_collides(qt, uq) || insert_collides(qt, uq) {
         g.semi_fallback(0, &nfa.initial(), Expr::Doc(uq.doc_name.clone()))
     } else {
         g.steps(0, nfa.initial(), Expr::Doc(uq.doc_name.clone()), false)
@@ -482,11 +481,7 @@ impl Gen<'_> {
         let mut parts = Vec::new();
         for m in matches {
             if let Ok(e) = parse_expr(&wrapper.serialize_subtree(m)) {
-                parts.push(Expr::let_in(
-                    self.uq.var.clone(),
-                    e,
-                    self.uq.body.clone(),
-                ));
+                parts.push(Expr::let_in(self.uq.var.clone(), e, self.uq.body.clone()));
             }
         }
         Expr::Seq(parts)
@@ -496,8 +491,7 @@ impl Gen<'_> {
     /// transformed) node and applies the user body.
     fn tail(&mut self, s: &StateSet, prev: Expr) -> Expr {
         let needs_transform = !s.is_empty()
-            && (s.contains(self.nfa.final_state)
-                || s.iter().any(|id| self.state_live(id)));
+            && (s.contains(self.nfa.final_state) || s.iter().any(|id| self.state_live(id)));
         let value = if needs_transform {
             let name = self.register_call(s);
             Expr::Call {
@@ -589,27 +583,28 @@ impl Gen<'_> {
         // is that closure.
         let _ = pending_desc;
         let mut entered: Vec<(usize, Option<Qualifier>)> = Vec::new();
-        let push = |t: usize, label_cond: Option<&str>, entered: &mut Vec<(usize, Option<Qualifier>)>| {
-            let mut cond = self.nfa.qualifier(t).cloned();
-            if let Some(l) = label_cond {
-                let lab = Qualifier::LabelIs(l.to_string());
-                cond = Some(match cond {
-                    Some(q) => Qualifier::and(lab, q),
-                    None => lab,
-                });
-            }
-            if let Some(slot) = entered.iter_mut().find(|(x, _)| *x == t) {
-                // Entered both conditionally and unconditionally: the
-                // weaker (unconditional) entry wins only if genuinely
-                // unconditional; otherwise keep the first condition (the
-                // two paths are the same transition in our NFAs).
-                if cond.is_none() {
-                    slot.1 = None;
+        let push =
+            |t: usize, label_cond: Option<&str>, entered: &mut Vec<(usize, Option<Qualifier>)>| {
+                let mut cond = self.nfa.qualifier(t).cloned();
+                if let Some(l) = label_cond {
+                    let lab = Qualifier::LabelIs(l.to_string());
+                    cond = Some(match cond {
+                        Some(q) => Qualifier::and(lab, q),
+                        None => lab,
+                    });
                 }
-            } else {
-                entered.push((t, cond));
-            }
-        };
+                if let Some(slot) = entered.iter_mut().find(|(x, _)| *x == t) {
+                    // Entered both conditionally and unconditionally: the
+                    // weaker (unconditional) entry wins only if genuinely
+                    // unconditional; otherwise keep the first condition (the
+                    // two paths are the same transition in our NFAs).
+                    if cond.is_none() {
+                        slot.1 = None;
+                    }
+                } else {
+                    entered.push((t, cond));
+                }
+            };
         for id in s.iter() {
             let st = &self.nfa.states[id];
             if st.self_loop {
@@ -666,9 +661,7 @@ impl Gen<'_> {
         if at_node.contains(self.nfa.final_state) {
             match &self.qt.op {
                 UpdateOp::Replace { .. } => return true,
-                UpdateOp::Insert { pos, .. }
-                    if !pos.is_sibling() && qual_has_element_path(q) =>
-                {
+                UpdateOp::Insert { pos, .. } if !pos.is_sibling() && qual_has_element_path(q) => {
                     return true
                 }
                 UpdateOp::Rename { .. } if qual_has_label_test(q) => return true,
@@ -741,4 +734,3 @@ fn qual_has_element_path(q: &Qualifier) -> bool {
         Qualifier::Exists(qp) | Qualifier::Cmp(qp, _, _) => !qp.path.is_empty(),
     }
 }
-

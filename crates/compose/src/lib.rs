@@ -45,8 +45,8 @@ pub mod stream;
 mod user;
 
 pub use compose::{compose, ComposedQuery};
-pub use stream::{compose_sax_files, compose_sax_str, compose_two_pass_sax, StreamComposeStats};
 pub use naive::{naive_composition, naive_composition_in_engine, naive_composition_to_string};
+pub use stream::{compose_sax_files, compose_sax_str, compose_two_pass_sax, StreamComposeStats};
 pub use user::{ComposeError, UserQuery};
 
 #[cfg(test)]
@@ -69,7 +69,8 @@ mod tests {
         let composed = qc.execute_to_string(&doc()).unwrap();
         let sequential = naive_composition_to_string(&doc(), qt, &uq).unwrap();
         assert_eq!(
-            composed, sequential,
+            composed,
+            sequential,
             "Qc(T) != Q(Qt(T)) for {} {} / {uq_text}",
             qt.op.kind(),
             qt.path
@@ -79,10 +80,7 @@ mod tests {
 
     #[test]
     fn example_42_delete_supplier_by_country() {
-        let qt = TransformQuery::delete(
-            "d",
-            parse_path("//supplier[country = 'A']").unwrap(),
-        );
+        let qt = TransformQuery::delete("d", parse_path("//supplier[country = 'A']").unwrap());
         let qc = agree(
             &qt,
             "<result>{ for $x in doc(\"d\")/db/part[pname = 'keyboard']/supplier return $x }</result>",
@@ -94,13 +92,9 @@ mod tests {
     #[test]
     fn example_43_q1_delete_with_qualifier() {
         // Q1: delete a/b[q]; Q′1: for $x in a/b/c.
-        let d = Document::parse(
-            "<a><b><flag/><c>1</c></b><b><c>2</c></b></a>",
-        )
-        .unwrap();
+        let d = Document::parse("<a><b><flag/><c>1</c></b><b><c>2</c></b></a>").unwrap();
         let qt = TransformQuery::delete("f", parse_path("a/b[flag]").unwrap());
-        let uq =
-            UserQuery::parse("<r>{ for $x in doc(\"f\")/a/b/c return $x }</r>").unwrap();
+        let uq = UserQuery::parse("<r>{ for $x in doc(\"f\")/a/b/c return $x }</r>").unwrap();
         let qc = compose(&qt, &uq).unwrap();
         assert_eq!(qc.fallback_sites, 0);
         let got = qc.execute(&d).unwrap();
@@ -116,10 +110,8 @@ mod tests {
         // (via semi-fallback where the paper folds it at compile time).
         let d = Document::parse("<a><b><c>A</c></b><b><c>B</c></b><b/></a>").unwrap();
         let qt = TransformQuery::delete("f", parse_path("a/b/c").unwrap());
-        let uq = UserQuery::parse(
-            "<r>{ for $x in doc(\"f\")/a/b[not(c = 'A')] return $x }</r>",
-        )
-        .unwrap();
+        let uq = UserQuery::parse("<r>{ for $x in doc(\"f\")/a/b[not(c = 'A')] return $x }</r>")
+            .unwrap();
         let qc = compose(&qt, &uq).unwrap();
         let got = qc.execute(&d).unwrap();
         let seq = naive_composition(&d, &qt, &uq).unwrap();
@@ -218,10 +210,8 @@ mod tests {
     #[test]
     fn rename_colliding_forces_fallback() {
         let qt = TransformQuery::rename("d", parse_path("//supplier").unwrap(), "part");
-        let uq = UserQuery::parse(
-            "<result>{ for $x in doc(\"d\")/db/part return $x }</result>",
-        )
-        .unwrap();
+        let uq = UserQuery::parse("<result>{ for $x in doc(\"d\")/db/part return $x }</result>")
+            .unwrap();
         let qc = compose(&qt, &uq).unwrap();
         assert!(qc.fallback_sites >= 1);
         let got = qc.execute_to_string(&doc()).unwrap();
@@ -238,10 +228,7 @@ mod tests {
             "<a><zone><item><location>US</location><item><location>EU</location></item></item></zone></a>",
         )
         .unwrap();
-        let qt = TransformQuery::delete(
-            "d",
-            parse_path("a/zone//item[location = 'US']").unwrap(),
-        );
+        let qt = TransformQuery::delete("d", parse_path("a/zone//item[location = 'US']").unwrap());
         let uq =
             UserQuery::parse("<r>{ for $x in doc(\"d\")/a/zone//item return $x }</r>").unwrap();
         let qc = compose(&qt, &uq).unwrap();
@@ -272,10 +259,7 @@ mod tests {
 
     #[test]
     fn composed_query_size_linear() {
-        let qt = TransformQuery::delete(
-            "d",
-            parse_path("//supplier[country = 'A']").unwrap(),
-        );
+        let qt = TransformQuery::delete("d", parse_path("//supplier[country = 'A']").unwrap());
         let uq = UserQuery::parse(
             "<result>{ for $x in doc(\"d\")/db/part[pname = 'keyboard']/supplier return $x }</result>",
         )

@@ -65,7 +65,10 @@ pub fn naive_composition_in_engine(
         None => inner,
     };
     let v = engine
-        .eval_expr(&expr, &[("xust-base".to_string(), vec![Item::DocNode(new_id)])])
+        .eval_expr(
+            &expr,
+            &[("xust-base".to_string(), vec![Item::DocNode(new_id)])],
+        )
         .map_err(|e| ComposeError::new(e.to_string()))?;
     Ok(engine.serialize_value(&v))
 }

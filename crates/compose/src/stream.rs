@@ -150,12 +150,9 @@ pub fn compose_sax_files(
     uq: &UserQuery,
     output: impl AsRef<std::path::Path>,
 ) -> Result<StreamComposeStats, ComposeError> {
-    let open = |p: &std::path::Path| {
-        SaxParser::from_file(p).map_err(|e| ComposeError::new(e.to_string()))
-    };
-    let out = std::io::BufWriter::new(
-        std::fs::File::create(output).map_err(io_err)?,
-    );
+    let open =
+        |p: &std::path::Path| SaxParser::from_file(p).map_err(|e| ComposeError::new(e.to_string()));
+    let out = std::io::BufWriter::new(std::fs::File::create(output).map_err(io_err)?);
     compose_two_pass_sax(
         open(input.as_ref())?,
         open(input.as_ref())?,
@@ -215,7 +212,10 @@ impl BindingSink<'_> {
 }
 
 fn is_atomic(item: &Item) -> bool {
-    !matches!(item, Item::DocNode(_) | Item::Node(_, _) | Item::Attr(_, _, _))
+    !matches!(
+        item,
+        Item::DocNode(_) | Item::Node(_, _) | Item::Attr(_, _, _)
+    )
 }
 
 impl EventSink for BindingSink<'_> {
@@ -300,10 +300,7 @@ mod tests {
     fn example_41_security_view() {
         // Example 4.1: delete suppliers from country A, then ask for
         // keyboard suppliers.
-        let qt = TransformQuery::delete(
-            "foo",
-            parse_path("//supplier[country = 'A']").unwrap(),
-        );
+        let qt = TransformQuery::delete("foo", parse_path("//supplier[country = 'A']").unwrap());
         check(
             &qt,
             "<result>{ for $x in doc(\"foo\")/db/part[pname = 'keyboard']/supplier return $x }</result>",
@@ -363,10 +360,7 @@ mod tests {
     #[test]
     fn empty_result_wrapper_collapses() {
         let qt = TransformQuery::delete("d", parse_path("//part").unwrap());
-        let uq = UserQuery::parse(
-            "<out>{ for $x in doc(\"d\")//part return $x }</out>",
-        )
-        .unwrap();
+        let uq = UserQuery::parse("<out>{ for $x in doc(\"d\")//part return $x }</out>").unwrap();
         let d = Document::parse(doc_xml()).unwrap();
         let expect = naive_composition_to_string(&d, &qt, &uq).unwrap();
         assert_eq!(compose_sax_str(doc_xml(), &qt, &uq).unwrap(), expect);

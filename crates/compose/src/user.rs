@@ -98,11 +98,7 @@ impl UserQuery {
                 let (doc_name, source) = match *seq {
                     Expr::PathExpr { base, path } => match *base {
                         Expr::Doc(name) => (name, path),
-                        _ => {
-                            return Err(ComposeError::new(
-                                "user query must iterate doc(\"…\")/ρ",
-                            ))
-                        }
+                        _ => return Err(ComposeError::new("user query must iterate doc(\"…\")/ρ")),
                     },
                     _ => {
                         return Err(ComposeError::new(
@@ -129,7 +125,10 @@ impl UserQuery {
     pub fn to_expr(&self) -> Expr {
         let inner = Expr::For {
             var: self.var.clone(),
-            seq: Box::new(Expr::path(Expr::Doc(self.doc_name.clone()), self.source.clone())),
+            seq: Box::new(Expr::path(
+                Expr::Doc(self.doc_name.clone()),
+                self.source.clone(),
+            )),
             body: Box::new(self.body.clone()),
         };
         match &self.wrapper {
@@ -185,10 +184,8 @@ mod tests {
 
     #[test]
     fn to_expr_roundtrip() {
-        let q = UserQuery::parse(
-            "<r>{ for $x in doc(\"d\")/a where $x/b = '1' return $x }</r>",
-        )
-        .unwrap();
+        let q = UserQuery::parse("<r>{ for $x in doc(\"d\")/a where $x/b = '1' return $x }</r>")
+            .unwrap();
         let e = q.to_expr();
         assert!(matches!(e, Expr::DirectElem { .. }));
         // Re-deriving the user query from the reconstruction agrees.

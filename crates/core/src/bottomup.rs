@@ -63,6 +63,19 @@ impl Annotations {
 pub fn bottom_up(doc: &Document, path: &Path) -> Annotations {
     let table = QualTable::from_path(path);
     let nfa = FilteringNfa::new(path);
+    bottom_up_prebuilt(doc, path, &nfa, table)
+}
+
+/// [`bottom_up`] over a pre-compiled filtering NFA and qualifier table,
+/// so repeated evaluations of one query (the prepared-query cache in
+/// `xust-serve`) skip automaton construction. `nfa` and `table` must
+/// have been built from `path`.
+pub fn bottom_up_prebuilt(
+    doc: &Document,
+    path: &Path,
+    nfa: &FilteringNfa,
+    table: QualTable,
+) -> Annotations {
     let mut ann = Annotations {
         sat: vec![None; doc.arena_len()],
         table,
@@ -85,7 +98,7 @@ pub fn bottom_up(doc: &Document, path: &Path) -> Annotations {
     }
 
     let initial = nfa.initial();
-    let root_states = next_for(doc, &nfa, &initial, root);
+    let root_states = next_for(doc, nfa, &initial, root);
     if root_states.is_empty() && !path.is_empty() {
         // Even the root is irrelevant — nothing to annotate.
         return ann;
@@ -105,7 +118,7 @@ pub fn bottom_up(doc: &Document, path: &Path) -> Annotations {
         if frame.next_child < frame.children.len() {
             let child = frame.children[frame.next_child];
             frame.next_child += 1;
-            let child_states = next_for(doc, &nfa, &frame.states, child);
+            let child_states = next_for(doc, nfa, &frame.states, child);
             if child_states.is_empty() {
                 // Fig. 9 line 6: prune — the subtree contributes to no
                 // selection decision, so no annotations are needed.
@@ -124,7 +137,14 @@ pub fn bottom_up(doc: &Document, path: &Path) -> Annotations {
             // line 12) and fold into the parent.
             let frame = stack.pop().expect("frame exists");
             let mut sat = SatVec::new(nq);
-            qual_dp(&ann.table, doc, frame.node, &frame.csat, &frame.dsat, &mut sat);
+            qual_dp(
+                &ann.table,
+                doc,
+                frame.node,
+                &frame.csat,
+                &frame.dsat,
+                &mut sat,
+            );
             ann.visited += 1;
             if let Some(parent) = stack.last_mut() {
                 parent.csat.or_assign(&sat);

@@ -154,10 +154,7 @@ mod tests {
         .unwrap();
         let queries = [
             TransformQuery::delete("db", parse_path("//price").unwrap()),
-            TransformQuery::delete(
-                "db",
-                parse_path("//supplier[country = 'A']/price").unwrap(),
-            ),
+            TransformQuery::delete("db", parse_path("//supplier[country = 'A']/price").unwrap()),
             TransformQuery::insert(
                 "db",
                 parse_path("db/part[pname = 'kb']").unwrap(),

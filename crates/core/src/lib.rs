@@ -42,6 +42,7 @@ pub mod engine;
 pub mod multi;
 pub mod multi_sax;
 pub mod naive;
+pub mod prepared;
 pub mod query;
 pub mod sax2pass;
 pub mod topdown;
@@ -56,6 +57,7 @@ pub use multi::{
 };
 pub use multi_sax::{multi_two_pass_sax, multi_two_pass_sax_files, multi_two_pass_sax_str};
 pub use naive::{naive_direct, naive_xquery, rewrite_to_xquery};
+pub use prepared::{CompiledTransform, QueryCost};
 pub use query::{parse_transform, InsertPos, TransformParseError, TransformQuery, UpdateOp};
 pub use sax2pass::{
     two_pass_sax, two_pass_sax_files, two_pass_sax_str, EventSink, LdStorage, PathPrepass,

@@ -412,10 +412,7 @@ mod tests {
                 },
             ),
         ]);
-        let out = agree(
-            "<db><part><price>1</price></part><part/></db>",
-            &mq,
-        );
+        let out = agree("<db><part><price>1</price></part><part/></db>", &mq);
         assert_eq!(out, "<db><part><ok/></part><part><ok/></part></db>");
     }
 
@@ -542,7 +539,10 @@ mod tests {
             ("//sub", UpdateOp::Rename { name: "n".into() }),
             ("//top", UpdateOp::Delete),
         ]);
-        assert_eq!(agree("<db><top><sub/></top><keep/></db>", &mq), "<db><keep/></db>");
+        assert_eq!(
+            agree("<db><top><sub/></top><keep/></db>", &mq),
+            "<db><keep/></db>"
+        );
     }
 
     #[test]
@@ -581,10 +581,7 @@ mod tests {
             "d",
             vec![
                 (Path::empty(), UpdateOp::Rename { name: "r2".into() }),
-                (
-                    parse_path("//x").unwrap(),
-                    UpdateOp::Delete,
-                ),
+                (parse_path("//x").unwrap(), UpdateOp::Delete),
             ],
         );
         assert_eq!(agree("<db><x/><y/></db>", &mq), "<r2><y/></r2>");
@@ -592,10 +589,9 @@ mod tests {
 
     #[test]
     fn from_single_matches_top_down() {
-        let single = parse_transform(
-            r#"transform copy $a := doc("d") modify do delete $a//x return $a"#,
-        )
-        .unwrap();
+        let single =
+            parse_transform(r#"transform copy $a := doc("d") modify do delete $a//x return $a"#)
+                .unwrap();
         let d = Document::parse("<db><x/><y><x/></y></db>").unwrap();
         let expect = crate::topdown::top_down(&d, &single);
         let got = multi_top_down(&d, &MultiTransformQuery::from_single(single));

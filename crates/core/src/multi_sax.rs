@@ -67,7 +67,8 @@ pub fn multi_two_pass_sax<R1: Read, R2: Read, W: Write>(
         .collect();
 
     // Pass 2: replay through k selectors, merge effects, emit.
-    let mut selectors: Vec<PathSelector<'_>> = prepared.iter().map(PreparedPath::selector).collect();
+    let mut selectors: Vec<PathSelector<'_>> =
+        prepared.iter().map(PreparedPath::selector).collect();
     let ops: Vec<&UpdateOp> = q.updates.iter().map(|(_, op)| op).collect();
     let mut sink = WriterSink::new(out);
     let mut stack: Vec<MFrame> = Vec::new();
@@ -130,9 +131,9 @@ pub fn multi_two_pass_sax<R1: Read, R2: Read, W: Write>(
                 for sel in &mut selectors {
                     sel.end_element();
                 }
-                let frame = stack.pop().ok_or_else(|| {
-                    SaxTransformError::Desync("end element without start".into())
-                })?;
+                let frame = stack
+                    .pop()
+                    .ok_or_else(|| SaxTransformError::Desync("end element without start".into()))?;
                 if frame.silent {
                     suppress = suppress.saturating_sub(1);
                     continue;
@@ -412,7 +413,10 @@ mod tests {
         std::fs::write(&input, xml).unwrap();
         let mq = q(vec![("//price", UpdateOp::Delete)]);
         let stats = multi_two_pass_sax_files(&input, &mq, &output, LdStorage::TempFile).unwrap();
-        assert_eq!(std::fs::read_to_string(&output).unwrap(), "<db><part/></db>");
+        assert_eq!(
+            std::fs::read_to_string(&output).unwrap(),
+            "<db><part/></db>"
+        );
         assert!(stats.max_depth >= 2);
         std::fs::remove_file(&input).ok();
         std::fs::remove_file(&output).ok();

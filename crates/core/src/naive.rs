@@ -160,9 +160,7 @@ pub fn rewrite_to_xquery(q: &TransformQuery) -> String {
     // Sibling inserts are undefined at the root: the top-level call
     // rebuilds a selected root *without* emitting the sibling.
     let top = if matches!(&q.op, UpdateOp::Insert { pos, .. } if pos.is_sibling()) {
-        format!(
-            "if (some $x in $xp satisfies ($n is $x)) then {rebuild} else local:walk($n, $xp)"
-        )
+        format!("if (some $x in $xp satisfies ($n is $x)) then {rebuild} else local:walk($n, $xp)")
     } else {
         "local:walk($n, $xp)".to_string()
     };
@@ -258,7 +256,11 @@ mod tests {
     #[test]
     fn xquery_rewriting_matches_baseline_all_ops() {
         let e = Document::parse("<mark><inner>t</inner></mark>").unwrap();
-        for p in ["//price", "db/part[pname = 'mouse']", "//supplier[price < 15]"] {
+        for p in [
+            "//price",
+            "db/part[pname = 'mouse']",
+            "//supplier[price < 15]",
+        ] {
             let path = parse_path(p).unwrap();
             agree_xquery(&TransformQuery::delete("d", path.clone()));
             agree_xquery(&TransformQuery::insert("d", path.clone(), e.clone()));

@@ -1,0 +1,326 @@
+//! Pre-compiled transform queries and cost hints.
+//!
+//! Parsing a transform query and compiling its selecting/filtering NFAs
+//! is pure per-query work: it depends only on the query text, never on
+//! the document. [`CompiledTransform`] performs that work once, so a
+//! serving layer (`xust-serve`) can hand the same compiled artifact to
+//! many concurrent evaluations — the paper's automata (Sections 3.2
+//! and 5) become shared, immutable plan objects.
+//!
+//! [`QueryCost`] summarizes the *shape* of the embedded X path — the
+//! features Section 7's experiments show to drive method ranking
+//! (descendant axes blow up NAIVE's rewriting, qualifier size dominates
+//! GENTOP's native checks, plain paths make topDown optimal) — so a
+//! planner can pick an evaluation method without touching the document.
+
+use std::fmt;
+
+use xust_automata::{FilteringNfa, SelectingNfa};
+use xust_tree::Document;
+use xust_xpath::{Path, QualTable, StepKind};
+
+use crate::bottomup::bottom_up_prebuilt;
+use crate::copy_update::copy_update;
+use crate::engine::{Method, TransformError};
+use crate::naive::{naive_direct, naive_xquery};
+use crate::query::{parse_transform, TransformParseError, TransformQuery};
+use crate::sax2pass::{LdStorage, PreparedTransform, SaxTransformError};
+use crate::topdown::{top_down_prebuilt, CheckP};
+
+/// Shape features of a transform query's embedded X path, extracted once
+/// at compile time. These are the inputs to `xust-serve`'s adaptive
+/// method planner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryCost {
+    /// Number of steps (including `//` pseudo-steps).
+    pub steps: usize,
+    /// Total syntactic size |p| (steps plus qualifier sizes).
+    pub path_size: usize,
+    /// Number of `//` (descendant-or-self) steps.
+    pub descendant_steps: usize,
+    /// Number of `*` wildcard steps.
+    pub wildcard_steps: usize,
+    /// Number of steps carrying a qualifier.
+    pub qualifier_count: usize,
+    /// Size of the largest single qualifier (0 when there are none) — a
+    /// proxy for the per-node cost of native qualifier evaluation.
+    pub max_qualifier_size: usize,
+}
+
+impl QueryCost {
+    /// Extracts the features of `path`.
+    pub fn of_path(path: &Path) -> QueryCost {
+        let mut cost = QueryCost {
+            steps: path.steps.len(),
+            path_size: path.size(),
+            descendant_steps: 0,
+            wildcard_steps: 0,
+            qualifier_count: 0,
+            max_qualifier_size: 0,
+        };
+        for step in &path.steps {
+            match step.kind {
+                StepKind::Descendant => cost.descendant_steps += 1,
+                StepKind::Wildcard => cost.wildcard_steps += 1,
+                StepKind::Label(_) => {}
+            }
+            if let Some(q) = &step.qualifier {
+                cost.qualifier_count += 1;
+                cost.max_qualifier_size = cost.max_qualifier_size.max(q.size());
+            }
+        }
+        cost
+    }
+
+    /// True if the path uses any descendant axis — the feature that makes
+    /// pruning (and thus the automaton methods) pay off on large inputs.
+    pub fn has_descendant(&self) -> bool {
+        self.descendant_steps > 0
+    }
+
+    /// True if any step carries a qualifier — the feature that separates
+    /// GENTOP (native re-evaluation) from TD-BU (one bottom-up pass).
+    pub fn has_qualifiers(&self) -> bool {
+        self.qualifier_count > 0
+    }
+}
+
+impl fmt::Display for QueryCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "steps={} |p|={} desc={} wild={} quals={} maxq={}",
+            self.steps,
+            self.path_size,
+            self.descendant_steps,
+            self.wildcard_steps,
+            self.qualifier_count,
+            self.max_qualifier_size
+        )
+    }
+}
+
+/// A transform query with its automata compiled once, reusable across
+/// any number of documents and threads (it is immutable after
+/// construction, hence `Send + Sync`).
+///
+/// ```
+/// use xust_core::{CompiledTransform, Method};
+/// use xust_tree::Document;
+///
+/// let ct = CompiledTransform::parse(
+///     r#"transform copy $a := doc("db") modify do delete $a//price return $a"#,
+/// ).unwrap();
+/// let doc = Document::parse("<db><part><price>9</price></part></db>").unwrap();
+/// let out = ct.evaluate(&doc, Method::TwoPass).unwrap();
+/// assert_eq!(out.serialize(), "<db><part/></db>");
+/// ```
+pub struct CompiledTransform {
+    query: TransformQuery,
+    selecting: SelectingNfa,
+    filtering: FilteringNfa,
+    qual_table: QualTable,
+    cost: QueryCost,
+}
+
+impl CompiledTransform {
+    /// Compiles a parsed query: builds both NFAs and the qualifier table.
+    pub fn compile(query: TransformQuery) -> CompiledTransform {
+        let selecting = SelectingNfa::new(&query.path);
+        let filtering = FilteringNfa::new(&query.path);
+        let qual_table = QualTable::from_path(&query.path);
+        let cost = QueryCost::of_path(&query.path);
+        CompiledTransform {
+            query,
+            selecting,
+            filtering,
+            qual_table,
+            cost,
+        }
+    }
+
+    /// Parses concrete transform syntax and compiles it.
+    pub fn parse(text: &str) -> Result<CompiledTransform, TransformParseError> {
+        parse_transform(text).map(CompiledTransform::compile)
+    }
+
+    /// The underlying query.
+    pub fn query(&self) -> &TransformQuery {
+        &self.query
+    }
+
+    /// The compile-time cost hints.
+    pub fn cost(&self) -> &QueryCost {
+        &self.cost
+    }
+
+    /// The selecting NFA `Mp`.
+    pub fn selecting(&self) -> &SelectingNfa {
+        &self.selecting
+    }
+
+    /// The filtering NFA `Mf`.
+    pub fn filtering(&self) -> &FilteringNfa {
+        &self.filtering
+    }
+
+    /// Evaluates against `doc` with `method`, reusing the pre-compiled
+    /// automata wherever the method consumes them (TopDown, TwoPass, and
+    /// the streaming two-pass; the snapshot and rewriting methods never
+    /// build automata in the first place).
+    pub fn evaluate(&self, doc: &Document, method: Method) -> Result<Document, TransformError> {
+        match method {
+            Method::CopyUpdate => Ok(copy_update(doc, &self.query)),
+            Method::Naive => Ok(naive_direct(doc, &self.query)),
+            Method::NaiveXQuery => {
+                naive_xquery(doc, &self.query).map_err(|message| TransformError { message })
+            }
+            Method::TopDown => Ok(self.top_down(doc)),
+            Method::TwoPass => Ok(self.two_pass(doc)),
+            Method::TwoPassSax => {
+                let xml = doc.serialize();
+                let out = self.evaluate_stream_str(&xml).map_err(|e| TransformError {
+                    message: e.to_string(),
+                })?;
+                if out.is_empty() {
+                    return Ok(Document::new());
+                }
+                Document::parse(&out).map_err(|e| TransformError {
+                    message: e.to_string(),
+                })
+            }
+        }
+    }
+
+    /// GENTOP over the pre-compiled selecting NFA.
+    pub fn top_down(&self, doc: &Document) -> Document {
+        let mut check: Box<CheckP<'_>> =
+            Box::new(|d, n, _step, qual| xust_xpath::eval_qualifier(d, n, qual));
+        top_down_prebuilt(doc, &self.query, &self.selecting, &mut check)
+    }
+
+    /// TD-BU over both pre-compiled automata.
+    pub fn two_pass(&self, doc: &Document) -> Document {
+        let ann = bottom_up_prebuilt(
+            doc,
+            &self.query.path,
+            &self.filtering,
+            self.qual_table.clone(),
+        );
+        let mut check: Box<CheckP<'_>> = Box::new(|_, n, step, _| ann.check(n, step));
+        top_down_prebuilt(doc, &self.query, &self.selecting, &mut check)
+    }
+
+    /// twoPassSAX over serialized input, cloning the pre-compiled
+    /// automata into the [`PreparedTransform`] instead of rebuilding
+    /// them.
+    pub fn evaluate_stream_str(&self, xml: &str) -> Result<String, SaxTransformError> {
+        use xust_sax::SaxParser;
+        let mut prepared = PreparedTransform::prepare_with(
+            SaxParser::from_str(xml),
+            &self.query,
+            LdStorage::Memory,
+            self.filtering.clone(),
+            self.selecting.clone(),
+        )?;
+        let mut out = Vec::new();
+        let mut sink = crate::sax2pass::WriterSink::new(&mut out);
+        prepared.replay_into(SaxParser::from_str(xml), &mut sink)?;
+        Ok(String::from_utf8(out).expect("writer produces UTF-8"))
+    }
+
+    /// twoPassSAX over a file, with the input streamed (two independent
+    /// buffered reads, never held in memory at once) and the pre-compiled
+    /// automata cloned in. Only the serialized *result* is buffered, to
+    /// hand back as a string.
+    pub fn evaluate_stream_file(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<String, SaxTransformError> {
+        use xust_sax::SaxParser;
+        let path = path.as_ref();
+        let mut prepared = PreparedTransform::prepare_with(
+            SaxParser::from_file(path)?,
+            &self.query,
+            LdStorage::Memory,
+            self.filtering.clone(),
+            self.selecting.clone(),
+        )?;
+        let mut out = Vec::new();
+        let mut sink = crate::sax2pass::WriterSink::new(&mut out);
+        prepared.replay_into(SaxParser::from_file(path)?, &mut sink)?;
+        Ok(String::from_utf8(out).expect("writer produces UTF-8"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xust_tree::docs_eq;
+    use xust_xpath::parse_path;
+
+    const Q: &str = r#"transform copy $a := doc("db") modify do delete $a//supplier[price < 15]/price return $a"#;
+
+    fn doc() -> Document {
+        Document::parse(
+            "<db><part><supplier><price>9</price></supplier></part><part><supplier><price>99</price></supplier></part></db>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cost_features() {
+        let c = QueryCost::of_path(&parse_path("//part[pname = 'kb']/*/price").unwrap());
+        assert_eq!(c.descendant_steps, 1);
+        assert_eq!(c.wildcard_steps, 1);
+        assert_eq!(c.qualifier_count, 1);
+        assert!(c.has_descendant() && c.has_qualifiers());
+        assert!(c.max_qualifier_size >= 1);
+        assert!(c.path_size >= c.steps);
+        let plain = QueryCost::of_path(&parse_path("db/part/price").unwrap());
+        assert!(!plain.has_descendant() && !plain.has_qualifiers());
+        assert_eq!(plain.steps, 3);
+        assert!(!format!("{plain}").is_empty());
+    }
+
+    #[test]
+    fn compiled_matches_engine_on_all_methods() {
+        let ct = CompiledTransform::parse(Q).unwrap();
+        let d = doc();
+        let reference = crate::engine::evaluate_str(&d, Q, Method::CopyUpdate).unwrap();
+        for m in Method::ALL {
+            let got = ct.evaluate(&d, m).unwrap();
+            assert!(
+                docs_eq(&reference, &got),
+                "{m} via CompiledTransform disagrees: {}",
+                got.serialize()
+            );
+        }
+    }
+
+    #[test]
+    fn compiled_is_reusable_across_documents() {
+        let ct = CompiledTransform::parse(Q).unwrap();
+        for xml in [
+            "<db/>",
+            "<db><supplier><price>1</price></supplier></db>",
+            "<other><supplier><price>2</price></supplier></other>",
+        ] {
+            let d = Document::parse(xml).unwrap();
+            let expect = copy_update(&d, ct.query());
+            let got = ct.evaluate(&d, Method::TwoPass).unwrap();
+            assert!(docs_eq(&expect, &got), "on {xml}");
+        }
+    }
+
+    #[test]
+    fn compiled_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CompiledTransform>();
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        assert!(CompiledTransform::parse("garbage").is_err());
+    }
+}

@@ -529,9 +529,7 @@ impl<'a> Scanner<'a> {
             }
             i += 1;
         }
-        Err(err(format!(
-            "expected one of {keywords:?} after the path"
-        )))
+        Err(err(format!("expected one of {keywords:?} after the path")))
     }
 
     /// A balanced XML fragment (`<name …>…</name>` or `<name …/>`).
@@ -622,10 +620,7 @@ mod tests {
         .unwrap();
         match &q.op {
             UpdateOp::Insert { elem, pos } => {
-                assert_eq!(
-                    elem.serialize(),
-                    "<supplier><sname>HP</sname></supplier>"
-                );
+                assert_eq!(elem.serialize(), "<supplier><sname>HP</sname></supplier>");
                 assert_eq!(*pos, InsertPos::LastInto);
             }
             other => panic!("unexpected {other:?}"),
@@ -752,9 +747,15 @@ mod tests {
     fn builders() {
         let p = parse_path("//x").unwrap();
         let e = Document::parse("<n/>").unwrap();
-        assert_eq!(TransformQuery::insert("d", p.clone(), e.clone()).op.kind(), "insert");
+        assert_eq!(
+            TransformQuery::insert("d", p.clone(), e.clone()).op.kind(),
+            "insert"
+        );
         assert_eq!(TransformQuery::delete("d", p.clone()).op.kind(), "delete");
-        assert_eq!(TransformQuery::replace("d", p.clone(), e).op.kind(), "replace");
+        assert_eq!(
+            TransformQuery::replace("d", p.clone(), e).op.kind(),
+            "replace"
+        );
         assert_eq!(TransformQuery::rename("d", p, "y").op.kind(), "rename");
     }
 }

@@ -112,7 +112,10 @@ mod tempfile_path {
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_nanos())
             .unwrap_or(0);
-        TempPath(std::env::temp_dir().join(format!("xust-ld-{tag}-{n}-{:?}", std::thread::current().id())))
+        TempPath(std::env::temp_dir().join(format!(
+            "xust-ld-{tag}-{n}-{:?}",
+            std::thread::current().id()
+        )))
     }
 }
 
@@ -303,13 +306,27 @@ impl PreparedTransform {
     /// Pass 1: streams the document once, evaluating every qualifier of
     /// the embedded path bottom-up.
     pub fn prepare<R: Read>(
-        mut parser: SaxParser<R>,
+        parser: SaxParser<R>,
         q: &TransformQuery,
         storage: LdStorage,
     ) -> Result<Self, SaxTransformError> {
-        let table = QualTable::from_path(&q.path);
         let mf = FilteringNfa::new(&q.path);
         let mp = SelectingNfa::new(&q.path);
+        Self::prepare_with(parser, q, storage, mf, mp)
+    }
+
+    /// [`PreparedTransform::prepare`] over pre-compiled automata (cloned
+    /// out of a `CompiledTransform`), so cache hits in `xust-serve` skip
+    /// NFA construction even on the streaming path. `mf` and `mp` must
+    /// have been built from `q.path`.
+    pub fn prepare_with<R: Read>(
+        mut parser: SaxParser<R>,
+        q: &TransformQuery,
+        storage: LdStorage,
+        mf: FilteringNfa,
+        mp: SelectingNfa,
+    ) -> Result<Self, SaxTransformError> {
+        let table = QualTable::from_path(&q.path);
         let step_states: Vec<Option<usize>> = (0..q.path.steps.len())
             .map(|i| mf.state_of_step(i))
             .collect();
@@ -449,7 +466,8 @@ impl Pass1State {
                 };
                 qual_dp_facts(table, &facts, &frame.csat, &frame.dsat, &mut sat);
                 for &(step, id) in &frame.quals {
-                    let root = table.step_roots[step].expect("id assigned only for qualified steps");
+                    let root =
+                        table.step_roots[step].expect("id assigned only for qualified steps");
                     ld.set(id, sat.get(root));
                 }
                 if let Some(parent) = self.stack.last_mut() {
@@ -696,7 +714,11 @@ impl<'a> Pass2Machine<'a> {
         Ok(())
     }
 
-    fn on_event(&mut self, ev: SaxEvent, sink: &mut dyn EventSink) -> Result<(), SaxTransformError> {
+    fn on_event(
+        &mut self,
+        ev: SaxEvent,
+        sink: &mut dyn EventSink,
+    ) -> Result<(), SaxTransformError> {
         match ev {
             SaxEvent::StartDocument | SaxEvent::EndDocument => {}
             SaxEvent::StartElement { name, attrs } => {
@@ -718,7 +740,9 @@ impl<'a> Pass2Machine<'a> {
                     }
                 }
                 let truth = &self.truth;
-                let mp_next = self.mp.next_states(&parent_mp, &name, |step, _| truth[step]);
+                let mp_next = self
+                    .mp
+                    .next_states(&parent_mp, &name, |step, _| truth[step]);
                 let selected = if self.epsilon {
                     self.stack.is_empty()
                 } else {
@@ -787,9 +811,10 @@ impl<'a> Pass2Machine<'a> {
                 }
             }
             SaxEvent::EndElement(_) => {
-                let frame = self.stack.pop().ok_or_else(|| {
-                    SaxTransformError::Desync("end element without start".into())
-                })?;
+                let frame = self
+                    .stack
+                    .pop()
+                    .ok_or_else(|| SaxTransformError::Desync("end element without start".into()))?;
                 match frame.emit_end {
                     Some(name) => {
                         if frame.insert_at_end {
@@ -908,7 +933,12 @@ mod tests {
                 InsertPos::Before,
                 InsertPos::After,
             ] {
-                agree(&TransformQuery::insert_at("d", path.clone(), e.clone(), pos));
+                agree(&TransformQuery::insert_at(
+                    "d",
+                    path.clone(),
+                    e.clone(),
+                    pos,
+                ));
             }
         }
     }
@@ -930,10 +960,7 @@ mod tests {
 
     #[test]
     fn file_backed_ld_matches_memory() {
-        let q = TransformQuery::delete(
-            "d",
-            parse_path("//supplier[price < 15]").unwrap(),
-        );
+        let q = TransformQuery::delete("d", parse_path("//supplier[price < 15]").unwrap());
         let mut mem_out = Vec::new();
         let s1 = two_pass_sax(
             SaxParser::from_str(doc_xml()),

@@ -132,6 +132,20 @@ pub fn top_down_no_prune(doc: &Document, q: &TransformQuery) -> Document {
 
 /// Evaluates `Qt(T)` with a caller-supplied `checkp` oracle.
 pub fn top_down_with(doc: &Document, q: &TransformQuery, check: &mut CheckP<'_>) -> Document {
+    let nfa = SelectingNfa::new(&q.path);
+    top_down_prebuilt(doc, q, &nfa, check)
+}
+
+/// [`top_down_with`] over a pre-compiled selecting NFA, so callers that
+/// evaluate the same query repeatedly (the prepared-query cache in
+/// `xust-serve`) skip automaton construction entirely. `nfa` must have
+/// been built from `q.path`.
+pub fn top_down_prebuilt(
+    doc: &Document,
+    q: &TransformQuery,
+    nfa: &SelectingNfa,
+    check: &mut CheckP<'_>,
+) -> Document {
     let mut out = Document::with_capacity(doc.arena_len());
     let Some(root) = doc.root() else {
         return out;
@@ -172,13 +186,14 @@ pub fn top_down_with(doc: &Document, q: &TransformQuery, check: &mut CheckP<'_>)
             }
         }
     }
-    let nfa = SelectingNfa::new(&q.path);
     let init = nfa.initial();
     // The root is handled outside `rec` so that sibling inserts (`before`
     // / `after`) on a selected root are skipped: a document has exactly
     // one root, so there is no position to put the sibling.
     let root_label = doc.name(root).expect("root is an element").to_string();
-    let s_next = nfa.next_states(&init, &root_label, |step, qual| check(doc, root, step, qual));
+    let s_next = nfa.next_states(&init, &root_label, |step, qual| {
+        check(doc, root, step, qual)
+    });
     if s_next.is_empty() {
         let copy = out.deep_copy_from(doc, root);
         out.set_root(copy);
@@ -187,7 +202,7 @@ pub fn top_down_with(doc: &Document, q: &TransformQuery, check: &mut CheckP<'_>)
     let mut cx = Cx {
         src: doc,
         out: &mut out,
-        nfa: &nfa,
+        nfa,
         op: &q.op,
         check,
     };
@@ -379,7 +394,10 @@ mod tests {
     #[test]
     fn delete_matches_baseline() {
         agree(&TransformQuery::delete("d", parse_path("//price").unwrap()));
-        agree(&TransformQuery::delete("d", parse_path("db/part/supplier").unwrap()));
+        agree(&TransformQuery::delete(
+            "d",
+            parse_path("db/part/supplier").unwrap(),
+        ));
         agree(&TransformQuery::delete(
             "d",
             parse_path("//part[pname = 'keyboard']//part").unwrap(),
@@ -394,7 +412,11 @@ mod tests {
             parse_path("//part[pname = 'keyboard']").unwrap(),
             e.clone(),
         ));
-        agree(&TransformQuery::insert("d", parse_path("//part").unwrap(), e));
+        agree(&TransformQuery::insert(
+            "d",
+            parse_path("//part").unwrap(),
+            e,
+        ));
     }
 
     #[test]

@@ -105,10 +105,8 @@ mod tests {
             "<db><part><supplier><price>9</price><country>c1</country></supplier><supplier><price>8</price><country>ok</country></supplier></part></db>",
         )
         .unwrap();
-        let q = TransformQuery::delete(
-            "d",
-            parse_path("//supplier[country = 'c1']/price").unwrap(),
-        );
+        let q =
+            TransformQuery::delete("d", parse_path("//supplier[country = 'c1']/price").unwrap());
         let out = two_pass(&d, &q);
         let expected = copy_update(&d, &q);
         assert!(docs_eq(&expected, &out));
@@ -117,7 +115,7 @@ mod tests {
     }
 
     #[test]
-    fn matches_on_update_kind(){
+    fn matches_on_update_kind() {
         assert_eq!(UpdateOp::Delete.kind(), "delete");
     }
 }

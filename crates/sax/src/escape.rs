@@ -114,7 +114,10 @@ mod tests {
 
     #[test]
     fn escape_attr_quotes() {
-        assert_eq!(escape_attr(r#"he said "hi"'s"#), "he said &quot;hi&quot;&apos;s");
+        assert_eq!(
+            escape_attr(r#"he said "hi"'s"#),
+            "he said &quot;hi&quot;&apos;s"
+        );
     }
 
     #[test]

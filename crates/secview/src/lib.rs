@@ -25,7 +25,9 @@
 
 use std::fmt;
 
-use xust_compose::{compose, compose_sax_str, naive_composition_to_string, ComposeError, UserQuery};
+use xust_compose::{
+    compose, compose_sax_str, naive_composition_to_string, ComposeError, UserQuery,
+};
 use xust_core::{multi_top_down, MultiTransformQuery, TransformQuery, UpdateOp};
 use xust_tree::Document;
 use xust_xpath::{eval_path_root, parse_path, Path};
@@ -120,11 +122,7 @@ impl Policy {
     }
 
     /// Adds a hide rule (builder style).
-    pub fn hide(
-        mut self,
-        name: impl Into<String>,
-        path: &str,
-    ) -> Result<Policy, PolicyError> {
+    pub fn hide(mut self, name: impl Into<String>, path: &str) -> Result<Policy, PolicyError> {
         let path = parse_path(path).map_err(|e| PolicyError::new(e.to_string()))?;
         self.rules.push(DenyRule {
             name: name.into(),
@@ -351,7 +349,10 @@ mod tests {
     fn example_11_country_scoped_policy() {
         // The per-country variant: hide prices of suppliers from A or B.
         let p = Policy::new("g", "foo")
-            .hide("country-prices", "//supplier[country = 'A' or country = 'B']/price")
+            .hide(
+                "country-prices",
+                "//supplier[country = 'A' or country = 'B']/price",
+            )
             .unwrap();
         let v = p.view(&doc());
         assert!(!v.serialize().contains("<price>"));
@@ -363,7 +364,8 @@ mod tests {
         let p = Policy::new("g", "foo")
             .hide("no-a", "//supplier[country = 'A']")
             .unwrap();
-        let q = "<result>{ for $x in doc(\"foo\")/db/part[pname = 'kb']/supplier return $x }</result>";
+        let q =
+            "<result>{ for $x in doc(\"foo\")/db/part[pname = 'kb']/supplier return $x }</result>";
         let composed = p.answer(&doc(), q).unwrap();
         let sequential = p.answer_sequential(&doc(), q).unwrap();
         assert_eq!(composed, sequential);
@@ -441,7 +443,11 @@ mod tests {
     fn policy_set_routing() {
         let mut set = PolicySet::new();
         set.add(Policy::new("analysts", "foo").hide("h", "//price").unwrap());
-        set.add(Policy::new("auditors", "foo").hide("h", "//country").unwrap());
+        set.add(
+            Policy::new("auditors", "foo")
+                .hide("h", "//country")
+                .unwrap(),
+        );
         assert_eq!(set.groups().count(), 2);
         let a = set.for_group("analysts").unwrap().view(&doc());
         let b = set.for_group("auditors").unwrap().view(&doc());
@@ -463,7 +469,9 @@ mod tests {
     #[test]
     fn bad_paths_rejected_at_build_time() {
         assert!(Policy::new("g", "d").hide("h", "//[").is_err());
-        assert!(Policy::new("g", "d").redact("r", "//x", "<unclosed>").is_err());
+        assert!(Policy::new("g", "d")
+            .redact("r", "//x", "<unclosed>")
+            .is_err());
     }
 
     #[test]

@@ -1,0 +1,44 @@
+//! Service error type.
+
+use std::fmt;
+
+/// Anything that can go wrong handling a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The named document is not loaded.
+    UnknownDoc(String),
+    /// The named view is not registered.
+    UnknownView(String),
+    /// A query or view definition failed to parse/compile.
+    Parse(String),
+    /// A view definition is structurally invalid.
+    InvalidView(String),
+    /// Evaluation failed.
+    Eval(String),
+    /// I/O on a file-backed document failed.
+    Io(String),
+    /// The request is not supported for this document/view combination.
+    Unsupported(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownDoc(d) => write!(f, "unknown document '{d}'"),
+            ServeError::UnknownView(v) => write!(f, "unknown view '{v}'"),
+            ServeError::Parse(m) => write!(f, "parse error: {m}"),
+            ServeError::InvalidView(m) => write!(f, "invalid view: {m}"),
+            ServeError::Eval(m) => write!(f, "evaluation error: {m}"),
+            ServeError::Io(m) => write!(f, "i/o error: {m}"),
+            ServeError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> ServeError {
+        ServeError::Io(e.to_string())
+    }
+}

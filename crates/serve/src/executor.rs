@@ -1,0 +1,126 @@
+//! A small fixed-size thread pool (std-only).
+//!
+//! Jobs are boxed closures pushed down one mpsc channel guarded by a
+//! mutex on the receiving side — the classic "channel of jobs" pool.
+//! Workers shut down when the pool is dropped (the channel closes and
+//! each worker's `recv` errors out). Results travel back on per-job
+//! channels owned by the callers, so the pool itself is fire-and-forget.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Fixed worker pool executing boxed jobs in submission order.
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns `threads` workers (minimum 1).
+    pub fn new(threads: usize) -> ThreadPool {
+        let threads = threads.max(1);
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("xust-serve-{i}"))
+                    .spawn(move || loop {
+                        let job = {
+                            let rx = receiver.lock().expect("pool receiver poisoned");
+                            rx.recv()
+                        };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break, // pool dropped
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        ThreadPool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Number of workers.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.sender
+            .as_ref()
+            .expect("pool is alive while not dropped")
+            .send(Box::new(job))
+            .expect("workers alive while sender exists");
+    }
+
+    /// Enqueues a job returning a value; the receiver yields it when the
+    /// job finishes. If the job panics the receiver's `recv` errors.
+    pub fn submit<T: Send + 'static>(
+        &self,
+        job: impl FnOnce() -> T + Send + 'static,
+    ) -> Receiver<T> {
+        let (tx, rx) = channel();
+        self.execute(move || {
+            let _ = tx.send(job());
+        });
+        rx
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        drop(self.sender.take()); // close the channel; workers drain and exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_jobs_on_workers() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.threads(), 4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let receivers: Vec<_> = (0..64)
+            .map(|i| {
+                let counter = Arc::clone(&counter);
+                pool.submit(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    i * 2
+                })
+            })
+            .collect();
+        let results: Vec<usize> = receivers.into_iter().map(|r| r.recv().unwrap()).collect();
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+        assert_eq!(results[5], 10);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = ThreadPool::new(2);
+        let rx = pool.submit(|| 7);
+        drop(pool); // must not hang
+        assert_eq!(rx.recv().unwrap(), 7);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.submit(|| 1).recv().unwrap(), 1);
+    }
+}

@@ -1,0 +1,298 @@
+#![warn(missing_docs)]
+//! `xust-serve` — a concurrent transform-view service over the
+//! *Querying XML with Update Syntax* engine.
+//!
+//! The paper's promise is answering queries over transformed documents
+//! — security views, policy views, hypothetical "what-if" scenarios —
+//! **without materializing them**. That only pays off at scale if the
+//! per-query setup (parsing, selecting/filtering-NFA construction,
+//! composition) happens *once* and is then shared by every concurrent
+//! client. This crate is that serving layer:
+//!
+//! * [`ViewRegistry`] — named views (chains of transform queries, or
+//!   security policies) compiled at registration;
+//! * [`PreparedCache`] — ad-hoc transforms and composed user queries
+//!   keyed by text, so repeat requests skip parse + automaton
+//!   construction (hits/misses/compiles are counted and asserted in
+//!   tests);
+//! * [`AdaptivePlanner`] — picks an evaluation [`Method`] per request
+//!   from the query's compile-time [`QueryCost`] hints, the document's
+//!   [`DocShape`], and observed per-method latency feedback;
+//! * [`Server`] — `Arc`-shared immutable documents, a worker
+//!   [`ThreadPool`], a batched multi-document entry point, and a
+//!   streaming SAX path for file-backed inputs.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use xust_serve::{Request, Server};
+//! use xust_tree::Document;
+//!
+//! let server = Server::builder().threads(2).build();
+//! server.load_doc(
+//!     "db",
+//!     Document::parse("<db><part><pname>kb</pname><price>9</price></part></db>").unwrap(),
+//! );
+//! server
+//!     .register_view(
+//!         "public",
+//!         r#"transform copy $a := doc("db") modify do delete $a//price return $a"#,
+//!     )
+//!     .unwrap();
+//!
+//! // Materialize the view…
+//! let view = server
+//!     .handle(&Request::View { view: "public".into(), doc: "db".into() })
+//!     .unwrap();
+//! assert_eq!(view.body, "<db><part><pname>kb</pname></part></db>");
+//!
+//! // …or query it virtually (composed, never materialized).
+//! let ans = server
+//!     .handle(&Request::Query {
+//!         view: "public".into(),
+//!         doc: "db".into(),
+//!         query: r#"<out>{ for $x in doc("db")/db/part return $x }</out>"#.into(),
+//!     })
+//!     .unwrap();
+//! assert_eq!(ans.body, "<out><part><pname>kb</pname></part></out>");
+//! ```
+
+pub mod cache;
+pub mod error;
+pub mod executor;
+pub mod planner;
+pub mod registry;
+pub mod server;
+pub mod stats;
+
+pub use cache::PreparedCache;
+pub use error::ServeError;
+pub use executor::ThreadPool;
+pub use planner::{AdaptivePlanner, DocShape, PlannerConfig};
+pub use registry::{ViewBody, ViewDef, ViewRegistry};
+pub use server::{DocSource, Request, Response, Server, ServerBuilder};
+pub use stats::{ServeStats, StatsSnapshot};
+
+// Re-exported so callers can speak the planner's vocabulary without
+// depending on xust-core directly.
+pub use xust_core::{Method, QueryCost};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xust_secview::Policy;
+    use xust_tree::Document;
+
+    const XML: &str = concat!(
+        "<db>",
+        "<part><pname>kb</pname><supplier><sname>HP</sname><price>9</price></supplier></part>",
+        "<part><pname>mouse</pname><supplier><sname>IBM</sname><price>20</price></supplier></part>",
+        "</db>"
+    );
+    const DEL_PRICE: &str =
+        r#"transform copy $a := doc("db") modify do delete $a//price return $a"#;
+    const REN_PART: &str =
+        r#"transform copy $a := doc("db") modify do rename $a/db/part as item return $a"#;
+
+    fn server() -> Server {
+        let s = Server::builder().threads(2).build();
+        s.load_doc_str("db", XML).unwrap();
+        s
+    }
+
+    #[test]
+    fn transform_requests_cache_compilations() {
+        let s = server();
+        let req = Request::Transform {
+            doc: "db".into(),
+            query: DEL_PRICE.into(),
+        };
+        let first = s.handle(&req).unwrap();
+        assert!(!first.cache_hit);
+        assert!(!first.body.contains("<price>"));
+        for _ in 0..5 {
+            let again = s.handle(&req).unwrap();
+            assert!(again.cache_hit);
+            assert_eq!(again.body, first.body);
+        }
+        let snap = s.stats();
+        assert_eq!(snap.compiles, 1, "one parse+NFA build for six requests");
+        assert_eq!(snap.cache_hits, 5);
+        assert_eq!(snap.cache_misses, 1);
+    }
+
+    #[test]
+    fn view_chain_applies_in_order() {
+        let s = server();
+        s.register_view_chain("scenario", &[DEL_PRICE, REN_PART])
+            .unwrap();
+        let out = s
+            .handle(&Request::View {
+                view: "scenario".into(),
+                doc: "db".into(),
+            })
+            .unwrap();
+        assert!(out.body.contains("<item>"));
+        assert!(!out.body.contains("<price>"));
+        assert_eq!(s.registration_compiles(), 2);
+    }
+
+    #[test]
+    fn composed_query_equals_query_over_materialized_view() {
+        let s = server();
+        s.register_view("public", DEL_PRICE).unwrap();
+        let user = r#"<out>{ for $x in doc("db")/db/part/supplier return $x }</out>"#;
+        let composed = s
+            .handle(&Request::Query {
+                view: "public".into(),
+                doc: "db".into(),
+                query: user.into(),
+            })
+            .unwrap();
+        // Reference: materialize, then query sequentially.
+        let view = s
+            .handle(&Request::View {
+                view: "public".into(),
+                doc: "db".into(),
+            })
+            .unwrap();
+        let doc = Document::parse(&view.body).unwrap();
+        let mut engine = xust_xquery::Engine::new();
+        engine.load_doc("db", doc);
+        let uq = xust_compose::UserQuery::parse(user).unwrap();
+        let v = engine.eval_expr(&uq.to_expr(), &[]).unwrap();
+        assert_eq!(composed.body, engine.serialize_value(&v));
+        // Repeat requests hit the composed cache.
+        let again = s
+            .handle(&Request::Query {
+                view: "public".into(),
+                doc: "db".into(),
+                query: user.into(),
+            })
+            .unwrap();
+        assert!(again.cache_hit);
+        assert_eq!(s.stats().compositions, 1);
+    }
+
+    #[test]
+    fn policies_serve_as_views() {
+        let s = server();
+        let policy = Policy::new("interns", "db")
+            .hide("prices", "//price")
+            .unwrap()
+            .relabel("suppliers", "//supplier", "source")
+            .unwrap();
+        s.register_policy(&policy).unwrap();
+        let out = s
+            .handle(&Request::View {
+                view: "interns".into(),
+                doc: "db".into(),
+            })
+            .unwrap();
+        assert!(!out.body.contains("<price>"));
+        assert!(out.body.contains("<source>"));
+        // Query over a multi-rule policy view (materialize + engine).
+        let ans = s
+            .handle(&Request::Query {
+                view: "interns".into(),
+                doc: "db".into(),
+                query: r#"<r>{ for $x in doc("db")/db/part/source/sname return $x }</r>"#.into(),
+            })
+            .unwrap();
+        assert_eq!(ans.body, "<r><sname>HP</sname><sname>IBM</sname></r>");
+    }
+
+    #[test]
+    fn file_backed_documents_stream() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("xust_serve_file_test.xml");
+        std::fs::write(&path, XML).unwrap();
+        let s = server();
+        s.load_doc_file("disk", &path).unwrap();
+        s.register_view("pub", DEL_PRICE).unwrap();
+        let out = s
+            .handle(&Request::View {
+                view: "pub".into(),
+                doc: "disk".into(),
+            })
+            .unwrap();
+        assert_eq!(out.method, Some(Method::TwoPassSax));
+        assert!(!out.body.contains("<price>"));
+        // Ad-hoc transforms over files stream too.
+        let t = s
+            .handle(&Request::Transform {
+                doc: "disk".into(),
+                query: DEL_PRICE.into(),
+            })
+            .unwrap();
+        assert_eq!(t.method, Some(Method::TwoPassSax));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn batch_preserves_request_order() {
+        let s = server();
+        s.register_view("public", DEL_PRICE).unwrap();
+        let batch: Vec<Request> = (0..16)
+            .map(|i| {
+                if i % 2 == 0 {
+                    Request::View {
+                        view: "public".into(),
+                        doc: "db".into(),
+                    }
+                } else {
+                    Request::Transform {
+                        doc: "db".into(),
+                        query: REN_PART.into(),
+                    }
+                }
+            })
+            .collect();
+        let results = s.execute_batch(batch);
+        assert_eq!(results.len(), 16);
+        for (i, r) in results.iter().enumerate() {
+            let r = r.as_ref().unwrap();
+            if i % 2 == 0 {
+                assert!(!r.body.contains("<price>"), "view at {i}");
+            } else {
+                assert!(r.body.contains("<item>"), "transform at {i}");
+            }
+        }
+        assert_eq!(s.stats().batches, 1);
+    }
+
+    #[test]
+    fn errors_are_reported_and_counted() {
+        let s = server();
+        assert!(matches!(
+            s.handle(&Request::View {
+                view: "nope".into(),
+                doc: "db".into()
+            }),
+            Err(ServeError::UnknownView(_))
+        ));
+        assert!(matches!(
+            s.handle(&Request::Transform {
+                doc: "nope".into(),
+                query: DEL_PRICE.into()
+            }),
+            Err(ServeError::UnknownDoc(_))
+        ));
+        assert!(matches!(
+            s.handle(&Request::Transform {
+                doc: "db".into(),
+                query: "garbage".into()
+            }),
+            Err(ServeError::Parse(_))
+        ));
+        assert_eq!(s.stats().failures, 3);
+    }
+
+    #[test]
+    fn doc_and_view_listings() {
+        let s = server();
+        s.register_view("v1", DEL_PRICE).unwrap();
+        assert_eq!(s.doc_names(), vec!["db".to_string()]);
+        assert_eq!(s.view_names(), vec!["v1".to_string()]);
+    }
+}

@@ -1,0 +1,321 @@
+//! The view registry: named, pre-compiled transform views.
+//!
+//! A *view* is what the paper calls a transformed document `Qt(T)` that
+//! is never materialized at rest: a security view (Example 1.1), a
+//! policy view over a user group, or a what-if scenario ("the database
+//! as it would look after these updates"). Registering a view parses
+//! and NFA-compiles its transforms exactly once; every subsequent
+//! request — from any thread — reuses the compiled artifacts.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use xust_core::{CompiledTransform, MultiTransformQuery, QueryCost};
+use xust_secview::Policy;
+
+use crate::error::ServeError;
+
+/// How a view transforms its base document.
+pub enum ViewBody {
+    /// A chain `Qtₖ(…Qt₁(T)…)` applied left to right — each link reads
+    /// the previous link's output (what-if scenario stacking).
+    Chain(Vec<Arc<CompiledTransform>>),
+    /// A multi-update with snapshot semantics — every rule's path reads
+    /// the *original* document (access-control policies).
+    Multi(Box<MultiTransformQuery>),
+}
+
+/// A registered view.
+pub struct ViewDef {
+    /// Registry name (unique).
+    pub name: String,
+    /// The `doc("…")` name the view's transforms read.
+    pub doc_name: String,
+    /// The transformation body.
+    pub body: ViewBody,
+    /// Concrete syntax the view was registered from (for introspection).
+    pub sources: Vec<String>,
+}
+
+impl std::fmt::Debug for ViewDef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ViewDef")
+            .field("name", &self.name)
+            .field("doc_name", &self.doc_name)
+            .field(
+                "links",
+                &match &self.body {
+                    ViewBody::Chain(c) => c.len(),
+                    ViewBody::Multi(m) => m.updates.len(),
+                },
+            )
+            .field("sources", &self.sources)
+            .finish()
+    }
+}
+
+impl ViewDef {
+    /// The single compiled transform of a one-link chain, if this view
+    /// is one — the form the Compose Method accepts.
+    pub fn single(&self) -> Option<&Arc<CompiledTransform>> {
+        match &self.body {
+            ViewBody::Chain(links) if links.len() == 1 => links.first(),
+            _ => None,
+        }
+    }
+
+    /// Aggregate cost hints across the body, for the planner: feature
+    /// maxima over the links (the dominant link dominates the plan).
+    pub fn cost(&self) -> QueryCost {
+        let mut agg = QueryCost {
+            steps: 0,
+            path_size: 0,
+            descendant_steps: 0,
+            wildcard_steps: 0,
+            qualifier_count: 0,
+            max_qualifier_size: 0,
+        };
+        let mut fold = |c: &QueryCost| {
+            agg.steps = agg.steps.max(c.steps);
+            agg.path_size = agg.path_size.max(c.path_size);
+            agg.descendant_steps = agg.descendant_steps.max(c.descendant_steps);
+            agg.wildcard_steps = agg.wildcard_steps.max(c.wildcard_steps);
+            agg.qualifier_count = agg.qualifier_count.max(c.qualifier_count);
+            agg.max_qualifier_size = agg.max_qualifier_size.max(c.max_qualifier_size);
+        };
+        match &self.body {
+            ViewBody::Chain(links) => {
+                for l in links {
+                    fold(l.cost());
+                }
+            }
+            ViewBody::Multi(mq) => {
+                for (path, _) in &mq.updates {
+                    fold(&QueryCost::of_path(path));
+                }
+            }
+        }
+        agg
+    }
+}
+
+/// Thread-safe name → [`ViewDef`] map.
+#[derive(Default)]
+pub struct ViewRegistry {
+    views: RwLock<HashMap<String, Arc<ViewDef>>>,
+    /// Transform compilations performed at registration time.
+    compiles: AtomicU64,
+}
+
+impl ViewRegistry {
+    /// An empty registry.
+    pub fn new() -> ViewRegistry {
+        ViewRegistry::default()
+    }
+
+    /// Registers (or replaces) a chain view from concrete transform
+    /// syntax, one query per element. All links must read the same
+    /// document name, which becomes the view's `doc_name`.
+    pub fn register_chain(
+        &self,
+        name: impl Into<String>,
+        queries: &[&str],
+    ) -> Result<Arc<ViewDef>, ServeError> {
+        let name = name.into();
+        if queries.is_empty() {
+            return Err(ServeError::InvalidView(format!(
+                "view '{name}': a chain needs at least one transform"
+            )));
+        }
+        let mut links = Vec::with_capacity(queries.len());
+        let mut doc_name: Option<String> = None;
+        for q in queries {
+            let ct = CompiledTransform::parse(q)
+                .map_err(|e| ServeError::Parse(format!("view '{name}': {e}")))?;
+            self.compiles.fetch_add(1, Ordering::Relaxed);
+            match &doc_name {
+                None => doc_name = Some(ct.query().doc_name.clone()),
+                Some(d) if *d != ct.query().doc_name => {
+                    return Err(ServeError::InvalidView(format!(
+                        "view '{name}': chain links read doc(\"{d}\") and doc(\"{}\")",
+                        ct.query().doc_name
+                    )));
+                }
+                Some(_) => {}
+            }
+            links.push(Arc::new(ct));
+        }
+        let def = Arc::new(ViewDef {
+            name: name.clone(),
+            doc_name: doc_name.expect("at least one link"),
+            body: ViewBody::Chain(links),
+            sources: queries.iter().map(|s| s.to_string()).collect(),
+        });
+        self.views
+            .write()
+            .expect("registry lock poisoned")
+            .insert(name, Arc::clone(&def));
+        Ok(def)
+    }
+
+    /// Registers a single-transform view.
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        query: &str,
+    ) -> Result<Arc<ViewDef>, ServeError> {
+        self.register_chain(name, &[query])
+    }
+
+    /// Registers a [`Policy`] as a served view named after its user
+    /// group. Single-rule policies become composable chain views;
+    /// multi-rule policies keep their snapshot semantics.
+    pub fn register_policy(&self, policy: &Policy) -> Result<Arc<ViewDef>, ServeError> {
+        let name = policy.group.clone();
+        let sources: Vec<String> = policy
+            .rules()
+            .iter()
+            .map(|r| format!("{}: {}", r.name, r.path))
+            .collect();
+        let body = match policy.compile_single() {
+            Some(q) => {
+                self.compiles.fetch_add(1, Ordering::Relaxed);
+                ViewBody::Chain(vec![Arc::new(CompiledTransform::compile(q))])
+            }
+            None => {
+                let mq = policy.compile();
+                if mq.updates.is_empty() {
+                    return Err(ServeError::InvalidView(format!(
+                        "policy '{name}' has no rules"
+                    )));
+                }
+                ViewBody::Multi(Box::new(mq))
+            }
+        };
+        let def = Arc::new(ViewDef {
+            name: name.clone(),
+            doc_name: policy.doc_name.clone(),
+            body,
+            sources,
+        });
+        self.views
+            .write()
+            .expect("registry lock poisoned")
+            .insert(name, Arc::clone(&def));
+        Ok(def)
+    }
+
+    /// Looks a view up.
+    pub fn get(&self, name: &str) -> Option<Arc<ViewDef>> {
+        self.views
+            .read()
+            .expect("registry lock poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// Registered view names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .views
+            .read()
+            .expect("registry lock poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Removes a view; true if it existed.
+    pub fn remove(&self, name: &str) -> bool {
+        self.views
+            .write()
+            .expect("registry lock poisoned")
+            .remove(name)
+            .is_some()
+    }
+
+    /// Registration-time compilations performed so far.
+    pub fn compiles(&self) -> u64 {
+        self.compiles.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEL: &str = r#"transform copy $a := doc("db") modify do delete $a//price return $a"#;
+    const REN: &str =
+        r#"transform copy $a := doc("db") modify do rename $a//part as component return $a"#;
+
+    #[test]
+    fn chain_registration_compiles_once_per_link() {
+        let r = ViewRegistry::new();
+        let def = r.register_chain("scenario", &[DEL, REN]).unwrap();
+        assert_eq!(r.compiles(), 2);
+        assert_eq!(def.doc_name, "db");
+        assert!(def.single().is_none());
+        assert!(matches!(&def.body, ViewBody::Chain(c) if c.len() == 2));
+        assert_eq!(r.names(), vec!["scenario".to_string()]);
+        // Re-lookup shares the same Arc (no recompilation path at all).
+        let again = r.get("scenario").unwrap();
+        assert!(Arc::ptr_eq(&def, &again));
+    }
+
+    #[test]
+    fn single_view_is_composable() {
+        let r = ViewRegistry::new();
+        let def = r.register("sec", DEL).unwrap();
+        assert!(def.single().is_some());
+        assert!(def.cost().has_descendant());
+    }
+
+    #[test]
+    fn mixed_doc_names_rejected() {
+        let r = ViewRegistry::new();
+        let other = r#"transform copy $a := doc("other") modify do delete $a//x return $a"#;
+        let err = r.register_chain("bad", &[DEL, other]).unwrap_err();
+        assert!(err.to_string().contains("doc"));
+        assert!(r.get("bad").is_none());
+    }
+
+    #[test]
+    fn parse_errors_name_the_view() {
+        let r = ViewRegistry::new();
+        let err = r.register("broken", "garbage").unwrap_err();
+        assert!(err.to_string().contains("broken"));
+    }
+
+    #[test]
+    fn policies_register_under_their_group() {
+        let single = Policy::new("analysts", "db")
+            .hide("prices", "//price")
+            .unwrap();
+        let multi = Policy::new("interns", "db")
+            .hide("prices", "//price")
+            .unwrap()
+            .relabel("parts", "//part", "item")
+            .unwrap();
+        let r = ViewRegistry::new();
+        let s = r.register_policy(&single).unwrap();
+        let m = r.register_policy(&multi).unwrap();
+        assert!(s.single().is_some());
+        assert!(matches!(&m.body, ViewBody::Multi(_)));
+        assert_eq!(
+            r.names(),
+            vec!["analysts".to_string(), "interns".to_string()]
+        );
+    }
+
+    #[test]
+    fn remove_works() {
+        let r = ViewRegistry::new();
+        r.register("v", DEL).unwrap();
+        assert!(r.remove("v"));
+        assert!(!r.remove("v"));
+        assert!(r.get("v").is_none());
+    }
+}

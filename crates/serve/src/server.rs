@@ -1,0 +1,603 @@
+//! The concurrent transform-view server.
+//!
+//! [`Server`] owns four pieces and wires them together per request:
+//!
+//! 1. a document store — immutable [`Document`]s behind `Arc` (shared
+//!    zero-copy across threads) or file paths served via the streaming
+//!    SAX path without ever building a DOM;
+//! 2. the [`ViewRegistry`] of named, pre-compiled transform views;
+//! 3. two [`PreparedCache`]s — ad-hoc transforms keyed by query text,
+//!    and composed user queries keyed by `(view, query)`;
+//! 4. the [`AdaptivePlanner`] choosing an evaluation method per request
+//!    from cost hints plus observed latency, and a [`ThreadPool`] for
+//!    the batched/asynchronous entry points.
+//!
+//! `Server` is `Clone` (a cheap `Arc` handle) and every entry point
+//! takes `&self`, so any number of client threads can call into one
+//! server concurrently.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::mpsc::Receiver;
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+use xust_compose::{compose, compose_two_pass_sax, ComposedQuery, UserQuery};
+use xust_core::{multi_top_down, CompiledTransform, Method};
+use xust_sax::SaxParser;
+use xust_secview::Policy;
+use xust_tree::Document;
+
+use crate::cache::PreparedCache;
+use crate::error::ServeError;
+use crate::executor::ThreadPool;
+use crate::planner::{AdaptivePlanner, DocShape, PlannerConfig};
+use crate::registry::{ViewBody, ViewDef, ViewRegistry};
+use crate::stats::{ServeStats, StatsSnapshot};
+
+/// Where a named document lives.
+#[derive(Debug, Clone)]
+pub enum DocSource {
+    /// Parsed once, shared immutably across all threads.
+    Memory(Arc<Document>),
+    /// On disk; requests stream it with bounded memory.
+    File(PathBuf),
+}
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Materialize view `view` of document `doc`.
+    View {
+        /// Registered view name.
+        view: String,
+        /// Loaded document name.
+        doc: String,
+    },
+    /// Answer a user XQuery against the *virtual* view (composed when
+    /// possible — the view is never materialized on this path).
+    Query {
+        /// Registered view name.
+        view: String,
+        /// Loaded document name.
+        doc: String,
+        /// The user query text.
+        query: String,
+    },
+    /// Evaluate an ad-hoc transform query against a document.
+    Transform {
+        /// Loaded document name.
+        doc: String,
+        /// Concrete transform syntax.
+        query: String,
+    },
+}
+
+/// A served result.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Serialized XML result.
+    pub body: String,
+    /// The evaluation method the planner chose (None for composed
+    /// queries, which run on the XQuery engine).
+    pub method: Option<Method>,
+    /// Wall-clock service time in microseconds.
+    pub micros: u64,
+    /// True when every prepared artifact this request needed came from
+    /// cache (no parse, no NFA construction).
+    pub cache_hit: bool,
+}
+
+/// Configures and builds a [`Server`].
+pub struct ServerBuilder {
+    threads: usize,
+    cache_capacity: usize,
+    planner: PlannerConfig,
+}
+
+impl Default for ServerBuilder {
+    fn default() -> ServerBuilder {
+        ServerBuilder {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            cache_capacity: 256,
+            planner: PlannerConfig::default(),
+        }
+    }
+}
+
+impl ServerBuilder {
+    /// Worker threads for the batched/asynchronous entry points.
+    pub fn threads(mut self, n: usize) -> ServerBuilder {
+        self.threads = n;
+        self
+    }
+
+    /// Capacity of each prepared cache.
+    pub fn cache_capacity(mut self, n: usize) -> ServerBuilder {
+        self.cache_capacity = n;
+        self
+    }
+
+    /// Planner knobs.
+    pub fn planner(mut self, config: PlannerConfig) -> ServerBuilder {
+        self.planner = config;
+        self
+    }
+
+    /// Builds the server.
+    pub fn build(self) -> Server {
+        Server {
+            inner: Arc::new(Inner {
+                docs: RwLock::new(HashMap::new()),
+                registry: ViewRegistry::new(),
+                transforms: PreparedCache::new(self.cache_capacity),
+                composed: PreparedCache::new(self.cache_capacity),
+                planner: AdaptivePlanner::new(self.planner),
+                stats: ServeStats::default(),
+                pool: ThreadPool::new(self.threads),
+            }),
+        }
+    }
+}
+
+struct Inner {
+    docs: RwLock<HashMap<String, DocSource>>,
+    registry: ViewRegistry,
+    transforms: PreparedCache<CompiledTransform>,
+    composed: PreparedCache<ComposedQuery>,
+    planner: AdaptivePlanner,
+    stats: ServeStats,
+    pool: ThreadPool,
+}
+
+/// See the module docs.
+#[derive(Clone)]
+pub struct Server {
+    inner: Arc<Inner>,
+}
+
+impl Server {
+    /// Starts configuring a server.
+    pub fn builder() -> ServerBuilder {
+        ServerBuilder::default()
+    }
+
+    /// A server with default configuration.
+    pub fn new() -> Server {
+        ServerBuilder::default().build()
+    }
+
+    // ---- documents ----
+
+    /// Loads (or replaces) an in-memory document.
+    pub fn load_doc(&self, name: impl Into<String>, doc: Document) {
+        self.inner
+            .docs
+            .write()
+            .expect("doc store lock poisoned")
+            .insert(name.into(), DocSource::Memory(Arc::new(doc)));
+    }
+
+    /// Parses and loads a document from XML text.
+    pub fn load_doc_str(&self, name: impl Into<String>, xml: &str) -> Result<(), ServeError> {
+        let doc = Document::parse(xml).map_err(|e| ServeError::Parse(e.to_string()))?;
+        self.load_doc(name, doc);
+        Ok(())
+    }
+
+    /// Registers a file-backed document, served via the streaming path.
+    pub fn load_doc_file(
+        &self,
+        name: impl Into<String>,
+        path: impl Into<PathBuf>,
+    ) -> Result<(), ServeError> {
+        let path = path.into();
+        if !path.is_file() {
+            return Err(ServeError::Io(format!("{}: not a file", path.display())));
+        }
+        self.inner
+            .docs
+            .write()
+            .expect("doc store lock poisoned")
+            .insert(name.into(), DocSource::File(path));
+        Ok(())
+    }
+
+    /// Loaded document names, sorted.
+    pub fn doc_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .inner
+            .docs
+            .read()
+            .expect("doc store lock poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        v.sort();
+        v
+    }
+
+    fn doc_source(&self, name: &str) -> Result<DocSource, ServeError> {
+        self.inner
+            .docs
+            .read()
+            .expect("doc store lock poisoned")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownDoc(name.to_string()))
+    }
+
+    // ---- views ----
+
+    /// Registers a single-transform view.
+    pub fn register_view(&self, name: &str, query: &str) -> Result<(), ServeError> {
+        self.inner.registry.register(name, query).map(|_| ())
+    }
+
+    /// Registers a chain view (what-if scenario stacking).
+    pub fn register_view_chain(&self, name: &str, queries: &[&str]) -> Result<(), ServeError> {
+        self.inner
+            .registry
+            .register_chain(name, queries)
+            .map(|_| ())
+    }
+
+    /// Registers a security policy as a view named after its group.
+    pub fn register_policy(&self, policy: &Policy) -> Result<(), ServeError> {
+        self.inner.registry.register_policy(policy).map(|_| ())
+    }
+
+    /// Registered view names, sorted.
+    pub fn view_names(&self) -> Vec<String> {
+        self.inner.registry.names()
+    }
+
+    // ---- serving ----
+
+    /// Handles one request synchronously. Safe to call from any number
+    /// of threads at once.
+    pub fn handle(&self, request: &Request) -> Result<Response, ServeError> {
+        let started = Instant::now();
+        self.inner
+            .stats
+            .requests
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let result = match request {
+            Request::View { view, doc } => self.handle_view(view, doc),
+            Request::Query { view, doc, query } => self.handle_query(view, doc, query),
+            Request::Transform { doc, query } => self.handle_transform(doc, query),
+        };
+        let micros = started.elapsed().as_micros() as u64;
+        self.inner
+            .stats
+            .busy_micros
+            .fetch_add(micros, std::sync::atomic::Ordering::Relaxed);
+        match result {
+            Ok(mut resp) => {
+                resp.micros = micros;
+                Ok(resp)
+            }
+            Err(e) => {
+                self.inner
+                    .stats
+                    .failures
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Enqueues one request on the worker pool; the receiver yields the
+    /// result when it completes.
+    pub fn submit(&self, request: Request) -> Receiver<Result<Response, ServeError>> {
+        let server = self.clone();
+        self.inner.pool.submit(move || server.handle(&request))
+    }
+
+    /// The batched multi-document entry point: fans the batch out over
+    /// the worker pool and returns results in request order.
+    pub fn execute_batch(&self, requests: Vec<Request>) -> Vec<Result<Response, ServeError>> {
+        self.inner
+            .stats
+            .batches
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let receivers: Vec<_> = requests.into_iter().map(|r| self.submit(r)).collect();
+        receivers
+            .into_iter()
+            .map(|rx| {
+                rx.recv()
+                    .unwrap_or_else(|_| Err(ServeError::Eval("worker panicked".into())))
+            })
+            .collect()
+    }
+
+    // ---- introspection ----
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// Planner model state: `(method, size_class, ns_per_node, samples)`.
+    pub fn planner_snapshot(&self) -> Vec<(Method, usize, f64, u64)> {
+        self.inner.planner.snapshot()
+    }
+
+    /// Compilations performed registering views (once per link, ever).
+    pub fn registration_compiles(&self) -> u64 {
+        self.inner.registry.compiles()
+    }
+
+    // ---- request handlers ----
+
+    fn handle_transform(&self, doc: &str, query: &str) -> Result<Response, ServeError> {
+        self.inner
+            .stats
+            .transform_requests
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let source = self.doc_source(doc)?;
+        let stats = &self.inner.stats;
+        let (ct, hit) = self.inner.transforms.get_or_try_insert(query, || {
+            stats
+                .compiles
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            CompiledTransform::parse(query).map_err(|e| ServeError::Parse(e.to_string()))
+        })?;
+        self.note_cache(hit);
+        match source {
+            DocSource::Memory(d) => {
+                let shape = DocShape::InMemory {
+                    nodes: d.arena_len(),
+                };
+                let method = self.inner.planner.choose(ct.cost(), shape);
+                let t = Instant::now();
+                let out = ct
+                    .evaluate(&d, method)
+                    .map_err(|e| ServeError::Eval(e.to_string()))?;
+                self.inner.planner.record(method, shape, t.elapsed());
+                stats.count_method(method);
+                Ok(Response {
+                    body: out.serialize(),
+                    method: Some(method),
+                    micros: 0,
+                    cache_hit: hit,
+                })
+            }
+            DocSource::File(path) => {
+                let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                let shape = DocShape::File { bytes };
+                let t = Instant::now();
+                // Streams the file (two buffered passes); only the
+                // serialized result is buffered for the response body.
+                let body = ct
+                    .evaluate_stream_file(&path)
+                    .map_err(|e| ServeError::Eval(e.to_string()))?;
+                self.inner
+                    .planner
+                    .record(Method::TwoPassSax, shape, t.elapsed());
+                stats.count_method(Method::TwoPassSax);
+                Ok(Response {
+                    body,
+                    method: Some(Method::TwoPassSax),
+                    micros: 0,
+                    cache_hit: hit,
+                })
+            }
+        }
+    }
+
+    fn handle_view(&self, view: &str, doc: &str) -> Result<Response, ServeError> {
+        self.inner
+            .stats
+            .view_requests
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let def = self
+            .inner
+            .registry
+            .get(view)
+            .ok_or_else(|| ServeError::UnknownView(view.to_string()))?;
+        let source = self.doc_source(doc)?;
+
+        // File-backed, single-link chains stream end to end: the input
+        // is never held in memory, only the response body.
+        if let (DocSource::File(path), Some(link)) = (&source, def.single()) {
+            let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+            let t = Instant::now();
+            let body = link
+                .evaluate_stream_file(path)
+                .map_err(|e| ServeError::Eval(e.to_string()))?;
+            self.inner
+                .planner
+                .record(Method::TwoPassSax, DocShape::File { bytes }, t.elapsed());
+            self.inner.stats.count_method(Method::TwoPassSax);
+            return Ok(Response {
+                body,
+                method: Some(Method::TwoPassSax),
+                micros: 0,
+                cache_hit: true, // compiled at registration; nothing built here
+            });
+        }
+
+        let base = self.base_document(&source)?;
+        let (out, method) = self.materialize(&def, &base)?;
+        Ok(Response {
+            body: out.serialize(),
+            method,
+            micros: 0,
+            cache_hit: true, // views are pre-compiled at registration
+        })
+    }
+
+    fn handle_query(&self, view: &str, doc: &str, query: &str) -> Result<Response, ServeError> {
+        self.inner
+            .stats
+            .query_requests
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let def = self
+            .inner
+            .registry
+            .get(view)
+            .ok_or_else(|| ServeError::UnknownView(view.to_string()))?;
+        let source = self.doc_source(doc)?;
+
+        if let Some(link) = def.single() {
+            // File-backed: streaming composition over the unparsed
+            // file. The composed-query cache is DOM-only, so this path
+            // parses the user query per request and bypasses the cache
+            // entirely (no phantom cache entries or composition counts).
+            if let DocSource::File(path) = &source {
+                let uq = UserQuery::parse(query).map_err(|e| ServeError::Parse(e.to_string()))?;
+                if uq.doc_name != def.doc_name {
+                    return Err(ServeError::Parse(format!(
+                        "query reads doc(\"{}\") but view '{}' serves doc(\"{}\")",
+                        uq.doc_name, def.name, def.doc_name
+                    )));
+                }
+                let open = || SaxParser::from_file(path).map_err(|e| ServeError::Io(e.to_string()));
+                let mut out = Vec::new();
+                compose_two_pass_sax(open()?, open()?, open()?, link.query(), &uq, &mut out)
+                    .map_err(|e| ServeError::Eval(e.to_string()))?;
+                return Ok(Response {
+                    body: String::from_utf8(out).map_err(|e| ServeError::Eval(e.to_string()))?,
+                    method: None,
+                    micros: 0,
+                    cache_hit: false,
+                });
+            }
+
+            // In-memory: the Compose Method — rewrite the user query
+            // against the virtual view, cached per (view, query) so
+            // repeats skip parsing and composition entirely.
+            let key = format!("{view}\u{1f}{query}");
+            let stats = &self.inner.stats;
+            let def_doc = &def.doc_name;
+            let (qc, hit) = self.inner.composed.get_or_try_insert(&key, || {
+                let uq = UserQuery::parse(query).map_err(|e| ServeError::Parse(e.to_string()))?;
+                if uq.doc_name != *def_doc {
+                    return Err(ServeError::Parse(format!(
+                        "query reads doc(\"{}\") but view '{}' serves doc(\"{}\")",
+                        uq.doc_name, def.name, def_doc
+                    )));
+                }
+                stats
+                    .compositions
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                compose(link.query(), &uq).map_err(|e| ServeError::Parse(e.to_string()))
+            })?;
+            self.note_cache(hit);
+            let body = match &source {
+                DocSource::Memory(d) => qc
+                    .execute_to_string(d)
+                    .map_err(|e| ServeError::Eval(e.to_string()))?,
+                DocSource::File(_) => unreachable!("file sources handled above"),
+            };
+            return Ok(Response {
+                body,
+                method: None,
+                micros: 0,
+                cache_hit: hit,
+            });
+        }
+
+        // Multi-link chains / snapshot policies: materialize the view,
+        // then run the user query on the XQuery engine.
+        let uq = UserQuery::parse(query).map_err(|e| ServeError::Parse(e.to_string()))?;
+        if uq.doc_name != def.doc_name {
+            return Err(ServeError::Parse(format!(
+                "query reads doc(\"{}\") but view '{}' serves doc(\"{}\")",
+                uq.doc_name, def.name, def.doc_name
+            )));
+        }
+        let base = self.base_document(&source)?;
+        let (viewed, method) = self.materialize(&def, &base)?;
+        let mut engine = xust_xquery::Engine::new();
+        engine.load_doc(def.doc_name.clone(), viewed);
+        let v = engine
+            .eval_expr(&uq.to_expr(), &[])
+            .map_err(|e| ServeError::Eval(e.to_string()))?;
+        Ok(Response {
+            body: engine.serialize_value(&v),
+            method,
+            micros: 0,
+            cache_hit: true,
+        })
+    }
+
+    // ---- helpers ----
+
+    fn note_cache(&self, hit: bool) {
+        use std::sync::atomic::Ordering::Relaxed;
+        if hit {
+            self.inner.stats.cache_hits.fetch_add(1, Relaxed);
+        } else {
+            self.inner.stats.cache_misses.fetch_add(1, Relaxed);
+        }
+    }
+
+    fn base_document(&self, source: &DocSource) -> Result<Arc<Document>, ServeError> {
+        match source {
+            DocSource::Memory(d) => Ok(Arc::clone(d)),
+            DocSource::File(path) => {
+                let doc =
+                    Document::parse_file(path).map_err(|e| ServeError::Parse(e.to_string()))?;
+                Ok(Arc::new(doc))
+            }
+        }
+    }
+
+    /// Applies a view body to a base document with planner-chosen
+    /// methods; returns the result and the (last) method used.
+    fn materialize(
+        &self,
+        def: &ViewDef,
+        base: &Arc<Document>,
+    ) -> Result<(Document, Option<Method>), ServeError> {
+        match &def.body {
+            ViewBody::Chain(links) => {
+                let mut current: Option<Document> = None;
+                let mut last_method = None;
+                for link in links {
+                    let doc_ref: &Document = match &current {
+                        Some(d) => d,
+                        None => base,
+                    };
+                    let shape = DocShape::InMemory {
+                        nodes: doc_ref.arena_len(),
+                    };
+                    let method = self.inner.planner.choose(link.cost(), shape);
+                    let t = Instant::now();
+                    let next = link
+                        .evaluate(doc_ref, method)
+                        .map_err(|e| ServeError::Eval(e.to_string()))?;
+                    self.inner.planner.record(method, shape, t.elapsed());
+                    self.inner.stats.count_method(method);
+                    last_method = Some(method);
+                    current = Some(next);
+                }
+                Ok((current.expect("registry rejects empty chains"), last_method))
+            }
+            ViewBody::Multi(mq) => {
+                // Fused multi-automaton plan (snapshot semantics).
+                let t = Instant::now();
+                let out = multi_top_down(base, mq);
+                self.inner.planner.record(
+                    Method::TopDown,
+                    DocShape::InMemory {
+                        nodes: base.arena_len(),
+                    },
+                    t.elapsed(),
+                );
+                self.inner.stats.count_method(Method::TopDown);
+                Ok((out, Some(Method::TopDown)))
+            }
+        }
+    }
+}
+
+impl Default for Server {
+    fn default() -> Server {
+        Server::new()
+    }
+}

@@ -1,0 +1,156 @@
+//! Lock-free service counters.
+//!
+//! Every counter is a relaxed atomic: the numbers are observability
+//! data, not synchronization. The concurrency tests use them to prove
+//! that cache hits really skip parse + NFA construction (the `compiles`
+//! counter stays at the number of *distinct* queries while `cache_hits`
+//! grows with request volume).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use xust_core::Method;
+
+const N_METHODS: usize = Method::ALL.len();
+
+fn method_index(m: Method) -> usize {
+    Method::ALL
+        .iter()
+        .position(|&x| x == m)
+        .expect("Method::ALL is exhaustive")
+}
+
+/// Counters for one [`crate::Server`].
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Requests accepted (all kinds).
+    pub requests: AtomicU64,
+    /// Requests that returned an error.
+    pub failures: AtomicU64,
+    /// Prepared-cache hits (transform or composed query reused).
+    pub cache_hits: AtomicU64,
+    /// Prepared-cache misses (entry had to be built).
+    pub cache_misses: AtomicU64,
+    /// Transform parse + NFA compilations actually performed.
+    pub compiles: AtomicU64,
+    /// User-query compositions actually performed.
+    pub compositions: AtomicU64,
+    /// View materializations served.
+    pub view_requests: AtomicU64,
+    /// User queries answered against a virtual view.
+    pub query_requests: AtomicU64,
+    /// Ad-hoc transform executions.
+    pub transform_requests: AtomicU64,
+    /// Batched entry-point invocations.
+    pub batches: AtomicU64,
+    per_method: [AtomicU64; N_METHODS],
+    /// Total busy time across requests, in microseconds.
+    pub busy_micros: AtomicU64,
+}
+
+impl ServeStats {
+    /// Records one execution with `method`.
+    pub fn count_method(&self, m: Method) {
+        self.per_method[method_index(m)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Executions recorded for `method`.
+    pub fn method_count(&self, m: Method) -> u64 {
+        self.per_method[method_index(m)].load(Ordering::Relaxed)
+    }
+
+    /// Takes a consistent-enough snapshot for reporting.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            compiles: self.compiles.load(Ordering::Relaxed),
+            compositions: self.compositions.load(Ordering::Relaxed),
+            view_requests: self.view_requests.load(Ordering::Relaxed),
+            query_requests: self.query_requests.load(Ordering::Relaxed),
+            transform_requests: self.transform_requests.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            busy_micros: self.busy_micros.load(Ordering::Relaxed),
+            per_method: Method::ALL.map(|m| (m, self.method_count(m))),
+        }
+    }
+}
+
+/// A point-in-time copy of [`ServeStats`].
+#[derive(Debug, Clone)]
+pub struct StatsSnapshot {
+    /// Requests accepted.
+    pub requests: u64,
+    /// Requests that errored.
+    pub failures: u64,
+    /// Prepared-cache hits.
+    pub cache_hits: u64,
+    /// Prepared-cache misses.
+    pub cache_misses: u64,
+    /// Parse + NFA compilations performed.
+    pub compiles: u64,
+    /// Compositions performed.
+    pub compositions: u64,
+    /// View materializations.
+    pub view_requests: u64,
+    /// Virtual-view queries.
+    pub query_requests: u64,
+    /// Ad-hoc transforms.
+    pub transform_requests: u64,
+    /// Batch invocations.
+    pub batches: u64,
+    /// Total busy time (µs).
+    pub busy_micros: u64,
+    /// Executions per evaluation method.
+    pub per_method: [(Method, u64); N_METHODS],
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "requests={} failures={} views={} queries={} transforms={} batches={}",
+            self.requests,
+            self.failures,
+            self.view_requests,
+            self.query_requests,
+            self.transform_requests,
+            self.batches
+        )?;
+        writeln!(
+            f,
+            "cache: hits={} misses={} compiles={} compositions={}",
+            self.cache_hits, self.cache_misses, self.compiles, self.compositions
+        )?;
+        write!(f, "methods:")?;
+        for (m, n) in &self.per_method {
+            if *n > 0 {
+                write!(f, " {m}={n}")?;
+            }
+        }
+        write!(f, " busy={}µs", self.busy_micros)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_roundtrip() {
+        let s = ServeStats::default();
+        s.requests.fetch_add(3, Ordering::Relaxed);
+        s.count_method(Method::TwoPass);
+        s.count_method(Method::TwoPass);
+        s.count_method(Method::Naive);
+        let snap = s.snapshot();
+        assert_eq!(snap.requests, 3);
+        assert_eq!(s.method_count(Method::TwoPass), 2);
+        assert_eq!(s.method_count(Method::Naive), 1);
+        assert_eq!(s.method_count(Method::TopDown), 0);
+        let text = snap.to_string();
+        assert!(text.contains("requests=3"));
+        assert!(text.contains("TD-BU=2"));
+    }
+}

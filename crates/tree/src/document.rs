@@ -229,7 +229,11 @@ impl Document {
     /// Appends `child` as the *last* child of `parent` — the placement
     /// mandated by `insert e into p` ("adds e as the rightmost child").
     pub fn append_child(&mut self, parent: NodeId, child: NodeId) {
-        debug_assert_eq!(self.nodes[child.index()].parent, NIL, "child must be detached");
+        debug_assert_eq!(
+            self.nodes[child.index()].parent,
+            NIL,
+            "child must be detached"
+        );
         let old_last = self.nodes[parent.index()].last_child;
         self.nodes[child.index()].parent = parent.0;
         self.nodes[child.index()].prev_sibling = old_last;
@@ -245,7 +249,11 @@ impl Document {
     /// Prepends `child` as the *first* child of `parent` —
     /// `insert e as first into p`.
     pub fn prepend_child(&mut self, parent: NodeId, child: NodeId) {
-        debug_assert_eq!(self.nodes[child.index()].parent, NIL, "child must be detached");
+        debug_assert_eq!(
+            self.nodes[child.index()].parent,
+            NIL,
+            "child must be detached"
+        );
         let old_first = self.nodes[parent.index()].first_child;
         self.nodes[child.index()].parent = parent.0;
         self.nodes[child.index()].prev_sibling = NIL;
@@ -616,7 +624,10 @@ mod tests {
         d.prepend_child(r, a); // into empty parent
         let b = d.create_element("b");
         d.prepend_child(r, b); // in front of a
-        let names: Vec<_> = d.children(r).map(|c| d.name(c).unwrap().to_string()).collect();
+        let names: Vec<_> = d
+            .children(r)
+            .map(|c| d.name(c).unwrap().to_string())
+            .collect();
         assert_eq!(names, ["b", "a"]);
         assert_eq!(d.first_child(r), Some(b));
         assert_eq!(d.last_child(r), Some(a));
@@ -634,7 +645,10 @@ mod tests {
         d.insert_after(a, x); // middle
         let y = d.create_element("y");
         d.insert_after(b, y); // end — must update last_child
-        let names: Vec<_> = d.children(r).map(|c| d.name(c).unwrap().to_string()).collect();
+        let names: Vec<_> = d
+            .children(r)
+            .map(|c| d.name(c).unwrap().to_string())
+            .collect();
         assert_eq!(names, ["a", "x", "b", "y"]);
         assert_eq!(d.last_child(r), Some(y));
         assert_eq!(d.serialize(), "<r><a/><x/><b/><y/></r>");

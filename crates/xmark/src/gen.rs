@@ -32,8 +32,7 @@ pub fn generate(cfg: XmarkConfig) -> Document {
 pub fn generate_to_writer<W: Write>(cfg: XmarkConfig, out: W) -> io::Result<()> {
     let mut sink = WriteSink::new(out);
     Generator::new(cfg).run(&mut sink);
-    sink.finish()
-        .map_err(|e| io::Error::other(e.to_string()))?;
+    sink.finish().map_err(|e| io::Error::other(e.to_string()))?;
     Ok(())
 }
 
@@ -243,7 +242,10 @@ impl Generator {
         self.simple(s, "shipping", shipping);
         for _ in 0..self.rng.gen_range(1..=3) {
             let cat = self.rng.gen_range(0..self.cfg.categories());
-            s.start("incategory", vec![("category".into(), format!("category{cat}"))]);
+            s.start(
+                "incategory",
+                vec![("category".into(), format!("category{cat}"))],
+            );
             s.end("incategory");
         }
         if self.chance(0.6) {
@@ -354,20 +356,19 @@ impl Generator {
         }
         // profile — U3's `profile/age > 20` needs age to exist often and
         // exceed 20 most of the time (ages 18–70).
-        s.start(
-            "profile",
-            vec![("income".into(), self.money(100_000.0))],
-        );
+        s.start("profile", vec![("income".into(), self.money(100_000.0))]);
         for _ in 0..self.rng.gen_range(0..=3) {
             let cat = self.rng.gen_range(0..self.cfg.categories());
-            s.start("interest", vec![("category".into(), format!("category{cat}"))]);
+            s.start(
+                "interest",
+                vec![("category".into(), format!("category{cat}"))],
+            );
             s.end("interest");
         }
         if self.chance(0.3) {
             s.start("education", vec![]);
             s.text(
-                ["High School", "College", "Graduate School", "Other"]
-                    [self.rng.gen_range(0..4)],
+                ["High School", "College", "Graduate School", "Other"][self.rng.gen_range(0..4)],
             );
             s.end("education");
         }

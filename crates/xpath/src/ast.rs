@@ -58,7 +58,9 @@ impl Step {
         }
     }
 
-    fn size(&self) -> usize {
+    /// Syntactic size of this step (1 + its qualifier's size) — the
+    /// per-step contribution to |p|.
+    pub fn size(&self) -> usize {
         1 + self.qualifier.as_ref().map_or(0, Qualifier::size)
     }
 }
@@ -111,7 +113,10 @@ impl Qualifier {
         Qualifier::Not(Box::new(a))
     }
 
-    fn size(&self) -> usize {
+    /// Syntactic size of this qualifier — its contribution to |p| and a
+    /// proxy for per-node evaluation cost (used by the cost hints that
+    /// drive `xust-serve`'s method planner).
+    pub fn size(&self) -> usize {
         match self {
             Qualifier::Exists(p) => p.size(),
             Qualifier::Cmp(p, _, _) => p.size() + 1,

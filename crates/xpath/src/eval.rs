@@ -263,10 +263,7 @@ mod tests {
         assert_eq!(r.len(), 1);
         let r = select(&d, "part[pname = 'keyboard' or pname = 'mouse']");
         assert_eq!(r.len(), 2);
-        let r = select(
-            &d,
-            "part[supplier/sname = 'HP' and supplier/country = 'A']",
-        );
+        let r = select(&d, "part[supplier/sname = 'HP' and supplier/country = 'A']");
         assert_eq!(r.len(), 1);
     }
 

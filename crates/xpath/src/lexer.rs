@@ -269,12 +269,10 @@ fn lex_number(chars: &[char], start: usize) -> Result<(f64, usize), LexError> {
         }
     }
     let text: String = chars[start..j].iter().collect();
-    text.parse::<f64>()
-        .map(|n| (n, j))
-        .map_err(|_| LexError {
-            pos: start,
-            message: format!("invalid number '{text}'"),
-        })
+    text.parse::<f64>().map(|n| (n, j)).map_err(|_| LexError {
+        pos: start,
+        message: format!("invalid number '{text}'"),
+    })
 }
 
 #[cfg(test)]

@@ -306,10 +306,9 @@ pub fn qual_dp_facts(
                 lit.compare(t, *op)
             }
             NQual::LabelIs(l) => facts.label() == Some(l.as_str()),
-            NQual::AttrCmp(a, op, lit) => facts
-                .attr(a)
-                .map(|v| lit.compare(v, *op))
-                .unwrap_or(false),
+            NQual::AttrCmp(a, op, lit) => {
+                facts.attr(a).map(|v| lit.compare(v, *op)).unwrap_or(false)
+            }
             NQual::AttrExists(a) => facts.attr(a).is_some(),
             NQual::And(a, b) => sat.get(*a) && sat.get(*b),
             NQual::Or(a, b) => sat.get(*a) || sat.get(*b),
@@ -415,10 +414,8 @@ mod tests {
             r#"<db><part><pname>keyboard</pname><supplier><sname>HP</sname><price>12</price></supplier></part><part><pname>mouse</pname><supplier><sname>IBM</sname><price>20</price></supplier></part></db>"#,
         )
         .unwrap();
-        let p = parse_path(
-            "//part[not(supplier/sname = 'HP') and not(supplier/price < 15)]",
-        )
-        .unwrap();
+        let p =
+            parse_path("//part[not(supplier/sname = 'HP') and not(supplier/price < 15)]").unwrap();
         let table = QualTable::from_path(&p);
         let root_expr = table.step_roots[1].unwrap();
         let sat = annotate(&doc, &table);

@@ -110,11 +110,11 @@ impl Parser {
     fn path(&mut self) -> Result<Path, ParseError> {
         let mut steps = Vec::new();
         // `.` alone (or `./rest`) — self.
-        if self.eat(&Token::Dot)
-            && (self.peek().is_none() || self.peek() == Some(&Token::RBracket)) {
-                return Ok(Path::empty());
-            }
-            // `./p` — just continue with the separator.
+        if self.eat(&Token::Dot) && (self.peek().is_none() || self.peek() == Some(&Token::RBracket))
+        {
+            return Ok(Path::empty());
+        }
+        // `./p` — just continue with the separator.
         // Optional leading separator.
         if self.eat(&Token::DoubleSlash) {
             steps.push(Step::plain(StepKind::Descendant));
@@ -222,9 +222,7 @@ impl Parser {
             let lit = match self.next() {
                 Some(Token::Str(s)) => Literal::Str(s),
                 Some(Token::Num(n)) => Literal::Num(n),
-                _ => {
-                    return Err(self.error("expected string or number literal after comparison"))
-                }
+                _ => return Err(self.error("expected string or number literal after comparison")),
             };
             Ok(Qualifier::Cmp(qpath, op, lit))
         } else {
@@ -258,8 +256,7 @@ impl Parser {
         let path = self.path()?;
         // A trailing attribute access `…/@name` (path() stops before it).
         let mut attr = None;
-        if self.peek() == Some(&Token::Slash) && self.tokens.get(self.pos + 1) == Some(&Token::At)
-        {
+        if self.peek() == Some(&Token::Slash) && self.tokens.get(self.pos + 1) == Some(&Token::At) {
             self.pos += 2;
             attr = Some(self.attr_name()?);
         }
@@ -366,9 +363,8 @@ mod tests {
 
     #[test]
     fn parse_u8_conjunction() {
-        let p =
-            parse_path("/site/open_auctions/open_auction[initial > 10 and reserve >50]/bidder")
-                .unwrap();
+        let p = parse_path("/site/open_auctions/open_auction[initial > 10 and reserve >50]/bidder")
+            .unwrap();
         let q = p.steps[2].qualifier.as_ref().unwrap();
         assert!(matches!(q, Qualifier::And(_, _)));
     }

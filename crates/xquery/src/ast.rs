@@ -257,9 +257,7 @@ impl Expr {
             }
             Expr::TextCtor(e) => e.size(),
             Expr::Call { args, .. } => args.iter().map(Expr::size).sum(),
-            Expr::Comp { left, right, .. } | Expr::Is { left, right } => {
-                left.size() + right.size()
-            }
+            Expr::Comp { left, right, .. } | Expr::Is { left, right } => left.size() + right.size(),
             Expr::And(a, b) | Expr::Or(a, b) => a.size() + b.size(),
         }
     }

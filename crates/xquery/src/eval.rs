@@ -74,8 +74,8 @@ impl Engine {
 
     /// Parses and evaluates a query string.
     pub fn eval_str(&mut self, query: &str) -> Result<Value, QueryError> {
-        let module = crate::parser::parse_module(query)
-            .map_err(|e| QueryError::new(e.to_string()))?;
+        let module =
+            crate::parser::parse_module(query).map_err(|e| QueryError::new(e.to_string()))?;
         self.eval_module(&module)
     }
 
@@ -246,11 +246,7 @@ impl<'a> Evaluator<'a> {
                                 }
                             }
                         }
-                        _ => {
-                            return Err(QueryError::new(
-                                "path step applied to a non-node item",
-                            ))
-                        }
+                        _ => return Err(QueryError::new("path step applied to a non-node item")),
                     }
                 }
                 Ok(out)
@@ -279,11 +275,10 @@ impl<'a> Evaluator<'a> {
                             }
                         }
                         Item::DocNode(d) => {
-                            let keep = self
-                                .store
-                                .doc(d)
-                                .root()
-                                .is_some_and(|r| eval_qualifier(self.store.doc(d), r, qualifier));
+                            let keep =
+                                self.store.doc(d).root().is_some_and(|r| {
+                                    eval_qualifier(self.store.doc(d), r, qualifier)
+                                });
                             if keep {
                                 out.push(Item::DocNode(d));
                             }
@@ -618,14 +613,20 @@ mod tests {
     #[test]
     fn let_binding() {
         let mut e = engine_with("<db><a>1</a></db>");
-        assert_eq!(run(&mut e, "let $x := doc(\"d\")/db/a return ($x, $x)"), "<a>1</a><a>1</a>");
+        assert_eq!(
+            run(&mut e, "let $x := doc(\"d\")/db/a return ($x, $x)"),
+            "<a>1</a><a>1</a>"
+        );
     }
 
     #[test]
     fn if_else_and_empty() {
         let mut e = engine_with("<db><a/></db>");
         assert_eq!(
-            run(&mut e, "if (empty(doc(\"d\")/db/zzz)) then 'none' else 'some'"),
+            run(
+                &mut e,
+                "if (empty(doc(\"d\")/db/zzz)) then 'none' else 'some'"
+            ),
             "none"
         );
     }
@@ -633,14 +634,8 @@ mod tests {
     #[test]
     fn element_construction() {
         let mut e = engine_with("<db><a>x</a></db>");
-        assert_eq!(
-            run(&mut e, "<r>{ doc(\"d\")/db/a }</r>"),
-            "<r><a>x</a></r>"
-        );
-        assert_eq!(
-            run(&mut e, "<r k=\"v\">hi</r>"),
-            "<r k=\"v\">hi</r>"
-        );
+        assert_eq!(run(&mut e, "<r>{ doc(\"d\")/db/a }</r>"), "<r><a>x</a></r>");
+        assert_eq!(run(&mut e, "<r k=\"v\">hi</r>"), "<r k=\"v\">hi</r>");
     }
 
     #[test]
@@ -679,7 +674,10 @@ mod tests {
         );
         // string equality
         assert_eq!(
-            run(&mut e, "for $x in doc(\"d\")/db/a where $x = '10' return $x"),
+            run(
+                &mut e,
+                "for $x in doc(\"d\")/db/a where $x = '10' return $x"
+            ),
             "<a>10</a>"
         );
     }
@@ -739,9 +737,7 @@ mod tests {
 
     #[test]
     fn filter_on_variable() {
-        let mut e = engine_with(
-            "<db><s><country>A</country></s><s><country>B</country></s></db>",
-        );
+        let mut e = engine_with("<db><s><country>A</country></s><s><country>B</country></s></db>");
         assert_eq!(
             run(
                 &mut e,
@@ -798,9 +794,7 @@ mod tests {
     fn nested_construction_no_quadratic_copies() {
         // Constructed children attach directly rather than re-copying.
         let mut e = engine_with("<db/>");
-        let v = e
-            .eval_str("<a><b><c><d>deep</d></c></b></a>")
-            .unwrap();
+        let v = e.eval_str("<a><b><c><d>deep</d></c></b></a>").unwrap();
         assert_eq!(e.serialize_value(&v), "<a><b><c><d>deep</d></c></b></a>");
     }
 }

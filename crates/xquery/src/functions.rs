@@ -183,12 +183,20 @@ mod tests {
         let (s, id) = store();
         let root = s.doc(id).root().unwrap();
         let text = s.doc(id).children(root).nth(1).unwrap();
-        assert!(b(&call_builtin(&s, "is-element", &[vec![Item::Node(id, root)]])
-            .unwrap()
-            .unwrap()));
-        assert!(b(&call_builtin(&s, "is-text", &[vec![Item::Node(id, text)]])
-            .unwrap()
-            .unwrap()));
+        assert!(b(&call_builtin(
+            &s,
+            "is-element",
+            &[vec![Item::Node(id, root)]]
+        )
+        .unwrap()
+        .unwrap()));
+        assert!(b(&call_builtin(
+            &s,
+            "is-text",
+            &[vec![Item::Node(id, text)]]
+        )
+        .unwrap()
+        .unwrap()));
     }
 
     #[test]
@@ -218,7 +226,10 @@ mod tests {
         let v = call_builtin(
             &s,
             "contains",
-            &[vec![Item::Str("hello".into())], vec![Item::Str("ell".into())]],
+            &[
+                vec![Item::Str("hello".into())],
+                vec![Item::Str("ell".into())],
+            ],
         )
         .unwrap()
         .unwrap();

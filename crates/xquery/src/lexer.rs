@@ -34,8 +34,8 @@ pub enum Tok {
     Or,
     Is,
     // punctuation
-    Dollar(String),   // $name
-    Assign,           // :=
+    Dollar(String), // $name
+    Assign,         // :=
     LParen,
     RParen,
     LBrace,
@@ -336,10 +336,7 @@ impl Lexer {
             }
             c if c.is_ascii_digit() => {
                 let start = self.pos;
-                while self
-                    .peek()
-                    .is_some_and(|c| c.is_ascii_digit() || c == '.')
-                {
+                while self.peek().is_some_and(|c| c.is_ascii_digit() || c == '.') {
                     self.pos += 1;
                 }
                 let text: String = self.chars[start..self.pos].iter().collect();
@@ -498,10 +495,7 @@ impl Lexer {
             _ => {
                 // literal text until '<' or '{'
                 let start = self.pos;
-                while self
-                    .peek()
-                    .is_some_and(|c| c != '<' && c != '{')
-                {
+                while self.peek().is_some_and(|c| c != '<' && c != '{') {
                     self.pos += 1;
                 }
                 let raw: String = self.chars[start..self.pos].iter().collect();
@@ -558,10 +552,7 @@ mod tests {
     #[test]
     fn lex_self_closing_constructor() {
         let toks = lex("<a/>").unwrap();
-        assert_eq!(
-            toks,
-            vec![Tok::StartTagOpen("a".into()), Tok::TagSelfClose]
-        );
+        assert_eq!(toks, vec![Tok::StartTagOpen("a".into()), Tok::TagSelfClose]);
     }
 
     #[test]

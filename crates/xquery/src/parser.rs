@@ -104,7 +104,9 @@ impl Parser {
         QParseError {
             message: format!(
                 "{what}, found {:?} at token {}",
-                self.peek().map(|t| format!("{t:?}")).unwrap_or_else(|| "EOF".into()),
+                self.peek()
+                    .map(|t| format!("{t:?}"))
+                    .unwrap_or_else(|| "EOF".into()),
                 self.pos
             ),
         }
@@ -164,7 +166,10 @@ impl Parser {
         // plus parens/star; consume leniently.
         if self.peek() == Some(&Tok::Name("as".into())) {
             self.pos += 1;
-            if matches!(self.peek(), Some(Tok::Name(_)) | Some(Tok::Text) | Some(Tok::Element)) {
+            if matches!(
+                self.peek(),
+                Some(Tok::Name(_)) | Some(Tok::Text) | Some(Tok::Element)
+            ) {
                 self.pos += 1;
             }
             if self.eat(&Tok::LParen) {

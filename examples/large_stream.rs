@@ -49,10 +49,18 @@ fn main() {
     println!("  input   : {:>12} bytes", input_bytes);
     println!("  output  : {:>12} bytes", output_bytes);
     println!("  elements: {:>12}", stats.elements);
-    println!("  Ld size : {:>12} entries (qualifier occurrences)", stats.ld_entries);
-    println!("  stack   : {:>12} frames at peak (= document depth)", stats.max_depth);
-    println!("  time    : {secs:>12.2} s  ({:.1} MB/s over two passes)",
-        2.0 * input_bytes as f64 / 1e6 / secs);
+    println!(
+        "  Ld size : {:>12} entries (qualifier occurrences)",
+        stats.ld_entries
+    );
+    println!(
+        "  stack   : {:>12} frames at peak (= document depth)",
+        stats.max_depth
+    );
+    println!(
+        "  time    : {secs:>12.2} s  ({:.1} MB/s over two passes)",
+        2.0 * input_bytes as f64 / 1e6 / secs
+    );
     println!(
         "\nworking set ≈ depth × |p| + |Ld| — independent of the {} MB input.",
         input_bytes / 1_000_000

@@ -21,10 +21,9 @@ fn main() {
                    </order>";
 
     // Shipping: the whole card element is dropped.
-    let for_shipping = parse_transform(
-        r#"transform copy $a := doc("msg") modify do delete $a//card return $a"#,
-    )
-    .unwrap();
+    let for_shipping =
+        parse_transform(r#"transform copy $a := doc("msg") modify do delete $a//card return $a"#)
+            .unwrap();
 
     // Fraud scoring: a routing flag is prepended so the scorer can
     // short-circuit on gold-tier customers.

@@ -64,6 +64,12 @@ fn main() {
             .unwrap(),
     ];
     println!("rename x→y, delete y over {}:", d2.serialize());
-    println!("  snapshot semantics: {}", multi_top_down(&d2, &snap).serialize());
-    println!("  chained semantics:  {}", apply_chain(&d2, &chained).serialize());
+    println!(
+        "  snapshot semantics: {}",
+        multi_top_down(&d2, &snap).serialize()
+    );
+    println!(
+        "  chained semantics:  {}",
+        apply_chain(&d2, &chained).serialize()
+    );
 }

@@ -56,9 +56,6 @@ fn main() {
         "memory bound witnesses: transform depth {}, largest buffered binding {} nodes",
         stats.transform.max_depth, stats.peak_buffer_nodes
     );
-    println!(
-        "first 200 chars:\n  {}…",
-        &result[..result.len().min(200)]
-    );
+    println!("first 200 chars:\n  {}…", &result[..result.len().min(200)]);
     assert!(!result.contains("creditcard"));
 }

@@ -8,7 +8,7 @@
 //! Run with: `cargo run --example update_virtual_view`
 
 use xust::compose::{compose, UserQuery};
-use xust::core::{evaluate, Method, parse_transform};
+use xust::core::{evaluate, parse_transform, Method};
 use xust::tree::Document;
 
 fn main() {

@@ -7,14 +7,21 @@
 //!                -i catalog.xml [--stream]
 //! xust generate  --factor 0.1 [--seed 1] -o xmark.xml
 //! xust validate  -i file.xml
+//! xust exec      -q <transform|@file> -i catalog.xml [--stats]
+//! xust serve     --doc db=catalog.xml --view 'public=@view.xq' [--port 7878 | --stdio]
 //! ```
 //!
 //! `-q`/`-u` accept either inline text or `@path/to/file`. Multi-update
 //! transforms (`modify do (u1, u2, …)`) are detected automatically and
 //! routed to the fused multi-automaton (DOM) or the streaming
 //! multi-pass (stream) evaluator.
+//!
+//! `exec` runs a transform through `xust-serve`'s adaptive planner
+//! (printing the chosen method with `--stats`); `serve` starts the
+//! concurrent view service speaking a line protocol over TCP or
+//! stdin/stdout (see [`serve_connection`]).
 
-use std::io::Write;
+use std::io::{BufRead, Write};
 use std::process::ExitCode;
 
 use xust::compose::{compose, compose_sax_files, compose_sax_str, UserQuery};
@@ -23,6 +30,7 @@ use xust::core::{
     two_pass_sax_files, two_pass_sax_str, LdStorage, Method, MultiTransformQuery, TransformQuery,
 };
 use xust::sax::SaxParser;
+use xust::serve::{Request, Server};
 use xust::tree::Document;
 use xust::xmark::{generate_to_file, XmarkConfig};
 
@@ -47,6 +55,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "compose" => cmd_compose(&opts),
         "generate" => cmd_generate(&opts),
         "validate" => cmd_validate(&opts),
+        "exec" => cmd_exec(&opts),
+        "serve" => cmd_serve(&opts),
         "help" | "--help" | "-h" => {
             println!("{}", USAGE.trim());
             Ok(())
@@ -61,6 +71,15 @@ usage:
   xust compose   -q <transform|@file> -u <user-query|@file> -i <input.xml> [-o <out.xml>] [--stream]
   xust generate  --factor <f> [--seed <n>] -o <out.xml>
   xust validate  -i <input.xml>
+  xust exec      -q <transform|@file> -i <input.xml> [-o <out.xml>] [--stats]
+  xust serve     [--doc <name>=<path>]… [--view <name>=<query|@file>]…
+                 [--port <p> | --stdio] [--threads <n>]
+
+serve protocol (one request per line, answers framed as `OK <len>`/`ERR <msg>`):
+  VIEW <view> <doc>               materialize a registered view
+  QUERY <view> <doc> <xquery…>    answer a user query over the virtual view
+  TRANSFORM <doc> <transform…>    run an ad-hoc transform (prepared cache + planner)
+  STATS | LIST | QUIT
 "#;
 
 /// Parsed command-line options (shared across subcommands).
@@ -74,6 +93,12 @@ struct Opts {
     stream: bool,
     factor: Option<f64>,
     seed: Option<u64>,
+    stats: bool,
+    stdio: bool,
+    port: Option<u16>,
+    threads: Option<usize>,
+    docs: Vec<(String, String)>,
+    views: Vec<(String, String)>,
 }
 
 impl Opts {
@@ -109,6 +134,27 @@ impl Opts {
                             .map_err(|e| format!("--seed: {e}"))?,
                     )
                 }
+                "--stats" => o.stats = true,
+                "--stdio" => o.stdio = true,
+                "--port" => {
+                    o.port = Some(
+                        value(a, &mut it)?
+                            .parse()
+                            .map_err(|e| format!("--port: {e}"))?,
+                    )
+                }
+                "--threads" => {
+                    o.threads = Some(
+                        value(a, &mut it)?
+                            .parse()
+                            .map_err(|e| format!("--threads: {e}"))?,
+                    )
+                }
+                "--doc" => o.docs.push(parse_pair("--doc", &value(a, &mut it)?)?),
+                "--view" => {
+                    let (name, v) = parse_pair("--view", &value(a, &mut it)?)?;
+                    o.views.push((name, load_arg(&v)?));
+                }
                 other => return Err(format!("unknown flag '{other}'")),
             }
         }
@@ -121,6 +167,16 @@ fn load_arg(v: &str) -> Result<String, String> {
     match v.strip_prefix('@') {
         Some(path) => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}")),
         None => Ok(v.to_string()),
+    }
+}
+
+/// Splits a `name=value` flag argument.
+fn parse_pair(flag: &str, v: &str) -> Result<(String, String), String> {
+    match v.split_once('=') {
+        Some((name, value)) if !name.is_empty() && !value.is_empty() => {
+            Ok((name.to_string(), value.to_string()))
+        }
+        _ => Err(format!("{flag} takes <name>=<value>, got '{v}'")),
     }
 }
 
@@ -185,8 +241,7 @@ fn cmd_transform(o: &Opts) -> Result<(), String> {
                     .map_err(|e| e.to_string())
             }
             (q, None) => {
-                let xml =
-                    std::fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))?;
+                let xml = std::fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))?;
                 let result = match q {
                     AnyTransform::Single(q) => two_pass_sax_str(&xml, q),
                     AnyTransform::Multi(q) => multi_two_pass_sax_str(&xml, q),
@@ -211,7 +266,9 @@ fn cmd_transform(o: &Opts) -> Result<(), String> {
         }
         (AnyTransform::Multi(q), "dom") => multi_top_down(&doc, q),
         (AnyTransform::Multi(_), m) => {
-            return Err(format!("multi-update transforms support --method dom|stream, not '{m}'"))
+            return Err(format!(
+                "multi-update transforms support --method dom|stream, not '{m}'"
+            ))
         }
         (_, m) => return Err(format!("unknown method '{m}' (dom|stream|naive|copy)")),
     };
@@ -233,8 +290,7 @@ fn cmd_compose(o: &Opts) -> Result<(), String> {
                 .map(|_| ())
                 .map_err(|e| e.to_string()),
             None => {
-                let xml =
-                    std::fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))?;
+                let xml = std::fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))?;
                 let result = compose_sax_str(&xml, &qt, &uq).map_err(|e| e.to_string())?;
                 emit(&None, &result)
             }
@@ -284,6 +340,173 @@ fn cmd_validate(o: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// `exec`: one-shot planned execution through the serving layer.
+fn cmd_exec(o: &Opts) -> Result<(), String> {
+    let query = require(&o.query, "-q <transform query>")?;
+    let input = require(&o.input, "-i <input.xml>")?;
+    let server = Server::builder().threads(o.threads.unwrap_or(1)).build();
+    // `--stream` keeps the input file-backed (the planner then routes to
+    // twoPassSAX); otherwise parse once so DOM methods are candidates.
+    if o.stream {
+        server
+            .load_doc_file("doc", input)
+            .map_err(|e| e.to_string())?;
+    } else {
+        let doc = Document::parse_file(input).map_err(|e| format!("{input}: {e}"))?;
+        server.load_doc("doc", doc);
+    }
+    let resp = server
+        .handle(&Request::Transform {
+            doc: "doc".into(),
+            query: query.into(),
+        })
+        .map_err(|e| e.to_string())?;
+    if o.stats {
+        let method = resp
+            .method
+            .map(|m| m.to_string())
+            .unwrap_or_else(|| "-".into());
+        eprintln!(
+            "method={method} micros={} cache_hit={}",
+            resp.micros, resp.cache_hit
+        );
+        eprintln!("{}", server.stats());
+    }
+    emit(&o.output, &resp.body)
+}
+
+/// `serve`: the concurrent view service over TCP or stdio.
+fn cmd_serve(o: &Opts) -> Result<(), String> {
+    if o.docs.is_empty() {
+        return Err("serve needs at least one --doc <name>=<path>".into());
+    }
+    let server = Server::builder().threads(o.threads.unwrap_or(4)).build();
+    for (name, path) in &o.docs {
+        // Documents small enough to parse eagerly are shared in memory;
+        // callers opting into streaming keep them file-backed.
+        if o.stream {
+            server
+                .load_doc_file(name, path)
+                .map_err(|e| e.to_string())?;
+        } else {
+            let doc = Document::parse_file(path).map_err(|e| format!("{path}: {e}"))?;
+            server.load_doc(name, doc);
+        }
+    }
+    for (name, query) in &o.views {
+        server
+            .register_view(name, query)
+            .map_err(|e| e.to_string())?;
+    }
+    if o.stdio || o.port.is_none() {
+        let stdin = std::io::stdin().lock();
+        let stdout = std::io::stdout().lock();
+        serve_connection(&server, stdin, stdout).map_err(|e| e.to_string())?;
+        return Ok(());
+    }
+    let port = o.port.expect("checked above");
+    let listener = std::net::TcpListener::bind(("127.0.0.1", port))
+        .map_err(|e| format!("bind 127.0.0.1:{port}: {e}"))?;
+    eprintln!(
+        "xust-serve listening on 127.0.0.1:{port} (docs: {}, views: {})",
+        server.doc_names().join(","),
+        server.view_names().join(",")
+    );
+    for conn in listener.incoming() {
+        // A failed accept (ECONNABORTED, EMFILE, …) affects one client;
+        // the daemon and its other connections must survive it.
+        let stream = match conn {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("xust-serve: accept failed: {e}");
+                continue;
+            }
+        };
+        let server = server.clone();
+        std::thread::spawn(move || {
+            let reader = std::io::BufReader::new(match stream.try_clone() {
+                Ok(s) => s,
+                Err(_) => return,
+            });
+            let _ = serve_connection(&server, reader, stream);
+        });
+    }
+    Ok(())
+}
+
+/// Drives one client connection of the line protocol (see `USAGE`).
+/// Returns when the client sends `QUIT` or closes the stream.
+fn serve_connection(
+    server: &Server,
+    reader: impl BufRead,
+    mut writer: impl Write,
+) -> std::io::Result<()> {
+    for line in reader.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.splitn(2, ' ');
+        let verb = parts.next().unwrap_or("");
+        let rest = parts.next().unwrap_or("").trim();
+        let reply: Result<String, String> = match verb {
+            "QUIT" => break,
+            "STATS" => Ok(server.stats().to_string()),
+            "LIST" => Ok(format!(
+                "docs: {}\nviews: {}",
+                server.doc_names().join(","),
+                server.view_names().join(",")
+            )),
+            "VIEW" => match rest.split_once(' ') {
+                Some((view, doc)) => server
+                    .handle(&Request::View {
+                        view: view.trim().into(),
+                        doc: doc.trim().into(),
+                    })
+                    .map(|r| r.body)
+                    .map_err(|e| e.to_string()),
+                None => Err("VIEW <view> <doc>".into()),
+            },
+            "QUERY" => {
+                let mut p = rest.splitn(3, ' ');
+                match (p.next(), p.next(), p.next()) {
+                    (Some(view), Some(doc), Some(query)) => server
+                        .handle(&Request::Query {
+                            view: view.into(),
+                            doc: doc.into(),
+                            query: query.into(),
+                        })
+                        .map(|r| r.body)
+                        .map_err(|e| e.to_string()),
+                    _ => Err("QUERY <view> <doc> <xquery…>".into()),
+                }
+            }
+            "TRANSFORM" => match rest.split_once(' ') {
+                Some((doc, query)) => server
+                    .handle(&Request::Transform {
+                        doc: doc.trim().into(),
+                        query: query.into(),
+                    })
+                    .map(|r| r.body)
+                    .map_err(|e| e.to_string()),
+                None => Err("TRANSFORM <doc> <transform…>".into()),
+            },
+            other => Err(format!("unknown verb '{other}'")),
+        };
+        match reply {
+            Ok(body) => {
+                writeln!(writer, "OK {}", body.len())?;
+                writer.write_all(body.as_bytes())?;
+                writer.write_all(b"\n")?;
+            }
+            Err(msg) => writeln!(writer, "ERR {}", msg.replace('\n', " "))?,
+        }
+        writer.flush()?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -329,6 +552,116 @@ mod tests {
         assert!(load_arg("@/no/such/file").is_err());
         assert_eq!(load_arg("inline").unwrap(), "inline");
         std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn parse_serve_flags() {
+        let o = Opts::parse(&s(&[
+            "--doc",
+            "db=catalog.xml",
+            "--doc",
+            "aux=other.xml",
+            "--view",
+            "public=inline query",
+            "--port",
+            "7878",
+            "--threads",
+            "8",
+            "--stats",
+            "--stdio",
+        ]))
+        .unwrap();
+        assert_eq!(o.docs.len(), 2);
+        assert_eq!(o.docs[0], ("db".into(), "catalog.xml".into()));
+        assert_eq!(o.views, vec![("public".into(), "inline query".into())]);
+        assert_eq!(o.port, Some(7878));
+        assert_eq!(o.threads, Some(8));
+        assert!(o.stats && o.stdio);
+        assert!(Opts::parse(&s(&["--doc", "nosign"])).is_err());
+        assert!(Opts::parse(&s(&["--view", "=empty"])).is_err());
+    }
+
+    #[test]
+    fn serve_connection_protocol() {
+        use std::io::Cursor;
+        let server = Server::builder().threads(2).build();
+        server
+            .load_doc_str("db", "<db><part><price>9</price><n>kb</n></part></db>")
+            .unwrap();
+        server
+            .register_view(
+                "public",
+                r#"transform copy $a := doc("db") modify do delete $a//price return $a"#,
+            )
+            .unwrap();
+        let input = concat!(
+            "LIST\n",
+            "VIEW public db\n",
+            "QUERY public db <out>{ for $x in doc(\"db\")/db/part return $x }</out>\n",
+            "TRANSFORM db transform copy $a := doc(\"db\") modify do rename $a/db/part as item return $a\n",
+            "VIEW missing db\n",
+            "STATS\n",
+            "nonsense\n",
+            "QUIT\n",
+            "VIEW public db\n", // after QUIT: never processed
+        );
+        let mut out = Vec::new();
+        serve_connection(&server, Cursor::new(input), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("OK "), "LIST: {}", lines[0]);
+        assert!(lines[1].contains("docs: db"));
+        let body = "<db><part><n>kb</n></part></db>";
+        assert_eq!(lines[3], format!("OK {}", body.len()));
+        assert_eq!(lines[4], body);
+        assert_eq!(lines[6], "<out><part><n>kb</n></part></out>");
+        assert!(text.contains("<item>"));
+        assert!(text.contains("ERR unknown view 'missing'"));
+        assert!(text.contains("cache: hits="));
+        assert!(text.contains("ERR unknown verb 'nonsense'"));
+        // QUIT stopped the loop: exactly one successful VIEW of 'public'.
+        assert_eq!(text.matches(&format!("OK {}", body.len())).count(), 1);
+    }
+
+    #[test]
+    fn exec_end_to_end() {
+        let dir = std::env::temp_dir();
+        let input = dir.join("xust_cli_exec_in.xml");
+        let output = dir.join("xust_cli_exec_out.xml");
+        std::fs::write(&input, "<db><part><price>9</price><n>kb</n></part></db>").unwrap();
+        run(&s(&[
+            "exec",
+            "-q",
+            r#"transform copy $a := doc("db") modify do delete $a//price return $a"#,
+            "-i",
+            input.to_str().unwrap(),
+            "-o",
+            output.to_str().unwrap(),
+            "--stats",
+        ]))
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&output).unwrap(),
+            "<db><part><n>kb</n></part></db>"
+        );
+        // Streaming variant produces the same bytes.
+        run(&s(&[
+            "exec",
+            "--stream",
+            "-q",
+            r#"transform copy $a := doc("db") modify do delete $a//price return $a"#,
+            "-i",
+            input.to_str().unwrap(),
+            "-o",
+            output.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&output).unwrap(),
+            "<db><part><n>kb</n></part></db>"
+        );
+        std::fs::remove_file(&input).ok();
+        std::fs::remove_file(&output).ok();
     }
 
     #[test]

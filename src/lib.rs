@@ -12,6 +12,7 @@ pub use xust_compose as compose;
 pub use xust_core as core;
 pub use xust_sax as sax;
 pub use xust_secview as secview;
+pub use xust_serve as serve;
 pub use xust_tree as tree;
 pub use xust_xmark as xmark;
 pub use xust_xpath as xpath;

@@ -138,11 +138,10 @@ proptest! {
         let mut got = Vec::new();
         for ev in &events {
             match ev {
-                SaxEvent::StartElement { name, .. } => {
-                    if sel.start_element(name) {
-                        got.push(name.clone());
-                    }
+                SaxEvent::StartElement { name, .. } if sel.start_element(name) => {
+                    got.push(name.clone());
                 }
+                SaxEvent::StartElement { .. } => {}
                 SaxEvent::EndElement(_) => sel.end_element(),
                 _ => {}
             }

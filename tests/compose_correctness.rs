@@ -40,9 +40,10 @@ fn arb_simple_path() -> impl Strategy<Value = String> {
         (0..LABELS.len(), 0..TEXTS.len())
             .prop_map(|(l, t)| format!("[{} = '{}']", LABELS[l], TEXTS[t])),
     ];
-    (
-        prop::collection::vec((step, proptest::option::of(qual), prop::bool::ANY), 1..4),
-    )
+    (prop::collection::vec(
+        (step, proptest::option::of(qual), prop::bool::ANY),
+        1..4,
+    ),)
         .prop_map(|(steps,)| {
             let mut out = String::from("r");
             for (s, q, desc) in steps {

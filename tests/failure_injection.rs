@@ -46,8 +46,8 @@ fn sax_depth_limit_defends_stack() {
 #[test]
 fn xpath_layer_rejects_malformed_paths() {
     for bad in [
-        "", "/", "//", "a/", "a//", "a[", "a[]", "a[b", "a]b", "a[b =]", "a[= 'x']",
-        "a[not b]", "a b", "a[@]", "$x/a",
+        "", "/", "//", "a/", "a//", "a[", "a[]", "a[b", "a]b", "a[b =]", "a[= 'x']", "a[not b]",
+        "a b", "a[@]", "$x/a",
     ] {
         assert!(parse_path(bad).is_err(), "X parser accepted: {bad:?}");
     }
@@ -133,13 +133,23 @@ fn empty_and_degenerate_documents() {
     let q = TransformQuery::delete("d", parse_path("//x").unwrap());
     // Empty document: every DOM method returns an empty document.
     let empty = Document::new();
-    for m in [Method::CopyUpdate, Method::Naive, Method::TopDown, Method::TwoPass] {
+    for m in [
+        Method::CopyUpdate,
+        Method::Naive,
+        Method::TopDown,
+        Method::TwoPass,
+    ] {
         let out = xust::core::evaluate(&empty, &q, m).unwrap();
         assert_eq!(out.root(), None, "{m}");
     }
     // Single-element document.
     let tiny = Document::parse("<x/>").unwrap();
-    for m in [Method::CopyUpdate, Method::Naive, Method::TopDown, Method::TwoPass] {
+    for m in [
+        Method::CopyUpdate,
+        Method::Naive,
+        Method::TopDown,
+        Method::TwoPass,
+    ] {
         let out = xust::core::evaluate(&tiny, &q, m).unwrap();
         assert_eq!(out.serialize(), "", "{m}: root x must be deleted");
     }

@@ -195,10 +195,9 @@ fn parse_multi_list_roundtrip() {
 
 #[test]
 fn parse_multi_accepts_single_update() {
-    let q = parse_multi_transform(
-        r#"transform copy $a := doc("T") modify do delete $a//x return $a"#,
-    )
-    .unwrap();
+    let q =
+        parse_multi_transform(r#"transform copy $a := doc("T") modify do delete $a//x return $a"#)
+            .unwrap();
     assert_eq!(q.updates.len(), 1);
 }
 

@@ -44,9 +44,10 @@ fn arb_path() -> impl Strategy<Value = String> {
         (0..LABELS.len(), 0..TEXTS.len())
             .prop_map(|(l, t)| format!("[{} = '{}']", LABELS[l], TEXTS[t])),
     ];
-    (
-        prop::collection::vec((step, proptest::option::of(qual), prop::bool::ANY), 1..3),
-    )
+    (prop::collection::vec(
+        (step, proptest::option::of(qual), prop::bool::ANY),
+        1..3,
+    ),)
         .prop_map(|(steps,)| {
             let mut out = String::from("r");
             for (s, q, desc) in steps {

@@ -1,0 +1,263 @@
+//! Concurrency tests for `xust-serve`: eight client threads hammer one
+//! server, and the prepared-cache stats must prove that parsing and NFA
+//! construction happened once per distinct query — everything else was
+//! a cache hit — while all threads observed identical, correct results.
+
+use std::sync::Arc;
+use std::thread;
+
+use xust::serve::{Request, Server};
+use xust::tree::Document;
+use xust::xmark::{generate, XmarkConfig};
+
+const THREADS: usize = 8;
+const REQUESTS_PER_THREAD: usize = 25;
+
+const DEL_PRICE: &str = r#"transform copy $a := doc("db") modify do delete $a//price return $a"#;
+
+fn catalog_xml() -> String {
+    let mut parts = String::from("<db>");
+    for i in 0..40 {
+        parts.push_str(&format!(
+            "<part><pname>p{i}</pname><supplier><sname>s{}</sname><price>{}</price></supplier></part>",
+            i % 7,
+            5 + i
+        ));
+    }
+    parts.push_str("</db>");
+    parts
+}
+
+#[test]
+fn eight_threads_share_one_compilation() {
+    let server = Server::builder().threads(THREADS).build();
+    server.load_doc_str("db", &catalog_xml()).unwrap();
+    let server = Arc::new(server);
+
+    let expected = {
+        let r = server
+            .handle(&Request::Transform {
+                doc: "db".into(),
+                query: DEL_PRICE.into(),
+            })
+            .unwrap();
+        r.body
+    };
+    assert!(!expected.contains("<price>"));
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let server = Arc::clone(&server);
+            let expected = expected.clone();
+            thread::spawn(move || {
+                let mut hits = 0usize;
+                for _ in 0..REQUESTS_PER_THREAD {
+                    let r = server
+                        .handle(&Request::Transform {
+                            doc: "db".into(),
+                            query: DEL_PRICE.into(),
+                        })
+                        .unwrap();
+                    assert_eq!(r.body, expected, "all threads see identical results");
+                    if r.cache_hit {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        })
+        .collect();
+    let hits: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    // Every concurrent request was a cache hit (the warm-up request
+    // above did the one and only compile).
+    assert_eq!(hits, THREADS * REQUESTS_PER_THREAD);
+
+    let snap = server.stats();
+    assert_eq!(
+        snap.compiles, 1,
+        "exactly one parse+NFA construction for {} requests",
+        snap.requests
+    );
+    assert_eq!(snap.cache_hits, (THREADS * REQUESTS_PER_THREAD) as u64);
+    assert_eq!(snap.cache_misses, 1);
+    assert_eq!(snap.requests, (THREADS * REQUESTS_PER_THREAD + 1) as u64);
+    assert_eq!(snap.failures, 0);
+}
+
+#[test]
+fn eight_threads_race_a_cold_cache_single_flight() {
+    // No warm-up: all eight threads race the same cold key. The
+    // single-flight cache must compile exactly once.
+    let server = Server::builder().threads(THREADS).build();
+    server.load_doc_str("db", &catalog_xml()).unwrap();
+    let server = Arc::new(server);
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let server = Arc::clone(&server);
+            thread::spawn(move || {
+                for _ in 0..REQUESTS_PER_THREAD {
+                    server
+                        .handle(&Request::Transform {
+                            doc: "db".into(),
+                            query: DEL_PRICE.into(),
+                        })
+                        .unwrap();
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let snap = server.stats();
+    assert_eq!(snap.compiles, 1, "cold-start race still compiles once");
+    assert_eq!(snap.cache_misses, 1);
+    assert_eq!(snap.cache_hits, (THREADS * REQUESTS_PER_THREAD - 1) as u64);
+}
+
+#[test]
+fn concurrent_composed_queries_against_a_registered_view() {
+    let server = Server::builder().threads(THREADS).build();
+    server.load_doc_str("db", &catalog_xml()).unwrap();
+    server.register_view("public", DEL_PRICE).unwrap();
+    let server = Arc::new(server);
+    let user = r#"<out>{ for $x in doc("db")/db/part/supplier return $x }</out>"#;
+
+    let expected = server
+        .handle(&Request::Query {
+            view: "public".into(),
+            doc: "db".into(),
+            query: user.into(),
+        })
+        .unwrap()
+        .body;
+    assert!(expected.contains("<sname>"));
+    assert!(!expected.contains("<price>"));
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let server = Arc::clone(&server);
+            let expected = expected.clone();
+            thread::spawn(move || {
+                for _ in 0..REQUESTS_PER_THREAD {
+                    let r = server
+                        .handle(&Request::Query {
+                            view: "public".into(),
+                            doc: "db".into(),
+                            query: user.into(),
+                        })
+                        .unwrap();
+                    assert!(r.cache_hit);
+                    assert_eq!(r.body, expected);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let snap = server.stats();
+    assert_eq!(snap.compositions, 1, "one composition for all requests");
+    assert_eq!(
+        snap.query_requests,
+        (THREADS * REQUESTS_PER_THREAD + 1) as u64
+    );
+    // The view itself was compiled once, at registration.
+    assert_eq!(server.registration_compiles(), 1);
+}
+
+#[test]
+fn batched_multi_document_entry_point() {
+    let server = Server::builder().threads(THREADS).build();
+    // Two XMark documents of different sizes plus the toy catalog.
+    server.load_doc("x1", generate(XmarkConfig::new(0.001)));
+    server.load_doc("x2", generate(XmarkConfig::new(0.002).with_seed(7)));
+    server.load_doc_str("db", &catalog_xml()).unwrap();
+    server
+        .register_view(
+            "nopeople",
+            r#"transform copy $a := doc("xmark") modify do delete $a/site/people return $a"#,
+        )
+        .unwrap();
+
+    let batch: Vec<Request> = vec![
+        Request::View {
+            view: "nopeople".into(),
+            doc: "x1".into(),
+        },
+        Request::View {
+            view: "nopeople".into(),
+            doc: "x2".into(),
+        },
+        Request::Transform {
+            doc: "db".into(),
+            query: DEL_PRICE.into(),
+        },
+        Request::Query {
+            view: "nopeople".into(),
+            doc: "x1".into(),
+            query: r#"<r>{ for $x in doc("xmark")/site/regions return $x }</r>"#.into(),
+        },
+    ];
+    let results = server.execute_batch(batch);
+    assert_eq!(results.len(), 4);
+    let v1 = results[0].as_ref().unwrap();
+    let v2 = results[1].as_ref().unwrap();
+    assert!(!v1.body.contains("<people>"));
+    assert!(!v2.body.contains("<people>"));
+    assert_ne!(v1.body, v2.body, "different documents, different views");
+    assert!(!results[2].as_ref().unwrap().body.contains("<price>"));
+    assert!(results[3].as_ref().unwrap().body.starts_with("<r>"));
+    assert_eq!(server.stats().batches, 1);
+
+    // The same documents validate against the baseline: the view equals
+    // the direct evaluation of the same transform.
+    let direct = xust::core::evaluate_str(
+        &generate(XmarkConfig::new(0.001)),
+        r#"transform copy $a := doc("xmark") modify do delete $a/site/people return $a"#,
+        xust::core::Method::Naive,
+    )
+    .unwrap();
+    assert_eq!(v1.body, direct.serialize());
+}
+
+#[test]
+fn documents_shared_without_copies_survive_concurrent_reads() {
+    // An Arc-shared document served to readers while other threads load
+    // *other* documents — the store must never block readers on writers
+    // for unrelated names.
+    let server = Server::builder().threads(4).build();
+    server.load_doc_str("db", &catalog_xml()).unwrap();
+    let server = Arc::new(server);
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let server = Arc::clone(&server);
+            thread::spawn(move || {
+                for _ in 0..20 {
+                    let r = server
+                        .handle(&Request::Transform {
+                            doc: "db".into(),
+                            query: DEL_PRICE.into(),
+                        })
+                        .unwrap();
+                    assert!(!r.body.contains("<price>"));
+                }
+            })
+        })
+        .collect();
+    let writer = {
+        let server = Arc::clone(&server);
+        thread::spawn(move || {
+            for i in 0..20 {
+                let doc = Document::parse(&format!("<d><v>{i}</v></d>")).unwrap();
+                server.load_doc(format!("scratch{i}"), doc);
+            }
+        })
+    };
+    for r in readers {
+        r.join().unwrap();
+    }
+    writer.join().unwrap();
+    assert!(server.doc_names().len() >= 21);
+}

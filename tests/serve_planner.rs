@@ -1,0 +1,160 @@
+//! Planner correctness property: whatever method the adaptive planner
+//! picks — including as its latency model warms up and its exploration
+//! turns kick in — the served result must be byte-identical to the
+//! NAIVE reference evaluation on random XMark documents.
+
+use proptest::prelude::*;
+
+use xust::core::{evaluate, Method, TransformQuery};
+use xust::serve::{Request, Server};
+use xust::tree::Document;
+use xust::xmark::{generate, XmarkConfig};
+use xust::xpath::parse_path;
+
+/// Workload-shaped paths over the XMark schema (subset of Fig. 11 plus
+/// shape variants: no qualifier, qualifier, descendant, wildcard).
+const PATHS: [&str; 8] = [
+    "/site/people/person",
+    "/site/people/person[profile/age > 20]",
+    "/site/regions//item",
+    "/site//description",
+    "/site/regions//item[location = \"United States\"]",
+    "/site/open_auctions/open_auction[initial > 10]/bidder",
+    "/site/*/person",
+    "/site/closed_auctions/closed_auction/annotation",
+];
+
+fn build_query(path: &str, op: u8) -> TransformQuery {
+    let p = parse_path(path).expect("workload paths parse");
+    let e = Document::parse("<mark><by>planner</by></mark>").unwrap();
+    match op {
+        0 => TransformQuery::delete("xmark", p),
+        1 => TransformQuery::insert("xmark", p, e),
+        2 => TransformQuery::replace("xmark", p, e),
+        _ => TransformQuery::rename("xmark", p, "renamed"),
+    }
+}
+
+fn transform_syntax(path: &str, op: u8) -> String {
+    match op {
+        0 => format!(r#"transform copy $a := doc("xmark") modify do delete $a{path} return $a"#),
+        1 => format!(
+            r#"transform copy $a := doc("xmark") modify do insert <mark><by>planner</by></mark> into $a{path} return $a"#
+        ),
+        2 => format!(
+            r#"transform copy $a := doc("xmark") modify do replace $a{path} with <mark><by>planner</by></mark> return $a"#
+        ),
+        _ => format!(
+            r#"transform copy $a := doc("xmark") modify do rename $a{path} as renamed return $a"#
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 20, ..ProptestConfig::default() })]
+
+    /// Random XMark document (factor × seed), random workload path and
+    /// update kind: the server's planner-chosen execution must be
+    /// byte-identical to `Method::Naive`, on the first (cold) request
+    /// and on warmed-up repeats where the latency feedback and the
+    /// exploration schedule may have moved the choice.
+    #[test]
+    fn planner_choice_is_byte_identical_to_naive(
+        factor in prop::sample::select(vec![0.001f64, 0.002, 0.003]),
+        seed in 0u64..3,
+        path_idx in 0usize..PATHS.len(),
+        op in 0u8..4,
+    ) {
+        let doc = generate(XmarkConfig::new(factor).with_seed(seed));
+        let q = build_query(PATHS[path_idx], op);
+        let reference = evaluate(&doc, &q, Method::Naive).unwrap().serialize();
+
+        let server = Server::builder().threads(1).build();
+        server.load_doc("xmark", doc);
+        let request = Request::Transform {
+            doc: "xmark".into(),
+            query: transform_syntax(PATHS[path_idx], op),
+        };
+        let mut seen_methods = Vec::new();
+        for round in 0..6 {
+            let resp = server.handle(&request).unwrap();
+            prop_assert_eq!(
+                &resp.body,
+                &reference,
+                "round {} chose {:?} for {} (op {})",
+                round,
+                resp.method,
+                PATHS[path_idx],
+                op
+            );
+            if let Some(m) = resp.method {
+                if !seen_methods.contains(&m) {
+                    seen_methods.push(m);
+                }
+            }
+        }
+        // Sanity: the syntax round-trip really produced the same query.
+        let parsed = xust::core::parse_transform(&transform_syntax(PATHS[path_idx], op)).unwrap();
+        prop_assert_eq!(parsed.path.to_string(), q.path.to_string());
+        // The planner only ever picks real candidates.
+        for m in seen_methods {
+            prop_assert!(m != Method::NaiveXQuery, "NaiveXQuery is not a serving candidate");
+        }
+    }
+}
+
+#[test]
+fn feedback_converges_on_the_observed_fastest_method() {
+    use std::time::Duration;
+    use xust::core::QueryCost;
+    use xust::serve::{AdaptivePlanner, DocShape, PlannerConfig};
+
+    let planner = AdaptivePlanner::new(PlannerConfig {
+        explore_every: 0,
+        ..PlannerConfig::default()
+    });
+    let cost = QueryCost::of_path(&parse_path("//item[location = 'x']").unwrap());
+    let shape = DocShape::InMemory { nodes: 50_000 };
+    // Feed synthetic latencies: TopDown fast, TwoPass slow.
+    for _ in 0..10 {
+        planner.record(Method::TwoPass, shape, Duration::from_millis(80));
+        planner.record(Method::TopDown, shape, Duration::from_millis(8));
+    }
+    assert_eq!(planner.choose(&cost, shape), Method::TopDown);
+    // Reverse the evidence; the EWMA must eventually flip the choice.
+    for _ in 0..40 {
+        planner.record(Method::TwoPass, shape, Duration::from_millis(2));
+        planner.record(Method::TopDown, shape, Duration::from_millis(90));
+    }
+    assert_eq!(planner.choose(&cost, shape), Method::TwoPass);
+}
+
+#[test]
+fn streamed_file_requests_match_naive_too() {
+    // The file-backed path routes through twoPassSAX; its serialized
+    // output must equal the DOM reference byte for byte.
+    let xml = {
+        let cfg = XmarkConfig::new(0.001).with_seed(11);
+        xust::xmark::generate_string(cfg)
+    };
+    let dir = std::env::temp_dir();
+    let path = dir.join("xust_serve_planner_stream.xml");
+    std::fs::write(&path, &xml).unwrap();
+
+    let server = Server::builder().threads(1).build();
+    server.load_doc_file("xmark", &path).unwrap();
+    let q = transform_syntax("/site/people/person[profile/age > 20]", 0);
+    let resp = server
+        .handle(&Request::Transform {
+            doc: "xmark".into(),
+            query: q.clone(),
+        })
+        .unwrap();
+    assert_eq!(resp.method, Some(Method::TwoPassSax));
+
+    let doc = Document::parse(&xml).unwrap();
+    let parsed = xust::core::parse_transform(&q).unwrap();
+    let reference = evaluate(&doc, &parsed, Method::Naive).unwrap().serialize();
+    assert_eq!(resp.body, reference);
+    std::fs::remove_file(&path).ok();
+}

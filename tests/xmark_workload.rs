@@ -41,7 +41,12 @@ fn all_methods_agree_on_all_workload_queries() {
         let q = insert_query(path);
         let reference = evaluate(&doc, &q, Method::CopyUpdate).unwrap();
         // NaiveXQuery is exercised separately (it is slow at this size).
-        for m in [Method::Naive, Method::TopDown, Method::TwoPass, Method::TwoPassSax] {
+        for m in [
+            Method::Naive,
+            Method::TopDown,
+            Method::TwoPass,
+            Method::TwoPassSax,
+        ] {
             let got = evaluate(&doc, &q, m).unwrap();
             assert!(
                 docs_eq(&reference, &got),
@@ -58,7 +63,12 @@ fn delete_variants_agree_too() {
     for path in [WORKLOAD[1], WORKLOAD[6], WORKLOAD[8]] {
         let q = TransformQuery::delete("xmark", parse_path(path).unwrap());
         let reference = evaluate(&doc, &q, Method::CopyUpdate).unwrap();
-        for m in [Method::Naive, Method::TopDown, Method::TwoPass, Method::TwoPassSax] {
+        for m in [
+            Method::Naive,
+            Method::TopDown,
+            Method::TwoPass,
+            Method::TwoPassSax,
+        ] {
             let got = evaluate(&doc, &q, m).unwrap();
             assert!(docs_eq(&reference, &got), "{path}: {m} disagrees");
         }
@@ -169,19 +179,15 @@ fn insert_positions_agree_on_workload_sample() {
     let e = Document::parse("<mark/>").unwrap();
     // U2 (point), U4 (descendant), U9 (descendant + qualifier).
     for path in [WORKLOAD[1], WORKLOAD[3], WORKLOAD[8]] {
-        for pos in [
-            InsertPos::FirstInto,
-            InsertPos::Before,
-            InsertPos::After,
-        ] {
-            let q = TransformQuery::insert_at(
-                "xmark",
-                parse_path(path).unwrap(),
-                e.clone(),
-                pos,
-            );
+        for pos in [InsertPos::FirstInto, InsertPos::Before, InsertPos::After] {
+            let q = TransformQuery::insert_at("xmark", parse_path(path).unwrap(), e.clone(), pos);
             let reference = evaluate(&doc, &q, Method::CopyUpdate).unwrap();
-            for m in [Method::Naive, Method::TopDown, Method::TwoPass, Method::TwoPassSax] {
+            for m in [
+                Method::Naive,
+                Method::TopDown,
+                Method::TwoPass,
+                Method::TwoPassSax,
+            ] {
                 let got = evaluate(&doc, &q, m).unwrap();
                 assert!(
                     docs_eq(&reference, &got),
@@ -194,7 +200,9 @@ fn insert_positions_agree_on_workload_sample() {
 
 #[test]
 fn multi_update_workload_dom_and_stream_agree() {
-    use xust::core::{multi_snapshot, multi_top_down, multi_two_pass_sax_str, MultiTransformQuery, UpdateOp};
+    use xust::core::{
+        multi_snapshot, multi_top_down, multi_two_pass_sax_str, MultiTransformQuery, UpdateOp,
+    };
     let doc = small_doc();
     let mq = MultiTransformQuery::new(
         "xmark",
@@ -222,7 +230,11 @@ fn multi_update_workload_dom_and_stream_agree() {
     let fused = multi_top_down(&doc, &mq);
     assert!(docs_eq(&reference, &fused), "fused multi deviates on XMark");
     let streamed = multi_two_pass_sax_str(&doc.serialize(), &mq).unwrap();
-    assert_eq!(streamed, reference.serialize(), "streamed multi deviates on XMark");
+    assert_eq!(
+        streamed,
+        reference.serialize(),
+        "streamed multi deviates on XMark"
+    );
     assert!(!streamed.contains("creditcard"));
     assert!(streamed.contains("<archive>"));
 }

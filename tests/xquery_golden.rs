@@ -27,12 +27,15 @@ fn run(q: &str) -> String {
 fn golden_queries() {
     let cases: &[(&str, &str)] = &[
         // paths and predicates
-        (r#"doc("shop")/db/part/pname"#, "<pname>keyboard</pname><pname>mouse</pname>"),
-        (r#"doc("shop")//sname"#, "<sname>HP</sname><sname>IBM</sname>"),
         (
-            r#"doc("shop")/db/part[pname = 'mouse']/@id"#,
-            "id=\"p2\"",
+            r#"doc("shop")/db/part/pname"#,
+            "<pname>keyboard</pname><pname>mouse</pname>",
         ),
+        (
+            r#"doc("shop")//sname"#,
+            "<sname>HP</sname><sname>IBM</sname>",
+        ),
+        (r#"doc("shop")/db/part[pname = 'mouse']/@id"#, "id=\"p2\""),
         (
             r#"doc("shop")//supplier[price < 15]/sname"#,
             "<sname>HP</sname>",

@@ -1,0 +1,391 @@
+#![warn(missing_docs)]
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the subset of criterion's API that the `xust-bench` benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup`] configuration
+//! (`sample_size`, `warm_up_time`, `measurement_time`, `throughput`),
+//! `bench_function`/`bench_with_input`, [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`Throughput`],
+//! [`BatchSize`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: after one warm-up batch, each
+//! benchmark runs `sample_size` timed iterations (or until twice the
+//! configured measurement time elapses) and reports min / mean / max
+//! wall-clock per iteration, plus throughput when configured. Set
+//! `CRITERION_SAMPLES` to override sample counts globally. `--test`
+//! (passed by `cargo test` to `harness = false` targets) runs every
+//! benchmark exactly once, unmeasured.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup cost. Only a naming-compatibility
+/// shim here: every batch has size 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One invocation per batch.
+    PerIteration,
+}
+
+/// Units for reported throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A `function / parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Labels a benchmark `function` with a `parameter` value.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Labels a benchmark by parameter only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (f, Some(p)) if f.is_empty() => p.clone(),
+            (f, Some(p)) => format!("{f}/{p}"),
+            (f, None) => f.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            function: s.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId {
+            function: s,
+            parameter: None,
+        }
+    }
+}
+
+/// The top-level harness handle passed to benchmark functions.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+            throughput: None,
+            test_mode: self.test_mode,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, |b| f(b));
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement-time budget (a soft cap here).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget (a soft cap here).
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Declares per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream writes reports here; this prints nothing).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: BenchmarkId, f: &mut dyn FnMut(&mut Bencher)) {
+        let label = if self.name.is_empty() {
+            id.render()
+        } else {
+            format!("{}/{}", self.name, id.render())
+        };
+        let samples = match std::env::var("CRITERION_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            Some(n) => n.max(1),
+            None => self.sample_size,
+        };
+        let mut b = Bencher {
+            durations: Vec::with_capacity(samples),
+            test_mode: true,
+            samples: 1,
+            budget: self.warm_up_time,
+        };
+        // Warm-up / test-mode pass: one untimed iteration.
+        f(&mut b);
+        if self.test_mode {
+            println!("bench {label}: ok (test mode, 1 iteration)");
+            return;
+        }
+        b = Bencher {
+            durations: Vec::with_capacity(samples),
+            test_mode: false,
+            samples,
+            budget: self.measurement_time * 2,
+        };
+        f(&mut b);
+        report(&label, &b.durations, self.throughput);
+    }
+}
+
+fn report(label: &str, durations: &[Duration], throughput: Option<Throughput>) {
+    if durations.is_empty() {
+        println!("bench {label}: no samples collected");
+        return;
+    }
+    let min = durations.iter().min().unwrap();
+    let max = durations.iter().max().unwrap();
+    let total: Duration = durations.iter().sum();
+    let mean = total / durations.len() as u32;
+    let tp = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let mbps = n as f64 / mean.as_secs_f64() / 1e6;
+            format!("  thrpt: {mbps:.1} MB/s")
+        }
+        Some(Throughput::Elements(n)) => {
+            let eps = n as f64 / mean.as_secs_f64();
+            format!("  thrpt: {eps:.0} elem/s")
+        }
+        None => String::new(),
+    };
+    println!(
+        "bench {label}: time [{} .. {} .. {}] ({} samples){tp}",
+        fmt_dur(*min),
+        fmt_dur(mean),
+        fmt_dur(*max),
+        durations.len()
+    );
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Runs and times the measured routine.
+pub struct Bencher {
+    durations: Vec<Duration>,
+    test_mode: bool,
+    samples: usize,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let started = Instant::now();
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            black_box(routine());
+            self.durations.push(t.elapsed());
+            if self.test_mode || started.elapsed() > self.budget {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let started = Instant::now();
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.durations.push(t.elapsed());
+            if self.test_mode || started.elapsed() > self.budget {
+                break;
+            }
+        }
+    }
+}
+
+/// Declares a benchmark group function compatible with upstream
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the `main` function running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", "p").render(), "f/p");
+        assert_eq!(BenchmarkId::from("solo").render(), "solo");
+        assert_eq!(BenchmarkId::from_parameter(7).render(), "7");
+    }
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion { test_mode: false };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let mut runs = 0;
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        g.finish();
+        // warm-up (1) + samples (3)
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn iter_batched_separates_setup() {
+        let mut c = Criterion { test_mode: false };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        let mut setups = 0;
+        let mut routines = 0;
+        g.bench_with_input(BenchmarkId::new("b", 1), &5, |b, _| {
+            b.iter_batched(|| setups += 1, |()| routines += 1, BatchSize::LargeInput)
+        });
+        assert_eq!(setups, 3);
+        assert_eq!(routines, 3);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(50);
+        let mut runs = 0;
+        g.bench_function("once", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+}

@@ -1,0 +1,270 @@
+#![warn(missing_docs)]
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the subset of proptest that its property tests use: the [`Strategy`]
+//! trait with `prop_map`/`prop_recursive`/`boxed`, range and tuple
+//! strategies, [`collection::vec`], [`option::of`], [`sample::select`],
+//! `bool::ANY`, [`Just`], the [`proptest!`]/[`prop_oneof!`]/
+//! [`prop_assert!`]/[`prop_assert_eq!`] macros, and
+//! [`test_runner::ProptestConfig`].
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case reports its inputs (via the test's
+//!   own assertion message) but is not minimised;
+//! * **deterministic seeding** — each test derives its RNG seed from its
+//!   module path and name, so runs are reproducible without a
+//!   `proptest-regressions` directory. Set `PROPTEST_CASES` to cap the
+//!   number of cases per test (useful for quick CI runs).
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+
+/// Strategies over `Option<T>`.
+pub mod option {
+    use crate::strategy::{OptionOf, Strategy};
+
+    /// Yields `None` half the time and `Some(inner)` the other half.
+    pub fn of<S: Strategy>(inner: S) -> OptionOf<S> {
+        OptionOf { inner }
+    }
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// Vectors of `element` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Strategies over `bool`.
+pub mod bool {
+    /// Uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The canonical instance of [`Any`].
+    pub const ANY: Any = Any;
+
+    impl crate::strategy::Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut crate::test_runner::TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Strategies that sample from explicit value lists.
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Picks one element of `values` uniformly per case.
+    pub fn select<T: Clone + 'static>(values: Vec<T>) -> Select<T> {
+        assert!(
+            !values.is_empty(),
+            "sample::select needs at least one value"
+        );
+        Select { values }
+    }
+
+    /// See [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        values: Vec<T>,
+    }
+
+    impl<T: Clone + 'static> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.values[rng.below(self.values.len())].clone()
+        }
+    }
+}
+
+/// Everything a property test needs, glob-importable.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current
+/// case (not panicking) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+),
+            l,
+            r
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Uniform choice between several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, …) { body }`
+/// becomes a `#[test]` that runs the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat in $strategy:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let cases = config.effective_cases();
+                let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                    module_path!(), "::", stringify!($name),
+                ));
+                for case in 0..cases {
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $(
+                                let $arg =
+                                    $crate::strategy::Strategy::generate(&($strategy), &mut rng);
+                            )+
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        ::std::panic!(
+                            "proptest case {}/{} of {} failed: {}",
+                            case + 1,
+                            cases,
+                            stringify!($name),
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_tree() -> impl Strategy<Value = usize> {
+        (1usize..4).prop_recursive(3, 16, 4, |inner| {
+            (1usize..4, prop::collection::vec(inner, 0..3))
+                .prop_map(|(n, kids)| n + kids.into_iter().sum::<usize>())
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        /// Doc comments on cases must be accepted.
+        #[test]
+        fn ranges_and_tuples(a in 0usize..10, (b, c) in (0u8..7, prop::bool::ANY)) {
+            prop_assert!(a < 10);
+            prop_assert!(b < 7, "b out of range: {}", b);
+            let _ = c;
+        }
+
+        #[test]
+        fn combinators(v in prop::collection::vec(prop_oneof![Just(1), Just(2)], 1..5),
+                       o in prop::option::of(0..3usize),
+                       s in prop::sample::select(vec!["x", "y"])) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|x| *x == 1 || *x == 2));
+            if let Some(i) = o { prop_assert!(i < 3); }
+            prop_assert!(s == "x" || s == "y");
+        }
+
+        #[test]
+        fn recursion_terminates(n in small_tree()) {
+            prop_assert!(n >= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::for_test("fixed");
+        let mut b = crate::test_runner::TestRng::for_test("fixed");
+        let sa: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failures_panic_with_context() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(1))]
+            fn always_fails(x in 0usize..1) {
+                prop_assert!(x > 0, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

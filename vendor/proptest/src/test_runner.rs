@@ -1,0 +1,113 @@
+//! Test configuration and the deterministic case RNG.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Per-test configuration. Only `cases` is meaningful in this stand-in;
+/// the struct still supports functional-update syntax
+/// (`ProptestConfig { cases: 128, ..ProptestConfig::default() }`) for
+/// source compatibility with upstream.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Accepted for upstream compatibility; this stand-in never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+
+    /// `cases`, capped by the `PROPTEST_CASES` environment variable when
+    /// set (for fast CI smoke runs).
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            Some(cap) => self.cases.min(cap),
+            None => self.cases,
+        }
+    }
+}
+
+/// A failed test case (carries the assertion message).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Wraps a failure message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError(message.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<String> for TestCaseError {
+    fn from(s: String) -> TestCaseError {
+        TestCaseError(s)
+    }
+}
+
+/// The RNG driving generation: seeded from the test's fully-qualified
+/// name so every run of a given test replays the same cases.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Creates the RNG for the named test.
+    pub fn for_test(name: &str) -> TestRng {
+        // FNV-1a over the test name gives a stable, well-mixed seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform draw from `0..bound` (`bound > 0`).
+    pub fn below(&mut self, bound: usize) -> usize {
+        self.below_u64(bound as u64) as usize
+    }
+
+    /// Uniform draw from `0..bound` (`bound > 0`).
+    pub fn below_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below: zero bound");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// The underlying entropy source, for `rand`-generic samplers.
+    pub fn core(&mut self) -> &mut dyn RngCore {
+        &mut self.inner
+    }
+}
