@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/automata_equivalence-0edd41fadb78feb9.d: tests/automata_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libautomata_equivalence-0edd41fadb78feb9.rmeta: tests/automata_equivalence.rs Cargo.toml
+
+tests/automata_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

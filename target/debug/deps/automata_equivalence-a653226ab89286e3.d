@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/automata_equivalence-a653226ab89286e3.d: tests/automata_equivalence.rs
+
+/root/repo/target/debug/deps/automata_equivalence-a653226ab89286e3: tests/automata_equivalence.rs
+
+tests/automata_equivalence.rs:

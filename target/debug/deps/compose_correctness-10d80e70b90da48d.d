@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compose_correctness-10d80e70b90da48d.d: tests/compose_correctness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompose_correctness-10d80e70b90da48d.rmeta: tests/compose_correctness.rs Cargo.toml
+
+tests/compose_correctness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

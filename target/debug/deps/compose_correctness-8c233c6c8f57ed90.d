@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compose_correctness-8c233c6c8f57ed90.d: tests/compose_correctness.rs
+
+/root/repo/target/debug/deps/compose_correctness-8c233c6c8f57ed90: tests/compose_correctness.rs
+
+tests/compose_correctness.rs:

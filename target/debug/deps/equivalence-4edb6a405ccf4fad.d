@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-4edb6a405ccf4fad.d: tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-4edb6a405ccf4fad: tests/equivalence.rs
+
+tests/equivalence.rs:

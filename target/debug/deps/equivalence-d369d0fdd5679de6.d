@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equivalence-d369d0fdd5679de6.d: tests/equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequivalence-d369d0fdd5679de6.rmeta: tests/equivalence.rs Cargo.toml
+
+tests/equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-e2f1be9e81810829.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-e2f1be9e81810829: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

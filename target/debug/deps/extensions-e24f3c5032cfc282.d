@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-e24f3c5032cfc282.d: crates/bench/benches/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-e24f3c5032cfc282.rmeta: crates/bench/benches/extensions.rs Cargo.toml
+
+crates/bench/benches/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-30e3e4a1a980a429.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-30e3e4a1a980a429: tests/failure_injection.rs
+
+tests/failure_injection.rs:

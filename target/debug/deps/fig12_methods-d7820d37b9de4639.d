@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_methods-d7820d37b9de4639.d: crates/bench/benches/fig12_methods.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_methods-d7820d37b9de4639.rmeta: crates/bench/benches/fig12_methods.rs Cargo.toml
+
+crates/bench/benches/fig12_methods.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

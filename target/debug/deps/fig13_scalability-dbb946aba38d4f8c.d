@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_scalability-dbb946aba38d4f8c.d: crates/bench/benches/fig13_scalability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_scalability-dbb946aba38d4f8c.rmeta: crates/bench/benches/fig13_scalability.rs Cargo.toml
+
+crates/bench/benches/fig13_scalability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

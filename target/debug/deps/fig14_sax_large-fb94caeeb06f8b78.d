@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_sax_large-fb94caeeb06f8b78.d: crates/bench/benches/fig14_sax_large.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_sax_large-fb94caeeb06f8b78.rmeta: crates/bench/benches/fig14_sax_large.rs Cargo.toml
+
+crates/bench/benches/fig14_sax_large.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_compose-2659a7b4f8ffc536.d: crates/bench/benches/fig15_compose.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_compose-2659a7b4f8ffc536.rmeta: crates/bench/benches/fig15_compose.rs Cargo.toml
+
+crates/bench/benches/fig15_compose.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

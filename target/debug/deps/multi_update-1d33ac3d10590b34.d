@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multi_update-1d33ac3d10590b34.d: tests/multi_update.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulti_update-1d33ac3d10590b34.rmeta: tests/multi_update.rs Cargo.toml
+
+tests/multi_update.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

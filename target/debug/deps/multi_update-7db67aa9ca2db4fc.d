@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_update-7db67aa9ca2db4fc.d: tests/multi_update.rs
+
+/root/repo/target/debug/deps/multi_update-7db67aa9ca2db4fc: tests/multi_update.rs
+
+tests/multi_update.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sax_roundtrip-44c8802cf5455c21.d: tests/sax_roundtrip.rs
+
+/root/repo/target/debug/deps/sax_roundtrip-44c8802cf5455c21: tests/sax_roundtrip.rs
+
+tests/sax_roundtrip.rs:

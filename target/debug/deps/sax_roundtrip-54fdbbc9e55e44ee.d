@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sax_roundtrip-54fdbbc9e55e44ee.d: tests/sax_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsax_roundtrip-54fdbbc9e55e44ee.rmeta: tests/sax_roundtrip.rs Cargo.toml
+
+tests/sax_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

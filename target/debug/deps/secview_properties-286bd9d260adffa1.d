@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/secview_properties-286bd9d260adffa1.d: tests/secview_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsecview_properties-286bd9d260adffa1.rmeta: tests/secview_properties.rs Cargo.toml
+
+tests/secview_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

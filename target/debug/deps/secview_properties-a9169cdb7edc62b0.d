@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/secview_properties-a9169cdb7edc62b0.d: tests/secview_properties.rs
+
+/root/repo/target/debug/deps/secview_properties-a9169cdb7edc62b0: tests/secview_properties.rs
+
+tests/secview_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serve_concurrency-76f24c6713a67abc.d: tests/serve_concurrency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserve_concurrency-76f24c6713a67abc.rmeta: tests/serve_concurrency.rs Cargo.toml
+
+tests/serve_concurrency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

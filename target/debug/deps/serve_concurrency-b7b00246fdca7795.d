@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve_concurrency-b7b00246fdca7795.d: tests/serve_concurrency.rs
+
+/root/repo/target/debug/deps/serve_concurrency-b7b00246fdca7795: tests/serve_concurrency.rs
+
+tests/serve_concurrency.rs:

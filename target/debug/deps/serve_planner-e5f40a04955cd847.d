@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serve_planner-e5f40a04955cd847.d: tests/serve_planner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserve_planner-e5f40a04955cd847.rmeta: tests/serve_planner.rs Cargo.toml
+
+tests/serve_planner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve_planner-edb4223590a1cdb9.d: tests/serve_planner.rs
+
+/root/repo/target/debug/deps/serve_planner-edb4223590a1cdb9: tests/serve_planner.rs
+
+tests/serve_planner.rs:

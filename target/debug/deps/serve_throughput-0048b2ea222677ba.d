@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serve_throughput-0048b2ea222677ba.d: crates/bench/benches/serve_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserve_throughput-0048b2ea222677ba.rmeta: crates/bench/benches/serve_throughput.rs Cargo.toml
+
+crates/bench/benches/serve_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

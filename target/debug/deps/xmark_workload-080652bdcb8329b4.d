@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xmark_workload-080652bdcb8329b4.d: tests/xmark_workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxmark_workload-080652bdcb8329b4.rmeta: tests/xmark_workload.rs Cargo.toml
+
+tests/xmark_workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xmark_workload-edea3afee5fef741.d: tests/xmark_workload.rs
+
+/root/repo/target/debug/deps/xmark_workload-edea3afee5fef741: tests/xmark_workload.rs
+
+tests/xmark_workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xquery_golden-3d86b01ad795393a.d: tests/xquery_golden.rs
+
+/root/repo/target/debug/deps/xquery_golden-3d86b01ad795393a: tests/xquery_golden.rs
+
+tests/xquery_golden.rs:

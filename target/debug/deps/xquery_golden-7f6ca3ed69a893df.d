@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xquery_golden-7f6ca3ed69a893df.d: tests/xquery_golden.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxquery_golden-7f6ca3ed69a893df.rmeta: tests/xquery_golden.rs Cargo.toml
+
+tests/xquery_golden.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xust-124b9dc0c28992d8.d: src/bin/xust.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxust-124b9dc0c28992d8.rmeta: src/bin/xust.rs Cargo.toml
+
+src/bin/xust.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

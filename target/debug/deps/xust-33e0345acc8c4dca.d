@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xust-33e0345acc8c4dca.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxust-33e0345acc8c4dca.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xust-3b819be0f7cbba25.d: src/bin/xust.rs
+
+/root/repo/target/debug/deps/xust-3b819be0f7cbba25: src/bin/xust.rs
+
+src/bin/xust.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xust-558d25d6fd870390.d: src/bin/xust.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxust-558d25d6fd870390.rmeta: src/bin/xust.rs Cargo.toml
+
+src/bin/xust.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

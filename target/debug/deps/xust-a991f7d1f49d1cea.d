@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xust-a991f7d1f49d1cea.d: src/bin/xust.rs
+
+/root/repo/target/debug/deps/xust-a991f7d1f49d1cea: src/bin/xust.rs
+
+src/bin/xust.rs:

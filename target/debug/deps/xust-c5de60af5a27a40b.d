@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xust-c5de60af5a27a40b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libxust-c5de60af5a27a40b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libxust-c5de60af5a27a40b.rmeta: src/lib.rs
+
+src/lib.rs:

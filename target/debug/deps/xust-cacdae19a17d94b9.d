@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xust-cacdae19a17d94b9.d: src/lib.rs
+
+/root/repo/target/debug/deps/xust-cacdae19a17d94b9: src/lib.rs
+
+src/lib.rs:

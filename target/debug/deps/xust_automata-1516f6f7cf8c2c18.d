@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/xust_automata-1516f6f7cf8c2c18.d: crates/automata/src/lib.rs crates/automata/src/filtering.rs crates/automata/src/selecting.rs crates/automata/src/stateset.rs
+
+/root/repo/target/debug/deps/xust_automata-1516f6f7cf8c2c18: crates/automata/src/lib.rs crates/automata/src/filtering.rs crates/automata/src/selecting.rs crates/automata/src/stateset.rs
+
+crates/automata/src/lib.rs:
+crates/automata/src/filtering.rs:
+crates/automata/src/selecting.rs:
+crates/automata/src/stateset.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xust_automata-250f302edbd66232.d: crates/automata/src/lib.rs crates/automata/src/filtering.rs crates/automata/src/selecting.rs crates/automata/src/stateset.rs
+
+/root/repo/target/debug/deps/libxust_automata-250f302edbd66232.rlib: crates/automata/src/lib.rs crates/automata/src/filtering.rs crates/automata/src/selecting.rs crates/automata/src/stateset.rs
+
+/root/repo/target/debug/deps/libxust_automata-250f302edbd66232.rmeta: crates/automata/src/lib.rs crates/automata/src/filtering.rs crates/automata/src/selecting.rs crates/automata/src/stateset.rs
+
+crates/automata/src/lib.rs:
+crates/automata/src/filtering.rs:
+crates/automata/src/selecting.rs:
+crates/automata/src/stateset.rs:

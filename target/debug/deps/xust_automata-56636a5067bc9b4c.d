@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xust_automata-56636a5067bc9b4c.d: crates/automata/src/lib.rs crates/automata/src/filtering.rs crates/automata/src/selecting.rs crates/automata/src/stateset.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxust_automata-56636a5067bc9b4c.rmeta: crates/automata/src/lib.rs crates/automata/src/filtering.rs crates/automata/src/selecting.rs crates/automata/src/stateset.rs Cargo.toml
+
+crates/automata/src/lib.rs:
+crates/automata/src/filtering.rs:
+crates/automata/src/selecting.rs:
+crates/automata/src/stateset.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

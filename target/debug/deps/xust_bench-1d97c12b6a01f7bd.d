@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xust_bench-1d97c12b6a01f7bd.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libxust_bench-1d97c12b6a01f7bd.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libxust_bench-1d97c12b6a01f7bd.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

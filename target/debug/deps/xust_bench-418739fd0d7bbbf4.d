@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xust_bench-418739fd0d7bbbf4.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxust_bench-418739fd0d7bbbf4.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

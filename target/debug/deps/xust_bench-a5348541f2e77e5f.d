@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xust_bench-a5348541f2e77e5f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/xust_bench-a5348541f2e77e5f: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

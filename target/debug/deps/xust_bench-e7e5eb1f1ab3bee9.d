@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xust_bench-e7e5eb1f1ab3bee9.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxust_bench-e7e5eb1f1ab3bee9.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xust_compose-bad665487d227e47.d: crates/compose/src/lib.rs crates/compose/src/compose.rs crates/compose/src/naive.rs crates/compose/src/stream.rs crates/compose/src/user.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxust_compose-bad665487d227e47.rmeta: crates/compose/src/lib.rs crates/compose/src/compose.rs crates/compose/src/naive.rs crates/compose/src/stream.rs crates/compose/src/user.rs Cargo.toml
+
+crates/compose/src/lib.rs:
+crates/compose/src/compose.rs:
+crates/compose/src/naive.rs:
+crates/compose/src/stream.rs:
+crates/compose/src/user.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xust_compose-cbc271f40fd9dad8.d: crates/compose/src/lib.rs crates/compose/src/compose.rs crates/compose/src/naive.rs crates/compose/src/stream.rs crates/compose/src/user.rs
+
+/root/repo/target/debug/deps/libxust_compose-cbc271f40fd9dad8.rlib: crates/compose/src/lib.rs crates/compose/src/compose.rs crates/compose/src/naive.rs crates/compose/src/stream.rs crates/compose/src/user.rs
+
+/root/repo/target/debug/deps/libxust_compose-cbc271f40fd9dad8.rmeta: crates/compose/src/lib.rs crates/compose/src/compose.rs crates/compose/src/naive.rs crates/compose/src/stream.rs crates/compose/src/user.rs
+
+crates/compose/src/lib.rs:
+crates/compose/src/compose.rs:
+crates/compose/src/naive.rs:
+crates/compose/src/stream.rs:
+crates/compose/src/user.rs:

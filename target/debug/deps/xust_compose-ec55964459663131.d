@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xust_compose-ec55964459663131.d: crates/compose/src/lib.rs crates/compose/src/compose.rs crates/compose/src/naive.rs crates/compose/src/stream.rs crates/compose/src/user.rs
+
+/root/repo/target/debug/deps/xust_compose-ec55964459663131: crates/compose/src/lib.rs crates/compose/src/compose.rs crates/compose/src/naive.rs crates/compose/src/stream.rs crates/compose/src/user.rs
+
+crates/compose/src/lib.rs:
+crates/compose/src/compose.rs:
+crates/compose/src/naive.rs:
+crates/compose/src/stream.rs:
+crates/compose/src/user.rs:

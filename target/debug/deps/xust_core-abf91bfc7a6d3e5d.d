@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/xust_core-abf91bfc7a6d3e5d.d: crates/core/src/lib.rs crates/core/src/bottomup.rs crates/core/src/copy_update.rs crates/core/src/engine.rs crates/core/src/multi.rs crates/core/src/multi_sax.rs crates/core/src/naive.rs crates/core/src/prepared.rs crates/core/src/query.rs crates/core/src/sax2pass.rs crates/core/src/topdown.rs crates/core/src/twopass.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxust_core-abf91bfc7a6d3e5d.rmeta: crates/core/src/lib.rs crates/core/src/bottomup.rs crates/core/src/copy_update.rs crates/core/src/engine.rs crates/core/src/multi.rs crates/core/src/multi_sax.rs crates/core/src/naive.rs crates/core/src/prepared.rs crates/core/src/query.rs crates/core/src/sax2pass.rs crates/core/src/topdown.rs crates/core/src/twopass.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/bottomup.rs:
+crates/core/src/copy_update.rs:
+crates/core/src/engine.rs:
+crates/core/src/multi.rs:
+crates/core/src/multi_sax.rs:
+crates/core/src/naive.rs:
+crates/core/src/prepared.rs:
+crates/core/src/query.rs:
+crates/core/src/sax2pass.rs:
+crates/core/src/topdown.rs:
+crates/core/src/twopass.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

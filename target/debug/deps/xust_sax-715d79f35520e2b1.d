@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xust_sax-715d79f35520e2b1.d: crates/sax/src/lib.rs crates/sax/src/error.rs crates/sax/src/escape.rs crates/sax/src/event.rs crates/sax/src/parser.rs crates/sax/src/writer.rs
+
+/root/repo/target/debug/deps/libxust_sax-715d79f35520e2b1.rlib: crates/sax/src/lib.rs crates/sax/src/error.rs crates/sax/src/escape.rs crates/sax/src/event.rs crates/sax/src/parser.rs crates/sax/src/writer.rs
+
+/root/repo/target/debug/deps/libxust_sax-715d79f35520e2b1.rmeta: crates/sax/src/lib.rs crates/sax/src/error.rs crates/sax/src/escape.rs crates/sax/src/event.rs crates/sax/src/parser.rs crates/sax/src/writer.rs
+
+crates/sax/src/lib.rs:
+crates/sax/src/error.rs:
+crates/sax/src/escape.rs:
+crates/sax/src/event.rs:
+crates/sax/src/parser.rs:
+crates/sax/src/writer.rs:

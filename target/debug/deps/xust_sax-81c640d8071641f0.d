@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/xust_sax-81c640d8071641f0.d: crates/sax/src/lib.rs crates/sax/src/error.rs crates/sax/src/escape.rs crates/sax/src/event.rs crates/sax/src/parser.rs crates/sax/src/writer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxust_sax-81c640d8071641f0.rmeta: crates/sax/src/lib.rs crates/sax/src/error.rs crates/sax/src/escape.rs crates/sax/src/event.rs crates/sax/src/parser.rs crates/sax/src/writer.rs Cargo.toml
+
+crates/sax/src/lib.rs:
+crates/sax/src/error.rs:
+crates/sax/src/escape.rs:
+crates/sax/src/event.rs:
+crates/sax/src/parser.rs:
+crates/sax/src/writer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

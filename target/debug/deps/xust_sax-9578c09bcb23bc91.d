@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xust_sax-9578c09bcb23bc91.d: crates/sax/src/lib.rs crates/sax/src/error.rs crates/sax/src/escape.rs crates/sax/src/event.rs crates/sax/src/parser.rs crates/sax/src/writer.rs
+
+/root/repo/target/debug/deps/xust_sax-9578c09bcb23bc91: crates/sax/src/lib.rs crates/sax/src/error.rs crates/sax/src/escape.rs crates/sax/src/event.rs crates/sax/src/parser.rs crates/sax/src/writer.rs
+
+crates/sax/src/lib.rs:
+crates/sax/src/error.rs:
+crates/sax/src/escape.rs:
+crates/sax/src/event.rs:
+crates/sax/src/parser.rs:
+crates/sax/src/writer.rs:

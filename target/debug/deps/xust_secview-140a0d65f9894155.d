@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xust_secview-140a0d65f9894155.d: crates/secview/src/lib.rs
+
+/root/repo/target/debug/deps/libxust_secview-140a0d65f9894155.rlib: crates/secview/src/lib.rs
+
+/root/repo/target/debug/deps/libxust_secview-140a0d65f9894155.rmeta: crates/secview/src/lib.rs
+
+crates/secview/src/lib.rs:

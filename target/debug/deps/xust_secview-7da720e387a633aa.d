@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xust_secview-7da720e387a633aa.d: crates/secview/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxust_secview-7da720e387a633aa.rmeta: crates/secview/src/lib.rs Cargo.toml
+
+crates/secview/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xust_secview-9d132539379b1f8c.d: crates/secview/src/lib.rs
+
+/root/repo/target/debug/deps/xust_secview-9d132539379b1f8c: crates/secview/src/lib.rs
+
+crates/secview/src/lib.rs:

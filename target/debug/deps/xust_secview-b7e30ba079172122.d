@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xust_secview-b7e30ba079172122.d: crates/secview/src/lib.rs
+
+/root/repo/target/debug/deps/libxust_secview-b7e30ba079172122.rlib: crates/secview/src/lib.rs
+
+/root/repo/target/debug/deps/libxust_secview-b7e30ba079172122.rmeta: crates/secview/src/lib.rs
+
+crates/secview/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/xust_serve-3788a11cd62d345c.d: crates/serve/src/lib.rs crates/serve/src/cache.rs crates/serve/src/error.rs crates/serve/src/executor.rs crates/serve/src/planner.rs crates/serve/src/registry.rs crates/serve/src/server.rs crates/serve/src/stats.rs
+
+/root/repo/target/debug/deps/libxust_serve-3788a11cd62d345c.rlib: crates/serve/src/lib.rs crates/serve/src/cache.rs crates/serve/src/error.rs crates/serve/src/executor.rs crates/serve/src/planner.rs crates/serve/src/registry.rs crates/serve/src/server.rs crates/serve/src/stats.rs
+
+/root/repo/target/debug/deps/libxust_serve-3788a11cd62d345c.rmeta: crates/serve/src/lib.rs crates/serve/src/cache.rs crates/serve/src/error.rs crates/serve/src/executor.rs crates/serve/src/planner.rs crates/serve/src/registry.rs crates/serve/src/server.rs crates/serve/src/stats.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/cache.rs:
+crates/serve/src/error.rs:
+crates/serve/src/executor.rs:
+crates/serve/src/planner.rs:
+crates/serve/src/registry.rs:
+crates/serve/src/server.rs:
+crates/serve/src/stats.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xust_serve-40c6a9439e297ed2.d: crates/serve/src/lib.rs crates/serve/src/cache.rs crates/serve/src/error.rs crates/serve/src/executor.rs crates/serve/src/planner.rs crates/serve/src/registry.rs crates/serve/src/server.rs crates/serve/src/stats.rs
+
+/root/repo/target/debug/deps/xust_serve-40c6a9439e297ed2: crates/serve/src/lib.rs crates/serve/src/cache.rs crates/serve/src/error.rs crates/serve/src/executor.rs crates/serve/src/planner.rs crates/serve/src/registry.rs crates/serve/src/server.rs crates/serve/src/stats.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/cache.rs:
+crates/serve/src/error.rs:
+crates/serve/src/executor.rs:
+crates/serve/src/planner.rs:
+crates/serve/src/registry.rs:
+crates/serve/src/server.rs:
+crates/serve/src/stats.rs:

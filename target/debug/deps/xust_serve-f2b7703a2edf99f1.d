@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/xust_serve-f2b7703a2edf99f1.d: crates/serve/src/lib.rs crates/serve/src/cache.rs crates/serve/src/error.rs crates/serve/src/executor.rs crates/serve/src/planner.rs crates/serve/src/registry.rs crates/serve/src/server.rs crates/serve/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxust_serve-f2b7703a2edf99f1.rmeta: crates/serve/src/lib.rs crates/serve/src/cache.rs crates/serve/src/error.rs crates/serve/src/executor.rs crates/serve/src/planner.rs crates/serve/src/registry.rs crates/serve/src/server.rs crates/serve/src/stats.rs Cargo.toml
+
+crates/serve/src/lib.rs:
+crates/serve/src/cache.rs:
+crates/serve/src/error.rs:
+crates/serve/src/executor.rs:
+crates/serve/src/planner.rs:
+crates/serve/src/registry.rs:
+crates/serve/src/server.rs:
+crates/serve/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

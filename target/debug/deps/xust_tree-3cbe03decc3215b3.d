@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/xust_tree-3cbe03decc3215b3.d: crates/tree/src/lib.rs crates/tree/src/build.rs crates/tree/src/document.rs crates/tree/src/eq.rs crates/tree/src/iter.rs crates/tree/src/node.rs crates/tree/src/parse.rs crates/tree/src/serialize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxust_tree-3cbe03decc3215b3.rmeta: crates/tree/src/lib.rs crates/tree/src/build.rs crates/tree/src/document.rs crates/tree/src/eq.rs crates/tree/src/iter.rs crates/tree/src/node.rs crates/tree/src/parse.rs crates/tree/src/serialize.rs Cargo.toml
+
+crates/tree/src/lib.rs:
+crates/tree/src/build.rs:
+crates/tree/src/document.rs:
+crates/tree/src/eq.rs:
+crates/tree/src/iter.rs:
+crates/tree/src/node.rs:
+crates/tree/src/parse.rs:
+crates/tree/src/serialize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

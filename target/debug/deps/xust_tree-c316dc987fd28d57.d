@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/xust_tree-c316dc987fd28d57.d: crates/tree/src/lib.rs crates/tree/src/build.rs crates/tree/src/document.rs crates/tree/src/eq.rs crates/tree/src/iter.rs crates/tree/src/node.rs crates/tree/src/parse.rs crates/tree/src/serialize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxust_tree-c316dc987fd28d57.rmeta: crates/tree/src/lib.rs crates/tree/src/build.rs crates/tree/src/document.rs crates/tree/src/eq.rs crates/tree/src/iter.rs crates/tree/src/node.rs crates/tree/src/parse.rs crates/tree/src/serialize.rs Cargo.toml
+
+crates/tree/src/lib.rs:
+crates/tree/src/build.rs:
+crates/tree/src/document.rs:
+crates/tree/src/eq.rs:
+crates/tree/src/iter.rs:
+crates/tree/src/node.rs:
+crates/tree/src/parse.rs:
+crates/tree/src/serialize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/xust_tree-dac3ec7fd0bbe1dc.d: crates/tree/src/lib.rs crates/tree/src/build.rs crates/tree/src/document.rs crates/tree/src/eq.rs crates/tree/src/iter.rs crates/tree/src/node.rs crates/tree/src/parse.rs crates/tree/src/serialize.rs
+
+/root/repo/target/debug/deps/libxust_tree-dac3ec7fd0bbe1dc.rlib: crates/tree/src/lib.rs crates/tree/src/build.rs crates/tree/src/document.rs crates/tree/src/eq.rs crates/tree/src/iter.rs crates/tree/src/node.rs crates/tree/src/parse.rs crates/tree/src/serialize.rs
+
+/root/repo/target/debug/deps/libxust_tree-dac3ec7fd0bbe1dc.rmeta: crates/tree/src/lib.rs crates/tree/src/build.rs crates/tree/src/document.rs crates/tree/src/eq.rs crates/tree/src/iter.rs crates/tree/src/node.rs crates/tree/src/parse.rs crates/tree/src/serialize.rs
+
+crates/tree/src/lib.rs:
+crates/tree/src/build.rs:
+crates/tree/src/document.rs:
+crates/tree/src/eq.rs:
+crates/tree/src/iter.rs:
+crates/tree/src/node.rs:
+crates/tree/src/parse.rs:
+crates/tree/src/serialize.rs:

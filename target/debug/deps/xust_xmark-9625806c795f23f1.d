@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xust_xmark-9625806c795f23f1.d: crates/xmark/src/lib.rs crates/xmark/src/config.rs crates/xmark/src/gen.rs crates/xmark/src/sink.rs crates/xmark/src/vocab.rs
+
+/root/repo/target/debug/deps/xust_xmark-9625806c795f23f1: crates/xmark/src/lib.rs crates/xmark/src/config.rs crates/xmark/src/gen.rs crates/xmark/src/sink.rs crates/xmark/src/vocab.rs
+
+crates/xmark/src/lib.rs:
+crates/xmark/src/config.rs:
+crates/xmark/src/gen.rs:
+crates/xmark/src/sink.rs:
+crates/xmark/src/vocab.rs:

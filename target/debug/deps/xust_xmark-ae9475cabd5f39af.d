@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xust_xmark-ae9475cabd5f39af.d: crates/xmark/src/lib.rs crates/xmark/src/config.rs crates/xmark/src/gen.rs crates/xmark/src/sink.rs crates/xmark/src/vocab.rs
+
+/root/repo/target/debug/deps/libxust_xmark-ae9475cabd5f39af.rlib: crates/xmark/src/lib.rs crates/xmark/src/config.rs crates/xmark/src/gen.rs crates/xmark/src/sink.rs crates/xmark/src/vocab.rs
+
+/root/repo/target/debug/deps/libxust_xmark-ae9475cabd5f39af.rmeta: crates/xmark/src/lib.rs crates/xmark/src/config.rs crates/xmark/src/gen.rs crates/xmark/src/sink.rs crates/xmark/src/vocab.rs
+
+crates/xmark/src/lib.rs:
+crates/xmark/src/config.rs:
+crates/xmark/src/gen.rs:
+crates/xmark/src/sink.rs:
+crates/xmark/src/vocab.rs:

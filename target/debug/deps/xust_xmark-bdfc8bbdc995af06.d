@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xust_xmark-bdfc8bbdc995af06.d: crates/xmark/src/lib.rs crates/xmark/src/config.rs crates/xmark/src/gen.rs crates/xmark/src/sink.rs crates/xmark/src/vocab.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxust_xmark-bdfc8bbdc995af06.rmeta: crates/xmark/src/lib.rs crates/xmark/src/config.rs crates/xmark/src/gen.rs crates/xmark/src/sink.rs crates/xmark/src/vocab.rs Cargo.toml
+
+crates/xmark/src/lib.rs:
+crates/xmark/src/config.rs:
+crates/xmark/src/gen.rs:
+crates/xmark/src/sink.rs:
+crates/xmark/src/vocab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xust_xpath-749b2196aa83f9c9.d: crates/xpath/src/lib.rs crates/xpath/src/ast.rs crates/xpath/src/eval.rs crates/xpath/src/lexer.rs crates/xpath/src/normalize.rs crates/xpath/src/parser.rs
+
+/root/repo/target/debug/deps/libxust_xpath-749b2196aa83f9c9.rlib: crates/xpath/src/lib.rs crates/xpath/src/ast.rs crates/xpath/src/eval.rs crates/xpath/src/lexer.rs crates/xpath/src/normalize.rs crates/xpath/src/parser.rs
+
+/root/repo/target/debug/deps/libxust_xpath-749b2196aa83f9c9.rmeta: crates/xpath/src/lib.rs crates/xpath/src/ast.rs crates/xpath/src/eval.rs crates/xpath/src/lexer.rs crates/xpath/src/normalize.rs crates/xpath/src/parser.rs
+
+crates/xpath/src/lib.rs:
+crates/xpath/src/ast.rs:
+crates/xpath/src/eval.rs:
+crates/xpath/src/lexer.rs:
+crates/xpath/src/normalize.rs:
+crates/xpath/src/parser.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xust_xpath-78c5373a5060b4ca.d: crates/xpath/src/lib.rs crates/xpath/src/ast.rs crates/xpath/src/eval.rs crates/xpath/src/lexer.rs crates/xpath/src/normalize.rs crates/xpath/src/parser.rs
+
+/root/repo/target/debug/deps/xust_xpath-78c5373a5060b4ca: crates/xpath/src/lib.rs crates/xpath/src/ast.rs crates/xpath/src/eval.rs crates/xpath/src/lexer.rs crates/xpath/src/normalize.rs crates/xpath/src/parser.rs
+
+crates/xpath/src/lib.rs:
+crates/xpath/src/ast.rs:
+crates/xpath/src/eval.rs:
+crates/xpath/src/lexer.rs:
+crates/xpath/src/normalize.rs:
+crates/xpath/src/parser.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/xust_xpath-8a51102d83e639c9.d: crates/xpath/src/lib.rs crates/xpath/src/ast.rs crates/xpath/src/eval.rs crates/xpath/src/lexer.rs crates/xpath/src/normalize.rs crates/xpath/src/parser.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxust_xpath-8a51102d83e639c9.rmeta: crates/xpath/src/lib.rs crates/xpath/src/ast.rs crates/xpath/src/eval.rs crates/xpath/src/lexer.rs crates/xpath/src/normalize.rs crates/xpath/src/parser.rs Cargo.toml
+
+crates/xpath/src/lib.rs:
+crates/xpath/src/ast.rs:
+crates/xpath/src/eval.rs:
+crates/xpath/src/lexer.rs:
+crates/xpath/src/normalize.rs:
+crates/xpath/src/parser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

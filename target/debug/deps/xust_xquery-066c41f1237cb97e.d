@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xust_xquery-066c41f1237cb97e.d: crates/xquery/src/lib.rs crates/xquery/src/ast.rs crates/xquery/src/error.rs crates/xquery/src/eval.rs crates/xquery/src/functions.rs crates/xquery/src/lexer.rs crates/xquery/src/parser.rs crates/xquery/src/value.rs
+
+/root/repo/target/debug/deps/xust_xquery-066c41f1237cb97e: crates/xquery/src/lib.rs crates/xquery/src/ast.rs crates/xquery/src/error.rs crates/xquery/src/eval.rs crates/xquery/src/functions.rs crates/xquery/src/lexer.rs crates/xquery/src/parser.rs crates/xquery/src/value.rs
+
+crates/xquery/src/lib.rs:
+crates/xquery/src/ast.rs:
+crates/xquery/src/error.rs:
+crates/xquery/src/eval.rs:
+crates/xquery/src/functions.rs:
+crates/xquery/src/lexer.rs:
+crates/xquery/src/parser.rs:
+crates/xquery/src/value.rs:

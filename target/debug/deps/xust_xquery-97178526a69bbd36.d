@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/xust_xquery-97178526a69bbd36.d: crates/xquery/src/lib.rs crates/xquery/src/ast.rs crates/xquery/src/error.rs crates/xquery/src/eval.rs crates/xquery/src/functions.rs crates/xquery/src/lexer.rs crates/xquery/src/parser.rs crates/xquery/src/value.rs
+
+/root/repo/target/debug/deps/libxust_xquery-97178526a69bbd36.rlib: crates/xquery/src/lib.rs crates/xquery/src/ast.rs crates/xquery/src/error.rs crates/xquery/src/eval.rs crates/xquery/src/functions.rs crates/xquery/src/lexer.rs crates/xquery/src/parser.rs crates/xquery/src/value.rs
+
+/root/repo/target/debug/deps/libxust_xquery-97178526a69bbd36.rmeta: crates/xquery/src/lib.rs crates/xquery/src/ast.rs crates/xquery/src/error.rs crates/xquery/src/eval.rs crates/xquery/src/functions.rs crates/xquery/src/lexer.rs crates/xquery/src/parser.rs crates/xquery/src/value.rs
+
+crates/xquery/src/lib.rs:
+crates/xquery/src/ast.rs:
+crates/xquery/src/error.rs:
+crates/xquery/src/eval.rs:
+crates/xquery/src/functions.rs:
+crates/xquery/src/lexer.rs:
+crates/xquery/src/parser.rs:
+crates/xquery/src/value.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hypothetical_query-62cfbb972088a9ee.d: examples/hypothetical_query.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhypothetical_query-62cfbb972088a9ee.rmeta: examples/hypothetical_query.rs Cargo.toml
+
+examples/hypothetical_query.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

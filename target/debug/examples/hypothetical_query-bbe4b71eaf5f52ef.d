@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hypothetical_query-bbe4b71eaf5f52ef.d: examples/hypothetical_query.rs
+
+/root/repo/target/debug/examples/hypothetical_query-bbe4b71eaf5f52ef: examples/hypothetical_query.rs
+
+examples/hypothetical_query.rs:

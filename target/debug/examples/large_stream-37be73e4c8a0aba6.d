@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/large_stream-37be73e4c8a0aba6.d: examples/large_stream.rs
+
+/root/repo/target/debug/examples/large_stream-37be73e4c8a0aba6: examples/large_stream.rs
+
+examples/large_stream.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/large_stream-56653017069511c7.d: examples/large_stream.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblarge_stream-56653017069511c7.rmeta: examples/large_stream.rs Cargo.toml
+
+examples/large_stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

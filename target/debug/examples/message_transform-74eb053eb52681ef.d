@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/message_transform-74eb053eb52681ef.d: examples/message_transform.rs
+
+/root/repo/target/debug/examples/message_transform-74eb053eb52681ef: examples/message_transform.rs
+
+examples/message_transform.rs:

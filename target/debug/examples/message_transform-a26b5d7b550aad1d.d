@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/message_transform-a26b5d7b550aad1d.d: examples/message_transform.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmessage_transform-a26b5d7b550aad1d.rmeta: examples/message_transform.rs Cargo.toml
+
+examples/message_transform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

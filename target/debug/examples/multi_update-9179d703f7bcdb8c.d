@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multi_update-9179d703f7bcdb8c.d: examples/multi_update.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_update-9179d703f7bcdb8c.rmeta: examples/multi_update.rs Cargo.toml
+
+examples/multi_update.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_update-d855f0b51bc3fd54.d: examples/multi_update.rs
+
+/root/repo/target/debug/examples/multi_update-d855f0b51bc3fd54: examples/multi_update.rs
+
+examples/multi_update.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/policy_views-7f4702ebbcce394e.d: examples/policy_views.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpolicy_views-7f4702ebbcce394e.rmeta: examples/policy_views.rs Cargo.toml
+
+examples/policy_views.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/policy_views-d850e62850e8e23b.d: examples/policy_views.rs
+
+/root/repo/target/debug/examples/policy_views-d850e62850e8e23b: examples/policy_views.rs
+
+examples/policy_views.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7360e932385ca347.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7360e932385ca347: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-7ca94f378d12f052.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-7ca94f378d12f052.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

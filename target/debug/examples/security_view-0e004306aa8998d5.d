@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/security_view-0e004306aa8998d5.d: examples/security_view.rs
+
+/root/repo/target/debug/examples/security_view-0e004306aa8998d5: examples/security_view.rs
+
+examples/security_view.rs:

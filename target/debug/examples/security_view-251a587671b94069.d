@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/security_view-251a587671b94069.d: examples/security_view.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsecurity_view-251a587671b94069.rmeta: examples/security_view.rs Cargo.toml
+
+examples/security_view.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/streaming_compose-1d5a134bf289346c.d: examples/streaming_compose.rs
+
+/root/repo/target/debug/examples/streaming_compose-1d5a134bf289346c: examples/streaming_compose.rs
+
+examples/streaming_compose.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/streaming_compose-71f53028f50d67f1.d: examples/streaming_compose.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstreaming_compose-71f53028f50d67f1.rmeta: examples/streaming_compose.rs Cargo.toml
+
+examples/streaming_compose.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

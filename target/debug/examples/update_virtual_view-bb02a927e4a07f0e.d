@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/update_virtual_view-bb02a927e4a07f0e.d: examples/update_virtual_view.rs
+
+/root/repo/target/debug/examples/update_virtual_view-bb02a927e4a07f0e: examples/update_virtual_view.rs
+
+examples/update_virtual_view.rs:

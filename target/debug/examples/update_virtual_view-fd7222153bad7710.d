@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/update_virtual_view-fd7222153bad7710.d: examples/update_virtual_view.rs Cargo.toml
+
+/root/repo/target/debug/examples/libupdate_virtual_view-fd7222153bad7710.rmeta: examples/update_virtual_view.rs Cargo.toml
+
+examples/update_virtual_view.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/what_if_pricing-08980d991f92f5b9.d: examples/what_if_pricing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwhat_if_pricing-08980d991f92f5b9.rmeta: examples/what_if_pricing.rs Cargo.toml
+
+examples/what_if_pricing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/what_if_pricing-db944a8f32311a8e.d: examples/what_if_pricing.rs
+
+/root/repo/target/debug/examples/what_if_pricing-db944a8f32311a8e: examples/what_if_pricing.rs
+
+examples/what_if_pricing.rs:

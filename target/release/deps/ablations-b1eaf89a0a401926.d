@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-b1eaf89a0a401926.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/release/deps/ablations-b1eaf89a0a401926: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

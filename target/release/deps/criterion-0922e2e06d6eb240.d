@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-0922e2e06d6eb240.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-0922e2e06d6eb240.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-0922e2e06d6eb240.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-e82e5ca2ab3acf6d.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-e82e5ca2ab3acf6d: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-682c2c0d8373dbb6.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-682c2c0d8373dbb6: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-c7ee0f7393bb797d.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-c7ee0f7393bb797d: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions-3be0ee2b6e5fc1b9.d: crates/bench/benches/extensions.rs
+
+/root/repo/target/release/deps/extensions-3be0ee2b6e5fc1b9: crates/bench/benches/extensions.rs
+
+crates/bench/benches/extensions.rs:

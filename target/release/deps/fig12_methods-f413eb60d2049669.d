@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_methods-f413eb60d2049669.d: crates/bench/benches/fig12_methods.rs
+
+/root/repo/target/release/deps/fig12_methods-f413eb60d2049669: crates/bench/benches/fig12_methods.rs
+
+crates/bench/benches/fig12_methods.rs:

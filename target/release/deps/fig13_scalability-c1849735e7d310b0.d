@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_scalability-c1849735e7d310b0.d: crates/bench/benches/fig13_scalability.rs
+
+/root/repo/target/release/deps/fig13_scalability-c1849735e7d310b0: crates/bench/benches/fig13_scalability.rs
+
+crates/bench/benches/fig13_scalability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_sax_large-fbab8a3ba3c06977.d: crates/bench/benches/fig14_sax_large.rs
+
+/root/repo/target/release/deps/fig14_sax_large-fbab8a3ba3c06977: crates/bench/benches/fig14_sax_large.rs
+
+crates/bench/benches/fig14_sax_large.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_compose-1793fb6b2da0441d.d: crates/bench/benches/fig15_compose.rs
+
+/root/repo/target/release/deps/fig15_compose-1793fb6b2da0441d: crates/bench/benches/fig15_compose.rs
+
+crates/bench/benches/fig15_compose.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-31dcf43768cc4062.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-31dcf43768cc4062.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-31dcf43768cc4062.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

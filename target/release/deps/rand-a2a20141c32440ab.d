@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-a2a20141c32440ab.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-a2a20141c32440ab: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serve_throughput-1a88642b07f3b9ce.d: crates/bench/benches/serve_throughput.rs
+
+/root/repo/target/release/deps/serve_throughput-1a88642b07f3b9ce: crates/bench/benches/serve_throughput.rs
+
+crates/bench/benches/serve_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/xust-33e40aa603dae8be.d: src/bin/xust.rs
+
+/root/repo/target/release/deps/xust-33e40aa603dae8be: src/bin/xust.rs
+
+src/bin/xust.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/xust-6fa5463e6cb48d35.d: src/lib.rs
+
+/root/repo/target/release/deps/libxust-6fa5463e6cb48d35.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libxust-6fa5463e6cb48d35.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/xust-a21919506560823a.d: src/lib.rs
+
+/root/repo/target/release/deps/xust-a21919506560823a: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/xust-fbc1e8e95e3e6158.d: src/bin/xust.rs
+
+/root/repo/target/release/deps/xust-fbc1e8e95e3e6158: src/bin/xust.rs
+
+src/bin/xust.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/xust_automata-7829f84d6c753b97.d: crates/automata/src/lib.rs crates/automata/src/filtering.rs crates/automata/src/selecting.rs crates/automata/src/stateset.rs
+
+/root/repo/target/release/deps/xust_automata-7829f84d6c753b97: crates/automata/src/lib.rs crates/automata/src/filtering.rs crates/automata/src/selecting.rs crates/automata/src/stateset.rs
+
+crates/automata/src/lib.rs:
+crates/automata/src/filtering.rs:
+crates/automata/src/selecting.rs:
+crates/automata/src/stateset.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/xust_automata-bfa0277b14e3ac86.d: crates/automata/src/lib.rs crates/automata/src/filtering.rs crates/automata/src/selecting.rs crates/automata/src/stateset.rs
+
+/root/repo/target/release/deps/libxust_automata-bfa0277b14e3ac86.rlib: crates/automata/src/lib.rs crates/automata/src/filtering.rs crates/automata/src/selecting.rs crates/automata/src/stateset.rs
+
+/root/repo/target/release/deps/libxust_automata-bfa0277b14e3ac86.rmeta: crates/automata/src/lib.rs crates/automata/src/filtering.rs crates/automata/src/selecting.rs crates/automata/src/stateset.rs
+
+crates/automata/src/lib.rs:
+crates/automata/src/filtering.rs:
+crates/automata/src/selecting.rs:
+crates/automata/src/stateset.rs:

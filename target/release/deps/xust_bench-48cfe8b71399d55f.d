@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/xust_bench-48cfe8b71399d55f.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/xust_bench-48cfe8b71399d55f: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

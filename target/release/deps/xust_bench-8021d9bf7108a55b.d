@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/xust_bench-8021d9bf7108a55b.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libxust_bench-8021d9bf7108a55b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libxust_bench-8021d9bf7108a55b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

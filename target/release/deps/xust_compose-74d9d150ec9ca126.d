@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/xust_compose-74d9d150ec9ca126.d: crates/compose/src/lib.rs crates/compose/src/compose.rs crates/compose/src/naive.rs crates/compose/src/stream.rs crates/compose/src/user.rs
+
+/root/repo/target/release/deps/libxust_compose-74d9d150ec9ca126.rlib: crates/compose/src/lib.rs crates/compose/src/compose.rs crates/compose/src/naive.rs crates/compose/src/stream.rs crates/compose/src/user.rs
+
+/root/repo/target/release/deps/libxust_compose-74d9d150ec9ca126.rmeta: crates/compose/src/lib.rs crates/compose/src/compose.rs crates/compose/src/naive.rs crates/compose/src/stream.rs crates/compose/src/user.rs
+
+crates/compose/src/lib.rs:
+crates/compose/src/compose.rs:
+crates/compose/src/naive.rs:
+crates/compose/src/stream.rs:
+crates/compose/src/user.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/xust_compose-9b0855016de40b8d.d: crates/compose/src/lib.rs crates/compose/src/compose.rs crates/compose/src/naive.rs crates/compose/src/stream.rs crates/compose/src/user.rs
+
+/root/repo/target/release/deps/xust_compose-9b0855016de40b8d: crates/compose/src/lib.rs crates/compose/src/compose.rs crates/compose/src/naive.rs crates/compose/src/stream.rs crates/compose/src/user.rs
+
+crates/compose/src/lib.rs:
+crates/compose/src/compose.rs:
+crates/compose/src/naive.rs:
+crates/compose/src/stream.rs:
+crates/compose/src/user.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/xust_core-cd75347d9da93d37.d: crates/core/src/lib.rs crates/core/src/bottomup.rs crates/core/src/copy_update.rs crates/core/src/engine.rs crates/core/src/multi.rs crates/core/src/multi_sax.rs crates/core/src/naive.rs crates/core/src/prepared.rs crates/core/src/query.rs crates/core/src/sax2pass.rs crates/core/src/topdown.rs crates/core/src/twopass.rs
+
+/root/repo/target/release/deps/libxust_core-cd75347d9da93d37.rlib: crates/core/src/lib.rs crates/core/src/bottomup.rs crates/core/src/copy_update.rs crates/core/src/engine.rs crates/core/src/multi.rs crates/core/src/multi_sax.rs crates/core/src/naive.rs crates/core/src/prepared.rs crates/core/src/query.rs crates/core/src/sax2pass.rs crates/core/src/topdown.rs crates/core/src/twopass.rs
+
+/root/repo/target/release/deps/libxust_core-cd75347d9da93d37.rmeta: crates/core/src/lib.rs crates/core/src/bottomup.rs crates/core/src/copy_update.rs crates/core/src/engine.rs crates/core/src/multi.rs crates/core/src/multi_sax.rs crates/core/src/naive.rs crates/core/src/prepared.rs crates/core/src/query.rs crates/core/src/sax2pass.rs crates/core/src/topdown.rs crates/core/src/twopass.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bottomup.rs:
+crates/core/src/copy_update.rs:
+crates/core/src/engine.rs:
+crates/core/src/multi.rs:
+crates/core/src/multi_sax.rs:
+crates/core/src/naive.rs:
+crates/core/src/prepared.rs:
+crates/core/src/query.rs:
+crates/core/src/sax2pass.rs:
+crates/core/src/topdown.rs:
+crates/core/src/twopass.rs:

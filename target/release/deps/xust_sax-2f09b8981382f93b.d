@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/xust_sax-2f09b8981382f93b.d: crates/sax/src/lib.rs crates/sax/src/error.rs crates/sax/src/escape.rs crates/sax/src/event.rs crates/sax/src/parser.rs crates/sax/src/writer.rs
+
+/root/repo/target/release/deps/xust_sax-2f09b8981382f93b: crates/sax/src/lib.rs crates/sax/src/error.rs crates/sax/src/escape.rs crates/sax/src/event.rs crates/sax/src/parser.rs crates/sax/src/writer.rs
+
+crates/sax/src/lib.rs:
+crates/sax/src/error.rs:
+crates/sax/src/escape.rs:
+crates/sax/src/event.rs:
+crates/sax/src/parser.rs:
+crates/sax/src/writer.rs:

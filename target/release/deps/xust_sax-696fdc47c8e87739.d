@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/xust_sax-696fdc47c8e87739.d: crates/sax/src/lib.rs crates/sax/src/error.rs crates/sax/src/escape.rs crates/sax/src/event.rs crates/sax/src/parser.rs crates/sax/src/writer.rs
+
+/root/repo/target/release/deps/libxust_sax-696fdc47c8e87739.rlib: crates/sax/src/lib.rs crates/sax/src/error.rs crates/sax/src/escape.rs crates/sax/src/event.rs crates/sax/src/parser.rs crates/sax/src/writer.rs
+
+/root/repo/target/release/deps/libxust_sax-696fdc47c8e87739.rmeta: crates/sax/src/lib.rs crates/sax/src/error.rs crates/sax/src/escape.rs crates/sax/src/event.rs crates/sax/src/parser.rs crates/sax/src/writer.rs
+
+crates/sax/src/lib.rs:
+crates/sax/src/error.rs:
+crates/sax/src/escape.rs:
+crates/sax/src/event.rs:
+crates/sax/src/parser.rs:
+crates/sax/src/writer.rs:

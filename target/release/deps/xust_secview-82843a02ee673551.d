@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/xust_secview-82843a02ee673551.d: crates/secview/src/lib.rs
+
+/root/repo/target/release/deps/xust_secview-82843a02ee673551: crates/secview/src/lib.rs
+
+crates/secview/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/xust_secview-d35878af1e0cf489.d: crates/secview/src/lib.rs
+
+/root/repo/target/release/deps/libxust_secview-d35878af1e0cf489.rlib: crates/secview/src/lib.rs
+
+/root/repo/target/release/deps/libxust_secview-d35878af1e0cf489.rmeta: crates/secview/src/lib.rs
+
+crates/secview/src/lib.rs:

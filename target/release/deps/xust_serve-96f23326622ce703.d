@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/xust_serve-96f23326622ce703.d: crates/serve/src/lib.rs crates/serve/src/cache.rs crates/serve/src/error.rs crates/serve/src/executor.rs crates/serve/src/planner.rs crates/serve/src/registry.rs crates/serve/src/server.rs crates/serve/src/stats.rs
+
+/root/repo/target/release/deps/xust_serve-96f23326622ce703: crates/serve/src/lib.rs crates/serve/src/cache.rs crates/serve/src/error.rs crates/serve/src/executor.rs crates/serve/src/planner.rs crates/serve/src/registry.rs crates/serve/src/server.rs crates/serve/src/stats.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/cache.rs:
+crates/serve/src/error.rs:
+crates/serve/src/executor.rs:
+crates/serve/src/planner.rs:
+crates/serve/src/registry.rs:
+crates/serve/src/server.rs:
+crates/serve/src/stats.rs:

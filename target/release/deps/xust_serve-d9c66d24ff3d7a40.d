@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/xust_serve-d9c66d24ff3d7a40.d: crates/serve/src/lib.rs crates/serve/src/cache.rs crates/serve/src/error.rs crates/serve/src/executor.rs crates/serve/src/planner.rs crates/serve/src/registry.rs crates/serve/src/server.rs crates/serve/src/stats.rs
+
+/root/repo/target/release/deps/libxust_serve-d9c66d24ff3d7a40.rlib: crates/serve/src/lib.rs crates/serve/src/cache.rs crates/serve/src/error.rs crates/serve/src/executor.rs crates/serve/src/planner.rs crates/serve/src/registry.rs crates/serve/src/server.rs crates/serve/src/stats.rs
+
+/root/repo/target/release/deps/libxust_serve-d9c66d24ff3d7a40.rmeta: crates/serve/src/lib.rs crates/serve/src/cache.rs crates/serve/src/error.rs crates/serve/src/executor.rs crates/serve/src/planner.rs crates/serve/src/registry.rs crates/serve/src/server.rs crates/serve/src/stats.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/cache.rs:
+crates/serve/src/error.rs:
+crates/serve/src/executor.rs:
+crates/serve/src/planner.rs:
+crates/serve/src/registry.rs:
+crates/serve/src/server.rs:
+crates/serve/src/stats.rs:

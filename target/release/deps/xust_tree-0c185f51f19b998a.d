@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/xust_tree-0c185f51f19b998a.d: crates/tree/src/lib.rs crates/tree/src/build.rs crates/tree/src/document.rs crates/tree/src/eq.rs crates/tree/src/iter.rs crates/tree/src/node.rs crates/tree/src/parse.rs crates/tree/src/serialize.rs
+
+/root/repo/target/release/deps/xust_tree-0c185f51f19b998a: crates/tree/src/lib.rs crates/tree/src/build.rs crates/tree/src/document.rs crates/tree/src/eq.rs crates/tree/src/iter.rs crates/tree/src/node.rs crates/tree/src/parse.rs crates/tree/src/serialize.rs
+
+crates/tree/src/lib.rs:
+crates/tree/src/build.rs:
+crates/tree/src/document.rs:
+crates/tree/src/eq.rs:
+crates/tree/src/iter.rs:
+crates/tree/src/node.rs:
+crates/tree/src/parse.rs:
+crates/tree/src/serialize.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/xust_tree-e9e410cb50b37da0.d: crates/tree/src/lib.rs crates/tree/src/build.rs crates/tree/src/document.rs crates/tree/src/eq.rs crates/tree/src/iter.rs crates/tree/src/node.rs crates/tree/src/parse.rs crates/tree/src/serialize.rs
+
+/root/repo/target/release/deps/libxust_tree-e9e410cb50b37da0.rlib: crates/tree/src/lib.rs crates/tree/src/build.rs crates/tree/src/document.rs crates/tree/src/eq.rs crates/tree/src/iter.rs crates/tree/src/node.rs crates/tree/src/parse.rs crates/tree/src/serialize.rs
+
+/root/repo/target/release/deps/libxust_tree-e9e410cb50b37da0.rmeta: crates/tree/src/lib.rs crates/tree/src/build.rs crates/tree/src/document.rs crates/tree/src/eq.rs crates/tree/src/iter.rs crates/tree/src/node.rs crates/tree/src/parse.rs crates/tree/src/serialize.rs
+
+crates/tree/src/lib.rs:
+crates/tree/src/build.rs:
+crates/tree/src/document.rs:
+crates/tree/src/eq.rs:
+crates/tree/src/iter.rs:
+crates/tree/src/node.rs:
+crates/tree/src/parse.rs:
+crates/tree/src/serialize.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/xust_xmark-dc90b520176a22a7.d: crates/xmark/src/lib.rs crates/xmark/src/config.rs crates/xmark/src/gen.rs crates/xmark/src/sink.rs crates/xmark/src/vocab.rs
+
+/root/repo/target/release/deps/libxust_xmark-dc90b520176a22a7.rlib: crates/xmark/src/lib.rs crates/xmark/src/config.rs crates/xmark/src/gen.rs crates/xmark/src/sink.rs crates/xmark/src/vocab.rs
+
+/root/repo/target/release/deps/libxust_xmark-dc90b520176a22a7.rmeta: crates/xmark/src/lib.rs crates/xmark/src/config.rs crates/xmark/src/gen.rs crates/xmark/src/sink.rs crates/xmark/src/vocab.rs
+
+crates/xmark/src/lib.rs:
+crates/xmark/src/config.rs:
+crates/xmark/src/gen.rs:
+crates/xmark/src/sink.rs:
+crates/xmark/src/vocab.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/xust_xmark-dfed769600b49e6d.d: crates/xmark/src/lib.rs crates/xmark/src/config.rs crates/xmark/src/gen.rs crates/xmark/src/sink.rs crates/xmark/src/vocab.rs
+
+/root/repo/target/release/deps/xust_xmark-dfed769600b49e6d: crates/xmark/src/lib.rs crates/xmark/src/config.rs crates/xmark/src/gen.rs crates/xmark/src/sink.rs crates/xmark/src/vocab.rs
+
+crates/xmark/src/lib.rs:
+crates/xmark/src/config.rs:
+crates/xmark/src/gen.rs:
+crates/xmark/src/sink.rs:
+crates/xmark/src/vocab.rs:

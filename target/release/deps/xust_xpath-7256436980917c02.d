@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/xust_xpath-7256436980917c02.d: crates/xpath/src/lib.rs crates/xpath/src/ast.rs crates/xpath/src/eval.rs crates/xpath/src/lexer.rs crates/xpath/src/normalize.rs crates/xpath/src/parser.rs
+
+/root/repo/target/release/deps/libxust_xpath-7256436980917c02.rlib: crates/xpath/src/lib.rs crates/xpath/src/ast.rs crates/xpath/src/eval.rs crates/xpath/src/lexer.rs crates/xpath/src/normalize.rs crates/xpath/src/parser.rs
+
+/root/repo/target/release/deps/libxust_xpath-7256436980917c02.rmeta: crates/xpath/src/lib.rs crates/xpath/src/ast.rs crates/xpath/src/eval.rs crates/xpath/src/lexer.rs crates/xpath/src/normalize.rs crates/xpath/src/parser.rs
+
+crates/xpath/src/lib.rs:
+crates/xpath/src/ast.rs:
+crates/xpath/src/eval.rs:
+crates/xpath/src/lexer.rs:
+crates/xpath/src/normalize.rs:
+crates/xpath/src/parser.rs:

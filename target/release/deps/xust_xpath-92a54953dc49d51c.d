@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/xust_xpath-92a54953dc49d51c.d: crates/xpath/src/lib.rs crates/xpath/src/ast.rs crates/xpath/src/eval.rs crates/xpath/src/lexer.rs crates/xpath/src/normalize.rs crates/xpath/src/parser.rs
+
+/root/repo/target/release/deps/xust_xpath-92a54953dc49d51c: crates/xpath/src/lib.rs crates/xpath/src/ast.rs crates/xpath/src/eval.rs crates/xpath/src/lexer.rs crates/xpath/src/normalize.rs crates/xpath/src/parser.rs
+
+crates/xpath/src/lib.rs:
+crates/xpath/src/ast.rs:
+crates/xpath/src/eval.rs:
+crates/xpath/src/lexer.rs:
+crates/xpath/src/normalize.rs:
+crates/xpath/src/parser.rs:

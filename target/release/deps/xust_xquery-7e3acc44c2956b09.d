@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/xust_xquery-7e3acc44c2956b09.d: crates/xquery/src/lib.rs crates/xquery/src/ast.rs crates/xquery/src/error.rs crates/xquery/src/eval.rs crates/xquery/src/functions.rs crates/xquery/src/lexer.rs crates/xquery/src/parser.rs crates/xquery/src/value.rs
+
+/root/repo/target/release/deps/libxust_xquery-7e3acc44c2956b09.rlib: crates/xquery/src/lib.rs crates/xquery/src/ast.rs crates/xquery/src/error.rs crates/xquery/src/eval.rs crates/xquery/src/functions.rs crates/xquery/src/lexer.rs crates/xquery/src/parser.rs crates/xquery/src/value.rs
+
+/root/repo/target/release/deps/libxust_xquery-7e3acc44c2956b09.rmeta: crates/xquery/src/lib.rs crates/xquery/src/ast.rs crates/xquery/src/error.rs crates/xquery/src/eval.rs crates/xquery/src/functions.rs crates/xquery/src/lexer.rs crates/xquery/src/parser.rs crates/xquery/src/value.rs
+
+crates/xquery/src/lib.rs:
+crates/xquery/src/ast.rs:
+crates/xquery/src/error.rs:
+crates/xquery/src/eval.rs:
+crates/xquery/src/functions.rs:
+crates/xquery/src/lexer.rs:
+crates/xquery/src/parser.rs:
+crates/xquery/src/value.rs:

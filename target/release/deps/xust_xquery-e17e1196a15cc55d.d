@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/xust_xquery-e17e1196a15cc55d.d: crates/xquery/src/lib.rs crates/xquery/src/ast.rs crates/xquery/src/error.rs crates/xquery/src/eval.rs crates/xquery/src/functions.rs crates/xquery/src/lexer.rs crates/xquery/src/parser.rs crates/xquery/src/value.rs
+
+/root/repo/target/release/deps/xust_xquery-e17e1196a15cc55d: crates/xquery/src/lib.rs crates/xquery/src/ast.rs crates/xquery/src/error.rs crates/xquery/src/eval.rs crates/xquery/src/functions.rs crates/xquery/src/lexer.rs crates/xquery/src/parser.rs crates/xquery/src/value.rs
+
+crates/xquery/src/lib.rs:
+crates/xquery/src/ast.rs:
+crates/xquery/src/error.rs:
+crates/xquery/src/eval.rs:
+crates/xquery/src/functions.rs:
+crates/xquery/src/lexer.rs:
+crates/xquery/src/parser.rs:
+crates/xquery/src/value.rs:
