@@ -124,5 +124,60 @@ fn batched(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, fixed, served, batched);
+/// Work-stealing batch execution across shard counts vs a sequential
+/// loop over the same requests: the speedup the sharded store + parallel
+/// executor buy, and the cost (if any) of finer sharding.
+fn sharded_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serve_sharded_batch");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    let docs: Vec<_> = (0..8)
+        .map(|i| (format!("doc{i}"), xmark_doc(FACTOR / 4.0)))
+        .collect();
+    let batch: Vec<Request> = (0..64)
+        .map(|i| Request::Transform {
+            doc: format!("doc{}", i % docs.len()),
+            query: transform_syntax(i % 3),
+        })
+        .collect();
+    for shards in [1usize, 8] {
+        let server = Server::builder().threads(8).shards(shards).build();
+        for (name, doc) in &docs {
+            server.load_doc(name.clone(), doc.clone());
+        }
+        // Warm the prepared cache so the rows measure execution.
+        for r in server.execute_batch(batch.clone()) {
+            r.expect("warms");
+        }
+        g.bench_with_input(
+            BenchmarkId::new("parallel", format!("shards{shards}")),
+            &server,
+            |b, server| {
+                b.iter(|| {
+                    let results = server.execute_batch(batch.clone());
+                    assert!(results.iter().all(|r| r.is_ok()));
+                    results.len()
+                })
+            },
+        );
+        if shards == 8 {
+            g.bench_with_input(
+                BenchmarkId::new("sequential", format!("shards{shards}")),
+                &server,
+                |b, server| {
+                    b.iter(|| {
+                        batch
+                            .iter()
+                            .map(|r| server.handle(r).expect("serves").body.len())
+                            .sum::<usize>()
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fixed, served, batched, sharded_batch);
 criterion_main!(benches);

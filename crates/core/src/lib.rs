@@ -52,16 +52,20 @@ pub use bottomup::{bottom_up, Annotations};
 pub use copy_update::{apply_update, copy_update};
 pub use engine::{evaluate, evaluate_str, Method, TransformError};
 pub use multi::{
-    apply_chain, conflicting_targets, multi_snapshot, multi_top_down, parse_multi_transform,
-    MultiTransformQuery,
+    apply_chain, conflicting_targets, multi_snapshot, multi_top_down, multi_top_down_batch,
+    parallel_map, parallel_map_stats, parse_multi_transform, MultiTransformQuery, StealStats,
 };
-pub use multi_sax::{multi_two_pass_sax, multi_two_pass_sax_files, multi_two_pass_sax_str};
+pub use multi_sax::{
+    multi_two_pass_sax, multi_two_pass_sax_files, multi_two_pass_sax_files_batch,
+    multi_two_pass_sax_str,
+};
 pub use naive::{naive_direct, naive_xquery, rewrite_to_xquery};
 pub use prepared::{CompiledTransform, QueryCost};
 pub use query::{parse_transform, InsertPos, TransformParseError, TransformQuery, UpdateOp};
 pub use sax2pass::{
     two_pass_sax, two_pass_sax_files, two_pass_sax_str, EventSink, LdStorage, PathPrepass,
-    PathSelector, PreparedPath, PreparedTransform, SaxStats, SaxTransformError, WriterSink,
+    PathSelector, PreparedPath, PreparedTransform, SaxStats, SaxTransformError, TransformStream,
+    WriterSink,
 };
 pub use topdown::{top_down, top_down_no_prune, top_down_subtree, top_down_with};
 pub use twopass::two_pass;

@@ -229,6 +229,18 @@ impl CompiledTransform {
         Ok(String::from_utf8(out).expect("writer produces UTF-8"))
     }
 
+    /// Opens a push-based [`TransformStream`] session over the
+    /// pre-compiled automata (cloned in, never rebuilt) — the engine of
+    /// `xust-serve`'s streaming session mode.
+    pub fn stream(&self, storage: LdStorage) -> crate::sax2pass::TransformStream {
+        crate::sax2pass::TransformStream::with_automata(
+            &self.query,
+            storage,
+            self.filtering.clone(),
+            self.selecting.clone(),
+        )
+    }
+
     /// twoPassSAX over a file, with the input streamed (two independent
     /// buffered reads, never held in memory at once) and the pre-compiled
     /// automata cloned in. Only the serialized *result* is buffered, to

@@ -358,12 +358,249 @@ impl PreparedTransform {
         mut parser: SaxParser<R>,
         sink: &mut dyn EventSink,
     ) -> Result<(), SaxTransformError> {
-        let mut m = Pass2Machine::new(&self.q, &self.mf, &self.mp, &self.step_states, &self.ld);
+        let mut core = Pass2Core::new(&self.q);
+        let ctx = Pass2Ctx {
+            op: &self.q.op,
+            mf: &self.mf,
+            mp: &self.mp,
+            step_states: &self.step_states,
+            ld: &self.ld,
+        };
         while let Some(ev) = parser.next_event()? {
-            m.on_event(ev, sink)?;
+            core.on_event(&ctx, ev, sink)?;
         }
-        self.stats.max_depth = self.stats.max_depth.max(m.max_depth);
+        self.stats.max_depth = self.stats.max_depth.max(core.max_depth);
         sink.finish()
+    }
+}
+
+/// A fully push-based streaming transform session: the caller *feeds*
+/// SAX events for pass 1, seals the qualifier truths, then feeds the
+/// same event stream again for pass 2 and receives the transformed
+/// document incrementally through an [`EventSink`]. Nothing is pulled
+/// from a parser and the input tree is never materialized — memory
+/// stays O(depth · |p|) + |Ld| however large the document is.
+///
+/// This is the engine behind `xust-serve`'s streaming session mode,
+/// where a network client streams a document twice (mirroring the
+/// two-pass discipline) and reads transformed output as it is produced.
+///
+/// ```
+/// use xust_core::{parse_transform, TransformStream, WriterSink};
+/// use xust_sax::SaxParser;
+///
+/// let q = parse_transform(
+///     r#"transform copy $a := doc("d") modify do delete $a//price return $a"#,
+/// ).unwrap();
+/// let xml = "<db><part><price>9</price><n>kb</n></part></db>";
+/// let mut ts = TransformStream::new(&q, Default::default());
+/// let mut p = SaxParser::from_str(xml);
+/// while let Some(ev) = p.next_event().unwrap() {
+///     ts.feed(ev).unwrap();
+/// }
+/// ts.begin_replay().unwrap();
+/// let mut out = Vec::new();
+/// let mut sink = WriterSink::new(&mut out);
+/// let mut p = SaxParser::from_str(xml);
+/// while let Some(ev) = p.next_event().unwrap() {
+///     ts.replay(ev, &mut sink).unwrap();
+/// }
+/// ts.finish(&mut sink).unwrap();
+/// assert_eq!(String::from_utf8(out).unwrap(), "<db><part><n>kb</n></part></db>");
+/// ```
+pub struct TransformStream {
+    q: TransformQuery,
+    table: QualTable,
+    mf: FilteringNfa,
+    mp: SelectingNfa,
+    step_states: Vec<Option<usize>>,
+    ld: Ld,
+    stats: SaxStats,
+    phase: StreamPhase,
+    /// Open-element depth of the *incoming* stream in the current pass,
+    /// maintained defensively: unlike [`SaxParser`], a remote client can
+    /// send arbitrary (unbalanced) event sequences.
+    depth: usize,
+    /// The current pass has seen its root element close.
+    root_closed: bool,
+}
+
+enum StreamPhase {
+    Pass1(Pass1State),
+    Pass2(Pass2Core),
+    Done,
+}
+
+impl TransformStream {
+    /// Starts a session for `q`, compiling its automata.
+    pub fn new(q: &TransformQuery, storage: LdStorage) -> TransformStream {
+        Self::with_automata(
+            q,
+            storage,
+            FilteringNfa::new(&q.path),
+            SelectingNfa::new(&q.path),
+        )
+    }
+
+    /// Starts a session over pre-compiled automata (cloned out of a
+    /// [`crate::CompiledTransform`], so cache hits skip NFA
+    /// construction). `mf` and `mp` must have been built from `q.path`.
+    pub fn with_automata(
+        q: &TransformQuery,
+        storage: LdStorage,
+        mf: FilteringNfa,
+        mp: SelectingNfa,
+    ) -> TransformStream {
+        let table = QualTable::from_path(&q.path);
+        let step_states = (0..q.path.steps.len())
+            .map(|i| mf.state_of_step(i))
+            .collect();
+        TransformStream {
+            q: q.clone(),
+            table,
+            mf,
+            mp,
+            step_states,
+            ld: Ld::new(storage),
+            stats: SaxStats::default(),
+            phase: StreamPhase::Pass1(Pass1State::new()),
+            depth: 0,
+            root_closed: false,
+        }
+    }
+
+    /// Validates stream discipline for one incoming event (both passes):
+    /// rejects unbalanced end tags and content after the root closes, so
+    /// a malformed client stream becomes an error instead of corrupt
+    /// output or a panic.
+    fn track(&mut self, ev: &SaxEvent) -> Result<(), SaxTransformError> {
+        match ev {
+            SaxEvent::StartElement { .. } => {
+                if self.root_closed {
+                    return Err(SaxTransformError::Desync(
+                        "element after document root closed".into(),
+                    ));
+                }
+                self.depth += 1;
+            }
+            SaxEvent::EndElement(_) => {
+                if self.depth == 0 {
+                    return Err(SaxTransformError::Desync(
+                        "end element without matching start".into(),
+                    ));
+                }
+                self.depth -= 1;
+                if self.depth == 0 {
+                    self.root_closed = true;
+                }
+            }
+            SaxEvent::StartDocument | SaxEvent::EndDocument | SaxEvent::Text(_) => {}
+        }
+        Ok(())
+    }
+
+    /// Feeds one pass-1 event.
+    pub fn feed(&mut self, ev: SaxEvent) -> Result<(), SaxTransformError> {
+        if !matches!(self.phase, StreamPhase::Pass1(_)) {
+            return Err(SaxTransformError::Desync(
+                "feed() after begin_replay()".into(),
+            ));
+        }
+        self.track(&ev)?;
+        let StreamPhase::Pass1(state) = &mut self.phase else {
+            unreachable!("phase checked above");
+        };
+        if !self.q.path.is_empty() {
+            state.on_event(
+                ev,
+                &self.table,
+                &self.mf,
+                &self.step_states,
+                &mut self.ld,
+                &mut self.stats,
+            );
+        }
+        Ok(())
+    }
+
+    /// Ends pass 1: seals the qualifier truths and arms pass 2. Errors
+    /// if the pass-1 stream was truncated (elements still open).
+    pub fn begin_replay(&mut self) -> Result<(), SaxTransformError> {
+        if !matches!(self.phase, StreamPhase::Pass1(_)) {
+            return Err(SaxTransformError::Desync(
+                "begin_replay() called twice".into(),
+            ));
+        }
+        if self.depth != 0 {
+            return Err(SaxTransformError::Desync(format!(
+                "pass-1 stream truncated: {} element(s) still open",
+                self.depth
+            )));
+        }
+        self.ld.seal()?;
+        self.ld.reload()?;
+        self.stats.ld_entries = self.ld.len() as u64;
+        self.phase = StreamPhase::Pass2(Pass2Core::new(&self.q));
+        self.depth = 0;
+        self.root_closed = false;
+        Ok(())
+    }
+
+    /// Feeds one pass-2 event; transformed events come out of `sink`.
+    /// The pass-2 stream must replay the pass-1 stream exactly.
+    pub fn replay(
+        &mut self,
+        ev: SaxEvent,
+        sink: &mut dyn EventSink,
+    ) -> Result<(), SaxTransformError> {
+        if !matches!(self.phase, StreamPhase::Pass2(_)) {
+            return Err(SaxTransformError::Desync(
+                "replay() before begin_replay()".into(),
+            ));
+        }
+        self.track(&ev)?;
+        let StreamPhase::Pass2(core) = &mut self.phase else {
+            unreachable!("phase checked above");
+        };
+        let ctx = Pass2Ctx {
+            op: &self.q.op,
+            mf: &self.mf,
+            mp: &self.mp,
+            step_states: &self.step_states,
+            ld: &self.ld,
+        };
+        core.on_event(&ctx, ev, sink)?;
+        self.stats.max_depth = self.stats.max_depth.max(core.max_depth);
+        Ok(())
+    }
+
+    /// Ends pass 2: flushes the sink and returns the session statistics.
+    /// Errors if the pass-2 stream was truncated.
+    pub fn finish(&mut self, sink: &mut dyn EventSink) -> Result<SaxStats, SaxTransformError> {
+        if !matches!(self.phase, StreamPhase::Pass2(_)) {
+            return Err(SaxTransformError::Desync(
+                "finish() before begin_replay()".into(),
+            ));
+        }
+        if self.depth != 0 {
+            return Err(SaxTransformError::Desync(format!(
+                "pass-2 stream truncated: {} element(s) still open",
+                self.depth
+            )));
+        }
+        self.phase = StreamPhase::Done;
+        sink.finish()?;
+        Ok(self.stats)
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> SaxStats {
+        self.stats
+    }
+
+    /// The transform this session evaluates.
+    pub fn query(&self) -> &TransformQuery {
+        &self.q
     }
 }
 
@@ -454,7 +691,12 @@ impl Pass1State {
                 }
             }
             SaxEvent::EndElement(_) => {
-                let frame = self.stack.pop().expect("event stream is balanced");
+                // `SaxParser` guarantees balance; push-based callers
+                // ([`TransformStream`]) validate it before delegating, so
+                // an orphan end tag here is simply ignored.
+                let Some(frame) = self.stack.pop() else {
+                    return;
+                };
                 if !frame.active {
                     return;
                 }
@@ -661,14 +903,22 @@ struct P2Frame {
     insert_after_end: bool,
 }
 
-/// Pass 2 as a machine: push input events, transformed events come out
-/// of the sink.
-struct Pass2Machine<'a> {
-    q: &'a TransformQuery,
+/// Borrowed context for one pass-2 run: the immutable compiled pieces a
+/// [`Pass2Core`] consults per event. Splitting these from the mutable
+/// cursor state lets both the pull-based [`PreparedTransform`] and the
+/// push-based [`TransformStream`] drive the same machine.
+struct Pass2Ctx<'a> {
+    op: &'a UpdateOp,
     mf: &'a FilteringNfa,
     mp: &'a SelectingNfa,
     step_states: &'a [Option<usize>],
     ld: &'a Ld,
+}
+
+/// Pass 2 as a machine: push input events, transformed events come out
+/// of the sink. Owns only the mutable cursor/stack state; the compiled
+/// context arrives per call via [`Pass2Ctx`].
+struct Pass2Core {
     elem_events: Vec<SaxEvent>,
     cursor: u64,
     stack: Vec<P2Frame>,
@@ -679,24 +929,13 @@ struct Pass2Machine<'a> {
     max_depth: usize,
 }
 
-impl<'a> Pass2Machine<'a> {
-    fn new(
-        q: &'a TransformQuery,
-        mf: &'a FilteringNfa,
-        mp: &'a SelectingNfa,
-        step_states: &'a [Option<usize>],
-        ld: &'a Ld,
-    ) -> Self {
+impl Pass2Core {
+    fn new(q: &TransformQuery) -> Self {
         let elem_events = match &q.op {
             UpdateOp::Insert { elem, .. } | UpdateOp::Replace { elem } => doc_events(elem),
             _ => Vec::new(),
         };
-        Pass2Machine {
-            q,
-            mf,
-            mp,
-            step_states,
-            ld,
+        Pass2Core {
             elem_events,
             cursor: 0,
             stack: Vec::new(),
@@ -716,6 +955,7 @@ impl<'a> Pass2Machine<'a> {
 
     fn on_event(
         &mut self,
+        ctx: &Pass2Ctx<'_>,
         ev: SaxEvent,
         sink: &mut dyn EventSink,
     ) -> Result<(), SaxTransformError> {
@@ -724,29 +964,27 @@ impl<'a> Pass2Machine<'a> {
             SaxEvent::StartElement { name, attrs } => {
                 let (parent_mf, parent_mp) = match self.stack.last() {
                     Some(f) => (f.mf_states.clone(), f.mp_states.clone()),
-                    None => (self.mf.initial(), self.mp.initial()),
+                    None => (ctx.mf.initial(), ctx.mp.initial()),
                 };
                 // Replay the pass-1 cursor discipline.
-                let mf_next = self.mf.next_states(&parent_mf, &name);
+                let mf_next = ctx.mf.next_states(&parent_mf, &name);
                 if !self.epsilon {
-                    for (step, state) in self.step_states.iter().enumerate() {
-                        if self.mp.path.steps[step].qualifier.is_none() {
+                    for (step, state) in ctx.step_states.iter().enumerate() {
+                        if ctx.mp.path.steps[step].qualifier.is_none() {
                             continue;
                         }
                         if state.is_some_and(|st| mf_next.contains(st)) {
-                            self.truth[step] = self.ld.get(self.cursor);
+                            self.truth[step] = ctx.ld.get(self.cursor);
                             self.cursor += 1;
                         }
                     }
                 }
                 let truth = &self.truth;
-                let mp_next = self
-                    .mp
-                    .next_states(&parent_mp, &name, |step, _| truth[step]);
+                let mp_next = ctx.mp.next_states(&parent_mp, &name, |step, _| truth[step]);
                 let selected = if self.epsilon {
                     self.stack.is_empty()
                 } else {
-                    mp_next.contains(self.mp.final_state)
+                    mp_next.contains(ctx.mp.final_state)
                 };
 
                 let mut frame = P2Frame {
@@ -763,7 +1001,7 @@ impl<'a> Pass2Machine<'a> {
                     // emptiness here means this *is* the document root —
                     // where sibling inserts are skipped.
                     let at_root = self.stack.is_empty();
-                    match &self.q.op {
+                    match ctx.op {
                         UpdateOp::Delete => {
                             self.suppress += 1;
                         }
@@ -1081,6 +1319,88 @@ mod tests {
             .unwrap();
         assert_eq!(out1, out2);
         assert!(!String::from_utf8(out1).unwrap().contains("price"));
+    }
+
+    fn stream_transform(xml: &str, q: &TransformQuery) -> Result<String, SaxTransformError> {
+        let mut ts = TransformStream::new(q, LdStorage::Memory);
+        let mut p = SaxParser::from_str(xml);
+        while let Some(ev) = p.next_event()? {
+            ts.feed(ev)?;
+        }
+        ts.begin_replay()?;
+        let mut out = Vec::new();
+        let mut sink = WriterSink::new(&mut out);
+        let mut p = SaxParser::from_str(xml);
+        while let Some(ev) = p.next_event()? {
+            ts.replay(ev, &mut sink)?;
+        }
+        ts.finish(&mut sink)?;
+        Ok(String::from_utf8(out).expect("writer produces UTF-8"))
+    }
+
+    #[test]
+    fn push_stream_matches_pull_two_pass() {
+        let e = Document::parse("<mark/>").unwrap();
+        for p in [
+            "//price",
+            "//part[pname = 'keyboard']//part",
+            "//supplier[price < 15]",
+            "db/part[supplier/sname = 'IBM']/pname",
+        ] {
+            let path = parse_path(p).unwrap();
+            for q in [
+                TransformQuery::delete("d", path.clone()),
+                TransformQuery::insert("d", path.clone(), e.clone()),
+                TransformQuery::replace("d", path.clone(), e.clone()),
+                TransformQuery::rename("d", path.clone(), "rn"),
+            ] {
+                let pull = two_pass_sax_str(doc_xml(), &q).unwrap();
+                let push = stream_transform(doc_xml(), &q).unwrap();
+                assert_eq!(push, pull, "push/pull disagree for {} {p}", q.op.kind());
+            }
+        }
+    }
+
+    #[test]
+    fn push_stream_rejects_unbalanced_events() {
+        let q = TransformQuery::delete("d", parse_path("//x").unwrap());
+        // Orphan end tag.
+        let mut ts = TransformStream::new(&q, LdStorage::Memory);
+        assert!(ts.feed(SaxEvent::end("a")).is_err());
+        // Truncated pass 1.
+        let mut ts = TransformStream::new(&q, LdStorage::Memory);
+        ts.feed(SaxEvent::start("a")).unwrap();
+        assert!(ts.begin_replay().is_err());
+        // Content after the root closed.
+        let mut ts = TransformStream::new(&q, LdStorage::Memory);
+        ts.feed(SaxEvent::start("a")).unwrap();
+        ts.feed(SaxEvent::end("a")).unwrap();
+        assert!(ts.feed(SaxEvent::start("b")).is_err());
+        // Truncated pass 2.
+        let mut ts = TransformStream::new(&q, LdStorage::Memory);
+        ts.feed(SaxEvent::start("a")).unwrap();
+        ts.feed(SaxEvent::end("a")).unwrap();
+        ts.begin_replay().unwrap();
+        let mut out = Vec::new();
+        let mut sink = WriterSink::new(&mut out);
+        ts.replay(SaxEvent::start("a"), &mut sink).unwrap();
+        assert!(ts.finish(&mut sink).is_err());
+    }
+
+    #[test]
+    fn push_stream_phase_discipline() {
+        let q = TransformQuery::delete("d", parse_path("//x").unwrap());
+        let mut ts = TransformStream::new(&q, LdStorage::Memory);
+        let mut out = Vec::new();
+        let mut sink = WriterSink::new(&mut out);
+        // replay/finish before begin_replay are errors.
+        assert!(ts.replay(SaxEvent::start("a"), &mut sink).is_err());
+        assert!(ts.finish(&mut sink).is_err());
+        ts.begin_replay().unwrap();
+        // feed after begin_replay is an error; so is a second begin.
+        assert!(ts.feed(SaxEvent::start("a")).is_err());
+        assert!(ts.begin_replay().is_err());
+        assert_eq!(ts.query().op.kind(), "delete");
     }
 
     #[test]

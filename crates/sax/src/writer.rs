@@ -16,6 +16,13 @@ pub struct SaxWriter<W: Write> {
     /// True while a start tag is open and unclosed (`<name attrs…`), so a
     /// following end tag can collapse to `/>`.
     open_tag: bool,
+    /// Total bytes handed to the sink so far.
+    written: u64,
+    /// Bytes written since the last flush (explicit or automatic).
+    unflushed: u64,
+    /// Auto-flush threshold in bytes; 0 disables (flush only on
+    /// [`SaxWriter::finish`]).
+    autoflush: u64,
 }
 
 impl<W: Write> SaxWriter<W> {
@@ -26,7 +33,63 @@ impl<W: Write> SaxWriter<W> {
             scratch: String::with_capacity(256),
             depth: 0,
             open_tag: false,
+            written: 0,
+            unflushed: 0,
+            autoflush: 0,
         }
+    }
+
+    /// Sets a backpressure hook: the underlying sink is flushed whenever
+    /// at least `bytes` have been written since the last flush, so a
+    /// streaming server's output reaches the client (and its socket
+    /// buffer can push back) instead of accumulating in BufWriter
+    /// layers. `0` disables auto-flushing (the default).
+    pub fn with_autoflush(mut self, bytes: u64) -> Self {
+        self.autoflush = bytes;
+        self
+    }
+
+    /// Total bytes emitted so far (for progress/flow-control decisions).
+    pub fn bytes_written(&self) -> u64 {
+        self.written
+    }
+
+    /// Current open-element depth (0 means the document is complete).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Flushes the underlying sink now.
+    pub fn flush(&mut self) -> SaxResult<()> {
+        self.out.flush()?;
+        self.unflushed = 0;
+        Ok(())
+    }
+
+    /// Mutable access to the underlying sink — lets a streaming session
+    /// drain accumulated output incrementally (e.g. `Vec<u8>` chunks)
+    /// between events.
+    pub fn get_mut(&mut self) -> &mut W {
+        &mut self.out
+    }
+
+    fn emit(&mut self, bytes: &[u8]) -> SaxResult<()> {
+        self.out.write_all(bytes)?;
+        self.written += bytes.len() as u64;
+        self.unflushed += bytes.len() as u64;
+        if self.autoflush > 0 && self.unflushed >= self.autoflush {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Emits the scratch buffer (borrow-juggled through `mem::take`, so
+    /// `emit` can account bytes on `&mut self`).
+    fn emit_scratch(&mut self) -> SaxResult<()> {
+        let scratch = std::mem::take(&mut self.scratch);
+        let r = self.emit(scratch.as_bytes());
+        self.scratch = scratch;
+        r
     }
 
     /// Writes one event.
@@ -52,7 +115,7 @@ impl<W: Write> SaxWriter<W> {
             escape_attr_into(v, &mut self.scratch);
             self.scratch.push('"');
         }
-        self.out.write_all(self.scratch.as_bytes())?;
+        self.emit_scratch()?;
         self.open_tag = true;
         self.depth += 1;
         Ok(())
@@ -63,7 +126,7 @@ impl<W: Write> SaxWriter<W> {
         self.close_pending()?;
         self.scratch.clear();
         escape_text_into(t, &mut self.scratch);
-        self.out.write_all(self.scratch.as_bytes())?;
+        self.emit_scratch()?;
         Ok(())
     }
 
@@ -77,14 +140,14 @@ impl<W: Write> SaxWriter<W> {
         }
         self.depth -= 1;
         if self.open_tag {
-            self.out.write_all(b"/>")?;
+            self.emit(b"/>")?;
             self.open_tag = false;
         } else {
             self.scratch.clear();
             self.scratch.push_str("</");
             self.scratch.push_str(name);
             self.scratch.push('>');
-            self.out.write_all(self.scratch.as_bytes())?;
+            self.emit_scratch()?;
         }
         Ok(())
     }
@@ -100,7 +163,7 @@ impl<W: Write> SaxWriter<W> {
 
     fn close_pending(&mut self) -> SaxResult<()> {
         if self.open_tag {
-            self.out.write_all(b">")?;
+            self.emit(b">")?;
             self.open_tag = false;
         }
         Ok(())
@@ -159,6 +222,76 @@ mod tests {
         let mut w = SaxWriter::new(Vec::new());
         w.start_element("a", &[]).unwrap();
         assert!(w.finish().is_err());
+    }
+
+    #[test]
+    fn byte_accounting_and_depth() {
+        let mut w = SaxWriter::new(Vec::new());
+        assert_eq!(w.bytes_written(), 0);
+        w.start_element("a", &[]).unwrap();
+        assert_eq!(w.depth(), 1);
+        w.text("hi").unwrap();
+        w.end_element("a").unwrap();
+        assert_eq!(w.depth(), 0);
+        let n = w.bytes_written();
+        let out = w.finish().unwrap();
+        assert_eq!(n, out.len() as u64);
+        assert_eq!(out, b"<a>hi</a>");
+    }
+
+    #[test]
+    fn autoflush_reaches_the_sink_incrementally() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        /// Records how many bytes each flush delivered.
+        struct FlushSpy {
+            buf: Vec<u8>,
+            flushes: Rc<RefCell<Vec<usize>>>,
+        }
+        impl Write for FlushSpy {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.buf.extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                self.flushes.borrow_mut().push(self.buf.len());
+                Ok(())
+            }
+        }
+
+        let flushes = Rc::new(RefCell::new(Vec::new()));
+        let spy = FlushSpy {
+            buf: Vec::new(),
+            flushes: Rc::clone(&flushes),
+        };
+        let mut w = SaxWriter::new(spy).with_autoflush(8);
+        w.start_element("root", &[]).unwrap();
+        for i in 0..20 {
+            w.start_element("e", &[]).unwrap();
+            w.text(&i.to_string()).unwrap();
+            w.end_element("e").unwrap();
+        }
+        w.end_element("root").unwrap();
+        let spy = w.finish().unwrap();
+        // The sink saw many intermediate flushes, not one big final one.
+        assert!(
+            flushes.borrow().len() > 5,
+            "expected incremental flushes, saw {:?}",
+            flushes.borrow()
+        );
+        assert!(String::from_utf8(spy.buf).unwrap().starts_with("<root>"));
+    }
+
+    #[test]
+    fn get_mut_drains_incrementally() {
+        let mut w = SaxWriter::new(Vec::new());
+        w.start_element("a", &[]).unwrap();
+        w.text("x").unwrap();
+        let chunk = std::mem::take(w.get_mut());
+        assert_eq!(chunk, b"<a>x");
+        w.end_element("a").unwrap();
+        assert_eq!(w.finish().unwrap(), b"</a>");
     }
 
     #[test]

@@ -5,10 +5,20 @@
 //! Workers shut down when the pool is dropped (the channel closes and
 //! each worker's `recv` errors out). Results travel back on per-job
 //! channels owned by the callers, so the pool itself is fire-and-forget.
+//!
+//! [`ThreadPool::run_batch`] layers the work-stealing batch discipline
+//! of [`xust_core::parallel_map_stats`] on top of the *resident*
+//! workers: per-drainer deques with back-stealing, but bounded by the
+//! pool size across **all** concurrent callers — K clients issuing
+//! batches at once still run at most `threads()` items in flight.
 
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+
+use xust_core::StealStats;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -74,6 +84,96 @@ impl ThreadPool {
         });
         rx
     }
+
+    /// Runs a whole batch on the resident workers with work-stealing:
+    /// up to `threads()` drainer jobs share per-drainer index deques
+    /// (seeded round-robin) and steal from the back of a sibling's
+    /// queue when their own runs dry. Results come back in item order;
+    /// a slot is `None` only if the job processing it panicked.
+    ///
+    /// Because the drainers are ordinary pool jobs, total in-flight
+    /// work across every concurrent `run_batch` caller stays bounded by
+    /// the pool size — no per-batch thread spawning.
+    pub fn run_batch<T, R, F>(&self, items: Vec<T>, f: F) -> (Vec<Option<R>>, StealStats)
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(usize, T) -> R + Send + Sync + 'static,
+    {
+        let n = items.len();
+        if n == 0 {
+            return (
+                Vec::new(),
+                StealStats {
+                    items: 0,
+                    workers: 0,
+                    steals: 0,
+                },
+            );
+        }
+        let workers = self.threads().min(n);
+        let slots: Arc<Vec<Mutex<Option<T>>>> =
+            Arc::new(items.into_iter().map(|t| Mutex::new(Some(t))).collect());
+        let queues: Arc<Vec<Mutex<VecDeque<usize>>>> = Arc::new(
+            (0..workers)
+                .map(|w| Mutex::new((w..n).step_by(workers).collect()))
+                .collect(),
+        );
+        let steals = Arc::new(AtomicU64::new(0));
+        let f = Arc::new(f);
+        let receivers: Vec<Receiver<Vec<(usize, R)>>> = (0..workers)
+            .map(|w| {
+                let slots = Arc::clone(&slots);
+                let queues = Arc::clone(&queues);
+                let steals = Arc::clone(&steals);
+                let f = Arc::clone(&f);
+                self.submit(move || {
+                    let mut done: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let mut next = queues[w].lock().expect("batch queue poisoned").pop_front();
+                        if next.is_none() {
+                            for v in 1..queues.len() {
+                                let victim = (w + v) % queues.len();
+                                if let Some(i) = queues[victim]
+                                    .lock()
+                                    .expect("batch queue poisoned")
+                                    .pop_back()
+                                {
+                                    steals.fetch_add(1, Ordering::Relaxed);
+                                    next = Some(i);
+                                    break;
+                                }
+                            }
+                        }
+                        let Some(i) = next else { break };
+                        if let Some(item) = slots[i].lock().expect("batch slot poisoned").take() {
+                            done.push((i, f(i, item)));
+                        }
+                    }
+                    done
+                })
+            })
+            .collect();
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for rx in receivers {
+            // A drainer that panicked loses its in-flight item (and any
+            // queue remainder no live sibling stole) — those slots stay
+            // `None` rather than poisoning the whole batch.
+            if let Ok(pairs) = rx.recv() {
+                for (i, r) in pairs {
+                    out[i] = Some(r);
+                }
+            }
+        }
+        (
+            out,
+            StealStats {
+                items: n,
+                workers,
+                steals: steals.load(Ordering::Relaxed),
+            },
+        )
+    }
 }
 
 impl Drop for ThreadPool {
@@ -115,6 +215,64 @@ mod tests {
         let rx = pool.submit(|| 7);
         drop(pool); // must not hang
         assert_eq!(rx.recv().unwrap(), 7);
+    }
+
+    #[test]
+    fn run_batch_orders_results_and_steals_under_skew() {
+        let pool = ThreadPool::new(4);
+        // Indices 0, 4, 8, … (drainer 0's seed queue) are slow; the
+        // other drainers drain instantly and must steal.
+        let items: Vec<usize> = (0..64).collect();
+        let (out, stats) = pool.run_batch(items, |i, v| {
+            assert_eq!(i, v);
+            if i % 4 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            v * 2
+        });
+        assert_eq!(out.len(), 64);
+        assert!(out.iter().enumerate().all(|(i, r)| *r == Some(i * 2)));
+        assert_eq!(stats.items, 64);
+        assert_eq!(stats.workers, 4);
+        assert!(stats.steals > 0, "expected stealing: {stats:?}");
+        // The pool is still healthy for ordinary jobs afterwards.
+        assert_eq!(pool.submit(|| 5).recv().unwrap(), 5);
+    }
+
+    #[test]
+    fn run_batch_bounds_concurrency_to_pool_size() {
+        let pool = ThreadPool::new(2);
+        let live = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let (out, _) = pool.run_batch((0..32).collect::<Vec<usize>>(), {
+            let live = Arc::clone(&live);
+            let peak = Arc::clone(&peak);
+            move |_, v| {
+                let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                live.fetch_sub(1, Ordering::SeqCst);
+                v
+            }
+        });
+        assert_eq!(out.len(), 32);
+        assert!(out.iter().all(|r| r.is_some()));
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "batch exceeded pool bound: {}",
+            peak.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn run_batch_empty_and_single() {
+        let pool = ThreadPool::new(3);
+        let (out, stats) = pool.run_batch(Vec::<u8>::new(), |_, v| v);
+        assert!(out.is_empty());
+        assert_eq!(stats.workers, 0);
+        let (out, stats) = pool.run_batch(vec![9], |_, v| v + 1);
+        assert_eq!(out, vec![Some(10)]);
+        assert_eq!(stats.workers, 1);
     }
 
     #[test]

@@ -64,14 +64,16 @@ pub mod planner;
 pub mod registry;
 pub mod server;
 pub mod stats;
+pub mod store;
 
 pub use cache::PreparedCache;
 pub use error::ServeError;
 pub use executor::ThreadPool;
 pub use planner::{AdaptivePlanner, DocShape, PlannerConfig};
 pub use registry::{ViewBody, ViewDef, ViewRegistry};
-pub use server::{DocSource, Request, Response, Server, ServerBuilder};
-pub use stats::{ServeStats, StatsSnapshot};
+pub use server::{DocSource, Request, Response, Server, ServerBuilder, StreamingSession};
+pub use stats::{EwmaCell, ServeStats, StatsSnapshot};
+pub use store::{DocStore, StoreSnapshot};
 
 // Re-exported so callers can speak the planner's vocabulary without
 // depending on xust-core directly.
@@ -286,6 +288,96 @@ mod tests {
             Err(ServeError::Parse(_))
         ));
         assert_eq!(s.stats().failures, 3);
+    }
+
+    #[test]
+    fn streaming_session_matches_transform_request() {
+        use xust_sax::SaxParser;
+        let s = server();
+        let expected = s
+            .handle(&Request::Transform {
+                doc: "db".into(),
+                query: DEL_PRICE.into(),
+            })
+            .unwrap()
+            .body;
+
+        let mut session = s.begin_stream(DEL_PRICE).unwrap();
+        assert!(session.cache_hit(), "transform compiled once, reused here");
+        let mut p = SaxParser::from_str(XML);
+        while let Some(ev) = p.next_event().unwrap() {
+            session.feed(ev).unwrap();
+        }
+        session.begin_replay().unwrap();
+        let mut out = Vec::new();
+        let mut p = SaxParser::from_str(XML);
+        while let Some(ev) = p.next_event().unwrap() {
+            out.extend(session.replay(ev).unwrap());
+        }
+        assert_eq!(session.bytes_emitted(), out.len() as u64);
+        let (tail, stats) = session.finish().unwrap();
+        out.extend(tail);
+        assert_eq!(String::from_utf8(out).unwrap(), expected);
+        assert!(stats.elements > 0);
+        assert_eq!(s.stats().stream_sessions, 1);
+        assert_eq!(s.store().active_snapshots(), 0, "session released its pin");
+    }
+
+    #[test]
+    fn batch_takes_one_snapshot_and_counts_steals() {
+        let s = Server::builder().threads(4).shards(4).build();
+        s.load_doc_str("db", XML).unwrap();
+        let batch: Vec<Request> = (0..32)
+            .map(|_| Request::Transform {
+                doc: "db".into(),
+                query: DEL_PRICE.into(),
+            })
+            .collect();
+        let results = s.execute_batch(batch);
+        assert!(results.iter().all(|r| r.is_ok()));
+        let snap = s.stats();
+        assert_eq!(snap.batches, 1);
+        assert_eq!(snap.batch_items, 32);
+        assert_eq!(s.store().active_snapshots(), 0, "batch snapshot released");
+    }
+
+    #[test]
+    fn view_latency_ewma_is_reported() {
+        let s = server();
+        s.register_view("public", DEL_PRICE).unwrap();
+        for _ in 0..3 {
+            s.handle(&Request::View {
+                view: "public".into(),
+                doc: "db".into(),
+            })
+            .unwrap();
+        }
+        let (n, micros) = s
+            .stats()
+            .view_latency
+            .iter()
+            .find(|(v, _, _)| v == "public")
+            .map(|&(_, n, e)| (n, e))
+            .unwrap();
+        assert_eq!(n, 3);
+        assert!(micros >= 0.0);
+    }
+
+    #[test]
+    fn epochs_advance_and_old_snapshots_survive_reload() {
+        let s = server();
+        let before: u64 = s.store().epochs().iter().sum();
+        s.load_doc_str("db", "<db><part><price>1</price></part></db>")
+            .unwrap();
+        let after: u64 = s.store().epochs().iter().sum();
+        assert_eq!(after, before + 1, "one COW epoch per write");
+        let out = s
+            .handle(&Request::Transform {
+                doc: "db".into(),
+                query: DEL_PRICE.into(),
+            })
+            .unwrap();
+        assert_eq!(out.body, "<db><part/></db>");
     }
 
     #[test]

@@ -16,15 +16,14 @@
 //! takes `&self`, so any number of client threads can call into one
 //! server concurrently.
 
-use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::mpsc::Receiver;
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 use std::time::Instant;
 
 use xust_compose::{compose, compose_two_pass_sax, ComposedQuery, UserQuery};
-use xust_core::{multi_top_down, CompiledTransform, Method};
-use xust_sax::SaxParser;
+use xust_core::{multi_top_down, CompiledTransform, LdStorage, Method, SaxStats, TransformStream};
+use xust_sax::{SaxEvent, SaxParser, SaxWriter};
 use xust_secview::Policy;
 use xust_tree::Document;
 
@@ -34,6 +33,7 @@ use crate::executor::ThreadPool;
 use crate::planner::{AdaptivePlanner, DocShape, PlannerConfig};
 use crate::registry::{ViewBody, ViewDef, ViewRegistry};
 use crate::stats::{ServeStats, StatsSnapshot};
+use crate::store::{DocStore, StoreSnapshot};
 
 /// Where a named document lives.
 #[derive(Debug, Clone)]
@@ -42,6 +42,25 @@ pub enum DocSource {
     Memory(Arc<Document>),
     /// On disk; requests stream it with bounded memory.
     File(PathBuf),
+}
+
+/// How a request resolves document names: a single request reads the
+/// store's *current* epoch directly (one shard lock for its one
+/// lookup), while batch items share one pinned [`StoreSnapshot`] so
+/// every item sees the same document world.
+enum DocView<'a> {
+    Live(&'a DocStore),
+    Pinned(&'a StoreSnapshot),
+}
+
+impl DocView<'_> {
+    fn get(&self, name: &str) -> Result<DocSource, ServeError> {
+        match self {
+            DocView::Live(store) => store.get(name),
+            DocView::Pinned(snap) => snap.get(name).cloned(),
+        }
+        .ok_or_else(|| ServeError::UnknownDoc(name.to_string()))
+    }
 }
 
 /// One client request.
@@ -91,6 +110,7 @@ pub struct Response {
 /// Configures and builds a [`Server`].
 pub struct ServerBuilder {
     threads: usize,
+    shards: usize,
     cache_capacity: usize,
     planner: PlannerConfig,
 }
@@ -101,6 +121,7 @@ impl Default for ServerBuilder {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
+            shards: 8,
             cache_capacity: 256,
             planner: PlannerConfig::default(),
         }
@@ -111,6 +132,12 @@ impl ServerBuilder {
     /// Worker threads for the batched/asynchronous entry points.
     pub fn threads(mut self, n: usize) -> ServerBuilder {
         self.threads = n;
+        self
+    }
+
+    /// Document-store shards (see [`DocStore`]); default 8.
+    pub fn shards(mut self, n: usize) -> ServerBuilder {
+        self.shards = n;
         self
     }
 
@@ -130,7 +157,7 @@ impl ServerBuilder {
     pub fn build(self) -> Server {
         Server {
             inner: Arc::new(Inner {
-                docs: RwLock::new(HashMap::new()),
+                docs: DocStore::new(self.shards),
                 registry: ViewRegistry::new(),
                 transforms: PreparedCache::new(self.cache_capacity),
                 composed: PreparedCache::new(self.cache_capacity),
@@ -143,7 +170,7 @@ impl ServerBuilder {
 }
 
 struct Inner {
-    docs: RwLock<HashMap<String, DocSource>>,
+    docs: DocStore,
     registry: ViewRegistry,
     transforms: PreparedCache<CompiledTransform>,
     composed: PreparedCache<ComposedQuery>,
@@ -171,13 +198,13 @@ impl Server {
 
     // ---- documents ----
 
-    /// Loads (or replaces) an in-memory document.
+    /// Loads (or replaces) an in-memory document. Copy-on-write into a
+    /// fresh shard epoch: in-flight requests holding snapshots keep
+    /// reading the old version.
     pub fn load_doc(&self, name: impl Into<String>, doc: Document) {
         self.inner
             .docs
-            .write()
-            .expect("doc store lock poisoned")
-            .insert(name.into(), DocSource::Memory(Arc::new(doc)));
+            .insert(name, DocSource::Memory(Arc::new(doc)));
     }
 
     /// Parses and loads a document from XML text.
@@ -197,37 +224,38 @@ impl Server {
         if !path.is_file() {
             return Err(ServeError::Io(format!("{}: not a file", path.display())));
         }
-        self.inner
-            .docs
-            .write()
-            .expect("doc store lock poisoned")
-            .insert(name.into(), DocSource::File(path));
+        self.inner.docs.insert(name, DocSource::File(path));
         Ok(())
+    }
+
+    /// Unloads a document; true if it existed. Snapshots taken before
+    /// the removal keep serving it until they drop.
+    pub fn remove_doc(&self, name: &str) -> bool {
+        self.inner.docs.remove(name)
     }
 
     /// Loaded document names, sorted.
     pub fn doc_names(&self) -> Vec<String> {
-        let mut v: Vec<String> = self
-            .inner
-            .docs
-            .read()
-            .expect("doc store lock poisoned")
-            .keys()
-            .cloned()
-            .collect();
-        v.sort();
-        v
+        self.inner.docs.snapshot().names()
     }
 
-    fn doc_source(&self, name: &str) -> Result<DocSource, ServeError> {
-        self.inner
-            .docs
-            .read()
-            .expect("doc store lock poisoned")
-            .get(name)
-            .cloned()
-            .ok_or_else(|| ServeError::UnknownDoc(name.to_string()))
+    /// The backing path of a file-backed document, if `name` is one —
+    /// what a protocol front end needs to drive a streaming session
+    /// from disk.
+    pub fn doc_path(&self, name: &str) -> Option<PathBuf> {
+        match self.inner.docs.get(name) {
+            Some(DocSource::File(path)) => Some(path),
+            _ => None,
+        }
     }
+
+    /// The sharded document store (snapshot counters, epochs, shard
+    /// layout) — exposed for observability and tests.
+    pub fn store(&self) -> &DocStore {
+        &self.inner.docs
+    }
+
+    // (document resolution for requests goes through [`DocView`])
 
     // ---- views ----
 
@@ -257,17 +285,32 @@ impl Server {
     // ---- serving ----
 
     /// Handles one request synchronously. Safe to call from any number
-    /// of threads at once.
+    /// of threads at once. A single request resolves its one document
+    /// against the store's current epoch directly (one shard lock —
+    /// no cross-shard snapshot on the hot path); consistency across
+    /// *several* lookups is what [`Server::execute_batch`] and
+    /// streaming sessions use snapshots for.
     pub fn handle(&self, request: &Request) -> Result<Response, ServeError> {
+        self.handle_in(request, &DocView::Live(&self.inner.docs))
+    }
+
+    /// Handles one request against an explicit document view — the unit
+    /// of work the batch executor fans out (one pinned snapshot per
+    /// batch, so all items see the same document world).
+    fn handle_in(&self, request: &Request, view: &DocView<'_>) -> Result<Response, ServeError> {
         let started = Instant::now();
         self.inner
             .stats
             .requests
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let result = match request {
-            Request::View { view, doc } => self.handle_view(view, doc),
-            Request::Query { view, doc, query } => self.handle_query(view, doc, query),
-            Request::Transform { doc, query } => self.handle_transform(doc, query),
+            Request::View { view: v, doc } => self.handle_view(view, v, doc),
+            Request::Query {
+                view: v,
+                doc,
+                query,
+            } => self.handle_query(view, v, doc, query),
+            Request::Transform { doc, query } => self.handle_transform(view, doc, query),
         };
         let micros = started.elapsed().as_micros() as u64;
         self.inner
@@ -276,6 +319,12 @@ impl Server {
             .fetch_add(micros, std::sync::atomic::Ordering::Relaxed);
         match result {
             Ok(mut resp) => {
+                if let Request::View { view, .. } | Request::Query { view, .. } = request {
+                    // Per-view latency feedback, merged lock-free (CAS)
+                    // when several executor workers report for the same
+                    // view at once.
+                    self.inner.stats.record_view_latency(view, micros as f64);
+                }
                 resp.micros = micros;
                 Ok(resp)
             }
@@ -296,20 +345,34 @@ impl Server {
         self.inner.pool.submit(move || server.handle(&request))
     }
 
-    /// The batched multi-document entry point: fans the batch out over
-    /// the worker pool and returns results in request order.
+    /// The batched multi-document entry point: takes **one** store
+    /// snapshot (every item sees the same consistent document world) and
+    /// fans the batch across the resident worker pool with work-stealing
+    /// ([`ThreadPool::run_batch`]), so one slow request never serializes
+    /// the rest while total concurrency stays bounded by the pool size
+    /// even under many simultaneous batch callers. Results come back in
+    /// request order; per-item method/latency observations are merged
+    /// into the planner's EWMA feedback and the per-view latency cells
+    /// as each item completes.
     pub fn execute_batch(&self, requests: Vec<Request>) -> Vec<Result<Response, ServeError>> {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.inner.stats.batches.fetch_add(1, Relaxed);
         self.inner
             .stats
-            .batches
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let receivers: Vec<_> = requests.into_iter().map(|r| self.submit(r)).collect();
-        receivers
+            .batch_items
+            .fetch_add(requests.len() as u64, Relaxed);
+        let snap = Arc::new(self.inner.docs.snapshot());
+        let server = self.clone();
+        let (results, steal) = self.inner.pool.run_batch(requests, move |_, req| {
+            server.handle_in(&req, &DocView::Pinned(&snap))
+        });
+        self.inner
+            .stats
+            .batch_steals
+            .fetch_add(steal.steals, Relaxed);
+        results
             .into_iter()
-            .map(|rx| {
-                rx.recv()
-                    .unwrap_or_else(|_| Err(ServeError::Eval("worker panicked".into())))
-            })
+            .map(|r| r.unwrap_or_else(|| Err(ServeError::Eval("worker panicked".into()))))
             .collect()
     }
 
@@ -332,12 +395,17 @@ impl Server {
 
     // ---- request handlers ----
 
-    fn handle_transform(&self, doc: &str, query: &str) -> Result<Response, ServeError> {
+    fn handle_transform(
+        &self,
+        view: &DocView<'_>,
+        doc: &str,
+        query: &str,
+    ) -> Result<Response, ServeError> {
         self.inner
             .stats
             .transform_requests
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let source = self.doc_source(doc)?;
+        let source = view.get(doc)?;
         let stats = &self.inner.stats;
         let (ct, hit) = self.inner.transforms.get_or_try_insert(query, || {
             stats
@@ -388,7 +456,12 @@ impl Server {
         }
     }
 
-    fn handle_view(&self, view: &str, doc: &str) -> Result<Response, ServeError> {
+    fn handle_view(
+        &self,
+        docs: &DocView<'_>,
+        view: &str,
+        doc: &str,
+    ) -> Result<Response, ServeError> {
         self.inner
             .stats
             .view_requests
@@ -398,7 +471,7 @@ impl Server {
             .registry
             .get(view)
             .ok_or_else(|| ServeError::UnknownView(view.to_string()))?;
-        let source = self.doc_source(doc)?;
+        let source = docs.get(doc)?;
 
         // File-backed, single-link chains stream end to end: the input
         // is never held in memory, only the response body.
@@ -430,7 +503,13 @@ impl Server {
         })
     }
 
-    fn handle_query(&self, view: &str, doc: &str, query: &str) -> Result<Response, ServeError> {
+    fn handle_query(
+        &self,
+        docs: &DocView<'_>,
+        view: &str,
+        doc: &str,
+        query: &str,
+    ) -> Result<Response, ServeError> {
         self.inner
             .stats
             .query_requests
@@ -440,7 +519,7 @@ impl Server {
             .registry
             .get(view)
             .ok_or_else(|| ServeError::UnknownView(view.to_string()))?;
-        let source = self.doc_source(doc)?;
+        let source = docs.get(doc)?;
 
         if let Some(link) = def.single() {
             // File-backed: streaming composition over the unparsed
@@ -599,5 +678,155 @@ impl Server {
 impl Default for Server {
     fn default() -> Server {
         Server::new()
+    }
+}
+
+// ---- streaming sessions ----
+
+impl Server {
+    /// Opens a [`StreamingSession`]: the client streams a document as
+    /// SAX events — twice, mirroring the two-pass discipline — and
+    /// receives the transformed output incrementally. The input tree is
+    /// **never materialized**; session memory is O(depth · |p|) + |Ld|
+    /// regardless of document size.
+    ///
+    /// The transform is resolved through the prepared cache (repeat
+    /// sessions skip parse + NFA construction), and the session pins a
+    /// store snapshot for its lifetime so the server's epoch bookkeeping
+    /// can prove abandoned sessions release their resources.
+    pub fn begin_stream(&self, query: &str) -> Result<StreamingSession, ServeError> {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.inner.stats.requests.fetch_add(1, Relaxed);
+        self.inner.stats.stream_sessions.fetch_add(1, Relaxed);
+        let stats = &self.inner.stats;
+        let compiled = self.inner.transforms.get_or_try_insert(query, || {
+            stats.compiles.fetch_add(1, Relaxed);
+            CompiledTransform::parse(query).map_err(|e| ServeError::Parse(e.to_string()))
+        });
+        let (ct, hit) = match compiled {
+            Ok(v) => v,
+            Err(e) => {
+                stats.failures.fetch_add(1, Relaxed);
+                return Err(e);
+            }
+        };
+        self.note_cache(hit);
+        let stream = ct.stream(LdStorage::Memory);
+        Ok(StreamingSession {
+            server: self.clone(),
+            stream,
+            writer: SaxWriter::new(Vec::new()),
+            started: Instant::now(),
+            cache_hit: hit,
+            _snapshot: self.inner.docs.snapshot(),
+        })
+    }
+}
+
+/// One client's streaming transform session (see
+/// [`Server::begin_stream`]). Protocol:
+///
+/// 1. [`feed`](StreamingSession::feed) every event of the document
+///    (pass 1 — qualifier evaluation);
+/// 2. [`begin_replay`](StreamingSession::begin_replay) once;
+/// 3. [`replay`](StreamingSession::replay) the same events again; each
+///    call returns the transformed output bytes produced *so far* —
+///    ship them to the client immediately (backpressure lives in the
+///    caller's writer);
+/// 4. [`finish`](StreamingSession::finish) to flush the tail and
+///    collect statistics.
+///
+/// Dropping a session at any point — client disconnect, malformed
+/// input, truncation — releases its store snapshot and leaves the
+/// server untouched; the error paths are exercised by
+/// `tests/failure_injection.rs`.
+pub struct StreamingSession {
+    server: Server,
+    stream: TransformStream,
+    writer: SaxWriter<Vec<u8>>,
+    started: Instant,
+    cache_hit: bool,
+    /// Pins the store epoch for the session's lifetime; released on drop.
+    _snapshot: StoreSnapshot,
+}
+
+/// Adapter: a [`xust_core::EventSink`] writing into the session's
+/// drainable buffer.
+struct SessionSink<'a> {
+    w: &'a mut SaxWriter<Vec<u8>>,
+}
+
+impl xust_core::EventSink for SessionSink<'_> {
+    fn event(&mut self, ev: SaxEvent) -> Result<(), xust_core::SaxTransformError> {
+        self.w
+            .write_event(&ev)
+            .map_err(xust_core::SaxTransformError::Sax)
+    }
+}
+
+impl StreamingSession {
+    /// True when the transform came from the prepared cache.
+    pub fn cache_hit(&self) -> bool {
+        self.cache_hit
+    }
+
+    /// Feeds one pass-1 event.
+    pub fn feed(&mut self, ev: SaxEvent) -> Result<(), ServeError> {
+        self.stream
+            .feed(ev)
+            .map_err(|e| ServeError::Eval(e.to_string()))
+    }
+
+    /// Seals pass 1 and arms the replay. Errors on truncated input.
+    pub fn begin_replay(&mut self) -> Result<(), ServeError> {
+        self.stream
+            .begin_replay()
+            .map_err(|e| ServeError::Eval(e.to_string()))
+    }
+
+    /// Feeds one pass-2 event and drains whatever transformed output it
+    /// produced (possibly empty — e.g. inside a deleted subtree).
+    pub fn replay(&mut self, ev: SaxEvent) -> Result<Vec<u8>, ServeError> {
+        let mut sink = SessionSink {
+            w: &mut self.writer,
+        };
+        self.stream
+            .replay(ev, &mut sink)
+            .map_err(|e| ServeError::Eval(e.to_string()))?;
+        Ok(std::mem::take(self.writer.get_mut()))
+    }
+
+    /// Transformed output bytes emitted so far.
+    pub fn bytes_emitted(&self) -> u64 {
+        self.writer.bytes_written()
+    }
+
+    /// Wall-clock time since the session was opened.
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.started.elapsed()
+    }
+
+    /// Ends the session: validates the output is balanced, counts the
+    /// execution, and returns `(tail output, streaming statistics)`.
+    ///
+    /// The session's wall-clock is *client-paced* (the caller feeds
+    /// events at whatever rate the network delivers them), so it is
+    /// deliberately NOT fed into the adaptive planner's latency model —
+    /// one slow client must not make `TwoPassSax` look slow to the
+    /// planner for everyone else.
+    pub fn finish(mut self) -> Result<(Vec<u8>, SaxStats), ServeError> {
+        let mut sink = SessionSink {
+            w: &mut self.writer,
+        };
+        let stats = self
+            .stream
+            .finish(&mut sink)
+            .map_err(|e| ServeError::Eval(e.to_string()))?;
+        let tail = std::mem::take(self.writer.get_mut());
+        // An unbalanced *output* (truncated pass 2) is caught by
+        // TransformStream::finish above; the writer depth double-checks.
+        debug_assert_eq!(self.writer.depth(), 0);
+        self.server.inner.stats.count_method(Method::TwoPassSax);
+        Ok((tail, stats))
     }
 }

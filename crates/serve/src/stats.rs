@@ -6,9 +6,69 @@
 //! counter stays at the number of *distinct* queries while `cache_hits`
 //! grows with request volume).
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 use xust_core::Method;
+
+/// A latency EWMA whose whole state — sample count and smoothed value —
+/// lives in **one** atomic word, merged with a single CAS loop.
+///
+/// Multiple executor workers finishing requests for the same view report
+/// concurrently. A read-modify-write over two separate fields (count +
+/// value) loses updates under that race: two workers read the same old
+/// state, both fold their sample in, and one fold vanishes — the sample
+/// count drifts below the number of reports and the EWMA over- or
+/// under-weights history. Packing `(count: u32, value: f32)` into one
+/// `u64` and installing updates with `compare_exchange_weak` makes the
+/// merge atomic: every report is folded exactly once, in *some* total
+/// order (EWMA folds don't commute, but any interleaving is a valid
+/// sample order — what matters is that none is lost).
+#[derive(Debug, Default)]
+pub struct EwmaCell {
+    /// `(count as u64) << 32 | f32::to_bits(value)`.
+    state: AtomicU64,
+}
+
+impl EwmaCell {
+    const fn pack(count: u32, value: f32) -> u64 {
+        ((count as u64) << 32) | value.to_bits() as u64
+    }
+
+    const fn unpack(state: u64) -> (u32, f32) {
+        ((state >> 32) as u32, f32::from_bits(state as u32))
+    }
+
+    /// Folds one sample in atomically. `weight` is the new-sample weight
+    /// in (0, 1]; the first sample installs itself directly. Returns the
+    /// post-fold `(count, value)`.
+    pub fn record(&self, sample: f32, weight: f32) -> (u32, f32) {
+        let mut cur = self.state.load(Ordering::Relaxed);
+        loop {
+            let (count, value) = Self::unpack(cur);
+            let next_value = if count == 0 {
+                sample
+            } else {
+                weight * sample + (1.0 - weight) * value
+            };
+            let next = Self::pack(count.saturating_add(1), next_value);
+            match self
+                .state
+                .compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Relaxed)
+            {
+                Ok(_) => return Self::unpack(next),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// `(count, value)` as of now; `None` before the first sample.
+    pub fn get(&self) -> Option<(u32, f32)> {
+        let (count, value) = Self::unpack(self.state.load(Ordering::Acquire));
+        (count > 0).then_some((count, value))
+    }
+}
 
 const N_METHODS: usize = Method::ALL.len();
 
@@ -42,12 +102,51 @@ pub struct ServeStats {
     pub transform_requests: AtomicU64,
     /// Batched entry-point invocations.
     pub batches: AtomicU64,
+    /// Items executed through batched entry points.
+    pub batch_items: AtomicU64,
+    /// Work-stealing events across batch executions.
+    pub batch_steals: AtomicU64,
+    /// Streaming sessions opened.
+    pub stream_sessions: AtomicU64,
     per_method: [AtomicU64; N_METHODS],
     /// Total busy time across requests, in microseconds.
     pub busy_micros: AtomicU64,
+    /// Per-view latency EWMAs (µs), merged lock-free by [`EwmaCell`].
+    /// The map itself is read-mostly: a view's cell is created once and
+    /// then only its atomic word changes.
+    view_latency: RwLock<HashMap<String, Arc<EwmaCell>>>,
 }
 
+/// New-sample weight for the per-view latency EWMA.
+const VIEW_EWMA_WEIGHT: f32 = 0.25;
+
 impl ServeStats {
+    /// Folds one observed service latency for `view` into its EWMA.
+    /// Safe (and lossless) to call from any number of executor workers
+    /// at once — the merge is a single CAS loop per sample.
+    pub fn record_view_latency(&self, view: &str, micros: f64) {
+        let cell = {
+            let map = self.view_latency.read().expect("stats lock poisoned");
+            map.get(view).cloned()
+        };
+        let cell = match cell {
+            Some(c) => c,
+            None => {
+                let mut map = self.view_latency.write().expect("stats lock poisoned");
+                Arc::clone(map.entry(view.to_string()).or_default())
+            }
+        };
+        cell.record(micros as f32, VIEW_EWMA_WEIGHT);
+    }
+
+    /// The latency EWMA for `view`: `(samples, micros)`, if sampled.
+    pub fn view_latency(&self, view: &str) -> Option<(u32, f32)> {
+        self.view_latency
+            .read()
+            .expect("stats lock poisoned")
+            .get(view)
+            .and_then(|c| c.get())
+    }
     /// Records one execution with `method`.
     pub fn count_method(&self, m: Method) {
         self.per_method[method_index(m)].fetch_add(1, Ordering::Relaxed);
@@ -71,8 +170,20 @@ impl ServeStats {
             query_requests: self.query_requests.load(Ordering::Relaxed),
             transform_requests: self.transform_requests.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
+            batch_items: self.batch_items.load(Ordering::Relaxed),
+            batch_steals: self.batch_steals.load(Ordering::Relaxed),
+            stream_sessions: self.stream_sessions.load(Ordering::Relaxed),
             busy_micros: self.busy_micros.load(Ordering::Relaxed),
             per_method: Method::ALL.map(|m| (m, self.method_count(m))),
+            view_latency: {
+                let map = self.view_latency.read().expect("stats lock poisoned");
+                let mut v: Vec<(String, u32, f32)> = map
+                    .iter()
+                    .filter_map(|(k, c)| c.get().map(|(n, e)| (k.clone(), n, e)))
+                    .collect();
+                v.sort_by(|a, b| a.0.cmp(&b.0));
+                v
+            },
         }
     }
 }
@@ -100,10 +211,18 @@ pub struct StatsSnapshot {
     pub transform_requests: u64,
     /// Batch invocations.
     pub batches: u64,
+    /// Items executed through batched entry points.
+    pub batch_items: u64,
+    /// Work-stealing events across batch executions.
+    pub batch_steals: u64,
+    /// Streaming sessions opened.
+    pub stream_sessions: u64,
     /// Total busy time (µs).
     pub busy_micros: u64,
     /// Executions per evaluation method.
     pub per_method: [(Method, u64); N_METHODS],
+    /// Per-view latency EWMAs: `(view, samples, micros)`, sorted by view.
+    pub view_latency: Vec<(String, u32, f32)>,
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -123,13 +242,22 @@ impl std::fmt::Display for StatsSnapshot {
             "cache: hits={} misses={} compiles={} compositions={}",
             self.cache_hits, self.cache_misses, self.compiles, self.compositions
         )?;
+        writeln!(
+            f,
+            "batches: runs={} items={} steals={} stream_sessions={}",
+            self.batches, self.batch_items, self.batch_steals, self.stream_sessions
+        )?;
         write!(f, "methods:")?;
         for (m, n) in &self.per_method {
             if *n > 0 {
                 write!(f, " {m}={n}")?;
             }
         }
-        write!(f, " busy={}µs", self.busy_micros)
+        write!(f, " busy={}µs", self.busy_micros)?;
+        for (view, n, ewma) in &self.view_latency {
+            write!(f, "\nview {view}: ewma={ewma:.0}µs samples={n}")?;
+        }
+        Ok(())
     }
 }
 
@@ -152,5 +280,80 @@ mod tests {
         let text = snap.to_string();
         assert!(text.contains("requests=3"));
         assert!(text.contains("TD-BU=2"));
+    }
+
+    #[test]
+    fn ewma_single_thread_matches_reference_fold() {
+        let cell = EwmaCell::default();
+        let samples = [100.0f32, 50.0, 200.0, 10.0, 400.0];
+        let mut reference = None;
+        for &s in &samples {
+            cell.record(s, 0.25);
+            reference = Some(match reference {
+                None => s,
+                Some(prev) => 0.25 * s + 0.75 * prev,
+            });
+        }
+        let (n, v) = cell.get().unwrap();
+        assert_eq!(n, samples.len() as u32);
+        assert!((v - reference.unwrap()).abs() < 1e-3, "{v}");
+    }
+
+    /// Regression test for the atomic merge: with the packed-word CAS
+    /// loop, concurrent reporters can never lose a fold — the sample
+    /// count equals the number of reports exactly. (A two-field
+    /// read-modify-write drops folds under this hammering.)
+    #[test]
+    fn ewma_concurrent_merge_loses_nothing() {
+        use std::sync::Barrier;
+        const THREADS: usize = 16;
+        const PER_THREAD: u32 = 2_000;
+        let cell = Arc::new(EwmaCell::default());
+        let barrier = Arc::new(Barrier::new(THREADS));
+        let workers: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let cell = Arc::clone(&cell);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for i in 0..PER_THREAD {
+                        // Samples confined to [100, 300]: the EWMA must
+                        // stay inside the sample hull whatever the
+                        // interleaving.
+                        let sample = 100.0 + ((t as u32 * 7 + i) % 3) as f32 * 100.0;
+                        cell.record(sample, 0.25);
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let (count, value) = cell.get().unwrap();
+        assert_eq!(
+            count,
+            THREADS as u32 * PER_THREAD,
+            "every concurrent fold must land exactly once"
+        );
+        assert!(
+            (100.0..=300.0).contains(&value),
+            "ewma escaped hull: {value}"
+        );
+    }
+
+    #[test]
+    fn per_view_latency_rolls_up_into_snapshots() {
+        let s = ServeStats::default();
+        assert!(s.view_latency("public").is_none());
+        s.record_view_latency("public", 100.0);
+        s.record_view_latency("public", 100.0);
+        s.record_view_latency("audit", 900.0);
+        let (n, v) = s.view_latency("public").unwrap();
+        assert_eq!(n, 2);
+        assert!((v - 100.0).abs() < 1e-3);
+        let snap = s.snapshot();
+        assert_eq!(snap.view_latency.len(), 2);
+        assert_eq!(snap.view_latency[0].0, "audit");
+        assert!(snap.to_string().contains("view public: ewma=100µs"));
     }
 }

@@ -1,0 +1,352 @@
+//! The sharded document store with epoch-based copy-on-write snapshots.
+//!
+//! Scaling the serve layer to many concurrent clients means the document
+//! map can no longer be one `RwLock<HashMap>`: a single writer loading a
+//! large document would stall every reader, and every reader bounces the
+//! same cache line. [`DocStore`] shards documents over N independent
+//! slots (by name hash) and gives each shard an immutable *epoch*:
+//!
+//! * **Readers** take a [`StoreSnapshot`] — one `Arc` clone per shard
+//!   under a briefly-held read lock — and then resolve documents with no
+//!   locking at all. A snapshot is a consistent view: it never observes
+//!   a later write, however long the request runs.
+//! * **Writers** never mutate an installed epoch. They clone the shard's
+//!   map (cheap: values are `Arc`s or paths), apply the change, bump the
+//!   epoch counter, and swap the new `Arc` in under a briefly-held write
+//!   lock. In-flight readers keep their old epoch alive through their
+//!   snapshot `Arc`s; memory is reclaimed when the last snapshot drops.
+//!
+//! ## The epoch invariant
+//!
+//! For every shard: epochs strictly increase with each write; an epoch's
+//! contents never change after installation; and a snapshot holding
+//! epoch *e* of a shard sees exactly the writes ordered before *e* and
+//! none after. Outstanding snapshots are counted
+//! ([`DocStore::active_snapshots`]) so tests can prove that failed or
+//! abandoned requests — including dropped streaming sessions — release
+//! their snapshots and never poison the store.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::server::DocSource;
+
+/// One shard's immutable epoch: a version counter plus the name → source
+/// map as of that version.
+struct ShardEpoch {
+    epoch: u64,
+    docs: HashMap<String, DocSource>,
+}
+
+struct Shard {
+    current: RwLock<Arc<ShardEpoch>>,
+}
+
+/// The sharded, snapshot-consistent document store. See the module docs.
+pub struct DocStore {
+    shards: Box<[Shard]>,
+    active: Arc<AtomicUsize>,
+}
+
+impl DocStore {
+    /// Creates a store with `shards` independent shards (minimum 1).
+    pub fn new(shards: usize) -> DocStore {
+        let n = shards.max(1);
+        DocStore {
+            shards: (0..n)
+                .map(|_| Shard {
+                    current: RwLock::new(Arc::new(ShardEpoch {
+                        epoch: 0,
+                        docs: HashMap::new(),
+                    })),
+                })
+                .collect(),
+            active: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard owns `name` (FNV-1a over the name bytes).
+    pub fn shard_of(&self, name: &str) -> usize {
+        shard_index(name, self.shards.len())
+    }
+
+    /// Installs (or replaces) a document: copy-on-write into a fresh
+    /// epoch of its shard. Readers holding snapshots are unaffected.
+    /// Returns the shard's new epoch number.
+    pub fn insert(&self, name: impl Into<String>, source: DocSource) -> u64 {
+        let name = name.into();
+        let shard = &self.shards[self.shard_of(&name)];
+        let mut current = shard.current.write().expect("doc store lock poisoned");
+        let mut docs = current.docs.clone();
+        docs.insert(name, source);
+        let epoch = current.epoch + 1;
+        *current = Arc::new(ShardEpoch { epoch, docs });
+        epoch
+    }
+
+    /// Removes a document (copy-on-write); true if it existed.
+    pub fn remove(&self, name: &str) -> bool {
+        let shard = &self.shards[self.shard_of(name)];
+        let mut current = shard.current.write().expect("doc store lock poisoned");
+        if !current.docs.contains_key(name) {
+            return false;
+        }
+        let mut docs = current.docs.clone();
+        docs.remove(name);
+        let epoch = current.epoch + 1;
+        *current = Arc::new(ShardEpoch { epoch, docs });
+        true
+    }
+
+    /// Resolves one document against the *current* epoch of its owning
+    /// shard — one read lock on one shard, no cross-shard pinning, no
+    /// snapshot bookkeeping. This is the hot path for single-document
+    /// requests; use [`DocStore::snapshot`] when several lookups must
+    /// observe the same world (batches, streaming sessions).
+    pub fn get(&self, name: &str) -> Option<DocSource> {
+        self.shards[self.shard_of(name)]
+            .current
+            .read()
+            .expect("doc store lock poisoned")
+            .docs
+            .get(name)
+            .cloned()
+    }
+
+    /// Takes a consistent snapshot across all shards. The snapshot pins
+    /// each shard's current epoch until it is dropped.
+    pub fn snapshot(&self) -> StoreSnapshot {
+        let epochs = self
+            .shards
+            .iter()
+            .map(|s| Arc::clone(&s.current.read().expect("doc store lock poisoned")))
+            .collect();
+        self.active.fetch_add(1, Ordering::SeqCst);
+        StoreSnapshot {
+            epochs,
+            active: Arc::clone(&self.active),
+        }
+    }
+
+    /// Snapshots currently outstanding (not yet dropped). Failure tests
+    /// assert this returns to zero after aborted requests and sessions.
+    pub fn active_snapshots(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Current epoch number of every shard, in shard order.
+    pub fn epochs(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.current.read().expect("doc store lock poisoned").epoch)
+            .collect()
+    }
+
+    /// Total documents across shards (as of now).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.current
+                    .read()
+                    .expect("doc store lock poisoned")
+                    .docs
+                    .len()
+            })
+            .sum()
+    }
+
+    /// True when no shard holds any document.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A consistent, immutable view of the whole store: one pinned epoch per
+/// shard. Resolving documents through a snapshot takes no locks.
+pub struct StoreSnapshot {
+    epochs: Vec<Arc<ShardEpoch>>,
+    active: Arc<AtomicUsize>,
+}
+
+impl StoreSnapshot {
+    /// Resolves `name` in this snapshot (lock-free).
+    pub fn get(&self, name: &str) -> Option<&DocSource> {
+        self.epochs[shard_index(name, self.epochs.len())]
+            .docs
+            .get(name)
+    }
+
+    /// The pinned epoch of every shard, in shard order.
+    pub fn epochs(&self) -> Vec<u64> {
+        self.epochs.iter().map(|e| e.epoch).collect()
+    }
+
+    /// Document names visible in this snapshot, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .epochs
+            .iter()
+            .flat_map(|e| e.docs.keys().cloned())
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Documents visible in this snapshot.
+    pub fn doc_count(&self) -> usize {
+        self.epochs.iter().map(|e| e.docs.len()).sum()
+    }
+}
+
+impl Drop for StoreSnapshot {
+    fn drop(&mut self) {
+        self.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn shard_index(name: &str, shards: usize) -> usize {
+    // FNV-1a: tiny, deterministic, good enough spread for names.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xust_tree::Document;
+
+    fn mem(xml: &str) -> DocSource {
+        DocSource::Memory(Arc::new(Document::parse(xml).unwrap()))
+    }
+
+    #[test]
+    fn snapshots_are_isolated_from_later_writes() {
+        let store = DocStore::new(4);
+        store.insert("a", mem("<a/>"));
+        let snap = store.snapshot();
+        store.insert("a", mem("<a2/>"));
+        store.insert("b", mem("<b/>"));
+        // The snapshot still sees the old world…
+        assert!(snap.get("b").is_none());
+        match snap.get("a") {
+            Some(DocSource::Memory(d)) => assert_eq!(d.serialize(), "<a/>"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // …while a fresh snapshot sees the new one.
+        let now = store.snapshot();
+        match now.get("a") {
+            Some(DocSource::Memory(d)) => assert_eq!(d.serialize(), "<a2/>"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(now.get("b").is_some());
+    }
+
+    #[test]
+    fn epochs_strictly_increase_per_shard() {
+        let store = DocStore::new(2);
+        let before = store.epochs();
+        let e1 = store.insert("x", mem("<x/>"));
+        let e2 = store.insert("x", mem("<x/>"));
+        assert!(e2 > e1);
+        let after = store.epochs();
+        // Exactly one shard advanced, by exactly two.
+        let advanced: Vec<_> = before.iter().zip(&after).filter(|(b, a)| a > b).collect();
+        assert_eq!(advanced.len(), 1);
+        assert_eq!(*advanced[0].1, advanced[0].0 + 2);
+    }
+
+    #[test]
+    fn snapshot_guards_are_counted_and_released() {
+        let store = DocStore::new(8);
+        store.insert("a", mem("<a/>"));
+        assert_eq!(store.active_snapshots(), 0);
+        let s1 = store.snapshot();
+        let s2 = store.snapshot();
+        assert_eq!(store.active_snapshots(), 2);
+        drop(s1);
+        assert_eq!(store.active_snapshots(), 1);
+        drop(s2);
+        assert_eq!(store.active_snapshots(), 0);
+    }
+
+    #[test]
+    fn remove_is_cow_too() {
+        let store = DocStore::new(1);
+        store.insert("a", mem("<a/>"));
+        let snap = store.snapshot();
+        assert!(store.remove("a"));
+        assert!(!store.remove("a"));
+        assert!(snap.get("a").is_some(), "snapshot keeps the removed doc");
+        assert!(store.snapshot().get("a").is_none());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn names_span_all_shards() {
+        let store = DocStore::new(8);
+        for i in 0..32 {
+            store.insert(format!("doc{i}"), mem("<d/>"));
+        }
+        assert_eq!(store.len(), 32);
+        let names = store.snapshot().names();
+        assert_eq!(names.len(), 32);
+        assert!(names.windows(2).all(|w| w[0] < w[1]), "sorted");
+        // The hash actually spreads names over multiple shards.
+        let used = store.epochs().iter().filter(|&&e| e > 0).count();
+        assert!(used > 1, "expected >1 shard used, got {used}");
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_stay_consistent() {
+        let store = Arc::new(DocStore::new(4));
+        store.insert("hot", mem("<v>0</v>"));
+        let writers: Vec<_> = (0..2)
+            .map(|w| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        store.insert("hot", mem(&format!("<v>{w}-{i}</v>")));
+                        store.insert(format!("w{w}-{i}"), mem("<x/>"));
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        let snap = store.snapshot();
+                        // "hot" is never missing, and the snapshot's view
+                        // doesn't change while we hold it.
+                        let a = snap.get("hot").cloned();
+                        std::thread::yield_now();
+                        let b = snap.get("hot").cloned();
+                        match (a, b) {
+                            (Some(DocSource::Memory(x)), Some(DocSource::Memory(y))) => {
+                                assert!(Arc::ptr_eq(&x, &y));
+                            }
+                            other => panic!("hot doc missing or changed: {other:?}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in writers.into_iter().chain(readers) {
+            t.join().unwrap();
+        }
+        assert_eq!(store.active_snapshots(), 0);
+        assert_eq!(store.len(), 1 + 2 * 50);
+    }
+}

@@ -56,6 +56,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "generate" => cmd_generate(&opts),
         "validate" => cmd_validate(&opts),
         "exec" => cmd_exec(&opts),
+        "stream" => cmd_stream(&opts),
         "serve" => cmd_serve(&opts),
         "help" | "--help" | "-h" => {
             println!("{}", USAGE.trim());
@@ -72,13 +73,17 @@ usage:
   xust generate  --factor <f> [--seed <n>] -o <out.xml>
   xust validate  -i <input.xml>
   xust exec      -q <transform|@file> -i <input.xml> [-o <out.xml>] [--stats]
+  xust stream    -q <transform|@file> -i <input.xml> [-o <out.xml>] [--stats]
   xust serve     [--doc <name>=<path>]… [--view <name>=<query|@file>]…
-                 [--port <p> | --stdio] [--threads <n>]
+                 [--port <p> | --stdio] [--threads <n>] [--shards <n>]
 
 serve protocol (one request per line, answers framed as `OK <len>`/`ERR <msg>`):
   VIEW <view> <doc>               materialize a registered view
   QUERY <view> <doc> <xquery…>    answer a user query over the virtual view
   TRANSFORM <doc> <transform…>    run an ad-hoc transform (prepared cache + planner)
+  STREAM <doc> <transform…>       stream a file-backed doc through a session;
+                                  output arrives incrementally as `OUT <len>`
+                                  frames followed by `DONE <total>`
   STATS | LIST | QUIT
 "#;
 
@@ -97,6 +102,7 @@ struct Opts {
     stdio: bool,
     port: Option<u16>,
     threads: Option<usize>,
+    shards: Option<usize>,
     docs: Vec<(String, String)>,
     views: Vec<(String, String)>,
 }
@@ -148,6 +154,13 @@ impl Opts {
                         value(a, &mut it)?
                             .parse()
                             .map_err(|e| format!("--threads: {e}"))?,
+                    )
+                }
+                "--shards" => {
+                    o.shards = Some(
+                        value(a, &mut it)?
+                            .parse()
+                            .map_err(|e| format!("--shards: {e}"))?,
                     )
                 }
                 "--doc" => o.docs.push(parse_pair("--doc", &value(a, &mut it)?)?),
@@ -375,12 +388,59 @@ fn cmd_exec(o: &Opts) -> Result<(), String> {
     emit(&o.output, &resp.body)
 }
 
+/// `stream`: drive a streaming session over a file, writing transformed
+/// output incrementally — the input tree is never materialized.
+fn cmd_stream(o: &Opts) -> Result<(), String> {
+    let query = require(&o.query, "-q <transform query>")?;
+    let input = require(&o.input, "-i <input.xml>")?;
+    let server = Server::builder().threads(1).build();
+    let mut session = server.begin_stream(query).map_err(|e| e.to_string())?;
+
+    let mut parser = SaxParser::from_file(input).map_err(|e| format!("{input}: {e}"))?;
+    while let Some(ev) = parser.next_event().map_err(|e| format!("{input}: {e}"))? {
+        session.feed(ev).map_err(|e| e.to_string())?;
+    }
+    session.begin_replay().map_err(|e| e.to_string())?;
+
+    let mut out: Box<dyn Write> = match &o.output {
+        Some(path) => Box::new(std::io::BufWriter::new(
+            std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?,
+        )),
+        None => Box::new(std::io::stdout().lock()),
+    };
+    let mut parser = SaxParser::from_file(input).map_err(|e| format!("{input}: {e}"))?;
+    while let Some(ev) = parser.next_event().map_err(|e| format!("{input}: {e}"))? {
+        let chunk = session.replay(ev).map_err(|e| e.to_string())?;
+        out.write_all(&chunk).map_err(|e| e.to_string())?;
+    }
+    let emitted = session.bytes_emitted();
+    let (tail, stats) = session.finish().map_err(|e| e.to_string())?;
+    out.write_all(&tail).map_err(|e| e.to_string())?;
+    if o.output.is_none() {
+        out.write_all(b"\n").map_err(|e| e.to_string())?;
+    }
+    out.flush().map_err(|e| e.to_string())?;
+    if o.stats {
+        eprintln!(
+            "elements={} ld_entries={} max_depth={} bytes={}",
+            stats.elements,
+            stats.ld_entries,
+            stats.max_depth,
+            emitted + tail.len() as u64
+        );
+    }
+    Ok(())
+}
+
 /// `serve`: the concurrent view service over TCP or stdio.
 fn cmd_serve(o: &Opts) -> Result<(), String> {
     if o.docs.is_empty() {
         return Err("serve needs at least one --doc <name>=<path>".into());
     }
-    let server = Server::builder().threads(o.threads.unwrap_or(4)).build();
+    let server = Server::builder()
+        .threads(o.threads.unwrap_or(4))
+        .shards(o.shards.unwrap_or(8))
+        .build();
     for (name, path) in &o.docs {
         // Documents small enough to parse eagerly are shared in memory;
         // callers opting into streaming keep them file-backed.
@@ -492,6 +552,19 @@ fn serve_connection(
                     .map_err(|e| e.to_string()),
                 None => Err("TRANSFORM <doc> <transform…>".into()),
             },
+            "STREAM" => match rest.split_once(' ') {
+                Some((doc, query)) => {
+                    // Incremental framing: output leaves as it is
+                    // produced, so the reply is written here instead of
+                    // through the one-shot OK/ERR path below.
+                    match stream_to_client(server, doc.trim(), query, &mut writer) {
+                        Ok(()) => continue,
+                        Err(StreamFailure::Client(e)) => return Err(e),
+                        Err(StreamFailure::Request(msg)) => Err(msg),
+                    }
+                }
+                None => Err("STREAM <doc> <transform…>".into()),
+            },
             other => Err(format!("unknown verb '{other}'")),
         };
         match reply {
@@ -504,6 +577,81 @@ fn serve_connection(
         }
         writer.flush()?;
     }
+    Ok(())
+}
+
+/// How a `STREAM` request can fail: a request-level problem is reported
+/// to the client as `ERR`; a client I/O problem tears the connection
+/// down (there is no one left to report to).
+enum StreamFailure {
+    Request(String),
+    Client(std::io::Error),
+}
+
+impl From<std::io::Error> for StreamFailure {
+    fn from(e: std::io::Error) -> StreamFailure {
+        StreamFailure::Client(e)
+    }
+}
+
+/// Runs one `STREAM <doc> <transform…>` request: streams a file-backed
+/// document through a [`xust::serve::StreamingSession`] and ships the
+/// transformed output incrementally as `OUT <len>` frames (each followed
+/// by exactly `len` raw bytes and a newline), ending with `DONE <total>`.
+/// The server never materializes the document; each frame is flushed so
+/// the client reads output while the input is still being parsed.
+fn stream_to_client(
+    server: &Server,
+    doc: &str,
+    query: &str,
+    writer: &mut impl Write,
+) -> Result<(), StreamFailure> {
+    let path = match server.doc_path(doc) {
+        Some(p) => p,
+        None => {
+            return Err(StreamFailure::Request(format!(
+                "STREAM needs a file-backed document; '{doc}' is not one"
+            )))
+        }
+    };
+    let fail = |e: &dyn std::fmt::Display| StreamFailure::Request(e.to_string());
+    let mut session = server.begin_stream(query).map_err(|e| fail(&e))?;
+    let mut parser = SaxParser::from_file(&path).map_err(|e| fail(&e))?;
+    while let Some(ev) = parser.next_event().map_err(|e| fail(&e))? {
+        session.feed(ev).map_err(|e| fail(&e))?;
+    }
+    session.begin_replay().map_err(|e| fail(&e))?;
+
+    // Accumulate output into ≥4 KiB frames: incremental enough for the
+    // client to overlap reading with our parsing, without paying frame
+    // overhead per SAX event.
+    const FRAME: usize = 4096;
+    let mut total = 0usize;
+    let mut pending: Vec<u8> = Vec::with_capacity(2 * FRAME);
+    let mut parser = SaxParser::from_file(&path).map_err(|e| fail(&e))?;
+    let mut ship = |writer: &mut dyn Write, pending: &mut Vec<u8>| -> Result<(), StreamFailure> {
+        if pending.is_empty() {
+            return Ok(());
+        }
+        total += pending.len();
+        writeln!(writer, "OUT {}", pending.len())?;
+        writer.write_all(pending)?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        pending.clear();
+        Ok(())
+    };
+    while let Some(ev) = parser.next_event().map_err(|e| fail(&e))? {
+        pending.extend(session.replay(ev).map_err(|e| fail(&e))?);
+        if pending.len() >= FRAME {
+            ship(writer, &mut pending)?;
+        }
+    }
+    let (tail, _) = session.finish().map_err(|e| fail(&e))?;
+    pending.extend(tail);
+    ship(writer, &mut pending)?;
+    writeln!(writer, "DONE {total}")?;
+    writer.flush()?;
     Ok(())
 }
 
@@ -567,6 +715,8 @@ mod tests {
             "7878",
             "--threads",
             "8",
+            "--shards",
+            "16",
             "--stats",
             "--stdio",
         ]))
@@ -576,6 +726,7 @@ mod tests {
         assert_eq!(o.views, vec![("public".into(), "inline query".into())]);
         assert_eq!(o.port, Some(7878));
         assert_eq!(o.threads, Some(8));
+        assert_eq!(o.shards, Some(16));
         assert!(o.stats && o.stdio);
         assert!(Opts::parse(&s(&["--doc", "nosign"])).is_err());
         assert!(Opts::parse(&s(&["--view", "=empty"])).is_err());
@@ -662,6 +813,84 @@ mod tests {
         );
         std::fs::remove_file(&input).ok();
         std::fs::remove_file(&output).ok();
+    }
+
+    #[test]
+    fn stream_subcommand_end_to_end() {
+        let dir = std::env::temp_dir();
+        let input = dir.join("xust_cli_stream_in.xml");
+        let output = dir.join("xust_cli_stream_out.xml");
+        std::fs::write(&input, "<db><part><price>9</price><n>kb</n></part></db>").unwrap();
+        run(&s(&[
+            "stream",
+            "-q",
+            r#"transform copy $a := doc("db") modify do delete $a//price return $a"#,
+            "-i",
+            input.to_str().unwrap(),
+            "-o",
+            output.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&output).unwrap(),
+            "<db><part><n>kb</n></part></db>"
+        );
+        // Malformed input surfaces as an error, not a panic.
+        std::fs::write(&input, "<db><part>").unwrap();
+        assert!(run(&s(&[
+            "stream",
+            "-q",
+            r#"transform copy $a := doc("db") modify do delete $a//price return $a"#,
+            "-i",
+            input.to_str().unwrap(),
+        ]))
+        .is_err());
+        std::fs::remove_file(&input).ok();
+        std::fs::remove_file(&output).ok();
+    }
+
+    #[test]
+    fn stream_protocol_verb_frames_output() {
+        use std::io::Cursor;
+        let dir = std::env::temp_dir();
+        let path = dir.join("xust_cli_stream_verb.xml");
+        std::fs::write(&path, "<db><part><price>9</price><n>kb</n></part></db>").unwrap();
+        let server = Server::builder().threads(2).build();
+        server.load_doc_file("disk", &path).unwrap();
+        server
+            .load_doc_str("mem", "<db><part><price>9</price></part></db>")
+            .unwrap();
+        let input = concat!(
+            "STREAM disk transform copy $a := doc(\"db\") modify do delete $a//price return $a\n",
+            "STREAM mem transform copy $a := doc(\"db\") modify do delete $a//price return $a\n",
+            "STREAM disk garbage query\n",
+            "QUIT\n"
+        );
+        let mut out = Vec::new();
+        serve_connection(&server, Cursor::new(input), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        // Frames arrive, reassemble to the transformed document.
+        let mut body = String::new();
+        let mut lines = text.lines();
+        let mut done = None;
+        while let Some(line) = lines.next() {
+            if let Some(n) = line.strip_prefix("OUT ") {
+                let n: usize = n.parse().unwrap();
+                let payload = lines.next().unwrap();
+                assert_eq!(payload.len(), n);
+                body.push_str(payload);
+            } else if let Some(total) = line.strip_prefix("DONE ") {
+                done = Some(total.parse::<usize>().unwrap());
+                break;
+            }
+        }
+        assert_eq!(body, "<db><part><n>kb</n></part></db>");
+        assert_eq!(done, Some(body.len()));
+        // In-memory docs and bad queries degrade to ERR, connection alive.
+        assert!(text.contains("ERR STREAM needs a file-backed document"));
+        assert!(text.contains("ERR parse error"));
+        assert_eq!(server.store().active_snapshots(), 0);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

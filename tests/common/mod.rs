@@ -1,0 +1,132 @@
+//! Shared randomized-input generators for the differential test suites
+//! (`tests/equivalence.rs`, `tests/parallel_equivalence.rs`): random
+//! documents over a small label alphabet, random X paths, and random
+//! update kinds, in both programmatic ([`build_query`]) and concrete
+//! textual ([`build_query_text`]) form.
+#![allow(dead_code)]
+
+use proptest::prelude::*;
+
+use xust::core::{InsertPos, TransformQuery};
+use xust::tree::{Document, ElementBuilder};
+use xust::xpath::parse_path;
+
+/// A small alphabet keeps collision probability high, which is what
+/// stresses the automata (shared labels between path and data).
+pub const LABELS: [&str; 4] = ["a", "b", "c", "d"];
+pub const TEXTS: [&str; 4] = ["x", "10", "20", "A"];
+
+pub fn arb_tree(depth: u32) -> impl Strategy<Value = ElementBuilder> {
+    let leaf = (0..LABELS.len(), proptest::option::of(0..TEXTS.len())).prop_map(|(l, t)| {
+        let mut b = ElementBuilder::new(LABELS[l]);
+        if let Some(t) = t {
+            b = b.text(TEXTS[t]);
+        }
+        b
+    });
+    leaf.prop_recursive(depth, 24, 4, |inner| {
+        (
+            0..LABELS.len(),
+            proptest::option::of((0..2usize, 0..TEXTS.len())),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(l, attr, children)| {
+                let mut b = ElementBuilder::new(LABELS[l]);
+                if let Some((k, v)) = attr {
+                    b = b.attr(["id", "k"][k], TEXTS[v]);
+                }
+                for c in children {
+                    b = b.child(c);
+                }
+                b
+            })
+    })
+}
+
+pub fn arb_doc() -> impl Strategy<Value = Document> {
+    arb_tree(3).prop_map(|b| {
+        // Fixed root label so absolute paths can hit it.
+        ElementBuilder::new("r").child(b).build_document()
+    })
+}
+
+/// Random X paths over the same alphabet.
+pub fn arb_path() -> impl Strategy<Value = String> {
+    let step = prop_oneof![
+        (0..LABELS.len()).prop_map(|l| LABELS[l].to_string()),
+        Just("*".to_string()),
+    ];
+    let qual = prop_oneof![
+        (0..LABELS.len()).prop_map(|l| format!("[{}]", LABELS[l])),
+        (0..LABELS.len(), 0..TEXTS.len())
+            .prop_map(|(l, t)| format!("[{} = '{}']", LABELS[l], TEXTS[t])),
+        (0..TEXTS.len()).prop_map(|t| format!("[. = '{}']", TEXTS[t])),
+        (0..LABELS.len()).prop_map(|l| format!("[not({})]", LABELS[l])),
+        (0..LABELS.len(), 0..LABELS.len())
+            .prop_map(|(l, m)| format!("[{} or {}]", LABELS[l], LABELS[m])),
+        (0..LABELS.len()).prop_map(|l| format!("[{} < 15]", LABELS[l])),
+        Just("[@id = 'x']".to_string()),
+    ];
+    let qstep = (step, proptest::option::of(qual)).prop_map(|(s, q)| match q {
+        Some(q) => format!("{s}{q}"),
+        None => s,
+    });
+    (
+        prop::collection::vec((qstep, prop::bool::ANY), 1..4),
+        prop::bool::ANY,
+    )
+        .prop_map(|(steps, lead_desc)| {
+            let mut out = String::from(if lead_desc { "//" } else { "r/" });
+            for (i, (s, desc)) in steps.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(if *desc { "//" } else { "/" });
+                }
+                out.push_str(s);
+            }
+            out
+        })
+}
+
+/// 0=delete 1=insert-into 2=replace 3=rename 4=insert-first
+/// 5=insert-before 6=insert-after.
+pub fn arb_op() -> impl Strategy<Value = u8> {
+    0u8..7
+}
+
+/// The constant element spliced in by insert/replace ops.
+pub const INS_ELEM: &str = "<ins k=\"1\"><t>v</t></ins>";
+
+pub fn build_query(path: &str, op: u8) -> TransformQuery {
+    let p = parse_path(path).expect("generated paths are valid");
+    let e = Document::parse(INS_ELEM).unwrap();
+    match op {
+        0 => TransformQuery::delete("d", p),
+        1 => TransformQuery::insert("d", p, e),
+        2 => TransformQuery::replace("d", p, e),
+        3 => TransformQuery::rename("d", p, "rn"),
+        4 => TransformQuery::insert_at("d", p, e, InsertPos::FirstInto),
+        5 => TransformQuery::insert_at("d", p, e, InsertPos::Before),
+        _ => TransformQuery::insert_at("d", p, e, InsertPos::After),
+    }
+}
+
+/// The same query in concrete transform syntax, as a service client
+/// would send it. `doc_name` lands inside `doc("…")`; the generated
+/// path is grafted onto `$a`.
+pub fn build_query_text(doc_name: &str, path: &str, op: u8) -> String {
+    let anchored = if let Some(rest) = path.strip_prefix("//") {
+        format!("$a//{rest}")
+    } else {
+        format!("$a/{path}")
+    };
+    let update = match op {
+        0 => format!("delete {anchored}"),
+        1 => format!("insert {INS_ELEM} into {anchored}"),
+        2 => format!("replace {anchored} with {INS_ELEM}"),
+        3 => format!("rename {anchored} as rn"),
+        4 => format!("insert {INS_ELEM} as first into {anchored}"),
+        5 => format!("insert {INS_ELEM} before {anchored}"),
+        _ => format!("insert {INS_ELEM} after {anchored}"),
+    };
+    format!(r#"transform copy $a := doc("{doc_name}") modify do {update} return $a"#)
+}

@@ -1,109 +1,16 @@
 //! Cross-method equivalence: on random documents and random X updates,
 //! all evaluation methods must agree with the copy-and-update baseline
 //! (the literal semantics of Section 2). This is the central correctness
-//! property of the reproduction.
+//! property of the reproduction. The generators live in
+//! `tests/common/mod.rs`, shared with `tests/parallel_equivalence.rs`.
 
+mod common;
+
+use common::{arb_doc, arb_op, arb_path, build_query, build_query_text};
 use proptest::prelude::*;
 
-use xust::core::{evaluate, InsertPos, Method, TransformQuery};
-use xust::tree::{docs_eq, Document, ElementBuilder};
-use xust::xpath::parse_path;
-
-/// A small alphabet keeps collision probability high, which is what
-/// stresses the automata (shared labels between path and data).
-const LABELS: [&str; 4] = ["a", "b", "c", "d"];
-const TEXTS: [&str; 4] = ["x", "10", "20", "A"];
-
-fn arb_tree(depth: u32) -> impl Strategy<Value = ElementBuilder> {
-    let leaf = (0..LABELS.len(), proptest::option::of(0..TEXTS.len())).prop_map(|(l, t)| {
-        let mut b = ElementBuilder::new(LABELS[l]);
-        if let Some(t) = t {
-            b = b.text(TEXTS[t]);
-        }
-        b
-    });
-    leaf.prop_recursive(depth, 24, 4, |inner| {
-        (
-            0..LABELS.len(),
-            proptest::option::of((0..2usize, 0..TEXTS.len())),
-            prop::collection::vec(inner, 0..4),
-        )
-            .prop_map(|(l, attr, children)| {
-                let mut b = ElementBuilder::new(LABELS[l]);
-                if let Some((k, v)) = attr {
-                    b = b.attr(["id", "k"][k], TEXTS[v]);
-                }
-                for c in children {
-                    b = b.child(c);
-                }
-                b
-            })
-    })
-}
-
-fn arb_doc() -> impl Strategy<Value = Document> {
-    arb_tree(3).prop_map(|b| {
-        // Fixed root label so absolute paths can hit it.
-        ElementBuilder::new("r").child(b).build_document()
-    })
-}
-
-/// Random X paths over the same alphabet.
-fn arb_path() -> impl Strategy<Value = String> {
-    let step = prop_oneof![
-        (0..LABELS.len()).prop_map(|l| LABELS[l].to_string()),
-        Just("*".to_string()),
-    ];
-    let qual = prop_oneof![
-        (0..LABELS.len()).prop_map(|l| format!("[{}]", LABELS[l])),
-        (0..LABELS.len(), 0..TEXTS.len())
-            .prop_map(|(l, t)| format!("[{} = '{}']", LABELS[l], TEXTS[t])),
-        (0..TEXTS.len()).prop_map(|t| format!("[. = '{}']", TEXTS[t])),
-        (0..LABELS.len()).prop_map(|l| format!("[not({})]", LABELS[l])),
-        (0..LABELS.len(), 0..LABELS.len())
-            .prop_map(|(l, m)| format!("[{} or {}]", LABELS[l], LABELS[m])),
-        (0..LABELS.len()).prop_map(|l| format!("[{} < 15]", LABELS[l])),
-        Just("[@id = 'x']".to_string()),
-    ];
-    let qstep = (step, proptest::option::of(qual)).prop_map(|(s, q)| match q {
-        Some(q) => format!("{s}{q}"),
-        None => s,
-    });
-    (
-        prop::collection::vec((qstep, prop::bool::ANY), 1..4),
-        prop::bool::ANY,
-    )
-        .prop_map(|(steps, lead_desc)| {
-            let mut out = String::from(if lead_desc { "//" } else { "r/" });
-            for (i, (s, desc)) in steps.iter().enumerate() {
-                if i > 0 {
-                    out.push_str(if *desc { "//" } else { "/" });
-                }
-                out.push_str(s);
-            }
-            out
-        })
-}
-
-/// 0=delete 1=insert-into 2=replace 3=rename 4=insert-first
-/// 5=insert-before 6=insert-after.
-fn arb_op() -> impl Strategy<Value = u8> {
-    0u8..7
-}
-
-fn build_query(path: &str, op: u8) -> TransformQuery {
-    let p = parse_path(path).expect("generated paths are valid");
-    let e = Document::parse("<ins k=\"1\"><t>v</t></ins>").unwrap();
-    match op {
-        0 => TransformQuery::delete("d", p),
-        1 => TransformQuery::insert("d", p, e),
-        2 => TransformQuery::replace("d", p, e),
-        3 => TransformQuery::rename("d", p, "rn"),
-        4 => TransformQuery::insert_at("d", p, e, InsertPos::FirstInto),
-        5 => TransformQuery::insert_at("d", p, e, InsertPos::Before),
-        _ => TransformQuery::insert_at("d", p, e, InsertPos::After),
-    }
-}
+use xust::core::{evaluate, parse_transform, Method};
+use xust::tree::{docs_eq, Document};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
@@ -147,5 +54,17 @@ proptest! {
         let reparsed = Document::parse(&text).unwrap();
         prop_assert!(docs_eq(&doc, &reparsed));
         prop_assert_eq!(reparsed.serialize(), text);
+    }
+
+    /// The textual rendering used by the service-level differential
+    /// tests parses back to the programmatic query.
+    #[test]
+    fn textual_queries_roundtrip(path in arb_path(), op in arb_op()) {
+        let text = build_query_text("d", &path, op);
+        let parsed = parse_transform(&text)
+            .unwrap_or_else(|e| panic!("generated syntax rejected: {text}: {e}"));
+        let built = build_query(&path, op);
+        prop_assert_eq!(parsed.path.to_string(), built.path.to_string());
+        prop_assert_eq!(parsed.op.kind(), built.op.kind());
     }
 }

@@ -1,8 +1,11 @@
 //! Failure injection across every layer: malformed inputs must produce
-//! errors (never panics, never silently wrong output).
+//! errors (never panics, never silently wrong output), and aborted
+//! streaming sessions must release their store snapshots without
+//! poisoning the server.
 
 use xust::core::{evaluate_str, parse_transform, two_pass_sax_str, Method, TransformQuery};
-use xust::sax::SaxParser;
+use xust::sax::{SaxEvent, SaxParser};
+use xust::serve::{Request, Server};
 use xust::tree::Document;
 use xust::xpath::parse_path;
 use xust::xquery::Engine;
@@ -126,6 +129,135 @@ fn evaluate_str_surfaces_all_error_paths() {
         Method::TwoPass
     )
     .is_err());
+}
+
+// ---- streaming sessions ----
+
+const SESSION_QUERY: &str =
+    r#"transform copy $a := doc("db") modify do delete $a//price return $a"#;
+
+fn session_server() -> Server {
+    let s = Server::builder().threads(2).shards(4).build();
+    s.load_doc_str("db", "<db><part><price>9</price><n>kb</n></part></db>")
+        .unwrap();
+    s
+}
+
+/// After any failed or abandoned session, the store must be fully
+/// usable: no leaked snapshot pins, loads and requests still work.
+fn assert_store_not_poisoned(server: &Server) {
+    assert_eq!(server.store().active_snapshots(), 0, "leaked snapshot pin");
+    server
+        .load_doc_str("fresh", "<f><price>1</price></f>")
+        .unwrap();
+    let out = server
+        .handle(&Request::Transform {
+            doc: "fresh".into(),
+            query: SESSION_QUERY.into(),
+        })
+        .unwrap();
+    assert_eq!(out.body, "<f/>");
+    assert!(server.remove_doc("fresh"));
+}
+
+#[test]
+fn streaming_session_truncated_input_is_an_error_and_releases_snapshot() {
+    let server = session_server();
+    let mut session = server.begin_stream(SESSION_QUERY).unwrap();
+    assert_eq!(server.store().active_snapshots(), 1);
+    // Stream only a prefix of the document, then try to move on.
+    let mut p = SaxParser::from_str("<db><part><price>9</price></part></db>");
+    for _ in 0..3 {
+        session.feed(p.next_event().unwrap().unwrap()).unwrap();
+    }
+    assert!(session.begin_replay().is_err(), "truncated pass 1 accepted");
+    drop(session);
+    assert_store_not_poisoned(&server);
+}
+
+#[test]
+fn streaming_session_malformed_events_mid_stream_error_not_panic() {
+    let server = session_server();
+    // Orphan end tag as the very first event.
+    let mut session = server.begin_stream(SESSION_QUERY).unwrap();
+    assert!(session.feed(SaxEvent::end("part")).is_err());
+    drop(session);
+    // Content after the root element closed.
+    let mut session = server.begin_stream(SESSION_QUERY).unwrap();
+    session.feed(SaxEvent::start("db")).unwrap();
+    session.feed(SaxEvent::end("db")).unwrap();
+    assert!(session.feed(SaxEvent::start("extra")).is_err());
+    drop(session);
+    // Pass-2 stream truncated relative to pass 1.
+    let mut session = server.begin_stream(SESSION_QUERY).unwrap();
+    session.feed(SaxEvent::start("db")).unwrap();
+    session.feed(SaxEvent::end("db")).unwrap();
+    session.begin_replay().unwrap();
+    session.replay(SaxEvent::start("db")).unwrap();
+    assert!(session.finish().is_err(), "unbalanced pass 2 accepted");
+    assert_store_not_poisoned(&server);
+}
+
+#[test]
+fn streaming_session_client_disconnects_release_snapshots() {
+    let server = session_server();
+    // Disconnect at every stage of the protocol: mid-pass-1, between
+    // passes, and mid-replay. Dropping the session is all a vanished
+    // client does — the snapshot count must return to zero each time.
+    {
+        let mut session = server.begin_stream(SESSION_QUERY).unwrap();
+        session.feed(SaxEvent::start("db")).unwrap();
+        assert_eq!(server.store().active_snapshots(), 1);
+    }
+    assert_eq!(server.store().active_snapshots(), 0);
+    {
+        let mut session = server.begin_stream(SESSION_QUERY).unwrap();
+        session.feed(SaxEvent::start("db")).unwrap();
+        session.feed(SaxEvent::end("db")).unwrap();
+        session.begin_replay().unwrap();
+    }
+    assert_eq!(server.store().active_snapshots(), 0);
+    {
+        let mut session = server.begin_stream(SESSION_QUERY).unwrap();
+        session.feed(SaxEvent::start("db")).unwrap();
+        session.feed(SaxEvent::end("db")).unwrap();
+        session.begin_replay().unwrap();
+        let _ = session.replay(SaxEvent::start("db")).unwrap();
+    }
+    assert_store_not_poisoned(&server);
+}
+
+#[test]
+fn streaming_session_bad_query_counts_failure_without_snapshot_leak() {
+    let server = session_server();
+    assert!(server.begin_stream("garbage").is_err());
+    assert_eq!(server.stats().failures, 1);
+    // Concurrent sessions are independent: one erroring doesn't disturb
+    // another in flight.
+    let mut good = server.begin_stream(SESSION_QUERY).unwrap();
+    let mut bad = server.begin_stream(SESSION_QUERY).unwrap();
+    assert_eq!(server.store().active_snapshots(), 2);
+    assert!(bad.feed(SaxEvent::end("oops")).is_err());
+    drop(bad);
+    assert_eq!(server.store().active_snapshots(), 1);
+    let xml = "<db><part><price>9</price><n>kb</n></part></db>";
+    let mut p = SaxParser::from_str(xml);
+    while let Some(ev) = p.next_event().unwrap() {
+        good.feed(ev).unwrap();
+    }
+    good.begin_replay().unwrap();
+    let mut out = Vec::new();
+    let mut p = SaxParser::from_str(xml);
+    while let Some(ev) = p.next_event().unwrap() {
+        out.extend(good.replay(ev).unwrap());
+    }
+    let (tail, _) = good.finish().unwrap();
+    out.extend(tail);
+    assert_eq!(
+        String::from_utf8(out).unwrap(),
+        "<db><part><n>kb</n></part></db>"
+    );
+    assert_store_not_poisoned(&server);
 }
 
 #[test]

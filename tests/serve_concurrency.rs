@@ -3,10 +3,11 @@
 //! construction happened once per distinct query — everything else was
 //! a cache hit — while all threads observed identical, correct results.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Barrier};
 use std::thread;
 
-use xust::serve::{Request, Server};
+use xust::serve::{PreparedCache, Request, Server};
 use xust::tree::Document;
 use xust::xmark::{generate, XmarkConfig};
 
@@ -165,6 +166,114 @@ fn concurrent_composed_queries_against_a_registered_view() {
     );
     // The view itself was compiled once, at registration.
     assert_eq!(server.registration_compiles(), 1);
+}
+
+#[test]
+fn sixteen_threads_hammer_one_cold_key_exactly_one_build() {
+    // Direct contention test on the cache itself: 16 threads released by
+    // a barrier race one cold key whose build is deliberately slow.
+    // Single-flight must admit exactly one builder; everyone else waits
+    // and then hits.
+    const THREADS: usize = 16;
+    const ITERS: usize = 50;
+    let cache: Arc<PreparedCache<String>> = Arc::new(PreparedCache::new(32));
+    let builds = Arc::new(AtomicU32::new(0));
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let workers: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let cache = Arc::clone(&cache);
+            let builds = Arc::clone(&builds);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                barrier.wait();
+                for _ in 0..ITERS {
+                    let (v, _) = cache
+                        .get_or_try_insert("cold", || -> Result<String, &'static str> {
+                            builds.fetch_add(1, Ordering::SeqCst);
+                            // Widen the race window so every thread is
+                            // parked on the condvar while we build.
+                            thread::sleep(std::time::Duration::from_millis(20));
+                            Ok("compiled".into())
+                        })
+                        .unwrap();
+                    assert_eq!(*v, "compiled");
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    assert_eq!(builds.load(Ordering::SeqCst), 1, "exactly one compilation");
+    assert_eq!(cache.misses(), 1);
+    assert_eq!(cache.hits(), (THREADS * ITERS - 1) as u64);
+}
+
+#[test]
+fn lru_eviction_stays_correct_under_concurrent_churn() {
+    // Many threads cycle through far more keys than the cache holds.
+    // Invariants under churn: every lookup returns the value derived
+    // from its key (never a stale or cross-wired entry), the resident
+    // set never exceeds capacity, and the counters stay coherent.
+    const THREADS: usize = 16;
+    const KEYS: usize = 48;
+    const CAPACITY: usize = 8;
+    const ITERS: usize = 200;
+    let cache: Arc<PreparedCache<String>> = Arc::new(PreparedCache::new(CAPACITY));
+    let builds = Arc::new(AtomicU32::new(0));
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let cache = Arc::clone(&cache);
+            let builds = Arc::clone(&builds);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                barrier.wait();
+                for i in 0..ITERS {
+                    // Each thread walks the key space at its own stride,
+                    // with one hot key shared by everyone.
+                    let k = if i % 5 == 0 { 0 } else { (t * 7 + i) % KEYS };
+                    let key = format!("key{k}");
+                    let (v, _) = cache
+                        .get_or_try_insert(&key, || -> Result<String, &'static str> {
+                            builds.fetch_add(1, Ordering::SeqCst);
+                            Ok(format!("value-of-{k}"))
+                        })
+                        .unwrap();
+                    assert_eq!(*v, format!("value-of-{k}"), "cross-wired cache entry");
+                    assert!(
+                        cache.len() <= CAPACITY,
+                        "capacity exceeded: {}",
+                        cache.len()
+                    );
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let builds = u64::from(builds.load(Ordering::SeqCst));
+    assert_eq!(cache.misses(), builds, "every miss built exactly once");
+    assert_eq!(
+        cache.hits() + cache.misses(),
+        (THREADS * ITERS) as u64,
+        "every lookup is a hit or a miss"
+    );
+    assert!(
+        cache.evictions() >= builds - CAPACITY as u64,
+        "churn must evict: {} evictions for {} builds",
+        cache.evictions(),
+        builds
+    );
+    assert!(cache.len() <= CAPACITY);
+    // The cache still works after the storm.
+    let (v, _) = cache
+        .get_or_try_insert("key0", || -> Result<String, &'static str> {
+            Ok("value-of-0".into())
+        })
+        .unwrap();
+    assert_eq!(*v, "value-of-0");
 }
 
 #[test]
