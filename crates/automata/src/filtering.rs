@@ -12,6 +12,7 @@
 //! what guarantees that every node whose `QualDP` value is ever consumed
 //! is visited.
 
+use xust_intern::{intern, Sym};
 use xust_xpath::{Path, Qualifier, StepKind};
 
 use crate::selecting::StateId;
@@ -22,8 +23,9 @@ use crate::stateset::StateSet;
 /// continuation plus any number of qualifier branches).
 #[derive(Debug, Clone, Default)]
 pub struct FilterState {
-    /// Transitions taken on a specific label.
-    pub label_trans: Vec<(String, StateId)>,
+    /// Transitions taken on a specific label (interned at
+    /// construction).
+    pub label_trans: Vec<(Sym, StateId)>,
     /// Transitions taken on any label (`*` steps).
     pub star_trans: Vec<StateId>,
     /// `*` self-loop introduced by a `//` step.
@@ -56,7 +58,7 @@ impl FilteringNfa {
         for (i, step) in path.steps.iter().enumerate() {
             let id = b.fresh(Some(i));
             match &step.kind {
-                StepKind::Label(l) => b.states[prev].label_trans.push((l.clone(), id)),
+                StepKind::Label(l) => b.states[prev].label_trans.push((intern(l), id)),
                 StepKind::Wildcard => b.states[prev].star_trans.push(id),
                 StepKind::Descendant => {
                     b.states[prev].eps.push(id);
@@ -111,8 +113,9 @@ impl FilteringNfa {
     }
 
     /// State transition on a node label — Fig. 9 lines 1–2: the same
-    /// shape as `nextStates` but *without* qualifier checks.
-    pub fn next_states(&self, s: &StateSet, label: &str) -> StateSet {
+    /// shape as `nextStates` but *without* qualifier checks. `label` is
+    /// interned, so the transition test is an integer compare.
+    pub fn next_states(&self, s: &StateSet, label: Sym) -> StateSet {
         let mut out = StateSet::new(self.len());
         for id in s.iter() {
             let st = &self.states[id];
@@ -123,7 +126,7 @@ impl FilteringNfa {
                 out.insert(t);
             }
             for (l, t) in &st.label_trans {
-                if l == label {
+                if *l == label {
                     out.insert(*t);
                 }
             }
@@ -168,7 +171,7 @@ impl Builder {
         for step in &path.steps {
             let id = self.fresh(None);
             match &step.kind {
-                StepKind::Label(l) => self.states[cur].label_trans.push((l.clone(), id)),
+                StepKind::Label(l) => self.states[cur].label_trans.push((intern(l), id)),
                 StepKind::Wildcard => self.states[cur].star_trans.push(id),
                 StepKind::Descendant => {
                     self.states[cur].eps.push(id);
@@ -213,16 +216,16 @@ mod tests {
         let m = nfa("//part[supplier/sname = 'HP']");
         // part → supplier → sname must all have states.
         let s0 = m.initial();
-        let s1 = m.next_states(&s0, "part");
+        let s1 = m.next_states(&s0, intern("part"));
         assert!(!s1.is_empty());
-        let s2 = m.next_states(&s1, "supplier");
+        let s2 = m.next_states(&s1, intern("supplier"));
         assert!(!s2.is_empty());
-        let s3 = m.next_states(&s2, "sname");
+        let s3 = m.next_states(&s2, intern("sname"));
         assert!(!s3.is_empty());
         // An unrelated child of part keeps the //-loop alive (parts can
         // nest), but an unrelated child of supplier for a child-only
         // qualifier path dies out except for the // state.
-        let s2b = m.next_states(&s1, "unrelated");
+        let s2b = m.next_states(&s1, intern("unrelated"));
         // the // self-loop from the selecting path survives everywhere
         assert!(!s2b.is_empty());
     }
@@ -233,7 +236,7 @@ mod tests {
         // supplier children → no states after the root.
         let m = nfa("supplier//part");
         let s0 = m.initial();
-        let s1 = m.next_states(&s0, "db");
+        let s1 = m.next_states(&s0, intern("db"));
         assert!(s1.is_empty());
     }
 
@@ -242,10 +245,10 @@ mod tests {
         // b's qualifier contains c[d] — d must be reachable below c.
         let m = nfa("a[b[c[d]]]");
         let s = m.initial();
-        let s = m.next_states(&s, "a");
-        let s = m.next_states(&s, "b");
-        let s = m.next_states(&s, "c");
-        let s = m.next_states(&s, "d");
+        let s = m.next_states(&s, intern("a"));
+        let s = m.next_states(&s, intern("b"));
+        let s = m.next_states(&s, intern("c"));
+        let s = m.next_states(&s, intern("d"));
         assert!(!s.is_empty());
     }
 
@@ -266,12 +269,12 @@ mod tests {
         // Qualifier path with // keeps all descendants reachable.
         let m = nfa("a[.//flag]");
         let s = m.initial();
-        let s = m.next_states(&s, "a");
-        let s1 = m.next_states(&s, "x");
+        let s = m.next_states(&s, intern("a"));
+        let s1 = m.next_states(&s, intern("x"));
         assert!(!s1.is_empty());
-        let s2 = m.next_states(&s1, "y");
+        let s2 = m.next_states(&s1, intern("y"));
         assert!(!s2.is_empty());
-        let s3 = m.next_states(&s2, "flag");
+        let s3 = m.next_states(&s2, intern("flag"));
         assert!(!s3.is_empty());
     }
 }

@@ -11,6 +11,7 @@
 //!
 //! The automaton is built in O(|p|) time and has O(|p|) states.
 
+use xust_intern::{intern, Sym};
 use xust_xpath::{Path, Qualifier, StepKind};
 
 use crate::stateset::StateSet;
@@ -24,8 +25,9 @@ pub struct SelState {
     /// Index of the path step this state corresponds to (None for the
     /// start state). The step's qualifier is this state's `[q]`.
     pub step: Option<usize>,
-    /// `δ(s, l)` for a specific label.
-    pub label_trans: Option<(String, StateId)>,
+    /// `δ(s, l)` for a specific label (interned at construction, so the
+    /// per-node transition test is a `u32` compare).
+    pub label_trans: Option<(Sym, StateId)>,
     /// `δ(s, ∗)` to the *next* state (wildcard step).
     pub star_trans: Option<StateId>,
     /// `δ(s, ∗) = {s}` self-loop (descendant step state).
@@ -68,7 +70,7 @@ impl SelectingNfa {
             let id = states.len();
             states.push(SelState::new(Some(i)));
             match &step.kind {
-                StepKind::Label(l) => states[prev].label_trans = Some((l.clone(), id)),
+                StepKind::Label(l) => states[prev].label_trans = Some((intern(l), id)),
                 StepKind::Wildcard => states[prev].star_trans = Some(id),
                 StepKind::Descendant => {
                     states[prev].eps = Some(id);
@@ -125,8 +127,10 @@ impl SelectingNfa {
     /// on reading a node labelled `label`, keeping only those whose
     /// qualifier passes `check` (the `checkp` oracle, abstracted so the
     /// same automaton serves GENTOP — native evaluation — and TD-BU —
-    /// annotation lookup), then takes the ε-closure.
-    pub fn next_states<F>(&self, s: &StateSet, label: &str, mut check: F) -> StateSet
+    /// annotation lookup), then takes the ε-closure. `label` is the
+    /// node's interned name: the hot-loop transition test below is an
+    /// integer compare, never a string compare.
+    pub fn next_states<F>(&self, s: &StateSet, label: Sym, mut check: F) -> StateSet
     where
         F: FnMut(usize, &Qualifier) -> bool,
     {
@@ -140,7 +144,7 @@ impl SelectingNfa {
                 out.insert(t);
             }
             if let Some((l, t)) = &st.label_trans {
-                if l == label {
+                if *l == label {
                     out.insert(*t);
                 }
             }
@@ -169,7 +173,7 @@ impl SelectingNfa {
     /// reachability used by the composition algorithm (Section 4), which
     /// defers qualifier handling to rewrite time. Returns the new set; the
     /// caller inspects which states carry qualifiers.
-    pub fn next_states_unchecked(&self, s: &StateSet, label: &str) -> StateSet {
+    pub fn next_states_unchecked(&self, s: &StateSet, label: Sym) -> StateSet {
         self.next_states(s, label, |_, _| true)
     }
 
@@ -216,7 +220,7 @@ impl SelectingNfa {
     pub fn accepts_word(&self, labels: &[&str]) -> bool {
         let mut s = self.initial();
         for l in labels {
-            s = self.next_states_unchecked(&s, l);
+            s = self.next_states_unchecked(&s, intern(l));
             if s.is_empty() {
                 return false;
             }
@@ -242,10 +246,10 @@ mod tests {
         // s0 --ε--> s1 (self-loop) --part--> s2 --ε--> s3 (self-loop) --part--> s4
         assert_eq!(m.states[0].eps, Some(1));
         assert!(m.states[1].self_loop);
-        assert_eq!(m.states[1].label_trans, Some(("part".into(), 2)));
+        assert_eq!(m.states[1].label_trans, Some((intern("part"), 2)));
         assert_eq!(m.states[2].eps, Some(3));
         assert!(m.states[3].self_loop);
-        assert_eq!(m.states[3].label_trans, Some(("part".into(), 4)));
+        assert_eq!(m.states[3].label_trans, Some((intern("part"), 4)));
         assert_eq!(m.final_state, 4);
         assert!(m.qualifier(2).is_some());
         assert!(m.qualifier(4).is_some());
@@ -292,9 +296,9 @@ mod tests {
         let init = m.initial();
         // With the qualifier reported false, state for `a` is dropped and
         // `b` is unreachable.
-        let s = m.next_states(&init, "a", |_, _| false);
+        let s = m.next_states(&init, intern("a"), |_, _| false);
         assert!(s.is_empty());
-        let s = m.next_states(&init, "a", |_, _| true);
+        let s = m.next_states(&init, intern("a"), |_, _| true);
         assert!(s.contains(1));
     }
 
@@ -302,7 +306,7 @@ mod tests {
     fn empty_set_stays_empty() {
         let m = nfa("a/b");
         let empty = StateSet::new(m.len());
-        let s = m.next_states_unchecked(&empty, "a");
+        let s = m.next_states_unchecked(&empty, intern("a"));
         assert!(s.is_empty());
     }
 

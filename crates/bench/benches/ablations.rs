@@ -82,11 +82,12 @@ fn stateset(c: &mut Criterion) {
     g.sample_size(20);
     g.warm_up_time(std::time::Duration::from_millis(300));
     g.measurement_time(std::time::Duration::from_millis(900));
+    let syms: Vec<xust_core::Sym> = labels.iter().map(|l| xust_core::intern(l)).collect();
     g.bench_function("bitset", |b| {
         b.iter(|| {
             let mut s = nfa.initial();
             for _ in 0..100 {
-                for l in labels {
+                for &l in &syms {
                     s = nfa.next_states_unchecked(&s, l);
                 }
             }
@@ -98,7 +99,7 @@ fn stateset(c: &mut Criterion) {
             // Same transition relation over a sorted Vec<usize>.
             let mut s: Vec<usize> = nfa.initial().iter().collect();
             for _ in 0..100 {
-                for l in labels {
+                for &l in &syms {
                     let mut set = StateSet::new(nfa.len());
                     for &id in &s {
                         set.insert(id);

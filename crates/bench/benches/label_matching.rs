@@ -1,0 +1,54 @@
+//! The cost of a label compare in the NFA hot loop: interned `Sym`
+//! (u32 equality) versus the pre-interning `String` byte-compare, over
+//! real XMark label streams and the Fig. 11 workload paths.
+//!
+//! This is the microbench behind the interning tentpole: `next_states`
+//! is executed once per element per automaton by every method in the
+//! system, so shaving its label test compounds through topDown, TD-BU,
+//! and twoPassSAX alike. `bench_smoke` records the same comparison as a
+//! JSON baseline for the perf trajectory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xust_automata::SelectingNfa;
+use xust_bench::strbaseline::{drive_interned, drive_string, LabelStream, StringSelectingNfa};
+use xust_bench::{u_name, xmark_doc, WORKLOAD};
+use xust_xpath::parse_path;
+
+const FACTOR: f64 = 0.005;
+
+fn label_matching(c: &mut Criterion) {
+    let doc = xmark_doc(FACTOR);
+    let stream = LabelStream::of(&doc);
+    let mut g = c.benchmark_group("label_matching");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(900));
+    g.throughput(Throughput::Elements(stream.len() as u64));
+    for i in [0, 3, 4, 6] {
+        let path = parse_path(WORKLOAD[i]).expect("workload paths parse");
+        let interned = SelectingNfa::new(&path);
+        let string = StringSelectingNfa::new(&path);
+        // Sanity: both automata select the same elements, or the race
+        // is meaningless.
+        assert_eq!(
+            drive_interned(&stream, &interned),
+            drive_string(&stream, &string),
+            "baseline diverges on {}",
+            WORKLOAD[i]
+        );
+        g.bench_with_input(
+            BenchmarkId::new("interned", u_name(i)),
+            &stream,
+            |b, stream| b.iter(|| drive_interned(stream, &interned)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("string", u_name(i)),
+            &stream,
+            |b, stream| b.iter(|| drive_string(stream, &string)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, label_matching);
+criterion_main!(benches);

@@ -1,0 +1,202 @@
+//! Quick-mode bench smoke harness: runs the label-matching race
+//! (interned `Sym` vs `String` compare in the NFA hot loop) and a
+//! served-throughput sample, prints a table, and optionally records the
+//! numbers as a `BENCH_*.json` baseline so future PRs have a perf
+//! trajectory to compare against.
+//!
+//! ```text
+//! cargo run -p xust-bench --release --bin bench_smoke            # print
+//! cargo run -p xust-bench --release --bin bench_smoke -- --quick # CI mode
+//! cargo run -p xust-bench --release --bin bench_smoke -- --out BENCH_baseline.json
+//! ```
+//!
+//! `--check` additionally exits non-zero if any workload row's speedup
+//! falls below [`CHECK_MARGIN`] — a regression tripwire, not a race to
+//! the last nanosecond: full runs show ~1.5x, and the margin absorbs
+//! shared-runner scheduling noise so CI does not flake on timing.
+
+use std::time::Instant;
+
+use xust_automata::SelectingNfa;
+use xust_bench::strbaseline::{drive_interned, drive_string, LabelStream, StringSelectingNfa};
+use xust_bench::{u_name, xmark_doc, WORKLOAD};
+use xust_serve::{Request, Server};
+use xust_xpath::parse_path;
+
+struct LabelRow {
+    name: String,
+    path: String,
+    interned_ns_per_elem: f64,
+    string_ns_per_elem: f64,
+    speedup: f64,
+}
+
+struct ServeRow {
+    name: String,
+    requests_per_sec: f64,
+}
+
+/// Minimum interned-vs-string speedup `--check` accepts per row. Kept
+/// below 1.0 so a noisy-neighbour transient on a shared CI runner
+/// cannot fail an unrelated PR, while a real regression (interned path
+/// meaningfully slower than the string baseline) still trips.
+const CHECK_MARGIN: f64 = 0.9;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let factor = if quick { 0.002 } else { 0.005 };
+    let reps = if quick { 20 } else { 60 };
+    let doc = xmark_doc(factor);
+    let stream = LabelStream::of(&doc);
+    println!(
+        "# bench_smoke: xmark factor {factor}, {} elements, {} reps{}",
+        stream.len(),
+        reps,
+        if quick { " (quick)" } else { "" }
+    );
+
+    // ---- label matching: interned vs string hot loop ----
+    let mut label_rows = Vec::new();
+    println!("\n## label_matching (ns/element, lower is better)");
+    println!(
+        "{:<6} {:>10} {:>10} {:>8}",
+        "query", "interned", "string", "speedup"
+    );
+    for i in [0, 3, 4, 6] {
+        let path = parse_path(WORKLOAD[i]).expect("workload paths parse");
+        let interned = SelectingNfa::new(&path);
+        let string = StringSelectingNfa::new(&path);
+        assert_eq!(
+            drive_interned(&stream, &interned),
+            drive_string(&stream, &string),
+            "baseline NFA diverges on {}",
+            WORKLOAD[i]
+        );
+        // Warm both paths once, then interleave timed runs so neither
+        // side benefits from cache warm-up order.
+        drive_interned(&stream, &interned);
+        drive_string(&stream, &string);
+        let (mut t_int, mut t_str) = (0u128, 0u128);
+        for _ in 0..reps {
+            let t = Instant::now();
+            std::hint::black_box(drive_interned(&stream, &interned));
+            t_int += t.elapsed().as_nanos();
+            let t = Instant::now();
+            std::hint::black_box(drive_string(&stream, &string));
+            t_str += t.elapsed().as_nanos();
+        }
+        let denom = (reps as f64) * (stream.len() as f64);
+        let row = LabelRow {
+            name: u_name(i),
+            path: WORKLOAD[i].to_string(),
+            interned_ns_per_elem: t_int as f64 / denom,
+            string_ns_per_elem: t_str as f64 / denom,
+            speedup: t_str as f64 / t_int as f64,
+        };
+        println!(
+            "{:<6} {:>10.2} {:>10.2} {:>7.2}x",
+            row.name, row.interned_ns_per_elem, row.string_ns_per_elem, row.speedup
+        );
+        label_rows.push(row);
+    }
+
+    // ---- served throughput through the full stack ----
+    let server = Server::builder().threads(4).build();
+    server.load_doc("xmark", doc);
+    let mut serve_rows = Vec::new();
+    println!("\n## serve_throughput (requests/s through prepared cache + planner)");
+    for i in [0, 4] {
+        let request = Request::Transform {
+            doc: "xmark".into(),
+            query: format!(
+                r#"transform copy $a := doc("xmark") modify do delete $a{} return $a"#,
+                WORKLOAD[i]
+            ),
+        };
+        for _ in 0..4 {
+            server.handle(&request).expect("warm-up request serves");
+        }
+        let n = if quick { 12 } else { 40 };
+        let t = Instant::now();
+        for _ in 0..n {
+            std::hint::black_box(server.handle(&request).expect("request serves").body.len());
+        }
+        let rps = n as f64 / t.elapsed().as_secs_f64();
+        println!("{:<6} {:>10.1} req/s", u_name(i), rps);
+        serve_rows.push(ServeRow {
+            name: u_name(i),
+            requests_per_sec: rps,
+        });
+    }
+
+    if let Some(path) = out_path {
+        let json = render_json(factor, stream.len(), quick, &label_rows, &serve_rows);
+        std::fs::write(&path, json).expect("baseline file written");
+        println!("\nbaseline recorded to {path}");
+    }
+
+    if check {
+        let slow: Vec<&LabelRow> = label_rows
+            .iter()
+            .filter(|r| r.speedup < CHECK_MARGIN)
+            .collect();
+        if !slow.is_empty() {
+            for r in slow {
+                eprintln!(
+                    "FAIL {}: speedup {:.2} below margin {CHECK_MARGIN} (interned {:.2}ns, string {:.2}ns)",
+                    r.name, r.speedup, r.interned_ns_per_elem, r.string_ns_per_elem
+                );
+            }
+            std::process::exit(1);
+        }
+        println!("\ncheck passed: every row at or above the {CHECK_MARGIN} speedup margin");
+    }
+}
+
+/// Hand-rolled JSON (the workspace is offline — no serde).
+fn render_json(
+    factor: f64,
+    elements: usize,
+    quick: bool,
+    labels: &[LabelRow],
+    serve: &[ServeRow],
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"harness\": \"bench_smoke\",\n");
+    s.push_str(&format!("  \"xmark_factor\": {factor},\n"));
+    s.push_str(&format!("  \"elements\": {elements},\n"));
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str("  \"label_matching\": [\n");
+    for (i, r) in labels.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"query\": \"{}\", \"path\": \"{}\", \"interned_ns_per_elem\": {:.3}, \"string_ns_per_elem\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            r.name,
+            r.path.replace('"', "\\\""),
+            r.interned_ns_per_elem,
+            r.string_ns_per_elem,
+            r.speedup,
+            if i + 1 < labels.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"serve_throughput\": [\n");
+    for (i, r) in serve.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"query\": \"{}\", \"requests_per_sec\": {:.1}}}{}\n",
+            r.name,
+            r.requests_per_sec,
+            if i + 1 < serve.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -1,0 +1,282 @@
+//! The pre-interning selecting NFA, preserved verbatim as a benchmark
+//! baseline.
+//!
+//! Until the [`xust_intern`] refactor, `SelectingNfa` transitions stored
+//! `String` labels and `next_states` did a byte-compare per node/event.
+//! The `label_matching` bench (and the `bench_smoke` baseline recorder)
+//! race this implementation against the interned one over XMark label
+//! streams, so every future PR can see what the integer-compare hot loop
+//! is worth — and whether it regressed.
+//!
+//! What the race measures, precisely: the **old per-node label path**
+//! end to end — the byte-compare inside `next_states` *and* the
+//! per-node `String` clone the old `topDown` performed to get the label
+//! out of the node (the borrow forced it). The interned side does a
+//! `u32` copy and compare. The delta therefore includes allocator cost
+//! by design; it is the cost the refactor actually removed, not a pure
+//! instruction-level comparison.
+
+use xust_automata::{SelectingNfa, StateSet};
+use xust_intern::Sym;
+use xust_tree::Document;
+use xust_xpath::{Path, StepKind};
+
+/// One state of the string-labelled selecting NFA (the old layout).
+#[derive(Debug, Clone)]
+pub struct StrSelState {
+    /// `δ(s, l)` for a specific label, compared byte-by-byte.
+    pub label_trans: Option<(String, usize)>,
+    /// `δ(s, ∗)` to the next state.
+    pub star_trans: Option<usize>,
+    /// `δ(s, ∗) = {s}` self-loop.
+    pub self_loop: bool,
+    /// `δ(s, ε)` into a descendant step state.
+    pub eps: Option<usize>,
+    /// The step carries a qualifier (the old `next_states` consulted the
+    /// path per surviving state; mirrored so both racers do the same
+    /// filtered pass).
+    pub has_qual: bool,
+}
+
+/// The string-compare selecting NFA — identical structure to
+/// `xust_automata::SelectingNfa`, different label representation.
+#[derive(Debug, Clone)]
+pub struct StringSelectingNfa {
+    /// States indexed by position; state 0 is the start state.
+    pub states: Vec<StrSelState>,
+    /// The final state.
+    pub final_state: usize,
+}
+
+impl StringSelectingNfa {
+    /// Builds the automaton from a path — same construction as the
+    /// interned NFA.
+    pub fn new(path: &Path) -> StringSelectingNfa {
+        let mut states = vec![StrSelState {
+            label_trans: None,
+            star_trans: None,
+            self_loop: false,
+            eps: None,
+            has_qual: false,
+        }];
+        let mut prev = 0usize;
+        for step in &path.steps {
+            let id = states.len();
+            states.push(StrSelState {
+                label_trans: None,
+                star_trans: None,
+                self_loop: false,
+                eps: None,
+                has_qual: step.qualifier.is_some(),
+            });
+            match &step.kind {
+                StepKind::Label(l) => states[prev].label_trans = Some((l.clone(), id)),
+                StepKind::Wildcard => states[prev].star_trans = Some(id),
+                StepKind::Descendant => {
+                    states[prev].eps = Some(id);
+                    states[id].self_loop = true;
+                }
+            }
+            prev = id;
+        }
+        StringSelectingNfa {
+            states,
+            final_state: prev,
+        }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True for a degenerate automaton with only the start state.
+    pub fn is_empty(&self) -> bool {
+        self.states.len() == 1
+    }
+
+    /// Initial state set (ε-closure of the start state).
+    pub fn initial(&self) -> StateSet {
+        let mut s = StateSet::singleton(self.len(), 0);
+        self.eps_closure(&mut s);
+        s
+    }
+
+    fn eps_closure(&self, s: &mut StateSet) {
+        for id in 0..self.len() {
+            if s.contains(id) {
+                if let Some(t) = self.states[id].eps {
+                    s.insert(t);
+                }
+            }
+        }
+    }
+
+    /// `nextStates()` with the pre-interning `&str` label compare and
+    /// the same two-phase shape as the real `next_states` (transition
+    /// pass, qualifier-filter pass over a second state set, ε-closure).
+    /// Note the race measures the *whole old per-node label path* — the
+    /// byte-compare here plus the per-node `String` clone in
+    /// [`drive_string`] — not the comparison instruction in isolation.
+    pub fn next_states(&self, s: &StateSet, label: &str) -> StateSet {
+        let mut out = StateSet::new(self.len());
+        for id in s.iter() {
+            let st = &self.states[id];
+            if st.self_loop {
+                out.insert(id);
+            }
+            if let Some(t) = st.star_trans {
+                out.insert(t);
+            }
+            if let Some((l, t)) = &st.label_trans {
+                if l == label {
+                    out.insert(*t);
+                }
+            }
+        }
+        // Mirror of the qualifier filtering (Fig. 4 line 3) with the
+        // `|_, _| true` oracle the unchecked variant uses.
+        let mut filtered = StateSet::new(self.len());
+        for id in out.iter() {
+            // The `|_, _| true` oracle, kept behind a call so the
+            // filtered pass does the same per-state work as the real
+            // automaton instead of being folded away.
+            let keep = !self.states[id].has_qual || always_true();
+            if keep {
+                filtered.insert(id);
+            }
+        }
+        self.eps_closure(&mut filtered);
+        filtered
+    }
+}
+
+#[inline(never)]
+fn always_true() -> bool {
+    std::hint::black_box(true)
+}
+
+/// A preorder element-label stream extracted from a document once, so
+/// the timed loops touch no interner, no tree, and no allocator: the
+/// interned driver reads `Sym`s (copy), the string driver reads owned
+/// `String`s (byte-compare) — exactly the data each hot loop saw before
+/// and after the refactor.
+pub struct LabelStream {
+    /// `(depth, interned label, owned label)` per element, preorder.
+    pub entries: Vec<(usize, Sym, String)>,
+}
+
+impl LabelStream {
+    /// Extracts the stream from `doc`.
+    pub fn of(doc: &Document) -> LabelStream {
+        let mut entries = Vec::new();
+        if let Some(root) = doc.root() {
+            let mut stack = vec![(root, 0usize)];
+            while let Some((n, depth)) = stack.pop() {
+                if let Some(sym) = doc.name_sym(n) {
+                    entries.push((depth, sym, sym.as_str().to_string()));
+                    let children: Vec<_> = doc.children(n).collect();
+                    for &c in children.iter().rev() {
+                        if c != n && doc.kind(c).is_element() {
+                            stack.push((c, depth + 1));
+                        }
+                    }
+                }
+            }
+        }
+        LabelStream { entries }
+    }
+
+    /// Number of elements in the stream.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Drives the *interned* NFA over the stream in document order (a
+/// depth-indexed stack of state sets, the same discipline `topDown` and
+/// the SAX passes use) and returns the number of final-state hits.
+pub fn drive_interned(stream: &LabelStream, nfa: &SelectingNfa) -> u64 {
+    let mut hits = 0u64;
+    let mut stack: Vec<StateSet> = vec![nfa.initial()];
+    for (depth, sym, _) in &stream.entries {
+        stack.truncate(depth + 1);
+        let next = nfa.next_states_unchecked(&stack[*depth], *sym);
+        if next.contains(nfa.final_state) {
+            hits += 1;
+        }
+        stack.push(next);
+    }
+    hits
+}
+
+/// Drives the *string* baseline NFA over the same stream, reproducing
+/// the pre-interning per-node path faithfully: the old `topDown` cloned
+/// the element's `String` name out of the node before every
+/// `next_states` call (the borrow forced it), so the clone is part of
+/// what the refactor removed and belongs in the baseline's ledger.
+pub fn drive_string(stream: &LabelStream, nfa: &StringSelectingNfa) -> u64 {
+    let mut hits = 0u64;
+    let mut stack: Vec<StateSet> = vec![nfa.initial()];
+    for (depth, _, label) in &stream.entries {
+        stack.truncate(depth + 1);
+        let label = std::hint::black_box(label.clone());
+        let next = nfa.next_states(&stack[*depth], &label);
+        if next.contains(nfa.final_state) {
+            hits += 1;
+        }
+        stack.push(next);
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xust_intern::intern;
+    use xust_xpath::parse_path;
+
+    /// Both drivers must report identical selections over a real
+    /// document stream.
+    #[test]
+    fn drivers_agree_on_hits() {
+        let doc = Document::parse(
+            "<site><people><person/><person><x><person/></x></person></people></site>",
+        )
+        .unwrap();
+        let stream = LabelStream::of(&doc);
+        assert_eq!(stream.len(), 6);
+        for p in ["/site/people/person", "//person", "site/*"] {
+            let path = parse_path(p).unwrap();
+            let a = drive_interned(&stream, &SelectingNfa::new(&path));
+            let b = drive_string(&stream, &StringSelectingNfa::new(&path));
+            assert_eq!(a, b, "hit counts diverge on {p}");
+        }
+    }
+
+    /// The baseline must stay equivalent to the interned NFA on raw
+    /// reachability, or the bench compares different computations.
+    #[test]
+    fn baseline_matches_interned_nfa() {
+        let labels = ["site", "people", "person", "item", "x"];
+        for p in ["/site/people/person", "/site//item", "a/*/c", "//person"] {
+            let path = parse_path(p).unwrap();
+            let interned = SelectingNfa::new(&path);
+            let baseline = StringSelectingNfa::new(&path);
+            let mut si = interned.initial();
+            let mut sb = baseline.initial();
+            for l in labels {
+                si = interned.next_states_unchecked(&si, intern(l));
+                sb = baseline.next_states(&sb, l);
+                let vi: Vec<usize> = si.iter().collect();
+                let vb: Vec<usize> = sb.iter().collect();
+                assert_eq!(vi, vb, "divergence on {p} after {l}");
+            }
+        }
+    }
+}

@@ -208,7 +208,7 @@ fn rename_collides(qt: &TransformQuery, uq: &UserQuery) -> bool {
     let UpdateOp::Rename { name } = &qt.op else {
         return false;
     };
-    user_mentions_label(uq, name)
+    user_mentions_label(uq, name.as_str())
 }
 
 /// `replace p with e` makes every selected node appear under e's root
@@ -450,7 +450,7 @@ impl Gen<'_> {
                     // that the user step matched by its *old* label no
                     // longer matches after the rename.
                     if let StepKind::Label(l) = &self.uq.source.steps[i].kind {
-                        if l != name {
+                        if l.as_str() != name.as_str() {
                             return Expr::empty();
                         }
                     }
@@ -615,11 +615,11 @@ impl Gen<'_> {
             }
             if let Some((l, t)) = &st.label_trans {
                 match kind {
-                    StepKind::Label(user_l) if l == user_l => push(*t, None, &mut entered),
+                    StepKind::Label(user_l) if l.as_str() == user_l => push(*t, None, &mut entered),
                     StepKind::Label(_) => {}
                     // A wildcard step only takes the transition when the
                     // bound node happens to carry the label.
-                    StepKind::Wildcard => push(*t, Some(l), &mut entered),
+                    StepKind::Wildcard => push(*t, Some(l.as_str()), &mut entered),
                     StepKind::Descendant => unreachable!("handled in steps()"),
                 }
             }
@@ -682,7 +682,9 @@ impl Gen<'_> {
                 let mut cur = s.clone();
                 for step in &qp.path.steps {
                     cur = match &step.kind {
-                        StepKind::Label(l) => self.nfa.next_states_unchecked(&cur, l),
+                        StepKind::Label(l) => {
+                            self.nfa.next_states_unchecked(&cur, xust_intern::intern(l))
+                        }
                         StepKind::Wildcard => self.nfa.next_states_wild(&cur),
                         StepKind::Descendant => self.nfa.desc_closure(&cur),
                     };

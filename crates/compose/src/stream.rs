@@ -223,7 +223,7 @@ impl EventSink for BindingSink<'_> {
         match ev {
             SaxEvent::StartDocument | SaxEvent::EndDocument => {}
             SaxEvent::StartElement { name, attrs } => {
-                let selected = self.sel.start_element(&name);
+                let selected = self.sel.start_element(name);
                 match &mut self.buf {
                     Some(buf) => {
                         let parent = *buf.stack.last().expect("buffer stack non-empty");

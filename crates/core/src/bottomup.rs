@@ -158,8 +158,11 @@ pub fn bottom_up_prebuilt(
 }
 
 fn next_for(doc: &Document, nfa: &FilteringNfa, states: &StateSet, node: NodeId) -> StateSet {
-    let label = doc.name(node).unwrap_or("");
-    nfa.next_states(states, label)
+    match doc.name_sym(node) {
+        Some(label) => nfa.next_states(states, label),
+        // Text nodes are never visited, but stay total just in case.
+        None => StateSet::new(nfa.len()),
+    }
 }
 
 #[cfg(test)]

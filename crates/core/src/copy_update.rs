@@ -49,7 +49,12 @@ pub fn apply_update(doc: &mut Document, targets: &[NodeId], op: &UpdateOp) {
         }
         UpdateOp::Delete => {
             for &v in targets {
-                doc.detach(v);
+                // `delete` (not `detach`): the subtree is gone for good,
+                // so its arena slots are recycled. Safe on nested target
+                // lists (`//part` selecting a part inside a part): a
+                // node already recycled by an ancestor's delete is a
+                // no-op.
+                doc.delete(v);
             }
         }
         UpdateOp::Replace { elem } => {
@@ -64,7 +69,7 @@ pub fn apply_update(doc: &mut Document, targets: &[NodeId], op: &UpdateOp) {
         }
         UpdateOp::Rename { name } => {
             for &v in targets {
-                doc.rename(v, name.clone());
+                doc.rename(v, *name);
             }
         }
     }
@@ -107,6 +112,44 @@ mod tests {
         assert!(out
             .serialize()
             .contains("<pname>mouse</pname><tag/></part>"));
+    }
+
+    #[test]
+    fn destructive_updates_keep_arena_bounded() {
+        // The serve layer applies updates destructively to long-lived
+        // documents; repeated insert→delete cycles must reuse arena
+        // slots instead of leaking one per deleted node.
+        let mut d = doc();
+        let insert = TransformQuery::insert(
+            "d",
+            parse_path("db/part").unwrap(),
+            Document::parse("<tmp><t>x</t></tmp>").unwrap(),
+        );
+        let delete = TransformQuery::delete("d", parse_path("//tmp").unwrap());
+        let mut high_water = 0;
+        for cycle in 0..50 {
+            let targets = xust_xpath::eval_path_root(&d, &insert.path);
+            apply_update(&mut d, &targets, &insert.op);
+            if cycle == 0 {
+                high_water = d.arena_len();
+            } else {
+                assert_eq!(d.arena_len(), high_water, "arena leaked on cycle {cycle}");
+            }
+            let targets = xust_xpath::eval_path_root(&d, &delete.path);
+            apply_update(&mut d, &targets, &delete.op);
+        }
+        assert_eq!(d.serialize(), doc().serialize());
+    }
+
+    #[test]
+    fn nested_delete_targets_are_safe() {
+        // `//part` selects an ancestor part AND its nested part; the
+        // recycling delete must handle the descendant having already
+        // been freed.
+        let d = Document::parse("<db><part><part><pname>k</pname></part></part></db>").unwrap();
+        let q = TransformQuery::delete("d", parse_path("//part").unwrap());
+        let out = copy_update(&d, &q);
+        assert_eq!(out.serialize(), "<db/>");
     }
 
     #[test]

@@ -69,3 +69,5 @@ pub use sax2pass::{
 };
 pub use topdown::{top_down, top_down_no_prune, top_down_subtree, top_down_with};
 pub use twopass::two_pass;
+// Symbol interning (the label representation every layer shares).
+pub use xust_intern::{intern, Interner, IntoSym, Sym};

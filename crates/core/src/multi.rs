@@ -43,6 +43,7 @@
 use std::collections::{HashMap, HashSet};
 
 use xust_automata::{SelectingNfa, StateSet};
+use xust_intern::Sym;
 use xust_tree::{Document, NodeId, NodeKind};
 use xust_xpath::{eval_path_root, eval_qualifier, Path};
 
@@ -87,7 +88,7 @@ struct NodeActions<'a> {
     /// Winning replacement element, if any.
     replace: Option<&'a Document>,
     /// Winning new label, if any.
-    rename: Option<&'a str>,
+    rename: Option<Sym>,
     ins_first: Vec<&'a Document>,
     ins_last: Vec<&'a Document>,
     ins_before: Vec<&'a Document>,
@@ -105,7 +106,7 @@ impl<'a> NodeActions<'a> {
             }
             UpdateOp::Rename { name } => {
                 if self.rename.is_none() {
-                    self.rename = Some(name);
+                    self.rename = Some(*name);
                 }
             }
             UpdateOp::Insert { elem, pos } => match pos {
@@ -152,7 +153,7 @@ fn rebuild_rec<'a>(
 ) -> Vec<NodeId> {
     let (name, attrs) = match src.kind(n) {
         NodeKind::Text(t) => return vec![out.create_text(t.clone())],
-        NodeKind::Element { name, attrs } => (name.clone(), attrs.clone()),
+        NodeKind::Element { name, attrs } => (*name, attrs.clone()),
     };
     let acts = actions(n);
     let mut produced: Vec<NodeId> = Vec::new();
@@ -172,7 +173,7 @@ fn rebuild_rec<'a>(
             produced.push(out.deep_copy_from(e, r));
         }
     } else {
-        let out_name = acts.rename.map(str::to_string).unwrap_or(name);
+        let out_name = acts.rename.unwrap_or(name);
         let node = out.create_element_with_attrs(out_name, attrs);
         for e in &acts.ins_first {
             if let Some(r) = e.root() {
@@ -244,7 +245,7 @@ fn multi_rec<'a>(
 ) -> Vec<NodeId> {
     let label = match src.kind(n) {
         NodeKind::Text(t) => return vec![out.create_text(t.clone())],
-        NodeKind::Element { name, .. } => name.clone(),
+        NodeKind::Element { name, .. } => *name,
     };
     let mut next: Vec<StateSet> = Vec::with_capacity(nfas.len());
     let mut acts = NodeActions::default();
@@ -255,7 +256,7 @@ fn multi_rec<'a>(
     }
     let mut any_alive = false;
     for ((nfa, op), s) in nfas.iter().zip(states) {
-        let s_next = nfa.next_states(s, &label, |_, qual| eval_qualifier(src, n, qual));
+        let s_next = nfa.next_states(s, label, |_, qual| eval_qualifier(src, n, qual));
         if s_next.contains(nfa.final_state) {
             acts.absorb(op);
         }
@@ -292,10 +293,7 @@ fn multi_rec<'a>(
             produced.push(out.deep_copy_from(e, r));
         }
     } else {
-        let out_name = acts
-            .rename
-            .map(str::to_string)
-            .unwrap_or_else(|| label.clone());
+        let out_name = acts.rename.unwrap_or(label);
         let node = out.create_element_with_attrs(out_name, src.attrs(n).to_vec());
         for e in &acts.ins_first {
             if let Some(r) = e.root() {

@@ -17,6 +17,7 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path as FsPath;
 
+use xust_intern::Sym;
 use xust_sax::{SaxEvent, SaxParser};
 
 use crate::multi::MultiTransformQuery;
@@ -84,7 +85,7 @@ pub fn multi_two_pass_sax<R1: Read, R2: Read, W: Write>(
                 let at_root = stack.is_empty();
                 let mut acts = Merged::default();
                 for (i, sel) in selectors.iter_mut().enumerate() {
-                    if sel.start_element(&name) {
+                    if sel.start_element(name) {
                         acts.absorb(i, ops[i]);
                     }
                 }
@@ -109,7 +110,7 @@ pub fn multi_two_pass_sax<R1: Read, R2: Read, W: Write>(
                     } else {
                         let out_name = acts.rename.unwrap_or(name);
                         sink.event(SaxEvent::StartElement {
-                            name: out_name.clone(),
+                            name: out_name,
                             attrs,
                         })?;
                         for &i in &acts.ins_first {
@@ -222,7 +223,7 @@ fn splice(sink: &mut dyn EventSink, events: &[SaxEvent]) -> Result<(), SaxTransf
 struct Merged {
     deleted: bool,
     replace: Option<usize>,
-    rename: Option<String>,
+    rename: Option<Sym>,
     ins_first: Vec<usize>,
     ins_last: Vec<usize>,
     ins_before: Vec<usize>,
@@ -240,7 +241,7 @@ impl Merged {
             }
             UpdateOp::Rename { name } => {
                 if self.rename.is_none() {
-                    self.rename = Some(name.clone());
+                    self.rename = Some(*name);
                 }
             }
             UpdateOp::Insert { pos, .. } => match pos {
@@ -257,7 +258,7 @@ impl Merged {
 #[derive(Default)]
 struct MFrame {
     /// End tag to emit (None when the element is suppressed).
-    end_name: Option<String>,
+    end_name: Option<Sym>,
     /// Started inside an already-suppressed region.
     silent: bool,
     /// This element itself is deleted/replaced.

@@ -70,8 +70,8 @@ fn copy_rec(
                 }
             }
             let out_name = match (selected, op) {
-                (true, UpdateOp::Rename { name: new }) => new.clone(),
-                _ => name.clone(),
+                (true, UpdateOp::Rename { name: new }) => *new,
+                _ => *name,
             };
             let node = out.create_element_with_attrs(out_name, attrs.clone());
             if selected {

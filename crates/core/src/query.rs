@@ -14,6 +14,7 @@
 
 use std::fmt;
 
+use xust_intern::{intern, IntoSym, Sym};
 use xust_tree::Document;
 use xust_xpath::{parse_path, Path};
 
@@ -83,7 +84,7 @@ pub enum UpdateOp {
     /// `rename $a/p as l`.
     Rename {
         /// The new label.
-        name: String,
+        name: Sym,
     },
 }
 
@@ -170,16 +171,14 @@ impl TransformQuery {
     }
 
     /// Builds a rename transform query programmatically.
-    pub fn rename(
-        doc_name: impl Into<String>,
-        path: Path,
-        name: impl Into<String>,
-    ) -> TransformQuery {
+    pub fn rename(doc_name: impl Into<String>, path: Path, name: impl IntoSym) -> TransformQuery {
         TransformQuery {
             var: "a".into(),
             doc_name: doc_name.into(),
             path,
-            op: UpdateOp::Rename { name: name.into() },
+            op: UpdateOp::Rename {
+                name: name.into_sym(),
+            },
         }
     }
 }
@@ -347,7 +346,12 @@ fn parse_one_update(
             let path = s.update_path(var, b"")?;
             s.keyword("as")?;
             let name = s.word()?;
-            Ok((UpdateOp::Rename { name }, path))
+            Ok((
+                UpdateOp::Rename {
+                    name: intern(&name),
+                },
+                path,
+            ))
         }
         other => Err(err(format!("unknown update operation '{other}'"))),
     }
@@ -676,7 +680,7 @@ mod tests {
         )
         .unwrap();
         match &q.op {
-            UpdateOp::Rename { name } => assert_eq!(name, "vendor"),
+            UpdateOp::Rename { name } => assert_eq!(name.as_str(), "vendor"),
             other => panic!("unexpected {other:?}"),
         }
     }

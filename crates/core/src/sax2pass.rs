@@ -31,6 +31,7 @@ use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path as FsPath;
 
 use xust_automata::{FilteringNfa, SelectingNfa, StateSet};
+use xust_intern::Sym;
 use xust_sax::{SaxError, SaxEvent, SaxParser, SaxWriter};
 use xust_xpath::{qual_dp_facts, NodeFacts, Path, QualTable, SatVec};
 
@@ -166,20 +167,23 @@ impl Ld {
 
 /// Facts adapter for a pass-1 stack entry.
 struct SaxFacts<'a> {
-    label: &'a str,
-    attrs: &'a [(String, String)],
+    label: Sym,
+    attrs: &'a [(Sym, String)],
     text: &'a str,
 }
 
 impl NodeFacts for SaxFacts<'_> {
     fn label(&self) -> Option<&str> {
-        Some(self.label)
+        Some(self.label.as_str())
     }
 
     fn attr(&self, name: &str) -> Option<&str> {
+        // One hash lookup for the queried name, then Sym compares — no
+        // per-attribute string work on the pass-1 qualifier path.
+        let want = xust_intern::Interner::global().lookup(name)?;
         self.attrs
             .iter()
-            .find(|(k, _)| k == name)
+            .find(|(k, _)| *k == want)
             .map(|(_, v)| v.as_str())
     }
 
@@ -610,8 +614,8 @@ struct P1Frame {
     /// Filtering-NFA states (empty ⇒ pruned region: no work below).
     states: StateSet,
     active: bool,
-    label: String,
-    attrs: Vec<(String, String)>,
+    label: Sym,
+    attrs: Vec<(Sym, String)>,
     text: String,
     csat: SatVec,
     dsat: SatVec,
@@ -654,7 +658,7 @@ impl Pass1State {
                 let states = if self.stack.last().is_some_and(|f| !f.active) {
                     StateSet::new(mf.len())
                 } else {
-                    mf.next_states(&parent_states, &name)
+                    mf.next_states(&parent_states, name)
                 };
                 let active = !states.is_empty();
                 let mut quals = Vec::new();
@@ -702,7 +706,7 @@ impl Pass1State {
                 }
                 let mut sat = SatVec::new(nq);
                 let facts = SaxFacts {
-                    label: &frame.label,
+                    label: frame.label,
                     attrs: &frame.attrs,
                     text: &frame.text,
                 };
@@ -846,7 +850,7 @@ pub struct PathSelector<'a> {
 impl PathSelector<'_> {
     /// Advances on a start tag; returns true iff the element is in
     /// `r[[p]]`. (An empty path selects exactly the stream's root.)
-    pub fn start_element(&mut self, name: &str) -> bool {
+    pub fn start_element(&mut self, name: Sym) -> bool {
         let pp = self.pp;
         let (parent_mf, parent_mp) = match self.stack.last() {
             Some(f) => (f.mf_states.clone(), f.mp_states.clone()),
@@ -896,7 +900,7 @@ struct P2Frame {
     mf_states: StateSet,
     mp_states: StateSet,
     /// End-tag name to emit (None when this element is suppressed).
-    emit_end: Option<String>,
+    emit_end: Option<Sym>,
     /// Emit `e` before the end tag (`insert … into` at a selected node).
     insert_at_end: bool,
     /// Emit `e` after the end tag (`insert … after` at a selected node).
@@ -967,7 +971,7 @@ impl Pass2Core {
                     None => (ctx.mf.initial(), ctx.mp.initial()),
                 };
                 // Replay the pass-1 cursor discipline.
-                let mf_next = ctx.mf.next_states(&parent_mf, &name);
+                let mf_next = ctx.mf.next_states(&parent_mf, name);
                 if !self.epsilon {
                     for (step, state) in ctx.step_states.iter().enumerate() {
                         if ctx.mp.path.steps[step].qualifier.is_none() {
@@ -980,7 +984,7 @@ impl Pass2Core {
                     }
                 }
                 let truth = &self.truth;
-                let mp_next = ctx.mp.next_states(&parent_mp, &name, |step, _| truth[step]);
+                let mp_next = ctx.mp.next_states(&parent_mp, name, |step, _| truth[step]);
                 let selected = if self.epsilon {
                     self.stack.is_empty()
                 } else {
@@ -1011,34 +1015,28 @@ impl Pass2Core {
                         }
                         UpdateOp::Rename { name: new_name } => {
                             sink.event(SaxEvent::StartElement {
-                                name: new_name.clone(),
+                                name: *new_name,
                                 attrs,
                             })?;
-                            frame.emit_end = Some(new_name.clone());
+                            frame.emit_end = Some(*new_name);
                         }
                         UpdateOp::Insert { pos, .. } => {
                             let pos = *pos;
                             if pos == InsertPos::Before && !at_root {
                                 self.splice(sink)?;
                             }
-                            sink.event(SaxEvent::StartElement {
-                                name: name.clone(),
-                                attrs,
-                            })?;
+                            sink.event(SaxEvent::StartElement { name, attrs })?;
                             if pos == InsertPos::FirstInto {
                                 self.splice(sink)?;
                             }
-                            frame.emit_end = Some(name.clone());
+                            frame.emit_end = Some(name);
                             frame.insert_at_end = pos == InsertPos::LastInto;
                             frame.insert_after_end = pos == InsertPos::After && !at_root;
                         }
                     }
                 } else {
-                    sink.event(SaxEvent::StartElement {
-                        name: name.clone(),
-                        attrs,
-                    })?;
-                    frame.emit_end = Some(name.clone());
+                    sink.event(SaxEvent::StartElement { name, attrs })?;
+                    frame.emit_end = Some(name);
                 }
                 self.stack.push(frame);
                 self.max_depth = self.max_depth.max(self.stack.len());
@@ -1091,7 +1089,7 @@ pub(crate) fn doc_events(doc: &xust_tree::Document) -> Vec<SaxEvent> {
                 xust_tree::NodeKind::Text(t) => events.push(SaxEvent::Text(t.clone())),
                 xust_tree::NodeKind::Element { name, attrs } => {
                     events.push(SaxEvent::StartElement {
-                        name: name.clone(),
+                        name: *name,
                         attrs: attrs.clone(),
                     });
                     stack.push(Frame::Exit(n));
@@ -1103,7 +1101,7 @@ pub(crate) fn doc_events(doc: &xust_tree::Document) -> Vec<SaxEvent> {
             },
             Frame::Exit(n) => {
                 events.push(SaxEvent::EndElement(
-                    doc.name(n).expect("exit frames are elements").to_string(),
+                    doc.name_sym(n).expect("exit frames are elements"),
                 ));
             }
         }
@@ -1426,8 +1424,8 @@ mod tests {
             let mut got = Vec::new();
             for ev in &events {
                 match ev {
-                    SaxEvent::StartElement { name, .. } if sel.start_element(name) => {
-                        got.push(name.clone());
+                    SaxEvent::StartElement { name, .. } if sel.start_element(*name) => {
+                        got.push(name.as_str().to_string());
                     }
                     SaxEvent::StartElement { .. } => {}
                     SaxEvent::EndElement(_) => sel.end_element(),

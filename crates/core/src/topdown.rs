@@ -55,9 +55,9 @@ pub fn top_down_no_prune(doc: &Document, q: &TransformQuery) -> Document {
     ) -> Vec<NodeId> {
         let label = match src.kind(n) {
             NodeKind::Text(t) => return vec![out.create_text(t.clone())],
-            NodeKind::Element { name, .. } => name.clone(),
+            NodeKind::Element { name, .. } => *name,
         };
-        let s_next = nfa.next_states(s, &label, |_, qual| eval_qualifier(src, n, qual));
+        let s_next = nfa.next_states(s, label, |_, qual| eval_qualifier(src, n, qual));
         let selected = s_next.contains(nfa.final_state);
         if selected {
             match op {
@@ -72,7 +72,7 @@ pub fn top_down_no_prune(doc: &Document, q: &TransformQuery) -> Document {
             }
         }
         let name = match (selected, op) {
-            (true, UpdateOp::Rename { name }) => name.clone(),
+            (true, UpdateOp::Rename { name }) => *name,
             _ => label,
         };
         let node = out.create_element_with_attrs(name, src.attrs(n).to_vec());
@@ -164,7 +164,7 @@ pub fn top_down_prebuilt(
             }
             UpdateOp::Rename { name } => {
                 let copy = out.deep_copy_from(doc, root);
-                out.rename(copy, name.clone());
+                out.rename(copy, *name);
                 out.set_root(copy);
                 return out;
             }
@@ -190,10 +190,8 @@ pub fn top_down_prebuilt(
     // The root is handled outside `rec` so that sibling inserts (`before`
     // / `after`) on a selected root are skipped: a document has exactly
     // one root, so there is no position to put the sibling.
-    let root_label = doc.name(root).expect("root is an element").to_string();
-    let s_next = nfa.next_states(&init, &root_label, |step, qual| {
-        check(doc, root, step, qual)
-    });
+    let root_label = doc.name_sym(root).expect("root is an element");
+    let s_next = nfa.next_states(&init, root_label, |step, qual| check(doc, root, step, qual));
     if s_next.is_empty() {
         let copy = out.deep_copy_from(doc, root);
         out.set_root(copy);
@@ -233,13 +231,13 @@ impl Cx<'_, '_> {
                 let copy = self.out.create_text(t.clone());
                 return vec![copy];
             }
-            NodeKind::Element { name, .. } => name.clone(),
+            NodeKind::Element { name, .. } => *name,
         };
         let src = self.src;
         let check = &mut *self.check;
         let s_next = self
             .nfa
-            .next_states(s, &label, |step, qual| check(src, n, step, qual));
+            .next_states(s, label, |step, qual| check(src, n, step, qual));
 
         // Fig. 3 lines 2–3: unaffected subtree — copy unchanged.
         if s_next.is_empty() {
@@ -289,12 +287,11 @@ impl Cx<'_, '_> {
         }
 
         let out_name = match (selected, self.op) {
-            (true, UpdateOp::Rename { name }) => name.clone(),
+            (true, UpdateOp::Rename { name }) => *name,
             _ => self
                 .src
-                .name(n)
-                .expect("process() is called on elements")
-                .to_string(),
+                .name_sym(n)
+                .expect("process() is called on elements"),
         };
         let attrs = self.src.attrs(n).to_vec();
         let new_node = self.out.create_element_with_attrs(out_name, attrs);

@@ -15,6 +15,10 @@ pub fn escape_text_into(s: &str, out: &mut String) {
             '&' => out.push_str("&amp;"),
             '<' => out.push_str("&lt;"),
             '>' => out.push_str("&gt;"),
+            // A literal CR would be folded to LF by the reader's §2.11
+            // normalization; the reference survives, keeping
+            // parse ∘ serialize an identity.
+            '\r' => out.push_str("&#13;"),
             _ => out.push(c),
         }
     }
@@ -36,6 +40,12 @@ pub fn escape_attr_into(s: &str, out: &mut String) {
             '>' => out.push_str("&gt;"),
             '"' => out.push_str("&quot;"),
             '\'' => out.push_str("&apos;"),
+            // Literal whitespace would be normalized to spaces by the
+            // reader (§3.3.3); character references survive, keeping
+            // parse ∘ serialize an identity.
+            '\r' => out.push_str("&#13;"),
+            '\n' => out.push_str("&#10;"),
+            '\t' => out.push_str("&#9;"),
             _ => out.push(c),
         }
     }

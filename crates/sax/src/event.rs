@@ -1,39 +1,43 @@
+use xust_intern::{IntoSym, Sym};
+
 /// A SAX event, as in Section 6 of the paper.
 ///
-/// Attribute values and text content are stored unescaped (entity
-/// references already resolved); the [`crate::SaxWriter`] re-escapes them
-/// on output.
+/// Element and attribute *names* are interned [`Sym`]s, resolved by the
+/// parser at scan time, so every downstream automaton transition is an
+/// integer compare instead of a byte compare. Attribute values and text
+/// content are stored unescaped (entity references already resolved);
+/// the [`crate::SaxWriter`] re-escapes them on output.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SaxEvent {
     /// Emitted once before any other event.
     StartDocument,
     /// The start tag of an element, with its attributes in document order.
     StartElement {
-        /// Element name.
-        name: String,
-        /// Attributes in document order.
-        attrs: Vec<(String, String)>,
+        /// Element name (interned).
+        name: Sym,
+        /// Attributes in document order (interned names, literal values).
+        attrs: Vec<(Sym, String)>,
     },
     /// A run of character data (PCDATA or CDATA).
     Text(String),
     /// The end tag of the element with the given name.
-    EndElement(String),
+    EndElement(Sym),
     /// Emitted once after the root element closes.
     EndDocument,
 }
 
 impl SaxEvent {
     /// Convenience constructor for a start element without attributes.
-    pub fn start(name: impl Into<String>) -> Self {
+    pub fn start(name: impl IntoSym) -> Self {
         SaxEvent::StartElement {
-            name: name.into(),
+            name: name.into_sym(),
             attrs: Vec::new(),
         }
     }
 
     /// Convenience constructor for an end element.
-    pub fn end(name: impl Into<String>) -> Self {
-        SaxEvent::EndElement(name.into())
+    pub fn end(name: impl IntoSym) -> Self {
+        SaxEvent::EndElement(name.into_sym())
     }
 
     /// Convenience constructor for a text event.
@@ -42,9 +46,15 @@ impl SaxEvent {
     }
 
     /// Returns the element name for start/end element events.
-    pub fn element_name(&self) -> Option<&str> {
+    pub fn element_name(&self) -> Option<&'static str> {
+        self.element_sym().map(Sym::as_str)
+    }
+
+    /// Returns the interned element name for start/end element events.
+    pub fn element_sym(&self) -> Option<Sym> {
         match self {
-            SaxEvent::StartElement { name, .. } | SaxEvent::EndElement(name) => Some(name),
+            SaxEvent::StartElement { name, .. } => Some(*name),
+            SaxEvent::EndElement(name) => Some(*name),
             _ => None,
         }
     }
@@ -53,17 +63,18 @@ impl SaxEvent {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use xust_intern::intern;
 
     #[test]
     fn constructors() {
         assert_eq!(
             SaxEvent::start("a"),
             SaxEvent::StartElement {
-                name: "a".into(),
+                name: intern("a"),
                 attrs: vec![]
             }
         );
-        assert_eq!(SaxEvent::end("a"), SaxEvent::EndElement("a".into()));
+        assert_eq!(SaxEvent::end("a"), SaxEvent::EndElement(intern("a")));
         assert_eq!(SaxEvent::text("x"), SaxEvent::Text("x".into()));
     }
 
@@ -73,5 +84,6 @@ mod tests {
         assert_eq!(SaxEvent::end("b").element_name(), Some("b"));
         assert_eq!(SaxEvent::text("t").element_name(), None);
         assert_eq!(SaxEvent::StartDocument.element_name(), None);
+        assert_eq!(SaxEvent::start("a").element_sym(), Some(intern("a")));
     }
 }

@@ -21,7 +21,9 @@
 //! let mut names = Vec::new();
 //! while let Some(ev) = parser.next_event().unwrap() {
 //!     if let SaxEvent::StartElement { name, .. } = ev {
-//!         names.push(name);
+//!         // `name` is an interned `Sym`: O(1) to compare, resolve on
+//!         // demand.
+//!         names.push(name.as_str());
 //!     }
 //! }
 //! assert_eq!(names, ["db", "part"]);
@@ -37,4 +39,7 @@ pub use error::{SaxError, SaxResult};
 pub use escape::{escape_attr, escape_attr_into, escape_text, escape_text_into, unescape};
 pub use event::SaxEvent;
 pub use parser::{SaxParser, DEFAULT_DEPTH_LIMIT};
-pub use writer::{events_to_string, SaxWriter};
+pub use writer::{events_to_string, SaxWriter, NO_ATTRS};
+// Re-exported so event consumers can name and intern symbols without a
+// direct xust-intern dependency.
+pub use xust_intern::{intern, Interner, IntoSym, Sym};

@@ -1,7 +1,10 @@
+use std::borrow::Cow;
 use std::collections::VecDeque;
 use std::fs::File;
 use std::io::{BufReader, Read};
 use std::path::Path;
+
+use xust_intern::{intern, Sym};
 
 use crate::error::{SaxError, SaxResult};
 use crate::escape::unescape;
@@ -39,7 +42,7 @@ pub struct SaxParser<R: Read> {
     base: usize,
     eof: bool,
     state: State,
-    stack: Vec<String>,
+    stack: Vec<Sym>,
     pending: VecDeque<SaxEvent>,
     depth_limit: usize,
 }
@@ -318,7 +321,7 @@ impl<R: Read> SaxParser<R> {
                     message: "invalid UTF-8 in text".into(),
                 }
             })?;
-            text.push_str(&unescape(raw));
+            text.push_str(&unescape(&normalize_newlines(raw)));
             self.pos += i;
             if !found {
                 return Err(SaxError::UnexpectedEof {
@@ -336,7 +339,7 @@ impl<R: Read> SaxParser<R> {
                         message: "invalid UTF-8 in CDATA".into(),
                     })?
                     .to_string();
-                text.push_str(&raw);
+                text.push_str(&normalize_newlines(&raw));
                 self.pos += end + 3;
             } else {
                 return Ok(SaxEvent::Text(text));
@@ -354,7 +357,7 @@ impl<R: Read> SaxParser<R> {
             })?
             .to_string();
         self.pos += end + 3;
-        Ok(SaxEvent::Text(raw))
+        Ok(SaxEvent::Text(normalize_newlines(&raw).into_owned()))
     }
 
     fn parse_end_tag(&mut self) -> SaxResult<SaxEvent> {
@@ -373,21 +376,22 @@ impl<R: Read> SaxParser<R> {
                 message: "whitespace before end-tag name".into(),
             });
         }
-        let name = raw.trim_end().to_string();
-        if !is_valid_xml_name(&name) {
+        let raw_name = raw.trim_end();
+        if !is_valid_xml_name(raw_name) {
             return Err(SaxError::Syntax {
                 offset: start_offset,
-                message: format!("invalid end-tag name '{name}'"),
+                message: format!("invalid end-tag name '{raw_name}'"),
             });
         }
+        let name = intern(raw_name);
         self.pos += close + 1;
         match self.stack.pop() {
             Some(open) if open == name => {}
             Some(open) => {
                 return Err(SaxError::MismatchedTag {
                     offset: start_offset,
-                    expected: open,
-                    found: name,
+                    expected: open.as_str().to_string(),
+                    found: name.as_str().to_string(),
                 })
             }
             None => {
@@ -447,14 +451,8 @@ impl<R: Read> SaxParser<R> {
             None => (tag.as_str(), false),
         };
         let (name, attrs) = parse_tag_body(body, start_offset)?;
-        if name.is_empty() {
-            return Err(SaxError::Syntax {
-                offset: start_offset,
-                message: "empty element name".into(),
-            });
-        }
         if self_closing {
-            self.pending.push_back(SaxEvent::EndElement(name.clone()));
+            self.pending.push_back(SaxEvent::EndElement(name));
             if self.stack.is_empty() {
                 self.state = State::AfterRoot;
             }
@@ -464,7 +462,7 @@ impl<R: Read> SaxParser<R> {
                     limit: self.depth_limit,
                 });
             }
-            self.stack.push(name.clone());
+            self.stack.push(name);
         }
         Ok(SaxEvent::StartElement { name, attrs })
     }
@@ -491,8 +489,56 @@ pub(crate) fn is_valid_xml_name(name: &str) -> bool {
     chars.all(|c| c.is_alphanumeric() || matches!(c, '-' | '.' | '_' | ':'))
 }
 
+/// XML 1.0 §2.11: translate `\r\n` pairs and bare `\r` to a single `\n`
+/// before any further processing (entity references like `&#13;` are
+/// resolved *after* this, so they survive literally).
+fn normalize_newlines(s: &str) -> Cow<'_, str> {
+    if !s.contains('\r') {
+        return Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '\r' {
+            out.push('\n');
+            if chars.peek() == Some(&'\n') {
+                chars.next();
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// XML 1.0 §3.3.3 attribute-value normalization (CDATA attributes): each
+/// literal whitespace character becomes a space — with `\r\n` first
+/// collapsed to one `\n` by §2.11, so it contributes a single space.
+/// Character references (`&#10;` etc.) are exempt, which is why this
+/// runs on the *raw* value before [`unescape`].
+fn normalize_attr_ws(s: &str) -> Cow<'_, str> {
+    if !s.bytes().any(|b| matches!(b, b'\r' | b'\n' | b'\t')) {
+        return Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '\r' => {
+                out.push(' ');
+                if chars.peek() == Some(&'\n') {
+                    chars.next();
+                }
+            }
+            '\n' | '\t' => out.push(' '),
+            _ => out.push(c),
+        }
+    }
+    Cow::Owned(out)
+}
+
 /// Parses `name attr="v" …` from the interior of a start tag.
-fn parse_tag_body(body: &str, offset: usize) -> SaxResult<(String, Vec<(String, String)>)> {
+fn parse_tag_body(body: &str, offset: usize) -> SaxResult<(Sym, Vec<(Sym, String)>)> {
     // XML requires the name to follow `<` immediately: `< a/>` is not a tag.
     if body.starts_with(|c: char| c.is_ascii_whitespace()) {
         return Err(SaxError::Syntax {
@@ -504,14 +550,21 @@ fn parse_tag_body(body: &str, offset: usize) -> SaxResult<(String, Vec<(String, 
     let name_end = body
         .find(|c: char| c.is_ascii_whitespace())
         .unwrap_or(body.len());
-    let name = body[..name_end].to_string();
-    if !is_valid_xml_name(&name) {
+    let name = &body[..name_end];
+    if name.is_empty() {
+        return Err(SaxError::Syntax {
+            offset,
+            message: "empty element name".into(),
+        });
+    }
+    if !is_valid_xml_name(name) {
         return Err(SaxError::Syntax {
             offset,
             message: format!("invalid element name '{name}'"),
         });
     }
-    let mut attrs = Vec::new();
+    let name = intern(name);
+    let mut attrs: Vec<(Sym, String)> = Vec::new();
     let rest = &body[name_end..];
     let bytes = rest.as_bytes();
     let mut i = 0usize;
@@ -526,7 +579,7 @@ fn parse_tag_body(body: &str, offset: usize) -> SaxResult<(String, Vec<(String, 
         while i < bytes.len() && bytes[i] != b'=' && !bytes[i].is_ascii_whitespace() {
             i += 1;
         }
-        let key = rest[key_start..i].to_string();
+        let key = &rest[key_start..i];
         while i < bytes.len() && bytes[i].is_ascii_whitespace() {
             i += 1;
         }
@@ -558,8 +611,18 @@ fn parse_tag_body(body: &str, offset: usize) -> SaxResult<(String, Vec<(String, 
                 message: format!("attribute '{key}' has unterminated value"),
             });
         }
-        let value = unescape(&rest[val_start..i]);
+        let value = unescape(&normalize_attr_ws(&rest[val_start..i]));
         i += 1; // closing quote
+        let key = intern(key);
+        // XML 1.0 §3.1 well-formedness: an attribute name may appear at
+        // most once in the same start tag (Sym compare — the keys were
+        // just interned).
+        if attrs.iter().any(|(k, _)| *k == key) {
+            return Err(SaxError::Syntax {
+                offset,
+                message: format!("duplicate attribute '{key}'"),
+            });
+        }
         attrs.push((key, value));
     }
     Ok((name, attrs))
@@ -608,8 +671,8 @@ mod tests {
         assert_eq!(
             evs[1],
             SaxEvent::StartElement {
-                name: "a".into(),
-                attrs: vec![("x".into(), "1".into()), ("y".into(), "two".into())]
+                name: intern("a"),
+                attrs: vec![(intern("x"), "1".into()), (intern("y"), "two".into())]
             }
         );
     }
@@ -620,8 +683,66 @@ mod tests {
         assert_eq!(
             evs[1],
             SaxEvent::StartElement {
-                name: "a".into(),
-                attrs: vec![("x".into(), "p>q".into()), ("y".into(), "a&b".into())]
+                name: intern("a"),
+                attrs: vec![(intern("x"), "p>q".into()), (intern("y"), "a&b".into())]
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        // XML 1.0 §3.1: "an attribute name MUST NOT appear more than
+        // once in the same start-tag" — a well-formedness violation.
+        for xml in [
+            r#"<a x="1" x="2"/>"#,
+            r#"<a x="1" y="2" x="3"></a>"#,
+            r#"<r><a k='v' k='v'/></r>"#,
+        ] {
+            let err = SaxParser::from_str(xml).collect_events();
+            match err {
+                Err(SaxError::Syntax { message, .. }) => {
+                    assert!(message.contains("duplicate attribute"), "{message}");
+                }
+                other => panic!("expected duplicate-attribute error for {xml}, got {other:?}"),
+            }
+        }
+        // Same name in *different* tags stays legal.
+        assert!(SaxParser::from_str(r#"<a x="1"><b x="2"/></a>"#)
+            .collect_events()
+            .is_ok());
+    }
+
+    #[test]
+    fn newlines_normalized_in_text() {
+        // §2.11: \r\n and bare \r both become \n in character data.
+        let evs = events("<a>l1\r\nl2\rl3\nl4</a>");
+        assert_eq!(evs[2], SaxEvent::text("l1\nl2\nl3\nl4"));
+        // CDATA content is character data too.
+        let evs = events("<a><![CDATA[x\r\ny\rz]]></a>");
+        assert_eq!(evs[2], SaxEvent::text("x\ny\nz"));
+        // A character reference to CR is exempt from normalization.
+        let evs = events("<a>&#13;&#xD;</a>");
+        assert_eq!(evs[2], SaxEvent::text("\r\r"));
+    }
+
+    #[test]
+    fn attribute_whitespace_normalized() {
+        // §3.3.3: literal \r\n, \r, \n, \t in attribute values each
+        // become one space; character references survive literally.
+        let evs = events("<a x=\"v1\r\nv2\rv3\nv4\tv5\"/>");
+        assert_eq!(
+            evs[1],
+            SaxEvent::StartElement {
+                name: intern("a"),
+                attrs: vec![(intern("x"), "v1 v2 v3 v4 v5".into())]
+            }
+        );
+        let evs = events(r#"<a x="l1&#10;l2&#9;l3&#13;l4"/>"#);
+        assert_eq!(
+            evs[1],
+            SaxEvent::StartElement {
+                name: intern("a"),
+                attrs: vec![(intern("x"), "l1\nl2\tl3\rl4".into())]
             }
         );
     }

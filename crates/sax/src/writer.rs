@@ -1,8 +1,14 @@
 use std::io::Write;
 
 use crate::error::{SaxError, SaxResult};
+use xust_intern::Sym;
+
 use crate::escape::{escape_attr_into, escape_text_into};
 use crate::event::SaxEvent;
+
+/// An empty attribute list with a concrete key type, for callers of the
+/// generic [`SaxWriter::start_element`].
+pub const NO_ATTRS: &[(Sym, String)] = &[];
 
 /// Serializes a stream of [`SaxEvent`]s back to XML text.
 ///
@@ -96,21 +102,26 @@ impl<W: Write> SaxWriter<W> {
     pub fn write_event(&mut self, ev: &SaxEvent) -> SaxResult<()> {
         match ev {
             SaxEvent::StartDocument | SaxEvent::EndDocument => Ok(()),
-            SaxEvent::StartElement { name, attrs } => self.start_element(name, attrs),
+            SaxEvent::StartElement { name, attrs } => self.start_element(name.as_str(), attrs),
             SaxEvent::Text(t) => self.text(t),
-            SaxEvent::EndElement(name) => self.end_element(name),
+            SaxEvent::EndElement(name) => self.end_element(name.as_str()),
         }
     }
 
-    /// Writes the start of an element.
-    pub fn start_element(&mut self, name: &str, attrs: &[(String, String)]) -> SaxResult<()> {
+    /// Writes the start of an element. Attribute names may be interned
+    /// [`xust_intern::Sym`]s, `String`s, or `&str`s.
+    pub fn start_element<K: AsRef<str>>(
+        &mut self,
+        name: &str,
+        attrs: &[(K, String)],
+    ) -> SaxResult<()> {
         self.close_pending()?;
         self.scratch.clear();
         self.scratch.push('<');
         self.scratch.push_str(name);
         for (k, v) in attrs {
             self.scratch.push(' ');
-            self.scratch.push_str(k);
+            self.scratch.push_str(k.as_ref());
             self.scratch.push_str("=\"");
             escape_attr_into(v, &mut self.scratch);
             self.scratch.push('"');
@@ -220,7 +231,7 @@ mod tests {
     #[test]
     fn unfinished_document_rejected() {
         let mut w = SaxWriter::new(Vec::new());
-        w.start_element("a", &[]).unwrap();
+        w.start_element("a", NO_ATTRS).unwrap();
         assert!(w.finish().is_err());
     }
 
@@ -228,7 +239,7 @@ mod tests {
     fn byte_accounting_and_depth() {
         let mut w = SaxWriter::new(Vec::new());
         assert_eq!(w.bytes_written(), 0);
-        w.start_element("a", &[]).unwrap();
+        w.start_element("a", NO_ATTRS).unwrap();
         assert_eq!(w.depth(), 1);
         w.text("hi").unwrap();
         w.end_element("a").unwrap();
@@ -266,9 +277,9 @@ mod tests {
             flushes: Rc::clone(&flushes),
         };
         let mut w = SaxWriter::new(spy).with_autoflush(8);
-        w.start_element("root", &[]).unwrap();
+        w.start_element("root", NO_ATTRS).unwrap();
         for i in 0..20 {
-            w.start_element("e", &[]).unwrap();
+            w.start_element("e", NO_ATTRS).unwrap();
             w.text(&i.to_string()).unwrap();
             w.end_element("e").unwrap();
         }
@@ -286,7 +297,7 @@ mod tests {
     #[test]
     fn get_mut_drains_incrementally() {
         let mut w = SaxWriter::new(Vec::new());
-        w.start_element("a", &[]).unwrap();
+        w.start_element("a", NO_ATTRS).unwrap();
         w.text("x").unwrap();
         let chunk = std::mem::take(w.get_mut());
         assert_eq!(chunk, b"<a>x");

@@ -185,7 +185,9 @@ impl Policy {
                         RuleAction::Redact { placeholder } => UpdateOp::Replace {
                             elem: placeholder.clone(),
                         },
-                        RuleAction::Relabel { to } => UpdateOp::Rename { name: to.clone() },
+                        RuleAction::Relabel { to } => UpdateOp::Rename {
+                            name: to.as_str().into(),
+                        },
                     };
                     (r.path.clone(), op)
                 })

@@ -172,6 +172,7 @@ impl ServeStats {
             batches: self.batches.load(Ordering::Relaxed),
             batch_items: self.batch_items.load(Ordering::Relaxed),
             batch_steals: self.batch_steals.load(Ordering::Relaxed),
+            interned_labels: xust_intern::Interner::global().len(),
             stream_sessions: self.stream_sessions.load(Ordering::Relaxed),
             busy_micros: self.busy_micros.load(Ordering::Relaxed),
             per_method: Method::ALL.map(|m| (m, self.method_count(m))),
@@ -215,6 +216,11 @@ pub struct StatsSnapshot {
     pub batch_items: u64,
     /// Work-stealing events across batch executions.
     pub batch_steals: u64,
+    /// Distinct labels in the shared interner at snapshot time — the
+    /// vocabulary-growth gauge an operator watches when untrusted
+    /// documents can mint fresh element/attribute names (the interner
+    /// never shrinks; see DESIGN.md "Interning").
+    pub interned_labels: usize,
     /// Streaming sessions opened.
     pub stream_sessions: u64,
     /// Total busy time (µs).
@@ -239,8 +245,12 @@ impl std::fmt::Display for StatsSnapshot {
         )?;
         writeln!(
             f,
-            "cache: hits={} misses={} compiles={} compositions={}",
-            self.cache_hits, self.cache_misses, self.compiles, self.compositions
+            "cache: hits={} misses={} compiles={} compositions={} interned_labels={}",
+            self.cache_hits,
+            self.cache_misses,
+            self.compiles,
+            self.compositions,
+            self.interned_labels
         )?;
         writeln!(
             f,

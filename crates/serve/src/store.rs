@@ -30,6 +30,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
+use xust_intern::Interner;
+
 use crate::server::DocSource;
 
 /// One shard's immutable epoch: a version counter plus the name → source
@@ -69,6 +71,16 @@ impl DocStore {
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The label interner shared by every shard and every snapshot: the
+    /// process-global [`Interner`]. Documents loaded into any shard, and
+    /// queries compiled against any snapshot, resolve labels through
+    /// this one table, so a `Sym` carried across shards, epochs, or
+    /// worker threads always means the same label — batch and streaming
+    /// execution never re-intern.
+    pub fn interner(&self) -> &'static Interner {
+        Interner::global()
     }
 
     /// Which shard owns `name` (FNV-1a over the name bytes).
@@ -176,6 +188,13 @@ pub struct StoreSnapshot {
 }
 
 impl StoreSnapshot {
+    /// The same shared interner as [`DocStore::interner`] — snapshots
+    /// never carry a private label table, so `Sym`s resolved against an
+    /// old epoch stay valid forever.
+    pub fn interner(&self) -> &'static Interner {
+        Interner::global()
+    }
+
     /// Resolves `name` in this snapshot (lock-free).
     pub fn get(&self, name: &str) -> Option<&DocSource> {
         self.epochs[shard_index(name, self.epochs.len())]

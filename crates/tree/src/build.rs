@@ -1,3 +1,5 @@
+use xust_intern::{IntoSym, Sym};
+
 use crate::document::Document;
 use crate::node::NodeId;
 
@@ -19,8 +21,8 @@ use crate::node::NodeId;
 /// ```
 #[derive(Debug, Clone)]
 pub struct ElementBuilder {
-    name: String,
-    attrs: Vec<(String, String)>,
+    name: Sym,
+    attrs: Vec<(Sym, String)>,
     children: Vec<Child>,
 }
 
@@ -32,17 +34,17 @@ enum Child {
 
 impl ElementBuilder {
     /// Starts a new element.
-    pub fn new(name: impl Into<String>) -> Self {
+    pub fn new(name: impl IntoSym) -> Self {
         ElementBuilder {
-            name: name.into(),
+            name: name.into_sym(),
             attrs: Vec::new(),
             children: Vec::new(),
         }
     }
 
     /// Adds an attribute.
-    pub fn attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
-        self.attrs.push((name.into(), value.into()));
+    pub fn attr(mut self, name: impl IntoSym, value: impl Into<String>) -> Self {
+        self.attrs.push((name.into_sym(), value.into()));
         self
     }
 

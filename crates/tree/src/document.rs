@@ -1,3 +1,5 @@
+use xust_intern::{Interner, IntoSym, Sym};
+
 use crate::iter::{Ancestors, Children, Descendants};
 use crate::node::{NodeData, NodeId, NodeKind, NIL};
 
@@ -12,6 +14,10 @@ use crate::node::{NodeData, NodeId, NodeKind, NIL};
 pub struct Document {
     pub(crate) nodes: Vec<NodeData>,
     pub(crate) root: u32,
+    /// Arena slots recycled by [`Document::delete`]/[`Document::replace`];
+    /// [`Document::alloc`] reuses them before growing the arena, so
+    /// long-lived documents stay bounded under repeated edit cycles.
+    pub(crate) free: Vec<u32>,
 }
 
 impl Document {
@@ -20,6 +26,7 @@ impl Document {
         Document {
             nodes: Vec::new(),
             root: NIL,
+            free: Vec::new(),
         }
     }
 
@@ -28,6 +35,7 @@ impl Document {
         Document {
             nodes: Vec::with_capacity(n),
             root: NIL,
+            free: Vec::new(),
         }
     }
 
@@ -42,9 +50,15 @@ impl Document {
         self.root = node.0;
     }
 
-    /// Number of live slots in the arena (includes detached nodes).
+    /// Number of slots in the arena (includes detached nodes and slots
+    /// waiting on the free list).
     pub fn arena_len(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Number of recycled slots currently available for reuse.
+    pub fn free_slots(&self) -> usize {
+        self.free.len()
     }
 
     /// Number of nodes reachable from the root.
@@ -58,6 +72,10 @@ impl Document {
     // ---- construction ----
 
     fn alloc(&mut self, kind: NodeKind) -> NodeId {
+        if let Some(slot) = self.free.pop() {
+            self.nodes[slot as usize] = NodeData::new(kind);
+            return NodeId(slot);
+        }
         let id = self.nodes.len() as u32;
         assert!(id != NIL, "document arena full");
         self.nodes.push(NodeData::new(kind));
@@ -65,9 +83,9 @@ impl Document {
     }
 
     /// Creates a detached element node.
-    pub fn create_element(&mut self, name: impl Into<String>) -> NodeId {
+    pub fn create_element(&mut self, name: impl IntoSym) -> NodeId {
         self.alloc(NodeKind::Element {
-            name: name.into(),
+            name: name.into_sym(),
             attrs: Vec::new(),
         })
     }
@@ -75,11 +93,11 @@ impl Document {
     /// Creates a detached element node with attributes.
     pub fn create_element_with_attrs(
         &mut self,
-        name: impl Into<String>,
-        attrs: Vec<(String, String)>,
+        name: impl IntoSym,
+        attrs: Vec<(Sym, String)>,
     ) -> NodeId {
         self.alloc(NodeKind::Element {
-            name: name.into(),
+            name: name.into_sym(),
             attrs,
         })
     }
@@ -97,8 +115,14 @@ impl Document {
     }
 
     /// Element name (None for text nodes).
-    pub fn name(&self, node: NodeId) -> Option<&str> {
+    pub fn name(&self, node: NodeId) -> Option<&'static str> {
         self.nodes[node.index()].kind.name()
+    }
+
+    /// Interned element name (None for text nodes) — the label the
+    /// automata compare against, with no string work.
+    pub fn name_sym(&self, node: NodeId) -> Option<Sym> {
+        self.nodes[node.index()].kind.name_sym()
     }
 
     /// True if `node` is an element.
@@ -120,25 +144,33 @@ impl Document {
     }
 
     /// Attributes of an element (empty slice for text nodes).
-    pub fn attrs(&self, node: NodeId) -> &[(String, String)] {
+    pub fn attrs(&self, node: NodeId) -> &[(Sym, String)] {
         match &self.nodes[node.index()].kind {
             NodeKind::Element { attrs, .. } => attrs,
             NodeKind::Text(_) => &[],
         }
     }
 
-    /// Value of the attribute `name`, if present.
+    /// Value of the attribute `name`, if present. A label the global
+    /// interner has never seen cannot name any attribute, so the miss
+    /// costs one hash lookup and no scan.
     pub fn attr(&self, node: NodeId, name: &str) -> Option<&str> {
+        let name = Interner::global().lookup(name)?;
+        self.attr_sym(node, name)
+    }
+
+    /// Value of the attribute with interned name `name`, if present.
+    pub fn attr_sym(&self, node: NodeId, name: Sym) -> Option<&str> {
         self.attrs(node)
             .iter()
-            .find(|(k, _)| k == name)
+            .find(|(k, _)| *k == name)
             .map(|(_, v)| v.as_str())
     }
 
     /// Sets (or adds) an attribute on an element.
-    pub fn set_attr(&mut self, node: NodeId, name: impl Into<String>, value: impl Into<String>) {
+    pub fn set_attr(&mut self, node: NodeId, name: impl IntoSym, value: impl Into<String>) {
         if let NodeKind::Element { attrs, .. } = &mut self.nodes[node.index()].kind {
-            let name = name.into();
+            let name = name.into_sym();
             let value = value.into();
             if let Some(slot) = attrs.iter_mut().find(|(k, _)| *k == name) {
                 slot.1 = value;
@@ -325,23 +357,61 @@ impl Document {
     }
 
     /// Replaces `old` with `new` in the tree — `replace p with e`.
-    /// `new` must be detached.
+    /// `new` must be detached. The `old` subtree's arena slots are
+    /// recycled: its `NodeId`s must not be used afterwards.
     pub fn replace(&mut self, old: NodeId, new: NodeId) {
         if self.nodes[old.index()].parent == NIL {
             // Replacing the root.
             if self.root == old.0 {
                 self.root = new.0;
+                self.recycle(old);
             }
             return;
         }
         self.insert_before(old, new);
         self.detach(old);
+        self.recycle(old);
+    }
+
+    /// Removes `node` permanently — `delete p` — and recycles its whole
+    /// subtree's arena slots for reuse by later allocations, so repeated
+    /// insert/delete cycles keep the arena bounded. Unlike
+    /// [`Document::detach`] (which keeps the subtree alive for
+    /// re-insertion), the deleted `NodeId`s must not be used afterwards.
+    pub fn delete(&mut self, node: NodeId) {
+        if self.nodes[node.index()].freed {
+            // Already recycled: an earlier delete covered this node (the
+            // target list contained an ancestor).
+            return;
+        }
+        self.detach(node);
+        self.recycle(node);
+    }
+
+    /// Pushes every slot of the (already detached) subtree at `node`
+    /// onto the free list, dropping the payloads.
+    fn recycle(&mut self, node: NodeId) {
+        if self.nodes[node.index()].freed {
+            return;
+        }
+        let subtree: Vec<NodeId> = self.descendants_or_self(node).collect();
+        for n in subtree {
+            let data = &mut self.nodes[n.index()];
+            data.parent = NIL;
+            data.first_child = NIL;
+            data.last_child = NIL;
+            data.prev_sibling = NIL;
+            data.next_sibling = NIL;
+            data.freed = true;
+            data.kind = NodeKind::Text(String::new());
+            self.free.push(n.0);
+        }
     }
 
     /// Renames an element — `rename p as l`. No-op on text nodes.
-    pub fn rename(&mut self, node: NodeId, new_name: impl Into<String>) {
+    pub fn rename(&mut self, node: NodeId, new_name: impl IntoSym) {
         if let NodeKind::Element { name, .. } = &mut self.nodes[node.index()].kind {
-            *name = new_name.into();
+            *name = new_name.into_sym();
         }
     }
 
@@ -652,6 +722,89 @@ mod tests {
         assert_eq!(names, ["a", "x", "b", "y"]);
         assert_eq!(d.last_child(r), Some(y));
         assert_eq!(d.serialize(), "<r><a/><x/><b/><y/></r>");
+    }
+
+    #[test]
+    fn delete_recycles_subtree_slots() {
+        let mut d = Document::parse("<r><a><b>t</b></a><c/></r>").unwrap();
+        let r = d.root().unwrap();
+        let a = d.first_child(r).unwrap();
+        let before = d.arena_len();
+        d.delete(a); // a, b, and the text node: three slots recycled
+        assert_eq!(d.free_slots(), 3);
+        // New allocations reuse the freed slots before growing the arena.
+        let x = d.create_element("x");
+        let y = d.create_text("y");
+        d.append_child(r, x);
+        d.append_child(x, y);
+        assert_eq!(d.arena_len(), before);
+        assert_eq!(d.free_slots(), 1);
+        assert_eq!(d.serialize(), "<r><c/><x>y</x></r>");
+    }
+
+    #[test]
+    fn replace_recycles_old_subtree() {
+        let mut d = Document::parse("<r><old><deep/></old></r>").unwrap();
+        let r = d.root().unwrap();
+        let old = d.first_child(r).unwrap();
+        let new = d.create_element("new");
+        d.replace(old, new);
+        assert_eq!(d.free_slots(), 2);
+        assert_eq!(d.serialize(), "<r><new/></r>");
+        // Replacing the root recycles the old root's subtree too.
+        let new_root = d.create_element("r2");
+        let r = d.root().unwrap();
+        d.replace(r, new_root);
+        assert_eq!(d.serialize(), "<r2/>");
+        assert!(d.free_slots() >= 2);
+    }
+
+    #[test]
+    fn delete_is_idempotent_under_nested_targets() {
+        // `//a` style target lists can contain both an ancestor and its
+        // descendant; the second delete must not double-free the slot.
+        let mut d = Document::parse("<r><a><a/></a></r>").unwrap();
+        let r = d.root().unwrap();
+        let outer = d.first_child(r).unwrap();
+        let inner = d.first_child(outer).unwrap();
+        d.delete(outer);
+        d.delete(inner); // already recycled: no-op
+        assert_eq!(d.free_slots(), 2);
+        let x = d.create_element("x");
+        let y = d.create_element("y");
+        d.append_child(r, x);
+        d.append_child(r, y);
+        // Both came from the free list; no slot was handed out twice.
+        assert_ne!(x, y);
+        assert_eq!(d.free_slots(), 0);
+        assert_eq!(d.serialize(), "<r><x/><y/></r>");
+    }
+
+    #[test]
+    fn arena_stays_bounded_across_insert_delete_cycles() {
+        // The regression the free list exists for: a long-lived document
+        // under a repeated insert→delete workload must not grow its
+        // arena without bound.
+        let mut d = Document::parse("<r><keep/></r>").unwrap();
+        let r = d.root().unwrap();
+        let mut high_water = 0;
+        for cycle in 0..100 {
+            let sub = d.create_element("tmp");
+            let t = d.create_text("payload");
+            d.append_child(sub, t);
+            d.append_child(r, sub);
+            if cycle == 0 {
+                high_water = d.arena_len();
+            } else {
+                assert_eq!(
+                    d.arena_len(),
+                    high_water,
+                    "arena grew on cycle {cycle}: slots are leaking"
+                );
+            }
+            d.delete(sub);
+        }
+        assert_eq!(d.serialize(), "<r><keep/></r>");
     }
 
     #[test]

@@ -1,3 +1,5 @@
+use xust_intern::Sym;
+
 /// Index of a node within a [`crate::Document`] arena.
 ///
 /// `NodeId`s are only meaningful relative to the document that issued
@@ -34,10 +36,12 @@ impl NodeId {
 pub enum NodeKind {
     /// An element with its attributes in document order.
     Element {
-        /// Element name (label).
-        name: String,
-        /// Attributes in document order.
-        attrs: Vec<(String, String)>,
+        /// Element name (interned label — an integer compare on every
+        /// hot path).
+        name: Sym,
+        /// Attributes in document order (interned names, literal
+        /// values).
+        attrs: Vec<(Sym, String)>,
     },
     /// A text node (PCDATA).
     Text(String),
@@ -45,9 +49,14 @@ pub enum NodeKind {
 
 impl NodeKind {
     /// Returns the element name, or `None` for text nodes.
-    pub fn name(&self) -> Option<&str> {
+    pub fn name(&self) -> Option<&'static str> {
+        self.name_sym().map(Sym::as_str)
+    }
+
+    /// Returns the interned element name, or `None` for text nodes.
+    pub fn name_sym(&self) -> Option<Sym> {
         match self {
-            NodeKind::Element { name, .. } => Some(name),
+            NodeKind::Element { name, .. } => Some(*name),
             NodeKind::Text(_) => None,
         }
     }
@@ -71,6 +80,9 @@ pub(crate) struct NodeData {
     pub(crate) last_child: u32,
     pub(crate) prev_sibling: u32,
     pub(crate) next_sibling: u32,
+    /// Slot is on the document's free list (recycled by `delete`/
+    /// `replace`); its `NodeId` must no longer be used.
+    pub(crate) freed: bool,
     pub(crate) kind: NodeKind,
 }
 
@@ -82,6 +94,7 @@ impl NodeData {
             last_child: NIL,
             prev_sibling: NIL,
             next_sibling: NIL,
+            freed: false,
             kind,
         }
     }
@@ -94,7 +107,7 @@ mod tests {
     #[test]
     fn kind_predicates() {
         let e = NodeKind::Element {
-            name: "a".into(),
+            name: xust_intern::intern("a"),
             attrs: vec![],
         };
         let t = NodeKind::Text("x".into());

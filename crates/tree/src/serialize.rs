@@ -38,7 +38,7 @@ impl Document {
                 Frame::Enter(n) => match self.kind(n) {
                     NodeKind::Text(t) => w.text(t)?,
                     NodeKind::Element { name, attrs } => {
-                        w.start_element(name, attrs)?;
+                        w.start_element(name.as_str(), attrs)?;
                         stack.push(Frame::Exit(n));
                         let children: Vec<NodeId> = self.children(n).collect();
                         for &c in children.iter().rev() {

@@ -46,6 +46,10 @@ impl Default for TreeSink {
 
 impl XmlSink for TreeSink {
     fn start(&mut self, name: &str, attrs: Vec<(String, String)>) {
+        let attrs = attrs
+            .into_iter()
+            .map(|(k, v)| (xust_sax::intern(&k), v))
+            .collect();
         let node = self.doc.create_element_with_attrs(name, attrs);
         match self.stack.last() {
             Some(&parent) => self.doc.append_child(parent, node),

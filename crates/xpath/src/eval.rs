@@ -7,6 +7,7 @@
 
 use std::collections::HashSet;
 
+use xust_intern::Interner;
 use xust_tree::{Document, NodeId};
 
 use crate::ast::{Path, QPath, Qualifier, Step, StepKind};
@@ -62,6 +63,16 @@ fn children_of(doc: &Document, ctx: Ctx) -> Vec<NodeId> {
 
 fn eval_step(doc: &Document, contexts: &[Ctx], step: &Step) -> Vec<Ctx> {
     let mut out: Vec<Ctx> = Vec::new();
+    // Resolve a label step once per step application — outside the
+    // context loop. A label the interner has never seen matches no node
+    // in the process, so the whole step yields nothing.
+    let want = match &step.kind {
+        StepKind::Label(l) => match Interner::global().lookup(l) {
+            Some(want) => Some(want),
+            None => return out,
+        },
+        _ => None,
+    };
     let mut seen: HashSet<Ctx> = HashSet::new();
     let mut push = |n: Ctx, out: &mut Vec<Ctx>| {
         if seen.insert(n) {
@@ -70,9 +81,10 @@ fn eval_step(doc: &Document, contexts: &[Ctx], step: &Step) -> Vec<Ctx> {
     };
     for &ctx in contexts {
         match &step.kind {
-            StepKind::Label(l) => {
+            StepKind::Label(_) => {
+                let want = want.expect("resolved above");
                 for c in children_of(doc, ctx) {
-                    if doc.name(c) == Some(l.as_str()) && qualifier_holds(doc, c, step) {
+                    if doc.name_sym(c) == Some(want) && qualifier_holds(doc, c, step) {
                         push(Some(c), &mut out);
                     }
                 }
@@ -123,7 +135,10 @@ pub fn eval_qualifier(doc: &Document, node: NodeId, q: &Qualifier) -> bool {
         Qualifier::Cmp(qp, op, lit) => {
             qpath_values(doc, node, qp, &mut |text| lit.compare(text, *op))
         }
-        Qualifier::LabelIs(l) => doc.name(node) == Some(l.as_str()),
+        Qualifier::LabelIs(l) => match Interner::global().lookup(l) {
+            Some(want) => doc.name_sym(node) == Some(want),
+            None => false,
+        },
         Qualifier::And(a, b) => eval_qualifier(doc, node, a) && eval_qualifier(doc, node, b),
         Qualifier::Or(a, b) => eval_qualifier(doc, node, a) || eval_qualifier(doc, node, b),
         Qualifier::Not(a) => !eval_qualifier(doc, node, a),

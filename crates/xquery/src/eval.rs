@@ -257,8 +257,12 @@ impl<'a> Evaluator<'a> {
                 for item in b {
                     if let Item::Node(d, n) = item {
                         let doc = self.store.doc(d);
-                        if let Some(i) = doc.attrs(n).iter().position(|(k, _)| k == name) {
-                            out.push(Item::Attr(d, n, i));
+                        // A name the interner has never seen names no
+                        // attribute anywhere; hits compare Syms.
+                        if let Some(want) = xust_sax::Interner::global().lookup(name) {
+                            if let Some(i) = doc.attrs(n).iter().position(|(k, _)| *k == want) {
+                                out.push(Item::Attr(d, n, i));
+                            }
                         }
                     }
                 }
@@ -475,8 +479,12 @@ impl<'a> Evaluator<'a> {
         values: Vec<Value>,
     ) -> Result<Value, QueryError> {
         let out_id = self.store.output_doc();
-        // Collect attribute items first (they may appear anywhere in our
-        // relaxed model).
+        // Literal attribute names intern once; attribute *items* already
+        // carry their interned name — no Sym→String→Sym round trip.
+        let mut attrs: Vec<(xust_sax::Sym, String)> = attrs
+            .drain(..)
+            .map(|(k, v)| (xust_sax::intern(&k), v))
+            .collect();
         for v in &values {
             for item in v {
                 if let Item::Attr(d, n, i) = item {

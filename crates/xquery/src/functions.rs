@@ -29,7 +29,9 @@ pub fn call_builtin(
             [Item::Node(d, n)] => Ok(vec![Item::Str(
                 store.doc(*d).name(*n).unwrap_or("").to_string(),
             )]),
-            [Item::Attr(d, n, i)] => Ok(vec![Item::Str(store.doc(*d).attrs(*n)[*i].0.clone())]),
+            [Item::Attr(d, n, i)] => Ok(vec![Item::Str(
+                store.doc(*d).attrs(*n)[*i].0.as_str().to_string(),
+            )]),
             _ => Err(QueryError::new("local-name() needs a single node")),
         }),
         "string" => arity(name, args, 1).map(|_| {

@@ -83,9 +83,8 @@ fn nfa_select(doc: &Document, nfa: &SelectingNfa) -> Vec<NodeId> {
         s: &xust::automata::StateSet,
         out: &mut Vec<NodeId>,
     ) {
-        let Some(label) = doc.name(n) else { return };
-        let label = label.to_string();
-        let next = nfa.next_states(s, &label, |_, qual| eval_qualifier(doc, n, qual));
+        let Some(label) = doc.name_sym(n) else { return };
+        let next = nfa.next_states(s, label, |_, qual| eval_qualifier(doc, n, qual));
         if next.contains(nfa.final_state) {
             out.push(n);
         }
@@ -138,8 +137,8 @@ proptest! {
         let mut got = Vec::new();
         for ev in &events {
             match ev {
-                SaxEvent::StartElement { name, .. } if sel.start_element(name) => {
-                    got.push(name.clone());
+                SaxEvent::StartElement { name, .. } if sel.start_element(*name) => {
+                    got.push(name.as_str().to_string());
                 }
                 SaxEvent::StartElement { .. } => {}
                 SaxEvent::EndElement(_) => sel.end_element(),

@@ -171,6 +171,84 @@ proptest! {
 /// snapshots stay consistent — the epoch behaviour the differential
 /// harness relies on.
 #[test]
+fn parallel_batches_resolve_syms_identically() {
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+    use xust::core::Sym;
+
+    // Two servers with different shard layouts share ONE concurrent
+    // interner (the process-global table) across all shards and
+    // snapshots — that is what makes a `Sym` meaningful across batch
+    // workers.
+    let server1 = Server::builder().threads(4).shards(1).build();
+    let server8 = Server::builder().threads(4).shards(8).build();
+    assert!(
+        std::ptr::eq(server1.store().interner(), server8.store().interner()),
+        "DocStores must share one interner"
+    );
+
+    let xml =
+        "<db><part><pname>kb</pname><price>9</price></part><part><pname>m</pname></part></db>";
+    for s in [&server1, &server8] {
+        for i in 0..6 {
+            s.load_doc_str(format!("doc{i}"), xml).unwrap();
+        }
+    }
+    let query = r#"transform copy $a := doc("db") modify do rename $a//part as widget return $a"#;
+
+    // Several threads per server fan batches out over the shards; every
+    // element label in every response must resolve to the same Sym.
+    let maps: Mutex<Vec<HashMap<&'static str, Sym>>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for server in [&server1, &server8] {
+            for _ in 0..3 {
+                let maps = &maps;
+                scope.spawn(move || {
+                    let batch: Vec<Request> = (0..6)
+                        .map(|i| Request::Transform {
+                            doc: format!("doc{i}"),
+                            query: query.to_string(),
+                        })
+                        .collect();
+                    let mut map: HashMap<&'static str, Sym> = HashMap::new();
+                    for r in server.execute_batch(batch) {
+                        let body = r.expect("batch item served").body;
+                        let d = Document::parse(&body).expect("response parses");
+                        for n in d.descendants_or_self(d.root().unwrap()) {
+                            if let Some(sym) = d.name_sym(n) {
+                                if let Some(prev) = map.insert(sym.as_str(), sym) {
+                                    assert_eq!(prev, sym, "one thread saw two Syms for a label");
+                                }
+                            }
+                        }
+                    }
+                    maps.lock().unwrap().push(map);
+                });
+            }
+        }
+    });
+
+    let maps = maps.into_inner().unwrap();
+    assert_eq!(maps.len(), 6);
+    let interner = server1.store().interner();
+    for map in &maps {
+        assert!(map.contains_key("widget"), "rename must have applied");
+        for (label, sym) in map {
+            // Every thread's resolution matches the shared table…
+            assert_eq!(interner.lookup(label), Some(*sym), "label {label}");
+        }
+    }
+    // …and therefore each other's.
+    for pair in maps.windows(2) {
+        for (label, sym) in &pair[0] {
+            if let Some(other) = pair[1].get(label) {
+                assert_eq!(sym, other, "threads disagree on {label}");
+            }
+        }
+    }
+}
+
+#[test]
 fn batches_see_a_consistent_world_across_updates() {
     let server = Server::builder().threads(4).shards(8).build();
     for round in 0..5u32 {

@@ -7,8 +7,20 @@ use xust::sax::{events_to_string, SaxEvent, SaxParser};
 use xust::tree::{docs_eq, Document, ElementBuilder};
 
 const LABELS: [&str; 4] = ["a", "b", "long-name.x", "_u"];
-// Texts that force escaping and whitespace handling.
-const TEXTS: [&str; 6] = ["plain", "a<b", "x&y", "\"q\" 'p'", "  padded  ", "2>1"];
+// Texts that force escaping and whitespace handling — including CR/LF/
+// tab content, which the writer must protect with character references
+// so the reader's XML 1.0 §2.11/§3.3.3 normalization cannot corrupt a
+// round-trip.
+const TEXTS: [&str; 8] = [
+    "plain",
+    "a<b",
+    "x&y",
+    "\"q\" 'p'",
+    "  padded  ",
+    "2>1",
+    "l1\r\nl2\rl3",
+    "tab\there\nand newline",
+];
 
 fn arb_tree(depth: u32) -> impl Strategy<Value = ElementBuilder> {
     let leaf = (0..LABELS.len(), proptest::option::of(0..TEXTS.len())).prop_map(|(l, t)| {
@@ -103,4 +115,66 @@ fn event_shapes() {
 fn whitespace_only_text_preserved() {
     let xml = "<a> <b/> </a>";
     assert_eq!(events_to_string(&events_of(xml)).unwrap(), xml);
+}
+
+#[test]
+fn crlf_cdata_entity_roundtrip() {
+    // One document exercising every §2.11/§3.3.3 normalization case:
+    // CRLF and bare CR in text, literal whitespace in attribute values,
+    // CDATA with CRLF content, and character references (exempt).
+    let xml = "<r a=\"v1\r\nv2\tv3\">line1\r\nline2\rline3<![CDATA[cd\r\nata <&]]>&#13;tail</r>";
+    let d1 = Document::parse(xml).unwrap();
+    let root = d1.root().unwrap();
+    assert_eq!(d1.attr(root, "a"), Some("v1 v2 v3"));
+    assert_eq!(
+        d1.immediate_text(root),
+        "line1\nline2\nline3cd\nata <&\rtail"
+    );
+    // parse ∘ serialize is an identity from here on.
+    let s1 = d1.serialize();
+    let d2 = Document::parse(&s1).unwrap();
+    assert!(docs_eq(&d1, &d2));
+    assert_eq!(d2.serialize(), s1);
+}
+
+#[test]
+fn crlf_roundtrip_via_events() {
+    // CRLF content normalizes on the first parse, then re-serializes to
+    // a stable fixpoint (CR protected as a character reference).
+    let once = events_to_string(&events_of("<a>x\r\ny</a>")).unwrap();
+    assert_eq!(once, "<a>x\ny</a>");
+    let twice = events_to_string(&events_of(&once)).unwrap();
+    assert_eq!(twice, once);
+    // A bare CR that must *survive* (entered via reference).
+    let once = events_to_string(&events_of("<a>x&#13;y</a>")).unwrap();
+    assert_eq!(once, "<a>x&#13;y</a>");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// parse → serialize → parse is an identity on XMark documents
+    /// spiked with CDATA sections, entity references, and CRLF line
+    /// endings — the workload shape the serve layer re-parses on every
+    /// streamed response.
+    #[test]
+    fn xmark_parse_serialize_parse_identity(seed in 0u64..1024) {
+        let base = xust::xmark::generate_string(
+            xust::xmark::XmarkConfig::new(0.0015).with_seed(seed),
+        );
+        // Splice hostile content into the closing region of the doc so
+        // the parser sees CDATA, entities, and CRLF in one pass.
+        let tail = "</site>";
+        assert!(base.ends_with(tail));
+        let spiked = format!(
+            "{}<extra note=\"a\r\nb\tc\">one\r\ntwo\rthree<![CDATA[x\r\n<&]]>&#13;&amp;end</extra>{}",
+            &base[..base.len() - tail.len()],
+            tail
+        );
+        let d1 = Document::parse(&spiked).expect("spiked xmark parses");
+        let s1 = d1.serialize();
+        let d2 = Document::parse(&s1).expect("serialized form parses");
+        prop_assert!(docs_eq(&d1, &d2), "parse∘serialize is not an identity");
+        prop_assert_eq!(d2.serialize(), s1, "serialization is not a fixpoint");
+    }
 }
