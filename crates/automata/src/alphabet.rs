@@ -1,0 +1,226 @@
+//! Label alphabets of the compiled NFAs — the static footprint a
+//! transform's automata can ever *test*.
+//!
+//! The delta-aware cache maintenance in `xust-serve` needs to answer one
+//! question per write: *can this update possibly change what that view's
+//! automata see?* The sound building block is the NFA's label alphabet —
+//! every `Sym` appearing on a label transition of the selecting or
+//! filtering NFA — plus a wildcard bit for `*` transitions (a wildcard
+//! can match labels that do not exist yet, so an automaton carrying one
+//! is sensitive to *any* vocabulary change). `//` self-loops are
+//! deliberately **not** wildcards here: a self-loop only forwards state
+//! across a node, it never selects or tests one — reaching a final or
+//! qualifier state still requires one of the explicit label transitions,
+//! which the alphabet records.
+
+use std::collections::HashSet;
+
+use xust_intern::Sym;
+
+use crate::filtering::FilteringNfa;
+use crate::selecting::SelectingNfa;
+
+/// A set of interned labels with a wildcard bit. Used both for static
+/// automaton alphabets and for dynamic update deltas (the labels a write
+/// actually touched).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LabelSet {
+    syms: HashSet<Sym>,
+    wildcard: bool,
+}
+
+impl LabelSet {
+    /// An empty set (no labels, no wildcard).
+    pub fn new() -> LabelSet {
+        LabelSet::default()
+    }
+
+    /// Adds one label.
+    pub fn insert(&mut self, sym: Sym) {
+        self.syms.insert(sym);
+    }
+
+    /// Marks the set as containing a wildcard: it then intersects every
+    /// non-empty set.
+    pub fn mark_wildcard(&mut self) {
+        self.wildcard = true;
+    }
+
+    /// True when a wildcard has been recorded.
+    pub fn has_wildcard(&self) -> bool {
+        self.wildcard
+    }
+
+    /// True when the set is empty (no labels *and* no wildcard).
+    pub fn is_empty(&self) -> bool {
+        self.syms.is_empty() && !self.wildcard
+    }
+
+    /// Number of explicit labels (the wildcard is not counted).
+    pub fn len(&self) -> usize {
+        self.syms.len()
+    }
+
+    /// True when `sym` is in the set (wildcard counts as everything).
+    pub fn contains(&self, sym: Sym) -> bool {
+        self.wildcard || self.syms.contains(&sym)
+    }
+
+    /// Folds `other` in (labels and wildcard bit).
+    pub fn union_with(&mut self, other: &LabelSet) {
+        self.wildcard |= other.wildcard;
+        self.syms.extend(other.syms.iter().copied());
+    }
+
+    /// The relevance test: do the two sets share any label? A wildcard
+    /// on either side intersects everything — except the empty set,
+    /// because an update that touched *nothing* cannot affect even a
+    /// wildcard automaton.
+    pub fn intersects(&self, other: &LabelSet) -> bool {
+        if self.is_empty() || other.is_empty() {
+            return false;
+        }
+        if self.wildcard || other.wildcard {
+            return true;
+        }
+        let (small, large) = if self.syms.len() <= other.syms.len() {
+            (&self.syms, &other.syms)
+        } else {
+            (&other.syms, &self.syms)
+        };
+        small.iter().any(|s| large.contains(s))
+    }
+
+    /// The explicit labels, in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = Sym> + '_ {
+        self.syms.iter().copied()
+    }
+}
+
+impl FromIterator<Sym> for LabelSet {
+    fn from_iter<I: IntoIterator<Item = Sym>>(iter: I) -> LabelSet {
+        LabelSet {
+            syms: iter.into_iter().collect(),
+            wildcard: false,
+        }
+    }
+}
+
+impl SelectingNfa {
+    /// Collects this automaton's label alphabet into `out`: every label
+    /// transition's `Sym`, with the wildcard bit set if any state has a
+    /// `*` transition to a *next* state (self-loops excluded — see the
+    /// module docs).
+    pub fn collect_alphabet(&self, out: &mut LabelSet) {
+        for st in &self.states {
+            if let Some((sym, _)) = st.label_trans {
+                out.insert(sym);
+            }
+            if st.star_trans.is_some() {
+                out.mark_wildcard();
+            }
+        }
+    }
+}
+
+impl FilteringNfa {
+    /// Collects this automaton's label alphabet into `out` — selecting
+    /// path and all qualifier branches (which is what makes the filtering
+    /// NFA the right source: a view is sensitive to a label even when it
+    /// only appears inside a qualifier).
+    pub fn collect_alphabet(&self, out: &mut LabelSet) {
+        for st in &self.states {
+            for (sym, _) in &st.label_trans {
+                out.insert(*sym);
+            }
+            if !st.star_trans.is_empty() {
+                out.mark_wildcard();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xust_intern::intern;
+    use xust_xpath::parse_path;
+
+    fn sel(p: &str) -> LabelSet {
+        let mut out = LabelSet::new();
+        SelectingNfa::new(&parse_path(p).unwrap()).collect_alphabet(&mut out);
+        out
+    }
+
+    fn fil(p: &str) -> LabelSet {
+        let mut out = LabelSet::new();
+        FilteringNfa::new(&parse_path(p).unwrap()).collect_alphabet(&mut out);
+        out
+    }
+
+    #[test]
+    fn selecting_alphabet_is_the_label_transitions() {
+        let a = sel("//part/price");
+        assert!(a.contains(intern("part")) && a.contains(intern("price")));
+        assert!(!a.contains(intern("supplier")));
+        assert_eq!(a.len(), 2);
+        assert!(!a.has_wildcard(), "// self-loops are not wildcards");
+    }
+
+    #[test]
+    fn wildcard_steps_set_the_flag() {
+        let a = sel("a/*/c");
+        assert!(a.has_wildcard());
+        // Wildcard intersects any non-empty set…
+        let mut other = LabelSet::new();
+        other.insert(intern("zzz"));
+        assert!(a.intersects(&other));
+        // …but never the empty one.
+        assert!(!a.intersects(&LabelSet::new()));
+    }
+
+    #[test]
+    fn filtering_alphabet_includes_qualifier_labels() {
+        let a = fil("//part[supplier/sname = 'HP']/price");
+        for l in ["part", "supplier", "sname", "price"] {
+            assert!(a.contains(intern(l)), "{l} missing");
+        }
+        let s = sel("//part[supplier/sname = 'HP']/price");
+        assert!(
+            !s.contains(intern("sname")),
+            "selecting NFA does not walk qualifier paths"
+        );
+    }
+
+    #[test]
+    fn qualifier_wildcards_count() {
+        assert!(fil("a[*/b]").has_wildcard());
+        assert!(!fil("a[c/b]").has_wildcard());
+    }
+
+    #[test]
+    fn intersection_is_symmetric_and_empty_aware() {
+        let a = sel("//x/y");
+        let b = sel("//y/z");
+        let c = sel("//p/q");
+        assert!(a.intersects(&b) && b.intersects(&a));
+        assert!(!a.intersects(&c) && !c.intersects(&a));
+        assert!(!LabelSet::new().intersects(&a));
+        let mut w = LabelSet::new();
+        w.mark_wildcard();
+        assert!(w.intersects(&a));
+        assert!(!w.intersects(&LabelSet::new()));
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn union_folds_labels_and_wildcard() {
+        let mut a = sel("//x");
+        a.union_with(&sel("a/*"));
+        assert!(a.contains(intern("x")) && a.contains(intern("a")));
+        assert!(a.has_wildcard());
+        let collected: LabelSet = [intern("x")].into_iter().collect();
+        assert_eq!(collected.len(), 1);
+        assert!(collected.iter().any(|s| s == intern("x")));
+    }
+}

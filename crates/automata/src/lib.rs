@@ -29,10 +29,12 @@
 //! assert!(m.accepts_word(&["db", "part", "sub", "part"]));
 //! ```
 
+mod alphabet;
 mod filtering;
 mod selecting;
 mod stateset;
 
+pub use alphabet::LabelSet;
 pub use filtering::{FilterState, FilteringNfa};
 pub use selecting::{SelState, SelectingNfa, StateId};
 pub use stateset::StateSet;

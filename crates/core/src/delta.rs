@@ -1,0 +1,342 @@
+//! Delta/relevance analysis for live updates.
+//!
+//! When the serving layer applies an update to a stored document it
+//! wants to keep, not drop, every cached view result the write provably
+//! cannot affect. This module provides the two label sets that decision
+//! is made from:
+//!
+//! * the **static alphabet** of an update or view
+//!   ([`update_alphabet`], [`CompiledTransform::alphabet`][crate::CompiledTransform::alphabet]):
+//!   every label its selecting/filtering NFAs can test, every label its
+//!   constant fragments can introduce, the rename target, plus a
+//!   wildcard bit — the labels its *behaviour* can depend on;
+//! * the **dynamic delta** of one concrete application
+//!   ([`touched_labels_into`]): the labels a write actually added,
+//!   removed, or renamed, together with the labels of every
+//!   ancestor-or-self of each target node.
+//!
+//! Ancestors matter because an update deep inside a subtree changes the
+//! *string value* of every ancestor (qualifiers like `[b = 'x']`
+//! concatenate all descendant text), and because a view that deletes a
+//! node also deletes everything the update did inside it. Recording
+//! ancestor labels makes the disjointness test
+//! `delta ∩ alphabet = ∅` catch both, so retention stays sound (the
+//! differential update-fuzz harness in `tests/update_maintenance.rs`
+//! checks retained-and-maintained output byte-for-byte against full
+//! recompute).
+
+use xust_automata::{FilteringNfa, LabelSet, SelectingNfa};
+use xust_intern::intern;
+use xust_tree::{Document, NodeId};
+use xust_xpath::{Path, Qualifier};
+
+use crate::query::UpdateOp;
+
+/// Collects the label footprint of a path's qualifiers that the NFAs do
+/// not carry: `label() = l` tests. Everything else a qualifier can test
+/// is already a filtering-NFA transition.
+fn label_is_labels(q: &Qualifier, out: &mut LabelSet) {
+    match q {
+        Qualifier::LabelIs(l) => out.insert(intern(l)),
+        Qualifier::And(a, b) | Qualifier::Or(a, b) => {
+            label_is_labels(a, out);
+            label_is_labels(b, out);
+        }
+        Qualifier::Not(a) => label_is_labels(a, out),
+        Qualifier::Exists(qp) | Qualifier::Cmp(qp, _, _) => {
+            for step in &qp.path.steps {
+                if let Some(q) = &step.qualifier {
+                    label_is_labels(q, out);
+                }
+            }
+        }
+    }
+}
+
+/// Folds the `label() = l` test labels of a path's qualifiers into
+/// `out` — the one sensitivity the NFA alphabets miss. Callers that
+/// already hold compiled NFAs combine this with their
+/// `collect_alphabet`; [`path_alphabet_into`] does both from scratch.
+pub fn qualifier_label_tests_into(path: &Path, out: &mut LabelSet) {
+    for step in &path.steps {
+        if let Some(q) = &step.qualifier {
+            label_is_labels(q, out);
+        }
+    }
+}
+
+/// Folds the full static sensitivity footprint of a path into `out`:
+/// both NFA alphabets (label transitions + wildcard bit) and any
+/// `label() = l` qualifier labels.
+pub fn path_alphabet_into(path: &Path, out: &mut LabelSet) {
+    SelectingNfa::new(path).collect_alphabet(out);
+    FilteringNfa::new(path).collect_alphabet(out);
+    qualifier_label_tests_into(path, out);
+}
+
+/// Folds the labels an operation can *introduce* into `out`: every
+/// element label of an inserted/replacement fragment, and the rename
+/// target label.
+pub fn op_alphabet_into(op: &UpdateOp, out: &mut LabelSet) {
+    match op {
+        UpdateOp::Insert { elem, .. } | UpdateOp::Replace { elem } => {
+            fragment_labels_into(elem, out)
+        }
+        UpdateOp::Rename { name } => out.insert(*name),
+        UpdateOp::Delete => {}
+    }
+}
+
+/// The static alphabet of one update rule `(p, u)`: selection
+/// sensitivity (NFAs over `p`) plus introduction footprint (`u`'s
+/// fragments / rename label). Building the NFAs is O(|p|).
+pub fn update_alphabet(path: &Path, op: &UpdateOp) -> LabelSet {
+    let mut out = LabelSet::new();
+    path_alphabet_into(path, &mut out);
+    op_alphabet_into(op, &mut out);
+    out
+}
+
+/// The *value alphabet* of a path: the labels whose **string values**
+/// (or qualifier truth) the selection reads — the anchor label of every
+/// qualifier-bearing step plus every label on a qualifier path,
+/// recursively. A step with no qualifier contributes nothing: plain
+/// traversal never reads content, only structure. A qualifier anchored
+/// at a wildcard step marks the wildcard bit.
+pub fn value_alphabet_into(path: &Path, out: &mut LabelSet) {
+    fn qual_paths(q: &Qualifier, out: &mut LabelSet) {
+        match q {
+            Qualifier::LabelIs(_) => {} // reads the label, not content
+            Qualifier::And(a, b) | Qualifier::Or(a, b) => {
+                qual_paths(a, out);
+                qual_paths(b, out);
+            }
+            Qualifier::Not(a) => qual_paths(a, out),
+            Qualifier::Exists(qp) | Qualifier::Cmp(qp, _, _) => {
+                for step in &qp.path.steps {
+                    match &step.kind {
+                        xust_xpath::StepKind::Label(l) => out.insert(intern(l)),
+                        xust_xpath::StepKind::Wildcard => out.mark_wildcard(),
+                        xust_xpath::StepKind::Descendant => {}
+                    }
+                    if let Some(q) = &step.qualifier {
+                        qual_paths(q, out);
+                    }
+                }
+            }
+        }
+    }
+    for step in &path.steps {
+        if let Some(q) = &step.qualifier {
+            match &step.kind {
+                xust_xpath::StepKind::Label(l) => out.insert(intern(l)),
+                xust_xpath::StepKind::Wildcard => out.mark_wildcard(),
+                xust_xpath::StepKind::Descendant => {}
+            }
+            qual_paths(q, out);
+        }
+    }
+}
+
+/// Every element label in `frag` (the constant element of an insert or
+/// replace).
+pub fn fragment_labels_into(frag: &Document, out: &mut LabelSet) {
+    if let Some(root) = frag.root() {
+        for n in frag.descendants_or_self(root) {
+            if let Some(sym) = frag.name_sym(n) {
+                out.insert(sym);
+            }
+        }
+    }
+}
+
+/// The two faces of a concrete update's (or a view materialization's)
+/// footprint, recorded dynamically while applying:
+///
+/// * **structural** — labels of nodes that appeared, disappeared, or
+///   changed label: whole removed subtrees (delete/replace), inserted
+///   fragments (insert/replace), rename old + new. What another
+///   query's *traversal* can observe.
+/// * **valued** — ancestor-or-self labels of every target: the nodes
+///   whose *string value* the change altered (text anywhere in a
+///   subtree contributes to every ancestor's value). What another
+///   query's *qualifier comparisons* can observe. Renames contribute
+///   nothing here — a label is not text.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TouchedLabels {
+    /// Labels added, removed, or renamed.
+    pub structural: LabelSet,
+    /// Ancestor-or-self labels of every target (value perturbation).
+    pub valued: LabelSet,
+}
+
+impl TouchedLabels {
+    /// An empty footprint.
+    pub fn new() -> TouchedLabels {
+        TouchedLabels::default()
+    }
+
+    /// True when nothing was touched.
+    pub fn is_empty(&self) -> bool {
+        self.structural.is_empty() && self.valued.is_empty()
+    }
+
+    /// Folds `other` in.
+    pub fn union_with(&mut self, other: &TouchedLabels) {
+        self.structural.union_with(&other.structural);
+        self.valued.union_with(&other.valued);
+    }
+
+    /// Records one application of `op` to `targets`. **Must be called
+    /// on the pre-apply document** (targets reference nodes that delete
+    /// will recycle).
+    pub fn record(&mut self, doc: &Document, targets: &[NodeId], op: &UpdateOp) {
+        for &t in targets {
+            if !matches!(op, UpdateOp::Rename { .. }) {
+                // Ancestor-or-self chain (`ancestors` excludes `t`).
+                if let Some(sym) = doc.name_sym(t) {
+                    self.valued.insert(sym);
+                }
+                for a in doc.ancestors(t) {
+                    if let Some(sym) = doc.name_sym(a) {
+                        self.valued.insert(sym);
+                    }
+                }
+            }
+            match op {
+                UpdateOp::Delete | UpdateOp::Replace { .. } => {
+                    for n in doc.descendants_or_self(t) {
+                        if let Some(sym) = doc.name_sym(n) {
+                            self.structural.insert(sym);
+                        }
+                    }
+                }
+                UpdateOp::Rename { .. } => {
+                    if let Some(sym) = doc.name_sym(t) {
+                        self.structural.insert(sym);
+                    }
+                }
+                UpdateOp::Insert { .. } => {}
+            }
+        }
+        if !targets.is_empty() {
+            op_alphabet_into(op, &mut self.structural);
+        }
+    }
+
+    /// The flattened footprint (structural ∪ valued) — the *dynamic
+    /// delta* an update presents to view alphabets.
+    pub fn flatten(&self) -> LabelSet {
+        let mut out = self.structural.clone();
+        out.union_with(&self.valued);
+        out
+    }
+}
+
+/// The flattened dynamic delta of applying `op` to `targets` in `doc`:
+/// labels of every ancestor-or-self of each target, the whole removed
+/// subtree for delete/replace, the introduced fragment for
+/// insert/replace, and the new label for rename. **Must be called on
+/// the pre-apply document.**
+pub fn touched_labels_into(doc: &Document, targets: &[NodeId], op: &UpdateOp, out: &mut LabelSet) {
+    let mut touched = TouchedLabels::new();
+    touched.record(doc, targets, op);
+    out.union_with(&touched.structural);
+    out.union_with(&touched.valued);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xust_xpath::{eval_path_root, parse_path};
+
+    fn syms(set: &LabelSet, labels: &[&str]) -> Vec<bool> {
+        labels.iter().map(|l| set.contains(intern(l))).collect()
+    }
+
+    #[test]
+    fn update_alphabet_covers_path_qualifiers_and_fragment() {
+        let path = parse_path("//part[supplier/sname = 'HP']").unwrap();
+        let op = UpdateOp::Insert {
+            elem: Document::parse("<note><by>x</by></note>").unwrap(),
+            pos: Default::default(),
+        };
+        let a = update_alphabet(&path, &op);
+        assert_eq!(
+            syms(&a, &["part", "supplier", "sname", "note", "by", "price"]),
+            [true, true, true, true, true, false]
+        );
+        assert!(!a.has_wildcard());
+    }
+
+    #[test]
+    fn label_is_qualifiers_are_in_the_alphabet() {
+        let path = parse_path("//a[label() = b]").unwrap();
+        let a = update_alphabet(&path, &UpdateOp::Delete);
+        assert!(a.contains(intern("b")));
+    }
+
+    #[test]
+    fn wildcard_paths_are_flagged() {
+        let path = parse_path("r/*/x").unwrap();
+        assert!(update_alphabet(&path, &UpdateOp::Delete).has_wildcard());
+    }
+
+    #[test]
+    fn rename_alphabet_includes_the_new_label() {
+        let path = parse_path("//old").unwrap();
+        let a = update_alphabet(
+            &path,
+            &UpdateOp::Rename {
+                name: intern("brand-new"),
+            },
+        );
+        assert!(a.contains(intern("old")) && a.contains(intern("brand-new")));
+    }
+
+    #[test]
+    fn delete_delta_has_subtree_and_ancestors() {
+        let doc = Document::parse("<r><mid><x><deep>t</deep></x></mid><other/></r>").unwrap();
+        let path = parse_path("//x").unwrap();
+        let targets = eval_path_root(&doc, &path);
+        let mut delta = LabelSet::new();
+        touched_labels_into(&doc, &targets, &UpdateOp::Delete, &mut delta);
+        // Subtree: x, deep. Ancestors-or-self: r, mid, x. Untouched: other.
+        assert_eq!(
+            syms(&delta, &["x", "deep", "r", "mid", "other"]),
+            [true, true, true, true, false]
+        );
+    }
+
+    #[test]
+    fn insert_delta_has_fragment_and_ancestors_but_not_siblings() {
+        let doc = Document::parse("<r><mid><x/></mid><sib/></r>").unwrap();
+        let path = parse_path("//x").unwrap();
+        let targets = eval_path_root(&doc, &path);
+        let op = UpdateOp::Insert {
+            elem: Document::parse("<fresh/>").unwrap(),
+            pos: Default::default(),
+        };
+        let mut delta = LabelSet::new();
+        touched_labels_into(&doc, &targets, &op, &mut delta);
+        assert_eq!(
+            syms(&delta, &["fresh", "x", "mid", "r", "sib"]),
+            [true, true, true, true, false]
+        );
+    }
+
+    #[test]
+    fn no_targets_means_empty_delta() {
+        let doc = Document::parse("<r><a/></r>").unwrap();
+        let path = parse_path("//nope").unwrap();
+        let targets = eval_path_root(&doc, &path);
+        assert!(targets.is_empty());
+        let op = UpdateOp::Insert {
+            elem: Document::parse("<fresh/>").unwrap(),
+            pos: Default::default(),
+        };
+        let mut delta = LabelSet::new();
+        touched_labels_into(&doc, &targets, &op, &mut delta);
+        assert!(delta.is_empty(), "nothing touched, nothing recorded");
+    }
+}

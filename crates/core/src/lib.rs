@@ -38,6 +38,7 @@
 
 pub mod bottomup;
 pub mod copy_update;
+pub mod delta;
 pub mod engine;
 pub mod multi;
 pub mod multi_sax;
@@ -50,6 +51,10 @@ pub mod twopass;
 
 pub use bottomup::{bottom_up, Annotations};
 pub use copy_update::{apply_update, copy_update};
+pub use delta::{
+    fragment_labels_into, op_alphabet_into, path_alphabet_into, qualifier_label_tests_into,
+    touched_labels_into, update_alphabet, value_alphabet_into, TouchedLabels,
+};
 pub use engine::{evaluate, evaluate_str, Method, TransformError};
 pub use multi::{
     apply_chain, conflicting_targets, multi_snapshot, multi_top_down, multi_top_down_batch,
@@ -71,3 +76,5 @@ pub use topdown::{top_down, top_down_no_prune, top_down_subtree, top_down_with};
 pub use twopass::two_pass;
 // Symbol interning (the label representation every layer shares).
 pub use xust_intern::{intern, Interner, IntoSym, Sym};
+// The label-set type the delta relevance analysis speaks.
+pub use xust_automata::LabelSet;

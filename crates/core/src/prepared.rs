@@ -15,7 +15,7 @@
 
 use std::fmt;
 
-use xust_automata::{FilteringNfa, SelectingNfa};
+use xust_automata::{FilteringNfa, LabelSet, SelectingNfa};
 use xust_tree::Document;
 use xust_xpath::{Path, QualTable, StepKind};
 
@@ -121,6 +121,7 @@ pub struct CompiledTransform {
     filtering: FilteringNfa,
     qual_table: QualTable,
     cost: QueryCost,
+    alphabet: LabelSet,
 }
 
 impl CompiledTransform {
@@ -130,12 +131,18 @@ impl CompiledTransform {
         let filtering = FilteringNfa::new(&query.path);
         let qual_table = QualTable::from_path(&query.path);
         let cost = QueryCost::of_path(&query.path);
+        let mut alphabet = LabelSet::new();
+        selecting.collect_alphabet(&mut alphabet);
+        filtering.collect_alphabet(&mut alphabet);
+        crate::delta::qualifier_label_tests_into(&query.path, &mut alphabet);
+        crate::delta::op_alphabet_into(&query.op, &mut alphabet);
         CompiledTransform {
             query,
             selecting,
             filtering,
             qual_table,
             cost,
+            alphabet,
         }
     }
 
@@ -162,6 +169,13 @@ impl CompiledTransform {
     /// The filtering NFA `Mf`.
     pub fn filtering(&self) -> &FilteringNfa {
         &self.filtering
+    }
+
+    /// The static label footprint of this transform (NFA alphabets,
+    /// `label()` tests, fragment labels, rename target, wildcard bit) —
+    /// the view side of the delta relevance test (see [`crate::delta`]).
+    pub fn alphabet(&self) -> &LabelSet {
+        &self.alphabet
     }
 
     /// Evaluates against `doc` with `method`, reusing the pre-compiled
@@ -229,7 +243,7 @@ impl CompiledTransform {
         Ok(String::from_utf8(out).expect("writer produces UTF-8"))
     }
 
-    /// Opens a push-based [`TransformStream`] session over the
+    /// Opens a push-based [`TransformStream`](crate::sax2pass::TransformStream) session over the
     /// pre-compiled automata (cloned in, never rebuilt) — the engine of
     /// `xust-serve`'s streaming session mode.
     pub fn stream(&self, storage: LdStorage) -> crate::sax2pass::TransformStream {

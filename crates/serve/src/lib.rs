@@ -18,9 +18,15 @@
 //! * [`AdaptivePlanner`] — picks an evaluation [`Method`] per request
 //!   from the query's compile-time [`QueryCost`] hints, the document's
 //!   [`DocShape`], and observed per-method latency feedback;
-//! * [`Server`] — `Arc`-shared immutable documents, a worker
-//!   [`ThreadPool`], a batched multi-document entry point, and a
-//!   streaming SAX path for file-backed inputs.
+//! * [`ViewResultCache`] — materialized view results, kept **valid
+//!   across live writes** by delta-aware maintenance: an
+//!   [`UPDATE`](Server::update_doc) retains every entry the write
+//!   provably cannot affect (NFA label-alphabet relevance test) and
+//!   applies the delta to it in place, dropping only the rest;
+//! * [`Server`] — `Arc`-shared immutable documents behind an
+//!   epoch-based COW [`DocStore`], a worker [`ThreadPool`], a batched
+//!   multi-document entry point, a streaming SAX path for file-backed
+//!   inputs, and the live update path.
 //!
 //! # Quickstart
 //!
@@ -55,6 +61,21 @@
 //!     })
 //!     .unwrap();
 //! assert_eq!(ans.body, "<out><part><pname>kb</pname></part></out>");
+//!
+//! // Write through the live update path: COW epoch bump, and the
+//! // cached view result above is *maintained* (the delta never touches
+//! // a label the view's automata test), not recomputed.
+//! server
+//!     .update_doc(
+//!         "db",
+//!         r#"transform copy $a := doc("db") modify do insert <stock>3</stock> into $a/db/part return $a"#,
+//!     )
+//!     .unwrap();
+//! let after = server
+//!     .handle(&Request::View { view: "public".into(), doc: "db".into() })
+//!     .unwrap();
+//! assert_eq!(after.body, "<db><part><pname>kb</pname><stock>3</stock></part></db>");
+//! assert_eq!(server.stats().delta_retained, 1);
 //! ```
 
 pub mod cache;
@@ -65,6 +86,7 @@ pub mod registry;
 pub mod server;
 pub mod stats;
 pub mod store;
+pub mod viewcache;
 
 pub use cache::PreparedCache;
 pub use error::ServeError;
@@ -72,12 +94,13 @@ pub use executor::ThreadPool;
 pub use planner::{AdaptivePlanner, DocShape, PlannerConfig};
 pub use registry::{ViewBody, ViewDef, ViewRegistry};
 pub use server::{DocSource, Request, Response, Server, ServerBuilder, StreamingSession};
-pub use stats::{EwmaCell, ServeStats, StatsSnapshot};
-pub use store::{DocStore, StoreSnapshot};
+pub use stats::{DeltaCell, EwmaCell, ServeStats, StatsSnapshot};
+pub use store::{DocStore, StoreSnapshot, StoreUpdateError};
+pub use viewcache::{MaintainOutcome, ViewResultCache};
 
 // Re-exported so callers can speak the planner's vocabulary without
 // depending on xust-core directly.
-pub use xust_core::{Method, QueryCost};
+pub use xust_core::{LabelSet, Method, QueryCost};
 
 #[cfg(test)]
 mod tests {

@@ -11,7 +11,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
-use xust_core::{CompiledTransform, MultiTransformQuery, QueryCost};
+use xust_core::{CompiledTransform, LabelSet, MultiTransformQuery, QueryCost};
 use xust_secview::Policy;
 
 use crate::error::ServeError;
@@ -36,6 +36,14 @@ pub struct ViewDef {
     pub body: ViewBody,
     /// Concrete syntax the view was registered from (for introspection).
     pub sources: Vec<String>,
+    /// Static label footprint of the whole body (union over links/rules)
+    /// — the view side of the write-path relevance test.
+    pub alphabet: LabelSet,
+    /// Registration generation (strictly increasing across the
+    /// registry). Cached results are stamped with it so a result
+    /// materialized under an old definition can never be served after a
+    /// re-registration, even if it lands in the cache after the purge.
+    pub generation: u64,
 }
 
 impl std::fmt::Debug for ViewDef {
@@ -106,6 +114,8 @@ pub struct ViewRegistry {
     views: RwLock<HashMap<String, Arc<ViewDef>>>,
     /// Transform compilations performed at registration time.
     compiles: AtomicU64,
+    /// Registration events so far (source of [`ViewDef::generation`]).
+    generations: AtomicU64,
 }
 
 impl ViewRegistry {
@@ -146,11 +156,17 @@ impl ViewRegistry {
             }
             links.push(Arc::new(ct));
         }
+        let mut alphabet = LabelSet::new();
+        for link in &links {
+            alphabet.union_with(link.alphabet());
+        }
         let def = Arc::new(ViewDef {
             name: name.clone(),
             doc_name: doc_name.expect("at least one link"),
             body: ViewBody::Chain(links),
             sources: queries.iter().map(|s| s.to_string()).collect(),
+            alphabet,
+            generation: self.generations.fetch_add(1, Ordering::Relaxed) + 1,
         });
         self.views
             .write()
@@ -178,10 +194,13 @@ impl ViewRegistry {
             .iter()
             .map(|r| format!("{}: {}", r.name, r.path))
             .collect();
+        let mut alphabet = LabelSet::new();
         let body = match policy.compile_single() {
             Some(q) => {
                 self.compiles.fetch_add(1, Ordering::Relaxed);
-                ViewBody::Chain(vec![Arc::new(CompiledTransform::compile(q))])
+                let ct = CompiledTransform::compile(q);
+                alphabet.union_with(ct.alphabet());
+                ViewBody::Chain(vec![Arc::new(ct)])
             }
             None => {
                 let mq = policy.compile();
@@ -189,6 +208,9 @@ impl ViewRegistry {
                     return Err(ServeError::InvalidView(format!(
                         "policy '{name}' has no rules"
                     )));
+                }
+                for (path, op) in &mq.updates {
+                    alphabet.union_with(&xust_core::update_alphabet(path, op));
                 }
                 ViewBody::Multi(Box::new(mq))
             }
@@ -198,6 +220,8 @@ impl ViewRegistry {
             doc_name: policy.doc_name.clone(),
             body,
             sources,
+            alphabet,
+            generation: self.generations.fetch_add(1, Ordering::Relaxed) + 1,
         });
         self.views
             .write()

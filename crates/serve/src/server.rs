@@ -1,6 +1,6 @@
 //! The concurrent transform-view server.
 //!
-//! [`Server`] owns four pieces and wires them together per request:
+//! [`Server`] owns five pieces and wires them together per request:
 //!
 //! 1. a document store — immutable [`Document`]s behind `Arc` (shared
 //!    zero-copy across threads) or file paths served via the streaming
@@ -8,13 +8,17 @@
 //! 2. the [`ViewRegistry`] of named, pre-compiled transform views;
 //! 3. two [`PreparedCache`]s — ad-hoc transforms keyed by query text,
 //!    and composed user queries keyed by `(view, query)`;
-//! 4. the [`AdaptivePlanner`] choosing an evaluation method per request
+//! 4. the [`ViewResultCache`] of materialized view results, consulted
+//!    by view reads and *maintained* (not just invalidated) by the live
+//!    write path [`Server::update_doc`];
+//! 5. the [`AdaptivePlanner`] choosing an evaluation method per request
 //!    from cost hints plus observed latency, and a [`ThreadPool`] for
 //!    the batched/asynchronous entry points.
 //!
 //! `Server` is `Clone` (a cheap `Arc` handle) and every entry point
 //! takes `&self`, so any number of client threads can call into one
-//! server concurrently.
+//! server concurrently — including writers: updates serialize per
+//! shard, readers keep their epoch.
 
 use std::path::PathBuf;
 use std::sync::mpsc::Receiver;
@@ -22,10 +26,16 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use xust_compose::{compose, compose_two_pass_sax, ComposedQuery, UserQuery};
-use xust_core::{multi_top_down, CompiledTransform, LdStorage, Method, SaxStats, TransformStream};
+use xust_core::delta::TouchedLabels;
+use xust_core::{
+    apply_update, multi_top_down, parse_multi_transform, touched_labels_into, update_alphabet,
+    value_alphabet_into, CompiledTransform, LabelSet, LdStorage, Method, SaxStats, TransformStream,
+    UpdateOp,
+};
 use xust_sax::{SaxEvent, SaxParser, SaxWriter};
 use xust_secview::Policy;
 use xust_tree::Document;
+use xust_xpath::{eval_path_root, Path};
 
 use crate::cache::PreparedCache;
 use crate::error::ServeError;
@@ -33,7 +43,8 @@ use crate::executor::ThreadPool;
 use crate::planner::{AdaptivePlanner, DocShape, PlannerConfig};
 use crate::registry::{ViewBody, ViewDef, ViewRegistry};
 use crate::stats::{ServeStats, StatsSnapshot};
-use crate::store::{DocStore, StoreSnapshot};
+use crate::store::{DocStore, StoreSnapshot, StoreUpdateError};
+use crate::viewcache::ViewResultCache;
 
 /// Where a named document lives.
 #[derive(Debug, Clone)]
@@ -60,6 +71,31 @@ impl DocView<'_> {
             DocView::Pinned(snap) => snap.get(name).cloned(),
         }
         .ok_or_else(|| ServeError::UnknownDoc(name.to_string()))
+    }
+
+    /// The epoch a result computed from this view belongs to. Read
+    /// *before* resolving the document; pair with
+    /// [`DocView::still_at`] before caching what was computed.
+    fn epoch_of(&self, name: &str) -> u64 {
+        match self {
+            DocView::Live(store) => store.epoch_of(name),
+            DocView::Pinned(snap) => snap.epoch_of(name),
+        }
+    }
+
+    /// True when a result computed after [`DocView::epoch_of`] returned
+    /// `epoch` is still *of* that epoch — the guard that keeps a racing
+    /// write from smuggling post-write content into the result cache
+    /// under the pre-write tag (which a batch pinned to the old epoch
+    /// would then wrongly hit). On the Live path the document is
+    /// re-resolved after the epoch read, so the epoch must be
+    /// re-checked; a snapshot is immutable, so its reads are always
+    /// self-consistent.
+    fn still_at(&self, name: &str, epoch: u64) -> bool {
+        match self {
+            DocView::Live(store) => store.epoch_of(name) == epoch,
+            DocView::Pinned(_) => true,
+        }
     }
 }
 
@@ -90,6 +126,18 @@ pub enum Request {
         /// Concrete transform syntax.
         query: String,
     },
+    /// Apply an update **to the stored document** — the live write path.
+    /// The update is written in the same transform syntax (single or
+    /// multi `modify do (…)`) and must read `doc("<doc>")`; it is applied
+    /// copy-on-write into a fresh shard epoch, with delta-aware
+    /// maintenance of cached view results. Always writes to the live
+    /// store, even inside a batch running over a pinned snapshot.
+    Update {
+        /// Loaded document name (in-memory documents only).
+        doc: String,
+        /// Transform syntax whose embedded update(s) to apply.
+        update: String,
+    },
 }
 
 /// A served result.
@@ -112,6 +160,7 @@ pub struct ServerBuilder {
     threads: usize,
     shards: usize,
     cache_capacity: usize,
+    result_capacity: usize,
     planner: PlannerConfig,
 }
 
@@ -123,6 +172,7 @@ impl Default for ServerBuilder {
                 .unwrap_or(4),
             shards: 8,
             cache_capacity: 256,
+            result_capacity: 64,
             planner: PlannerConfig::default(),
         }
     }
@@ -147,6 +197,14 @@ impl ServerBuilder {
         self
     }
 
+    /// Capacity of the materialized view-result cache (0 disables it);
+    /// default 64. Entries survive writes when the delta relevance test
+    /// proves them unaffected (see [`ViewResultCache`]).
+    pub fn result_cache_capacity(mut self, n: usize) -> ServerBuilder {
+        self.result_capacity = n;
+        self
+    }
+
     /// Planner knobs.
     pub fn planner(mut self, config: PlannerConfig) -> ServerBuilder {
         self.planner = config;
@@ -161,6 +219,7 @@ impl ServerBuilder {
                 registry: ViewRegistry::new(),
                 transforms: PreparedCache::new(self.cache_capacity),
                 composed: PreparedCache::new(self.cache_capacity),
+                results: ViewResultCache::new(self.result_capacity),
                 planner: AdaptivePlanner::new(self.planner),
                 stats: ServeStats::default(),
                 pool: ThreadPool::new(self.threads),
@@ -174,6 +233,7 @@ struct Inner {
     registry: ViewRegistry,
     transforms: PreparedCache<CompiledTransform>,
     composed: PreparedCache<ComposedQuery>,
+    results: ViewResultCache,
     planner: AdaptivePlanner,
     stats: ServeStats,
     pool: ThreadPool,
@@ -200,11 +260,15 @@ impl Server {
 
     /// Loads (or replaces) an in-memory document. Copy-on-write into a
     /// fresh shard epoch: in-flight requests holding snapshots keep
-    /// reading the old version.
+    /// reading the old version. A reload is an unbounded delta, so any
+    /// cached view results for this document are dropped (contrast
+    /// [`Server::update_doc`], which maintains them).
     pub fn load_doc(&self, name: impl Into<String>, doc: Document) {
+        let name = name.into();
         self.inner
             .docs
-            .insert(name, DocSource::Memory(Arc::new(doc)));
+            .insert(name.clone(), DocSource::Memory(Arc::new(doc)));
+        self.inner.results.purge_doc(&name);
     }
 
     /// Parses and loads a document from XML text.
@@ -224,14 +288,20 @@ impl Server {
         if !path.is_file() {
             return Err(ServeError::Io(format!("{}: not a file", path.display())));
         }
-        self.inner.docs.insert(name, DocSource::File(path));
+        let name = name.into();
+        self.inner.docs.insert(name.clone(), DocSource::File(path));
+        self.inner.results.purge_doc(&name);
         Ok(())
     }
 
     /// Unloads a document; true if it existed. Snapshots taken before
     /// the removal keep serving it until they drop.
     pub fn remove_doc(&self, name: &str) -> bool {
-        self.inner.docs.remove(name)
+        let removed = self.inner.docs.remove(name);
+        if removed {
+            self.inner.results.purge_doc(name);
+        }
+        removed
     }
 
     /// Loaded document names, sorted.
@@ -259,22 +329,26 @@ impl Server {
 
     // ---- views ----
 
-    /// Registers a single-transform view.
+    /// Registers a single-transform view. Re-registering a name drops
+    /// any cached results computed under its old definition.
     pub fn register_view(&self, name: &str, query: &str) -> Result<(), ServeError> {
-        self.inner.registry.register(name, query).map(|_| ())
+        self.inner.registry.register(name, query)?;
+        self.inner.results.purge_view(name);
+        Ok(())
     }
 
     /// Registers a chain view (what-if scenario stacking).
     pub fn register_view_chain(&self, name: &str, queries: &[&str]) -> Result<(), ServeError> {
-        self.inner
-            .registry
-            .register_chain(name, queries)
-            .map(|_| ())
+        self.inner.registry.register_chain(name, queries)?;
+        self.inner.results.purge_view(name);
+        Ok(())
     }
 
     /// Registers a security policy as a view named after its group.
     pub fn register_policy(&self, policy: &Policy) -> Result<(), ServeError> {
-        self.inner.registry.register_policy(policy).map(|_| ())
+        let def = self.inner.registry.register_policy(policy)?;
+        self.inner.results.purge_view(&def.name);
+        Ok(())
     }
 
     /// Registered view names, sorted.
@@ -311,6 +385,9 @@ impl Server {
                 query,
             } => self.handle_query(view, v, doc, query),
             Request::Transform { doc, query } => self.handle_transform(view, doc, query),
+            // Writes always go to the live store — a pinned batch
+            // snapshot is a *read* consistency device.
+            Request::Update { doc, update } => self.handle_update(doc, update),
         };
         let micros = started.elapsed().as_micros() as u64;
         self.inner
@@ -376,11 +453,168 @@ impl Server {
             .collect()
     }
 
+    // ---- the live write path ----
+
+    /// Applies an update — written in transform syntax, single or multi
+    /// `modify do (…)` — **destructively** to the stored in-memory
+    /// document `doc`, copy-on-write into a fresh shard epoch. This is
+    /// the write path the paper's transform machinery earns its keep on:
+    ///
+    /// 1. the update is parsed (and, for single updates, NFA-compiled
+    ///    through the prepared cache — repeat update shapes skip parse
+    ///    and automaton construction like repeat reads do);
+    /// 2. its embedded updates are applied in order to a clone of the
+    ///    current epoch's tree, reusing the arena free-list for every
+    ///    deleted or replaced subtree, while the labels the write
+    ///    actually touches are collected as the *dynamic delta*;
+    /// 3. every cached view result for this document faces the delta
+    ///    relevance test ([`ViewResultCache::maintain`]): provably
+    ///    unaffected entries are retained — the same delta is applied to
+    ///    the cached materialization — and the rest are dropped for lazy
+    ///    recomputation, counted per view in STATS;
+    /// 4. the new tree is installed as the shard's next epoch. In-flight
+    ///    readers and snapshots keep the old epoch until they drop.
+    ///
+    /// All-or-nothing: a parse error, a doc-name mismatch, an unknown or
+    /// file-backed document leave the epoch, the stored tree, and every
+    /// cached entry exactly as they were.
+    pub fn update_doc(&self, doc: &str, update: &str) -> Result<Response, ServeError> {
+        self.handle(&Request::Update {
+            doc: doc.into(),
+            update: update.into(),
+        })
+    }
+
+    fn handle_update(&self, doc: &str, update: &str) -> Result<Response, ServeError> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let stats = &self.inner.stats;
+        let mq = parse_multi_transform(update).map_err(|e| ServeError::Parse(e.to_string()))?;
+        if mq.doc_name != doc {
+            return Err(ServeError::Parse(format!(
+                "update reads doc(\"{}\") but targets loaded document '{doc}'",
+                mq.doc_name
+            )));
+        }
+        // Single updates reuse the transform prepared cache (same key
+        // space as ad-hoc reads — an UPDATE that mirrors a prepared
+        // TRANSFORM shares its compiled NFAs), compiling from the parse
+        // already in hand on a miss (this also keeps parenthesized
+        // single-update lists, `modify do (u1)`, working — they are
+        // valid multi syntax but not valid single syntax to re-parse).
+        // Multi updates carry one alphabet per rule, built fresh.
+        let (ops, update_alpha, hit): (Vec<(Path, UpdateOp)>, LabelSet, bool) =
+            if mq.updates.len() == 1 {
+                let mut mq = mq;
+                let (path, op) = mq.updates.pop().expect("checked len == 1");
+                let query = xust_core::TransformQuery {
+                    var: mq.var,
+                    doc_name: mq.doc_name,
+                    path,
+                    op,
+                };
+                let (ct, hit) = self.inner.transforms.get_or_try_insert(
+                    update,
+                    || -> Result<_, ServeError> {
+                        stats.compiles.fetch_add(1, Relaxed);
+                        Ok(CompiledTransform::compile(query))
+                    },
+                )?;
+                self.note_cache(hit);
+                (
+                    vec![(ct.query().path.clone(), ct.query().op.clone())],
+                    ct.alphabet().clone(),
+                    hit,
+                )
+            } else {
+                let mut alpha = LabelSet::new();
+                for (path, op) in &mq.updates {
+                    alpha.union_with(&update_alphabet(path, op));
+                }
+                (mq.updates, alpha, false)
+            };
+        // The value-sensitive slice of the update's selection: only
+        // qualifier-bearing reads — what the relevance test compares
+        // against the string values a view materialization perturbed.
+        let mut update_vals = LabelSet::new();
+        for (path, _) in &ops {
+            value_alphabet_into(path, &mut update_vals);
+        }
+        let results = &self.inner.results;
+        let (epoch, (outcome, targets)) = self
+            .inner
+            .docs
+            .update(doc, |next_epoch, source| {
+                let DocSource::Memory(old) = source else {
+                    return Err(ServeError::Unsupported(format!(
+                        "UPDATE needs an in-memory document; '{doc}' is file-backed \
+                         (load it in memory to enable live updates)"
+                    )));
+                };
+                let mut next = (**old).clone();
+                let mut delta = LabelSet::new();
+                let mut targets_total = 0usize;
+                for (path, op) in &ops {
+                    let matched = eval_path_root(&next, path);
+                    targets_total += matched.len();
+                    touched_labels_into(&next, &matched, op, &mut delta);
+                    apply_update(&mut next, &matched, op);
+                }
+                // Maintenance runs while the shard write lock is held,
+                // so it is ordered exactly like the install it mirrors
+                // (two racing updates cannot maintain out of order).
+                let outcome = results.maintain(
+                    doc,
+                    next_epoch,
+                    &update_alpha,
+                    &update_vals,
+                    &delta,
+                    &mut |cached| {
+                        for (path, op) in &ops {
+                            let matched = eval_path_root(cached, path);
+                            apply_update(cached, &matched, op);
+                        }
+                    },
+                );
+                Ok((DocSource::Memory(Arc::new(next)), (outcome, targets_total)))
+            })
+            .map_err(|e| match e {
+                StoreUpdateError::NotFound => ServeError::UnknownDoc(doc.to_string()),
+                StoreUpdateError::Apply(e) => e,
+            })?;
+        stats.update_requests.fetch_add(1, Relaxed);
+        for v in &outcome.retained {
+            stats.record_view_delta(v, true);
+        }
+        for v in &outcome.recomputed {
+            stats.record_view_delta(v, false);
+        }
+        Ok(Response {
+            body: format!(
+                "updated {doc} epoch={epoch} targets={targets} retained={} recomputed={}",
+                outcome.retained.len(),
+                outcome.recomputed.len()
+            ),
+            method: None,
+            micros: 0,
+            cache_hit: hit,
+        })
+    }
+
     // ---- introspection ----
 
-    /// Current counter snapshot.
+    /// Current counter snapshot (result-cache hit/miss counts overlaid
+    /// from the cache's own counters — the single source of truth).
     pub fn stats(&self) -> StatsSnapshot {
-        self.inner.stats.snapshot()
+        let mut snap = self.inner.stats.snapshot();
+        snap.result_hits = self.inner.results.hits();
+        snap.result_misses = self.inner.results.misses();
+        snap
+    }
+
+    /// The materialized view-result cache (hit/miss counters, entry
+    /// count) — exposed for observability and tests.
+    pub fn view_results(&self) -> &ViewResultCache {
+        &self.inner.results
     }
 
     /// Planner model state: `(method, size_class, ns_per_node, samples)`.
@@ -471,7 +705,30 @@ impl Server {
             .registry
             .get(view)
             .ok_or_else(|| ServeError::UnknownView(view.to_string()))?;
+        // Epoch before source; re-checked via `still_at` before the
+        // computed result is cached (a write racing in between would
+        // otherwise tag post-write content with the pre-write epoch,
+        // which a batch pinned to the old epoch would wrongly hit).
+        let epoch = docs.epoch_of(doc);
         let source = docs.get(doc)?;
+
+        // In-memory chain views are answered from the maintained
+        // view-result cache when the entry matches this epoch (and this
+        // view definition's generation) exactly.
+        let cacheable =
+            matches!(&source, DocSource::Memory(_)) && matches!(&def.body, ViewBody::Chain(_));
+        if cacheable {
+            // Hit/miss accounting lives in the cache itself (surfaced
+            // through `Server::stats`).
+            if let Some(body) = self.inner.results.get(view, doc, epoch, def.generation) {
+                return Ok(Response {
+                    body,
+                    method: None, // no evaluation ran at all
+                    micros: 0,
+                    cache_hit: true,
+                });
+            }
+        }
 
         // File-backed, single-link chains stream end to end: the input
         // is never held in memory, only the response body.
@@ -494,9 +751,30 @@ impl Server {
         }
 
         let base = self.base_document(&source)?;
-        let (out, method) = self.materialize(&def, &base)?;
+        let mut touched = cacheable.then(TouchedLabels::new);
+        let (out, method) = self.materialize(&def, &base, touched.as_mut())?;
+        let body = out.serialize();
+        // Cache only if no write landed since the epoch was read: the
+        // epoch re-check makes tag and content provably consistent (a
+        // write between the check and the insert is fine — its
+        // maintenance sweep drops not-fresh entries, and `insert` never
+        // downgrades a newer resident entry).
+        if let Some(touched) = touched {
+            if docs.still_at(doc, epoch) {
+                self.inner.results.insert(
+                    view,
+                    doc,
+                    epoch,
+                    def.generation,
+                    out,
+                    body.clone(),
+                    def.alphabet.clone(),
+                    touched,
+                );
+            }
+        }
         Ok(Response {
-            body: out.serialize(),
+            body,
             method,
             micros: 0,
             cache_hit: true, // views are pre-compiled at registration
@@ -590,7 +868,7 @@ impl Server {
             )));
         }
         let base = self.base_document(&source)?;
-        let (viewed, method) = self.materialize(&def, &base)?;
+        let (viewed, method) = self.materialize(&def, &base, None)?;
         let mut engine = xust_xquery::Engine::new();
         engine.load_doc(def.doc_name.clone(), viewed);
         let v = engine
@@ -627,11 +905,15 @@ impl Server {
     }
 
     /// Applies a view body to a base document with planner-chosen
-    /// methods; returns the result and the (last) method used.
+    /// methods; returns the result and the (last) method used. When
+    /// `trace` is given (chain bodies only), the labels each link's
+    /// update touches — evaluated against that link's *input* — are
+    /// folded in, so the result can be cached with its touched set.
     fn materialize(
         &self,
         def: &ViewDef,
         base: &Arc<Document>,
+        mut trace: Option<&mut TouchedLabels>,
     ) -> Result<(Document, Option<Method>), ServeError> {
         match &def.body {
             ViewBody::Chain(links) => {
@@ -642,6 +924,17 @@ impl Server {
                         Some(d) => d,
                         None => base,
                     };
+                    if let Some(touched) = trace.as_deref_mut() {
+                        // One extra selection pass per link, paid only on
+                        // result-cache *misses* (hits skip materialize
+                        // entirely, and writes maintain entries without
+                        // re-materializing) — the price of recording the
+                        // touched set without threading target lists
+                        // through every evaluation method.
+                        let q = link.query();
+                        let targets = eval_path_root(doc_ref, &q.path);
+                        touched.record(doc_ref, &targets, &q.op);
+                    }
                     let shape = DocShape::InMemory {
                         nodes: doc_ref.arena_len(),
                     };

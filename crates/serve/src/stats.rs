@@ -108,6 +108,14 @@ pub struct ServeStats {
     pub batch_steals: AtomicU64,
     /// Streaming sessions opened.
     pub stream_sessions: AtomicU64,
+    /// Live `UPDATE` writes accepted (applied and installed).
+    pub update_requests: AtomicU64,
+    /// View-result cache entries retained across a write (delta applied
+    /// in place, no recomputation).
+    pub delta_retained: AtomicU64,
+    /// View-result cache entries invalidated by a write (recomputed
+    /// lazily on next request).
+    pub delta_recomputed: AtomicU64,
     per_method: [AtomicU64; N_METHODS],
     /// Total busy time across requests, in microseconds.
     pub busy_micros: AtomicU64,
@@ -115,6 +123,17 @@ pub struct ServeStats {
     /// The map itself is read-mostly: a view's cell is created once and
     /// then only its atomic word changes.
     view_latency: RwLock<HashMap<String, Arc<EwmaCell>>>,
+    /// Per-view delta-maintenance outcomes: `(retained, recomputed)`.
+    view_delta: RwLock<HashMap<String, Arc<DeltaCell>>>,
+}
+
+/// Per-view delta-maintenance counters.
+#[derive(Debug, Default)]
+pub struct DeltaCell {
+    /// Writes this view's cached result survived (maintained in place).
+    pub retained: AtomicU64,
+    /// Writes that invalidated this view's cached result.
+    pub recomputed: AtomicU64,
 }
 
 /// New-sample weight for the per-view latency EWMA.
@@ -147,6 +166,48 @@ impl ServeStats {
             .get(view)
             .and_then(|c| c.get())
     }
+
+    /// Records one delta-maintenance outcome for `view` (and the global
+    /// totals): `retained == true` means the cached result survived the
+    /// write, `false` that it was dropped for lazy recomputation.
+    pub fn record_view_delta(&self, view: &str, retained: bool) {
+        if retained {
+            self.delta_retained.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.delta_recomputed.fetch_add(1, Ordering::Relaxed);
+        }
+        let cell = {
+            let map = self.view_delta.read().expect("stats lock poisoned");
+            map.get(view).cloned()
+        };
+        let cell = match cell {
+            Some(c) => c,
+            None => {
+                let mut map = self.view_delta.write().expect("stats lock poisoned");
+                Arc::clone(map.entry(view.to_string()).or_default())
+            }
+        };
+        if retained {
+            cell.retained.fetch_add(1, Ordering::Relaxed);
+        } else {
+            cell.recomputed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The delta counters for `view`: `(retained, recomputed)`, if any
+    /// write ever examined a cached result of this view.
+    pub fn view_delta(&self, view: &str) -> Option<(u64, u64)> {
+        self.view_delta
+            .read()
+            .expect("stats lock poisoned")
+            .get(view)
+            .map(|c| {
+                (
+                    c.retained.load(Ordering::Relaxed),
+                    c.recomputed.load(Ordering::Relaxed),
+                )
+            })
+    }
     /// Records one execution with `method`.
     pub fn count_method(&self, m: Method) {
         self.per_method[method_index(m)].fetch_add(1, Ordering::Relaxed);
@@ -174,8 +235,31 @@ impl ServeStats {
             batch_steals: self.batch_steals.load(Ordering::Relaxed),
             interned_labels: xust_intern::Interner::global().len(),
             stream_sessions: self.stream_sessions.load(Ordering::Relaxed),
+            update_requests: self.update_requests.load(Ordering::Relaxed),
+            delta_retained: self.delta_retained.load(Ordering::Relaxed),
+            delta_recomputed: self.delta_recomputed.load(Ordering::Relaxed),
+            // The result cache is its own source of truth for hit/miss
+            // counts; `Server::stats` overlays them (a bare `ServeStats`
+            // has no cache attached).
+            result_hits: 0,
+            result_misses: 0,
             busy_micros: self.busy_micros.load(Ordering::Relaxed),
             per_method: Method::ALL.map(|m| (m, self.method_count(m))),
+            view_delta: {
+                let map = self.view_delta.read().expect("stats lock poisoned");
+                let mut v: Vec<(String, u64, u64)> = map
+                    .iter()
+                    .map(|(k, c)| {
+                        (
+                            k.clone(),
+                            c.retained.load(Ordering::Relaxed),
+                            c.recomputed.load(Ordering::Relaxed),
+                        )
+                    })
+                    .collect();
+                v.sort_by(|a, b| a.0.cmp(&b.0));
+                v
+            },
             view_latency: {
                 let map = self.view_latency.read().expect("stats lock poisoned");
                 let mut v: Vec<(String, u32, f32)> = map
@@ -223,12 +307,26 @@ pub struct StatsSnapshot {
     pub interned_labels: usize,
     /// Streaming sessions opened.
     pub stream_sessions: u64,
+    /// Live `UPDATE` writes accepted.
+    pub update_requests: u64,
+    /// View-result cache entries retained across writes (maintained in
+    /// place — the delta-aware win).
+    pub delta_retained: u64,
+    /// View-result cache entries invalidated by writes.
+    pub delta_recomputed: u64,
+    /// View-result cache hits (sourced from
+    /// [`ViewResultCache`](crate::ViewResultCache) by `Server::stats`).
+    pub result_hits: u64,
+    /// View-result cache misses (sourced likewise).
+    pub result_misses: u64,
     /// Total busy time (µs).
     pub busy_micros: u64,
     /// Executions per evaluation method.
     pub per_method: [(Method, u64); N_METHODS],
     /// Per-view latency EWMAs: `(view, samples, micros)`, sorted by view.
     pub view_latency: Vec<(String, u32, f32)>,
+    /// Per-view delta outcomes: `(view, retained, recomputed)`, sorted.
+    pub view_delta: Vec<(String, u64, u64)>,
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -257,6 +355,15 @@ impl std::fmt::Display for StatsSnapshot {
             "batches: runs={} items={} steals={} stream_sessions={}",
             self.batches, self.batch_items, self.batch_steals, self.stream_sessions
         )?;
+        writeln!(
+            f,
+            "updates: accepted={} delta_retained={} delta_recomputed={} result_hits={} result_misses={}",
+            self.update_requests,
+            self.delta_retained,
+            self.delta_recomputed,
+            self.result_hits,
+            self.result_misses
+        )?;
         write!(f, "methods:")?;
         for (m, n) in &self.per_method {
             if *n > 0 {
@@ -266,6 +373,12 @@ impl std::fmt::Display for StatsSnapshot {
         write!(f, " busy={}µs", self.busy_micros)?;
         for (view, n, ewma) in &self.view_latency {
             write!(f, "\nview {view}: ewma={ewma:.0}µs samples={n}")?;
+        }
+        for (view, retained, recomputed) in &self.view_delta {
+            write!(
+                f,
+                "\nview {view}: delta_retained={retained} delta_recomputed={recomputed}"
+            )?;
         }
         Ok(())
     }
@@ -349,6 +462,28 @@ mod tests {
             (100.0..=300.0).contains(&value),
             "ewma escaped hull: {value}"
         );
+    }
+
+    #[test]
+    fn per_view_delta_counters_roll_up() {
+        let s = ServeStats::default();
+        assert!(s.view_delta("public").is_none());
+        s.record_view_delta("public", true);
+        s.record_view_delta("public", true);
+        s.record_view_delta("public", false);
+        s.record_view_delta("audit", false);
+        assert_eq!(s.view_delta("public"), Some((2, 1)));
+        assert_eq!(s.view_delta("audit"), Some((0, 1)));
+        let snap = s.snapshot();
+        assert_eq!(snap.delta_retained, 2);
+        assert_eq!(snap.delta_recomputed, 2);
+        assert_eq!(
+            snap.view_delta,
+            vec![("audit".into(), 0, 1), ("public".into(), 2, 1)]
+        );
+        let text = snap.to_string();
+        assert!(text.contains("delta_retained=2"));
+        assert!(text.contains("view public: delta_retained=2 delta_recomputed=1"));
     }
 
     #[test]

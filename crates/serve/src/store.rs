@@ -102,6 +102,48 @@ impl DocStore {
         epoch
     }
 
+    /// Atomically transforms one document in place: read-modify-write
+    /// under the owning shard's write lock, so two concurrent updates to
+    /// the same shard can never lose each other's work. `apply` receives
+    /// the epoch the write *will* install plus the current source and
+    /// returns the replacement source (plus any caller payload, e.g.
+    /// cache-maintenance bookkeeping that must be ordered with the
+    /// install). On `Err` nothing is installed: the shard keeps its
+    /// epoch and contents — the write path's all-or-nothing guarantee.
+    ///
+    /// The shard's readers block for the duration of `apply`; snapshots
+    /// and other shards are unaffected. Keep `apply` proportional to the
+    /// delta being written, not to unrelated work.
+    pub fn update<T, E>(
+        &self,
+        name: &str,
+        apply: impl FnOnce(u64, &DocSource) -> Result<(DocSource, T), E>,
+    ) -> Result<(u64, T), StoreUpdateError<E>> {
+        let shard = &self.shards[self.shard_of(name)];
+        let mut current = shard.current.write().expect("doc store lock poisoned");
+        let source = current
+            .docs
+            .get(name)
+            .ok_or(StoreUpdateError::NotFound)?
+            .clone();
+        let epoch = current.epoch + 1;
+        let (replacement, payload) = apply(epoch, &source).map_err(StoreUpdateError::Apply)?;
+        let mut docs = current.docs.clone();
+        docs.insert(name.to_string(), replacement);
+        *current = Arc::new(ShardEpoch { epoch, docs });
+        Ok((epoch, payload))
+    }
+
+    /// Current epoch of the shard owning `name` (whether or not the
+    /// document exists — epochs are per shard).
+    pub fn epoch_of(&self, name: &str) -> u64 {
+        self.shards[self.shard_of(name)]
+            .current
+            .read()
+            .expect("doc store lock poisoned")
+            .epoch
+    }
+
     /// Removes a document (copy-on-write); true if it existed.
     pub fn remove(&self, name: &str) -> bool {
         let shard = &self.shards[self.shard_of(name)];
@@ -180,6 +222,15 @@ impl DocStore {
     }
 }
 
+/// Why [`DocStore::update`] failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreUpdateError<E> {
+    /// The named document is not in the store.
+    NotFound,
+    /// The caller's `apply` closure failed; the shard was left untouched.
+    Apply(E),
+}
+
 /// A consistent, immutable view of the whole store: one pinned epoch per
 /// shard. Resolving documents through a snapshot takes no locks.
 pub struct StoreSnapshot {
@@ -205,6 +256,11 @@ impl StoreSnapshot {
     /// The pinned epoch of every shard, in shard order.
     pub fn epochs(&self) -> Vec<u64> {
         self.epochs.iter().map(|e| e.epoch).collect()
+    }
+
+    /// The pinned epoch of the shard owning `name`.
+    pub fn epoch_of(&self, name: &str) -> u64 {
+        self.epochs[shard_index(name, self.epochs.len())].epoch
     }
 
     /// Document names visible in this snapshot, sorted.
@@ -309,6 +365,82 @@ mod tests {
         assert!(snap.get("a").is_some(), "snapshot keeps the removed doc");
         assert!(store.snapshot().get("a").is_none());
         assert!(store.is_empty());
+    }
+
+    #[test]
+    fn update_is_atomic_read_modify_write() {
+        let store = Arc::new(DocStore::new(2));
+        store.insert("ctr", mem("<v/>"));
+        // N racing updaters each append one child; with the shard lock
+        // held across the whole read-modify-write, none can be lost.
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for _ in 0..25 {
+                        store
+                            .update("ctr", |_, source| {
+                                let DocSource::Memory(d) = source else {
+                                    unreachable!()
+                                };
+                                let mut next = (**d).clone();
+                                let root = next.root().unwrap();
+                                let child = next.create_element("tick");
+                                next.append_child(root, child);
+                                Ok::<_, ()>((DocSource::Memory(Arc::new(next)), ()))
+                            })
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        match store.get("ctr").unwrap() {
+            DocSource::Memory(d) => {
+                assert_eq!(d.serialize().matches("<tick/>").count(), 200);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(store.epochs().iter().sum::<u64>(), 201);
+    }
+
+    #[test]
+    fn failed_update_leaves_epoch_and_contents_alone() {
+        let store = DocStore::new(4);
+        store.insert("a", mem("<a/>"));
+        let before = store.epochs();
+        let err = store.update("a", |_, _| Err::<(DocSource, ()), _>("boom"));
+        assert_eq!(err.unwrap_err(), StoreUpdateError::Apply("boom"));
+        let missing = store.update("nope", |_, _| Ok::<_, ()>((mem("<x/>"), ())));
+        assert!(matches!(missing.unwrap_err(), StoreUpdateError::NotFound));
+        assert_eq!(store.epochs(), before, "failed writes must not bump epochs");
+        match store.get("a").unwrap() {
+            DocSource::Memory(d) => assert_eq!(d.serialize(), "<a/>"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn update_reports_the_installed_epoch() {
+        let store = DocStore::new(1);
+        store.insert("a", mem("<a/>"));
+        let snap_before = store.snapshot();
+        let (epoch, payload) = store
+            .update("a", |next, _| {
+                Ok::<_, ()>((mem("<a2/>"), format!("installing {next}")))
+            })
+            .unwrap();
+        assert_eq!(epoch, 2);
+        assert_eq!(payload, "installing 2");
+        assert_eq!(store.epoch_of("a"), 2);
+        assert_eq!(snap_before.epoch_of("a"), 1);
+        // The pre-update snapshot still reads the old content.
+        match snap_before.get("a") {
+            Some(DocSource::Memory(d)) => assert_eq!(d.serialize(), "<a/>"),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,501 @@
+//! The materialized view-result cache with delta-aware maintenance.
+//!
+//! [`PreparedCache`](crate::PreparedCache) makes *plans* cheap; this
+//! cache makes *answers* cheap: it maps `(view, doc)` to the
+//! materialized view result, pinned to the shard epoch it was computed
+//! at. A read at the same epoch is a hit; a read at any other epoch is a
+//! miss (and replaces the entry).
+//!
+//! The interesting path is the write. When `UPDATE` applies a delta to a
+//! stored document, every entry for that document faces one of two
+//! fates, decided by the relevance test of `xust_core::delta`:
+//!
+//! * **retained** — the update provably cannot change what the view's
+//!   automata see, and the view provably cannot have changed what the
+//!   update's selection reads: `delta ∩ view alphabet = ∅`,
+//!   `update alphabet ∩ view structural-touched = ∅`, and
+//!   `update value-labels ∩ view valued-touched = ∅`, with no
+//!   wildcards on either side. The *same* update is then applied to
+//!   the cached result (view and update commute under exactly these
+//!   conditions), and the entry moves to the new epoch without
+//!   recomputation.
+//! * **recomputed** — the test fails (or either side carries a
+//!   wildcard): the entry is dropped and the next request rebuilds it
+//!   lazily.
+//!
+//! Entries for documents in other shards — or simply other documents —
+//! are never examined, so a write to doc A cannot over-invalidate doc
+//! B's results. Both fates are counted per view in
+//! [`ServeStats`](crate::ServeStats).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use xust_core::delta::TouchedLabels;
+use xust_core::LabelSet;
+use xust_tree::Document;
+
+/// One cached, maintained view result.
+struct Entry {
+    /// The materialized result as a tree — kept so retained entries can
+    /// have the delta applied to them in place.
+    doc: Document,
+    /// `doc` serialized (what responses ship). `None` after maintenance
+    /// edited `doc`: re-serialized lazily on the first hit, so the
+    /// write path's critical section stays proportional to the delta,
+    /// not to the total size of every retained result.
+    body: Option<String>,
+    /// The registration generation of the view definition this result
+    /// was materialized under (see `ViewDef::generation`).
+    generation: u64,
+    /// The view's static alphabet, captured at insert.
+    view_alphabet: LabelSet,
+    /// The labels the view's own updates touched when this result was
+    /// materialized, split into structural (removed subtrees, inserted
+    /// fragments, renames) and valued (ancestor-or-self chains whose
+    /// string values shifted) — the update side of the relevance test.
+    view_touched: TouchedLabels,
+    /// Shard epoch of the base document this result reflects.
+    epoch: u64,
+    /// LRU clock value of the last hit.
+    last_use: u64,
+}
+
+/// What [`ViewResultCache::maintain`] did to one document's entries.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct MaintainOutcome {
+    /// Views whose entries were retained (delta applied in place).
+    pub retained: Vec<String>,
+    /// Views whose entries were dropped for lazy recomputation.
+    pub recomputed: Vec<String>,
+}
+
+/// See the module docs.
+pub struct ViewResultCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Keyed by `(view, doc)`.
+    map: HashMap<(String, String), Entry>,
+    tick: u64,
+}
+
+impl ViewResultCache {
+    /// A cache holding at most `capacity` materialized results
+    /// (`capacity == 0` disables caching entirely).
+    pub fn new(capacity: usize) -> ViewResultCache {
+        ViewResultCache {
+            capacity,
+            inner: Mutex::new(Inner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The cached body for `(view, doc)` **at exactly** `epoch`, under
+    /// exactly view-definition `generation`, if any. A counted miss
+    /// means the caller is about to materialize. The first hit after a
+    /// maintenance edit pays the (re-)serialization here — outside the
+    /// store's shard lock.
+    pub fn get(&self, view: &str, doc: &str, epoch: u64, generation: u64) -> Option<String> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let mut inner = self.inner.lock().expect("view cache lock poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&(view.to_string(), doc.to_string())) {
+            Some(e) if e.epoch == epoch && e.generation == generation => {
+                e.last_use = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e.body.get_or_insert_with(|| e.doc.serialize()).clone())
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Installs (or replaces) the result for `(view, doc)` as of
+    /// `epoch` under view-definition `generation`, evicting the
+    /// least-recently-used entry at capacity. A resident entry at a
+    /// *newer* epoch or generation wins over the candidate: a batch
+    /// pinned to an old snapshot must not clobber a maintained,
+    /// up-to-date result with its older one.
+    #[allow(clippy::too_many_arguments)]
+    pub fn insert(
+        &self,
+        view: &str,
+        doc: &str,
+        epoch: u64,
+        generation: u64,
+        result: Document,
+        body: String,
+        view_alphabet: LabelSet,
+        view_touched: TouchedLabels,
+    ) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("view cache lock poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let key = (view.to_string(), doc.to_string());
+        if let Some(existing) = inner.map.get(&key) {
+            if existing.epoch > epoch || existing.generation > generation {
+                return;
+            }
+        } else if inner.map.len() >= self.capacity {
+            if let Some(lru) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&lru);
+            }
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                doc: result,
+                body: Some(body),
+                generation,
+                view_alphabet,
+                view_touched,
+                epoch,
+                last_use: tick,
+            },
+        );
+    }
+
+    /// The write-path maintenance sweep for `doc`: runs the relevance
+    /// test against every entry of this document, applies `apply_delta`
+    /// (the same update the store is installing) to retained entries and
+    /// moves them to `new_epoch`, drops the rest. Must be called while
+    /// the store's shard write lock is held so maintenance is ordered
+    /// exactly like the installs it mirrors.
+    ///
+    /// Cost note: serialization of retained entries is deferred to their
+    /// next hit, but `apply_delta` still re-evaluates the update's
+    /// targets over each retained result — a write pays O(Σ retained
+    /// result sizes) inside this cache's one mutex (which also gates
+    /// reads for *other* documents). Acceptable while writes are rare
+    /// relative to reads; sharding this lock by document is the known
+    /// follow-up if write rates grow (see ROADMAP).
+    pub fn maintain(
+        &self,
+        doc: &str,
+        new_epoch: u64,
+        update_alphabet: &LabelSet,
+        update_values: &LabelSet,
+        delta: &LabelSet,
+        apply_delta: &mut dyn FnMut(&mut Document),
+    ) -> MaintainOutcome {
+        let mut outcome = MaintainOutcome::default();
+        if self.capacity == 0 {
+            return outcome;
+        }
+        let mut inner = self.inner.lock().expect("view cache lock poisoned");
+        inner.map.retain(|(view, d), e| {
+            if d != doc {
+                return true; // other documents are never touched
+            }
+            // `fresh`: computed at exactly the epoch this write replaces
+            // (shard epochs advance on *any* write to the shard, so an
+            // older entry may have missed a neighbour's delta — drop it).
+            let fresh = e.epoch + 1 == new_epoch;
+            // An empty delta means the update matched nothing: the
+            // document is byte-identical, every fresh entry rides along.
+            // Otherwise all three directions of the relevance test must
+            // come back disjoint (wildcards intersect everything
+            // non-empty — see `LabelSet::intersects`): the delta vs
+            // what the view can observe, the update's full selection
+            // alphabet vs what the view structurally changed, and the
+            // update's value-sensitive labels vs the nodes whose string
+            // values the view perturbed.
+            let retain = fresh
+                && (delta.is_empty()
+                    || (!delta.intersects(&e.view_alphabet)
+                        && !update_alphabet.intersects(&e.view_touched.structural)
+                        && !update_values.intersects(&e.view_touched.valued)));
+            if retain {
+                if !delta.is_empty() {
+                    apply_delta(&mut e.doc);
+                    // Serialization deferred to the next hit: the shard
+                    // write lock is held here, and the sweep must stay
+                    // proportional to the delta.
+                    e.body = None;
+                }
+                e.epoch = new_epoch;
+                outcome.retained.push(view.clone());
+                true
+            } else {
+                outcome.recomputed.push(view.clone());
+                false
+            }
+        });
+        outcome
+    }
+
+    /// Drops every entry for `doc` (a reload/remove is an unbounded
+    /// delta). Returns how many were dropped.
+    pub fn purge_doc(&self, doc: &str) -> usize {
+        let mut inner = self.inner.lock().expect("view cache lock poisoned");
+        let before = inner.map.len();
+        inner.map.retain(|(_, d), _| d != doc);
+        before - inner.map.len()
+    }
+
+    /// Drops every entry for `view` (re-registering a view changes its
+    /// meaning). Returns how many were dropped.
+    pub fn purge_view(&self, view: &str) -> usize {
+        let mut inner = self.inner.lock().expect("view cache lock poisoned");
+        let before = inner.map.len();
+        inner.map.retain(|(v, _), _| v != view);
+        before - inner.map.len()
+    }
+
+    /// Cached entries right now.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("view cache lock poisoned")
+            .map
+            .len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Epoch-valid hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xust_core::intern;
+
+    fn labels(ls: &[&str]) -> LabelSet {
+        ls.iter().map(|l| intern(l)).collect()
+    }
+
+    fn touched(structural: &[&str], valued: &[&str]) -> TouchedLabels {
+        TouchedLabels {
+            structural: labels(structural),
+            valued: labels(valued),
+        }
+    }
+
+    fn entry(cache: &ViewResultCache, view: &str, doc: &str, epoch: u64, alpha: &[&str]) {
+        cache.insert(
+            view,
+            doc,
+            epoch,
+            1,
+            Document::parse("<r><keep/></r>").unwrap(),
+            "<r><keep/></r>".into(),
+            labels(alpha),
+            touched(alpha, &["r"]),
+        );
+    }
+
+    #[test]
+    fn hits_are_epoch_exact() {
+        let c = ViewResultCache::new(8);
+        entry(&c, "v", "d", 3, &["x"]);
+        assert_eq!(c.get("v", "d", 3, 1).as_deref(), Some("<r><keep/></r>"));
+        assert_eq!(c.get("v", "d", 4, 1), None, "later epoch is a miss");
+        assert_eq!(c.get("v", "d", 2, 1), None, "earlier epoch is a miss");
+        assert_eq!((c.hits(), c.misses()), (1, 2));
+    }
+
+    #[test]
+    fn maintain_retains_disjoint_and_drops_intersecting() {
+        let c = ViewResultCache::new(8);
+        entry(&c, "disjoint", "d", 1, &["x"]);
+        entry(&c, "overlap", "d", 1, &["hot"]);
+        entry(&c, "elsewhere", "other", 1, &["hot"]);
+        let mut applied = 0;
+        let out = c.maintain(
+            "d",
+            2,
+            &labels(&["hot", "new"]),
+            &LabelSet::new(),
+            &labels(&["hot", "new"]),
+            &mut |doc| {
+                applied += 1;
+                let root = doc.root().unwrap();
+                let n = doc.create_element("new");
+                doc.append_child(root, n);
+            },
+        );
+        assert_eq!(out.retained, vec!["disjoint".to_string()]);
+        assert_eq!(out.recomputed, vec!["overlap".to_string()]);
+        assert_eq!(applied, 1, "delta applied only to the retained entry");
+        // The retained entry serves the *maintained* body at the new epoch.
+        assert_eq!(
+            c.get("disjoint", "d", 2, 1).as_deref(),
+            Some("<r><keep/><new/></r>")
+        );
+        assert_eq!(c.get("overlap", "d", 2, 1), None);
+        // The other document's entry was never examined.
+        assert!(c.get("elsewhere", "other", 1, 1).is_some());
+    }
+
+    #[test]
+    fn maintain_drops_stale_and_wildcard_entries() {
+        let c = ViewResultCache::new(8);
+        // Stale: computed two epochs ago — even a disjoint delta cannot
+        // carry it forward (the missed write's delta is unknown).
+        entry(&c, "stale", "d", 1, &["x"]);
+        // Wildcard view: sensitive to any vocabulary change.
+        c.insert(
+            "wild",
+            "d",
+            2,
+            1,
+            Document::parse("<r/>").unwrap(),
+            "<r/>".into(),
+            {
+                let mut a = labels(&["x"]);
+                a.mark_wildcard();
+                a
+            },
+            TouchedLabels::new(),
+        );
+        let out = c.maintain(
+            "d",
+            3,
+            &labels(&["zzz"]),
+            &LabelSet::new(),
+            &labels(&["zzz"]),
+            &mut |_| panic!("nothing should be maintained"),
+        );
+        assert!(out.retained.is_empty());
+        assert_eq!(out.recomputed.len(), 2);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn empty_delta_retains_everything_without_applying() {
+        let c = ViewResultCache::new(8);
+        c.insert(
+            "wild",
+            "d",
+            1,
+            1,
+            Document::parse("<r/>").unwrap(),
+            "<r/>".into(),
+            {
+                let mut a = LabelSet::new();
+                a.mark_wildcard();
+                a
+            },
+            TouchedLabels::new(),
+        );
+        // A no-op write (update matched zero targets): even wildcard
+        // views ride across the epoch bump untouched.
+        let out = c.maintain(
+            "d",
+            2,
+            &labels(&["q"]),
+            &LabelSet::new(),
+            &LabelSet::new(),
+            &mut |_| panic!("no delta to apply"),
+        );
+        assert_eq!(out.retained, vec!["wild".to_string()]);
+        assert!(c.get("wild", "d", 2, 1).is_some());
+    }
+
+    #[test]
+    fn update_alphabet_versus_view_structural_direction() {
+        let c = ViewResultCache::new(8);
+        // The view's own update removed subtrees containing "inner"
+        // labels; an update whose *selection* can read those labels must
+        // recompute even though its delta is disjoint from the view's
+        // alphabet.
+        c.insert(
+            "v",
+            "d",
+            1,
+            1,
+            Document::parse("<r/>").unwrap(),
+            "<r/>".into(),
+            labels(&["s"]),
+            touched(&["s", "inner"], &["r", "s"]),
+        );
+        let out = c.maintain(
+            "d",
+            2,
+            &labels(&["p", "inner"]),
+            &LabelSet::new(),
+            &labels(&["p"]),
+            &mut |_| {},
+        );
+        assert_eq!(out.recomputed, vec!["v".to_string()]);
+    }
+
+    #[test]
+    fn update_values_versus_view_valued_direction() {
+        let c = ViewResultCache::new(8);
+        // The view changed string values along the r/b chain (it removed
+        // text-bearing <t> content below b). An update may *mention* b
+        // on its path (traversal reads structure, which the view did not
+        // change there) — but one whose qualifier *compares* b's value
+        // must recompute.
+        c.insert(
+            "v",
+            "d",
+            1,
+            1,
+            Document::parse("<r/>").unwrap(),
+            "<r/>".into(),
+            labels(&["s"]),
+            touched(&["t"], &["r", "b"]),
+        );
+        let sel = labels(&["p", "b"]);
+        // Plain path over b: value-insensitive → retained.
+        let out = c.maintain("d", 2, &sel, &LabelSet::new(), &labels(&["p"]), &mut |_| {});
+        assert_eq!(out.retained, vec!["v".to_string()]);
+        // Same write shape, but now the update compares b's value.
+        let out = c.maintain("d", 3, &sel, &labels(&["b"]), &labels(&["p"]), &mut |_| {});
+        assert_eq!(out.recomputed, vec!["v".to_string()]);
+    }
+
+    #[test]
+    fn purges_and_lru() {
+        let c = ViewResultCache::new(2);
+        entry(&c, "v1", "d1", 1, &["x"]);
+        entry(&c, "v2", "d1", 1, &["x"]);
+        assert!(c.get("v1", "d1", 1, 1).is_some()); // refresh v1
+        entry(&c, "v3", "d2", 1, &["x"]); // evicts v2 (LRU)
+        assert_eq!(c.len(), 2);
+        assert!(c.get("v2", "d1", 1, 1).is_none());
+        assert_eq!(c.purge_doc("d1"), 1);
+        assert_eq!(c.purge_view("v3"), 1);
+        assert!(c.is_empty());
+        // Capacity 0 disables the cache entirely.
+        let off = ViewResultCache::new(0);
+        entry(&off, "v", "d", 1, &["x"]);
+        assert!(off.get("v", "d", 1, 1).is_none());
+        assert!(off.is_empty());
+    }
+}

@@ -81,6 +81,8 @@ serve protocol (one request per line, answers framed as `OK <len>`/`ERR <msg>`):
   VIEW <view> <doc>               materialize a registered view
   QUERY <view> <doc> <xquery…>    answer a user query over the virtual view
   TRANSFORM <doc> <transform…>    run an ad-hoc transform (prepared cache + planner)
+  UPDATE <doc> <transform…>       apply the embedded update(s) to the stored doc
+                                  (COW epoch bump + delta-aware cache maintenance)
   STREAM <doc> <transform…>       stream a file-backed doc through a session;
                                   output arrives incrementally as `OUT <len>`
                                   frames followed by `DONE <total>`
@@ -552,6 +554,16 @@ fn serve_connection(
                     .map_err(|e| e.to_string()),
                 None => Err("TRANSFORM <doc> <transform…>".into()),
             },
+            "UPDATE" => match rest.split_once(' ') {
+                Some((doc, update)) => server
+                    .handle(&Request::Update {
+                        doc: doc.trim().into(),
+                        update: update.into(),
+                    })
+                    .map(|r| r.body)
+                    .map_err(|e| e.to_string()),
+                None => Err("UPDATE <doc> <transform…>".into()),
+            },
             "STREAM" => match rest.split_once(' ') {
                 Some((doc, query)) => {
                     // Incremental framing: output leaves as it is
@@ -772,6 +784,48 @@ mod tests {
         assert!(text.contains("ERR unknown verb 'nonsense'"));
         // QUIT stopped the loop: exactly one successful VIEW of 'public'.
         assert_eq!(text.matches(&format!("OK {}", body.len())).count(), 1);
+    }
+
+    #[test]
+    fn update_protocol_verb_writes_and_serves_maintained_views() {
+        use std::io::Cursor;
+        let server = Server::builder().threads(2).build();
+        server
+            .load_doc_str(
+                "db",
+                "<db><part><price>9</price><n>kb</n></part><aux><k/></aux></db>",
+            )
+            .unwrap();
+        server
+            .register_view(
+                "public",
+                r#"transform copy $a := doc("db") modify do delete $a//price return $a"#,
+            )
+            .unwrap();
+        let input = concat!(
+            "VIEW public db\n", // warm the result cache
+            "UPDATE db transform copy $a := doc(\"db\") modify do insert <spare/> into $a//k return $a\n",
+            "VIEW public db\n", // served from the maintained entry
+            "UPDATE db garbage\n",
+            "UPDATE db transform copy $a := doc(\"other\") modify do delete $a//k return $a\n",
+            "UPDATE nosuchdoc transform copy $a := doc(\"nosuchdoc\") modify do delete $a//k return $a\n",
+            "STATS\n",
+            "QUIT\n",
+        );
+        let mut out = Vec::new();
+        serve_connection(&server, Cursor::new(input), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.contains("updated db epoch=2 targets=1 retained=1 recomputed=0"),
+            "UPDATE report missing: {text}"
+        );
+        // The post-update view reflects the write and still hides price.
+        assert!(text.contains("<db><part><n>kb</n></part><aux><k><spare/></k></aux></db>"));
+        assert!(text.contains("ERR parse error"));
+        assert!(text.contains("ERR unknown document 'nosuchdoc'"));
+        assert!(text.contains("delta_retained=1"));
+        // The write is durable: the stored doc itself changed.
+        assert_eq!(server.store().epochs().iter().sum::<u64>(), 2);
     }
 
     #[test]

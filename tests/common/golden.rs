@@ -1,0 +1,83 @@
+//! Loader for the golden corpus under `tests/golden/`.
+//!
+//! Each case directory holds `input.xml`, `query.txt` (one transform
+//! query), and `expected.xml` — the output every evaluation method must
+//! produce. Golden files turn a method regression into a readable diff
+//! against a checked-in artifact, instead of a property-shrink trace.
+#![allow(dead_code)]
+
+use std::path::PathBuf;
+
+/// One checked-in golden case.
+pub struct GoldenCase {
+    /// Directory name (used in failure messages).
+    pub name: String,
+    /// The source document.
+    pub input: String,
+    /// The transform query.
+    pub query: String,
+    /// The expected serialized output.
+    pub expected: String,
+}
+
+/// Loads every case under `tests/golden/`, sorted by name. Panics on a
+/// malformed corpus (missing file, unreadable directory) — a broken
+/// checkout should fail loudly, not skip cases.
+pub fn load_cases() -> Vec<GoldenCase> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let mut cases: Vec<GoldenCase> = std::fs::read_dir(&root)
+        .unwrap_or_else(|e| panic!("{}: {e}", root.display()))
+        .map(|entry| {
+            let dir = entry.expect("golden dir entry").path();
+            let read = |file: &str| {
+                std::fs::read_to_string(dir.join(file))
+                    .unwrap_or_else(|e| panic!("{}/{file}: {e}", dir.display()))
+                    .trim_end()
+                    .to_string()
+            };
+            GoldenCase {
+                name: dir
+                    .file_name()
+                    .expect("case dir has a name")
+                    .to_string_lossy()
+                    .into_owned(),
+                input: read("input.xml"),
+                query: read("query.txt"),
+                expected: read("expected.xml"),
+            }
+        })
+        .collect();
+    assert!(!cases.is_empty(), "golden corpus is empty");
+    cases.sort_by(|a, b| a.name.cmp(&b.name));
+    cases
+}
+
+/// A readable diff for serialized XML (typically one long line): points
+/// at the first divergent byte with context windows on both sides.
+pub fn diff(expected: &str, got: &str) -> String {
+    if expected == got {
+        return "identical".into();
+    }
+    let common = expected
+        .bytes()
+        .zip(got.bytes())
+        .take_while(|(a, b)| a == b)
+        .count();
+    let window = |s: &str| {
+        let start = common.saturating_sub(30);
+        let end = (common + 40).min(s.len());
+        // Keep char boundaries (XML here is ASCII, but stay safe).
+        let start = (start..=common)
+            .find(|&i| s.is_char_boundary(i))
+            .unwrap_or(0);
+        let end = (end..s.len() + 1)
+            .find(|&i| s.is_char_boundary(i))
+            .unwrap_or(s.len());
+        s[start..end].to_string()
+    };
+    format!(
+        "first divergence at byte {common}\n  expected …{}…\n  got      …{}…",
+        window(expected),
+        window(got)
+    )
+}

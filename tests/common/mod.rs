@@ -5,6 +5,8 @@
 //! textual ([`build_query_text`]) form.
 #![allow(dead_code)]
 
+pub mod golden;
+
 use proptest::prelude::*;
 
 use xust::core::{InsertPos, TransformQuery};

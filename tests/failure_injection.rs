@@ -260,6 +260,116 @@ fn streaming_session_bad_query_counts_failure_without_snapshot_leak() {
     assert_store_not_poisoned(&server);
 }
 
+// ---- the live write path ----
+
+/// Every way an `UPDATE` can fail — malformed syntax, doc-name
+/// mismatch, unknown document, file-backed document (a mid-apply error
+/// inside the store's write closure) — must be all-or-nothing: shard
+/// epochs unchanged, the stored tree unchanged, every cached view
+/// result intact, no leaked snapshot pins.
+#[test]
+fn failed_updates_leave_epochs_and_caches_intact() {
+    use xust::serve::ServeError;
+    let server = Server::builder().threads(2).shards(4).build();
+    server
+        .load_doc_str("db", "<db><part><price>9</price><n>kb</n></part></db>")
+        .unwrap();
+    let dir = std::env::temp_dir();
+    let file = dir.join("xust_failure_update_disk.xml");
+    std::fs::write(&file, "<db><part/></db>").unwrap();
+    server.load_doc_file("disk", &file).unwrap();
+    server
+        .register_view(
+            "public",
+            r#"transform copy $a := doc("db") modify do delete $a//price return $a"#,
+        )
+        .unwrap();
+    // Warm a cached view result so failures have something to corrupt.
+    let warm = server
+        .handle(&Request::View {
+            view: "public".into(),
+            doc: "db".into(),
+        })
+        .unwrap();
+    assert_eq!(server.view_results().len(), 1);
+    let epochs_before = server.store().epochs();
+    let results_hits_before = server.view_results().hits();
+
+    // Malformed update expression.
+    assert!(matches!(
+        server.update_doc("db", "garbage"),
+        Err(ServeError::Parse(_))
+    ));
+    // Parses, but reads a different document than it targets.
+    assert!(matches!(
+        server.update_doc(
+            "db",
+            r#"transform copy $a := doc("other") modify do delete $a//price return $a"#
+        ),
+        Err(ServeError::Parse(_))
+    ));
+    // Unknown document.
+    assert!(matches!(
+        server.update_doc(
+            "nope",
+            r#"transform copy $a := doc("nope") modify do delete $a//price return $a"#
+        ),
+        Err(ServeError::UnknownDoc(_))
+    ));
+    // File-backed document: the failure happens *inside* the store's
+    // write closure, after the shard write lock is taken — the rollback
+    // path of `DocStore::update`.
+    assert!(matches!(
+        server.update_doc(
+            "disk",
+            r#"transform copy $a := doc("disk") modify do delete $a//part return $a"#
+        ),
+        Err(ServeError::Unsupported(_))
+    ));
+    // Malformed multi-update list.
+    assert!(matches!(
+        server.update_doc(
+            "db",
+            r#"transform copy $a := doc("db") modify do (delete $a//price, obliterate $a//n) return $a"#
+        ),
+        Err(ServeError::Parse(_))
+    ));
+
+    assert_eq!(
+        server.store().epochs(),
+        epochs_before,
+        "failed writes must not bump any shard epoch"
+    );
+    assert_eq!(server.stats().update_requests, 0);
+    assert_eq!(server.stats().failures, 5);
+    assert_eq!(
+        server.view_results().len(),
+        1,
+        "failed writes must not drop cached entries"
+    );
+    // The cached entry still serves — same epoch, same body, via a hit.
+    let again = server
+        .handle(&Request::View {
+            view: "public".into(),
+            doc: "db".into(),
+        })
+        .unwrap();
+    assert_eq!(again.body, warm.body);
+    assert_eq!(server.view_results().hits(), results_hits_before + 1);
+    assert_eq!(server.store().active_snapshots(), 0);
+
+    // And the write path itself still works after all that.
+    let ok = server
+        .update_doc(
+            "db",
+            r#"transform copy $a := doc("db") modify do delete $a//price return $a"#,
+        )
+        .unwrap();
+    assert!(ok.body.starts_with("updated db epoch="));
+    assert_eq!(server.stats().update_requests, 1);
+    std::fs::remove_file(&file).ok();
+}
+
 #[test]
 fn empty_and_degenerate_documents() {
     let q = TransformQuery::delete("d", parse_path("//x").unwrap());

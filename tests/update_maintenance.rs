@@ -1,0 +1,533 @@
+//! Differential update-fuzz harness for the live write path.
+//!
+//! The server's `UPDATE` verb applies deltas destructively and keeps
+//! provably-unaffected cached view results alive by *maintaining* them
+//! (applying the same delta to the cached materialization) instead of
+//! recomputing. That retention decision is the thing that can be subtly
+//! wrong, so this suite is differential: a reference document is
+//! maintained outside the server by applying the identical updates with
+//! the core primitives, and after **every** write, **every** registered
+//! view served by the server — whether it came from a maintained cache
+//! entry, a fresh materialization, or a recompute after invalidation —
+//! must be byte-identical to a full `two_pass` recompute over the
+//! reference, across shard layouts {1, 8}.
+//!
+//! Deterministic companions pin down the cache-retention contract
+//! itself: retention must actually fire on disjoint-label workloads
+//! (`delta_retained > 0`, served-from-cache hits), an intersecting delta
+//! must never be retained, and a write to one document must never drop
+//! entries for a document in another shard.
+
+mod common;
+
+use proptest::prelude::*;
+
+use common::{arb_op, build_query_text};
+use xust::core::{apply_update, evaluate, parse_multi_transform, parse_transform, Method};
+use xust::serve::{Request, Server};
+use xust::tree::Document;
+use xust::xmark::{generate_string, XmarkConfig};
+use xust::xpath::eval_path_root;
+
+/// A spike region with a vocabulary fully disjoint from both the XMark
+/// labels and every registered view's alphabet, grafted into the
+/// generated document right inside `<site>`.
+const SPIKE: &str = concat!(
+    "<spike-zone><sa><sc>10</sc></sa>",
+    "<sb><sc>20</sc><zap>x</zap></sb><sa/></spike-zone>"
+);
+
+fn spiked_xmark(seed: u64) -> Document {
+    let base = generate_string(XmarkConfig::new(0.0005).with_seed(seed));
+    let open_end = base.find('>').expect("xmark has a root tag") + 1;
+    let spiked = format!("{}{}{}", &base[..open_end], SPIKE, &base[open_end..]);
+    Document::parse(&spiked).expect("spiked xmark parses")
+}
+
+/// The registered views: name → chain of transform links. A mix of
+/// single transforms, a qualifier, and a two-link chain, all over XMark
+/// vocabulary (never the spike vocabulary — that is what makes spike
+/// writes provably irrelevant to them).
+const VIEWS: [(&str, &[&str]); 4] = [
+    (
+        "noperson",
+        &[r#"transform copy $a := doc("xmark") modify do delete $a//person return $a"#],
+    ),
+    (
+        "kwren",
+        &[r#"transform copy $a := doc("xmark") modify do rename $a//keyword as kw return $a"#],
+    ),
+    (
+        "cheapbids",
+        &[
+            r#"transform copy $a := doc("xmark") modify do delete $a//bidder[increase > 5] return $a"#,
+        ],
+    ),
+    (
+        "chain2",
+        &[
+            r#"transform copy $a := doc("xmark") modify do delete $a//emph return $a"#,
+            r#"transform copy $a := doc("xmark") modify do rename $a//bold as b return $a"#,
+        ],
+    ),
+];
+
+fn register_views(server: &Server) {
+    for (name, links) in VIEWS {
+        server.register_view_chain(name, links).unwrap();
+    }
+}
+
+/// Full recompute of a view chain over `base` via `two_pass` — the
+/// differential oracle the served bytes must match.
+fn recompute_view(base: &Document, links: &[&str]) -> String {
+    let mut current = base.clone();
+    for link in links {
+        let q = parse_transform(link).unwrap();
+        current = evaluate(&current, &q, Method::TwoPass).unwrap();
+    }
+    current.serialize()
+}
+
+/// Applies one update text to the reference document exactly the way
+/// the server's write path does: each embedded update in order, targets
+/// evaluated against the current tree.
+fn apply_to_reference(reference: &mut Document, update: &str) {
+    let mq = parse_multi_transform(update).unwrap();
+    for (path, op) in &mq.updates {
+        let targets = eval_path_root(reference, path);
+        apply_update(reference, &targets, op);
+    }
+}
+
+/// Update target paths: spike-region paths (disjoint from every view)
+/// and XMark paths (which collide with view alphabets and force
+/// recomputation). Paths are relative — `build_query_text` grafts them
+/// onto `$a`.
+const UPDATE_PATHS: [&str; 10] = [
+    "//spike-zone//sa",
+    "//spike-zone/sb[sc]",
+    "//sc[. = '10']",
+    "//zap",
+    "//sb",
+    "site/people/person",
+    "//bidder",
+    "//keyword",
+    "//item[location = 'United States']",
+    "//emph",
+];
+
+fn check_all_views(
+    server: &Server,
+    reference: &Document,
+    context: &str,
+) -> Result<(), TestCaseError> {
+    for (name, links) in VIEWS {
+        let served = server
+            .handle(&Request::View {
+                view: name.into(),
+                doc: "xmark".into(),
+            })
+            .unwrap()
+            .body;
+        let expected = recompute_view(reference, links);
+        prop_assert_eq!(
+            &served,
+            &expected,
+            "view '{}' diverged from full two_pass recompute ({})",
+            name,
+            context
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    // 256 random update sequences — the acceptance bar for the
+    // differential harness. `PROPTEST_CASES` may cap this for quick CI
+    // smoke runs; the dedicated CI job runs the full count.
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// The core differential property: incremental maintenance output is
+    /// byte-identical to full recompute for every registered view after
+    /// every write, for shard layouts {1, 8}.
+    #[test]
+    fn maintained_views_equal_full_recompute(
+        seed in 0u64..64,
+        updates in prop::collection::vec((0..UPDATE_PATHS.len(), arb_op()), 1..4),
+    ) {
+        let base = spiked_xmark(seed);
+        for shards in [1usize, 8] {
+            let server = Server::builder().threads(2).shards(shards).build();
+            server.load_doc("xmark", base.clone());
+            register_views(&server);
+            let mut reference = base.clone();
+            // Warm the result cache so writes have entries to maintain.
+            check_all_views(&server, &reference, "before any write")?;
+            for (round, &(path_idx, op)) in updates.iter().enumerate() {
+                let text = build_query_text("xmark", UPDATE_PATHS[path_idx], op);
+                let resp = server.update_doc("xmark", &text).unwrap();
+                prop_assert!(resp.body.starts_with("updated xmark epoch="));
+                apply_to_reference(&mut reference, &text);
+                let ctx = format!(
+                    "shards={} round={} update={}",
+                    shards, round, text
+                );
+                check_all_views(&server, &reference, &ctx)?;
+            }
+            prop_assert_eq!(server.store().active_snapshots(), 0);
+        }
+    }
+}
+
+#[test]
+fn retention_fires_on_disjoint_label_workloads() {
+    let base = spiked_xmark(7);
+    let server = Server::builder().threads(2).shards(1).build();
+    server.load_doc("xmark", base.clone());
+    register_views(&server);
+    let mut reference = base.clone();
+    // Warm every view's result entry.
+    for (name, _) in VIEWS {
+        server
+            .handle(&Request::View {
+                view: name.into(),
+                doc: "xmark".into(),
+            })
+            .unwrap();
+    }
+    assert_eq!(server.view_results().len(), VIEWS.len());
+
+    // Spike-only writes: every view's alphabet is disjoint from the
+    // delta, so every entry must be retained and maintained in place.
+    let spike_updates = [
+        r#"transform copy $a := doc("xmark") modify do insert <ins k="1"><t>v</t></ins> into $a//spike-zone/sb return $a"#,
+        r#"transform copy $a := doc("xmark") modify do rename $a//zap as rn return $a"#,
+        r#"transform copy $a := doc("xmark") modify do delete $a//sc[. = '10'] return $a"#,
+    ];
+    for update in spike_updates {
+        let resp = server.update_doc("xmark", update).unwrap();
+        assert!(
+            resp.body
+                .contains(&format!("retained={} recomputed=0", VIEWS.len())),
+            "expected full retention, got: {}",
+            resp.body
+        );
+        apply_to_reference(&mut reference, update);
+    }
+    let stats = server.stats();
+    assert_eq!(stats.update_requests, spike_updates.len() as u64);
+    assert_eq!(
+        stats.delta_retained,
+        (spike_updates.len() * VIEWS.len()) as u64,
+        "retention must actually fire, not fall back to recompute"
+    );
+    assert_eq!(stats.delta_recomputed, 0);
+    // STATS (the protocol answer) reports the retention.
+    let rendered = stats.to_string();
+    assert!(rendered.contains(&format!("delta_retained={}", stats.delta_retained)));
+    assert!(rendered.contains("view noperson: delta_retained=3 delta_recomputed=0"));
+
+    // The maintained entries are *served*: reads after the writes are
+    // result-cache hits and still byte-identical to full recompute.
+    let hits_before = server.stats().result_hits;
+    for (name, links) in VIEWS {
+        let served = server
+            .handle(&Request::View {
+                view: name.into(),
+                doc: "xmark".into(),
+            })
+            .unwrap();
+        assert!(served.cache_hit);
+        assert_eq!(
+            served.body,
+            recompute_view(&reference, links),
+            "maintained entry for '{name}' diverged"
+        );
+    }
+    assert_eq!(
+        server.stats().result_hits,
+        hits_before + VIEWS.len() as u64,
+        "post-write reads must come from the maintained entries"
+    );
+}
+
+#[test]
+fn intersecting_deltas_are_never_retained() {
+    let base = spiked_xmark(11);
+    let server = Server::builder().threads(2).shards(1).build();
+    server.load_doc("xmark", base.clone());
+    register_views(&server);
+    let mut reference = base.clone();
+    for (name, _) in VIEWS {
+        server
+            .handle(&Request::View {
+                view: name.into(),
+                doc: "xmark".into(),
+            })
+            .unwrap();
+    }
+    // Inserting a fresh <keyword> intersects kwren's alphabet (and, via
+    // ancestors, whatever region it lands in) — kwren must NOT keep its
+    // entry, even though the insert happens in the spike zone.
+    let update = r#"transform copy $a := doc("xmark") modify do insert <keyword>new</keyword> into $a//spike-zone/sb return $a"#;
+    server.update_doc("xmark", update).unwrap();
+    apply_to_reference(&mut reference, update);
+    let (_, retained, recomputed) = server
+        .stats()
+        .view_delta
+        .iter()
+        .find(|(v, _, _)| v == "kwren")
+        .cloned()
+        .unwrap();
+    assert_eq!(
+        (retained, recomputed),
+        (0, 1),
+        "a view whose alphabet intersects the delta must be recomputed"
+    );
+    // …and the recomputed answer is correct (a false retention would
+    // have served the stale body instead).
+    let served = server
+        .handle(&Request::View {
+            view: "kwren".into(),
+            doc: "xmark".into(),
+        })
+        .unwrap();
+    let expected = recompute_view(
+        &reference,
+        VIEWS.iter().find(|(n, _)| *n == "kwren").unwrap().1,
+    );
+    assert_eq!(served.body, expected);
+    assert!(
+        served.body.contains("<kw>new</kw>"),
+        "the inserted keyword must be renamed by the recomputed view"
+    );
+}
+
+#[test]
+fn writes_never_touch_entries_of_other_shards() {
+    let server = Server::builder().threads(2).shards(8).build();
+    // Find two document names owned by different shards.
+    let store = server.store();
+    let a = "alpha";
+    let b = ["beta", "gamma", "delta", "omega", "kappa"]
+        .into_iter()
+        .find(|n| store.shard_of(n) != store.shard_of(a))
+        .expect("some candidate lands in another shard");
+    let xml = "<db><part><price>9</price></part><aux><k/></aux></db>";
+    server.load_doc_str(a, xml).unwrap();
+    server.load_doc_str(b, xml).unwrap();
+    server
+        .register_view(
+            "noprice",
+            r#"transform copy $a := doc("db") modify do delete $a//price return $a"#,
+        )
+        .unwrap();
+    // Warm one entry per document.
+    for doc in [a, b] {
+        server
+            .handle(&Request::View {
+                view: "noprice".into(),
+                doc: doc.into(),
+            })
+            .unwrap();
+    }
+    assert_eq!(server.view_results().len(), 2);
+    // A write to A that invalidates A's entry (price is in the view's
+    // alphabet) must leave B's entry alone.
+    let update = format!(
+        r#"transform copy $a := doc("{a}") modify do insert <price>1</price> into $a//aux return $a"#
+    );
+    server.update_doc(a, &update).unwrap();
+    let hits_before = server.stats().result_hits;
+    let misses_before = server.stats().result_misses;
+    let served_b = server
+        .handle(&Request::View {
+            view: "noprice".into(),
+            doc: b.into(),
+        })
+        .unwrap();
+    assert_eq!(served_b.body, "<db><part/><aux><k/></aux></db>");
+    assert_eq!(
+        server.stats().result_hits,
+        hits_before + 1,
+        "doc B's entry (another shard) must survive the write to doc A"
+    );
+    // A's entry was invalidated: the next read is a miss that recomputes
+    // against the updated tree.
+    let served_a = server
+        .handle(&Request::View {
+            view: "noprice".into(),
+            doc: a.into(),
+        })
+        .unwrap();
+    assert_eq!(served_a.body, "<db><part/><aux><k/></aux></db>");
+    assert_eq!(server.stats().result_misses, misses_before + 1);
+}
+
+#[test]
+fn parenthesized_single_update_lists_work() {
+    // `modify do (u1)` is valid multi syntax with one element; the
+    // write path must compile it from the multi parse instead of
+    // re-parsing it as (invalid) single syntax.
+    let server = Server::builder().threads(1).shards(1).build();
+    server.load_doc_str("db", "<db><x/><y/></db>").unwrap();
+    let resp = server
+        .update_doc(
+            "db",
+            r#"transform copy $a := doc("db") modify do (delete $a//x) return $a"#,
+        )
+        .unwrap();
+    assert!(resp.body.contains("targets=1"), "{}", resp.body);
+    let stored = server
+        .handle(&Request::Transform {
+            doc: "db".into(),
+            query: r#"transform copy $a := doc("db") modify do delete $a//nothing return $a"#
+                .into(),
+        })
+        .unwrap()
+        .body;
+    assert_eq!(stored, "<db><y/></db>");
+}
+
+#[test]
+fn multi_update_sequences_apply_in_order() {
+    let base = spiked_xmark(3);
+    let server = Server::builder().threads(1).shards(1).build();
+    server.load_doc("xmark", base.clone());
+    register_views(&server);
+    let mut reference = base.clone();
+    // One UPDATE carrying three updates: applied in order, each seeing
+    // the previous one's effect (the insert's <t> is renamed by the
+    // second update; the third deletes the spike <sb> wholesale).
+    let update = concat!(
+        r#"transform copy $a := doc("xmark") modify do ("#,
+        r#"insert <ins><t>v</t></ins> into $a//spike-zone/sa, "#,
+        r#"rename $a//spike-zone//t as tt, "#,
+        r#"delete $a//spike-zone/sb) return $a"#
+    );
+    let resp = server.update_doc("xmark", update).unwrap();
+    apply_to_reference(&mut reference, update);
+    assert!(
+        resp.body.contains("targets=5"),
+        "2 sa inserts + 2 renamed t + 1 sb delete: {}",
+        resp.body
+    );
+    // Sequential semantics: the inserted <t> elements got renamed.
+    let stored = server
+        .handle(&Request::Transform {
+            doc: "xmark".into(),
+            query: r#"transform copy $a := doc("xmark") modify do delete $a//person return $a"#
+                .into(),
+        })
+        .unwrap()
+        .body;
+    assert!(stored.contains("<ins><tt>v</tt></ins>"));
+    assert!(!stored.contains("<sb>"));
+    for (name, links) in VIEWS {
+        let served = server
+            .handle(&Request::View {
+                view: name.into(),
+                doc: "xmark".into(),
+            })
+            .unwrap()
+            .body;
+        assert_eq!(served, recompute_view(&reference, links), "view '{name}'");
+    }
+}
+
+#[test]
+fn repeated_updates_recycle_arena_slots() {
+    use xust::serve::DocSource;
+    // The write path applies deletes in place on the cloned epoch, so
+    // the arena free-list (PR 3) must absorb insert→delete churn: the
+    // stored document's arena cannot grow write over write.
+    let server = Server::builder().threads(1).shards(1).build();
+    server
+        .load_doc_str("db", "<db><part><k/></part></db>")
+        .unwrap();
+    let insert = r#"transform copy $a := doc("db") modify do insert <tmp><t>x</t></tmp> into $a//k return $a"#;
+    let delete = r#"transform copy $a := doc("db") modify do delete $a//tmp return $a"#;
+    let arena_of = || match server.store().get("db").unwrap() {
+        DocSource::Memory(d) => d.arena_len(),
+        other => panic!("unexpected {other:?}"),
+    };
+    let mut high_water = 0;
+    for cycle in 0..20 {
+        server.update_doc("db", insert).unwrap();
+        if cycle == 0 {
+            high_water = arena_of();
+        } else {
+            assert_eq!(
+                arena_of(),
+                high_water,
+                "arena leaked through the write path on cycle {cycle}"
+            );
+        }
+        server.update_doc("db", delete).unwrap();
+    }
+    match server.store().get("db").unwrap() {
+        DocSource::Memory(d) => assert_eq!(d.serialize(), "<db><part><k/></part></db>"),
+        other => panic!("unexpected {other:?}"),
+    }
+    assert_eq!(server.stats().update_requests, 40);
+}
+
+#[test]
+fn reregistration_invalidates_cached_results() {
+    // Re-registering a view under the same name must make its cached
+    // result unservable even though the document (and its epoch) did
+    // not change — entries are stamped with the definition generation.
+    let server = Server::builder().threads(1).shards(1).build();
+    server.load_doc_str("db", "<db><a/><b/></db>").unwrap();
+    let del_a = r#"transform copy $a := doc("db") modify do delete $a//a return $a"#;
+    let del_b = r#"transform copy $a := doc("db") modify do delete $a//b return $a"#;
+    server.register_view("v", del_a).unwrap();
+    let first = server
+        .handle(&Request::View {
+            view: "v".into(),
+            doc: "db".into(),
+        })
+        .unwrap();
+    assert_eq!(first.body, "<db><b/></db>");
+    server.register_view("v", del_b).unwrap();
+    let second = server
+        .handle(&Request::View {
+            view: "v".into(),
+            doc: "db".into(),
+        })
+        .unwrap();
+    assert_eq!(
+        second.body, "<db><a/></db>",
+        "the old definition's cached result must not survive re-registration"
+    );
+}
+
+#[test]
+fn reload_drops_entries_instead_of_maintaining_them() {
+    let server = Server::builder().threads(1).shards(1).build();
+    server.load_doc_str("db", "<db><a/></db>").unwrap();
+    server
+        .register_view(
+            "v",
+            r#"transform copy $a := doc("db") modify do delete $a//zzz return $a"#,
+        )
+        .unwrap();
+    server
+        .handle(&Request::View {
+            view: "v".into(),
+            doc: "db".into(),
+        })
+        .unwrap();
+    assert_eq!(server.view_results().len(), 1);
+    // A whole-document reload is an unbounded delta: no retention.
+    server.load_doc_str("db", "<db><b/></db>").unwrap();
+    assert_eq!(server.view_results().len(), 0);
+    let served = server
+        .handle(&Request::View {
+            view: "v".into(),
+            doc: "db".into(),
+        })
+        .unwrap();
+    assert_eq!(served.body, "<db><b/></db>");
+}
