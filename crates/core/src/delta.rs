@@ -16,17 +16,26 @@
 //!   ancestor-or-self of each target node.
 //!
 //! Ancestors matter because an update deep inside a subtree changes the
-//! *string value* of every ancestor (qualifiers like `[b = 'x']`
-//! concatenate all descendant text), and because a view that deletes a
-//! node also deletes everything the update did inside it. Recording
-//! ancestor labels makes the disjointness test
-//! `delta ∩ alphabet = ∅` catch both, so retention stays sound (the
-//! differential update-fuzz harness in `tests/update_maintenance.rs`
-//! checks retained-and-maintained output byte-for-byte against full
+//! XPath *string value* of every ancestor — deliberately conservative:
+//! the current evaluator's comparisons read only a node's immediate
+//! text (`eval_qualifier`), but the footprint guards the full
+//! string-value semantics so tightening the evaluator cannot silently
+//! unsound retention — and because a view that deletes a node also
+//! deletes everything the update did inside it. Recording ancestor
+//! labels makes the disjointness test `delta ∩ alphabet = ∅` catch
+//! both, so retention stays sound (the differential update-fuzz
+//! harness in `tests/update_maintenance.rs` checks
+//! retained-and-maintained output byte-for-byte against full
 //! recompute).
+//!
+//! Footprints are label sets over the document's vocabulary *at
+//! recording time*: a retained rename write renames the recorded nodes
+//! out from under them, so maintenance must carry the sets into the
+//! new vocabulary via [`TouchedLabels::apply_renames`] with the
+//! [`RenameMapping`]s the write captured.
 
 use xust_automata::{FilteringNfa, LabelSet, SelectingNfa};
-use xust_intern::intern;
+use xust_intern::{intern, Sym};
 use xust_tree::{Document, NodeId};
 use xust_xpath::{Path, Qualifier};
 
@@ -150,6 +159,38 @@ pub fn fragment_labels_into(frag: &Document, out: &mut LabelSet) {
     }
 }
 
+/// The concrete label effect of one applied rename: the labels its
+/// matched targets carried **before** the rename, and the single label
+/// they all carry after. Collected by the write path (one mapping per
+/// rename rule, in application order) and replayed by cache maintenance
+/// onto every *retained* entry's [`TouchedLabels`] — see
+/// [`TouchedLabels::apply_renames`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RenameMapping {
+    /// Labels the rename's targets had pre-apply (empty ⇒ no targets).
+    pub old: LabelSet,
+    /// The label every target has post-apply.
+    pub new: Sym,
+}
+
+impl RenameMapping {
+    /// The mapping of applying `rename … as name` to `targets`, read off
+    /// the **pre-apply** document. `None` when nothing matched (an
+    /// empty rename maps no labels).
+    pub fn capture(doc: &Document, targets: &[NodeId], name: Sym) -> Option<RenameMapping> {
+        if targets.is_empty() {
+            return None;
+        }
+        let mut old = LabelSet::new();
+        for &t in targets {
+            if let Some(sym) = doc.name_sym(t) {
+                old.insert(sym);
+            }
+        }
+        Some(RenameMapping { old, new: name })
+    }
+}
+
 /// The two faces of a concrete update's (or a view materialization's)
 /// footprint, recorded dynamically while applying:
 ///
@@ -221,6 +262,32 @@ impl TouchedLabels {
         }
         if !targets.is_empty() {
             op_alphabet_into(op, &mut self.structural);
+        }
+    }
+
+    /// Carries this footprint across a *retained* rename write: for each
+    /// mapping, in application order, any set that contains one of the
+    /// rename's old labels gains the new label too.
+    ///
+    /// A cached view result stores the footprint of its own updates in
+    /// the label vocabulary the document had **at materialization time**.
+    /// A retained rename applied to base and cached result alike leaves
+    /// the diverged *nodes* where they were but changes their *names*,
+    /// so a later update that reads a renamed ancestor under its new
+    /// label would slip past the disjointness test if the stored sets
+    /// kept only the old names. The old labels are deliberately kept: a
+    /// selective rename (`z/a[q]`) may have renamed only some of the
+    /// nodes a label covers, so the post-rename footprint is the union.
+    /// Processing mappings in order makes chained renames (`a→b`, then
+    /// `b→c`, possibly across separate writes) accumulate correctly.
+    pub fn apply_renames(&mut self, renames: &[RenameMapping]) {
+        for r in renames {
+            if self.structural.intersects(&r.old) {
+                self.structural.insert(r.new);
+            }
+            if self.valued.intersects(&r.old) {
+                self.valued.insert(r.new);
+            }
         }
     }
 
@@ -322,6 +389,50 @@ mod tests {
         assert_eq!(
             syms(&delta, &["fresh", "x", "mid", "r", "sib"]),
             [true, true, true, true, false]
+        );
+    }
+
+    #[test]
+    fn rename_mapping_captures_pre_apply_labels() {
+        let doc = Document::parse("<r><a/><z><a/><w/></z></r>").unwrap();
+        let path = parse_path("//a").unwrap();
+        let targets = eval_path_root(&doc, &path);
+        let m = RenameMapping::capture(&doc, &targets, intern("b")).unwrap();
+        assert_eq!(syms(&m.old, &["a", "w", "r"]), [true, false, false]);
+        assert_eq!(m.new, intern("b"));
+        assert!(RenameMapping::capture(&doc, &[], intern("b")).is_none());
+    }
+
+    #[test]
+    fn apply_renames_unions_new_labels_and_chains_in_order() {
+        let mut t = TouchedLabels {
+            structural: [intern("s")].into_iter().collect(),
+            valued: [intern("r"), intern("a")].into_iter().collect(),
+        };
+        let renames = [
+            RenameMapping {
+                old: [intern("a")].into_iter().collect(),
+                new: intern("b"),
+            },
+            // Chained: reads the label the previous mapping introduced.
+            RenameMapping {
+                old: [intern("b")].into_iter().collect(),
+                new: intern("c"),
+            },
+            // Disjoint from every set: must change nothing.
+            RenameMapping {
+                old: [intern("zzz")].into_iter().collect(),
+                new: intern("qqq"),
+            },
+        ];
+        t.apply_renames(&renames);
+        assert_eq!(
+            syms(&t.valued, &["r", "a", "b", "c", "qqq"]),
+            [true, true, true, true, false]
+        );
+        assert_eq!(
+            syms(&t.structural, &["s", "b", "qqq"]),
+            [true, false, false]
         );
     }
 

@@ -53,7 +53,7 @@ pub use bottomup::{bottom_up, Annotations};
 pub use copy_update::{apply_update, copy_update};
 pub use delta::{
     fragment_labels_into, op_alphabet_into, path_alphabet_into, qualifier_label_tests_into,
-    touched_labels_into, update_alphabet, value_alphabet_into, TouchedLabels,
+    touched_labels_into, update_alphabet, value_alphabet_into, RenameMapping, TouchedLabels,
 };
 pub use engine::{evaluate, evaluate_str, Method, TransformError};
 pub use multi::{

@@ -160,6 +160,12 @@ impl ViewRegistry {
         for link in &links {
             alphabet.union_with(link.alphabet());
         }
+        // Generation is allocated and the definition installed under
+        // one write-lock hold: drawn outside it, two racing
+        // registrations of the same name could install the lower
+        // generation last, breaking the strictly-increasing invariant
+        // the result cache's generation guard depends on.
+        let mut views = self.views.write().expect("registry lock poisoned");
         let def = Arc::new(ViewDef {
             name: name.clone(),
             doc_name: doc_name.expect("at least one link"),
@@ -168,10 +174,7 @@ impl ViewRegistry {
             alphabet,
             generation: self.generations.fetch_add(1, Ordering::Relaxed) + 1,
         });
-        self.views
-            .write()
-            .expect("registry lock poisoned")
-            .insert(name, Arc::clone(&def));
+        views.insert(name, Arc::clone(&def));
         Ok(def)
     }
 
@@ -215,6 +218,9 @@ impl ViewRegistry {
                 ViewBody::Multi(Box::new(mq))
             }
         };
+        // Same lock discipline as `register_chain`: generation and
+        // install are atomic together.
+        let mut views = self.views.write().expect("registry lock poisoned");
         let def = Arc::new(ViewDef {
             name: name.clone(),
             doc_name: policy.doc_name.clone(),
@@ -223,10 +229,7 @@ impl ViewRegistry {
             alphabet,
             generation: self.generations.fetch_add(1, Ordering::Relaxed) + 1,
         });
-        self.views
-            .write()
-            .expect("registry lock poisoned")
-            .insert(name, Arc::clone(&def));
+        views.insert(name, Arc::clone(&def));
         Ok(def)
     }
 

@@ -26,7 +26,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use xust_compose::{compose, compose_two_pass_sax, ComposedQuery, UserQuery};
-use xust_core::delta::TouchedLabels;
+use xust_core::delta::{RenameMapping, TouchedLabels};
 use xust_core::{
     apply_update, multi_top_down, parse_multi_transform, touched_labels_into, update_alphabet,
     value_alphabet_into, CompiledTransform, LabelSet, LdStorage, Method, SaxStats, TransformStream,
@@ -553,10 +553,20 @@ impl Server {
                 let mut next = (**old).clone();
                 let mut delta = LabelSet::new();
                 let mut targets_total = 0usize;
+                // Old→new label mappings of the applied renames, in
+                // order: retained cache entries get the same renames
+                // applied to their trees, so their stored touched-label
+                // footprints must be carried into the new vocabulary
+                // (`TouchedLabels::apply_renames`) or later relevance
+                // tests would compare against pre-rename names.
+                let mut renames: Vec<RenameMapping> = Vec::new();
                 for (path, op) in &ops {
                     let matched = eval_path_root(&next, path);
                     targets_total += matched.len();
                     touched_labels_into(&next, &matched, op, &mut delta);
+                    if let UpdateOp::Rename { name } = op {
+                        renames.extend(RenameMapping::capture(&next, &matched, *name));
+                    }
                     apply_update(&mut next, &matched, op);
                 }
                 // Maintenance runs while the shard write lock is held,
@@ -568,6 +578,7 @@ impl Server {
                     &update_alpha,
                     &update_vals,
                     &delta,
+                    &renames,
                     &mut |cached| {
                         for (path, op) in &ops {
                             let matched = eval_path_root(cached, path);
@@ -588,11 +599,18 @@ impl Server {
         for v in &outcome.recomputed {
             stats.record_view_delta(v, false);
         }
+        // Stale drops (entries already behind because a same-shard
+        // neighbour was written) never faced the relevance test — they
+        // are counted on their own, not as recomputes.
+        stats
+            .delta_stale
+            .fetch_add(outcome.stale.len() as u64, Relaxed);
         Ok(Response {
             body: format!(
-                "updated {doc} epoch={epoch} targets={targets} retained={} recomputed={}",
+                "updated {doc} epoch={epoch} targets={targets} retained={} recomputed={} stale={}",
                 outcome.retained.len(),
-                outcome.recomputed.len()
+                outcome.recomputed.len(),
+                outcome.stale.len()
             ),
             method: None,
             micros: 0,
@@ -722,7 +740,10 @@ impl Server {
             // through `Server::stats`).
             if let Some(body) = self.inner.results.get(view, doc, epoch, def.generation) {
                 return Ok(Response {
-                    body,
+                    // The owned copy the response needs is made here,
+                    // outside the cache mutex — a hit only bumps a
+                    // refcount inside it.
+                    body: body.to_string(),
                     method: None, // no evaluation ran at all
                     micros: 0,
                     cache_hit: true,

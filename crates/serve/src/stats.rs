@@ -116,6 +116,11 @@ pub struct ServeStats {
     /// View-result cache entries invalidated by a write (recomputed
     /// lazily on next request).
     pub delta_recomputed: AtomicU64,
+    /// View-result cache entries dropped because they were already more
+    /// than one epoch behind when a write arrived (a same-shard
+    /// neighbour was written in between) — never relevance-tested, so
+    /// counted apart from retained/recomputed.
+    pub delta_stale: AtomicU64,
     per_method: [AtomicU64; N_METHODS],
     /// Total busy time across requests, in microseconds.
     pub busy_micros: AtomicU64,
@@ -238,6 +243,7 @@ impl ServeStats {
             update_requests: self.update_requests.load(Ordering::Relaxed),
             delta_retained: self.delta_retained.load(Ordering::Relaxed),
             delta_recomputed: self.delta_recomputed.load(Ordering::Relaxed),
+            delta_stale: self.delta_stale.load(Ordering::Relaxed),
             // The result cache is its own source of truth for hit/miss
             // counts; `Server::stats` overlays them (a bare `ServeStats`
             // has no cache attached).
@@ -314,6 +320,9 @@ pub struct StatsSnapshot {
     pub delta_retained: u64,
     /// View-result cache entries invalidated by writes.
     pub delta_recomputed: u64,
+    /// View-result cache entries dropped for staleness alone (missed a
+    /// same-shard neighbour's write; never relevance-tested).
+    pub delta_stale: u64,
     /// View-result cache hits (sourced from
     /// [`ViewResultCache`](crate::ViewResultCache) by `Server::stats`).
     pub result_hits: u64,
@@ -357,10 +366,11 @@ impl std::fmt::Display for StatsSnapshot {
         )?;
         writeln!(
             f,
-            "updates: accepted={} delta_retained={} delta_recomputed={} result_hits={} result_misses={}",
+            "updates: accepted={} delta_retained={} delta_recomputed={} delta_stale={} result_hits={} result_misses={}",
             self.update_requests,
             self.delta_retained,
             self.delta_recomputed,
+            self.delta_stale,
             self.result_hits,
             self.result_misses
         )?;

@@ -18,21 +18,31 @@
 //!   wildcards on either side. The *same* update is then applied to
 //!   the cached result (view and update commute under exactly these
 //!   conditions), and the entry moves to the new epoch without
-//!   recomputation.
+//!   recomputation. If the retained update renamed nodes, the entry's
+//!   stored touched-label sets are carried into the new vocabulary via
+//!   [`TouchedLabels::apply_renames`] — they describe *nodes* whose
+//!   names just changed, and later relevance tests must see the
+//!   current names, not the materialization-time ones.
 //! * **recomputed** — the test fails (or either side carries a
 //!   wildcard): the entry is dropped and the next request rebuilds it
 //!   lazily.
 //!
+//! Entries that are merely **stale** — more than one epoch behind,
+//! because a *neighbouring* document in the same shard was written —
+//! are dropped without running the relevance test at all (the missed
+//! write's delta is unknown) and reported separately, so the
+//! retained/recomputed counters reflect actual relevance-test outcomes.
+//!
 //! Entries for documents in other shards — or simply other documents —
 //! are never examined, so a write to doc A cannot over-invalidate doc
-//! B's results. Both fates are counted per view in
+//! B's results. Retained and recomputed fates are counted per view in
 //! [`ServeStats`](crate::ServeStats).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
-use xust_core::delta::TouchedLabels;
+use xust_core::delta::{RenameMapping, TouchedLabels};
 use xust_core::LabelSet;
 use xust_tree::Document;
 
@@ -41,11 +51,13 @@ struct Entry {
     /// The materialized result as a tree — kept so retained entries can
     /// have the delta applied to them in place.
     doc: Document,
-    /// `doc` serialized (what responses ship). `None` after maintenance
-    /// edited `doc`: re-serialized lazily on the first hit, so the
-    /// write path's critical section stays proportional to the delta,
-    /// not to the total size of every retained result.
-    body: Option<String>,
+    /// `doc` serialized (what responses ship), shared so a hit hands
+    /// out a refcount bump instead of copying the whole body inside
+    /// the cache mutex. `None` after maintenance edited `doc`:
+    /// re-serialized lazily on the first hit, so the write path's
+    /// critical section stays proportional to the delta, not to the
+    /// total size of every retained result.
+    body: Option<Arc<str>>,
     /// The registration generation of the view definition this result
     /// was materialized under (see `ViewDef::generation`).
     generation: u64,
@@ -67,8 +79,13 @@ struct Entry {
 pub struct MaintainOutcome {
     /// Views whose entries were retained (delta applied in place).
     pub retained: Vec<String>,
-    /// Views whose entries were dropped for lazy recomputation.
+    /// Views whose entries failed the relevance test and were dropped
+    /// for lazy recomputation.
     pub recomputed: Vec<String>,
+    /// Views whose entries were already more than one epoch behind
+    /// (a same-shard neighbour was written since) — dropped without
+    /// running the relevance test.
+    pub stale: Vec<String>,
 }
 
 /// See the module docs.
@@ -81,9 +98,25 @@ pub struct ViewResultCache {
 
 #[derive(Default)]
 struct Inner {
-    /// Keyed by `(view, doc)`.
-    map: HashMap<(String, String), Entry>,
+    /// `doc → view → entry`. Nesting (instead of a `(String, String)`
+    /// key) buys two things: `get` on the hot read path looks up with
+    /// borrowed `&str` keys — no per-call allocation under the mutex —
+    /// and the write path's maintenance sweep walks exactly one
+    /// document's entries instead of scanning the whole cache.
+    map: HashMap<String, HashMap<String, Entry>>,
+    /// Total entries across all documents (kept so capacity checks and
+    /// `len` stay O(1)).
+    entries: usize,
     tick: u64,
+}
+
+impl Inner {
+    /// Removes `doc`'s whole entry map, keeping the entry count true.
+    fn remove_doc(&mut self, doc: &str) -> usize {
+        let dropped = self.map.remove(doc).map_or(0, |m| m.len());
+        self.entries -= dropped;
+        dropped
+    }
 }
 
 impl ViewResultCache {
@@ -103,18 +136,20 @@ impl ViewResultCache {
     /// means the caller is about to materialize. The first hit after a
     /// maintenance edit pays the (re-)serialization here — outside the
     /// store's shard lock.
-    pub fn get(&self, view: &str, doc: &str, epoch: u64, generation: u64) -> Option<String> {
+    pub fn get(&self, view: &str, doc: &str, epoch: u64, generation: u64) -> Option<Arc<str>> {
         if self.capacity == 0 {
             return None;
         }
         let mut inner = self.inner.lock().expect("view cache lock poisoned");
         inner.tick += 1;
         let tick = inner.tick;
-        match inner.map.get_mut(&(view.to_string(), doc.to_string())) {
+        match inner.map.get_mut(doc).and_then(|m| m.get_mut(view)) {
             Some(e) if e.epoch == epoch && e.generation == generation => {
                 e.last_use = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(e.body.get_or_insert_with(|| e.doc.serialize()).clone())
+                Some(Arc::clone(
+                    e.body.get_or_insert_with(|| e.doc.serialize().into()),
+                ))
             }
             _ => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -147,26 +182,33 @@ impl ViewResultCache {
         let mut inner = self.inner.lock().expect("view cache lock poisoned");
         inner.tick += 1;
         let tick = inner.tick;
-        let key = (view.to_string(), doc.to_string());
-        if let Some(existing) = inner.map.get(&key) {
+        let Inner { map, entries, .. } = &mut *inner;
+        let resident = map.get(doc).and_then(|m| m.get(view));
+        if let Some(existing) = resident {
             if existing.epoch > epoch || existing.generation > generation {
                 return;
             }
-        } else if inner.map.len() >= self.capacity {
-            if let Some(lru) = inner
-                .map
+        } else if *entries >= self.capacity {
+            // Evict the least-recently-used entry cache-wide.
+            if let Some((d, v)) = map
                 .iter()
-                .min_by_key(|(_, e)| e.last_use)
-                .map(|(k, _)| k.clone())
+                .flat_map(|(d, m)| m.iter().map(move |(v, e)| (d, v, e.last_use)))
+                .min_by_key(|&(_, _, last_use)| last_use)
+                .map(|(d, v, _)| (d.clone(), v.clone()))
             {
-                inner.map.remove(&lru);
+                let views = map.get_mut(&d).expect("lru doc resides in map");
+                views.remove(&v);
+                *entries -= 1;
+                if views.is_empty() {
+                    map.remove(&d);
+                }
             }
         }
-        inner.map.insert(
-            key,
+        let replaced = map.entry(doc.to_string()).or_default().insert(
+            view.to_string(),
             Entry {
                 doc: result,
-                body: Some(body),
+                body: Some(body.into()),
                 generation,
                 view_alphabet,
                 view_touched,
@@ -174,14 +216,27 @@ impl ViewResultCache {
                 last_use: tick,
             },
         );
+        if replaced.is_none() {
+            *entries += 1;
+        }
     }
 
     /// The write-path maintenance sweep for `doc`: runs the relevance
     /// test against every entry of this document, applies `apply_delta`
     /// (the same update the store is installing) to retained entries and
-    /// moves them to `new_epoch`, drops the rest. Must be called while
-    /// the store's shard write lock is held so maintenance is ordered
-    /// exactly like the installs it mirrors.
+    /// moves them to `new_epoch`, drops the rest. `renames` carries the
+    /// old→new label mapping of every rename the write applied, in
+    /// order: retained entries have it folded into their stored
+    /// touched-label sets so later relevance tests compare against the
+    /// document's *current* vocabulary (the cached tree was just renamed
+    /// along with the base — the footprint must follow). Must be called
+    /// while the store's shard write lock is held so maintenance is
+    /// ordered exactly like the installs it mirrors.
+    ///
+    /// Entries more than one epoch behind are dropped as **stale**
+    /// without a relevance test (a same-shard neighbour's write was
+    /// missed; its delta is unknown) and reported separately from
+    /// `recomputed`.
     ///
     /// Cost note: serialization of retained entries is deferred to their
     /// next hit, but `apply_delta` still re-evaluates the update's
@@ -190,6 +245,7 @@ impl ViewResultCache {
     /// reads for *other* documents). Acceptable while writes are rare
     /// relative to reads; sharding this lock by document is the known
     /// follow-up if write rates grow (see ROADMAP).
+    #[allow(clippy::too_many_arguments)]
     pub fn maintain(
         &self,
         doc: &str,
@@ -197,6 +253,7 @@ impl ViewResultCache {
         update_alphabet: &LabelSet,
         update_values: &LabelSet,
         delta: &LabelSet,
+        renames: &[RenameMapping],
         apply_delta: &mut dyn FnMut(&mut Document),
     ) -> MaintainOutcome {
         let mut outcome = MaintainOutcome::default();
@@ -204,14 +261,20 @@ impl ViewResultCache {
             return outcome;
         }
         let mut inner = self.inner.lock().expect("view cache lock poisoned");
-        inner.map.retain(|(view, d), e| {
-            if d != doc {
-                return true; // other documents are never touched
-            }
+        let Inner { map, entries, .. } = &mut *inner;
+        let Some(views) = map.get_mut(doc) else {
+            return outcome; // other documents are never touched
+        };
+        views.retain(|view, e| {
             // `fresh`: computed at exactly the epoch this write replaces
             // (shard epochs advance on *any* write to the shard, so an
-            // older entry may have missed a neighbour's delta — drop it).
-            let fresh = e.epoch + 1 == new_epoch;
+            // older entry may have missed a neighbour's delta — drop it
+            // without judging it: the relevance test never ran).
+            if e.epoch + 1 != new_epoch {
+                outcome.stale.push(view.clone());
+                *entries -= 1;
+                return false;
+            }
             // An empty delta means the update matched nothing: the
             // document is byte-identical, every fresh entry rides along.
             // Otherwise all three directions of the relevance test must
@@ -221,11 +284,10 @@ impl ViewResultCache {
             // alphabet vs what the view structurally changed, and the
             // update's value-sensitive labels vs the nodes whose string
             // values the view perturbed.
-            let retain = fresh
-                && (delta.is_empty()
-                    || (!delta.intersects(&e.view_alphabet)
-                        && !update_alphabet.intersects(&e.view_touched.structural)
-                        && !update_values.intersects(&e.view_touched.valued)));
+            let retain = delta.is_empty()
+                || (!delta.intersects(&e.view_alphabet)
+                    && !update_alphabet.intersects(&e.view_touched.structural)
+                    && !update_values.intersects(&e.view_touched.valued));
             if retain {
                 if !delta.is_empty() {
                     apply_delta(&mut e.doc);
@@ -233,15 +295,27 @@ impl ViewResultCache {
                     // write lock is held here, and the sweep must stay
                     // proportional to the delta.
                     e.body = None;
+                    // The write just renamed nodes in the cached tree;
+                    // rename the stored footprint with them. (For a
+                    // retained entry only `valued` can actually move —
+                    // a rename whose selection could read a label in
+                    // `structural` is caught by the alphabet direction
+                    // above — but folding into both is free and keeps
+                    // the invariant local.)
+                    e.view_touched.apply_renames(renames);
                 }
                 e.epoch = new_epoch;
                 outcome.retained.push(view.clone());
                 true
             } else {
                 outcome.recomputed.push(view.clone());
+                *entries -= 1;
                 false
             }
         });
+        if views.is_empty() {
+            map.remove(doc);
+        }
         outcome
     }
 
@@ -249,27 +323,25 @@ impl ViewResultCache {
     /// delta). Returns how many were dropped.
     pub fn purge_doc(&self, doc: &str) -> usize {
         let mut inner = self.inner.lock().expect("view cache lock poisoned");
-        let before = inner.map.len();
-        inner.map.retain(|(_, d), _| d != doc);
-        before - inner.map.len()
+        inner.remove_doc(doc)
     }
 
     /// Drops every entry for `view` (re-registering a view changes its
     /// meaning). Returns how many were dropped.
     pub fn purge_view(&self, view: &str) -> usize {
         let mut inner = self.inner.lock().expect("view cache lock poisoned");
-        let before = inner.map.len();
-        inner.map.retain(|(v, _), _| v != view);
-        before - inner.map.len()
+        let mut dropped = 0;
+        inner.map.retain(|_, views| {
+            dropped += usize::from(views.remove(view).is_some());
+            !views.is_empty()
+        });
+        inner.entries -= dropped;
+        dropped
     }
 
     /// Cached entries right now.
     pub fn len(&self) -> usize {
-        self.inner
-            .lock()
-            .expect("view cache lock poisoned")
-            .map
-            .len()
+        self.inner.lock().expect("view cache lock poisoned").entries
     }
 
     /// True when nothing is cached.
@@ -340,6 +412,7 @@ mod tests {
             &labels(&["hot", "new"]),
             &LabelSet::new(),
             &labels(&["hot", "new"]),
+            &[],
             &mut |doc| {
                 applied += 1;
                 let root = doc.root().unwrap();
@@ -387,10 +460,14 @@ mod tests {
             &labels(&["zzz"]),
             &LabelSet::new(),
             &labels(&["zzz"]),
+            &[],
             &mut |_| panic!("nothing should be maintained"),
         );
         assert!(out.retained.is_empty());
-        assert_eq!(out.recomputed.len(), 2);
+        // The stale entry never faced the relevance test — it is not a
+        // "recomputed" outcome, only the wildcard one is.
+        assert_eq!(out.stale, vec!["stale".to_string()]);
+        assert_eq!(out.recomputed, vec!["wild".to_string()]);
         assert!(c.is_empty());
     }
 
@@ -419,6 +496,7 @@ mod tests {
             &labels(&["q"]),
             &LabelSet::new(),
             &LabelSet::new(),
+            &[],
             &mut |_| panic!("no delta to apply"),
         );
         assert_eq!(out.retained, vec!["wild".to_string()]);
@@ -448,6 +526,7 @@ mod tests {
             &labels(&["p", "inner"]),
             &LabelSet::new(),
             &labels(&["p"]),
+            &[],
             &mut |_| {},
         );
         assert_eq!(out.recomputed, vec!["v".to_string()]);
@@ -473,11 +552,87 @@ mod tests {
         );
         let sel = labels(&["p", "b"]);
         // Plain path over b: value-insensitive → retained.
-        let out = c.maintain("d", 2, &sel, &LabelSet::new(), &labels(&["p"]), &mut |_| {});
+        let out = c.maintain(
+            "d",
+            2,
+            &sel,
+            &LabelSet::new(),
+            &labels(&["p"]),
+            &[],
+            &mut |_| {},
+        );
         assert_eq!(out.retained, vec!["v".to_string()]);
         // Same write shape, but now the update compares b's value.
-        let out = c.maintain("d", 3, &sel, &labels(&["b"]), &labels(&["p"]), &mut |_| {});
+        let out = c.maintain(
+            "d",
+            3,
+            &sel,
+            &labels(&["b"]),
+            &labels(&["p"]),
+            &[],
+            &mut |_| {},
+        );
         assert_eq!(out.recomputed, vec!["v".to_string()]);
+    }
+
+    #[test]
+    fn retained_renames_remap_stored_touched_labels() {
+        use xust_core::delta::RenameMapping;
+        // The view's materialization perturbed string values along the
+        // r/a/w ancestor chain (it deleted text-bearing content below
+        // w). A retained rename write renames a→b and w→u in the cached
+        // tree; the stored footprint must follow, or a later update
+        // whose qualifier reads u's value slips past the relevance test
+        // (REVIEW: false retention after renames).
+        let c = ViewResultCache::new(8);
+        c.insert(
+            "v",
+            "d",
+            1,
+            1,
+            Document::parse("<r/>").unwrap(),
+            "<r/>".into(),
+            labels(&["s"]),
+            touched(&["s"], &["r", "a", "w"]),
+        );
+        // The rename write: selection alphabet {a, b, w, u}, no value
+        // reads, delta {a, b, w, u} — disjoint from everything stored.
+        let renames = [
+            RenameMapping {
+                old: labels(&["a"]),
+                new: intern("b"),
+            },
+            RenameMapping {
+                old: labels(&["w"]),
+                new: intern("u"),
+            },
+        ];
+        let out = c.maintain(
+            "d",
+            2,
+            &labels(&["a", "b", "w", "u"]),
+            &LabelSet::new(),
+            &labels(&["a", "b", "w", "u"]),
+            &renames,
+            &mut |_| {},
+        );
+        assert_eq!(out.retained, vec!["v".to_string()]);
+        // A later write whose qualifier compares u's value must now be
+        // caught by the valued direction under the *new* name.
+        let out = c.maintain(
+            "d",
+            3,
+            &labels(&["b", "u", "m"]),
+            &labels(&["u"]),
+            &labels(&["m", "b", "u", "r"]),
+            &[],
+            &mut |_| {},
+        );
+        assert_eq!(
+            out.recomputed,
+            vec!["v".to_string()],
+            "the renamed ancestor's new label must stay in the footprint"
+        );
     }
 
     #[test]

@@ -114,8 +114,16 @@ pub fn build_query(path: &str, op: u8) -> TransformQuery {
 
 /// The same query in concrete transform syntax, as a service client
 /// would send it. `doc_name` lands inside `doc("…")`; the generated
-/// path is grafted onto `$a`.
+/// path is grafted onto `$a`. Renames mint the fixed label `rn`; use
+/// [`build_query_text_renaming`] to pick the new name.
 pub fn build_query_text(doc_name: &str, path: &str, op: u8) -> String {
+    build_query_text_renaming(doc_name, path, op, "rn")
+}
+
+/// [`build_query_text`] with the rename target name as a parameter
+/// (ignored for non-rename ops) — lets fuzzers mint names that other
+/// generated paths and qualifiers actually read.
+pub fn build_query_text_renaming(doc_name: &str, path: &str, op: u8, rename_name: &str) -> String {
     let anchored = if let Some(rest) = path.strip_prefix("//") {
         format!("$a//{rest}")
     } else {
@@ -125,7 +133,7 @@ pub fn build_query_text(doc_name: &str, path: &str, op: u8) -> String {
         0 => format!("delete {anchored}"),
         1 => format!("insert {INS_ELEM} into {anchored}"),
         2 => format!("replace {anchored} with {INS_ELEM}"),
-        3 => format!("rename {anchored} as rn"),
+        3 => format!("rename {anchored} as {rename_name}"),
         4 => format!("insert {INS_ELEM} as first into {anchored}"),
         5 => format!("insert {INS_ELEM} before {anchored}"),
         _ => format!("insert {INS_ELEM} after {anchored}"),

@@ -22,7 +22,7 @@ mod common;
 
 use proptest::prelude::*;
 
-use common::{arb_op, build_query_text};
+use common::{arb_op, build_query_text_renaming};
 use xust::core::{apply_update, evaluate, parse_multi_transform, parse_transform, Method};
 use xust::serve::{Request, Server};
 use xust::tree::Document;
@@ -103,19 +103,30 @@ fn apply_to_reference(reference: &mut Document, update: &str) {
 /// Update target paths: spike-region paths (disjoint from every view)
 /// and XMark paths (which collide with view alphabets and force
 /// recomputation). Paths are relative — `build_query_text` grafts them
-/// onto `$a`.
-const UPDATE_PATHS: [&str; 10] = [
+/// onto `$a`. The qualifier-bearing entries read labels that renames
+/// can *mint* (`sa`, `sc` are rename targets below), so a sequence can
+/// rename a node and then qualify on its new name — the shape that
+/// catches stale touched-label footprints in retained entries.
+const UPDATE_PATHS: [&str; 12] = [
     "//spike-zone//sa",
     "//spike-zone/sb[sc]",
     "//sc[. = '10']",
     "//zap",
     "//sb",
+    "//spike-zone/sb[sa > 15]",
+    "//sa[sc]",
     "site/people/person",
     "//bidder",
     "//keyword",
     "//item[location = 'United States']",
     "//emph",
 ];
+
+/// New names the fuzzer's renames use. Unlike the fixed `rn` of
+/// `build_query_text`, most of these are labels other pool paths *read*
+/// (in qualifiers or as steps), so rename→qualify sequences exercise
+/// the footprint-remapping path of retention.
+const RENAME_NAMES: [&str; 4] = ["rn", "sa", "sc", "zap"];
 
 fn check_all_views(
     server: &Server,
@@ -154,7 +165,10 @@ proptest! {
     #[test]
     fn maintained_views_equal_full_recompute(
         seed in 0u64..64,
-        updates in prop::collection::vec((0..UPDATE_PATHS.len(), arb_op()), 1..4),
+        updates in prop::collection::vec(
+            (0..UPDATE_PATHS.len(), arb_op(), 0..RENAME_NAMES.len()),
+            1..4,
+        ),
     ) {
         let base = spiked_xmark(seed);
         for shards in [1usize, 8] {
@@ -164,8 +178,13 @@ proptest! {
             let mut reference = base.clone();
             // Warm the result cache so writes have entries to maintain.
             check_all_views(&server, &reference, "before any write")?;
-            for (round, &(path_idx, op)) in updates.iter().enumerate() {
-                let text = build_query_text("xmark", UPDATE_PATHS[path_idx], op);
+            for (round, &(path_idx, op, name_idx)) in updates.iter().enumerate() {
+                let text = build_query_text_renaming(
+                    "xmark",
+                    UPDATE_PATHS[path_idx],
+                    op,
+                    RENAME_NAMES[name_idx],
+                );
                 let resp = server.update_doc("xmark", &text).unwrap();
                 prop_assert!(resp.body.starts_with("updated xmark epoch="));
                 apply_to_reference(&mut reference, &text);
@@ -302,6 +321,135 @@ fn intersecting_deltas_are_never_retained() {
         served.body.contains("<kw>new</kw>"),
         "the inserted keyword must be renamed by the recomputed view"
     );
+}
+
+/// The REVIEW scenario: stored touched-label footprints must follow
+/// retained renames. The view deletes `<s>`, so its entry's footprint
+/// says the `r/z/a/w` ancestor chain is value-perturbed. A rename write
+/// (`a`→`b`, `w`→`u`) is rightly retained — it commutes with the view —
+/// but it renames that very chain in base and cached result alike. A
+/// follow-up update whose qualifier reads the chain under its NEW
+/// names must still be caught by the valued direction of the relevance
+/// test and recomputed; with a stale (pre-rename) footprint it would
+/// pass all three disjointness directions and be wrongly retained,
+/// breaking the invariant retention soundness is argued from.
+#[test]
+fn retained_renames_do_not_cause_false_retention() {
+    const XML: &str = "<r><z><a><w><t>1</t><s>5</s></w></a></z></r>";
+    const VIEW: &str = r#"transform copy $a := doc("db") modify do delete $a//s return $a"#;
+    let server = Server::builder().threads(1).shards(1).build();
+    server.load_doc_str("db", XML).unwrap();
+    server.register_view("nos", VIEW).unwrap();
+    let mut reference = Document::parse(XML).unwrap();
+    // Warm the entry so the writes have something to maintain.
+    server
+        .handle(&Request::View {
+            view: "nos".into(),
+            doc: "db".into(),
+        })
+        .unwrap();
+    let rename = r#"transform copy $a := doc("db") modify do (rename $a//a as b, rename $a//w as u) return $a"#;
+    let resp = server.update_doc("db", rename).unwrap();
+    assert!(
+        resp.body.contains("retained=1 recomputed=0"),
+        "the rename is label-disjoint from the view and must be retained: {}",
+        resp.body
+    );
+    apply_to_reference(&mut reference, rename);
+    // The qualifier compares `t`'s value under the renamed `u` anchor:
+    // its value alphabet {u, t} is disjoint from the footprint's
+    // *pre-rename* names ({s, w, a, z, r}) but intersects the renamed
+    // ones — only a remapped footprint recomputes here.
+    let insert =
+        r#"transform copy $a := doc("db") modify do insert <m/> into $a//u[t = '1'] return $a"#;
+    let resp = server.update_doc("db", insert).unwrap();
+    assert!(
+        resp.body.contains("targets=1 retained=0 recomputed=1"),
+        "the qualifier reads the renamed ancestor chain under its NEW names — \
+         the entry must be recomputed, not maintained: {}",
+        resp.body
+    );
+    apply_to_reference(&mut reference, insert);
+    let served = server
+        .handle(&Request::View {
+            view: "nos".into(),
+            doc: "db".into(),
+        })
+        .unwrap()
+        .body;
+    assert_eq!(served, recompute_view(&reference, &[VIEW]));
+    assert!(
+        served.contains("<m/>"),
+        "the insert fires inside the renamed chain and must show in the view: {served}"
+    );
+}
+
+/// Update pool for the targeted rename fuzzer: renames whose new names
+/// later entries *read* — as qualifier values, qualifier paths, and
+/// plain steps — including chained renames (`a`→`b`→`c`), over a
+/// document where the view's divergence sits right on the renamed
+/// ancestor chain. The broad XMark fuzzer above cannot express this
+/// shape (its renames always mint `rn`, which nothing reads); every
+/// sequence here is checked differentially after every write.
+const RENAME_POOL: [&str; 10] = [
+    "rename $a//a as b",
+    "rename $a//w as u",
+    "rename $a//b as c",
+    "rename $a//z as q",
+    "insert <m/> into $a//b[u > 5]",
+    "insert <m/> into $a//a[w > 5]",
+    "insert <k/> into $a//c[u]",
+    "insert <m2/> into $a//q[. = '15']",
+    "delete $a//u[. = '1']",
+    "delete $a//b",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Differential fuzz over rename→qualify sequences: served views
+    /// must match full recompute after every write, whatever mix of
+    /// retention and recomputation the relevance test picks.
+    #[test]
+    fn rename_then_qualify_sequences_never_diverge(
+        picks in prop::collection::vec(0..RENAME_POOL.len(), 1..6),
+    ) {
+        const XML: &str = concat!(
+            "<r><z><a><w><t>1</t><s>5</s></w></a></z>",
+            "<z><a><w><t>9</t></w></a></z><y><s>3</s><v>7</v></y></r>"
+        );
+        const VIEW: &str =
+            r#"transform copy $a := doc("db") modify do delete $a//s return $a"#;
+        let server = Server::builder().threads(1).shards(1).build();
+        server.load_doc_str("db", XML).unwrap();
+        server.register_view("nos", VIEW).unwrap();
+        let mut reference = Document::parse(XML).unwrap();
+        for (round, &i) in picks.iter().enumerate() {
+            // (Re-)warm the entry so every write maintains a fresh one.
+            let served = server
+                .handle(&Request::View { view: "nos".into(), doc: "db".into() })
+                .unwrap()
+                .body;
+            prop_assert_eq!(&served, &recompute_view(&reference, &[VIEW]));
+            let text = format!(
+                r#"transform copy $a := doc("db") modify do {} return $a"#,
+                RENAME_POOL[i]
+            );
+            server.update_doc("db", &text).unwrap();
+            apply_to_reference(&mut reference, &text);
+            let served = server
+                .handle(&Request::View { view: "nos".into(), doc: "db".into() })
+                .unwrap()
+                .body;
+            prop_assert_eq!(
+                &served,
+                &recompute_view(&reference, &[VIEW]),
+                "diverged at round {} after {}",
+                round,
+                RENAME_POOL[i]
+            );
+        }
+    }
 }
 
 #[test]
