@@ -179,5 +179,60 @@ fn sharded_batch(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, fixed, served, batched, sharded_batch);
+/// Mixed read/write: one `UPDATE` to a hot document followed by view
+/// reads of three same-store-shard neighbours per iteration. With the
+/// result cache keyed by per-document versions the neighbour reads are
+/// all cache hits (asserted after the group) — the row measures the
+/// cost of a write *plus* three hits, and regresses loudly if neighbour
+/// reads ever fall back to re-materialization.
+fn mixed_read_write(c: &mut Criterion) {
+    // Setup shared with bench_smoke's CI-gated `serve_mixed` row — the
+    // trend benchmark and the smoke check measure the same workload.
+    let w = xust_bench::mixed_workload(FACTOR / 2.0);
+    let server = &w.server;
+    let mut g = c.benchmark_group("serve_mixed");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(900));
+    let hits_before = server.stats().result_hits;
+    let misses_before = server.stats().result_misses;
+    let mut flip = false;
+    g.bench_function("hot_writer_neighbours", |b| {
+        b.iter(|| {
+            flip = !flip;
+            server
+                .update_doc("hot", if flip { w.insert } else { w.delete })
+                .expect("writes");
+            w.neighbours
+                .iter()
+                .map(|n| {
+                    server
+                        .handle(&Request::View {
+                            view: "nopeople".into(),
+                            doc: (*n).into(),
+                        })
+                        .expect("serves")
+                        .body
+                        .len()
+                })
+                .sum::<usize>()
+        })
+    });
+    g.finish();
+    let snap = server.stats();
+    assert_eq!(
+        snap.result_misses, misses_before,
+        "a hot writer must cause zero neighbour misses: {snap}"
+    );
+    assert!(snap.result_hits > hits_before);
+}
+
+criterion_group!(
+    benches,
+    fixed,
+    served,
+    batched,
+    sharded_batch,
+    mixed_read_write
+);
 criterion_main!(benches);

@@ -1,8 +1,9 @@
 //! Quick-mode bench smoke harness: runs the label-matching race
-//! (interned `Sym` vs `String` compare in the NFA hot loop) and a
-//! served-throughput sample, prints a table, and optionally records the
-//! numbers as a `BENCH_*.json` baseline so future PRs have a perf
-//! trajectory to compare against.
+//! (interned `Sym` vs `String` compare in the NFA hot loop), a
+//! served-throughput sample, and a mixed read/write workload (hot
+//! writer + same-shard neighbour reads), prints a table, and optionally
+//! records the numbers as a `BENCH_*.json` baseline so future PRs have
+//! a perf trajectory to compare against.
 //!
 //! ```text
 //! cargo run -p xust-bench --release --bin bench_smoke            # print
@@ -10,16 +11,21 @@
 //! cargo run -p xust-bench --release --bin bench_smoke -- --out BENCH_baseline.json
 //! ```
 //!
-//! `--check` additionally exits non-zero if any workload row's speedup
+//! `--check` additionally exits non-zero if any label row's speedup
 //! falls below [`CHECK_MARGIN`] — a regression tripwire, not a race to
 //! the last nanosecond: full runs show ~1.5x, and the margin absorbs
-//! shared-runner scheduling noise so CI does not flake on timing.
+//! shared-runner scheduling noise so CI does not flake on timing — or
+//! if the mixed workload's neighbour hit rate falls below
+//! [`NEIGHBOUR_HIT_MARGIN`]. The hit rate is deterministic (counter
+//! arithmetic, not timing): with the result cache keyed by per-document
+//! versions a hot writer causes *zero* neighbour misses, so anything
+//! under the margin is a real re-keying regression, not jitter.
 
 use std::time::Instant;
 
 use xust_automata::SelectingNfa;
 use xust_bench::strbaseline::{drive_interned, drive_string, LabelStream, StringSelectingNfa};
-use xust_bench::{u_name, xmark_doc, WORKLOAD};
+use xust_bench::{mixed_workload, u_name, xmark_doc, WORKLOAD};
 use xust_serve::{Request, Server};
 use xust_xpath::parse_path;
 
@@ -36,11 +42,25 @@ struct ServeRow {
     requests_per_sec: f64,
 }
 
+struct MixedRow {
+    workload: String,
+    requests_per_sec: f64,
+    neighbour_hit_rate: f64,
+}
+
 /// Minimum interned-vs-string speedup `--check` accepts per row. Kept
 /// below 1.0 so a noisy-neighbour transient on a shared CI runner
 /// cannot fail an unrelated PR, while a real regression (interned path
 /// meaningfully slower than the string baseline) still trips.
 const CHECK_MARGIN: f64 = 0.9;
+
+/// Minimum neighbour result-cache hit rate `--check` accepts for the
+/// mixed read/write workload. Per-document version keying makes the
+/// true value exactly 1.0 (a hot writer moves neither a neighbour's
+/// version nor its cache shard); under the old shard-epoch keying it
+/// was ~0 (every write un-keyed every same-shard neighbour). The
+/// margin only forgives counter noise, never a keying regression.
+const NEIGHBOUR_HIT_MARGIN: f64 = 0.99;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -137,8 +157,28 @@ fn main() {
         });
     }
 
+    // ---- mixed read/write: hot writer vs same-shard neighbours ----
+    // One store shard, so every document is the hot writer's neighbour
+    // — the layout that used to collapse neighbour hit rates under
+    // shard-epoch keying (see ROADMAP history / DESIGN "Update path").
+    let mixed_rows = run_mixed_workload(factor, if quick { 6 } else { 20 });
+    println!("\n## serve_mixed (hot-writer updates interleaved with neighbour view reads)");
+    for r in &mixed_rows {
+        println!(
+            "{:<22} {:>10.1} req/s  neighbour_hit_rate={:.3}",
+            r.workload, r.requests_per_sec, r.neighbour_hit_rate
+        );
+    }
+
     if let Some(path) = out_path {
-        let json = render_json(factor, stream.len(), quick, &label_rows, &serve_rows);
+        let json = render_json(
+            factor,
+            stream.len(),
+            quick,
+            &label_rows,
+            &serve_rows,
+            &mixed_rows,
+        );
         std::fs::write(&path, json).expect("baseline file written");
         println!("\nbaseline recorded to {path}");
     }
@@ -148,6 +188,7 @@ fn main() {
             .iter()
             .filter(|r| r.speedup < CHECK_MARGIN)
             .collect();
+        let mut failed = false;
         if !slow.is_empty() {
             for r in slow {
                 eprintln!(
@@ -155,10 +196,79 @@ fn main() {
                     r.name, r.speedup, r.interned_ns_per_elem, r.string_ns_per_elem
                 );
             }
+            failed = true;
+        }
+        for r in mixed_rows
+            .iter()
+            .filter(|r| r.neighbour_hit_rate < NEIGHBOUR_HIT_MARGIN)
+        {
+            eprintln!(
+                "FAIL {}: neighbour hit rate {:.3} below margin {NEIGHBOUR_HIT_MARGIN} — \
+                 a hot writer is evicting neighbour entries again",
+                r.workload, r.neighbour_hit_rate
+            );
+            failed = true;
+        }
+        if failed {
             std::process::exit(1);
         }
-        println!("\ncheck passed: every row at or above the {CHECK_MARGIN} speedup margin");
+        println!(
+            "\ncheck passed: label rows at or above the {CHECK_MARGIN} speedup margin, \
+             neighbour hit rate at or above {NEIGHBOUR_HIT_MARGIN}"
+        );
     }
+}
+
+/// Drives the mixed workload: a server with ONE store shard holding a
+/// hot document plus three neighbours, all with a warmed cached view;
+/// each round applies one `UPDATE` to the hot document and reads every
+/// neighbour's view. Reports overall request throughput and the
+/// neighbours' result-cache hit rate across the run.
+fn run_mixed_workload(factor: f64, rounds: usize) -> Vec<MixedRow> {
+    // Setup (server + docs + view + warm-up) is shared with the
+    // criterion `serve_mixed` bench so both measure the same workload.
+    let w = mixed_workload(factor / 2.0);
+    let server = &w.server;
+    let hits_before = server.stats().result_hits;
+    let misses_before = server.stats().result_misses;
+    let mut requests = 0usize;
+    let t = Instant::now();
+    for round in 0..rounds {
+        // Alternating insert/delete keeps the hot document the same
+        // size across rounds, so every round measures the same work.
+        let update = if round % 2 == 0 { w.insert } else { w.delete };
+        server.update_doc("hot", update).expect("hot write applies");
+        requests += 1;
+        for n in w.neighbours {
+            let req = Request::View {
+                view: "nopeople".into(),
+                doc: n.into(),
+            };
+            std::hint::black_box(
+                server
+                    .handle(&req)
+                    .expect("neighbour view serves")
+                    .body
+                    .len(),
+            );
+            requests += 1;
+        }
+    }
+    let elapsed = t.elapsed().as_secs_f64();
+    let stats = server.stats();
+    let neighbour_reads = (rounds * w.neighbours.len()) as f64;
+    let hits = (stats.result_hits - hits_before) as f64;
+    let misses = (stats.result_misses - misses_before) as f64;
+    assert_eq!(
+        hits + misses,
+        neighbour_reads,
+        "every neighbour read consults the result cache exactly once"
+    );
+    vec![MixedRow {
+        workload: "hot_writer_neighbours".into(),
+        requests_per_sec: requests as f64 / elapsed,
+        neighbour_hit_rate: hits / neighbour_reads,
+    }]
 }
 
 /// Hand-rolled JSON (the workspace is offline — no serde).
@@ -168,6 +278,7 @@ fn render_json(
     quick: bool,
     labels: &[LabelRow],
     serve: &[ServeRow],
+    mixed: &[MixedRow],
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -195,6 +306,17 @@ fn render_json(
             r.name,
             r.requests_per_sec,
             if i + 1 < serve.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"serve_mixed\": [\n");
+    for (i, r) in mixed.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"requests_per_sec\": {:.1}, \"neighbour_hit_rate\": {:.3}}}{}\n",
+            r.workload,
+            r.requests_per_sec,
+            r.neighbour_hit_rate,
+            if i + 1 < mixed.len() { "," } else { "" }
         ));
     }
     s.push_str("  ]\n}\n");

@@ -148,6 +148,56 @@ pub fn xmark_doc(factor: f64) -> Document {
     generate(XmarkConfig::new(factor))
 }
 
+/// The mixed read/write ("hot writer + same-shard neighbours") workload
+/// shared by `bench_smoke`'s CI-gated `serve_mixed` row and the
+/// criterion `serve_mixed` bench — one definition so the smoke check
+/// and the trend benchmark always measure the same workload.
+pub struct MixedWorkload {
+    /// One store shard, so every document is the hot writer's
+    /// neighbour; `hot` plus [`MixedWorkload::neighbours`] loaded, the
+    /// `nopeople` view registered, and every `(view, doc)` result
+    /// warmed into the cache.
+    pub server: xust_serve::Server,
+    /// The neighbour document names.
+    pub neighbours: [&'static str; 3],
+    /// Write applied to `hot` on even rounds…
+    pub insert: &'static str,
+    /// …and its inverse for odd rounds, so the document (and the work
+    /// per round) stays the same size across the run.
+    pub delete: &'static str,
+}
+
+/// Builds [`MixedWorkload`]: server + documents + view, fully warmed.
+pub fn mixed_workload(factor: f64) -> MixedWorkload {
+    use xust_serve::{Request, Server};
+    let server = Server::builder().threads(4).shards(1).build();
+    server.load_doc("hot", xmark_doc(factor));
+    let neighbours = ["calm0", "calm1", "calm2"];
+    for n in neighbours {
+        server.load_doc(n, xmark_doc(factor));
+    }
+    server
+        .register_view(
+            "nopeople",
+            r#"transform copy $a := doc("xmark") modify do delete $a/site/people return $a"#,
+        )
+        .expect("view registers");
+    for doc in std::iter::once("hot").chain(neighbours) {
+        server
+            .handle(&Request::View {
+                view: "nopeople".into(),
+                doc: doc.into(),
+            })
+            .expect("warm-up view serves");
+    }
+    MixedWorkload {
+        server,
+        neighbours,
+        insert: r#"transform copy $a := doc("hot") modify do insert <xust-mark><t>w</t></xust-mark> into $a/site return $a"#,
+        delete: r#"transform copy $a := doc("hot") modify do delete $a//xust-mark return $a"#,
+    }
+}
+
 /// Generates (or reuses) an XMark file on disk; returns its path and size
 /// in bytes. Files are cached under the target directory keyed by factor.
 pub fn xmark_file(factor: f64) -> (PathBuf, u64) {

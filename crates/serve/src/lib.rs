@@ -95,7 +95,7 @@ pub use planner::{AdaptivePlanner, DocShape, PlannerConfig};
 pub use registry::{ViewBody, ViewDef, ViewRegistry};
 pub use server::{DocSource, Request, Response, Server, ServerBuilder, StreamingSession};
 pub use stats::{DeltaCell, EwmaCell, ServeStats, StatsSnapshot};
-pub use store::{DocStore, StoreSnapshot, StoreUpdateError};
+pub use store::{DocStore, StoreSnapshot, StoreUpdateError, VersionedDoc, WriteStamp};
 pub use viewcache::{MaintainOutcome, ViewResultCache};
 
 // Re-exported so callers can speak the planner's vocabulary without

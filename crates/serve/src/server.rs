@@ -43,7 +43,7 @@ use crate::executor::ThreadPool;
 use crate::planner::{AdaptivePlanner, DocShape, PlannerConfig};
 use crate::registry::{ViewBody, ViewDef, ViewRegistry};
 use crate::stats::{ServeStats, StatsSnapshot};
-use crate::store::{DocStore, StoreSnapshot, StoreUpdateError};
+use crate::store::{DocStore, StoreSnapshot, StoreUpdateError, WriteStamp};
 use crate::viewcache::ViewResultCache;
 
 /// Where a named document lives.
@@ -73,27 +73,34 @@ impl DocView<'_> {
         .ok_or_else(|| ServeError::UnknownDoc(name.to_string()))
     }
 
-    /// The epoch a result computed from this view belongs to. Read
-    /// *before* resolving the document; pair with
-    /// [`DocView::still_at`] before caching what was computed.
-    fn epoch_of(&self, name: &str) -> u64 {
+    /// Resolves `name` together with the version of its content — read
+    /// atomically (one shard read lock on the Live path; lock-free on a
+    /// snapshot), so the returned source provably *is* the returned
+    /// version. Pair with [`DocView::still_at`] before caching a result
+    /// computed from the source.
+    fn get_versioned(&self, name: &str) -> Result<(DocSource, u64), ServeError> {
         match self {
-            DocView::Live(store) => store.epoch_of(name),
-            DocView::Pinned(snap) => snap.epoch_of(name),
+            DocView::Live(store) => store.get_versioned(name).map(|d| (d.source, d.version)),
+            DocView::Pinned(snap) => snap
+                .get_versioned(name)
+                .map(|d| (d.source.clone(), d.version)),
         }
+        .ok_or_else(|| ServeError::UnknownDoc(name.to_string()))
     }
 
-    /// True when a result computed after [`DocView::epoch_of`] returned
-    /// `epoch` is still *of* that epoch — the guard that keeps a racing
+    /// True when a result computed from the source
+    /// [`DocView::get_versioned`] returned at `version` still describes
+    /// the document's current content — the guard that keeps a racing
     /// write from smuggling post-write content into the result cache
-    /// under the pre-write tag (which a batch pinned to the old epoch
-    /// would then wrongly hit). On the Live path the document is
-    /// re-resolved after the epoch read, so the epoch must be
-    /// re-checked; a snapshot is immutable, so its reads are always
-    /// self-consistent.
-    fn still_at(&self, name: &str, epoch: u64) -> bool {
+    /// under the pre-write tag (which a batch pinned to the old version
+    /// would then wrongly hit). On the Live path time has passed since
+    /// the versioned read, so the version must be re-checked; a snapshot
+    /// is immutable, so its reads are always self-consistent (the
+    /// result-cache insert guard keeps its possibly-old entry from ever
+    /// downgrading a newer resident one).
+    fn still_at(&self, name: &str, version: u64) -> bool {
         match self {
-            DocView::Live(store) => store.epoch_of(name) == epoch,
+            DocView::Live(store) => store.version_of(name) == Some(version),
             DocView::Pinned(_) => true,
         }
     }
@@ -260,22 +267,33 @@ impl Server {
 
     /// Loads (or replaces) an in-memory document. Copy-on-write into a
     /// fresh shard epoch: in-flight requests holding snapshots keep
-    /// reading the old version. A reload is an unbounded delta, so any
-    /// cached view results for this document are dropped (contrast
-    /// [`Server::update_doc`], which maintains them).
-    pub fn load_doc(&self, name: impl Into<String>, doc: Document) {
+    /// reading the old version. A reload is an unbounded delta, so
+    /// exactly this document's view-result cache shard is dropped —
+    /// entries of every other document are untouched (contrast
+    /// [`Server::update_doc`], which maintains them). A reload also
+    /// bumps the document's version, so an entry for the dead lineage
+    /// that slips in late can never be served. Returns the install's
+    /// [`WriteStamp`] — the version reported there is exactly the one
+    /// this content was installed at (re-reading it later races other
+    /// writers).
+    pub fn load_doc(&self, name: impl Into<String>, doc: Document) -> WriteStamp {
         let name = name.into();
-        self.inner
+        let stamp = self
+            .inner
             .docs
             .insert(name.clone(), DocSource::Memory(Arc::new(doc)));
         self.inner.results.purge_doc(&name);
+        stamp
     }
 
     /// Parses and loads a document from XML text.
-    pub fn load_doc_str(&self, name: impl Into<String>, xml: &str) -> Result<(), ServeError> {
+    pub fn load_doc_str(
+        &self,
+        name: impl Into<String>,
+        xml: &str,
+    ) -> Result<WriteStamp, ServeError> {
         let doc = Document::parse(xml).map_err(|e| ServeError::Parse(e.to_string()))?;
-        self.load_doc(name, doc);
-        Ok(())
+        Ok(self.load_doc(name, doc))
     }
 
     /// Registers a file-backed document, served via the streaming path.
@@ -283,23 +301,30 @@ impl Server {
         &self,
         name: impl Into<String>,
         path: impl Into<PathBuf>,
-    ) -> Result<(), ServeError> {
+    ) -> Result<WriteStamp, ServeError> {
         let path = path.into();
         if !path.is_file() {
             return Err(ServeError::Io(format!("{}: not a file", path.display())));
         }
         let name = name.into();
-        self.inner.docs.insert(name.clone(), DocSource::File(path));
+        let stamp = self.inner.docs.insert(name.clone(), DocSource::File(path));
         self.inner.results.purge_doc(&name);
-        Ok(())
+        Ok(stamp)
     }
 
     /// Unloads a document; true if it existed. Snapshots taken before
-    /// the removal keep serving it until they drop.
+    /// the removal keep serving it until they drop. The document's
+    /// view-result cache shard is dropped with it, and its version is
+    /// retired — a re-created document under the same name draws a
+    /// strictly larger version, so entries for the dead lineage can
+    /// never hit again.
     pub fn remove_doc(&self, name: &str) -> bool {
         let removed = self.inner.docs.remove(name);
         if removed {
             self.inner.results.purge_doc(name);
+            // The per-doc stats row goes with the document (a server
+            // with name churn must not accumulate rows forever).
+            self.inner.stats.forget_doc(name);
         }
         removed
     }
@@ -349,6 +374,19 @@ impl Server {
         let def = self.inner.registry.register_policy(policy)?;
         self.inner.results.purge_view(&def.name);
         Ok(())
+    }
+
+    /// Unregisters a view; true if it existed. Cached results computed
+    /// under the definition are purged with it (across every document's
+    /// cache shard) — a later re-registration starts from a clean slate
+    /// *and* a fresh generation, so a straggling insert of the old
+    /// definition's result can never be served.
+    pub fn remove_view(&self, name: &str) -> bool {
+        let removed = self.inner.registry.remove(name);
+        if removed {
+            self.inner.results.purge_view(name);
+        }
+        removed
     }
 
     /// Registered view names, sorted.
@@ -540,10 +578,10 @@ impl Server {
             value_alphabet_into(path, &mut update_vals);
         }
         let results = &self.inner.results;
-        let (epoch, (outcome, targets)) = self
+        let (stamp, (outcome, targets)) = self
             .inner
             .docs
-            .update(doc, |next_epoch, source| {
+            .update(doc, |stamp: WriteStamp, source| {
                 let DocSource::Memory(old) = source else {
                     return Err(ServeError::Unsupported(format!(
                         "UPDATE needs an in-memory document; '{doc}' is file-backed \
@@ -571,10 +609,14 @@ impl Server {
                 }
                 // Maintenance runs while the shard write lock is held,
                 // so it is ordered exactly like the install it mirrors
-                // (two racing updates cannot maintain out of order).
+                // (two racing updates cannot maintain out of order). It
+                // sweeps only this document's cache shard: entries —
+                // and result reads — of every other document, same
+                // store shard or not, proceed untouched.
                 let outcome = results.maintain(
                     doc,
-                    next_epoch,
+                    stamp.prev_version,
+                    stamp.version,
                     &update_alpha,
                     &update_vals,
                     &delta,
@@ -585,6 +627,17 @@ impl Server {
                             apply_update(cached, &matched, op);
                         }
                     },
+                );
+                // The per-doc row is recorded here, still under the
+                // shard write lock, so it is ordered against a racing
+                // `remove_doc` (which takes the same lock to remove the
+                // doc and only then forgets the row): a write's row can
+                // never be re-created *after* the removal's cleanup —
+                // once the doc is gone, updates stop at NotFound.
+                stats.record_doc_delta(
+                    doc,
+                    outcome.retained.len() as u64,
+                    outcome.recomputed.len() as u64,
                 );
                 Ok((DocSource::Memory(Arc::new(next)), (outcome, targets_total)))
             })
@@ -599,18 +652,13 @@ impl Server {
         for v in &outcome.recomputed {
             stats.record_view_delta(v, false);
         }
-        // Stale drops (entries already behind because a same-shard
-        // neighbour was written) never faced the relevance test — they
-        // are counted on their own, not as recomputes.
-        stats
-            .delta_stale
-            .fetch_add(outcome.stale.len() as u64, Relaxed);
         Ok(Response {
             body: format!(
-                "updated {doc} epoch={epoch} targets={targets} retained={} recomputed={} stale={}",
+                "updated {doc} epoch={} version={} targets={targets} retained={} recomputed={}",
+                stamp.epoch,
+                stamp.version,
                 outcome.retained.len(),
-                outcome.recomputed.len(),
-                outcome.stale.len()
+                outcome.recomputed.len()
             ),
             method: None,
             micros: 0,
@@ -723,22 +771,22 @@ impl Server {
             .registry
             .get(view)
             .ok_or_else(|| ServeError::UnknownView(view.to_string()))?;
-        // Epoch before source; re-checked via `still_at` before the
-        // computed result is cached (a write racing in between would
-        // otherwise tag post-write content with the pre-write epoch,
-        // which a batch pinned to the old epoch would wrongly hit).
-        let epoch = docs.epoch_of(doc);
-        let source = docs.get(doc)?;
+        // Source and version are read atomically; the version is
+        // re-checked via `still_at` before the computed result is
+        // cached (a write racing in between would otherwise tag
+        // post-write content with the pre-write version, which a batch
+        // pinned to the old version would wrongly hit).
+        let (source, version) = docs.get_versioned(doc)?;
 
         // In-memory chain views are answered from the maintained
-        // view-result cache when the entry matches this epoch (and this
-        // view definition's generation) exactly.
+        // view-result cache when the entry matches this document
+        // version (and this view definition's generation) exactly.
         let cacheable =
             matches!(&source, DocSource::Memory(_)) && matches!(&def.body, ViewBody::Chain(_));
         if cacheable {
             // Hit/miss accounting lives in the cache itself (surfaced
             // through `Server::stats`).
-            if let Some(body) = self.inner.results.get(view, doc, epoch, def.generation) {
+            if let Some(body) = self.inner.results.get(view, doc, version, def.generation) {
                 return Ok(Response {
                     // The owned copy the response needs is made here,
                     // outside the cache mutex — a hit only bumps a
@@ -775,17 +823,17 @@ impl Server {
         let mut touched = cacheable.then(TouchedLabels::new);
         let (out, method) = self.materialize(&def, &base, touched.as_mut())?;
         let body = out.serialize();
-        // Cache only if no write landed since the epoch was read: the
-        // epoch re-check makes tag and content provably consistent (a
+        // Cache only if no write landed since the versioned read: the
+        // version re-check makes tag and content provably consistent (a
         // write between the check and the insert is fine — its
-        // maintenance sweep drops not-fresh entries, and `insert` never
-        // downgrades a newer resident entry).
+        // maintenance sweep drops entries not at its pre-write version,
+        // and `insert` never downgrades a newer resident entry).
         if let Some(touched) = touched {
-            if docs.still_at(doc, epoch) {
+            if docs.still_at(doc, version) {
                 self.inner.results.insert(
                     view,
                     doc,
-                    epoch,
+                    version,
                     def.generation,
                     out,
                     body.clone(),

@@ -116,11 +116,6 @@ pub struct ServeStats {
     /// View-result cache entries invalidated by a write (recomputed
     /// lazily on next request).
     pub delta_recomputed: AtomicU64,
-    /// View-result cache entries dropped because they were already more
-    /// than one epoch behind when a write arrived (a same-shard
-    /// neighbour was written in between) — never relevance-tested, so
-    /// counted apart from retained/recomputed.
-    pub delta_stale: AtomicU64,
     per_method: [AtomicU64; N_METHODS],
     /// Total busy time across requests, in microseconds.
     pub busy_micros: AtomicU64,
@@ -130,6 +125,14 @@ pub struct ServeStats {
     view_latency: RwLock<HashMap<String, Arc<EwmaCell>>>,
     /// Per-view delta-maintenance outcomes: `(retained, recomputed)`.
     view_delta: RwLock<HashMap<String, Arc<DeltaCell>>>,
+    /// Per-document delta-maintenance outcomes: `(retained,
+    /// recomputed)` for writes *to that document*. With the result
+    /// cache keyed by per-document versions, a document's counters move
+    /// only when it is written — a hot writer shows up here alone, and
+    /// its shard neighbours' rows staying at zero is the observable
+    /// proof that neighbour invalidation is gone (there is no `stale`
+    /// counter any more because there is no stale path).
+    doc_delta: RwLock<HashMap<String, Arc<DeltaCell>>>,
 }
 
 /// Per-view delta-maintenance counters.
@@ -144,23 +147,24 @@ pub struct DeltaCell {
 /// New-sample weight for the per-view latency EWMA.
 const VIEW_EWMA_WEIGHT: f32 = 0.25;
 
+/// The shared get-or-create for the keyed counter maps: a read-lock
+/// lookup on the hot path, falling back to a write-lock insert the
+/// first time a key reports. Every keyed map in [`ServeStats`] goes
+/// through here so the locking discipline lives in one place.
+fn cell_of<T: Default>(map: &RwLock<HashMap<String, Arc<T>>>, key: &str) -> Arc<T> {
+    if let Some(cell) = map.read().expect("stats lock poisoned").get(key) {
+        return Arc::clone(cell);
+    }
+    let mut map = map.write().expect("stats lock poisoned");
+    Arc::clone(map.entry(key.to_string()).or_default())
+}
+
 impl ServeStats {
     /// Folds one observed service latency for `view` into its EWMA.
     /// Safe (and lossless) to call from any number of executor workers
     /// at once — the merge is a single CAS loop per sample.
     pub fn record_view_latency(&self, view: &str, micros: f64) {
-        let cell = {
-            let map = self.view_latency.read().expect("stats lock poisoned");
-            map.get(view).cloned()
-        };
-        let cell = match cell {
-            Some(c) => c,
-            None => {
-                let mut map = self.view_latency.write().expect("stats lock poisoned");
-                Arc::clone(map.entry(view.to_string()).or_default())
-            }
-        };
-        cell.record(micros as f32, VIEW_EWMA_WEIGHT);
+        cell_of(&self.view_latency, view).record(micros as f32, VIEW_EWMA_WEIGHT);
     }
 
     /// The latency EWMA for `view`: `(samples, micros)`, if sampled.
@@ -181,17 +185,7 @@ impl ServeStats {
         } else {
             self.delta_recomputed.fetch_add(1, Ordering::Relaxed);
         }
-        let cell = {
-            let map = self.view_delta.read().expect("stats lock poisoned");
-            map.get(view).cloned()
-        };
-        let cell = match cell {
-            Some(c) => c,
-            None => {
-                let mut map = self.view_delta.write().expect("stats lock poisoned");
-                Arc::clone(map.entry(view.to_string()).or_default())
-            }
-        };
+        let cell = cell_of(&self.view_delta, view);
         if retained {
             cell.retained.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -213,6 +207,45 @@ impl ServeStats {
                 )
             })
     }
+
+    /// Records one write's maintenance outcome for the *written*
+    /// document: how many of its cached entries were retained and how
+    /// many dropped for recomputation. Called once per write (even when
+    /// both counts are zero — the row proves the write was examined).
+    pub fn record_doc_delta(&self, doc: &str, retained: u64, recomputed: u64) {
+        let cell = cell_of(&self.doc_delta, doc);
+        cell.retained.fetch_add(retained, Ordering::Relaxed);
+        cell.recomputed.fetch_add(recomputed, Ordering::Relaxed);
+    }
+
+    /// Drops `doc`'s per-document delta row. Called when the document
+    /// is removed from the store: without this, a server with
+    /// document-name churn (load → write → remove cycles) accumulates
+    /// one permanent row per ever-written name — unbounded memory and
+    /// an ever-growing `STATS` reply. A re-created name starts a fresh
+    /// row (its versions are a new lineage; so are its counters).
+    pub fn forget_doc(&self, doc: &str) {
+        self.doc_delta
+            .write()
+            .expect("stats lock poisoned")
+            .remove(doc);
+    }
+
+    /// The delta counters for writes to `doc`: `(retained,
+    /// recomputed)`, if `doc` was ever written through the update path.
+    pub fn doc_delta(&self, doc: &str) -> Option<(u64, u64)> {
+        self.doc_delta
+            .read()
+            .expect("stats lock poisoned")
+            .get(doc)
+            .map(|c| {
+                (
+                    c.retained.load(Ordering::Relaxed),
+                    c.recomputed.load(Ordering::Relaxed),
+                )
+            })
+    }
+
     /// Records one execution with `method`.
     pub fn count_method(&self, m: Method) {
         self.per_method[method_index(m)].fetch_add(1, Ordering::Relaxed);
@@ -243,7 +276,6 @@ impl ServeStats {
             update_requests: self.update_requests.load(Ordering::Relaxed),
             delta_retained: self.delta_retained.load(Ordering::Relaxed),
             delta_recomputed: self.delta_recomputed.load(Ordering::Relaxed),
-            delta_stale: self.delta_stale.load(Ordering::Relaxed),
             // The result cache is its own source of truth for hit/miss
             // counts; `Server::stats` overlays them (a bare `ServeStats`
             // has no cache attached).
@@ -253,6 +285,21 @@ impl ServeStats {
             per_method: Method::ALL.map(|m| (m, self.method_count(m))),
             view_delta: {
                 let map = self.view_delta.read().expect("stats lock poisoned");
+                let mut v: Vec<(String, u64, u64)> = map
+                    .iter()
+                    .map(|(k, c)| {
+                        (
+                            k.clone(),
+                            c.retained.load(Ordering::Relaxed),
+                            c.recomputed.load(Ordering::Relaxed),
+                        )
+                    })
+                    .collect();
+                v.sort_by(|a, b| a.0.cmp(&b.0));
+                v
+            },
+            doc_delta: {
+                let map = self.doc_delta.read().expect("stats lock poisoned");
                 let mut v: Vec<(String, u64, u64)> = map
                     .iter()
                     .map(|(k, c)| {
@@ -320,9 +367,6 @@ pub struct StatsSnapshot {
     pub delta_retained: u64,
     /// View-result cache entries invalidated by writes.
     pub delta_recomputed: u64,
-    /// View-result cache entries dropped for staleness alone (missed a
-    /// same-shard neighbour's write; never relevance-tested).
-    pub delta_stale: u64,
     /// View-result cache hits (sourced from
     /// [`ViewResultCache`](crate::ViewResultCache) by `Server::stats`).
     pub result_hits: u64,
@@ -336,6 +380,10 @@ pub struct StatsSnapshot {
     pub view_latency: Vec<(String, u32, f32)>,
     /// Per-view delta outcomes: `(view, retained, recomputed)`, sorted.
     pub view_delta: Vec<(String, u64, u64)>,
+    /// Per-document delta outcomes for writes to that document:
+    /// `(doc, retained, recomputed)`, sorted. A document appears here
+    /// iff it was written — neighbour rows never move.
+    pub doc_delta: Vec<(String, u64, u64)>,
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -366,11 +414,10 @@ impl std::fmt::Display for StatsSnapshot {
         )?;
         writeln!(
             f,
-            "updates: accepted={} delta_retained={} delta_recomputed={} delta_stale={} result_hits={} result_misses={}",
+            "updates: accepted={} delta_retained={} delta_recomputed={} result_hits={} result_misses={}",
             self.update_requests,
             self.delta_retained,
             self.delta_recomputed,
-            self.delta_stale,
             self.result_hits,
             self.result_misses
         )?;
@@ -388,6 +435,12 @@ impl std::fmt::Display for StatsSnapshot {
             write!(
                 f,
                 "\nview {view}: delta_retained={retained} delta_recomputed={recomputed}"
+            )?;
+        }
+        for (doc, retained, recomputed) in &self.doc_delta {
+            write!(
+                f,
+                "\ndoc {doc}: delta_retained={retained} delta_recomputed={recomputed}"
             )?;
         }
         Ok(())
@@ -494,6 +547,35 @@ mod tests {
         let text = snap.to_string();
         assert!(text.contains("delta_retained=2"));
         assert!(text.contains("view public: delta_retained=2 delta_recomputed=1"));
+    }
+
+    #[test]
+    fn per_doc_delta_counters_roll_up() {
+        let s = ServeStats::default();
+        assert!(s.doc_delta("hot").is_none());
+        s.record_doc_delta("hot", 3, 1);
+        s.record_doc_delta("hot", 2, 0);
+        s.record_doc_delta("cold", 0, 0);
+        assert_eq!(s.doc_delta("hot"), Some((5, 1)));
+        assert_eq!(s.doc_delta("cold"), Some((0, 0)));
+        assert!(
+            s.doc_delta("neighbour").is_none(),
+            "never-written docs have no row"
+        );
+        let snap = s.snapshot();
+        assert_eq!(
+            snap.doc_delta,
+            vec![("cold".into(), 0, 0), ("hot".into(), 5, 1)]
+        );
+        assert!(snap
+            .to_string()
+            .contains("doc hot: delta_retained=5 delta_recomputed=1"));
+        // Removing a document drops its row; a re-created name starts
+        // a fresh lineage of counters.
+        s.forget_doc("hot");
+        assert!(s.doc_delta("hot").is_none());
+        s.record_doc_delta("hot", 1, 0);
+        assert_eq!(s.doc_delta("hot"), Some((1, 0)));
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! The sharded document store with epoch-based copy-on-write snapshots.
+//! The sharded document store with epoch-based copy-on-write snapshots
+//! and per-document versions.
 //!
 //! Scaling the serve layer to many concurrent clients means the document
 //! map can no longer be one `RwLock<HashMap>`: a single writer loading a
@@ -25,6 +26,25 @@
 //! ([`DocStore::active_snapshots`]) so tests can prove that failed or
 //! abandoned requests — including dropped streaming sessions — release
 //! their snapshots and never poison the store.
+//!
+//! ## Per-document versions
+//!
+//! The shard epoch is the *consistency* token (snapshots, install
+//! ordering) but a poor *identity* token for one document's content: it
+//! advances on any write to the shard, so "epoch changed" does not mean
+//! "this document changed". Every document therefore carries its own
+//! **version** — the epoch installed by the write that last wrote *it*
+//! ([`VersionedDoc`]). A write to a neighbour bumps the shard epoch but
+//! leaves the version alone, so consumers keyed by version (the
+//! view-result cache) are provably unaffected by neighbour writes.
+//!
+//! Version invariant: within a shard, a document's version changes iff
+//! that document is written, versions strictly increase across writes to
+//! the same name, and — because versions are drawn from the
+//! never-restarting epoch counter — a name that is removed and later
+//! re-inserted gets a version strictly greater than any it ever had.
+//! A dead version can never be minted again, so a cache entry keyed to
+//! one can never be wrongly served for a re-created document.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -34,15 +54,40 @@ use xust_intern::Interner;
 
 use crate::server::DocSource;
 
-/// One shard's immutable epoch: a version counter plus the name → source
-/// map as of that version.
+/// A stored document plus the version of its content: the shard epoch
+/// installed by the write that last wrote this document.
+#[derive(Debug, Clone)]
+pub struct VersionedDoc {
+    /// Where the document lives.
+    pub source: DocSource,
+    /// Content version — bumped only by writes to *this* document.
+    pub version: u64,
+}
+
+/// One shard's immutable epoch: a version counter plus the name →
+/// versioned-source map as of that version.
 struct ShardEpoch {
     epoch: u64,
-    docs: HashMap<String, DocSource>,
+    docs: HashMap<String, VersionedDoc>,
 }
 
 struct Shard {
     current: RwLock<Arc<ShardEpoch>>,
+}
+
+/// What one write installed: the shard epoch it created, the written
+/// document's new version, and the version it replaced (0 when the name
+/// was not present before — real versions are never 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteStamp {
+    /// The shard epoch this write installed.
+    pub epoch: u64,
+    /// The written document's new version (== `epoch` by construction;
+    /// kept separate because readers of the *document* must compare
+    /// versions, never epochs).
+    pub version: u64,
+    /// The version this write replaced; 0 for a fresh insert.
+    pub prev_version: u64,
 }
 
 /// The sharded, snapshot-consistent document store. See the module docs.
@@ -90,26 +135,38 @@ impl DocStore {
 
     /// Installs (or replaces) a document: copy-on-write into a fresh
     /// epoch of its shard. Readers holding snapshots are unaffected.
-    /// Returns the shard's new epoch number.
-    pub fn insert(&self, name: impl Into<String>, source: DocSource) -> u64 {
+    pub fn insert(&self, name: impl Into<String>, source: DocSource) -> WriteStamp {
         let name = name.into();
         let shard = &self.shards[self.shard_of(&name)];
         let mut current = shard.current.write().expect("doc store lock poisoned");
+        let prev_version = current.docs.get(&name).map_or(0, |d| d.version);
         let mut docs = current.docs.clone();
-        docs.insert(name, source);
         let epoch = current.epoch + 1;
+        docs.insert(
+            name,
+            VersionedDoc {
+                source,
+                version: epoch,
+            },
+        );
         *current = Arc::new(ShardEpoch { epoch, docs });
-        epoch
+        WriteStamp {
+            epoch,
+            version: epoch,
+            prev_version,
+        }
     }
 
     /// Atomically transforms one document in place: read-modify-write
     /// under the owning shard's write lock, so two concurrent updates to
     /// the same shard can never lose each other's work. `apply` receives
-    /// the epoch the write *will* install plus the current source and
-    /// returns the replacement source (plus any caller payload, e.g.
-    /// cache-maintenance bookkeeping that must be ordered with the
-    /// install). On `Err` nothing is installed: the shard keeps its
-    /// epoch and contents — the write path's all-or-nothing guarantee.
+    /// the [`WriteStamp`] the write *will* install — the new epoch, the
+    /// document's new version, and the version being replaced — plus the
+    /// current source, and returns the replacement source (plus any
+    /// caller payload, e.g. cache-maintenance bookkeeping that must be
+    /// ordered with the install). On `Err` nothing is installed: the
+    /// shard keeps its epoch and contents — the write path's
+    /// all-or-nothing guarantee.
     ///
     /// The shard's readers block for the duration of `apply`; snapshots
     /// and other shards are unaffected. Keep `apply` proportional to the
@@ -117,21 +174,33 @@ impl DocStore {
     pub fn update<T, E>(
         &self,
         name: &str,
-        apply: impl FnOnce(u64, &DocSource) -> Result<(DocSource, T), E>,
-    ) -> Result<(u64, T), StoreUpdateError<E>> {
+        apply: impl FnOnce(WriteStamp, &DocSource) -> Result<(DocSource, T), E>,
+    ) -> Result<(WriteStamp, T), StoreUpdateError<E>> {
         let shard = &self.shards[self.shard_of(name)];
         let mut current = shard.current.write().expect("doc store lock poisoned");
-        let source = current
+        let existing = current
             .docs
             .get(name)
             .ok_or(StoreUpdateError::NotFound)?
             .clone();
         let epoch = current.epoch + 1;
-        let (replacement, payload) = apply(epoch, &source).map_err(StoreUpdateError::Apply)?;
+        let stamp = WriteStamp {
+            epoch,
+            version: epoch,
+            prev_version: existing.version,
+        };
+        let (replacement, payload) =
+            apply(stamp, &existing.source).map_err(StoreUpdateError::Apply)?;
         let mut docs = current.docs.clone();
-        docs.insert(name.to_string(), replacement);
+        docs.insert(
+            name.to_string(),
+            VersionedDoc {
+                source: replacement,
+                version: epoch,
+            },
+        );
         *current = Arc::new(ShardEpoch { epoch, docs });
-        Ok((epoch, payload))
+        Ok((stamp, payload))
     }
 
     /// Current epoch of the shard owning `name` (whether or not the
@@ -144,7 +213,21 @@ impl DocStore {
             .epoch
     }
 
-    /// Removes a document (copy-on-write); true if it existed.
+    /// Current version of `name`, if loaded. Unlike [`DocStore::
+    /// epoch_of`], this changes only when `name` itself is written.
+    pub fn version_of(&self, name: &str) -> Option<u64> {
+        self.shards[self.shard_of(name)]
+            .current
+            .read()
+            .expect("doc store lock poisoned")
+            .docs
+            .get(name)
+            .map(|d| d.version)
+    }
+
+    /// Removes a document (copy-on-write); true if it existed. The
+    /// removed name's version is *retired*, never reused: a later
+    /// re-insert draws a strictly larger version from the epoch counter.
     pub fn remove(&self, name: &str) -> bool {
         let shard = &self.shards[self.shard_of(name)];
         let mut current = shard.current.write().expect("doc store lock poisoned");
@@ -164,6 +247,14 @@ impl DocStore {
     /// requests; use [`DocStore::snapshot`] when several lookups must
     /// observe the same world (batches, streaming sessions).
     pub fn get(&self, name: &str) -> Option<DocSource> {
+        self.get_versioned(name).map(|d| d.source)
+    }
+
+    /// Like [`DocStore::get`], but returns the source *with* the version
+    /// of its content, read atomically under one shard read lock — the
+    /// pair a cache-filling reader needs (content and tag provably
+    /// belong together).
+    pub fn get_versioned(&self, name: &str) -> Option<VersionedDoc> {
         self.shards[self.shard_of(name)]
             .current
             .read()
@@ -248,9 +339,20 @@ impl StoreSnapshot {
 
     /// Resolves `name` in this snapshot (lock-free).
     pub fn get(&self, name: &str) -> Option<&DocSource> {
+        self.get_versioned(name).map(|d| &d.source)
+    }
+
+    /// Resolves `name` with the version of its content, as pinned by
+    /// this snapshot (lock-free).
+    pub fn get_versioned(&self, name: &str) -> Option<&VersionedDoc> {
         self.epochs[shard_index(name, self.epochs.len())]
             .docs
             .get(name)
+    }
+
+    /// The pinned version of `name`, if it exists in this snapshot.
+    pub fn version_of(&self, name: &str) -> Option<u64> {
+        self.get_versioned(name).map(|d| d.version)
     }
 
     /// The pinned epoch of every shard, in shard order.
@@ -333,12 +435,71 @@ mod tests {
         let before = store.epochs();
         let e1 = store.insert("x", mem("<x/>"));
         let e2 = store.insert("x", mem("<x/>"));
-        assert!(e2 > e1);
+        assert!(e2.epoch > e1.epoch);
         let after = store.epochs();
         // Exactly one shard advanced, by exactly two.
         let advanced: Vec<_> = before.iter().zip(&after).filter(|(b, a)| a > b).collect();
         assert_eq!(advanced.len(), 1);
         assert_eq!(*advanced[0].1, advanced[0].0 + 2);
+    }
+
+    #[test]
+    fn versions_bump_only_for_the_written_document() {
+        let store = DocStore::new(1); // one shard: everyone is a neighbour
+        let a = store.insert("a", mem("<a/>"));
+        assert_eq!((a.version, a.prev_version), (1, 0));
+        let b = store.insert("b", mem("<b/>"));
+        assert_eq!((b.version, b.prev_version), (2, 0));
+        // Writing b bumped the shard epoch but not a's version.
+        assert_eq!(store.version_of("a"), Some(1));
+        assert_eq!(store.version_of("b"), Some(2));
+        assert_eq!(store.epoch_of("a"), 2);
+        // A hammered neighbour never moves a's version.
+        for _ in 0..5 {
+            store.insert("b", mem("<b/>"));
+        }
+        assert_eq!(store.version_of("a"), Some(1));
+        assert_eq!(store.epoch_of("a"), 7);
+        // Re-writing a reports the version it replaced.
+        let a2 = store.insert("a", mem("<a2/>"));
+        assert_eq!((a2.version, a2.prev_version), (8, 1));
+        assert!(store.version_of("missing").is_none());
+    }
+
+    #[test]
+    fn removed_names_never_reuse_a_version() {
+        let store = DocStore::new(1);
+        store.insert("a", mem("<a/>"));
+        store.insert("a", mem("<a2/>"));
+        let dead = store.version_of("a").unwrap();
+        assert!(store.remove("a"));
+        assert!(store.version_of("a").is_none());
+        // Re-creating the name draws a strictly larger version: any
+        // cache entry keyed to the dead version can never hit again.
+        let reborn = store.insert("a", mem("<a3/>"));
+        assert!(
+            reborn.version > dead,
+            "reborn version {} must exceed dead version {dead}",
+            reborn.version
+        );
+        assert_eq!(reborn.prev_version, 0, "the old lineage is gone");
+    }
+
+    #[test]
+    fn versioned_reads_are_atomic_with_content() {
+        let store = DocStore::new(2);
+        store.insert("a", mem("<a/>"));
+        let vd = store.get_versioned("a").unwrap();
+        assert_eq!(vd.version, store.version_of("a").unwrap());
+        match vd.source {
+            DocSource::Memory(d) => assert_eq!(d.serialize(), "<a/>"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Snapshots pin versions like they pin content.
+        let snap = store.snapshot();
+        store.insert("a", mem("<a2/>"));
+        assert_eq!(snap.version_of("a"), Some(vd.version));
+        assert_ne!(store.version_of("a"), Some(vd.version));
     }
 
     #[test]
@@ -404,18 +565,21 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert_eq!(store.epochs().iter().sum::<u64>(), 201);
+        assert_eq!(store.version_of("ctr"), Some(201));
     }
 
     #[test]
-    fn failed_update_leaves_epoch_and_contents_alone() {
+    fn failed_update_leaves_epoch_version_and_contents_alone() {
         let store = DocStore::new(4);
         store.insert("a", mem("<a/>"));
         let before = store.epochs();
+        let version_before = store.version_of("a");
         let err = store.update("a", |_, _| Err::<(DocSource, ()), _>("boom"));
         assert_eq!(err.unwrap_err(), StoreUpdateError::Apply("boom"));
         let missing = store.update("nope", |_, _| Ok::<_, ()>((mem("<x/>"), ())));
         assert!(matches!(missing.unwrap_err(), StoreUpdateError::NotFound));
         assert_eq!(store.epochs(), before, "failed writes must not bump epochs");
+        assert_eq!(store.version_of("a"), version_before);
         match store.get("a").unwrap() {
             DocSource::Memory(d) => assert_eq!(d.serialize(), "<a/>"),
             other => panic!("unexpected {other:?}"),
@@ -423,19 +587,28 @@ mod tests {
     }
 
     #[test]
-    fn update_reports_the_installed_epoch() {
+    fn update_reports_the_installed_stamp() {
         let store = DocStore::new(1);
         store.insert("a", mem("<a/>"));
         let snap_before = store.snapshot();
-        let (epoch, payload) = store
-            .update("a", |next, _| {
-                Ok::<_, ()>((mem("<a2/>"), format!("installing {next}")))
+        let (stamp, payload) = store
+            .update("a", |stamp, _| {
+                Ok::<_, ()>((mem("<a2/>"), format!("installing {}", stamp.version)))
             })
             .unwrap();
-        assert_eq!(epoch, 2);
+        assert_eq!(
+            stamp,
+            WriteStamp {
+                epoch: 2,
+                version: 2,
+                prev_version: 1
+            }
+        );
         assert_eq!(payload, "installing 2");
         assert_eq!(store.epoch_of("a"), 2);
+        assert_eq!(store.version_of("a"), Some(2));
         assert_eq!(snap_before.epoch_of("a"), 1);
+        assert_eq!(snap_before.version_of("a"), Some(1));
         // The pre-update snapshot still reads the old content.
         match snap_before.get("a") {
             Some(DocSource::Memory(d)) => assert_eq!(d.serialize(), "<a/>"),

@@ -1,14 +1,36 @@
-//! The materialized view-result cache with delta-aware maintenance.
+//! The materialized view-result cache with delta-aware maintenance,
+//! sharded by document.
 //!
 //! [`PreparedCache`](crate::PreparedCache) makes *plans* cheap; this
 //! cache makes *answers* cheap: it maps `(view, doc)` to the
-//! materialized view result, pinned to the shard epoch it was computed
-//! at. A read at the same epoch is a hit; a read at any other epoch is a
-//! miss (and replaces the entry).
+//! materialized view result, keyed by the **document version** it was
+//! computed from (see `store::VersionedDoc`) and the view definition's
+//! registration generation. A read at the same `(generation, version)`
+//! is a hit; anything else is a miss (and replaces the entry).
 //!
-//! The interesting path is the write. When `UPDATE` applies a delta to a
-//! stored document, every entry for that document faces one of two
-//! fates, decided by the relevance test of `xust_core::delta`:
+//! Because the key is the *document's own* version — not the shard
+//! epoch — a write to one document cannot disturb another document's
+//! entries in any way: their versions did not move, so their keys still
+//! match, and (see below) their locks are never taken.
+//!
+//! ## Per-document shards
+//!
+//! The cache is physically split into one shard per document — an
+//! `Arc<Mutex<…>>` entry map created the first time a document's result
+//! is cached and dropped with the document (`purge_doc`). Readers
+//! resolve the shard through a read-mostly outer `RwLock` (briefly, in
+//! shared mode) and then lock only their own document's mutex. The
+//! write path's maintenance sweep — relevance tests plus target
+//! re-evaluation over each retained result — therefore gates result
+//! reads for *the written document only*; requests for every other
+//! document proceed in parallel. Lock order is strictly outer → one
+//! shard mutex; no path ever holds two shard mutexes at once.
+//!
+//! ## The write path
+//!
+//! When `UPDATE` applies a delta to a stored document, every entry for
+//! that document faces one of two fates, decided by the relevance test
+//! of `xust_core::delta`:
 //!
 //! * **retained** — the update provably cannot change what the view's
 //!   automata see, and the view provably cannot have changed what the
@@ -17,30 +39,28 @@
 //!   `update value-labels ∩ view valued-touched = ∅`, with no
 //!   wildcards on either side. The *same* update is then applied to
 //!   the cached result (view and update commute under exactly these
-//!   conditions), and the entry moves to the new epoch without
-//!   recomputation. If the retained update renamed nodes, the entry's
-//!   stored touched-label sets are carried into the new vocabulary via
-//!   [`TouchedLabels::apply_renames`] — they describe *nodes* whose
-//!   names just changed, and later relevance tests must see the
-//!   current names, not the materialization-time ones.
+//!   conditions), and the entry moves to the new document version
+//!   without recomputation. If the retained update renamed nodes, the
+//!   entry's stored touched-label sets are carried into the new
+//!   vocabulary via [`TouchedLabels::apply_renames`] — they describe
+//!   *nodes* whose names just changed, and later relevance tests must
+//!   see the current names, not the materialization-time ones.
 //! * **recomputed** — the test fails (or either side carries a
 //!   wildcard): the entry is dropped and the next request rebuilds it
 //!   lazily.
 //!
-//! Entries that are merely **stale** — more than one epoch behind,
-//! because a *neighbouring* document in the same shard was written —
-//! are dropped without running the relevance test at all (the missed
-//! write's delta is unknown) and reported separately, so the
-//! retained/recomputed counters reflect actual relevance-test outcomes.
-//!
-//! Entries for documents in other shards — or simply other documents —
-//! are never examined, so a write to doc A cannot over-invalidate doc
-//! B's results. Retained and recomputed fates are counted per view in
+//! There is no third, "stale" fate any more: under shard-epoch keying a
+//! neighbour's write silently un-keyed every same-shard entry, and the
+//! sweep had to drop them untested. Per-document versions make that
+//! structurally impossible — a neighbour write moves neither this
+//! document's version nor its shard's lock — and the regression tests
+//! in `tests/update_maintenance.rs` hold the line. Retained and
+//! recomputed fates are counted per view and per document in
 //! [`ServeStats`](crate::ServeStats).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 use xust_core::delta::{RenameMapping, TouchedLabels};
 use xust_core::LabelSet;
@@ -53,7 +73,7 @@ struct Entry {
     doc: Document,
     /// `doc` serialized (what responses ship), shared so a hit hands
     /// out a refcount bump instead of copying the whole body inside
-    /// the cache mutex. `None` after maintenance edited `doc`:
+    /// the shard mutex. `None` after maintenance edited `doc`:
     /// re-serialized lazily on the first hit, so the write path's
     /// critical section stays proportional to the delta, not to the
     /// total size of every retained result.
@@ -68,10 +88,31 @@ struct Entry {
     /// fragments, renames) and valued (ancestor-or-self chains whose
     /// string values shifted) — the update side of the relevance test.
     view_touched: TouchedLabels,
-    /// Shard epoch of the base document this result reflects.
-    epoch: u64,
+    /// Version of the base document this result reflects — bumped only
+    /// by writes to *that* document, never by shard neighbours.
+    version: u64,
     /// LRU clock value of the last hit.
     last_use: u64,
+}
+
+/// One document's slice of the cache: its own entry map behind its own
+/// mutex, shared via `Arc` so readers can resolve it under the outer
+/// read lock and then operate without it.
+#[derive(Default)]
+struct DocCacheShard {
+    state: Mutex<DocShardState>,
+}
+
+#[derive(Default)]
+struct DocShardState {
+    /// `view → entry` for this one document.
+    views: HashMap<String, Entry>,
+    /// Set when `purge_doc` removes the shard from the outer map: an
+    /// inserter racing the purge (it resolved the `Arc` just before)
+    /// must not write into the orphaned map — entries there would be
+    /// unreachable yet counted. It retries through the outer map
+    /// instead, landing in a fresh shard (or nowhere).
+    detached: bool,
 }
 
 /// What [`ViewResultCache::maintain`] did to one document's entries.
@@ -82,94 +123,127 @@ pub struct MaintainOutcome {
     /// Views whose entries failed the relevance test and were dropped
     /// for lazy recomputation.
     pub recomputed: Vec<String>,
-    /// Views whose entries were already more than one epoch behind
-    /// (a same-shard neighbour was written since) — dropped without
-    /// running the relevance test.
-    pub stale: Vec<String>,
 }
 
 /// See the module docs.
 pub struct ViewResultCache {
     capacity: usize,
-    inner: Mutex<Inner>,
+    /// `doc → shard`. Read-mostly: looked up in shared mode on every
+    /// get/insert/maintain; taken exclusively only to create a shard
+    /// for a newly cached document or to drop one with its document.
+    shards: RwLock<HashMap<String, Arc<DocCacheShard>>>,
+    /// Total entries across all shards, kept outside the shard mutexes
+    /// so capacity checks and `len` never walk (or lock) the shards.
+    entries: AtomicUsize,
+    /// Global LRU clock (monotonic; ties are impossible).
+    tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
-#[derive(Default)]
-struct Inner {
-    /// `doc → view → entry`. Nesting (instead of a `(String, String)`
-    /// key) buys two things: `get` on the hot read path looks up with
-    /// borrowed `&str` keys — no per-call allocation under the mutex —
-    /// and the write path's maintenance sweep walks exactly one
-    /// document's entries instead of scanning the whole cache.
-    map: HashMap<String, HashMap<String, Entry>>,
-    /// Total entries across all documents (kept so capacity checks and
-    /// `len` stay O(1)).
-    entries: usize,
-    tick: u64,
-}
-
-impl Inner {
-    /// Removes `doc`'s whole entry map, keeping the entry count true.
-    fn remove_doc(&mut self, doc: &str) -> usize {
-        let dropped = self.map.remove(doc).map_or(0, |m| m.len());
-        self.entries -= dropped;
-        dropped
-    }
-}
-
 impl ViewResultCache {
     /// A cache holding at most `capacity` materialized results
-    /// (`capacity == 0` disables caching entirely).
+    /// (`capacity == 0` disables caching entirely). The capacity is a
+    /// high-water mark, not a hard wall: concurrent inserters can
+    /// overshoot it by at most one entry each while an eviction is in
+    /// flight.
     pub fn new(capacity: usize) -> ViewResultCache {
         ViewResultCache {
             capacity,
-            inner: Mutex::new(Inner::default()),
+            shards: RwLock::new(HashMap::new()),
+            entries: AtomicUsize::new(0),
+            tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
     }
 
-    /// The cached body for `(view, doc)` **at exactly** `epoch`, under
-    /// exactly view-definition `generation`, if any. A counted miss
-    /// means the caller is about to materialize. The first hit after a
-    /// maintenance edit pays the (re-)serialization here — outside the
-    /// store's shard lock.
-    pub fn get(&self, view: &str, doc: &str, epoch: u64, generation: u64) -> Option<Arc<str>> {
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// The shard for `doc`, if one exists.
+    fn shard_of(&self, doc: &str) -> Option<Arc<DocCacheShard>> {
+        self.shards
+            .read()
+            .expect("view cache lock poisoned")
+            .get(doc)
+            .cloned()
+    }
+
+    /// The shard for `doc`, created if absent. Shard creation is rare
+    /// (once per document whose results get cached), so the write-lock
+    /// hold doubles as the reclamation point for **empty** shards:
+    /// without it, a reader racing a `remove_doc` can re-create a shard
+    /// for the just-purged document (its `still_at` check passed before
+    /// the removal landed), and since `purge_doc` never runs again for
+    /// that name, the dead shard would sit in the outer map forever
+    /// under name-churn workloads. Any such entry is unreachable (its
+    /// version is retired) and LRU-evicted at capacity; once its shard
+    /// is empty, the next shard creation sweeps it out. Busy shards are
+    /// skipped (`try_lock`), never waited on.
+    fn shard_for(&self, doc: &str) -> Arc<DocCacheShard> {
+        if let Some(shard) = self.shard_of(doc) {
+            return shard;
+        }
+        let mut shards = self.shards.write().expect("view cache lock poisoned");
+        shards.retain(|_, shard| {
+            let Ok(mut state) = shard.state.try_lock() else {
+                return true; // busy: keep, reclaim another time
+            };
+            if state.views.is_empty() {
+                // Detach so an inserter still holding this Arc retries
+                // through the outer map instead of writing into the
+                // orphaned shard (same protocol as purge_doc).
+                state.detached = true;
+                false
+            } else {
+                true
+            }
+        });
+        Arc::clone(shards.entry(doc.to_string()).or_default())
+    }
+
+    /// The cached body for `(view, doc)` **at exactly** document
+    /// version `version`, under exactly view-definition `generation`,
+    /// if any. A counted miss means the caller is about to materialize.
+    /// The first hit after a maintenance edit pays the
+    /// (re-)serialization here — outside the store's shard lock.
+    pub fn get(&self, view: &str, doc: &str, version: u64, generation: u64) -> Option<Arc<str>> {
         if self.capacity == 0 {
             return None;
         }
-        let mut inner = self.inner.lock().expect("view cache lock poisoned");
-        inner.tick += 1;
-        let tick = inner.tick;
-        match inner.map.get_mut(doc).and_then(|m| m.get_mut(view)) {
-            Some(e) if e.epoch == epoch && e.generation == generation => {
-                e.last_use = tick;
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(
-                    e.body.get_or_insert_with(|| e.doc.serialize().into()),
-                ))
+        let found = self.shard_of(doc).and_then(|shard| {
+            let mut state = shard.state.lock().expect("view cache shard poisoned");
+            match state.views.get_mut(view) {
+                Some(e) if e.version == version && e.generation == generation => {
+                    e.last_use = self.next_tick();
+                    Some(Arc::clone(
+                        e.body.get_or_insert_with(|| e.doc.serialize().into()),
+                    ))
+                }
+                _ => None,
             }
-            _ => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
-        }
+        });
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
     }
 
     /// Installs (or replaces) the result for `(view, doc)` as of
-    /// `epoch` under view-definition `generation`, evicting the
-    /// least-recently-used entry at capacity. A resident entry at a
-    /// *newer* epoch or generation wins over the candidate: a batch
-    /// pinned to an old snapshot must not clobber a maintained,
-    /// up-to-date result with its older one.
+    /// document version `version` under view-definition `generation`,
+    /// evicting the least-recently-used entry cache-wide at capacity.
+    /// A resident entry at a *newer* version or generation wins over
+    /// the candidate: a batch pinned to an old snapshot must not
+    /// clobber a maintained, up-to-date result with its older one.
     #[allow(clippy::too_many_arguments)]
     pub fn insert(
         &self,
         view: &str,
         doc: &str,
-        epoch: u64,
+        version: u64,
         generation: u64,
         result: Document,
         body: String,
@@ -179,77 +253,127 @@ impl ViewResultCache {
         if self.capacity == 0 {
             return;
         }
-        let mut inner = self.inner.lock().expect("view cache lock poisoned");
-        inner.tick += 1;
-        let tick = inner.tick;
-        let Inner { map, entries, .. } = &mut *inner;
-        let resident = map.get(doc).and_then(|m| m.get(view));
-        if let Some(existing) = resident {
-            if existing.epoch > epoch || existing.generation > generation {
-                return;
-            }
-        } else if *entries >= self.capacity {
-            // Evict the least-recently-used entry cache-wide.
-            if let Some((d, v)) = map
-                .iter()
-                .flat_map(|(d, m)| m.iter().map(move |(v, e)| (d, v, e.last_use)))
-                .min_by_key(|&(_, _, last_use)| last_use)
-                .map(|(d, v, _)| (d.clone(), v.clone()))
+        let entry = Entry {
+            doc: result,
+            body: Some(body.into()),
+            generation,
+            view_alphabet,
+            view_touched,
+            version,
+            last_use: self.next_tick(),
+        };
+        // When eviction finds nothing removable (every candidate shard
+        // locked, or counter drift under a concurrent purge), insert
+        // anyway rather than spin — the capacity is a high-water mark,
+        // not a hard wall.
+        let mut force = false;
+        loop {
+            let shard = self.shard_for(doc);
             {
-                let views = map.get_mut(&d).expect("lru doc resides in map");
-                views.remove(&v);
-                *entries -= 1;
-                if views.is_empty() {
-                    map.remove(&d);
+                let mut state = shard.state.lock().expect("view cache shard poisoned");
+                if state.detached {
+                    // Lost a race with purge_doc: this Arc points at an
+                    // orphaned map. Retry through the outer map.
+                    continue;
+                }
+                // Every arm re-runs the residency check — however this
+                // iteration was reached, a newer resident entry
+                // (installed by a racing reader or a maintenance sweep
+                // while the mutex was released) always wins.
+                match state.views.get(view) {
+                    Some(existing)
+                        if existing.version > version || existing.generation > generation =>
+                    {
+                        return;
+                    }
+                    Some(_) => {
+                        // Replacement: entry count unchanged, no
+                        // eviction needed.
+                        state.views.insert(view.to_string(), entry);
+                        return;
+                    }
+                    None if force || self.entries.load(Ordering::Relaxed) < self.capacity => {
+                        state.views.insert(view.to_string(), entry);
+                        self.entries.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                    None => {} // at capacity: fall through to evict
+                }
+            }
+            // Eviction scans other shards' mutexes, so it must run with
+            // this shard's mutex released (lock order: never two shard
+            // mutexes at once).
+            force = !self.evict_lru();
+        }
+    }
+
+    /// Drops the least-recently-used entry cache-wide; false if nothing
+    /// was evictable. Takes one shard mutex at a time, and only via
+    /// `try_lock`: a shard whose mutex is busy — most importantly one
+    /// held across a long maintenance sweep — is *skipped*, never
+    /// waited on, so an at-capacity insert for one document can never
+    /// stall behind another document's write. The LRU choice is
+    /// approximate anyway (the tick races, the entries counter is
+    /// loose); trading a little accuracy for never blocking is the
+    /// point of the per-document sharding.
+    fn evict_lru(&self) -> bool {
+        let shards = self.shards.read().expect("view cache lock poisoned");
+        let mut lru: Option<(&Arc<DocCacheShard>, String, u64)> = None;
+        for shard in shards.values() {
+            let Ok(state) = shard.state.try_lock() else {
+                continue; // busy (or poisoned): skip, don't wait
+            };
+            for (view, e) in &state.views {
+                if lru.as_ref().is_none_or(|(_, _, t)| e.last_use < *t) {
+                    lru = Some((shard, view.clone(), e.last_use));
                 }
             }
         }
-        let replaced = map.entry(doc.to_string()).or_default().insert(
-            view.to_string(),
-            Entry {
-                doc: result,
-                body: Some(body.into()),
-                generation,
-                view_alphabet,
-                view_touched,
-                epoch,
-                last_use: tick,
-            },
-        );
-        if replaced.is_none() {
-            *entries += 1;
+        let Some((shard, view, _)) = lru else {
+            return false;
+        };
+        let Ok(mut state) = shard.state.try_lock() else {
+            return false; // became busy since the scan: give up, overshoot
+        };
+        if state.views.remove(&view).is_some() {
+            self.entries.fetch_sub(1, Ordering::Relaxed);
+            true
+        } else {
+            false // raced with another eviction or a purge
         }
     }
 
     /// The write-path maintenance sweep for `doc`: runs the relevance
     /// test against every entry of this document, applies `apply_delta`
     /// (the same update the store is installing) to retained entries and
-    /// moves them to `new_epoch`, drops the rest. `renames` carries the
-    /// old→new label mapping of every rename the write applied, in
-    /// order: retained entries have it folded into their stored
-    /// touched-label sets so later relevance tests compare against the
-    /// document's *current* vocabulary (the cached tree was just renamed
-    /// along with the base — the footprint must follow). Must be called
-    /// while the store's shard write lock is held so maintenance is
-    /// ordered exactly like the installs it mirrors.
+    /// moves them from document version `prev_version` to `new_version`,
+    /// drops the rest. `renames` carries the old→new label mapping of
+    /// every rename the write applied, in order: retained entries have
+    /// it folded into their stored touched-label sets so later relevance
+    /// tests compare against the document's *current* vocabulary (the
+    /// cached tree was just renamed along with the base — the footprint
+    /// must follow). Must be called while the store's shard write lock
+    /// is held so maintenance is ordered exactly like the installs it
+    /// mirrors.
     ///
-    /// Entries more than one epoch behind are dropped as **stale**
-    /// without a relevance test (a same-shard neighbour's write was
-    /// missed; its delta is unknown) and reported separately from
-    /// `recomputed`.
+    /// Only the written document's shard mutex is taken: result reads
+    /// (and writes) for every other document proceed concurrently with
+    /// the sweep, however long the target re-evaluation over retained
+    /// results runs.
     ///
-    /// Cost note: serialization of retained entries is deferred to their
-    /// next hit, but `apply_delta` still re-evaluates the update's
-    /// targets over each retained result — a write pays O(Σ retained
-    /// result sizes) inside this cache's one mutex (which also gates
-    /// reads for *other* documents). Acceptable while writes are rare
-    /// relative to reads; sharding this lock by document is the known
-    /// follow-up if write rates grow (see ROADMAP).
+    /// An entry whose version is not `prev_version` was computed from
+    /// content this write is not replacing — reachable only through the
+    /// narrow race where a reader inserts a result it computed just
+    /// before a write that found nothing to maintain. It is dropped for
+    /// lazy recomputation like any failed relevance test (neighbour
+    /// writes can no longer cause this; only the written document's own
+    /// history can).
     #[allow(clippy::too_many_arguments)]
     pub fn maintain(
         &self,
         doc: &str,
-        new_epoch: u64,
+        prev_version: u64,
+        new_version: u64,
         update_alphabet: &LabelSet,
         update_values: &LabelSet,
         delta: &LabelSet,
@@ -260,40 +384,32 @@ impl ViewResultCache {
         if self.capacity == 0 {
             return outcome;
         }
-        let mut inner = self.inner.lock().expect("view cache lock poisoned");
-        let Inner { map, entries, .. } = &mut *inner;
-        let Some(views) = map.get_mut(doc) else {
-            return outcome; // other documents are never touched
+        let Some(shard) = self.shard_of(doc) else {
+            return outcome; // nothing cached; other documents never touched
         };
-        views.retain(|view, e| {
-            // `fresh`: computed at exactly the epoch this write replaces
-            // (shard epochs advance on *any* write to the shard, so an
-            // older entry may have missed a neighbour's delta — drop it
-            // without judging it: the relevance test never ran).
-            if e.epoch + 1 != new_epoch {
-                outcome.stale.push(view.clone());
-                *entries -= 1;
-                return false;
-            }
-            // An empty delta means the update matched nothing: the
-            // document is byte-identical, every fresh entry rides along.
-            // Otherwise all three directions of the relevance test must
-            // come back disjoint (wildcards intersect everything
-            // non-empty — see `LabelSet::intersects`): the delta vs
-            // what the view can observe, the update's full selection
-            // alphabet vs what the view structurally changed, and the
-            // update's value-sensitive labels vs the nodes whose string
-            // values the view perturbed.
-            let retain = delta.is_empty()
-                || (!delta.intersects(&e.view_alphabet)
-                    && !update_alphabet.intersects(&e.view_touched.structural)
-                    && !update_values.intersects(&e.view_touched.valued));
+        let mut state = shard.state.lock().expect("view cache shard poisoned");
+        let mut dropped = 0usize;
+        state.views.retain(|view, e| {
+            // All three directions of the relevance test must come back
+            // disjoint (wildcards intersect everything non-empty — see
+            // `LabelSet::intersects`): the delta vs what the view can
+            // observe, the update's full selection alphabet vs what the
+            // view structurally changed, and the update's
+            // value-sensitive labels vs the nodes whose string values
+            // the view perturbed. An empty delta means the update
+            // matched nothing: the document is byte-identical, every
+            // current entry rides along.
+            let retain = e.version == prev_version
+                && (delta.is_empty()
+                    || (!delta.intersects(&e.view_alphabet)
+                        && !update_alphabet.intersects(&e.view_touched.structural)
+                        && !update_values.intersects(&e.view_touched.valued)));
             if retain {
                 if !delta.is_empty() {
                     apply_delta(&mut e.doc);
-                    // Serialization deferred to the next hit: the shard
-                    // write lock is held here, and the sweep must stay
-                    // proportional to the delta.
+                    // Serialization deferred to the next hit: the store's
+                    // shard write lock is held here, and the sweep must
+                    // stay proportional to the delta.
                     e.body = None;
                     // The write just renamed nodes in the cached tree;
                     // rename the stored footprint with them. (For a
@@ -304,44 +420,65 @@ impl ViewResultCache {
                     // the invariant local.)
                     e.view_touched.apply_renames(renames);
                 }
-                e.epoch = new_epoch;
+                e.version = new_version;
                 outcome.retained.push(view.clone());
                 true
             } else {
                 outcome.recomputed.push(view.clone());
-                *entries -= 1;
+                dropped += 1;
                 false
             }
         });
-        if views.is_empty() {
-            map.remove(doc);
-        }
+        self.entries.fetch_sub(dropped, Ordering::Relaxed);
         outcome
     }
 
-    /// Drops every entry for `doc` (a reload/remove is an unbounded
-    /// delta). Returns how many were dropped.
+    /// Drops `doc`'s whole cache shard (a reload/remove is an unbounded
+    /// delta — and a removed document's shard must not outlive it).
+    /// Returns how many entries were dropped. Entries of every other
+    /// document are untouched.
     pub fn purge_doc(&self, doc: &str) -> usize {
-        let mut inner = self.inner.lock().expect("view cache lock poisoned");
-        inner.remove_doc(doc)
+        let shard = {
+            let mut shards = self.shards.write().expect("view cache lock poisoned");
+            shards.remove(doc)
+        };
+        let Some(shard) = shard else {
+            return 0;
+        };
+        let mut state = shard.state.lock().expect("view cache shard poisoned");
+        state.detached = true;
+        let dropped = state.views.len();
+        state.views.clear();
+        self.entries.fetch_sub(dropped, Ordering::Relaxed);
+        dropped
     }
 
-    /// Drops every entry for `view` (re-registering a view changes its
-    /// meaning). Returns how many were dropped.
+    /// Drops every entry for `view` across all documents
+    /// (re-registering a view changes its meaning). Returns how many
+    /// were dropped. Document shards themselves stay — their documents
+    /// are still loaded.
     pub fn purge_view(&self, view: &str) -> usize {
-        let mut inner = self.inner.lock().expect("view cache lock poisoned");
+        let shards: Vec<Arc<DocCacheShard>> = self
+            .shards
+            .read()
+            .expect("view cache lock poisoned")
+            .values()
+            .cloned()
+            .collect();
         let mut dropped = 0;
-        inner.map.retain(|_, views| {
-            dropped += usize::from(views.remove(view).is_some());
-            !views.is_empty()
-        });
-        inner.entries -= dropped;
+        for shard in shards {
+            let mut state = shard.state.lock().expect("view cache shard poisoned");
+            if state.views.remove(view).is_some() {
+                dropped += 1;
+            }
+        }
+        self.entries.fetch_sub(dropped, Ordering::Relaxed);
         dropped
     }
 
     /// Cached entries right now.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("view cache lock poisoned").entries
+        self.entries.load(Ordering::Relaxed)
     }
 
     /// True when nothing is cached.
@@ -349,7 +486,13 @@ impl ViewResultCache {
         self.len() == 0
     }
 
-    /// Epoch-valid hits so far.
+    /// Documents that currently have a cache shard (loaded docs whose
+    /// results have been cached and not purged).
+    pub fn doc_count(&self) -> usize {
+        self.shards.read().expect("view cache lock poisoned").len()
+    }
+
+    /// Version-valid hits so far.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
     }
@@ -376,11 +519,11 @@ mod tests {
         }
     }
 
-    fn entry(cache: &ViewResultCache, view: &str, doc: &str, epoch: u64, alpha: &[&str]) {
+    fn entry(cache: &ViewResultCache, view: &str, doc: &str, version: u64, alpha: &[&str]) {
         cache.insert(
             view,
             doc,
-            epoch,
+            version,
             1,
             Document::parse("<r><keep/></r>").unwrap(),
             "<r><keep/></r>".into(),
@@ -390,13 +533,14 @@ mod tests {
     }
 
     #[test]
-    fn hits_are_epoch_exact() {
+    fn hits_are_version_exact() {
         let c = ViewResultCache::new(8);
         entry(&c, "v", "d", 3, &["x"]);
         assert_eq!(c.get("v", "d", 3, 1).as_deref(), Some("<r><keep/></r>"));
-        assert_eq!(c.get("v", "d", 4, 1), None, "later epoch is a miss");
-        assert_eq!(c.get("v", "d", 2, 1), None, "earlier epoch is a miss");
-        assert_eq!((c.hits(), c.misses()), (1, 2));
+        assert_eq!(c.get("v", "d", 4, 1), None, "later version is a miss");
+        assert_eq!(c.get("v", "d", 2, 1), None, "earlier version is a miss");
+        assert_eq!(c.get("v", "d", 3, 2), None, "other generation is a miss");
+        assert_eq!((c.hits(), c.misses()), (1, 3));
     }
 
     #[test]
@@ -408,6 +552,7 @@ mod tests {
         let mut applied = 0;
         let out = c.maintain(
             "d",
+            1,
             2,
             &labels(&["hot", "new"]),
             &LabelSet::new(),
@@ -423,22 +568,24 @@ mod tests {
         assert_eq!(out.retained, vec!["disjoint".to_string()]);
         assert_eq!(out.recomputed, vec!["overlap".to_string()]);
         assert_eq!(applied, 1, "delta applied only to the retained entry");
-        // The retained entry serves the *maintained* body at the new epoch.
+        // The retained entry serves the *maintained* body at the new
+        // version.
         assert_eq!(
             c.get("disjoint", "d", 2, 1).as_deref(),
             Some("<r><keep/><new/></r>")
         );
         assert_eq!(c.get("overlap", "d", 2, 1), None);
-        // The other document's entry was never examined.
+        // The other document's entry was never examined and still hits
+        // at its own (unmoved) version.
         assert!(c.get("elsewhere", "other", 1, 1).is_some());
     }
 
     #[test]
-    fn maintain_drops_stale_and_wildcard_entries() {
+    fn maintain_drops_wildcard_and_version_mismatched_entries() {
         let c = ViewResultCache::new(8);
-        // Stale: computed two epochs ago — even a disjoint delta cannot
-        // carry it forward (the missed write's delta is unknown).
-        entry(&c, "stale", "d", 1, &["x"]);
+        // Version mismatch: computed from content this write is not
+        // replacing (the racing-reader shape) — dropped untested.
+        entry(&c, "behind", "d", 1, &["x"]);
         // Wildcard view: sensitive to any vocabulary change.
         c.insert(
             "wild",
@@ -456,6 +603,7 @@ mod tests {
         );
         let out = c.maintain(
             "d",
+            2,
             3,
             &labels(&["zzz"]),
             &LabelSet::new(),
@@ -464,10 +612,9 @@ mod tests {
             &mut |_| panic!("nothing should be maintained"),
         );
         assert!(out.retained.is_empty());
-        // The stale entry never faced the relevance test — it is not a
-        // "recomputed" outcome, only the wildcard one is.
-        assert_eq!(out.stale, vec!["stale".to_string()]);
-        assert_eq!(out.recomputed, vec!["wild".to_string()]);
+        let mut recomputed = out.recomputed.clone();
+        recomputed.sort();
+        assert_eq!(recomputed, vec!["behind".to_string(), "wild".to_string()]);
         assert!(c.is_empty());
     }
 
@@ -489,9 +636,10 @@ mod tests {
             TouchedLabels::new(),
         );
         // A no-op write (update matched zero targets): even wildcard
-        // views ride across the epoch bump untouched.
+        // views ride across the version bump untouched.
         let out = c.maintain(
             "d",
+            1,
             2,
             &labels(&["q"]),
             &LabelSet::new(),
@@ -522,6 +670,7 @@ mod tests {
         );
         let out = c.maintain(
             "d",
+            1,
             2,
             &labels(&["p", "inner"]),
             &LabelSet::new(),
@@ -554,6 +703,7 @@ mod tests {
         // Plain path over b: value-insensitive → retained.
         let out = c.maintain(
             "d",
+            1,
             2,
             &sel,
             &LabelSet::new(),
@@ -565,6 +715,7 @@ mod tests {
         // Same write shape, but now the update compares b's value.
         let out = c.maintain(
             "d",
+            2,
             3,
             &sel,
             &labels(&["b"]),
@@ -609,6 +760,7 @@ mod tests {
         ];
         let out = c.maintain(
             "d",
+            1,
             2,
             &labels(&["a", "b", "w", "u"]),
             &LabelSet::new(),
@@ -621,6 +773,7 @@ mod tests {
         // caught by the valued direction under the *new* name.
         let out = c.maintain(
             "d",
+            2,
             3,
             &labels(&["b", "u", "m"]),
             &labels(&["u"]),
@@ -641,10 +794,11 @@ mod tests {
         entry(&c, "v1", "d1", 1, &["x"]);
         entry(&c, "v2", "d1", 1, &["x"]);
         assert!(c.get("v1", "d1", 1, 1).is_some()); // refresh v1
-        entry(&c, "v3", "d2", 1, &["x"]); // evicts v2 (LRU)
+        entry(&c, "v3", "d2", 1, &["x"]); // evicts v2 (LRU, cache-wide)
         assert_eq!(c.len(), 2);
         assert!(c.get("v2", "d1", 1, 1).is_none());
         assert_eq!(c.purge_doc("d1"), 1);
+        assert_eq!(c.purge_doc("d1"), 0, "second purge finds no shard");
         assert_eq!(c.purge_view("v3"), 1);
         assert!(c.is_empty());
         // Capacity 0 disables the cache entirely.
@@ -652,5 +806,151 @@ mod tests {
         entry(&off, "v", "d", 1, &["x"]);
         assert!(off.get("v", "d", 1, 1).is_none());
         assert!(off.is_empty());
+    }
+
+    #[test]
+    fn purge_doc_drops_only_that_documents_shard() {
+        let c = ViewResultCache::new(8);
+        entry(&c, "v", "a", 1, &["x"]);
+        entry(&c, "v", "b", 1, &["x"]);
+        entry(&c, "w", "b", 1, &["x"]);
+        assert_eq!(c.doc_count(), 2);
+        assert_eq!(c.purge_doc("b"), 2);
+        assert_eq!(c.doc_count(), 1);
+        assert_eq!(c.len(), 1);
+        assert!(c.get("v", "a", 1, 1).is_some(), "doc a's entry survives");
+        assert!(c.get("v", "b", 1, 1).is_none());
+    }
+
+    #[test]
+    fn insert_never_downgrades_a_newer_resident() {
+        let c = ViewResultCache::new(8);
+        entry(&c, "v", "d", 5, &["x"]);
+        // An older-version candidate (a batch pinned to an old snapshot)
+        // must lose against the resident entry.
+        c.insert(
+            "v",
+            "d",
+            3,
+            1,
+            Document::parse("<old/>").unwrap(),
+            "<old/>".into(),
+            labels(&["x"]),
+            TouchedLabels::new(),
+        );
+        assert_eq!(c.get("v", "d", 5, 1).as_deref(), Some("<r><keep/></r>"));
+        assert!(c.get("v", "d", 3, 1).is_none());
+    }
+
+    /// Empty shards — a raced removal's leftover, or a live document
+    /// whose entries were all invalidated — are reclaimed the next time
+    /// a shard is created, so the outer map cannot grow without bound
+    /// under document-name churn.
+    #[test]
+    fn empty_shards_are_reclaimed_when_new_ones_are_created() {
+        let c = ViewResultCache::new(8);
+        entry(&c, "v", "d1", 1, &["x"]);
+        // The write invalidates d1's only entry: shard empty, resident.
+        let out = c.maintain(
+            "d1",
+            1,
+            2,
+            &labels(&["x"]),
+            &LabelSet::new(),
+            &labels(&["x"]),
+            &[],
+            &mut |_| {},
+        );
+        assert_eq!(out.recomputed, vec!["v".to_string()]);
+        assert_eq!((c.len(), c.doc_count()), (0, 1), "empty shard lingers");
+        // Creating another document's shard sweeps the empty one out.
+        entry(&c, "v", "d2", 1, &["x"]);
+        assert_eq!((c.len(), c.doc_count()), (1, 1));
+        assert!(c.get("v", "d2", 1, 1).is_some());
+        // A later insert for d1 just re-creates its shard.
+        entry(&c, "v", "d1", 3, &["x"]);
+        assert_eq!((c.len(), c.doc_count()), (2, 2));
+        assert!(c.get("v", "d1", 3, 1).is_some());
+    }
+
+    /// An at-capacity insert whose only eviction candidate sits in a
+    /// shard locked by a maintenance sweep must not block on that
+    /// mutex: eviction skips the busy shard and the insert lands as a
+    /// bounded capacity overshoot instead of stalling behind another
+    /// document's write.
+    #[test]
+    fn at_capacity_insert_skips_swept_shards_instead_of_blocking() {
+        use std::sync::mpsc;
+        let c = Arc::new(ViewResultCache::new(1)); // capacity 1: d1 fills it
+        entry(&c, "v", "d1", 1, &["zzz"]);
+        let (entered_tx, entered_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let sweeper = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || {
+                c.maintain(
+                    "d1",
+                    1,
+                    2,
+                    &labels(&["q"]),
+                    &LabelSet::new(),
+                    &labels(&["q"]),
+                    &[],
+                    &mut |_| {
+                        entered_tx.send(()).unwrap();
+                        release_rx.recv().unwrap(); // hold d1's shard lock
+                    },
+                )
+            })
+        };
+        entered_rx.recv().unwrap(); // sweep is inside d1's shard mutex
+                                    // The only evictable entry lives in the locked shard; this
+                                    // insert must complete anyway (overshooting to 2 entries), not
+                                    // deadlock waiting for the sweep.
+        entry(&c, "w", "d2", 1, &["x"]);
+        assert_eq!(c.len(), 2, "bounded overshoot instead of a stall");
+        assert!(c.get("w", "d2", 1, 1).is_some());
+        release_tx.send(()).unwrap();
+        let out = sweeper.join().unwrap();
+        assert_eq!(out.retained, vec!["v".to_string()]);
+    }
+
+    /// A maintenance sweep holding one document's shard must not block
+    /// reads of another document: doc B's hit proceeds while doc A's
+    /// sweep sits inside `apply_delta`.
+    #[test]
+    fn maintenance_of_one_doc_does_not_gate_reads_of_another() {
+        use std::sync::mpsc;
+        let c = Arc::new(ViewResultCache::new(8));
+        entry(&c, "v", "a", 1, &["zzz"]);
+        entry(&c, "v", "b", 1, &["zzz"]);
+        let (entered_tx, entered_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let sweeper = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || {
+                c.maintain(
+                    "a",
+                    1,
+                    2,
+                    &labels(&["q"]),
+                    &LabelSet::new(),
+                    &labels(&["q"]),
+                    &[],
+                    &mut |_| {
+                        entered_tx.send(()).unwrap();
+                        release_rx.recv().unwrap(); // hold a's shard lock
+                    },
+                )
+            })
+        };
+        entered_rx.recv().unwrap(); // sweep is inside a's shard mutex
+        assert!(
+            c.get("v", "b", 1, 1).is_some(),
+            "doc b's read must not wait for doc a's sweep"
+        );
+        release_tx.send(()).unwrap();
+        let out = sweeper.join().unwrap();
+        assert_eq!(out.retained, vec!["v".to_string()]);
     }
 }

@@ -82,7 +82,10 @@ serve protocol (one request per line, answers framed as `OK <len>`/`ERR <msg>`):
   QUERY <view> <doc> <xquery…>    answer a user query over the virtual view
   TRANSFORM <doc> <transform…>    run an ad-hoc transform (prepared cache + planner)
   UPDATE <doc> <transform…>       apply the embedded update(s) to the stored doc
-                                  (COW epoch bump + delta-aware cache maintenance)
+                                  (COW version bump + delta-aware cache maintenance)
+  LOAD <doc> <path>               load or reload a document from a server-side file
+                                  (purges exactly that doc's cached view results)
+  REMOVE <doc>                    unload a document (and its cached view results)
   STREAM <doc> <transform…>       stream a file-backed doc through a session;
                                   output arrives incrementally as `OUT <len>`
                                   frames followed by `DONE <total>`
@@ -564,6 +567,36 @@ fn serve_connection(
                     .map_err(|e| e.to_string()),
                 None => Err("UPDATE <doc> <transform…>".into()),
             },
+            "LOAD" => match rest.split_once(' ') {
+                // (Re)load from a server-side file. A reload is an
+                // unbounded delta: the server purges exactly this
+                // document's cached view results (neighbours keep
+                // theirs) and retires its old version.
+                Some((doc, path)) => {
+                    let doc = doc.trim();
+                    let path = path.trim();
+                    Document::parse_file(path)
+                        .map_err(|e| format!("{path}: {e}"))
+                        .map(|parsed| {
+                            // The stamp's version is exactly the one this
+                            // content was installed at; re-reading the
+                            // store here would race other writers.
+                            let stamp = server.load_doc(doc, parsed);
+                            format!("loaded {doc} version={}", stamp.version)
+                        })
+                }
+                None => Err("LOAD <doc> <path>".into()),
+            },
+            "REMOVE" => {
+                let doc = rest.trim();
+                if doc.is_empty() {
+                    Err("REMOVE <doc>".into())
+                } else if server.remove_doc(doc) {
+                    Ok(format!("removed {doc}"))
+                } else {
+                    Err(format!("unknown document '{doc}'"))
+                }
+            }
             "STREAM" => match rest.split_once(' ') {
                 Some((doc, query)) => {
                     // Incremental framing: output leaves as it is
@@ -816,7 +849,7 @@ mod tests {
         serve_connection(&server, Cursor::new(input), &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(
-            text.contains("updated db epoch=2 targets=1 retained=1 recomputed=0"),
+            text.contains("updated db epoch=2 version=2 targets=1 retained=1 recomputed=0"),
             "UPDATE report missing: {text}"
         );
         // The post-update view reflects the write and still hides price.
@@ -826,6 +859,51 @@ mod tests {
         assert!(text.contains("delta_retained=1"));
         // The write is durable: the stored doc itself changed.
         assert_eq!(server.store().epochs().iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn load_and_remove_protocol_verbs_purge_exactly_one_doc() {
+        use std::io::Cursor;
+        let dir = std::env::temp_dir();
+        let path = dir.join("xust_cli_load_verb.xml");
+        std::fs::write(&path, "<db><part><k/></part></db>").unwrap();
+        let server = Server::builder().threads(2).shards(1).build();
+        server
+            .load_doc_str("a", "<db><part><price>1</price></part></db>")
+            .unwrap();
+        server
+            .load_doc_str("b", "<db><part><price>2</price></part></db>")
+            .unwrap();
+        server
+            .register_view(
+                "public",
+                r#"transform copy $a := doc("db") modify do delete $a//price return $a"#,
+            )
+            .unwrap();
+        // Warm both docs' cached results, then reload A and remove it;
+        // B's entry must survive both (same store shard — shards=1).
+        let input = concat!(
+            "VIEW public a\n",
+            "VIEW public b\n",
+            "LOAD a ", // path appended below
+        );
+        let input = format!(
+            "{input}{}\nVIEW public a\nVIEW public b\nREMOVE a\nVIEW public a\nREMOVE a\nVIEW public b\nQUIT\n",
+            path.display()
+        );
+        let hits_before = server.stats().result_hits;
+        let mut out = Vec::new();
+        serve_connection(&server, Cursor::new(input.as_str()), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("loaded a version="), "LOAD reply: {text}");
+        // The reload really replaced a's content (no stale cache serve).
+        assert!(text.contains("<db><part><k/></part></db>"));
+        assert!(text.contains("removed a"));
+        assert!(text.contains("ERR unknown document 'a'"));
+        // B's post-warm reads are both cache hits — the reload and
+        // removal of A never touched B's entries.
+        assert_eq!(server.stats().result_hits, hits_before + 2);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -10,13 +10,17 @@
 //! view served by the server — whether it came from a maintained cache
 //! entry, a fresh materialization, or a recompute after invalidation —
 //! must be byte-identical to a full `two_pass` recompute over the
-//! reference, across shard layouts {1, 8}.
+//! reference, across shard layouts {1, 8} — and, for the multi-document
+//! interleaved fuzzer, {1, 2, 8}.
 //!
 //! Deterministic companions pin down the cache-retention contract
 //! itself: retention must actually fire on disjoint-label workloads
 //! (`delta_retained > 0`, served-from-cache hits), an intersecting delta
-//! must never be retained, and a write to one document must never drop
-//! entries for a document in another shard.
+//! must never be retained, a write to one document must never drop
+//! entries for any other document — same store shard or not (the result
+//! cache is keyed by per-document versions and sharded per document, so
+//! the old shard-epoch `stale` path is structurally gone) — and a
+//! removed document's retired versions can never resurrect old entries.
 
 mod common;
 
@@ -128,8 +132,9 @@ const UPDATE_PATHS: [&str; 12] = [
 /// the footprint-remapping path of retention.
 const RENAME_NAMES: [&str; 4] = ["rn", "sa", "sc", "zap"];
 
-fn check_all_views(
+fn check_all_views_of(
     server: &Server,
+    doc: &str,
     reference: &Document,
     context: &str,
 ) -> Result<(), TestCaseError> {
@@ -137,7 +142,7 @@ fn check_all_views(
         let served = server
             .handle(&Request::View {
                 view: name.into(),
-                doc: "xmark".into(),
+                doc: doc.into(),
             })
             .unwrap()
             .body;
@@ -145,12 +150,21 @@ fn check_all_views(
         prop_assert_eq!(
             &served,
             &expected,
-            "view '{}' diverged from full two_pass recompute ({})",
+            "view '{}' of doc '{}' diverged from full two_pass recompute ({})",
             name,
+            doc,
             context
         );
     }
     Ok(())
+}
+
+fn check_all_views(
+    server: &Server,
+    reference: &Document,
+    context: &str,
+) -> Result<(), TestCaseError> {
+    check_all_views_of(server, "xmark", reference, context)
 }
 
 proptest! {
@@ -193,6 +207,89 @@ proptest! {
                     shards, round, text
                 );
                 check_all_views(&server, &reference, &ctx)?;
+            }
+            prop_assert_eq!(server.store().active_snapshots(), 0);
+        }
+    }
+}
+
+/// Names chosen so FNV-1a spreads them over >1 shard at 2 and 8 shards
+/// (asserted inside the test): interleaved writes land on same-shard
+/// *and* cross-shard neighbours in every layout.
+const MULTI_DOCS: [&str; 3] = ["alpha", "beta", "gamma"];
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// The multi-document differential property: interleaved writes to
+    /// several documents — hammering one doc, alternating, whatever the
+    /// fuzzer picks — keep **every** view of **every** document
+    /// byte-identical to full recompute after **every** write, across
+    /// shard layouts {1, 2, 8}. Same-shard neighbours are the
+    /// interesting case (their entries used to be collateral damage of
+    /// the shard epoch); cross-shard ones keep the old guarantee.
+    #[test]
+    fn multi_doc_interleaved_writes_stay_differential(
+        seed in 0u64..32,
+        writes in prop::collection::vec(
+            (
+                0..MULTI_DOCS.len(),
+                0..UPDATE_PATHS.len(),
+                arb_op(),
+                0..RENAME_NAMES.len(),
+            ),
+            1..5,
+        ),
+    ) {
+        let bases: Vec<Document> = (0..MULTI_DOCS.len() as u64)
+            .map(|i| spiked_xmark(seed * 3 + i))
+            .collect();
+        for shards in [1usize, 2, 8] {
+            let server = Server::builder().threads(2).shards(shards).build();
+            for (name, base) in MULTI_DOCS.iter().zip(&bases) {
+                server.load_doc(*name, base.clone());
+            }
+            if shards > 1 {
+                let store = server.store();
+                let spread: std::collections::HashSet<usize> =
+                    MULTI_DOCS.iter().map(|n| store.shard_of(n)).collect();
+                prop_assert!(spread.len() > 1, "docs must span shards at {shards}");
+            }
+            register_views(&server);
+            let mut references = bases.clone();
+            // Warm every (view, doc) entry so writes have neighbours'
+            // entries to (not) disturb.
+            for (doc, reference) in MULTI_DOCS.iter().zip(&references) {
+                check_all_views_of(&server, doc, reference, "warm-up")?;
+            }
+            for (round, &(doc_idx, path_idx, op, name_idx)) in writes.iter().enumerate() {
+                let doc = MULTI_DOCS[doc_idx];
+                let text = build_query_text_renaming(
+                    doc,
+                    UPDATE_PATHS[path_idx],
+                    op,
+                    RENAME_NAMES[name_idx],
+                );
+                server.update_doc(doc, &text).unwrap();
+                apply_to_reference(&mut references[doc_idx], &text);
+                for (other, reference) in MULTI_DOCS.iter().zip(&references) {
+                    let ctx = format!(
+                        "shards={shards} round={round} wrote={doc} checking={other} update={text}"
+                    );
+                    check_all_views_of(&server, other, reference, &ctx)?;
+                }
+            }
+            // Writes examined only the documents they targeted.
+            let written: std::collections::HashSet<&str> = writes
+                .iter()
+                .map(|&(i, _, _, _)| MULTI_DOCS[i])
+                .collect();
+            for (doc, _, _) in &server.stats().doc_delta {
+                prop_assert!(
+                    written.contains(doc.as_str()),
+                    "unwritten doc '{}' has a delta row",
+                    doc
+                );
             }
             prop_assert_eq!(server.store().active_snapshots(), 0);
         }
@@ -450,6 +547,135 @@ proptest! {
             );
         }
     }
+}
+
+/// The exact ROADMAP collapse scenario, now fixed: under shard-epoch
+/// keying, every write to hot doc A bumped the shard epoch and silently
+/// un-keyed same-shard neighbour B's cached views (dropped as `stale`
+/// on A's next sweep) — under a steady writer, B's hit rate collapsed
+/// to zero. With entries keyed by per-document versions, B's version
+/// never moves when A is written, so every post-warm read of B must be
+/// a result-cache hit, write after write after write.
+#[test]
+fn steady_writes_to_a_hot_doc_leave_neighbour_hits_intact() {
+    const WRITES: usize = 12;
+    let server = Server::builder().threads(2).shards(1).build(); // one shard: A and B are neighbours
+    server.load_doc("hot", spiked_xmark(5));
+    server.load_doc("calm", spiked_xmark(6));
+    register_views(&server);
+    // Warm every view of both documents.
+    for doc in ["hot", "calm"] {
+        for (name, _) in VIEWS {
+            server
+                .handle(&Request::View {
+                    view: name.into(),
+                    doc: doc.into(),
+                })
+                .unwrap();
+        }
+    }
+    let calm_reference = spiked_xmark(6);
+    let hits_before = server.stats().result_hits;
+    let misses_before = server.stats().result_misses;
+    // Steady spike-disjoint writes to the hot document only.
+    let writes = [
+        r#"transform copy $a := doc("hot") modify do insert <ins k="1"><t>v</t></ins> into $a//spike-zone/sb return $a"#,
+        r#"transform copy $a := doc("hot") modify do rename $a//zap as rn return $a"#,
+        r#"transform copy $a := doc("hot") modify do delete $a//spike-zone/sa[sc] return $a"#,
+    ];
+    for i in 0..WRITES {
+        server.update_doc("hot", writes[i % writes.len()]).unwrap();
+        // Every view of the neighbour still serves from cache, and the
+        // body is still exactly the full recompute.
+        for (name, links) in VIEWS {
+            let served = server
+                .handle(&Request::View {
+                    view: name.into(),
+                    doc: "calm".into(),
+                })
+                .unwrap();
+            assert_eq!(
+                served.body,
+                recompute_view(&calm_reference, links),
+                "neighbour view '{name}' diverged after write {i}"
+            );
+        }
+    }
+    let stats = server.stats();
+    assert_eq!(
+        stats.result_hits,
+        hits_before + (WRITES * VIEWS.len()) as u64,
+        "every neighbour read after every hot write must be a cache hit"
+    );
+    assert_eq!(
+        stats.result_misses, misses_before,
+        "the hot writer must cause zero neighbour misses"
+    );
+    // The per-doc counters prove the sweeps only ever examined the
+    // written document: the neighbour has no row at all.
+    assert!(
+        stats.doc_delta.iter().all(|(d, _, _)| d != "calm"),
+        "a never-written document must have no delta row: {:?}",
+        stats.doc_delta
+    );
+    let (_, retained, _) = stats
+        .doc_delta
+        .iter()
+        .find(|(d, _, _)| d == "hot")
+        .cloned()
+        .unwrap();
+    assert!(retained > 0, "the hot doc's own entries are retained");
+}
+
+/// Re-keying safety: a removed document's versions are retired, never
+/// reused. Without that, remove + re-load under the same name could
+/// restart version numbering and make a cached entry of the *dead*
+/// lineage key-match the new document — a false hit serving deleted
+/// content. (Reload-purges are belt; retired versions are suspenders —
+/// this pins the suspenders.)
+#[test]
+fn removed_docs_never_resurrect_cached_entries() {
+    let server = Server::builder().threads(1).shards(1).build();
+    let del_zzz = r#"transform copy $a := doc("db") modify do delete $a//zzz return $a"#;
+    server.register_view("v", del_zzz).unwrap();
+    server.load_doc_str("db", "<db><old/></db>").unwrap();
+    server
+        .handle(&Request::View {
+            view: "v".into(),
+            doc: "db".into(),
+        })
+        .unwrap();
+    assert_eq!(server.view_results().len(), 1);
+    let dead_version = server.store().version_of("db").unwrap();
+    assert!(server.remove_doc("db"));
+    assert_eq!(server.view_results().len(), 0, "removal drops the shard");
+    // Re-create the name with different content.
+    server.load_doc_str("db", "<db><new/></db>").unwrap();
+    assert!(
+        server.store().version_of("db").unwrap() > dead_version,
+        "a re-created document must draw a strictly larger version"
+    );
+    let misses_before = server.stats().result_misses;
+    let served = server
+        .handle(&Request::View {
+            view: "v".into(),
+            doc: "db".into(),
+        })
+        .unwrap();
+    assert_eq!(
+        served.body, "<db><new/></db>",
+        "the dead lineage's cached body must never serve"
+    );
+    assert_eq!(server.stats().result_misses, misses_before + 1);
+    // And the recomputed entry is hit-able at the new version.
+    let hits_before = server.stats().result_hits;
+    server
+        .handle(&Request::View {
+            view: "v".into(),
+            doc: "db".into(),
+        })
+        .unwrap();
+    assert_eq!(server.stats().result_hits, hits_before + 1);
 }
 
 #[test]
