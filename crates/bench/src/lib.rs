@@ -169,8 +169,19 @@ pub struct MixedWorkload {
 
 /// Builds [`MixedWorkload`]: server + documents + view, fully warmed.
 pub fn mixed_workload(factor: f64) -> MixedWorkload {
+    mixed_workload_with(factor, true)
+}
+
+/// [`mixed_workload`] with request tracing switched on or off — the
+/// two sides of `bench_smoke`'s `obs_overhead` comparison (everything
+/// else about the servers is identical).
+pub fn mixed_workload_with(factor: f64, tracing: bool) -> MixedWorkload {
     use xust_serve::{Request, Server};
-    let server = Server::builder().threads(4).shards(1).build();
+    let server = Server::builder()
+        .threads(4)
+        .shards(1)
+        .tracing(tracing)
+        .build();
     server.load_doc("hot", xmark_doc(factor));
     let neighbours = ["calm0", "calm1", "calm2"];
     for n in neighbours {

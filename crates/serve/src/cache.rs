@@ -140,6 +140,11 @@ impl<V> PreparedCache<V> {
             .count()
     }
 
+    /// Maximum number of ready entries this cache retains.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Current number of cached (ready) entries.
     pub fn len(&self) -> usize {
         Self::ready_len(&self.state.lock().expect("cache lock poisoned"))

@@ -26,6 +26,18 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 pub struct ThreadPool {
     sender: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    in_flight: Arc<AtomicU64>,
+}
+
+/// Decrements the in-flight gauge when a job ends — by return *or*
+/// panic; a Drop guard is the only way the gauge can't leak when a
+/// worker unwinds mid-job.
+struct InFlight(Arc<AtomicU64>);
+
+impl Drop for InFlight {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 impl ThreadPool {
@@ -55,6 +67,7 @@ impl ThreadPool {
         ThreadPool {
             sender: Some(sender),
             workers,
+            in_flight: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -63,12 +76,24 @@ impl ThreadPool {
         self.workers.len()
     }
 
+    /// Jobs enqueued or executing right now — the queue-depth gauge
+    /// `METRICS` exports. Counted from enqueue to completion, so it
+    /// covers both waiting and running work.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
     /// Enqueues a job.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        let guard = InFlight(Arc::clone(&self.in_flight));
         self.sender
             .as_ref()
             .expect("pool is alive while not dropped")
-            .send(Box::new(job))
+            .send(Box::new(move || {
+                let _guard = guard;
+                job();
+            }))
             .expect("workers alive while sender exists");
     }
 
@@ -273,6 +298,42 @@ mod tests {
         let (out, stats) = pool.run_batch(vec![9], |_, v| v + 1);
         assert_eq!(out, vec![Some(10)]);
         assert_eq!(stats.workers, 1);
+    }
+
+    #[test]
+    fn in_flight_gauge_tracks_queue_depth() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.in_flight(), 0);
+        let (hold_tx, hold_rx) = channel::<()>();
+        let blocker = pool.submit(move || {
+            hold_rx.recv().ok();
+        });
+        let queued = pool.submit(|| 1);
+        // One running + one queued (counted from enqueue either way).
+        assert_eq!(pool.in_flight(), 2);
+        hold_tx.send(()).unwrap();
+        blocker.recv().unwrap();
+        assert_eq!(queued.recv().unwrap(), 1);
+        assert_eq!(pool.in_flight(), 0, "gauge returns to zero");
+    }
+
+    #[test]
+    fn in_flight_gauge_survives_job_panics() {
+        let pool = ThreadPool::new(2);
+        // A panicking job must still decrement (Drop guard runs during
+        // the worker's unwind).
+        let rx = pool.submit(|| panic!("boom"));
+        assert!(rx.recv().is_err(), "panicked job drops its channel");
+        assert_eq!(pool.submit(|| 2).recv().unwrap(), 2);
+        // The result channel drops mid-unwind, slightly before the
+        // guard; give the unwinding worker a beat to finish retiring.
+        for _ in 0..1000 {
+            if pool.in_flight() == 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(pool.in_flight(), 0, "panic did not leak the gauge");
     }
 
     #[test]

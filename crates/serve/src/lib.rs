@@ -81,6 +81,7 @@
 pub mod cache;
 pub mod error;
 pub mod executor;
+pub mod obs;
 pub mod planner;
 pub mod registry;
 pub mod server;
@@ -91,10 +92,14 @@ pub mod viewcache;
 pub use cache::PreparedCache;
 pub use error::ServeError;
 pub use executor::ThreadPool;
-pub use planner::{AdaptivePlanner, DocShape, PlannerConfig};
+pub use obs::{HistogramSnapshot, LatencyHistogram, Obs, Phase, RequestTrace, Trace};
+pub use planner::{AdaptivePlanner, DocShape, PlanChoice, PlannerConfig};
 pub use registry::{ViewBody, ViewDef, ViewRegistry};
-pub use server::{DocSource, Request, Response, Server, ServerBuilder, StreamingSession};
-pub use stats::{DeltaCell, EwmaCell, ServeStats, StatsSnapshot};
+pub use server::{
+    CandidateEvidence, DocSource, Explanation, LinkPlan, Request, Response, Server, ServerBuilder,
+    StreamingSession,
+};
+pub use stats::{json_escape, DeltaCell, EwmaCell, ServeStats, StatsSnapshot, Verb};
 pub use store::{DocStore, StoreSnapshot, StoreUpdateError, VersionedDoc, WriteStamp};
 pub use viewcache::{MaintainOutcome, ViewResultCache};
 

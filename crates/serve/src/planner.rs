@@ -87,6 +87,22 @@ struct Feedback {
     decisions: u64,
 }
 
+/// What [`AdaptivePlanner::explain`] reports: the method the planner
+/// would pick, and why.
+#[derive(Debug, Clone)]
+pub struct PlanChoice {
+    /// The method `choose` would return for this (cost, shape).
+    pub method: Method,
+    /// True when the tiny-document fast path decided (no feedback
+    /// consulted).
+    pub tiny: bool,
+    /// The feedback size class consulted, when one was.
+    pub size_class: Option<usize>,
+    /// The candidate methods in prior order, each with its observed
+    /// `(ns_per_node, samples)` evidence if sampled.
+    pub candidates: Vec<(Method, Option<(f64, u64)>)>,
+}
+
 /// Picks an evaluation method per request; see the module docs.
 ///
 /// All state sits behind one small mutex — decisions and feedback
@@ -163,8 +179,13 @@ impl AdaptivePlanner {
                 return m;
             }
         }
-        // Exploitation: predicted-best among sampled candidates; fall
-        // back to prior order for unsampled ones.
+        Self::exploit(&fb, class, &candidates)
+    }
+
+    /// Exploitation rule, shared by [`choose`](Self::choose) and
+    /// [`explain`](Self::explain): predicted-best among sampled
+    /// candidates; fall back to prior order for unsampled ones.
+    fn exploit(fb: &Feedback, class: usize, candidates: &[Method]) -> Method {
         let best_sampled = candidates
             .iter()
             .filter(|&&m| fb.cells[class][method_index(m)].samples > 0)
@@ -174,6 +195,65 @@ impl AdaptivePlanner {
                 ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal)
             });
         *best_sampled.unwrap_or(&candidates[0])
+    }
+
+    /// Reports the method [`choose`](Self::choose) would pick right
+    /// now, with the evidence behind it, *without* counting a decision
+    /// or taking an exploration turn (so `EXPLAIN` never perturbs the
+    /// plan it reports — modulo a concurrent request landing on its
+    /// exploration tick in between).
+    pub fn explain(&self, cost: &QueryCost, shape: DocShape) -> PlanChoice {
+        let nodes = match shape {
+            DocShape::File { bytes } => {
+                // Streaming is forced; evidence (if any) lives in the
+                // byte→node scaled class `record` feeds.
+                let class = class_of((bytes / 64).max(1) as usize);
+                let fb = self.feedback.lock().expect("planner lock poisoned");
+                let cell = fb.cells[class][method_index(Method::TwoPassSax)];
+                return PlanChoice {
+                    method: Method::TwoPassSax,
+                    tiny: false,
+                    size_class: Some(class),
+                    candidates: vec![(
+                        Method::TwoPassSax,
+                        (cell.samples > 0).then_some((cell.ns_per_node, cell.samples)),
+                    )],
+                };
+            }
+            DocShape::InMemory { nodes } => nodes,
+        };
+        let candidates = Self::candidates(cost, shape);
+        if nodes < self.config.tiny_doc_nodes {
+            let method = if cost.has_qualifiers() || cost.has_descendant() {
+                candidates[0]
+            } else {
+                Method::Naive
+            };
+            return PlanChoice {
+                method,
+                tiny: true,
+                size_class: None,
+                candidates: candidates.into_iter().map(|m| (m, None)).collect(),
+            };
+        }
+        let class = class_of(nodes);
+        let fb = self.feedback.lock().expect("planner lock poisoned");
+        let method = Self::exploit(&fb, class, &candidates);
+        PlanChoice {
+            method,
+            tiny: false,
+            size_class: Some(class),
+            candidates: candidates
+                .into_iter()
+                .map(|m| {
+                    let cell = fb.cells[class][method_index(m)];
+                    (
+                        m,
+                        (cell.samples > 0).then_some((cell.ns_per_node, cell.samples)),
+                    )
+                })
+                .collect(),
+        }
     }
 
     /// Feeds one observed execution back into the model.
@@ -292,6 +372,44 @@ mod tests {
         // which is never the already-sampled TwoPass.
         assert!(chosen.iter().any(|&m| m != Method::TwoPass));
         assert!(chosen.contains(&Method::TwoPass));
+    }
+
+    #[test]
+    fn explain_matches_choose_without_perturbing_it() {
+        let planner = AdaptivePlanner::new(PlannerConfig {
+            explore_every: 0, // pure exploitation for determinism
+            ..PlannerConfig::default()
+        });
+        let c = cost("//open_auction[initial > 10]/bidder");
+        for _ in 0..8 {
+            planner.record(Method::TwoPass, MEM, Duration::from_millis(100));
+            planner.record(Method::TopDown, MEM, Duration::from_millis(10));
+        }
+        for shape in [
+            MEM,
+            DocShape::InMemory { nodes: 40 },
+            DocShape::InMemory { nodes: 8_192 },
+            DocShape::File { bytes: 1 << 20 },
+        ] {
+            let plan = planner.explain(&c, shape);
+            assert_eq!(plan.method, planner.choose(&c, shape), "{shape:?}");
+        }
+        // Evidence is reported for the sampled candidates.
+        let plan = planner.explain(&c, MEM);
+        assert!(!plan.tiny);
+        assert_eq!(plan.size_class, Some(2));
+        let td = plan
+            .candidates
+            .iter()
+            .find(|(m, _)| *m == Method::TopDown)
+            .unwrap();
+        let (ns, samples) = td.1.expect("TopDown was sampled");
+        assert_eq!(samples, 8);
+        assert!(ns > 0.0);
+        // Tiny path reports no feedback evidence.
+        let tiny = planner.explain(&c, DocShape::InMemory { nodes: 40 });
+        assert!(tiny.tiny);
+        assert!(tiny.candidates.iter().all(|(_, e)| e.is_none()));
     }
 
     #[test]

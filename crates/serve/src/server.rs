@@ -40,9 +40,10 @@ use xust_xpath::{eval_path_root, Path};
 use crate::cache::PreparedCache;
 use crate::error::ServeError;
 use crate::executor::ThreadPool;
-use crate::planner::{AdaptivePlanner, DocShape, PlannerConfig};
+use crate::obs::{HistogramSnapshot, Obs, Phase, Trace};
+use crate::planner::{AdaptivePlanner, DocShape, PlanChoice, PlannerConfig};
 use crate::registry::{ViewBody, ViewDef, ViewRegistry};
-use crate::stats::{ServeStats, StatsSnapshot};
+use crate::stats::{ServeStats, StatsSnapshot, Verb};
 use crate::store::{DocStore, StoreSnapshot, StoreUpdateError, WriteStamp};
 use crate::viewcache::ViewResultCache;
 
@@ -169,6 +170,7 @@ pub struct ServerBuilder {
     cache_capacity: usize,
     result_capacity: usize,
     planner: PlannerConfig,
+    tracing: bool,
 }
 
 impl Default for ServerBuilder {
@@ -181,6 +183,7 @@ impl Default for ServerBuilder {
             cache_capacity: 256,
             result_capacity: 64,
             planner: PlannerConfig::default(),
+            tracing: true,
         }
     }
 }
@@ -218,6 +221,15 @@ impl ServerBuilder {
         self
     }
 
+    /// Per-request tracing and latency histograms (default on). Off,
+    /// every recording path degenerates to a branch on a dead option —
+    /// the `--no-trace` mode the `obs_overhead` bench row compares
+    /// against. Counters in [`ServeStats`] always run.
+    pub fn tracing(mut self, on: bool) -> ServerBuilder {
+        self.tracing = on;
+        self
+    }
+
     /// Builds the server.
     pub fn build(self) -> Server {
         Server {
@@ -229,6 +241,7 @@ impl ServerBuilder {
                 results: ViewResultCache::new(self.result_capacity),
                 planner: AdaptivePlanner::new(self.planner),
                 stats: ServeStats::default(),
+                obs: Obs::new(self.tracing),
                 pool: ThreadPool::new(self.threads),
             }),
         }
@@ -243,6 +256,7 @@ struct Inner {
     results: ViewResultCache,
     planner: AdaptivePlanner,
     stats: ServeStats,
+    obs: Obs,
     pool: ThreadPool,
 }
 
@@ -283,6 +297,7 @@ impl Server {
             .docs
             .insert(name.clone(), DocSource::Memory(Arc::new(doc)));
         self.inner.results.purge_doc(&name);
+        self.inner.stats.record_verb(Verb::Load, true);
         stamp
     }
 
@@ -292,7 +307,13 @@ impl Server {
         name: impl Into<String>,
         xml: &str,
     ) -> Result<WriteStamp, ServeError> {
-        let doc = Document::parse(xml).map_err(|e| ServeError::Parse(e.to_string()))?;
+        let doc = match Document::parse(xml) {
+            Ok(doc) => doc,
+            Err(e) => {
+                self.inner.stats.record_verb(Verb::Load, false);
+                return Err(ServeError::Parse(e.to_string()));
+            }
+        };
         Ok(self.load_doc(name, doc))
     }
 
@@ -304,11 +325,13 @@ impl Server {
     ) -> Result<WriteStamp, ServeError> {
         let path = path.into();
         if !path.is_file() {
+            self.inner.stats.record_verb(Verb::Load, false);
             return Err(ServeError::Io(format!("{}: not a file", path.display())));
         }
         let name = name.into();
         let stamp = self.inner.docs.insert(name.clone(), DocSource::File(path));
         self.inner.results.purge_doc(&name);
+        self.inner.stats.record_verb(Verb::Load, true);
         Ok(stamp)
     }
 
@@ -326,6 +349,7 @@ impl Server {
             // with name churn must not accumulate rows forever).
             self.inner.stats.forget_doc(name);
         }
+        self.inner.stats.record_verb(Verb::Remove, removed);
         removed
     }
 
@@ -415,31 +439,54 @@ impl Server {
             .stats
             .requests
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let verb = match request {
+            Request::View { .. } => Verb::View,
+            Request::Query { .. } => Verb::Query,
+            Request::Transform { .. } => Verb::Transform,
+            Request::Update { .. } => Verb::Update,
+        };
+        // The target string is built lazily — with tracing off, `begin`
+        // never calls the closure (no allocation on the fast path).
+        let mut rt = self.inner.obs.begin(verb, || match request {
+            Request::View { view, doc } | Request::Query { view, doc, .. } => {
+                format!("{view}/{doc}")
+            }
+            Request::Transform { doc, .. } | Request::Update { doc, .. } => doc.clone(),
+        });
         let result = match request {
-            Request::View { view: v, doc } => self.handle_view(view, v, doc),
+            Request::View { view: v, doc } => self.handle_view(view, v, doc, &mut rt),
             Request::Query {
                 view: v,
                 doc,
                 query,
-            } => self.handle_query(view, v, doc, query),
-            Request::Transform { doc, query } => self.handle_transform(view, doc, query),
+            } => self.handle_query(view, v, doc, query, &mut rt),
+            Request::Transform { doc, query } => self.handle_transform(view, doc, query, &mut rt),
             // Writes always go to the live store — a pinned batch
             // snapshot is a *read* consistency device.
-            Request::Update { doc, update } => self.handle_update(doc, update),
+            Request::Update { doc, update } => self.handle_update(doc, update, &mut rt),
         };
         let micros = started.elapsed().as_micros() as u64;
         self.inner
             .stats
             .busy_micros
             .fetch_add(micros, std::sync::atomic::Ordering::Relaxed);
+        self.inner.stats.record_verb(verb, result.is_ok());
+        let view_name = match request {
+            Request::View { view, .. } | Request::Query { view, .. } => Some(view.as_str()),
+            _ => None,
+        };
         match result {
             Ok(mut resp) => {
-                if let Request::View { view, .. } | Request::Query { view, .. } = request {
+                if let Some(view) = view_name {
                     // Per-view latency feedback, merged lock-free (CAS)
                     // when several executor workers report for the same
                     // view at once.
                     self.inner.stats.record_view_latency(view, micros as f64);
                 }
+                if let Some(m) = resp.method {
+                    rt.set_method(m);
+                }
+                self.inner.obs.finish(rt, micros, true, view_name);
                 resp.micros = micros;
                 Ok(resp)
             }
@@ -448,6 +495,7 @@ impl Server {
                     .stats
                     .failures
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.inner.obs.finish(rt, micros, false, view_name);
                 Err(e)
             }
         }
@@ -523,10 +571,17 @@ impl Server {
         })
     }
 
-    fn handle_update(&self, doc: &str, update: &str) -> Result<Response, ServeError> {
+    fn handle_update(
+        &self,
+        doc: &str,
+        update: &str,
+        rt: &mut Trace,
+    ) -> Result<Response, ServeError> {
         use std::sync::atomic::Ordering::Relaxed;
         let stats = &self.inner.stats;
+        let t = rt.start();
         let mq = parse_multi_transform(update).map_err(|e| ServeError::Parse(e.to_string()))?;
+        rt.phase(Phase::Parse, t);
         if mq.doc_name != doc {
             return Err(ServeError::Parse(format!(
                 "update reads doc(\"{}\") but targets loaded document '{doc}'",
@@ -540,6 +595,7 @@ impl Server {
         // single-update lists, `modify do (u1)`, working — they are
         // valid multi syntax but not valid single syntax to re-parse).
         // Multi updates carry one alphabet per rule, built fresh.
+        let t = rt.start();
         let (ops, update_alpha, hit): (Vec<(Path, UpdateOp)>, LabelSet, bool) =
             if mq.updates.len() == 1 {
                 let mut mq = mq;
@@ -558,6 +614,7 @@ impl Server {
                     },
                 )?;
                 self.note_cache(hit);
+                rt.note_prepared(hit);
                 (
                     vec![(ct.query().path.clone(), ct.query().op.clone())],
                     ct.alphabet().clone(),
@@ -570,6 +627,7 @@ impl Server {
                 }
                 (mq.updates, alpha, false)
             };
+        rt.phase(Phase::Cache, t);
         // The value-sensitive slice of the update's selection: only
         // qualifier-bearing reads — what the relevance test compares
         // against the string values a view materialization perturbed.
@@ -598,6 +656,7 @@ impl Server {
                 // (`TouchedLabels::apply_renames`) or later relevance
                 // tests would compare against pre-rename names.
                 let mut renames: Vec<RenameMapping> = Vec::new();
+                let t = rt.start();
                 for (path, op) in &ops {
                     let matched = eval_path_root(&next, path);
                     targets_total += matched.len();
@@ -607,12 +666,14 @@ impl Server {
                     }
                     apply_update(&mut next, &matched, op);
                 }
+                rt.phase(Phase::Eval, t);
                 // Maintenance runs while the shard write lock is held,
                 // so it is ordered exactly like the install it mirrors
                 // (two racing updates cannot maintain out of order). It
                 // sweeps only this document's cache shard: entries —
                 // and result reads — of every other document, same
                 // store shard or not, proceed untouched.
+                let t = rt.start();
                 let outcome = results.maintain(
                     doc,
                     stamp.prev_version,
@@ -628,6 +689,7 @@ impl Server {
                         }
                     },
                 );
+                rt.phase(Phase::Maintain, t);
                 // The per-doc row is recorded here, still under the
                 // shard write lock, so it is ordered against a racing
                 // `remove_doc` (which takes the same lock to remove the
@@ -693,6 +755,280 @@ impl Server {
         self.inner.registry.compiles()
     }
 
+    /// The observability state (histograms, trace ring, slow log).
+    pub fn obs(&self) -> &Obs {
+        &self.inner.obs
+    }
+
+    /// Switches request tracing on or off at runtime (the builder's
+    /// [`ServerBuilder::tracing`] sets the initial state). Existing
+    /// traces and histograms are kept; only future requests change.
+    pub fn set_tracing(&self, on: bool) {
+        self.inner.obs.set_enabled(on);
+    }
+
+    /// Renders the `METRICS` reply: a Prometheus-style text exposition
+    /// of every counter, gauge, and latency histogram. Every line is
+    /// `name{labels} value` (labels optional); `# TYPE` comment lines
+    /// announce the summary family. The `METRICS` request itself is
+    /// counted first, so it appears in its own output.
+    pub fn metrics(&self) -> String {
+        use std::fmt::Write;
+        self.inner.stats.record_verb(Verb::Metrics, true);
+        let snap = self.stats();
+        let mut out = String::with_capacity(4096);
+        let mut line = |name: &str, value: u64| {
+            let _ = writeln!(out, "xust_{name} {value}");
+        };
+        line("requests_total", snap.requests);
+        line("failures_total", snap.failures);
+        line("prepared_cache_hits_total", snap.cache_hits);
+        line("prepared_cache_misses_total", snap.cache_misses);
+        line("compiles_total", snap.compiles);
+        line("compositions_total", snap.compositions);
+        line("view_requests_total", snap.view_requests);
+        line("query_requests_total", snap.query_requests);
+        line("transform_requests_total", snap.transform_requests);
+        line("batches_total", snap.batches);
+        line("batch_items_total", snap.batch_items);
+        line("batch_steals_total", snap.batch_steals);
+        line("stream_sessions_total", snap.stream_sessions);
+        line("update_requests_total", snap.update_requests);
+        line("delta_retained_total", snap.delta_retained);
+        line("delta_recomputed_total", snap.delta_recomputed);
+        line("result_cache_hits_total", snap.result_hits);
+        line("result_cache_misses_total", snap.result_misses);
+        line("busy_micros_total", snap.busy_micros);
+        line("interned_labels", snap.interned_labels as u64);
+        // Every verb gets a series (zeros included) so scrapers see a
+        // stable schema from the first scrape.
+        for verb in Verb::ALL {
+            let (requests, errors) = self.inner.stats.verb_counts(verb);
+            let _ = writeln!(
+                out,
+                "xust_verb_requests_total{{verb=\"{verb}\"}} {requests}"
+            );
+            let _ = writeln!(out, "xust_verb_errors_total{{verb=\"{verb}\"}} {errors}");
+        }
+        for (m, n) in &snap.per_method {
+            let _ = writeln!(out, "xust_method_executions_total{{method=\"{m}\"}} {n}");
+        }
+        // Gauges: executor, store, caches, registry.
+        let _ = writeln!(
+            out,
+            "xust_executor_in_flight {}",
+            self.inner.pool.in_flight()
+        );
+        let _ = writeln!(out, "xust_executor_threads {}", self.inner.pool.threads());
+        let _ = writeln!(
+            out,
+            "xust_store_active_snapshots {}",
+            self.inner.docs.active_snapshots()
+        );
+        let _ = writeln!(
+            out,
+            "xust_store_snapshots_total {}",
+            self.inner.docs.snapshots_taken()
+        );
+        let _ = writeln!(out, "xust_store_shards {}", self.inner.docs.shard_count());
+        let _ = writeln!(out, "xust_store_docs {}", self.inner.docs.len());
+        let _ = writeln!(
+            out,
+            "xust_result_cache_entries {}",
+            self.inner.results.len()
+        );
+        let _ = writeln!(
+            out,
+            "xust_result_cache_docs {}",
+            self.inner.results.doc_count()
+        );
+        {
+            let mut cache_lines =
+                |name: &str, len: usize, capacity: usize, hits: u64, misses: u64, evict: u64| {
+                    let label = format!("{{cache=\"{name}\"}}");
+                    let _ = writeln!(out, "xust_prepared_cache_entries{label} {len}");
+                    let _ = writeln!(out, "xust_prepared_cache_capacity{label} {capacity}");
+                    let _ = writeln!(out, "xust_prepared_cache_hits{label} {hits}");
+                    let _ = writeln!(out, "xust_prepared_cache_misses{label} {misses}");
+                    let _ = writeln!(out, "xust_prepared_cache_evictions{label} {evict}");
+                };
+            let t = &self.inner.transforms;
+            cache_lines(
+                "transforms",
+                t.len(),
+                t.capacity(),
+                t.hits(),
+                t.misses(),
+                t.evictions(),
+            );
+            let c = &self.inner.composed;
+            cache_lines(
+                "composed",
+                c.len(),
+                c.capacity(),
+                c.hits(),
+                c.misses(),
+                c.evictions(),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "xust_views_registered {}",
+            self.inner.registry.names().len()
+        );
+        let _ = writeln!(
+            out,
+            "xust_requests_traced_total {}",
+            self.inner.obs.requests_traced()
+        );
+        self.inner.obs.render_histograms(&mut out);
+        out
+    }
+
+    /// Renders the `TRACE [n]` reply: the last `n` completed request
+    /// traces (newest first) plus the slowest-seen log, one line per
+    /// trace with its phase breakdown.
+    pub fn traces(&self, n: usize) -> String {
+        self.inner.stats.record_verb(Verb::Trace, true);
+        self.inner.obs.render_traces(n)
+    }
+
+    /// Reports — **without executing anything** — the plan a `VIEW
+    /// view doc` request would run right now: the method the planner
+    /// would pick per link, the histogram-vs-EWMA latency evidence per
+    /// candidate method, and whether the view-result cache holds this
+    /// (view, doc) at the current document version.
+    pub fn explain(&self, view: &str, doc: &str) -> Result<Explanation, ServeError> {
+        let result = self.explain_inner(view, doc);
+        self.inner.stats.record_verb(Verb::Explain, result.is_ok());
+        result
+    }
+
+    fn explain_inner(&self, view: &str, doc: &str) -> Result<Explanation, ServeError> {
+        let def = self
+            .inner
+            .registry
+            .get(view)
+            .ok_or_else(|| ServeError::UnknownView(view.to_string()))?;
+        let docs = DocView::Live(&self.inner.docs);
+        let (source, version) = docs.get_versioned(doc)?;
+        let cacheable =
+            matches!(&source, DocSource::Memory(_)) && matches!(&def.body, ViewBody::Chain(_));
+        // `peek` is the non-perturbing probe: no hit/miss counted, no
+        // LRU bump — EXPLAIN must not change what it reports on.
+        let result_cached =
+            cacheable.then(|| self.inner.results.peek(view, doc, version, def.generation));
+        let (shape_text, links) = match (&source, &def.body) {
+            (DocSource::Memory(d), ViewBody::Chain(chain)) => {
+                let nodes = d.arena_len();
+                let shape = DocShape::InMemory { nodes };
+                let links = chain
+                    .iter()
+                    .enumerate()
+                    .map(|(i, link)| {
+                        let plan = self.inner.planner.explain(link.cost(), shape);
+                        LinkPlan {
+                            index: i,
+                            method: plan.method,
+                            fixed: false,
+                            // Links past the first run on the previous
+                            // link's *output*, whose size is unknown
+                            // without executing — planned against the
+                            // base shape instead.
+                            approximate: i > 0,
+                            candidates: self.evidence_of(&plan),
+                        }
+                    })
+                    .collect();
+                (format!("memory nodes={nodes}"), links)
+            }
+            (DocSource::File(path), ViewBody::Chain(chain)) => {
+                let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+                if chain.len() == 1 {
+                    // Single-link file views stream; no choice to make.
+                    let plan = self
+                        .inner
+                        .planner
+                        .explain(chain[0].cost(), DocShape::File { bytes });
+                    let links = vec![LinkPlan {
+                        index: 0,
+                        method: Method::TwoPassSax,
+                        fixed: true,
+                        approximate: false,
+                        candidates: self.evidence_of(&plan),
+                    }];
+                    (format!("file bytes={bytes}"), links)
+                } else {
+                    // Multi-link file chains parse the file first; the
+                    // node count is estimated from its size, so every
+                    // link's plan is approximate.
+                    let nodes = (bytes / 64).max(1) as usize;
+                    let shape = DocShape::InMemory { nodes };
+                    let links = chain
+                        .iter()
+                        .enumerate()
+                        .map(|(i, link)| {
+                            let plan = self.inner.planner.explain(link.cost(), shape);
+                            LinkPlan {
+                                index: i,
+                                method: plan.method,
+                                fixed: false,
+                                approximate: true,
+                                candidates: self.evidence_of(&plan),
+                            }
+                        })
+                        .collect();
+                    (format!("file bytes={bytes} est_nodes={nodes}"), links)
+                }
+            }
+            (source, ViewBody::Multi(_)) => {
+                // Multi-transform views always run the fused top-down
+                // plan; report its evidence.
+                let (shape_text, approximate) = match source {
+                    DocSource::Memory(d) => (format!("memory nodes={}", d.arena_len()), false),
+                    DocSource::File(path) => {
+                        let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+                        (format!("file bytes={bytes}"), true)
+                    }
+                };
+                let links = vec![LinkPlan {
+                    index: 0,
+                    method: Method::TopDown,
+                    fixed: true,
+                    approximate,
+                    candidates: vec![self.evidence_for(Method::TopDown, None)],
+                }];
+                (shape_text, links)
+            }
+        };
+        Ok(Explanation {
+            view: view.to_string(),
+            doc: doc.to_string(),
+            version,
+            generation: def.generation,
+            shape: shape_text,
+            result_cached,
+            links,
+        })
+    }
+
+    /// Evidence rows for every candidate in a planner decision.
+    fn evidence_of(&self, plan: &PlanChoice) -> Vec<CandidateEvidence> {
+        plan.candidates
+            .iter()
+            .map(|&(m, ewma)| self.evidence_for(m, ewma))
+            .collect()
+    }
+
+    fn evidence_for(&self, method: Method, ewma: Option<(f64, u64)>) -> CandidateEvidence {
+        let snap = self.inner.obs.method_histogram(method).snapshot();
+        CandidateEvidence {
+            method,
+            ewma,
+            histogram: (snap.count > 0).then_some(snap),
+        }
+    }
+
     // ---- request handlers ----
 
     fn handle_transform(
@@ -700,34 +1036,50 @@ impl Server {
         view: &DocView<'_>,
         doc: &str,
         query: &str,
+        rt: &mut Trace,
     ) -> Result<Response, ServeError> {
         self.inner
             .stats
             .transform_requests
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let t = rt.start();
         let source = view.get(doc)?;
+        rt.phase(Phase::Snapshot, t);
         let stats = &self.inner.stats;
+        let t = rt.start();
         let (ct, hit) = self.inner.transforms.get_or_try_insert(query, || {
             stats
                 .compiles
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             CompiledTransform::parse(query).map_err(|e| ServeError::Parse(e.to_string()))
         })?;
+        rt.phase(Phase::Cache, t);
         self.note_cache(hit);
+        rt.note_prepared(hit);
         match source {
             DocSource::Memory(d) => {
                 let shape = DocShape::InMemory {
                     nodes: d.arena_len(),
                 };
+                let tp = rt.start();
                 let method = self.inner.planner.choose(ct.cost(), shape);
+                rt.phase(Phase::Plan, tp);
+                rt.note_plan(|| format!("transform: nodes={} method={method}", d.arena_len()));
                 let t = Instant::now();
                 let out = ct
                     .evaluate(&d, method)
                     .map_err(|e| ServeError::Eval(e.to_string()))?;
-                self.inner.planner.record(method, shape, t.elapsed());
+                let elapsed = t.elapsed();
+                self.inner.planner.record(method, shape, elapsed);
                 stats.count_method(method);
+                let eval_micros = elapsed.as_micros() as u64;
+                rt.phase_micros(Phase::Eval, eval_micros);
+                self.inner.obs.record_method(method, eval_micros);
+                let t = rt.start();
+                let body = out.serialize();
+                rt.phase(Phase::Serialize, t);
                 Ok(Response {
-                    body: out.serialize(),
+                    body,
                     method: Some(method),
                     micros: 0,
                     cache_hit: hit,
@@ -736,16 +1088,23 @@ impl Server {
             DocSource::File(path) => {
                 let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
                 let shape = DocShape::File { bytes };
+                rt.note_plan(|| format!("transform: file bytes={bytes} method=twoPassSAX"));
                 let t = Instant::now();
                 // Streams the file (two buffered passes); only the
                 // serialized result is buffered for the response body.
                 let body = ct
                     .evaluate_stream_file(&path)
                     .map_err(|e| ServeError::Eval(e.to_string()))?;
+                let elapsed = t.elapsed();
                 self.inner
                     .planner
-                    .record(Method::TwoPassSax, shape, t.elapsed());
+                    .record(Method::TwoPassSax, shape, elapsed);
                 stats.count_method(Method::TwoPassSax);
+                let eval_micros = elapsed.as_micros() as u64;
+                rt.phase_micros(Phase::Eval, eval_micros);
+                self.inner
+                    .obs
+                    .record_method(Method::TwoPassSax, eval_micros);
                 Ok(Response {
                     body,
                     method: Some(Method::TwoPassSax),
@@ -761,6 +1120,7 @@ impl Server {
         docs: &DocView<'_>,
         view: &str,
         doc: &str,
+        rt: &mut Trace,
     ) -> Result<Response, ServeError> {
         self.inner
             .stats
@@ -776,7 +1136,9 @@ impl Server {
         // cached (a write racing in between would otherwise tag
         // post-write content with the pre-write version, which a batch
         // pinned to the old version would wrongly hit).
+        let t = rt.start();
         let (source, version) = docs.get_versioned(doc)?;
+        rt.phase(Phase::Snapshot, t);
 
         // In-memory chain views are answered from the maintained
         // view-result cache when the entry matches this document
@@ -786,7 +1148,11 @@ impl Server {
         if cacheable {
             // Hit/miss accounting lives in the cache itself (surfaced
             // through `Server::stats`).
-            if let Some(body) = self.inner.results.get(view, doc, version, def.generation) {
+            let t = rt.start();
+            let found = self.inner.results.get(view, doc, version, def.generation);
+            rt.phase(Phase::Cache, t);
+            rt.note_result(found.is_some());
+            if let Some(body) = found {
                 return Ok(Response {
                     // The owned copy the response needs is made here,
                     // outside the cache mutex — a hit only bumps a
@@ -803,14 +1169,21 @@ impl Server {
         // is never held in memory, only the response body.
         if let (DocSource::File(path), Some(link)) = (&source, def.single()) {
             let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+            rt.note_plan(|| format!("link0: file bytes={bytes} method=twoPassSAX"));
             let t = Instant::now();
             let body = link
                 .evaluate_stream_file(path)
                 .map_err(|e| ServeError::Eval(e.to_string()))?;
+            let elapsed = t.elapsed();
             self.inner
                 .planner
-                .record(Method::TwoPassSax, DocShape::File { bytes }, t.elapsed());
+                .record(Method::TwoPassSax, DocShape::File { bytes }, elapsed);
             self.inner.stats.count_method(Method::TwoPassSax);
+            let eval_micros = elapsed.as_micros() as u64;
+            rt.phase_micros(Phase::Eval, eval_micros);
+            self.inner
+                .obs
+                .record_method(Method::TwoPassSax, eval_micros);
             return Ok(Response {
                 body,
                 method: Some(Method::TwoPassSax),
@@ -819,9 +1192,12 @@ impl Server {
             });
         }
 
+        let t = rt.start();
         let base = self.base_document(&source)?;
+        rt.phase(Phase::Parse, t);
         let mut touched = cacheable.then(TouchedLabels::new);
-        let (out, method) = self.materialize(&def, &base, touched.as_mut())?;
+        let (out, method) = self.materialize(&def, &base, touched.as_mut(), rt)?;
+        let t = rt.start();
         let body = out.serialize();
         // Cache only if no write landed since the versioned read: the
         // version re-check makes tag and content provably consistent (a
@@ -842,6 +1218,7 @@ impl Server {
                 );
             }
         }
+        rt.phase(Phase::Serialize, t);
         Ok(Response {
             body,
             method,
@@ -856,6 +1233,7 @@ impl Server {
         view: &str,
         doc: &str,
         query: &str,
+        rt: &mut Trace,
     ) -> Result<Response, ServeError> {
         self.inner
             .stats
@@ -866,7 +1244,9 @@ impl Server {
             .registry
             .get(view)
             .ok_or_else(|| ServeError::UnknownView(view.to_string()))?;
+        let t = rt.start();
         let source = docs.get(doc)?;
+        rt.phase(Phase::Snapshot, t);
 
         if let Some(link) = def.single() {
             // File-backed: streaming composition over the unparsed
@@ -883,8 +1263,10 @@ impl Server {
                 }
                 let open = || SaxParser::from_file(path).map_err(|e| ServeError::Io(e.to_string()));
                 let mut out = Vec::new();
+                let t = rt.start();
                 compose_two_pass_sax(open()?, open()?, open()?, link.query(), &uq, &mut out)
                     .map_err(|e| ServeError::Eval(e.to_string()))?;
+                rt.phase(Phase::Eval, t);
                 return Ok(Response {
                     body: String::from_utf8(out).map_err(|e| ServeError::Eval(e.to_string()))?,
                     method: None,
@@ -899,6 +1281,7 @@ impl Server {
             let key = format!("{view}\u{1f}{query}");
             let stats = &self.inner.stats;
             let def_doc = &def.doc_name;
+            let t = rt.start();
             let (qc, hit) = self.inner.composed.get_or_try_insert(&key, || {
                 let uq = UserQuery::parse(query).map_err(|e| ServeError::Parse(e.to_string()))?;
                 if uq.doc_name != *def_doc {
@@ -912,13 +1295,17 @@ impl Server {
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 compose(link.query(), &uq).map_err(|e| ServeError::Parse(e.to_string()))
             })?;
+            rt.phase(Phase::Cache, t);
             self.note_cache(hit);
+            rt.note_prepared(hit);
+            let t = rt.start();
             let body = match &source {
                 DocSource::Memory(d) => qc
                     .execute_to_string(d)
                     .map_err(|e| ServeError::Eval(e.to_string()))?,
                 DocSource::File(_) => unreachable!("file sources handled above"),
             };
+            rt.phase(Phase::Eval, t);
             return Ok(Response {
                 body,
                 method: None,
@@ -936,13 +1323,17 @@ impl Server {
                 uq.doc_name, def.name, def.doc_name
             )));
         }
+        let t = rt.start();
         let base = self.base_document(&source)?;
-        let (viewed, method) = self.materialize(&def, &base, None)?;
+        rt.phase(Phase::Parse, t);
+        let (viewed, method) = self.materialize(&def, &base, None, rt)?;
         let mut engine = xust_xquery::Engine::new();
         engine.load_doc(def.doc_name.clone(), viewed);
+        let t = rt.start();
         let v = engine
             .eval_expr(&uq.to_expr(), &[])
             .map_err(|e| ServeError::Eval(e.to_string()))?;
+        rt.phase(Phase::Eval, t);
         Ok(Response {
             body: engine.serialize_value(&v),
             method,
@@ -975,45 +1366,58 @@ impl Server {
 
     /// Applies a view body to a base document with planner-chosen
     /// methods; returns the result and the (last) method used. When
-    /// `trace` is given (chain bodies only), the labels each link's
+    /// `touched` is given (chain bodies only), the labels each link's
     /// update touches — evaluated against that link's *input* — are
     /// folded in, so the result can be cached with its touched set.
     fn materialize(
         &self,
         def: &ViewDef,
         base: &Arc<Document>,
-        mut trace: Option<&mut TouchedLabels>,
+        mut touched: Option<&mut TouchedLabels>,
+        rt: &mut Trace,
     ) -> Result<(Document, Option<Method>), ServeError> {
         match &def.body {
             ViewBody::Chain(links) => {
                 let mut current: Option<Document> = None;
                 let mut last_method = None;
-                for link in links {
+                for (i, link) in links.iter().enumerate() {
                     let doc_ref: &Document = match &current {
                         Some(d) => d,
                         None => base,
                     };
-                    if let Some(touched) = trace.as_deref_mut() {
+                    if let Some(touched) = touched.as_deref_mut() {
                         // One extra selection pass per link, paid only on
                         // result-cache *misses* (hits skip materialize
                         // entirely, and writes maintain entries without
                         // re-materializing) — the price of recording the
                         // touched set without threading target lists
-                        // through every evaluation method.
+                        // through every evaluation method. Traced under
+                        // Cache: it exists to make the result cacheable.
+                        let t = rt.start();
                         let q = link.query();
                         let targets = eval_path_root(doc_ref, &q.path);
                         touched.record(doc_ref, &targets, &q.op);
+                        rt.phase(Phase::Cache, t);
                     }
                     let shape = DocShape::InMemory {
                         nodes: doc_ref.arena_len(),
                     };
+                    let tp = rt.start();
                     let method = self.inner.planner.choose(link.cost(), shape);
+                    rt.phase(Phase::Plan, tp);
+                    rt.note_plan(|| {
+                        format!("link{i}: nodes={} method={method}", doc_ref.arena_len())
+                    });
                     let t = Instant::now();
                     let next = link
                         .evaluate(doc_ref, method)
                         .map_err(|e| ServeError::Eval(e.to_string()))?;
-                    self.inner.planner.record(method, shape, t.elapsed());
+                    let elapsed = t.elapsed();
+                    self.inner.planner.record(method, shape, elapsed);
                     self.inner.stats.count_method(method);
+                    let eval_micros = elapsed.as_micros() as u64;
+                    rt.phase_micros(Phase::Eval, eval_micros);
+                    self.inner.obs.record_method(method, eval_micros);
                     last_method = Some(method);
                     current = Some(next);
                 }
@@ -1021,16 +1425,27 @@ impl Server {
             }
             ViewBody::Multi(mq) => {
                 // Fused multi-automaton plan (snapshot semantics).
+                rt.note_plan(|| {
+                    format!(
+                        "multi: nodes={} method={}",
+                        base.arena_len(),
+                        Method::TopDown
+                    )
+                });
                 let t = Instant::now();
                 let out = multi_top_down(base, mq);
+                let elapsed = t.elapsed();
                 self.inner.planner.record(
                     Method::TopDown,
                     DocShape::InMemory {
                         nodes: base.arena_len(),
                     },
-                    t.elapsed(),
+                    elapsed,
                 );
                 self.inner.stats.count_method(Method::TopDown);
+                let eval_micros = elapsed.as_micros() as u64;
+                rt.phase_micros(Phase::Eval, eval_micros);
+                self.inner.obs.record_method(Method::TopDown, eval_micros);
                 Ok((out, Some(Method::TopDown)))
             }
         }
@@ -1040,6 +1455,110 @@ impl Server {
 impl Default for Server {
     fn default() -> Server {
         Server::new()
+    }
+}
+
+/// What [`Server::explain`] reports: the plan a `VIEW view doc`
+/// request would run right now, with the evidence behind each choice.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// The view being explained.
+    pub view: String,
+    /// The target document.
+    pub doc: String,
+    /// The document's current version (what cache residency is keyed
+    /// on).
+    pub version: u64,
+    /// The view definition's generation.
+    pub generation: u64,
+    /// Human-readable document shape (`memory nodes=…` / `file
+    /// bytes=…`).
+    pub shape: String,
+    /// View-result-cache residency at (version, generation): `None`
+    /// when the (source, body) combination is not cacheable at all.
+    pub result_cached: Option<bool>,
+    /// Per-link plans, in evaluation order.
+    pub links: Vec<LinkPlan>,
+}
+
+/// One link's plan inside an [`Explanation`].
+#[derive(Debug, Clone)]
+pub struct LinkPlan {
+    /// Position in the view's chain.
+    pub index: usize,
+    /// The method the planner would pick.
+    pub method: Method,
+    /// True when the method is forced by the shape (file → streaming,
+    /// multi-transform → fused top-down), not chosen adaptively.
+    pub fixed: bool,
+    /// True when the plan was made against an estimated shape (later
+    /// chain links, unparsed files) rather than the exact input.
+    pub approximate: bool,
+    /// Evidence per candidate method, in prior order.
+    pub candidates: Vec<CandidateEvidence>,
+}
+
+/// The latency evidence [`Server::explain`] holds for one candidate
+/// method: the planner's EWMA feedback cell and the observability
+/// layer's evaluation-latency histogram, either absent when unsampled.
+#[derive(Debug, Clone)]
+pub struct CandidateEvidence {
+    /// The candidate method.
+    pub method: Method,
+    /// Planner feedback: `(ns_per_node, samples)` in the consulted size
+    /// class, if sampled.
+    pub ewma: Option<(f64, u64)>,
+    /// Evaluation-latency digest for this method across all requests,
+    /// if any were recorded (absent with tracing off).
+    pub histogram: Option<HistogramSnapshot>,
+}
+
+impl std::fmt::Display for Explanation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "explain view={} doc={} version={} generation={} shape[{}] result_cache={}",
+            self.view,
+            self.doc,
+            self.version,
+            self.generation,
+            self.shape,
+            match self.result_cached {
+                Some(true) => "hit",
+                Some(false) => "miss",
+                None => "n/a",
+            }
+        )?;
+        for link in &self.links {
+            write!(
+                f,
+                "\nlink {}: method={}{}{}",
+                link.index,
+                link.method,
+                if link.fixed { " (fixed)" } else { "" },
+                if link.approximate {
+                    " (approximate)"
+                } else {
+                    ""
+                }
+            )?;
+            for c in &link.candidates {
+                write!(f, "\n  {}:", c.method)?;
+                match c.ewma {
+                    Some((ns, samples)) => write!(f, " ewma={ns:.1}ns/node samples={samples}")?,
+                    None => write!(f, " ewma=unsampled")?,
+                }
+                match &c.histogram {
+                    Some(h) => write!(
+                        f,
+                        " hist n={} p50={}µs p90={}µs p99={}µs max={}µs",
+                        h.count, h.p50, h.p90, h.p99, h.max
+                    )?,
+                    None => write!(f, " hist=empty")?,
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -1069,9 +1588,11 @@ impl Server {
             Ok(v) => v,
             Err(e) => {
                 stats.failures.fetch_add(1, Relaxed);
+                stats.record_verb(Verb::Stream, false);
                 return Err(e);
             }
         };
+        stats.record_verb(Verb::Stream, true);
         self.note_cache(hit);
         let stream = ct.stream(LdStorage::Memory);
         Ok(StreamingSession {

@@ -79,6 +79,89 @@ fn method_index(m: Method) -> usize {
         .expect("Method::ALL is exhaustive")
 }
 
+/// The protocol verb a request arrived under. One counter pair per
+/// verb means a failed `UPDATE` and a failed `QUERY` are
+/// distinguishable in `STATS`/`METRICS` (before this, both were just
+/// `failures`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verb {
+    /// `VIEW` — materialize a view.
+    View,
+    /// `QUERY` — answer a user query over a virtual view.
+    Query,
+    /// `TRANSFORM` — run an ad-hoc transform.
+    Transform,
+    /// `UPDATE` — live write through the update path.
+    Update,
+    /// `STREAM` — open a streaming transform session.
+    Stream,
+    /// `LOAD` — load or reload a document.
+    Load,
+    /// `REMOVE` — remove a document.
+    Remove,
+    /// `METRICS` — metrics exposition.
+    Metrics,
+    /// `TRACE` — recent/slowest request traces.
+    Trace,
+    /// `EXPLAIN` — plan report without execution.
+    Explain,
+}
+
+impl Verb {
+    /// Every verb, in fixed (index) order.
+    pub const ALL: [Verb; 10] = [
+        Verb::View,
+        Verb::Query,
+        Verb::Transform,
+        Verb::Update,
+        Verb::Stream,
+        Verb::Load,
+        Verb::Remove,
+        Verb::Metrics,
+        Verb::Trace,
+        Verb::Explain,
+    ];
+
+    /// Lower-case verb name, as rendered in `STATS` and `METRICS`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Verb::View => "view",
+            Verb::Query => "query",
+            Verb::Transform => "transform",
+            Verb::Update => "update",
+            Verb::Stream => "stream",
+            Verb::Load => "load",
+            Verb::Remove => "remove",
+            Verb::Metrics => "metrics",
+            Verb::Trace => "trace",
+            Verb::Explain => "explain",
+        }
+    }
+
+    /// This verb's position in [`Verb::ALL`] (for per-verb arrays).
+    pub fn index(self) -> usize {
+        Verb::ALL
+            .iter()
+            .position(|&v| v == self)
+            .expect("Verb::ALL is exhaustive")
+    }
+}
+
+impl std::fmt::Display for Verb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Request/error counters for one [`Verb`].
+#[derive(Debug, Default)]
+pub struct VerbCounters {
+    /// Requests that arrived under this verb.
+    pub requests: AtomicU64,
+    /// Of those, how many returned an error.
+    pub errors: AtomicU64,
+}
+
 /// Counters for one [`crate::Server`].
 #[derive(Debug, Default)]
 pub struct ServeStats {
@@ -117,6 +200,7 @@ pub struct ServeStats {
     /// lazily on next request).
     pub delta_recomputed: AtomicU64,
     per_method: [AtomicU64; N_METHODS],
+    per_verb: [VerbCounters; Verb::ALL.len()],
     /// Total busy time across requests, in microseconds.
     pub busy_micros: AtomicU64,
     /// Per-view latency EWMAs (µs), merged lock-free by [`EwmaCell`].
@@ -246,6 +330,25 @@ impl ServeStats {
             })
     }
 
+    /// Records one request under `verb`; `ok == false` also bumps the
+    /// verb's error counter.
+    pub fn record_verb(&self, verb: Verb, ok: bool) {
+        let cell = &self.per_verb[verb.index()];
+        cell.requests.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            cell.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// `(requests, errors)` recorded for `verb`.
+    pub fn verb_counts(&self, verb: Verb) -> (u64, u64) {
+        let cell = &self.per_verb[verb.index()];
+        (
+            cell.requests.load(Ordering::Relaxed),
+            cell.errors.load(Ordering::Relaxed),
+        )
+    }
+
     /// Records one execution with `method`.
     pub fn count_method(&self, m: Method) {
         self.per_method[method_index(m)].fetch_add(1, Ordering::Relaxed);
@@ -283,6 +386,18 @@ impl ServeStats {
             result_misses: 0,
             busy_micros: self.busy_micros.load(Ordering::Relaxed),
             per_method: Method::ALL.map(|m| (m, self.method_count(m))),
+            verbs: {
+                let mut v: Vec<(Verb, u64, u64)> = Verb::ALL
+                    .iter()
+                    .map(|&verb| {
+                        let (r, e) = self.verb_counts(verb);
+                        (verb, r, e)
+                    })
+                    .filter(|&(_, r, e)| r > 0 || e > 0)
+                    .collect();
+                v.sort_by(|a, b| a.0.name().cmp(b.0.name()));
+                v
+            },
             view_delta: {
                 let map = self.view_delta.read().expect("stats lock poisoned");
                 let mut v: Vec<(String, u64, u64)> = map
@@ -376,6 +491,9 @@ pub struct StatsSnapshot {
     pub busy_micros: u64,
     /// Executions per evaluation method.
     pub per_method: [(Method, u64); N_METHODS],
+    /// Per-verb request/error counts: `(verb, requests, errors)`,
+    /// sorted by verb name, verbs with no traffic omitted.
+    pub verbs: Vec<(Verb, u64, u64)>,
     /// Per-view latency EWMAs: `(view, samples, micros)`, sorted by view.
     pub view_latency: Vec<(String, u32, f32)>,
     /// Per-view delta outcomes: `(view, retained, recomputed)`, sorted.
@@ -443,7 +561,129 @@ impl std::fmt::Display for StatsSnapshot {
                 "\ndoc {doc}: delta_retained={retained} delta_recomputed={recomputed}"
             )?;
         }
+        for (verb, requests, errors) in &self.verbs {
+            write!(f, "\nverb {verb}: requests={requests} errors={errors}")?;
+        }
         Ok(())
+    }
+}
+
+/// Escapes `s` for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl StatsSnapshot {
+    /// Renders the snapshot as one JSON object (stable key order, no
+    /// trailing newline). The workspace deliberately has no serde; the
+    /// shape is flat enough that hand-rolling stays honest.
+    pub fn render_json(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::with_capacity(1024);
+        s.push('{');
+        let _ = write!(
+            s,
+            "\"requests\":{},\"failures\":{},\"cache_hits\":{},\"cache_misses\":{},\
+             \"compiles\":{},\"compositions\":{},\"view_requests\":{},\"query_requests\":{},\
+             \"transform_requests\":{},\"batches\":{},\"batch_items\":{},\"batch_steals\":{},\
+             \"interned_labels\":{},\"stream_sessions\":{},\"update_requests\":{},\
+             \"delta_retained\":{},\"delta_recomputed\":{},\"result_hits\":{},\
+             \"result_misses\":{},\"busy_micros\":{}",
+            self.requests,
+            self.failures,
+            self.cache_hits,
+            self.cache_misses,
+            self.compiles,
+            self.compositions,
+            self.view_requests,
+            self.query_requests,
+            self.transform_requests,
+            self.batches,
+            self.batch_items,
+            self.batch_steals,
+            self.interned_labels,
+            self.stream_sessions,
+            self.update_requests,
+            self.delta_retained,
+            self.delta_recomputed,
+            self.result_hits,
+            self.result_misses,
+            self.busy_micros
+        );
+        s.push_str(",\"per_method\":[");
+        let mut first = true;
+        for (m, n) in &self.per_method {
+            if *n == 0 {
+                continue;
+            }
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let _ = write!(
+                s,
+                "{{\"method\":\"{}\",\"count\":{n}}}",
+                json_escape(&m.to_string())
+            );
+        }
+        s.push_str("],\"verbs\":[");
+        for (i, (verb, requests, errors)) in self.verbs.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"verb\":\"{verb}\",\"requests\":{requests},\"errors\":{errors}}}"
+            );
+        }
+        s.push_str("],\"view_latency\":[");
+        for (i, (view, n, ewma)) in self.view_latency.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"view\":\"{}\",\"samples\":{n},\"ewma_micros\":{:.1}}}",
+                json_escape(view),
+                ewma
+            );
+        }
+        s.push_str("],\"view_delta\":[");
+        for (i, (view, retained, recomputed)) in self.view_delta.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"view\":\"{}\",\"retained\":{retained},\"recomputed\":{recomputed}}}",
+                json_escape(view)
+            );
+        }
+        s.push_str("],\"doc_delta\":[");
+        for (i, (doc, retained, recomputed)) in self.doc_delta.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"doc\":\"{}\",\"retained\":{retained},\"recomputed\":{recomputed}}}",
+                json_escape(doc)
+            );
+        }
+        s.push_str("]}");
+        s
     }
 }
 
@@ -576,6 +816,47 @@ mod tests {
         assert!(s.doc_delta("hot").is_none());
         s.record_doc_delta("hot", 1, 0);
         assert_eq!(s.doc_delta("hot"), Some((1, 0)));
+    }
+
+    #[test]
+    fn per_verb_counters_roll_up_sorted() {
+        let s = ServeStats::default();
+        assert_eq!(s.verb_counts(Verb::View), (0, 0));
+        s.record_verb(Verb::View, true);
+        s.record_verb(Verb::View, false);
+        s.record_verb(Verb::Update, true);
+        assert_eq!(s.verb_counts(Verb::View), (2, 1));
+        assert_eq!(s.verb_counts(Verb::Update), (1, 0));
+        let snap = s.snapshot();
+        // Sorted by verb name; untouched verbs omitted.
+        assert_eq!(snap.verbs, vec![(Verb::Update, 1, 0), (Verb::View, 2, 1)]);
+        let text = snap.to_string();
+        assert!(text.contains("verb view: requests=2 errors=1"), "{text}");
+        assert!(text.contains("verb update: requests=1 errors=0"), "{text}");
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        let s = ServeStats::default();
+        s.requests.fetch_add(2, Ordering::Relaxed);
+        s.count_method(Method::TopDown);
+        s.record_verb(Verb::Query, true);
+        s.record_view_latency("pub\"lic", 120.0);
+        s.record_view_delta("public", true);
+        s.record_doc_delta("db", 1, 0);
+        let json = s.snapshot().render_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"requests\":2"), "{json}");
+        assert!(
+            json.contains("{\"verb\":\"query\",\"requests\":1,\"errors\":0}"),
+            "{json}"
+        );
+        assert!(json.contains("\"view\":\"pub\\\"lic\""), "escaped: {json}");
+        assert!(
+            json.contains("{\"doc\":\"db\",\"retained\":1,\"recomputed\":0}"),
+            "{json}"
+        );
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }
 
     #[test]

@@ -47,7 +47,7 @@
 //! one can never be wrongly served for a re-created document.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
 use xust_intern::Interner;
@@ -94,6 +94,7 @@ pub struct WriteStamp {
 pub struct DocStore {
     shards: Box<[Shard]>,
     active: Arc<AtomicUsize>,
+    snapshots_taken: AtomicU64,
 }
 
 impl DocStore {
@@ -110,6 +111,7 @@ impl DocStore {
                 })
                 .collect(),
             active: Arc::new(AtomicUsize::new(0)),
+            snapshots_taken: AtomicU64::new(0),
         }
     }
 
@@ -273,6 +275,7 @@ impl DocStore {
             .map(|s| Arc::clone(&s.current.read().expect("doc store lock poisoned")))
             .collect();
         self.active.fetch_add(1, Ordering::SeqCst);
+        self.snapshots_taken.fetch_add(1, Ordering::Relaxed);
         StoreSnapshot {
             epochs,
             active: Arc::clone(&self.active),
@@ -283,6 +286,14 @@ impl DocStore {
     /// assert this returns to zero after aborted requests and sessions.
     pub fn active_snapshots(&self) -> usize {
         self.active.load(Ordering::SeqCst)
+    }
+
+    /// Cumulative snapshots ever taken (a monotone counter, unlike the
+    /// [`active_snapshots`](Self::active_snapshots) gauge) — `METRICS`
+    /// exports both so snapshot churn is visible even when the gauge
+    /// idles at zero.
+    pub fn snapshots_taken(&self) -> u64 {
+        self.snapshots_taken.load(Ordering::Relaxed)
     }
 
     /// Current epoch number of every shard, in shard order.

@@ -232,6 +232,23 @@ impl ViewResultCache {
         found
     }
 
+    /// Whether `(view, doc)` is resident at exactly `(version,
+    /// generation)` — **without** counting a hit/miss or bumping the
+    /// entry's LRU age. This is the `EXPLAIN` probe: introspection must
+    /// not perturb the statistics or retention order it reports on.
+    pub fn peek(&self, view: &str, doc: &str, version: u64, generation: u64) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        self.shard_of(doc).is_some_and(|shard| {
+            let state = shard.state.lock().expect("view cache shard poisoned");
+            matches!(
+                state.views.get(view),
+                Some(e) if e.version == version && e.generation == generation
+            )
+        })
+    }
+
     /// Installs (or replaces) the result for `(view, doc)` as of
     /// document version `version` under view-definition `generation`,
     /// evicting the least-recently-used entry cache-wide at capacity.

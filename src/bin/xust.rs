@@ -72,10 +72,10 @@ usage:
   xust compose   -q <transform|@file> -u <user-query|@file> -i <input.xml> [-o <out.xml>] [--stream]
   xust generate  --factor <f> [--seed <n>] -o <out.xml>
   xust validate  -i <input.xml>
-  xust exec      -q <transform|@file> -i <input.xml> [-o <out.xml>] [--stats]
-  xust stream    -q <transform|@file> -i <input.xml> [-o <out.xml>] [--stats]
+  xust exec      -q <transform|@file> -i <input.xml> [-o <out.xml>] [--stats] [--stats-json]
+  xust stream    -q <transform|@file> -i <input.xml> [-o <out.xml>] [--stats] [--stats-json]
   xust serve     [--doc <name>=<path>]… [--view <name>=<query|@file>]…
-                 [--port <p> | --stdio] [--threads <n>] [--shards <n>]
+                 [--port <p> | --stdio] [--threads <n>] [--shards <n>] [--no-trace]
 
 serve protocol (one request per line, answers framed as `OK <len>`/`ERR <msg>`):
   VIEW <view> <doc>               materialize a registered view
@@ -89,6 +89,13 @@ serve protocol (one request per line, answers framed as `OK <len>`/`ERR <msg>`):
   STREAM <doc> <transform…>       stream a file-backed doc through a session;
                                   output arrives incrementally as `OUT <len>`
                                   frames followed by `DONE <total>`
+  METRICS                         Prometheus-style text exposition of every
+                                  counter, gauge, and latency histogram
+  TRACE [n]                       the n most recent request traces (default 8)
+                                  plus the slowest requests, phase by phase
+  EXPLAIN <view> <doc>            the method the planner would pick for each
+                                  link of <view> over <doc>, with the evidence
+                                  (EWMA + histogram) — without executing
   STATS | LIST | QUIT
 "#;
 
@@ -104,6 +111,8 @@ struct Opts {
     factor: Option<f64>,
     seed: Option<u64>,
     stats: bool,
+    stats_json: bool,
+    no_trace: bool,
     stdio: bool,
     port: Option<u16>,
     threads: Option<usize>,
@@ -146,6 +155,8 @@ impl Opts {
                     )
                 }
                 "--stats" => o.stats = true,
+                "--stats-json" => o.stats_json = true,
+                "--no-trace" => o.no_trace = true,
                 "--stdio" => o.stdio = true,
                 "--port" => {
                     o.port = Some(
@@ -362,7 +373,10 @@ fn cmd_validate(o: &Opts) -> Result<(), String> {
 fn cmd_exec(o: &Opts) -> Result<(), String> {
     let query = require(&o.query, "-q <transform query>")?;
     let input = require(&o.input, "-i <input.xml>")?;
-    let server = Server::builder().threads(o.threads.unwrap_or(1)).build();
+    let server = Server::builder()
+        .threads(o.threads.unwrap_or(1))
+        .tracing(!o.no_trace)
+        .build();
     // `--stream` keeps the input file-backed (the planner then routes to
     // twoPassSAX); otherwise parse once so DOM methods are candidates.
     if o.stream {
@@ -379,16 +393,27 @@ fn cmd_exec(o: &Opts) -> Result<(), String> {
             query: query.into(),
         })
         .map_err(|e| e.to_string())?;
+    let method = resp
+        .method
+        .map(|m| m.to_string())
+        .unwrap_or_else(|| "-".into());
     if o.stats {
-        let method = resp
-            .method
-            .map(|m| m.to_string())
-            .unwrap_or_else(|| "-".into());
         eprintln!(
             "method={method} micros={} cache_hit={}",
             resp.micros, resp.cache_hit
         );
         eprintln!("{}", server.stats());
+    }
+    if o.stats_json {
+        // One machine-readable object on stderr; stdout stays the
+        // transform result alone so pipelines keep working.
+        eprintln!(
+            "{{\"command\":\"exec\",\"method\":\"{}\",\"micros\":{},\"cache_hit\":{},\"stats\":{}}}",
+            xust::serve::json_escape(&method),
+            resp.micros,
+            resp.cache_hit,
+            server.stats().render_json()
+        );
     }
     emit(&o.output, &resp.body)
 }
@@ -425,13 +450,17 @@ fn cmd_stream(o: &Opts) -> Result<(), String> {
         out.write_all(b"\n").map_err(|e| e.to_string())?;
     }
     out.flush().map_err(|e| e.to_string())?;
+    let bytes = emitted + tail.len() as u64;
     if o.stats {
         eprintln!(
             "elements={} ld_entries={} max_depth={} bytes={}",
-            stats.elements,
-            stats.ld_entries,
-            stats.max_depth,
-            emitted + tail.len() as u64
+            stats.elements, stats.ld_entries, stats.max_depth, bytes
+        );
+    }
+    if o.stats_json {
+        eprintln!(
+            "{{\"command\":\"stream\",\"elements\":{},\"ld_entries\":{},\"max_depth\":{},\"bytes\":{}}}",
+            stats.elements, stats.ld_entries, stats.max_depth, bytes
         );
     }
     Ok(())
@@ -445,6 +474,7 @@ fn cmd_serve(o: &Opts) -> Result<(), String> {
     let server = Server::builder()
         .threads(o.threads.unwrap_or(4))
         .shards(o.shards.unwrap_or(8))
+        .tracing(!o.no_trace)
         .build();
     for (name, path) in &o.docs {
         // Documents small enough to parse eagerly are shared in memory;
@@ -518,6 +548,21 @@ fn serve_connection(
         let reply: Result<String, String> = match verb {
             "QUIT" => break,
             "STATS" => Ok(server.stats().to_string()),
+            "METRICS" => Ok(server.metrics()),
+            "TRACE" => match rest {
+                "" => Ok(server.traces(8)),
+                n => n
+                    .parse::<usize>()
+                    .map(|n| server.traces(n))
+                    .map_err(|_| "TRACE [n]".to_string()),
+            },
+            "EXPLAIN" => match rest.split_once(' ') {
+                Some((view, doc)) => server
+                    .explain(view.trim(), doc.trim())
+                    .map(|e| e.to_string())
+                    .map_err(|e| e.to_string()),
+                None => Err("EXPLAIN <view> <doc>".into()),
+            },
             "LIST" => Ok(format!(
                 "docs: {}\nviews: {}",
                 server.doc_names().join(","),
@@ -778,6 +823,65 @@ mod tests {
     }
 
     #[test]
+    fn parse_observability_flags() {
+        let o = Opts::parse(&s(&["--stats-json", "--no-trace"])).unwrap();
+        assert!(o.stats_json);
+        assert!(o.no_trace);
+        let o = Opts::parse(&s(&["--stats"])).unwrap();
+        assert!(!o.stats_json && !o.no_trace);
+    }
+
+    #[test]
+    fn metrics_trace_explain_protocol_verbs() {
+        use std::io::Cursor;
+        let server = Server::builder().threads(2).build();
+        server
+            .load_doc_str("db", "<db><part><price>9</price><n>kb</n></part></db>")
+            .unwrap();
+        server
+            .register_view(
+                "public",
+                r#"transform copy $a := doc("db") modify do delete $a//price return $a"#,
+            )
+            .unwrap();
+        let input = concat!(
+            "VIEW public db\n",
+            "VIEW missing db\n",
+            "METRICS\n",
+            "TRACE\n",
+            "TRACE 2\n",
+            "TRACE notanumber\n",
+            "EXPLAIN public db\n",
+            "EXPLAIN public nosuchdoc\n",
+            "EXPLAIN public\n",
+            "QUIT\n",
+        );
+        let mut out = Vec::new();
+        serve_connection(&server, Cursor::new(input), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        // METRICS: Prometheus-style lines with per-verb counters.
+        assert!(
+            text.contains("xust_verb_requests_total{verb=\"view\"} 2"),
+            "verb counter missing: {text}"
+        );
+        assert!(text.contains("xust_verb_errors_total{verb=\"view\"} 1"));
+        assert!(text.contains("# TYPE xust_latency_micros summary"));
+        assert!(text.contains("scope=\"verb\",key=\"view\""));
+        // TRACE: per-request phase breakdowns, newest first.
+        assert!(text.contains("traced="), "trace header missing: {text}");
+        assert!(text.contains("view public/db"));
+        assert!(text.contains("ERR TRACE [n]"));
+        // EXPLAIN: a per-link plan without executing anything.
+        assert!(
+            text.contains("explain view=public doc=db"),
+            "explain missing: {text}"
+        );
+        assert!(text.contains("link 0: method="));
+        assert!(text.contains("ERR unknown document 'nosuchdoc'"));
+        assert!(text.contains("ERR EXPLAIN <view> <doc>"));
+    }
+
+    #[test]
     fn serve_connection_protocol() {
         use std::io::Cursor;
         let server = Server::builder().threads(2).build();
@@ -921,6 +1025,7 @@ mod tests {
             "-o",
             output.to_str().unwrap(),
             "--stats",
+            "--stats-json",
         ]))
         .unwrap();
         assert_eq!(
@@ -961,6 +1066,7 @@ mod tests {
             input.to_str().unwrap(),
             "-o",
             output.to_str().unwrap(),
+            "--stats-json",
         ]))
         .unwrap();
         assert_eq!(

@@ -1,0 +1,307 @@
+//! End-to-end observability: the METRICS exposition parses line by
+//! line, histograms stay conserved under concurrency, TRACE captures a
+//! slow request's phase breakdown, and EXPLAIN predicts the method the
+//! planner then actually picks.
+
+use xust::serve::{LatencyHistogram, Phase, PlannerConfig, Request, Server};
+
+/// A memory document big enough to clear the planner's tiny-doc
+/// threshold (3 nodes per part + root).
+fn big_doc(parts: usize) -> String {
+    let mut xml = String::from("<db>");
+    for i in 0..parts {
+        xml.push_str(&format!("<part><price>{i}</price><n>p{i}</n></part>"));
+    }
+    xml.push_str("</db>");
+    xml
+}
+
+fn view_query() -> &'static str {
+    r#"transform copy $a := doc("db") modify do delete $a//price return $a"#
+}
+
+/// Validates one line of the Prometheus text exposition:
+/// `name{label="v",…} value` (or a `#`-prefixed comment).
+fn assert_metric_line(line: &str) {
+    if let Some(comment) = line.strip_prefix('#') {
+        assert!(comment.starts_with(' '), "malformed comment line: {line:?}");
+        return;
+    }
+    let (series, value) = line
+        .rsplit_once(' ')
+        .unwrap_or_else(|| panic!("no value separator in {line:?}"));
+    value
+        .parse::<f64>()
+        .unwrap_or_else(|e| panic!("unparseable value in {line:?}: {e}"));
+    let name = match series.split_once('{') {
+        Some((name, labels)) => {
+            let labels = labels
+                .strip_suffix('}')
+                .unwrap_or_else(|| panic!("unterminated labels in {line:?}"));
+            for pair in labels.split(',') {
+                let (k, v) = pair
+                    .split_once('=')
+                    .unwrap_or_else(|| panic!("label without '=' in {line:?}"));
+                assert!(
+                    k.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                    "bad label key {k:?} in {line:?}"
+                );
+                assert!(
+                    v.len() >= 2 && v.starts_with('"') && v.ends_with('"'),
+                    "unquoted label value {v:?} in {line:?}"
+                );
+            }
+            name
+        }
+        None => series,
+    };
+    assert!(!name.is_empty(), "empty metric name in {line:?}");
+    assert!(
+        !name.starts_with(|c: char| c.is_ascii_digit()),
+        "metric name starts with digit in {line:?}"
+    );
+    assert!(
+        name.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+        "bad metric name {name:?} in {line:?}"
+    );
+}
+
+#[test]
+fn metrics_exposition_parses_and_covers_verbs_views_methods() {
+    let server = Server::builder().threads(2).build();
+    server.load_doc_str("db", &big_doc(40)).unwrap();
+    server.register_view("public", view_query()).unwrap();
+    // A mixed workload so every series family has data.
+    server
+        .handle(&Request::View {
+            view: "public".into(),
+            doc: "db".into(),
+        })
+        .unwrap();
+    server
+        .handle(&Request::View {
+            view: "public".into(),
+            doc: "db".into(),
+        })
+        .unwrap();
+    server
+        .handle(&Request::Query {
+            view: "public".into(),
+            doc: "db".into(),
+            query: r#"<out>{ for $x in doc("db")/db/part return $x }</out>"#.into(),
+        })
+        .unwrap();
+    server
+        .handle(&Request::Transform {
+            doc: "db".into(),
+            query: view_query().into(),
+        })
+        .unwrap();
+    server
+        .handle(&Request::Update {
+            doc: "db".into(),
+            update: r#"transform copy $a := doc("db") modify do insert <x/> into $a/db return $a"#
+                .into(),
+        })
+        .unwrap();
+    server
+        .handle(&Request::View {
+            view: "nope".into(),
+            doc: "db".into(),
+        })
+        .unwrap_err();
+
+    let text = server.metrics();
+    assert!(!text.is_empty());
+    for line in text.lines().filter(|l| !l.is_empty()) {
+        assert_metric_line(line);
+    }
+    // Per-verb counters, including the error and METRICS itself.
+    assert!(text.contains("xust_verb_requests_total{verb=\"view\"} 3"));
+    assert!(text.contains("xust_verb_errors_total{verb=\"view\"} 1"));
+    assert!(text.contains("xust_verb_requests_total{verb=\"update\"} 1"));
+    assert!(text.contains("xust_verb_requests_total{verb=\"metrics\"} 1"));
+    // Latency summaries per verb, per view, and per method.
+    assert!(text.contains("# TYPE xust_latency_micros summary"));
+    for q in ["0.5", "0.9", "0.99"] {
+        assert!(
+            text.contains(&format!(
+                "xust_latency_micros{{scope=\"verb\",key=\"view\",quantile=\"{q}\"}}"
+            )),
+            "missing verb quantile {q}: {text}"
+        );
+    }
+    assert!(text.contains("xust_latency_micros{scope=\"view\",key=\"public\",quantile=\"0.5\"}"));
+    assert!(text.contains("scope=\"method\""));
+    assert!(text.contains("xust_method_executions_total"));
+    // Gauges and cache counters ride along.
+    assert!(text.contains("xust_store_docs"));
+    assert!(text.contains("xust_prepared_cache_hits{cache=\"transforms\"}"));
+}
+
+#[test]
+fn histograms_conserve_count_and_sum_under_concurrency() {
+    use std::sync::Arc;
+    let hist = Arc::new(LatencyHistogram::new());
+    let reference = LatencyHistogram::new();
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    let sample = |t: u64, i: u64| (t * 131 + i * 17) % 250_000 + 1;
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let hist = Arc::clone(&hist);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    hist.record(sample(t, i));
+                }
+            })
+        })
+        .collect();
+    for t in 0..THREADS {
+        for i in 0..PER_THREAD {
+            reference.record(sample(t, i));
+        }
+    }
+    for w in workers {
+        w.join().unwrap();
+    }
+    let (got, want) = (hist.snapshot(), reference.snapshot());
+    assert_eq!(got.count, THREADS * PER_THREAD);
+    assert_eq!(got.sum, want.sum, "sum lost under concurrency");
+    assert_eq!(got.max, want.max);
+    // Quantiles land in exactly the same buckets: recording is
+    // commutative, so the concurrent histogram equals the serial one.
+    assert_eq!((got.p50, got.p90, got.p99), (want.p50, want.p90, want.p99));
+}
+
+#[test]
+fn trace_captures_slow_request_phase_breakdown() {
+    let server = Server::builder().threads(2).build();
+    server.load_doc_str("db", &big_doc(3000)).unwrap();
+    server.register_view("public", view_query()).unwrap();
+    server
+        .handle(&Request::View {
+            view: "public".into(),
+            doc: "db".into(),
+        })
+        .unwrap();
+
+    let traces = server.obs().recent_traces(8);
+    let view = traces
+        .iter()
+        .find(|t| t.target == "public/db")
+        .expect("view request was traced");
+    assert!(view.ok);
+    assert!(view.micros > 0);
+    assert!(
+        view.phases().iter().any(|(p, _)| *p == Phase::Eval),
+        "no Eval phase in {:?}",
+        view.phases()
+    );
+    // The phase breakdown accounts for the request: each phase fits
+    // inside the total, and together they cover most of it (the
+    // remainder is dispatch glue between the bracketed sections).
+    let phase_sum: u64 = view.phases().iter().map(|&(_, us)| us).sum();
+    assert!(
+        phase_sum <= view.micros + view.micros / 5 + 50,
+        "phases sum to {phase_sum}µs but the request took {}µs",
+        view.micros
+    );
+    assert!(
+        phase_sum * 2 >= view.micros,
+        "phases cover only {phase_sum}µs of {}µs",
+        view.micros
+    );
+    // The materialization was slow enough to make the slow log, and the
+    // rendered TRACE output carries the breakdown.
+    assert!(server
+        .obs()
+        .slowest_traces()
+        .iter()
+        .any(|t| t.seq == view.seq));
+    let rendered = server.traces(8);
+    assert!(rendered.contains("view public/db"), "{rendered}");
+    assert!(rendered.contains("phases["), "{rendered}");
+    assert!(rendered.contains("slowest:"), "{rendered}");
+}
+
+#[test]
+fn tracing_disabled_records_nothing_but_serves_metrics() {
+    let server = Server::builder().threads(2).tracing(false).build();
+    server.load_doc_str("db", &big_doc(20)).unwrap();
+    server.register_view("public", view_query()).unwrap();
+    server
+        .handle(&Request::View {
+            view: "public".into(),
+            doc: "db".into(),
+        })
+        .unwrap();
+    assert_eq!(server.obs().requests_traced(), 0);
+    assert!(server.obs().recent_traces(8).is_empty());
+    assert!(server.traces(8).contains("tracing disabled"));
+    // Counters are unconditional: METRICS still reflects the request.
+    let text = server.metrics();
+    for line in text.lines().filter(|l| !l.is_empty()) {
+        assert_metric_line(line);
+    }
+    assert!(text.contains("xust_verb_requests_total{verb=\"view\"} 1"));
+}
+
+#[test]
+fn explain_predicts_the_method_the_planner_then_picks() {
+    // Exploration off and the result cache disabled: every VIEW
+    // re-materializes, and between EXPLAIN and the next VIEW no
+    // feedback lands — the two must agree exactly.
+    let server = Server::builder()
+        .threads(1)
+        .result_cache_capacity(0)
+        .planner(PlannerConfig {
+            explore_every: 0,
+            ..PlannerConfig::default()
+        })
+        .build();
+    server.load_doc_str("db", &big_doc(2000)).unwrap();
+    server.register_view("public", view_query()).unwrap();
+    // Warm the planner's feedback cells.
+    for _ in 0..4 {
+        server
+            .handle(&Request::View {
+                view: "public".into(),
+                doc: "db".into(),
+            })
+            .unwrap();
+    }
+    let explanation = server.explain("public", "db").unwrap();
+    assert_eq!(explanation.links.len(), 1);
+    let predicted = explanation.links[0].method;
+    assert!(!explanation.links[0].fixed, "memory chain is adaptive");
+    // The warmed candidate carries both kinds of evidence.
+    let chosen_evidence = explanation.links[0]
+        .candidates
+        .iter()
+        .find(|c| c.method == predicted)
+        .expect("predicted method is among the candidates");
+    assert!(chosen_evidence.ewma.is_some(), "no EWMA after warming");
+    assert!(
+        chosen_evidence.histogram.is_some(),
+        "no histogram after warming"
+    );
+    let resp = server
+        .handle(&Request::View {
+            view: "public".into(),
+            doc: "db".into(),
+        })
+        .unwrap();
+    assert_eq!(
+        resp.method,
+        Some(predicted),
+        "EXPLAIN predicted {predicted} but the planner picked {:?}",
+        resp.method
+    );
+    // EXPLAIN itself never perturbs the plan: asking again agrees.
+    assert_eq!(
+        server.explain("public", "db").unwrap().links[0].method,
+        predicted
+    );
+}
