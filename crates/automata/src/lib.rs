@@ -32,9 +32,11 @@
 mod alphabet;
 mod filtering;
 mod selecting;
+mod shared;
 mod stateset;
 
 pub use alphabet::LabelSet;
 pub use filtering::{FilterState, FilteringNfa};
 pub use selecting::{SelState, SelectingNfa, StateId};
+pub use shared::{SharedNfa, SharedState, MAX_SHARED_VIEWS};
 pub use stateset::StateSet;

@@ -1,0 +1,405 @@
+//! A prefix-shared union of several selecting NFAs — the factorised
+//! evaluation plan behind `multi_view` in `xust-core`.
+//!
+//! Registered views of one document typically share long path prefixes
+//! (`/site/open_auctions/open_auction[...]/...`). Evaluating each view
+//! with its own [`SelectingNfa`](crate::SelectingNfa) re-runs the shared
+//! steps — and re-evaluates the shared *qualifiers*, the expensive part —
+//! once per view. [`SharedNfa`] unions up to [`MAX_SHARED_VIEWS`] paths
+//! into one trie-shaped automaton: structurally equal steps (same kind,
+//! same label, same qualifier) collapse into one state, so one
+//! `next_states` sweep per node drives every view at once and each shared
+//! qualifier is checked exactly once per node.
+//!
+//! Per-view identity survives the union through two bitmasks on every
+//! state:
+//!
+//! * `tags` — which views route through this state. A view whose tag has
+//!   disappeared from the live state set is *dead* at that subtree (its
+//!   own automaton would have an empty state set — the wholesale-copy
+//!   prune of topDown applies for it).
+//! * `accepts` — which views have this state as their final state.
+//!   A view's bit in [`SharedNfa::accept_mask`] means the current node is
+//!   in that view's `r[[p]]`.
+//!
+//! Because every state a view is tagged on forms a chain isomorphic to
+//! the view's own [`SelectingNfa`](crate::SelectingNfa) (the trie only
+//! merges structurally identical transitions), projecting a shared run
+//! onto one view's tag reproduces that view's private run exactly — the
+//! differential fuzzer in `tests/shared_eval.rs` holds the two
+//! byte-identical.
+//!
+//! The construction preserves the semi-linear invariant of the per-path
+//! automaton: ε edges and all transitions point to strictly larger state
+//! ids (children are created after their trie parent), so the ε-closure
+//! is still a single ascending sweep.
+
+use xust_intern::{intern, Sym};
+use xust_xpath::{Path, Qualifier, Step, StepKind};
+
+use crate::selecting::StateId;
+use crate::stateset::StateSet;
+
+/// The widest union one [`SharedNfa`] supports: per-view tags live in a
+/// `u64` bitmask. Callers with more views run several passes.
+pub const MAX_SHARED_VIEWS: usize = 64;
+
+/// One state of a shared (union) selecting NFA. Unlike
+/// [`SelState`](crate::SelState), a state can fan out to several
+/// successors per transition kind — the trie branches where paths stop
+/// sharing.
+#[derive(Debug, Clone)]
+pub struct SharedState {
+    /// `δ(s, l)` per interned label (one entry per distinct child label).
+    pub label_trans: Vec<(Sym, StateId)>,
+    /// `δ(s, ∗)` into wildcard-step states.
+    pub star_trans: Vec<StateId>,
+    /// `δ(s, ε)` into descendant-step states (each with a ∗ self-loop).
+    pub eps: Vec<StateId>,
+    /// `δ(s, ∗) = {s}` self-loop (descendant-step state).
+    pub self_loop: bool,
+    /// The step's qualifier, owned by the state so structurally equal
+    /// qualifiers are both shared and checked once per node.
+    pub qualifier: Option<Qualifier>,
+    /// Views routed through this state.
+    pub tags: u64,
+    /// Views whose final state this is.
+    pub accepts: u64,
+}
+
+impl SharedState {
+    fn new(qualifier: Option<Qualifier>) -> SharedState {
+        SharedState {
+            label_trans: Vec::new(),
+            star_trans: Vec::new(),
+            eps: Vec::new(),
+            self_loop: false,
+            qualifier,
+            tags: 0,
+            accepts: 0,
+        }
+    }
+}
+
+/// A prefix-shared union of up to [`MAX_SHARED_VIEWS`] selecting NFAs,
+/// run once per document node for all views simultaneously.
+#[derive(Debug, Clone)]
+pub struct SharedNfa {
+    /// States indexed by [`StateId`]; `states[0]` is the shared start.
+    pub states: Vec<SharedState>,
+    nviews: usize,
+}
+
+impl SharedNfa {
+    /// Unions `paths` into one trie-shaped automaton, tagging each path
+    /// with its index bit. Returns `None` when the union cannot be built:
+    /// no paths, more than [`MAX_SHARED_VIEWS`], or any ε path (an ε path
+    /// selects the root directly — there is no automaton to share, and
+    /// callers fall back to the per-view evaluator).
+    pub fn build(paths: &[&Path]) -> Option<SharedNfa> {
+        if paths.is_empty() || paths.len() > MAX_SHARED_VIEWS {
+            return None;
+        }
+        if paths.iter().any(|p| p.is_empty()) {
+            return None;
+        }
+        let mut nfa = SharedNfa {
+            states: vec![SharedState::new(None)],
+            nviews: paths.len(),
+        };
+        for (v, path) in paths.iter().enumerate() {
+            let bit = 1u64 << v;
+            nfa.states[0].tags |= bit;
+            let mut cur: StateId = 0;
+            for step in &path.steps {
+                cur = nfa.extend(cur, step, bit);
+            }
+            nfa.states[cur].accepts |= bit;
+        }
+        Some(nfa)
+    }
+
+    /// Walks (or grows) the trie edge for `step` out of `from`, tagging
+    /// the target with `bit`. An existing child is reused only when both
+    /// the transition wiring *and* the qualifier are structurally equal —
+    /// sharing a state with a different qualifier would change which
+    /// nodes pass the `checkp` filter for one of the views.
+    fn extend(&mut self, from: StateId, step: &Step, bit: u64) -> StateId {
+        let candidates: Vec<StateId> = match &step.kind {
+            StepKind::Label(l) => {
+                let sym = intern(l);
+                self.states[from]
+                    .label_trans
+                    .iter()
+                    .filter(|(s, _)| *s == sym)
+                    .map(|&(_, t)| t)
+                    .collect()
+            }
+            StepKind::Wildcard => self.states[from].star_trans.clone(),
+            StepKind::Descendant => self.states[from].eps.clone(),
+        };
+        if let Some(&t) = candidates
+            .iter()
+            .find(|&&t| self.states[t].qualifier == step.qualifier)
+        {
+            self.states[t].tags |= bit;
+            return t;
+        }
+        let id = self.states.len();
+        let mut st = SharedState::new(step.qualifier.clone());
+        if matches!(step.kind, StepKind::Descendant) {
+            st.self_loop = true;
+        }
+        st.tags = bit;
+        self.states.push(st);
+        match &step.kind {
+            StepKind::Label(l) => self.states[from].label_trans.push((intern(l), id)),
+            StepKind::Wildcard => self.states[from].star_trans.push(id),
+            StepKind::Descendant => self.states[from].eps.push(id),
+        }
+        id
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True when the automaton has only its start state (never the case
+    /// for a [`SharedNfa::build`] result, which rejects ε paths).
+    pub fn is_empty(&self) -> bool {
+        self.states.len() == 1
+    }
+
+    /// Number of views unioned into this automaton.
+    pub fn views(&self) -> usize {
+        self.nviews
+    }
+
+    /// The initial state set: the ε-closure of the shared start state.
+    pub fn initial(&self) -> StateSet {
+        let mut s = StateSet::singleton(self.len(), 0);
+        self.eps_closure(&mut s);
+        s
+    }
+
+    /// Extends `s` with everything reachable over ε transitions. All ε
+    /// edges point to strictly larger ids (trie children are created
+    /// after their parent), so one ascending sweep reaches the fixpoint.
+    pub fn eps_closure(&self, s: &mut StateSet) {
+        for id in 0..self.len() {
+            if s.contains(id) {
+                for &t in &self.states[id].eps {
+                    s.insert(t);
+                }
+            }
+        }
+    }
+
+    /// The shared `nextStates()`: states reached from `s` on a node
+    /// labelled `label`, filtered by their qualifiers via `check`, then
+    /// ε-closed. Each surviving state's qualifier is passed to `check`
+    /// exactly once — the factorised win: a qualifier shared by k views
+    /// is evaluated once per node instead of k times.
+    pub fn next_states<F>(&self, s: &StateSet, label: Sym, mut check: F) -> StateSet
+    where
+        F: FnMut(StateId, &Qualifier) -> bool,
+    {
+        let mut out = StateSet::new(self.len());
+        for id in s.iter() {
+            let st = &self.states[id];
+            if st.self_loop {
+                out.insert(id); // δ(s, ∗) = {s}
+            }
+            for &t in &st.star_trans {
+                out.insert(t);
+            }
+            for &(l, t) in &st.label_trans {
+                if l == label {
+                    out.insert(t);
+                }
+            }
+        }
+        let mut filtered = StateSet::new(self.len());
+        for id in out.iter() {
+            let keep = match &self.states[id].qualifier {
+                Some(q) => check(id, q),
+                None => true,
+            };
+            if keep {
+                filtered.insert(id);
+            }
+        }
+        self.eps_closure(&mut filtered);
+        filtered
+    }
+
+    /// Which views are still alive in `s` (the union of resident tags).
+    /// A cleared bit means that view's private automaton would have an
+    /// empty state set here — its subtree prune applies.
+    pub fn alive_mask(&self, s: &StateSet) -> u64 {
+        let mut mask = 0u64;
+        for id in s.iter() {
+            mask |= self.states[id].tags;
+        }
+        mask
+    }
+
+    /// Which views accept in `s` (the union of resident accept bits):
+    /// bit v set means the current node is in view v's `r[[p]]`.
+    pub fn accept_mask(&self, s: &StateSet) -> u64 {
+        let mut mask = 0u64;
+        for id in s.iter() {
+            mask |= self.states[id].accepts;
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selecting::SelectingNfa;
+    use xust_xpath::parse_path;
+
+    fn paths(ps: &[&str]) -> Vec<Path> {
+        ps.iter().map(|p| parse_path(p).unwrap()).collect()
+    }
+
+    fn shared(ps: &[&str]) -> SharedNfa {
+        let parsed = paths(ps);
+        SharedNfa::build(&parsed.iter().collect::<Vec<_>>()).unwrap()
+    }
+
+    /// Runs the shared automaton over a label word (qualifiers forced
+    /// true) and returns the accept mask at the end — the union analogue
+    /// of `SelectingNfa::accepts_word`.
+    fn accepts_views(nfa: &SharedNfa, word: &[&str]) -> u64 {
+        let mut s = nfa.initial();
+        for l in word {
+            s = nfa.next_states(&s, intern(l), |_, _| true);
+            if s.is_empty() {
+                return 0;
+            }
+        }
+        nfa.accept_mask(&s)
+    }
+
+    #[test]
+    fn shared_prefix_collapses_into_one_chain() {
+        // Three paths sharing /site/people: the union has one state per
+        // distinct step, not per (view, step).
+        let n = shared(&[
+            "/site/people/person",
+            "/site/people/person/profile",
+            "/site/regions",
+        ]);
+        // start + site + people + person + profile + regions = 6.
+        assert_eq!(n.len(), 6);
+        assert_eq!(n.states[0].tags, 0b111);
+        // `person` carries views 0 and 1, accepts only view 0.
+        let person = n
+            .states
+            .iter()
+            .position(|s| s.accepts == 0b001)
+            .expect("person state");
+        assert_eq!(n.states[person].tags, 0b011);
+    }
+
+    #[test]
+    fn differing_qualifiers_do_not_share_a_state() {
+        let n = shared(&["a[x]/b", "a[y]/c", "a[x]/d"]);
+        // Two distinct `a` states: one for [x] (shared by views 0 and 2),
+        // one for [y].
+        let a_states: Vec<_> = n.states.iter().filter(|s| s.qualifier.is_some()).collect();
+        assert_eq!(a_states.len(), 2);
+        assert!(a_states.iter().any(|s| s.tags == 0b101));
+        assert!(a_states.iter().any(|s| s.tags == 0b010));
+    }
+
+    #[test]
+    fn union_run_matches_each_private_run() {
+        let specs = [
+            "/site/people/person",
+            "/site//description",
+            "/site/people/person/profile",
+            "//item",
+            "a/*/c",
+            "/site/regions//item",
+        ];
+        let parsed = paths(&specs);
+        let n = SharedNfa::build(&parsed.iter().collect::<Vec<_>>()).unwrap();
+        let privates: Vec<SelectingNfa> = parsed.iter().map(SelectingNfa::new).collect();
+        let words: &[&[&str]] = &[
+            &["site", "people", "person"],
+            &["site", "people", "person", "profile"],
+            &["site", "regions", "item"],
+            &["site", "x", "y", "description"],
+            &["a", "q", "c"],
+            &["item"],
+            &["site"],
+            &["other", "item"],
+            &[],
+        ];
+        for word in words {
+            let mask = accepts_views(&n, word);
+            for (v, p) in privates.iter().enumerate() {
+                assert_eq!(
+                    mask & (1 << v) != 0,
+                    p.accepts_word(word),
+                    "view {v} ({}) disagrees on {word:?}",
+                    specs[v]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn alive_mask_tracks_per_view_death() {
+        let n = shared(&["/site/people/person", "/site/regions/item"]);
+        let mut s = n.initial();
+        s = n.next_states(&s, intern("site"), |_, _| true);
+        assert_eq!(n.alive_mask(&s), 0b11, "both alive under site");
+        let dead_branch = n.next_states(&s, intern("regions"), |_, _| true);
+        assert_eq!(
+            n.alive_mask(&dead_branch),
+            0b10,
+            "view 0 dead under regions"
+        );
+        let gone = n.next_states(&dead_branch, intern("nope"), |_, _| true);
+        assert_eq!(n.alive_mask(&gone), 0, "empty set → no view alive");
+    }
+
+    #[test]
+    fn qualifier_checked_once_per_node_for_shared_state() {
+        let n = shared(&["a[x]/b", "a[x]/c"]);
+        let mut checks = 0;
+        let s = n.next_states(&n.initial(), intern("a"), |_, _| {
+            checks += 1;
+            true
+        });
+        assert_eq!(checks, 1, "shared qualifier evaluated once, not per view");
+        assert_eq!(n.alive_mask(&s), 0b11);
+    }
+
+    #[test]
+    fn build_rejects_degenerate_inputs() {
+        assert!(SharedNfa::build(&[]).is_none());
+        let eps = Path::empty();
+        let ok = parse_path("/a").unwrap();
+        assert!(SharedNfa::build(&[&ok, &eps]).is_none());
+        let many: Vec<Path> = (0..65).map(|_| parse_path("/a").unwrap()).collect();
+        assert!(SharedNfa::build(&many.iter().collect::<Vec<_>>()).is_none());
+        assert!(SharedNfa::build(&[&ok]).is_some());
+    }
+
+    #[test]
+    fn descendant_self_loops_survive_the_union() {
+        let n = shared(&["//part", "//part/price"]);
+        let m1 = accepts_views(&n, &["x", "y", "part"]);
+        assert_eq!(m1, 0b01);
+        let m2 = accepts_views(&n, &["x", "part", "price"]);
+        // `//part` also matches nothing at `price`, `//part/price` accepts.
+        assert_eq!(m2, 0b10);
+    }
+}

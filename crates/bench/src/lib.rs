@@ -123,6 +123,38 @@ pub fn multi_query(k: usize) -> xust_core::MultiTransformQuery {
     )
 }
 
+/// The k views of `bench_smoke`'s `multi_view` row: single-update
+/// transform queries over one XMark document sharing the
+/// qualifier-bearing descendant prefix `/site//open_auction[…]//` and
+/// branching only on the final label (each view projects away a
+/// different content class). Descendant steps keep several automaton
+/// states live at every node, so each *private* pass re-pays that
+/// multi-state walk — and the shared qualifier — per view; the
+/// factorised pass pays the union walk once and only the per-view
+/// output copies k times.
+pub fn shared_view_queries(k: usize) -> Vec<TransformQuery> {
+    const SUFFIXES: [&str; 8] = [
+        "annotation",
+        "description",
+        "parlist",
+        "listitem",
+        "text",
+        "emph",
+        "keyword",
+        "bold",
+    ];
+    (0..k)
+        .map(|i| {
+            let path = parse_path(&format!(
+                "/site//open_auction[bidder/increase > 5]//{}",
+                SUFFIXES[i % SUFFIXES.len()]
+            ))
+            .expect("view paths parse");
+            TransformQuery::delete("xmark", path)
+        })
+        .collect()
+}
+
 /// The wrapped user query over workload path `i`.
 pub fn user_query(i: usize) -> UserQuery {
     UserQuery::parse(&format!(

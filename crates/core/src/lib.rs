@@ -42,6 +42,7 @@ pub mod delta;
 pub mod engine;
 pub mod multi;
 pub mod multi_sax;
+pub mod multi_view;
 pub mod naive;
 pub mod prepared;
 pub mod query;
@@ -64,6 +65,7 @@ pub use multi_sax::{
     multi_two_pass_sax, multi_two_pass_sax_files, multi_two_pass_sax_files_batch,
     multi_two_pass_sax_str,
 };
+pub use multi_view::{multi_view, multi_view_with_stats, MultiViewStats, SharedViewResult};
 pub use naive::{naive_direct, naive_xquery, rewrite_to_xquery};
 pub use prepared::{CompiledTransform, QueryCost};
 pub use query::{parse_transform, InsertPos, TransformParseError, TransformQuery, UpdateOp};

@@ -28,9 +28,9 @@ use std::time::Instant;
 use xust_compose::{compose, compose_two_pass_sax, ComposedQuery, UserQuery};
 use xust_core::delta::{RenameMapping, TouchedLabels};
 use xust_core::{
-    apply_update, multi_top_down, parse_multi_transform, touched_labels_into, update_alphabet,
-    value_alphabet_into, CompiledTransform, LabelSet, LdStorage, Method, SaxStats, TransformStream,
-    UpdateOp,
+    apply_update, multi_top_down, multi_view_with_stats, parse_multi_transform,
+    touched_labels_into, update_alphabet, value_alphabet_into, CompiledTransform, LabelSet,
+    LdStorage, Method, SaxStats, TransformQuery, TransformStream, UpdateOp,
 };
 use xust_sax::{SaxEvent, SaxParser, SaxWriter};
 use xust_secview::Policy;
@@ -517,7 +517,14 @@ impl Server {
     /// request order; per-item method/latency observations are merged
     /// into the planner's EWMA feedback and the per-view latency cells
     /// as each item completes.
+    ///
+    /// `VIEW` items are additionally **grouped by document**: co-resident
+    /// single-link views of the same in-memory document ride one shared
+    /// factorised pass ([`multi_view_with_stats`]) instead of one full
+    /// tree sweep each — the `shared_passes` / `shared_pass_views`
+    /// counters report how often that happened.
     pub fn execute_batch(&self, requests: Vec<Request>) -> Vec<Result<Response, ServeError>> {
+        use std::collections::HashMap;
         use std::sync::atomic::Ordering::Relaxed;
         self.inner.stats.batches.fetch_add(1, Relaxed);
         self.inner
@@ -525,18 +532,138 @@ impl Server {
             .batch_items
             .fetch_add(requests.len() as u64, Relaxed);
         let snap = Arc::new(self.inner.docs.snapshot());
+        // Per-request (verb, view, trace target), kept on this side of
+        // the pool: when a worker panics mid-job, its items still owe
+        // the per-verb error series and the trace ring a record — the
+        // panic unwound past `handle_in`'s epilogue, so the accounting
+        // happens here instead.
+        let descs: Vec<(Verb, Option<String>, String)> = requests
+            .iter()
+            .map(|req| match req {
+                Request::View { view, doc } => {
+                    (Verb::View, Some(view.clone()), format!("{view}/{doc}"))
+                }
+                Request::Query { view, doc, .. } => {
+                    (Verb::Query, Some(view.clone()), format!("{view}/{doc}"))
+                }
+                Request::Transform { doc, .. } => (Verb::Transform, None, doc.clone()),
+                Request::Update { doc, .. } => (Verb::Update, None, doc.clone()),
+            })
+            .collect();
+        // Group `VIEW` items by document. Only single-link views of
+        // in-memory documents can ride a shared pass (the same shapes
+        // the result cache accepts); a group of one gains nothing and
+        // stays on the private path.
+        let mut by_doc: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, req) in requests.iter().enumerate() {
+            if let Request::View { view, doc } = req {
+                let groupable = matches!(snap.get(doc), Some(DocSource::Memory(_)))
+                    && self
+                        .inner
+                        .registry
+                        .get(view)
+                        .is_some_and(|def| def.single().is_some());
+                if groupable {
+                    by_doc.entry(doc.clone()).or_default().push(i);
+                }
+            }
+        }
+        let groups: Vec<Vec<usize>> = by_doc
+            .into_values()
+            .filter(|idxs| idxs.len() >= 2)
+            .collect();
+        enum Job {
+            One(usize, Request),
+            Group(String, Vec<(usize, String)>),
+        }
+        let mut group_of: HashMap<usize, usize> = HashMap::new();
+        for (g, idxs) in groups.iter().enumerate() {
+            for &i in idxs {
+                group_of.insert(i, g);
+            }
+        }
+        let mut group_doc: Vec<String> = vec![String::new(); groups.len()];
+        let mut group_items: Vec<Vec<(usize, String)>> = vec![Vec::new(); groups.len()];
+        let mut jobs: Vec<Job> = Vec::new();
+        for (i, req) in requests.into_iter().enumerate() {
+            match group_of.get(&i) {
+                Some(&g) => {
+                    let Request::View { view, doc } = req else {
+                        unreachable!("only VIEW items are grouped");
+                    };
+                    group_doc[g] = doc;
+                    group_items[g].push((i, view));
+                }
+                None => jobs.push(Job::One(i, req)),
+            }
+        }
+        for (g, items) in group_items.into_iter().enumerate() {
+            jobs.push(Job::Group(std::mem::take(&mut group_doc[g]), items));
+        }
+        // Which request indices each job carries — the panic accounting
+        // below needs them after the pool returns.
+        let job_indices: Vec<Vec<usize>> = jobs
+            .iter()
+            .map(|job| match job {
+                Job::One(i, _) => vec![*i],
+                Job::Group(_, items) => items.iter().map(|(i, _)| *i).collect(),
+            })
+            .collect();
         let server = self.clone();
-        let (results, steal) = self.inner.pool.run_batch(requests, move |_, req| {
-            server.handle_in(&req, &DocView::Pinned(&snap))
+        let (raw, steal) = self.inner.pool.run_batch(jobs, move |_, job| match job {
+            Job::One(i, req) => vec![(i, server.handle_in(&req, &DocView::Pinned(&snap)))],
+            Job::Group(doc, items) => {
+                server.handle_view_group(&doc, items, &DocView::Pinned(&snap))
+            }
         });
         self.inner
             .stats
             .batch_steals
             .fetch_add(steal.steals, Relaxed);
-        results
-            .into_iter()
+        let mut out: Vec<Option<Result<Response, ServeError>>> =
+            (0..descs.len()).map(|_| None).collect();
+        for (slot, job_result) in raw.into_iter().enumerate() {
+            match job_result {
+                Some(pairs) => {
+                    for (i, r) in pairs {
+                        out[i] = Some(r);
+                    }
+                }
+                None => {
+                    // The worker panicked mid-job: the panic unwound
+                    // past `handle_in`'s failure epilogue, so each item
+                    // gets it here instead. (An item the job had
+                    // already *finished* before the panic is counted
+                    // as both a success and this failure; the panic
+                    // discarded its result either way.)
+                    for &i in &job_indices[slot] {
+                        let (verb, view, target) = &descs[i];
+                        out[i] = Some(Err(self.account_worker_panic(
+                            *verb,
+                            view.as_deref(),
+                            target,
+                        )));
+                    }
+                }
+            }
+        }
+        out.into_iter()
             .map(|r| r.unwrap_or_else(|| Err(ServeError::Eval("worker panicked".into()))))
             .collect()
+    }
+
+    /// The failure epilogue for a batch item whose worker panicked:
+    /// the per-verb error series, the failure total, and a trace
+    /// bracket — everything a failed `handle_in` would have recorded —
+    /// so `METRICS` and `TRACE` reflect panicked items like any other
+    /// failure. Returns the error the caller stores in the item's slot.
+    fn account_worker_panic(&self, verb: Verb, view: Option<&str>, target: &str) -> ServeError {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.inner.stats.record_verb(verb, false);
+        self.inner.stats.failures.fetch_add(1, Relaxed);
+        let rt = self.inner.obs.begin(verb, || target.to_string());
+        self.inner.obs.finish(rt, 0, false, view);
+        ServeError::Eval("worker panicked".into())
     }
 
     // ---- the live write path ----
@@ -636,6 +763,10 @@ impl Server {
             value_alphabet_into(path, &mut update_vals);
         }
         let results = &self.inner.results;
+        // The installed tree, smuggled out of the closure: the eager
+        // shared recompute below runs on it *after* the shard write
+        // lock is released.
+        let mut new_tree: Option<Arc<Document>> = None;
         let (stamp, (outcome, targets)) = self
             .inner
             .docs
@@ -701,7 +832,9 @@ impl Server {
                     outcome.retained.len() as u64,
                     outcome.recomputed.len() as u64,
                 );
-                Ok((DocSource::Memory(Arc::new(next)), (outcome, targets_total)))
+                let next = Arc::new(next);
+                new_tree = Some(Arc::clone(&next));
+                Ok((DocSource::Memory(next), (outcome, targets_total)))
             })
             .map_err(|e| match e {
                 StoreUpdateError::NotFound => ServeError::UnknownDoc(doc.to_string()),
@@ -713,6 +846,17 @@ impl Server {
         }
         for v in &outcome.recomputed {
             stats.record_view_delta(v, false);
+        }
+        // Every entry the write just dropped is recomputed eagerly in
+        // ONE factorised sweep over the new tree — outside the store
+        // shard lock and the cache mutex, so a k-view document's write
+        // holds shared state no longer than a 1-view document's (the
+        // per-view work above is delta bookkeeping, not evaluation).
+        if !outcome.recomputed.is_empty() {
+            let tree = new_tree.as_ref().expect("update installed a memory doc");
+            let t = rt.start();
+            self.shared_recompute(doc, stamp.version, tree, &outcome.recomputed);
+            rt.phase(Phase::Maintain, t);
         }
         Ok(Response {
             body: format!(
@@ -726,6 +870,200 @@ impl Server {
             micros: 0,
             cache_hit: hit,
         })
+    }
+
+    /// Recomputes every single-link view a write just invalidated in
+    /// **one** factorised sweep over the installed tree, re-inserting
+    /// the results at the write's version so subsequent reads hit.
+    /// Multi-link chains and fused multi-transform views stay lazy
+    /// (their results depend on intermediate trees a shared pass over
+    /// the base cannot produce). A view that raced a re-registration
+    /// or removal since the maintain sweep simply drops out — the next
+    /// read recomputes it privately.
+    fn shared_recompute(&self, doc: &str, version: u64, tree: &Arc<Document>, names: &[String]) {
+        use std::sync::atomic::Ordering::Relaxed;
+        let defs: Vec<Arc<ViewDef>> = names
+            .iter()
+            .filter_map(|n| self.inner.registry.get(n))
+            .filter(|def| def.single().is_some())
+            .collect();
+        if defs.is_empty() {
+            return;
+        }
+        let queries: Vec<&TransformQuery> = defs
+            .iter()
+            .map(|def| def.single().expect("filtered on single()").query())
+            .collect();
+        let (outs, mv) = multi_view_with_stats(tree, &queries);
+        self.inner
+            .stats
+            .shared_passes
+            .fetch_add(mv.passes as u64, Relaxed);
+        self.inner
+            .stats
+            .shared_pass_views
+            .fetch_add(mv.shared_views as u64, Relaxed);
+        // A second write racing past this one makes the inserts dead
+        // weight at best — skip them (its own sweep recomputes at the
+        // newer version; `insert` also never downgrades a newer
+        // resident entry, so this check is an optimization, not the
+        // correctness guard).
+        if !DocView::Live(&self.inner.docs).still_at(doc, version) {
+            return;
+        }
+        for (def, out) in defs.iter().zip(outs) {
+            let q = def.single().expect("filtered on single()").query();
+            let mut touched = TouchedLabels::new();
+            touched.record(tree, &out.targets, &q.op);
+            let body = out.doc.serialize();
+            self.inner.results.insert(
+                &def.name,
+                doc,
+                version,
+                def.generation,
+                out.doc,
+                body,
+                def.alphabet.clone(),
+                touched,
+            );
+        }
+    }
+
+    /// Serves a batch's grouped `VIEW` items — several single-link
+    /// views of the same in-memory document — with at most **one**
+    /// shared factorised pass: cache hits peel off first, then every
+    /// miss rides the same [`multi_view_with_stats`] sweep. Each item
+    /// gets the full per-request accounting `handle_in` would have
+    /// given it (request/verb counters, latency EWMA, trace bracket).
+    /// Items whose grouping preconditions raced away (view
+    /// re-registered, document replaced or removed) fall back to the
+    /// private `handle_in` path, which carries its own accounting.
+    fn handle_view_group(
+        &self,
+        doc: &str,
+        items: Vec<(usize, String)>,
+        docs: &DocView<'_>,
+    ) -> Vec<(usize, Result<Response, ServeError>)> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let stats = &self.inner.stats;
+        let mut out: Vec<(usize, Result<Response, ServeError>)> = Vec::with_capacity(items.len());
+        // Re-check the grouping preconditions (registration and the
+        // snapshot can have moved since `execute_batch` scanned).
+        let mut shared: Vec<(usize, String, Arc<ViewDef>)> = Vec::new();
+        let mut fallback: Vec<(usize, String)> = Vec::new();
+        for (idx, view) in items {
+            match self.inner.registry.get(&view) {
+                Some(def) if def.single().is_some() => shared.push((idx, view, def)),
+                _ => fallback.push((idx, view)),
+            }
+        }
+        let resolved = docs.get_versioned(doc);
+        let base = match &resolved {
+            Ok((DocSource::Memory(base), _)) => Some(Arc::clone(base)),
+            _ => None,
+        };
+        if base.is_none() {
+            // Unknown or file-backed document: nothing to share.
+            fallback.extend(shared.drain(..).map(|(idx, view, _)| (idx, view)));
+        }
+        for (idx, view) in fallback {
+            let req = Request::View {
+                view,
+                doc: doc.to_string(),
+            };
+            out.push((idx, self.handle_in(&req, docs)));
+        }
+        let Some(base) = base else {
+            return out;
+        };
+        let version = resolved.expect("base came from resolved").1;
+        // Per-item prologue (what `handle_in` does), with the cache
+        // probe peeling resident entries off the pass.
+        let mut pending: Vec<(usize, String, Arc<ViewDef>, Instant, Trace)> = Vec::new();
+        for (idx, view, def) in shared {
+            let started = Instant::now();
+            stats.requests.fetch_add(1, Relaxed);
+            stats.view_requests.fetch_add(1, Relaxed);
+            let mut rt = self.inner.obs.begin(Verb::View, || format!("{view}/{doc}"));
+            let t = rt.start();
+            let found = self.inner.results.get(&view, doc, version, def.generation);
+            rt.phase(Phase::Cache, t);
+            rt.note_result(found.is_some());
+            if let Some(body) = found {
+                let micros = started.elapsed().as_micros() as u64;
+                stats.busy_micros.fetch_add(micros, Relaxed);
+                stats.record_verb(Verb::View, true);
+                stats.record_view_latency(&view, micros as f64);
+                self.inner.obs.finish(rt, micros, true, Some(&view));
+                out.push((
+                    idx,
+                    Ok(Response {
+                        body: body.to_string(),
+                        method: None,
+                        micros,
+                        cache_hit: true,
+                    }),
+                ));
+            } else {
+                pending.push((idx, view, def, started, rt));
+            }
+        }
+        if pending.is_empty() {
+            return out;
+        }
+        // ONE sweep for every miss. Each item's Eval phase is charged
+        // the whole pass (it *is* the pass the item waited on); the
+        // planner's per-method model is deliberately not fed — shared
+        // timing would poison the private passes' cost estimates.
+        let queries: Vec<&TransformQuery> = pending
+            .iter()
+            .map(|(_, _, def, _, _)| def.single().expect("re-checked above").query())
+            .collect();
+        let t = Instant::now();
+        let (results, mv) = multi_view_with_stats(&base, &queries);
+        let eval_micros = t.elapsed().as_micros() as u64;
+        stats.shared_passes.fetch_add(mv.passes as u64, Relaxed);
+        stats
+            .shared_pass_views
+            .fetch_add(mv.shared_views as u64, Relaxed);
+        let live = docs.still_at(doc, version);
+        for ((idx, view, def, started, mut rt), r) in pending.into_iter().zip(results) {
+            rt.phase_micros(Phase::Eval, eval_micros);
+            rt.set_method(Method::TopDown);
+            let t = rt.start();
+            let body = r.doc.serialize();
+            if live {
+                let q = def.single().expect("re-checked above").query();
+                let mut touched = TouchedLabels::new();
+                touched.record(&base, &r.targets, &q.op);
+                self.inner.results.insert(
+                    &view,
+                    doc,
+                    version,
+                    def.generation,
+                    r.doc,
+                    body.clone(),
+                    def.alphabet.clone(),
+                    touched,
+                );
+            }
+            rt.phase(Phase::Serialize, t);
+            let micros = started.elapsed().as_micros() as u64;
+            stats.busy_micros.fetch_add(micros, Relaxed);
+            stats.record_verb(Verb::View, true);
+            stats.record_view_latency(&view, micros as f64);
+            self.inner.obs.finish(rt, micros, true, Some(&view));
+            out.push((
+                idx,
+                Ok(Response {
+                    body,
+                    method: Some(Method::TopDown),
+                    micros,
+                    cache_hit: true, // views are pre-compiled at registration
+                }),
+            ));
+        }
+        out
     }
 
     // ---- introspection ----
@@ -796,6 +1134,8 @@ impl Server {
         line("update_requests_total", snap.update_requests);
         line("delta_retained_total", snap.delta_retained);
         line("delta_recomputed_total", snap.delta_recomputed);
+        line("shared_passes_total", snap.shared_passes);
+        line("shared_pass_views_total", snap.shared_pass_views);
         line("result_cache_hits_total", snap.result_hits);
         line("result_cache_misses_total", snap.result_misses);
         line("busy_micros_total", snap.busy_micros);
@@ -1711,5 +2051,36 @@ impl StreamingSession {
         debug_assert_eq!(self.writer.depth(), 0);
         self.server.inner.stats.count_method(Method::TwoPassSax);
         Ok((tail, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A worker panic in `execute_batch` must land in the same
+    /// accounting a failed request gets — the per-verb error series,
+    /// the failure total, and a trace bracket — not just map to an
+    /// error after the pool returns. (The panic itself can't be
+    /// provoked through the public surface — evaluation is panic-free
+    /// by design — so the epilogue is pinned down directly.)
+    #[test]
+    fn worker_panic_accounting_matches_failed_requests() {
+        let server = Server::builder().threads(1).build();
+        let traced_before = server.inner.obs.requests_traced();
+        let e = server.account_worker_panic(Verb::View, Some("v"), "v/db");
+        assert!(matches!(e, ServeError::Eval(_)));
+        assert_eq!(
+            server.inner.stats.verb_counts(Verb::View),
+            (1, 1),
+            "the panicked item must appear in the verb's request and error series"
+        );
+        assert_eq!(server.stats().failures, 1);
+        assert_eq!(
+            server.inner.obs.requests_traced(),
+            traced_before + 1,
+            "the panicked item must get a trace bracket"
+        );
+        assert!(server.traces(4).contains("v/db"), "{}", server.traces(4));
     }
 }

@@ -199,6 +199,14 @@ pub struct ServeStats {
     /// View-result cache entries invalidated by a write (recomputed
     /// lazily on next request).
     pub delta_recomputed: AtomicU64,
+    /// One-pass shared evaluations run: each counts a single document
+    /// sweep that produced results for every view riding it (write-path
+    /// recompute sweeps and grouped batch evaluations alike).
+    pub shared_passes: AtomicU64,
+    /// Views whose results were produced by a shared pass instead of a
+    /// private per-view evaluation. `shared_pass_views /
+    /// shared_passes` is the average factorisation width.
+    pub shared_pass_views: AtomicU64,
     per_method: [AtomicU64; N_METHODS],
     per_verb: [VerbCounters; Verb::ALL.len()],
     /// Total busy time across requests, in microseconds.
@@ -379,6 +387,8 @@ impl ServeStats {
             update_requests: self.update_requests.load(Ordering::Relaxed),
             delta_retained: self.delta_retained.load(Ordering::Relaxed),
             delta_recomputed: self.delta_recomputed.load(Ordering::Relaxed),
+            shared_passes: self.shared_passes.load(Ordering::Relaxed),
+            shared_pass_views: self.shared_pass_views.load(Ordering::Relaxed),
             // The result cache is its own source of truth for hit/miss
             // counts; `Server::stats` overlays them (a bare `ServeStats`
             // has no cache attached).
@@ -482,6 +492,10 @@ pub struct StatsSnapshot {
     pub delta_retained: u64,
     /// View-result cache entries invalidated by writes.
     pub delta_recomputed: u64,
+    /// One-pass shared evaluations run (factorised sweeps).
+    pub shared_passes: u64,
+    /// Views whose results rode a shared pass.
+    pub shared_pass_views: u64,
     /// View-result cache hits (sourced from
     /// [`ViewResultCache`](crate::ViewResultCache) by `Server::stats`).
     pub result_hits: u64,
@@ -538,6 +552,11 @@ impl std::fmt::Display for StatsSnapshot {
             self.delta_recomputed,
             self.result_hits,
             self.result_misses
+        )?;
+        writeln!(
+            f,
+            "shared: passes={} shared_pass_views={}",
+            self.shared_passes, self.shared_pass_views
         )?;
         write!(f, "methods:")?;
         for (m, n) in &self.per_method {
@@ -599,7 +618,8 @@ impl StatsSnapshot {
              \"compiles\":{},\"compositions\":{},\"view_requests\":{},\"query_requests\":{},\
              \"transform_requests\":{},\"batches\":{},\"batch_items\":{},\"batch_steals\":{},\
              \"interned_labels\":{},\"stream_sessions\":{},\"update_requests\":{},\
-             \"delta_retained\":{},\"delta_recomputed\":{},\"result_hits\":{},\
+             \"delta_retained\":{},\"delta_recomputed\":{},\"shared_passes\":{},\
+             \"shared_pass_views\":{},\"result_hits\":{},\
              \"result_misses\":{},\"busy_micros\":{}",
             self.requests,
             self.failures,
@@ -618,6 +638,8 @@ impl StatsSnapshot {
             self.update_requests,
             self.delta_retained,
             self.delta_recomputed,
+            self.shared_passes,
+            self.shared_pass_views,
             self.result_hits,
             self.result_misses,
             self.busy_micros

@@ -460,20 +460,23 @@ impl Document {
     pub fn deep_copy_from(&mut self, src: &Document, src_node: NodeId) -> NodeId {
         let new_root = self.alloc(src.nodes[src_node.index()].kind.clone());
         // Iterative copy to avoid recursion depth limits: stack of
-        // (source child, destination parent).
+        // (source child, destination parent). Children are pushed in
+        // reverse — walking the sibling chain backwards from
+        // `last_child` — so they pop (and append) in document order
+        // with no per-node scratch allocation.
         let mut stack: Vec<(NodeId, NodeId)> = Vec::new();
-        // Push children in reverse so they are appended in order.
-        let children: Vec<NodeId> = src.children(src_node).collect();
-        for &c in children.iter().rev() {
-            stack.push((c, new_root));
-        }
+        let push_children_rev = |stack: &mut Vec<(NodeId, NodeId)>, from: NodeId, to: NodeId| {
+            let mut c = src.nodes[from.index()].last_child;
+            while c != NIL {
+                stack.push((NodeId(c), to));
+                c = src.nodes[c as usize].prev_sibling;
+            }
+        };
+        push_children_rev(&mut stack, src_node, new_root);
         while let Some((src_child, dst_parent)) = stack.pop() {
             let copy = self.alloc(src.nodes[src_child.index()].kind.clone());
             self.append_child(dst_parent, copy);
-            let children: Vec<NodeId> = src.children(src_child).collect();
-            for &c in children.iter().rev() {
-                stack.push((c, copy));
-            }
+            push_children_rev(&mut stack, src_child, copy);
         }
         new_root
     }

@@ -1,0 +1,312 @@
+//! Differential fuzzer for the factorised shared pass.
+//!
+//! One shared sweep ([`multi_view`]) now answers what used to take one
+//! full tree pass per view — on the write path (eager recompute of every
+//! invalidated entry) and in `execute_batch` (co-resident views of one
+//! document grouped onto one pass). The sharing must be invisible in the
+//! output: every view's result stays **byte-identical** to its private
+//! `two_pass` evaluation, whatever subset of views rides the pass and
+//! whatever fell back. This suite proves that differentially, at the
+//! core level (automaton union vs private evaluators) and through the
+//! server (shard layouts {1, 8}, interleaved `UPDATE`s, batched reads),
+//! reusing the generators in `tests/common/`.
+//!
+//! Deterministic companions pin the factorisation contract itself: a
+//! write invalidating k views triggers exactly **one** shared recompute
+//! sweep (`shared_passes`/`shared_pass_views`), a batch of k views of
+//! one document rides one pass, and a k-view document's write completes
+//! in time comparable to a 1-view document's (no per-view re-sweep).
+
+mod common;
+
+use proptest::prelude::*;
+
+use common::{arb_doc, arb_op, arb_path, build_query, build_query_text};
+use xust::core::{
+    apply_update, multi_view_with_stats, parse_multi_transform, parse_transform, two_pass,
+    TransformQuery,
+};
+use xust::serve::{Request, Server};
+use xust::tree::Document;
+use xust::xpath::eval_path_root;
+
+/// Applies one update text to the reference document exactly the way
+/// the server's write path does (same parse, same targets, same order).
+fn apply_to_reference(reference: &mut Document, update: &str) {
+    let mq = parse_multi_transform(update).expect("generated updates parse");
+    for (path, op) in &mq.updates {
+        let targets = eval_path_root(reference, path);
+        apply_update(reference, &targets, op);
+    }
+}
+
+/// Serves every registered view through one batch (so co-resident views
+/// ride a shared pass) and checks each body against a private `two_pass`
+/// recompute over the reference.
+fn check_views(
+    server: &Server,
+    texts: &[String],
+    reference: &Document,
+    context: &str,
+) -> Result<(), TestCaseError> {
+    let requests: Vec<Request> = (0..texts.len())
+        .map(|i| Request::View {
+            view: format!("v{i}"),
+            doc: "d".into(),
+        })
+        .collect();
+    for (i, result) in server.execute_batch(requests).into_iter().enumerate() {
+        let served = match result {
+            Ok(resp) => resp.body,
+            Err(e) => return Err(TestCaseError::fail(format!("v{i} failed ({context}): {e}"))),
+        };
+        let q = parse_transform(&texts[i]).expect("view text parses");
+        let expected = two_pass(reference, &q).serialize();
+        prop_assert_eq!(
+            served,
+            expected,
+            "view v{} diverged from private two_pass ({})",
+            i,
+            context
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    // Full local case count; `PROPTEST_CASES` caps it for quick CI
+    // smoke runs, and the dedicated CI fuzz step sets its own count.
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Core level: the union automaton's shared sweep must be
+    /// byte-identical to each view's private `two_pass`, and the
+    /// recorded targets to a private `eval_path_root`.
+    #[test]
+    fn shared_pass_matches_private_two_pass(
+        doc in arb_doc(),
+        specs in prop::collection::vec((arb_path(), arb_op()), 1..8),
+    ) {
+        let queries: Vec<TransformQuery> =
+            specs.iter().map(|(p, op)| build_query(p, *op)).collect();
+        let refs: Vec<&TransformQuery> = queries.iter().collect();
+        let (results, stats) = multi_view_with_stats(&doc, &refs);
+        prop_assert_eq!(results.len(), queries.len());
+        prop_assert_eq!(
+            stats.shared_views + stats.fallback_views,
+            queries.len(),
+            "every view is either shared or fallback"
+        );
+        for (i, (q, r)) in queries.iter().zip(&results).enumerate() {
+            prop_assert_eq!(
+                r.doc.serialize(),
+                two_pass(&doc, q).serialize(),
+                "query {} diverged",
+                i
+            );
+            prop_assert_eq!(
+                &r.targets,
+                &eval_path_root(&doc, &q.path),
+                "query {} recorded wrong targets",
+                i
+            );
+        }
+    }
+
+    /// Server level: registered views served through batches (shared
+    /// passes) stay byte-identical to private recomputes over an
+    /// externally maintained reference, across shard layouts {1, 8}
+    /// and under interleaved writes (whose eager shared recompute
+    /// refills the cache the next batch then hits).
+    #[test]
+    fn served_views_stay_differential_under_writes(
+        base in arb_doc(),
+        views in prop::collection::vec((arb_path(), arb_op()), 1..6),
+        writes in prop::collection::vec((arb_path(), arb_op()), 0..4),
+        shards in prop_oneof![Just(1usize), Just(8usize)],
+    ) {
+        let server = Server::builder().threads(2).shards(shards).build();
+        server.load_doc("d", base.clone());
+        let mut texts = Vec::new();
+        for (i, (path, op)) in views.iter().enumerate() {
+            let text = build_query_text("d", path, *op);
+            server.register_view(&format!("v{i}"), &text).unwrap();
+            texts.push(text);
+        }
+        let mut reference = base;
+        check_views(&server, &texts, &reference, "before any write")?;
+        // Second batch: everything resident now (the first batch's
+        // shared pass filled the cache) — must serve the same bytes.
+        check_views(&server, &texts, &reference, "warm")?;
+        for (step, (path, op)) in writes.iter().enumerate() {
+            let text = build_query_text("d", path, *op);
+            server.update_doc("d", &text).unwrap();
+            apply_to_reference(&mut reference, &text);
+            let ctx = format!("after write {step} ({text})");
+            check_views(&server, &texts, &reference, &ctx)?;
+        }
+        prop_assert_eq!(server.store().active_snapshots(), 0);
+    }
+}
+
+/// Eight `part` elements so eight views each have something to bite on.
+const K_DOC: &str = "<db>\
+    <p0><x>1</x></p0><p1><x>2</x></p1><p2><x>3</x></p2><p3><x>4</x></p3>\
+    <p4><x>5</x></p4><p5><x>6</x></p5><p6><x>7</x></p6><p7><x>8</x></p7>\
+    </db>";
+
+fn view_text(i: usize) -> String {
+    format!(r#"transform copy $a := doc("db") modify do delete $a/db/p{i} return $a"#)
+}
+
+/// A write that invalidates all k resident views of a document must run
+/// exactly **one** shared recompute sweep — the acceptance criterion's
+/// counter assertion — and leave every view hit-able at the new version.
+#[test]
+fn write_invalidating_k_views_triggers_one_shared_sweep() {
+    let server = Server::builder().threads(2).shards(1).build();
+    server.load_doc_str("db", K_DOC).unwrap();
+    for i in 0..8 {
+        server
+            .register_view(&format!("v{i}"), &view_text(i))
+            .unwrap();
+    }
+    for i in 0..8 {
+        server
+            .handle(&Request::View {
+                view: format!("v{i}"),
+                doc: "db".into(),
+            })
+            .unwrap();
+    }
+    let before = server.stats();
+    assert_eq!(before.shared_passes, 0, "no write, no sweep yet");
+    // Every view's path reads label `db`, and the insert touches it:
+    // all 8 entries are invalidated by this one write.
+    server
+        .update_doc(
+            "db",
+            r#"transform copy $a := doc("db") modify do insert <p9/> into $a/db return $a"#,
+        )
+        .unwrap();
+    let after = server.stats();
+    assert_eq!(after.delta_recomputed, before.delta_recomputed + 8);
+    assert_eq!(
+        after.shared_passes, 1,
+        "k invalidated views ride ONE factorised sweep"
+    );
+    assert_eq!(after.shared_pass_views, 8);
+    // The sweep refilled the cache: every subsequent read hits, and the
+    // bodies reflect the post-write tree.
+    let hits_before = after.result_hits;
+    let misses_before = after.result_misses;
+    for i in 0..8 {
+        let served = server
+            .handle(&Request::View {
+                view: format!("v{i}"),
+                doc: "db".into(),
+            })
+            .unwrap();
+        assert!(served.cache_hit);
+        assert!(
+            served.body.contains("<p9/>"),
+            "v{i} must serve the post-write tree: {}",
+            served.body
+        );
+        assert!(!served.body.contains(&format!("<p{i}>")));
+    }
+    let snap = server.stats();
+    assert_eq!(snap.result_hits, hits_before + 8);
+    assert_eq!(snap.result_misses, misses_before);
+    assert_eq!(snap.shared_passes, 1, "reads after the sweep run no pass");
+}
+
+/// A batch carrying k `VIEW` items of the same document answers all the
+/// misses with one shared pass; a repeat batch is all cache hits and
+/// runs no pass at all.
+#[test]
+fn batched_views_of_one_document_ride_one_shared_pass() {
+    let server = Server::builder().threads(2).shards(1).build();
+    server.load_doc_str("db", K_DOC).unwrap();
+    for i in 0..8 {
+        server
+            .register_view(&format!("v{i}"), &view_text(i))
+            .unwrap();
+    }
+    let requests: Vec<Request> = (0..8)
+        .map(|i| Request::View {
+            view: format!("v{i}"),
+            doc: "db".into(),
+        })
+        .collect();
+    let base = Document::parse(K_DOC).unwrap();
+    let results = server.execute_batch(requests.clone());
+    assert_eq!(results.len(), 8);
+    for (i, r) in results.into_iter().enumerate() {
+        let resp = r.expect("view serves");
+        let expected = two_pass(&base, &parse_transform(&view_text(i)).unwrap()).serialize();
+        assert_eq!(resp.body, expected, "batched v{i} diverged");
+    }
+    let snap = server.stats();
+    assert_eq!(snap.shared_passes, 1, "8 cold views, one sweep");
+    assert_eq!(snap.shared_pass_views, 8);
+    // Repeat: all resident — the group peels every item off as a hit.
+    let hits_before = snap.result_hits;
+    for r in server.execute_batch(requests) {
+        assert!(r.expect("view serves").cache_hit);
+    }
+    let snap = server.stats();
+    assert_eq!(snap.result_hits, hits_before + 8);
+    assert_eq!(snap.shared_passes, 1, "resident batch runs no pass");
+}
+
+/// Regression (satellite): the write path must not scale its
+/// time-under-write with the number of resident views — the per-view
+/// work is delta bookkeeping only, and the recompute is one shared
+/// sweep. Medians over several writes; the bound is deliberately
+/// generous (the pre-fix behaviour was k private sweeps *inside* the
+/// maintain loop, which fails it reliably).
+#[test]
+fn k_view_write_time_comparable_to_one_view_write() {
+    fn median_write_micros(k: usize) -> u64 {
+        let mut part = String::from("<part><pname>kb</pname><price>9</price></part>");
+        part = part.repeat(400);
+        let xml = format!("<db>{part}</db>");
+        let server = Server::builder().threads(2).shards(1).build();
+        server.load_doc_str("db", &xml).unwrap();
+        for i in 0..k {
+            // Distinct names, same shape: every view reads `price`, so
+            // every write below invalidates all of them.
+            server
+                .register_view(
+                    &format!("v{i}"),
+                    r#"transform copy $a := doc("db") modify do delete $a//price return $a"#,
+                )
+                .unwrap();
+        }
+        let update = r#"transform copy $a := doc("db") modify do insert <price>1</price> into $a/db return $a"#;
+        let mut samples = Vec::new();
+        for round in 0..6 {
+            for i in 0..k {
+                server
+                    .handle(&Request::View {
+                        view: format!("v{i}"),
+                        doc: "db".into(),
+                    })
+                    .unwrap();
+            }
+            let resp = server.update_doc("db", update).unwrap();
+            // Skip round 0: it pays the update's one-time compile.
+            if round > 0 {
+                samples.push(resp.micros.max(1));
+            }
+        }
+        samples.sort_unstable();
+        samples[samples.len() / 2]
+    }
+    let one = median_write_micros(1);
+    let eight = median_write_micros(8);
+    assert!(
+        eight <= one.saturating_mul(20),
+        "8-view write {eight}µs vs 1-view write {one}µs: factorisation lost"
+    );
+}

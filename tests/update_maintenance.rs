@@ -727,8 +727,9 @@ fn writes_never_touch_entries_of_other_shards() {
         hits_before + 1,
         "doc B's entry (another shard) must survive the write to doc A"
     );
-    // A's entry was invalidated: the next read is a miss that recomputes
-    // against the updated tree.
+    // A's entry was invalidated — and eagerly recomputed by the
+    // write's one shared sweep, so the next read hits at the new
+    // version without any further miss.
     let served_a = server
         .handle(&Request::View {
             view: "noprice".into(),
@@ -736,7 +737,11 @@ fn writes_never_touch_entries_of_other_shards() {
         })
         .unwrap();
     assert_eq!(served_a.body, "<db><part/><aux><k/></aux></db>");
-    assert_eq!(server.stats().result_misses, misses_before + 1);
+    assert_eq!(server.stats().result_misses, misses_before);
+    assert_eq!(server.stats().result_hits, hits_before + 2);
+    let snap = server.stats();
+    assert_eq!(snap.shared_passes, 1, "one write, one factorised sweep");
+    assert_eq!(snap.shared_pass_views, 1);
 }
 
 #[test]
