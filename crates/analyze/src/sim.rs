@@ -1,0 +1,230 @@
+//! Guarded product simulation between selecting NFAs — the containment
+//! half of the equivalence-class analysis.
+//!
+//! `path_contains(sub, sup)` decides (soundly, incompletely) whether
+//! every node `sub` can select is also selected by `sup`, on every
+//! document. The label language side is exact: a breadth-first product
+//! construction tracks, for each reachable `sub` run state, the set of
+//! `sup` states reachable on the same label word — over the finite
+//! alphabet of labels either automaton mentions plus one fresh "any
+//! other label" symbol (two labels neither automaton distinguishes
+//! behave identically, so one representative suffices). Qualifiers make
+//! exact containment undecidable in general; the simulation *guards*
+//! them instead: a `sup` transition survives only if the state it
+//! enters demands nothing (no qualifier, or one that constant-folds to
+//! true) or demands exactly what the `sub` state entered on the same
+//! step demands (structural equality). Any run that survives the guard
+//! is therefore a genuine accepting `sup` run whenever the `sub` run
+//! accepts. Failure to prove containment returns `false` — the caller
+//! treats the views as distinct, which is always safe.
+
+use std::collections::{HashMap, VecDeque};
+
+use xust_automata::{SelectingNfa, StateId};
+use xust_intern::Sym;
+use xust_xpath::Qualifier;
+
+use crate::{fold_qualifier, Tri};
+
+/// Pair-state explosion guard: linear path automata keep the frontier
+/// tiny, but the bound makes the worst case a refusal, not a hang.
+const MAX_PAIRS: usize = 4096;
+
+/// The qualifier demanded on entry into `state`, with tautologies
+/// erased (folding against the step's own kind).
+fn entry_demand(nfa: &SelectingNfa, state: StateId) -> Option<&Qualifier> {
+    let q = nfa.qualifier(state)?;
+    let step = nfa.states[state].step.expect("qualified states have steps");
+    match fold_qualifier(q, &nfa.path.steps[step].kind) {
+        Tri::True => None,
+        _ => Some(q),
+    }
+}
+
+/// True when entering `sup_state` demands nothing beyond what entering
+/// `sub_state` already established.
+fn guard_ok(
+    sub: &SelectingNfa,
+    sub_state: StateId,
+    sup: &SelectingNfa,
+    sup_state: StateId,
+) -> bool {
+    match entry_demand(sup, sup_state) {
+        None => true,
+        Some(dq) => entry_demand(sub, sub_state) == Some(dq),
+    }
+}
+
+/// `sub`'s successor states on `label` (`None` = a label neither
+/// automaton mentions), including ε-descent into `//` states —
+/// statically-dead targets (false-folding qualifiers) are skipped,
+/// since no run of `sub` ever realizes them.
+fn sel_successors_on(nfa: &SelectingNfa, from: StateId, label: Option<Sym>) -> Vec<StateId> {
+    let mut out = Vec::new();
+    let s = &nfa.states[from];
+    if let (Some((sym, t)), Some(l)) = (s.label_trans, label) {
+        if sym == l {
+            out.push(t);
+        }
+    }
+    if let Some(t) = s.star_trans {
+        out.push(t);
+    }
+    if s.self_loop {
+        out.push(from);
+    }
+    // ε-closure: ε edges point strictly forward into `//` states.
+    let mut i = 0;
+    while i < out.len() {
+        if let Some(t) = nfa.states[out[i]].eps {
+            if !out.contains(&t) {
+                out.push(t);
+            }
+        }
+        i += 1;
+    }
+    out.retain(|&t| {
+        nfa.qualifier(t).is_none_or(|q| {
+            let step = nfa.states[t].step.expect("qualified states have steps");
+            fold_qualifier(q, &nfa.path.steps[step].kind) != Tri::False
+        })
+    });
+    out
+}
+
+/// ε-closure of a start configuration (the set form of
+/// [`SelectingNfa::initial`]), as a sorted state list.
+fn initial_states(nfa: &SelectingNfa) -> Vec<StateId> {
+    let mut out = vec![nfa.start];
+    let mut i = 0;
+    while i < out.len() {
+        if let Some(t) = nfa.states[out[i]].eps {
+            if !out.contains(&t) {
+                out.push(t);
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// The label alphabet both automata are tested over: every label either
+/// mentions, plus `None` for "any other label".
+fn joint_alphabet(a: &SelectingNfa, b: &SelectingNfa) -> Vec<Option<Sym>> {
+    let mut syms: Vec<Sym> = Vec::new();
+    for nfa in [a, b] {
+        for s in &nfa.states {
+            if let Some((sym, _)) = s.label_trans {
+                if !syms.contains(&sym) {
+                    syms.push(sym);
+                }
+            }
+        }
+    }
+    let mut out: Vec<Option<Sym>> = syms.into_iter().map(Some).collect();
+    out.push(None);
+    out
+}
+
+/// Sound containment check: `true` proves every document node selected
+/// by `sub` is selected by `sup`; `false` proves nothing.
+pub fn path_contains(sub: &SelectingNfa, sup: &SelectingNfa) -> bool {
+    let alphabet = joint_alphabet(sub, sup);
+    // Pairs (sub run state, guarded sup state set). A sub *run* is one
+    // nondeterministic thread — each sub state is simulated separately,
+    // because each carries its own qualifier history for the guard.
+    let mut seen: HashMap<(StateId, Vec<StateId>), ()> = HashMap::new();
+    let mut queue: VecDeque<(StateId, Vec<StateId>)> = VecDeque::new();
+    let sup_init = initial_states(sup);
+    for s in initial_states(sub) {
+        let key = (s, sup_init.clone());
+        if seen.insert(key.clone(), ()).is_none() {
+            queue.push_back(key);
+        }
+    }
+    while let Some((s, ts)) = queue.pop_front() {
+        if s == sub.final_state && !ts.contains(&sup.final_state) {
+            return false;
+        }
+        for &label in &alphabet {
+            for s2 in sel_successors_on(sub, s, label) {
+                let mut ts2: Vec<StateId> = Vec::new();
+                for &t in &ts {
+                    for t2 in sel_successors_on(sup, t, label) {
+                        if guard_ok(sub, s2, sup, t2) && !ts2.contains(&t2) {
+                            ts2.push(t2);
+                        }
+                    }
+                }
+                ts2.sort_unstable();
+                let key = (s2, ts2);
+                if seen.insert(key.clone(), ()).is_none() {
+                    if seen.len() > MAX_PAIRS {
+                        return false; // refuse, soundly
+                    }
+                    queue.push_back(key);
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xust_xpath::parse_path;
+
+    fn nfa(s: &str) -> SelectingNfa {
+        SelectingNfa::new(&parse_path(s).unwrap())
+    }
+
+    #[test]
+    fn child_paths_are_contained_in_descendant_paths() {
+        assert!(path_contains(&nfa("a/b"), &nfa("a//b")));
+        assert!(!path_contains(&nfa("a//b"), &nfa("a/b")));
+        assert!(path_contains(&nfa("a/x/b"), &nfa("a//b")));
+        assert!(path_contains(&nfa("a/b"), &nfa("a/*")));
+        assert!(!path_contains(&nfa("a/*"), &nfa("a/b")));
+    }
+
+    #[test]
+    fn descendant_containment_goes_deep() {
+        assert!(path_contains(&nfa("//x//y"), &nfa("//y")));
+        assert!(!path_contains(&nfa("//y"), &nfa("//x//y")));
+        assert!(path_contains(&nfa("a//b/c"), &nfa("a//c")));
+    }
+
+    #[test]
+    fn identical_paths_contain_each_other() {
+        for s in ["a/b", "a//b[c]/d", "*[x = 1]/y", "//part"] {
+            assert!(path_contains(&nfa(s), &nfa(s)), "{s}");
+        }
+    }
+
+    #[test]
+    fn qualifiers_guard_containment() {
+        // Dropping a qualifier widens: a/b[c] ⊆ a/b, not conversely.
+        assert!(path_contains(&nfa("a/b[c]"), &nfa("a/b")));
+        assert!(!path_contains(&nfa("a/b"), &nfa("a/b[c]")));
+        // Distinct qualifiers prove nothing either way.
+        assert!(!path_contains(&nfa("a/b[c]"), &nfa("a/b[d]")));
+        // Tautological qualifiers demand nothing.
+        assert!(path_contains(&nfa("a/b"), &nfa("a/b[label() = b]")));
+    }
+
+    #[test]
+    fn fresh_labels_break_naive_containment() {
+        // a/* accepts a/<anything> — including labels b/c never saw.
+        assert!(!path_contains(&nfa("a/*"), &nfa("a/c")));
+        assert!(path_contains(&nfa("a/*"), &nfa("a/*")));
+        assert!(path_contains(&nfa("a/*"), &nfa("*/*")));
+    }
+
+    #[test]
+    fn empty_path_containment() {
+        let eps = nfa(".");
+        assert!(path_contains(&eps, &eps));
+        assert!(!path_contains(&eps, &nfa("a")));
+    }
+}

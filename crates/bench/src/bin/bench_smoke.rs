@@ -68,6 +68,16 @@ struct MultiViewRow {
     ratio: f64,
 }
 
+struct StaticRow {
+    workload: String,
+    requests_per_sec: f64,
+    /// Fraction of retain decisions resolved by the precomputed
+    /// update–view commutation table (no dynamic three-way test ran).
+    static_share: f64,
+    /// Slowest per-view registration-time analysis in the run.
+    max_analysis_micros: u64,
+}
+
 /// Minimum interned-vs-string speedup `--check` accepts per row. Kept
 /// below 1.0 so a noisy-neighbour transient on a shared CI runner
 /// cannot fail an unrelated PR, while a real regression (interned path
@@ -91,6 +101,24 @@ const NEIGHBOUR_HIT_MARGIN: f64 = 0.99;
 /// copies are inherently k-fold. The headroom absorbs runner noise,
 /// not a lost factorisation.
 const MULTI_VIEW_MARGIN: f64 = 0.5;
+
+/// Minimum fraction of retain decisions the `static_maintain`
+/// workload must resolve via the registration-time commutation table.
+/// Like the neighbour hit rate this is counter arithmetic, not timing:
+/// three of every four hot writes are the anchored insert (statically
+/// clear against every registered rename view), the fourth is the
+/// unanchored inverse delete (deletes never classify, so the dynamic
+/// test resolves it), giving exactly 0.75. The gate asks for ≥ 0.5 —
+/// a third of the static hits would have to vanish before it trips,
+/// so a failure is a classifier or table regression, never jitter.
+const STATIC_SHARE_MARGIN: f64 = 0.5;
+
+/// Budget for the slowest per-view registration-time analysis, in
+/// microseconds: satisfiability + footprint extraction must add < 1 ms
+/// per view to `VIEW REGISTER`. Measured cost is a few microseconds —
+/// the NFAs are already built for evaluation, analysis only walks
+/// them — so the budget is two orders of magnitude of headroom.
+const ANALYSIS_MICROS_BUDGET: u64 = 1_000;
 
 /// Maximum observability overhead (tracing + histograms, percent of
 /// wall-clock on the mixed workload) `--check` accepts. The budget in
@@ -221,6 +249,17 @@ fn main() {
         );
     }
 
+    // ---- static maintenance: precomputed commutation vs dynamic ----
+    let static_row = run_static_maintain(factor, if quick { 8 } else { 24 });
+    println!("\n## static_maintain (hot writer, disjoint rename views, precomputed commutation)");
+    println!(
+        "{:<22} {:>10.1} req/s  static_share={:.3}  max_analysis_micros={}",
+        static_row.workload,
+        static_row.requests_per_sec,
+        static_row.static_share,
+        static_row.max_analysis_micros
+    );
+
     // ---- observability overhead: instrumented vs --no-trace ----
     // Longer passes than serve_mixed: the effect measured here is ~1%
     // per request, so each pass must be long enough (tens of
@@ -242,6 +281,7 @@ fn main() {
             &mv_row,
             &serve_rows,
             &mixed_rows,
+            &static_row,
             &obs_row,
         );
         std::fs::write(&path, json).expect("baseline file written");
@@ -282,6 +322,22 @@ fn main() {
             );
             failed = true;
         }
+        if static_row.static_share < STATIC_SHARE_MARGIN {
+            eprintln!(
+                "FAIL {}: static share {:.3} below margin {STATIC_SHARE_MARGIN} — retain \
+                 decisions are falling back to the dynamic three-way commutation test",
+                static_row.workload, static_row.static_share
+            );
+            failed = true;
+        }
+        if static_row.max_analysis_micros >= ANALYSIS_MICROS_BUDGET {
+            eprintln!(
+                "FAIL {}: slowest registration-time analysis {}µs at or above the \
+                 {ANALYSIS_MICROS_BUDGET}µs budget",
+                static_row.workload, static_row.max_analysis_micros
+            );
+            failed = true;
+        }
         if obs_row.overhead_pct > OBS_OVERHEAD_MARGIN {
             eprintln!(
                 "FAIL {}: observability overhead {:.2}% above the {OBS_OVERHEAD_MARGIN}% budget \
@@ -300,6 +356,8 @@ fn main() {
             "\ncheck passed: label rows at or above the {CHECK_MARGIN} speedup margin, \
              shared multi_view sweep under {MULTI_VIEW_MARGIN}× the private passes, \
              neighbour hit rate at or above {NEIGHBOUR_HIT_MARGIN}, \
+             static retain share at or above {STATIC_SHARE_MARGIN} with per-view analysis \
+             under {ANALYSIS_MICROS_BUDGET}µs, \
              observability overhead within {OBS_OVERHEAD_MARGIN}%"
         );
     }
@@ -421,6 +479,83 @@ fn mixed_pass(w: &MixedWorkload, rounds: usize) -> (usize, f64) {
     (requests, t.elapsed().as_secs_f64())
 }
 
+/// Drives the static-maintenance workload: the hot-writer shape of
+/// `serve_mixed`, but every registered view is a rename whose analyzed
+/// write footprint is disjoint from the hot writes — the layout the
+/// registration-time commutation table exists for. Three of every
+/// four writes are the anchored insert (statically clear: the cached
+/// view entries are retained without running the dynamic three-way
+/// test), the fourth is the unanchored inverse delete (deletes never
+/// classify, so it exercises the dynamic fallback and restores the
+/// document to its starting size). Reports throughput, the
+/// counter-verified static share of retain decisions, and the slowest
+/// per-view registration-time analysis cost.
+fn run_static_maintain(factor: f64, rounds: usize) -> StaticRow {
+    assert!(
+        rounds.is_multiple_of(4),
+        "rounds cycle insert,insert,insert,delete to keep the hot document a fixed size"
+    );
+    let server = Server::builder().threads(4).shards(1).build();
+    server.load_doc("hot", xmark_doc(factor / 2.0));
+    let views = [
+        ("kw", "keyword", "kw2"),
+        ("em", "emph", "em2"),
+        ("pp", "person", "pp2"),
+        ("bd", "bidder", "bd2"),
+    ];
+    for (name, from, to) in views {
+        server
+            .register_view(
+                name,
+                &format!(
+                    // The link must name the written document: the
+                    // registration-time commutation table only covers
+                    // views registered against the doc being written.
+                    r#"transform copy $a := doc("hot") modify do rename $a//{from} as {to} return $a"#
+                ),
+            )
+            .expect("rename view registers");
+    }
+    let max_analysis_micros = views
+        .iter()
+        .map(|(name, _, _)| server.analyze(name).expect("view analyzes").micros)
+        .max()
+        .expect("at least one view registered");
+    for (name, _, _) in views {
+        server
+            .handle(&Request::View {
+                view: name.into(),
+                doc: "hot".into(),
+            })
+            .expect("warm-up view serves");
+    }
+    let insert = r#"transform copy $a := doc("hot") modify do insert <xust-mark><t>w</t></xust-mark> into $a/site return $a"#;
+    let delete = r#"transform copy $a := doc("hot") modify do delete $a//xust-mark return $a"#;
+    let before = server.stats();
+    let mut requests = 0usize;
+    let t = Instant::now();
+    for round in 0..rounds {
+        let update = if round % 4 == 3 { delete } else { insert };
+        server.update_doc("hot", update).expect("hot write applies");
+        requests += 1;
+    }
+    let elapsed = t.elapsed().as_secs_f64();
+    let stats = server.stats();
+    let retained = stats.delta_retained - before.delta_retained;
+    let statics = stats.static_retained - before.static_retained;
+    assert_eq!(
+        retained as usize,
+        rounds * views.len(),
+        "every warmed view entry must be retained on every hot write"
+    );
+    StaticRow {
+        workload: "hot_writer_static_views".into(),
+        requests_per_sec: requests as f64 / elapsed,
+        static_share: statics as f64 / retained as f64,
+        max_analysis_micros,
+    }
+}
+
 /// Measures what the tracing/histogram layer costs: ONE server runs
 /// the mixed workload with tracing toggled on and off between passes
 /// (`Server::set_tracing`), so heap layout, caches, and documents are
@@ -489,6 +624,7 @@ fn render_json(
     mv: &MultiViewRow,
     serve: &[ServeRow],
     mixed: &[MixedRow],
+    stat: &StaticRow,
     obs: &ObsRow,
 ) -> String {
     let mut s = String::new();
@@ -535,6 +671,10 @@ fn render_json(
         ));
     }
     s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"static_maintain\": {{\"workload\": \"{}\", \"requests_per_sec\": {:.1}, \"static_share\": {:.3}, \"max_analysis_micros\": {}}},\n",
+        stat.workload, stat.requests_per_sec, stat.static_share, stat.max_analysis_micros
+    ));
     s.push_str(&format!(
         "  \"obs_overhead\": {{\"workload\": \"{}\", \"instrumented_rps\": {:.1}, \"no_trace_rps\": {:.1}, \"overhead_pct\": {:.2}}}\n",
         obs.workload, obs.instrumented_rps, obs.no_trace_rps, obs.overhead_pct

@@ -30,7 +30,7 @@
 use std::io::{Read, Write};
 
 use xust_core::{
-    EventSink, LdStorage, PathPrepass, PathSelector, PreparedPath, PreparedTransform, SaxStats,
+    EventSink, LdStorage, PathPrepass, PathSelector, PreparedTransform, SaxStats,
     SaxTransformError, TransformQuery,
 };
 use xust_sax::{escape_attr, SaxEvent, SaxParser};
@@ -268,11 +268,6 @@ impl EventSink for BindingSink<'_> {
         Ok(())
     }
 }
-
-// `PreparedPath` is only named in this module through `upath`; keep the
-// import alive for the doc links above.
-#[allow(unused)]
-type _Doc = PreparedPath;
 
 #[cfg(test)]
 mod tests {

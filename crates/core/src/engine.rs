@@ -7,7 +7,7 @@ use xust_tree::Document;
 use crate::copy_update::copy_update;
 use crate::naive::{naive_direct, naive_xquery};
 use crate::query::TransformQuery;
-use crate::sax2pass::{two_pass_sax_str, LdStorage};
+use crate::sax2pass::two_pass_sax_str;
 use crate::topdown::top_down;
 use crate::twopass::two_pass;
 
@@ -134,11 +134,6 @@ pub fn evaluate_str(
 
 /// Re-exported so callers of the streaming API can pick Ld storage.
 pub use crate::sax2pass::LdStorage as SaxLdStorage;
-
-#[allow(unused)]
-fn _assert_ld_storage_default() {
-    let _ = LdStorage::default();
-}
 
 #[cfg(test)]
 mod tests {

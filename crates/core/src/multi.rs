@@ -356,7 +356,7 @@ where
     F: Fn(usize, T) -> R + Sync,
 {
     use std::collections::VecDeque;
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::atomic::{AtomicU64, Ordering}; // lint: atomic-ok (test-only counter)
     use std::sync::Mutex;
 
     let n = items.len();
@@ -406,7 +406,7 @@ where
                             .expect("queue lock poisoned")
                             .pop_back()
                         {
-                            steals.fetch_add(1, Ordering::Relaxed);
+                            steals.fetch_add(1, Ordering::Relaxed); // relaxed: monotone counter; no data published
                             next = Some(i);
                             break;
                         }
@@ -429,7 +429,7 @@ where
         StealStats {
             items: n,
             workers,
-            steals: steals.load(Ordering::Relaxed),
+            steals: steals.load(Ordering::Relaxed), // relaxed: point-in-time read; staleness is fine
         },
     )
 }

@@ -18,7 +18,7 @@
 //! clone.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering}; // lint: atomic-ok (hit/miss/eviction counters only)
 use std::sync::{Arc, Condvar, Mutex};
 
 /// A bounded, LRU-evicting map from query keys to shared prepared
@@ -77,7 +77,7 @@ impl<V> PreparedCache<V> {
             match inner.map.get_mut(key) {
                 Some(Slot::Ready { value, last_use }) => {
                     *last_use = tick;
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.hits.fetch_add(1, Ordering::Relaxed); // relaxed: monotone counter; no data published
                     return Ok((Arc::clone(value), true));
                 }
                 Some(Slot::Building) => {
@@ -88,11 +88,11 @@ impl<V> PreparedCache<V> {
             }
         }
         // Become the builder for this key; compile outside the lock.
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.fetch_add(1, Ordering::Relaxed); // relaxed: monotone counter; no data published
         inner.map.insert(key.to_string(), Slot::Building);
         drop(inner);
         let built = build();
-        let mut inner = self.state.lock().expect("cache lock poisoned");
+        let mut inner = self.state.lock().expect("cache lock poisoned"); // lock-order: re-acquire after the explicit drop(inner) above; the builder holds no lock during build()
         match built {
             Err(e) => {
                 inner.map.remove(key);
@@ -115,7 +115,7 @@ impl<V> PreparedCache<V> {
                         .map(|(k, _)| k.clone())
                     {
                         inner.map.remove(&lru);
-                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                        self.evictions.fetch_add(1, Ordering::Relaxed); // relaxed: monotone counter; no data published
                     }
                 }
                 let tick = inner.tick;
@@ -157,17 +157,17 @@ impl<V> PreparedCache<V> {
 
     /// Hits so far.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.load(Ordering::Relaxed) // relaxed: point-in-time read; staleness is fine
     }
 
     /// Misses so far.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.load(Ordering::Relaxed) // relaxed: point-in-time read; staleness is fine
     }
 
     /// Evictions so far.
     pub fn evictions(&self) -> u64 {
-        self.evictions.load(Ordering::Relaxed)
+        self.evictions.load(Ordering::Relaxed) // relaxed: point-in-time read; staleness is fine
     }
 
     /// Drops every ready entry (counters and in-flight builds are
@@ -240,7 +240,7 @@ mod tests {
 
     #[test]
     fn concurrent_single_flight() {
-        use std::sync::atomic::AtomicU32;
+        use std::sync::atomic::AtomicU32; // lint: atomic-ok (test-only counter)
         let c: Arc<PreparedCache<u32>> = Arc::new(PreparedCache::new(8));
         let builds = Arc::new(AtomicU32::new(0));
         let threads: Vec<_> = (0..8)
@@ -251,8 +251,8 @@ mod tests {
                     for _ in 0..50 {
                         let (v, _) = c
                             .get_or_try_insert("shared", || -> Result<u32, Infallible> {
-                                builds.fetch_add(1, Ordering::Relaxed);
-                                // Widen the race window.
+                                builds.fetch_add(1, Ordering::Relaxed); // relaxed: monotone counter; no data published
+                                                                        // Widen the race window.
                                 std::thread::sleep(std::time::Duration::from_millis(5));
                                 Ok(42)
                             })
@@ -265,7 +265,7 @@ mod tests {
         for t in threads {
             t.join().unwrap();
         }
-        assert_eq!(builds.load(Ordering::Relaxed), 1, "single-flight build");
+        assert_eq!(builds.load(Ordering::Relaxed), 1, "single-flight build"); // relaxed: threads joined; writes visible
         assert_eq!(c.hits() + c.misses(), 400);
         assert_eq!(c.misses(), 1);
     }
@@ -303,7 +303,7 @@ mod tests {
 
     #[test]
     fn waiters_rebuild_after_a_failed_build() {
-        use std::sync::atomic::AtomicU32;
+        use std::sync::atomic::AtomicU32; // lint: atomic-ok (test-only counter)
         let c: Arc<PreparedCache<u32>> = Arc::new(PreparedCache::new(8));
         let attempts = Arc::new(AtomicU32::new(0));
         let threads: Vec<_> = (0..4)

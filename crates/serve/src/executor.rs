@@ -36,7 +36,7 @@ struct InFlight(Arc<AtomicU64>);
 
 impl Drop for InFlight {
     fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::Relaxed);
+        self.0.fetch_sub(1, Ordering::Relaxed); // relaxed: counter decrement; no data published
     }
 }
 
@@ -80,12 +80,12 @@ impl ThreadPool {
     /// `METRICS` exports. Counted from enqueue to completion, so it
     /// covers both waiting and running work.
     pub fn in_flight(&self) -> u64 {
-        self.in_flight.load(Ordering::Relaxed)
+        self.in_flight.load(Ordering::Relaxed) // relaxed: point-in-time read; staleness is fine
     }
 
     /// Enqueues a job.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
-        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        self.in_flight.fetch_add(1, Ordering::Relaxed); // relaxed: monotone counter; no data published
         let guard = InFlight(Arc::clone(&self.in_flight));
         self.sender
             .as_ref()
@@ -160,17 +160,18 @@ impl ThreadPool {
                             for v in 1..queues.len() {
                                 let victim = (w + v) % queues.len();
                                 if let Some(i) = queues[victim]
-                                    .lock()
+                                    .lock() // lock-order: line 158's guard is a statement temporary, already dropped
                                     .expect("batch queue poisoned")
                                     .pop_back()
                                 {
-                                    steals.fetch_add(1, Ordering::Relaxed);
+                                    steals.fetch_add(1, Ordering::Relaxed); // relaxed: monotone counter; no data published
                                     next = Some(i);
                                     break;
                                 }
                             }
                         }
                         let Some(i) = next else { break };
+                        // lock-order: queue guard above is a statement temporary, already dropped
                         if let Some(item) = slots[i].lock().expect("batch slot poisoned").take() {
                             done.push((i, f(i, item)));
                         }
@@ -195,7 +196,7 @@ impl ThreadPool {
             StealStats {
                 items: n,
                 workers,
-                steals: steals.load(Ordering::Relaxed),
+                steals: steals.load(Ordering::Relaxed), // relaxed: point-in-time read; staleness is fine
             },
         )
     }
@@ -224,13 +225,13 @@ mod tests {
             .map(|i| {
                 let counter = Arc::clone(&counter);
                 pool.submit(move || {
-                    counter.fetch_add(1, Ordering::Relaxed);
+                    counter.fetch_add(1, Ordering::Relaxed); // relaxed: monotone counter; no data published
                     i * 2
                 })
             })
             .collect();
         let results: Vec<usize> = receivers.into_iter().map(|r| r.recv().unwrap()).collect();
-        assert_eq!(counter.load(Ordering::Relaxed), 64);
+        assert_eq!(counter.load(Ordering::Relaxed), 64); // relaxed: threads joined; writes visible
         assert_eq!(results[5], 10);
     }
 

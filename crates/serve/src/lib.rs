@@ -96,8 +96,8 @@ pub use obs::{HistogramSnapshot, LatencyHistogram, Obs, Phase, RequestTrace, Tra
 pub use planner::{AdaptivePlanner, DocShape, PlanChoice, PlannerConfig};
 pub use registry::{ViewBody, ViewDef, ViewRegistry};
 pub use server::{
-    CandidateEvidence, DocSource, Explanation, LinkPlan, Request, Response, Server, ServerBuilder,
-    StreamingSession,
+    Analysis, CandidateEvidence, DocSource, Explanation, LinkPlan, Request, Response, Server,
+    ServerBuilder, StreamingSession,
 };
 pub use stats::{json_escape, DeltaCell, EwmaCell, ServeStats, StatsSnapshot, Verb};
 pub use store::{DocStore, StoreSnapshot, StoreUpdateError, VersionedDoc, WriteStamp};
@@ -106,6 +106,11 @@ pub use viewcache::{MaintainOutcome, ViewResultCache};
 // Re-exported so callers can speak the planner's vocabulary without
 // depending on xust-core directly.
 pub use xust_core::{LabelSet, Method, QueryCost};
+
+// Re-exported so callers can consume the registration-time static
+// analysis ([`Server::analyze`], [`ViewDef::analysis`]) without
+// depending on xust-analyze directly.
+pub use xust_analyze::{StaticFootprint, UpdateClass, ViewAnalysis};
 
 #[cfg(test)]
 mod tests {

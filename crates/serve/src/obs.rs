@@ -130,25 +130,25 @@ impl LatencyHistogram {
     /// Records one sample. Lock-free; relaxed ordering throughout (the
     /// histogram is observability data, not synchronization).
     pub fn record(&self, micros: u64) {
-        self.buckets[Self::bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(micros, Ordering::Relaxed);
-        self.max.fetch_max(micros, Ordering::Relaxed);
+        self.buckets[Self::bucket_index(micros)].fetch_add(1, Ordering::Relaxed); // relaxed: monotone counter; no data published
+        self.count.fetch_add(1, Ordering::Relaxed); // relaxed: monotone counter; no data published
+        self.sum.fetch_add(micros, Ordering::Relaxed); // relaxed: monotone counter; no data published
+        self.max.fetch_max(micros, Ordering::Relaxed); // relaxed: monotone max; no data published
     }
 
     /// Samples recorded so far.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.count.load(Ordering::Relaxed) // relaxed: point-in-time read; staleness is fine
     }
 
     /// Sum of all samples (µs).
     pub fn sum(&self) -> u64 {
-        self.sum.load(Ordering::Relaxed)
+        self.sum.load(Ordering::Relaxed) // relaxed: point-in-time read; staleness is fine
     }
 
     /// Largest sample (µs); 0 when empty.
     pub fn max(&self) -> u64 {
-        self.max.load(Ordering::Relaxed)
+        self.max.load(Ordering::Relaxed) // relaxed: point-in-time read; staleness is fine
     }
 
     /// The `q`-quantile (`0 < q ≤ 1`) as the upper bound of the bucket
@@ -156,7 +156,7 @@ impl LatencyHistogram {
     /// maximum; 0 when empty. Error is bounded by one bucket (√2).
     pub fn quantile(&self, q: f64) -> u64 {
         let counts: [u64; HIST_BUCKETS] =
-            std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+            std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)); // relaxed: point-in-time read; staleness is fine
         let total: u64 = counts.iter().sum();
         if total == 0 {
             return 0;
@@ -412,12 +412,12 @@ impl TraceRing {
     }
 
     fn push(&self, trace: Arc<RequestTrace>) {
-        let i = self.head.fetch_add(1, Ordering::Relaxed) as usize % self.slots.len();
+        let i = self.head.fetch_add(1, Ordering::Relaxed) as usize % self.slots.len(); // relaxed: monotone counter; no data published
         *self.slots[i].lock().expect("trace ring slot poisoned") = Some(trace);
     }
 
     fn pushed(&self) -> u64 {
-        self.head.load(Ordering::Relaxed)
+        self.head.load(Ordering::Relaxed) // relaxed: point-in-time read; staleness is fine
     }
 
     /// Up to `n` most recent traces, newest first. Best-effort under
@@ -463,6 +463,7 @@ impl SlowLog {
     }
 
     fn offer(&self, trace: &Arc<RequestTrace>) {
+        // relaxed: point-in-time read; staleness is fine
         if trace.micros < self.floor.load(Ordering::Relaxed) {
             return; // fast path: provably not among the slowest N
         }
@@ -474,7 +475,7 @@ impl SlowLog {
         }
         if entries.len() == self.capacity {
             let floor = entries.last().expect("non-empty at capacity").micros;
-            self.floor.store(floor, Ordering::Relaxed);
+            self.floor.store(floor, Ordering::Relaxed); // relaxed: advisory value; racy readers re-check or tolerate staleness
         }
     }
 
@@ -526,14 +527,14 @@ impl Obs {
 
     /// True when recording.
     pub fn is_enabled(&self) -> bool {
-        self.enabled.load(Ordering::Relaxed)
+        self.enabled.load(Ordering::Relaxed) // relaxed: point-in-time read; staleness is fine
     }
 
     /// Switches tracing on or off at runtime. Already-recorded traces
     /// and histograms are kept either way; only future requests are
     /// affected.
     pub fn set_enabled(&self, on: bool) {
-        self.enabled.store(on, Ordering::Relaxed);
+        self.enabled.store(on, Ordering::Relaxed); // relaxed: advisory value; racy readers re-check or tolerate staleness
     }
 
     /// Begins a trace for one request; `target` is rendered lazily (it
@@ -566,7 +567,7 @@ impl Obs {
             self.view_histogram(view).record(micros);
         }
         let trace = Arc::new(RequestTrace {
-            seq: self.seq.fetch_add(1, Ordering::Relaxed) + 1,
+            seq: self.seq.fetch_add(1, Ordering::Relaxed) + 1, // relaxed: monotone counter; no data published
             verb: buf.verb,
             target: buf.target,
             ok,

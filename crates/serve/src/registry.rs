@@ -8,11 +8,14 @@
 //! request — from any thread — reuses the compiled artifacts.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering}; // lint: atomic-ok (registration counters)
 use std::sync::{Arc, RwLock};
+use std::time::Instant;
 
-use xust_core::{CompiledTransform, LabelSet, MultiTransformQuery, QueryCost};
+use xust_analyze::{analyze_path, analyze_view, views_equivalent, ViewAnalysis};
+use xust_core::{CompiledTransform, LabelSet, MultiTransformQuery, QueryCost, UpdateOp};
 use xust_secview::Policy;
+use xust_xpath::Path;
 
 use crate::error::ServeError;
 
@@ -44,6 +47,19 @@ pub struct ViewDef {
     /// materialized under an old definition can never be served after a
     /// re-registration, even if it lands in the cache after the purge.
     pub generation: u64,
+    /// The registration-time static analysis report: dead-view verdict,
+    /// NFA liveness, qualifier folds, and the commutation footprint the
+    /// write path consults per update shape.
+    pub analysis: ViewAnalysis,
+    /// Result-cache family key. Normally the view's own name; when
+    /// registration proves this view equivalent to an already-registered
+    /// one (same document, same rules up to path equivalence), the
+    /// representative's key is adopted so both serve one cached body.
+    pub cache_key: Arc<str>,
+    /// The generation cached results are stamped with — the
+    /// representative's when `cache_key` is adopted, else this view's
+    /// own [`ViewDef::generation`].
+    pub cache_generation: u64,
 }
 
 impl std::fmt::Debug for ViewDef {
@@ -64,6 +80,18 @@ impl std::fmt::Debug for ViewDef {
 }
 
 impl ViewDef {
+    /// The body as a flat `(path, op)` rule list — the form every
+    /// static analysis consumes.
+    pub fn rules(&self) -> Vec<(&Path, &UpdateOp)> {
+        match &self.body {
+            ViewBody::Chain(links) => links
+                .iter()
+                .map(|l| (&l.query().path, &l.query().op))
+                .collect(),
+            ViewBody::Multi(mq) => mq.updates.iter().map(|(p, o)| (p, o)).collect(),
+        }
+    }
+
     /// The single compiled transform of a one-link chain, if this view
     /// is one — the form the Compose Method accepts.
     pub fn single(&self) -> Option<&Arc<CompiledTransform>> {
@@ -138,12 +166,14 @@ impl ViewRegistry {
                 "view '{name}': a chain needs at least one transform"
             )));
         }
+        let t0 = Instant::now();
         let mut links = Vec::with_capacity(queries.len());
         let mut doc_name: Option<String> = None;
+        let mut folded = 0usize;
         for q in queries {
             let ct = CompiledTransform::parse(q)
                 .map_err(|e| ServeError::Parse(format!("view '{name}': {e}")))?;
-            self.compiles.fetch_add(1, Ordering::Relaxed);
+            self.compiles.fetch_add(1, Ordering::Relaxed); // relaxed: monotone counter, read only by STATS
             match &doc_name {
                 None => doc_name = Some(ct.query().doc_name.clone()),
                 Some(d) if *d != ct.query().doc_name => {
@@ -154,25 +184,51 @@ impl ViewRegistry {
                 }
                 Some(_) => {}
             }
+            // Constant-fold qualifiers before the automata are built:
+            // a simplified path selects the same nodes with smaller
+            // NFAs and a tighter alphabet.
+            let pa = analyze_path(&ct.query().path);
+            let ct = if pa.folded > 0 && pa.satisfiable {
+                folded += pa.folded;
+                let mut query = ct.query().clone();
+                query.path = pa.simplified;
+                CompiledTransform::compile(query)
+            } else {
+                ct
+            };
             links.push(Arc::new(ct));
         }
         let mut alphabet = LabelSet::new();
         for link in &links {
             alphabet.union_with(link.alphabet());
         }
+        let mut analysis = analyze_view(links.iter().map(|l| (&l.query().path, &l.query().op)));
+        analysis.folded_qualifiers += folded;
+        analysis.micros = t0.elapsed().as_micros() as u64;
         // Generation is allocated and the definition installed under
         // one write-lock hold: drawn outside it, two racing
         // registrations of the same name could install the lower
         // generation last, breaking the strictly-increasing invariant
         // the result cache's generation guard depends on.
         let mut views = self.views.write().expect("registry lock poisoned");
+        let generation = self.generations.fetch_add(1, Ordering::Relaxed) + 1; // relaxed: uniqueness comes from fetch_add; ordering from the write lock
+        let doc_name = doc_name.expect("at least one link");
+        let rules: Vec<(&Path, &UpdateOp)> = links
+            .iter()
+            .map(|l| (&l.query().path, &l.query().op))
+            .collect();
+        let (cache_key, cache_generation) =
+            cache_family(&views, &name, &doc_name, &rules, generation);
         let def = Arc::new(ViewDef {
             name: name.clone(),
-            doc_name: doc_name.expect("at least one link"),
+            doc_name,
             body: ViewBody::Chain(links),
             sources: queries.iter().map(|s| s.to_string()).collect(),
             alphabet,
-            generation: self.generations.fetch_add(1, Ordering::Relaxed) + 1,
+            generation,
+            analysis,
+            cache_key,
+            cache_generation,
         });
         views.insert(name, Arc::clone(&def));
         Ok(def)
@@ -191,6 +247,7 @@ impl ViewRegistry {
     /// group. Single-rule policies become composable chain views;
     /// multi-rule policies keep their snapshot semantics.
     pub fn register_policy(&self, policy: &Policy) -> Result<Arc<ViewDef>, ServeError> {
+        let t0 = Instant::now();
         let name = policy.group.clone();
         let sources: Vec<String> = policy
             .rules()
@@ -198,19 +255,36 @@ impl ViewRegistry {
             .map(|r| format!("{}: {}", r.name, r.path))
             .collect();
         let mut alphabet = LabelSet::new();
+        let mut folded = 0usize;
         let body = match policy.compile_single() {
             Some(q) => {
-                self.compiles.fetch_add(1, Ordering::Relaxed);
+                self.compiles.fetch_add(1, Ordering::Relaxed); // relaxed: monotone counter, read only by STATS
+                let pa = analyze_path(&q.path);
+                let q = if pa.folded > 0 && pa.satisfiable {
+                    folded += pa.folded;
+                    let mut q = q;
+                    q.path = pa.simplified;
+                    q
+                } else {
+                    q
+                };
                 let ct = CompiledTransform::compile(q);
                 alphabet.union_with(ct.alphabet());
                 ViewBody::Chain(vec![Arc::new(ct)])
             }
             None => {
-                let mq = policy.compile();
+                let mut mq = policy.compile();
                 if mq.updates.is_empty() {
                     return Err(ServeError::InvalidView(format!(
                         "policy '{name}' has no rules"
                     )));
+                }
+                for (path, _) in &mut mq.updates {
+                    let pa = analyze_path(path);
+                    if pa.folded > 0 && pa.satisfiable {
+                        folded += pa.folded;
+                        *path = pa.simplified;
+                    }
                 }
                 for (path, op) in &mq.updates {
                     alphabet.union_with(&xust_core::update_alphabet(path, op));
@@ -218,16 +292,33 @@ impl ViewRegistry {
                 ViewBody::Multi(Box::new(mq))
             }
         };
+        let rules: Vec<(&Path, &UpdateOp)> = match &body {
+            ViewBody::Chain(links) => links
+                .iter()
+                .map(|l| (&l.query().path, &l.query().op))
+                .collect(),
+            ViewBody::Multi(mq) => mq.updates.iter().map(|(p, o)| (p, o)).collect(),
+        };
+        let mut analysis = analyze_view(rules.iter().copied());
+        analysis.folded_qualifiers += folded;
+        analysis.micros = t0.elapsed().as_micros() as u64;
         // Same lock discipline as `register_chain`: generation and
         // install are atomic together.
         let mut views = self.views.write().expect("registry lock poisoned");
+        let generation = self.generations.fetch_add(1, Ordering::Relaxed) + 1; // relaxed: uniqueness comes from fetch_add; ordering from the write lock
+        let (cache_key, cache_generation) =
+            cache_family(&views, &name, &policy.doc_name, &rules, generation);
+        drop(rules);
         let def = Arc::new(ViewDef {
             name: name.clone(),
             doc_name: policy.doc_name.clone(),
             body,
             sources,
             alphabet,
-            generation: self.generations.fetch_add(1, Ordering::Relaxed) + 1,
+            generation,
+            analysis,
+            cache_key,
+            cache_generation,
         });
         views.insert(name, Arc::clone(&def));
         Ok(def)
@@ -255,19 +346,74 @@ impl ViewRegistry {
         v
     }
 
-    /// Removes a view; true if it existed.
-    pub fn remove(&self, name: &str) -> bool {
+    /// Removes a view, returning its definition if it existed.
+    pub fn remove(&self, name: &str) -> Option<Arc<ViewDef>> {
         self.views
             .write()
             .expect("registry lock poisoned")
             .remove(name)
-            .is_some()
+    }
+
+    /// Every registered definition (unordered).
+    pub fn defs(&self) -> Vec<Arc<ViewDef>> {
+        self.views
+            .read()
+            .expect("registry lock poisoned")
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// True when some registered view stores its cached results under
+    /// `key` — the guard a removal consults before purging a result
+    /// family another definition may still serve from.
+    pub fn family_in_use(&self, key: &str) -> bool {
+        self.views
+            .read()
+            .expect("registry lock poisoned")
+            .values()
+            .any(|v| &*v.cache_key == key)
+    }
+
+    /// Registration events so far — moves exactly when a definition is
+    /// installed, so memoized per-update commutation tables key their
+    /// validity on it.
+    pub fn watermark(&self) -> u64 {
+        self.generations.load(Ordering::Relaxed) // relaxed: staleness check only; a late read just rebuilds a table
     }
 
     /// Registration-time compilations performed so far.
     pub fn compiles(&self) -> u64 {
-        self.compiles.load(Ordering::Relaxed)
+        self.compiles.load(Ordering::Relaxed) // relaxed: monotone counter, read only by STATS
     }
+}
+
+/// Picks the result-cache family for a view being registered: if some
+/// already-registered view over the same document is statically
+/// equivalent (rule-by-rule identical update effects over provably
+/// equal selections), adopt its `(cache_key, cache_generation)` so both
+/// definitions serve the same cached bodies. Re-registering a name with
+/// an equivalent body adopts its own previous family, keeping warm
+/// results valid across the re-registration. Otherwise the view starts
+/// its own family keyed by its name and fresh generation.
+fn cache_family(
+    views: &HashMap<String, Arc<ViewDef>>,
+    name: &str,
+    doc_name: &str,
+    rules: &[(&Path, &UpdateOp)],
+    generation: u64,
+) -> (Arc<str>, u64) {
+    // Deterministic scan order so racing registrations of equivalent
+    // views converge on one representative.
+    let mut names: Vec<&String> = views.keys().collect();
+    names.sort();
+    for n in names {
+        let v = &views[n];
+        if v.doc_name == doc_name && views_equivalent(rules, &v.rules()) {
+            return (Arc::clone(&v.cache_key), v.cache_generation);
+        }
+    }
+    (Arc::from(name), generation)
 }
 
 #[cfg(test)]
@@ -338,11 +484,78 @@ mod tests {
     }
 
     #[test]
+    fn equivalent_views_share_a_cache_family() {
+        let r = ViewRegistry::new();
+        let a = r.register("a", DEL).unwrap();
+        let b = r.register("b", DEL).unwrap();
+        assert_eq!(&*b.cache_key, "a");
+        assert_eq!(b.cache_generation, a.cache_generation);
+        assert_ne!(b.generation, a.generation);
+        // A different body starts its own family.
+        let c = r.register("c", REN).unwrap();
+        assert_eq!(&*c.cache_key, "c");
+        assert_eq!(c.cache_generation, c.generation);
+        // Re-registering an equivalent body keeps the family warm.
+        let a2 = r.register("a", DEL).unwrap();
+        assert_eq!(&*a2.cache_key, "a");
+        assert_eq!(a2.cache_generation, a.cache_generation);
+        assert!(a2.generation > a.generation);
+    }
+
+    #[test]
+    fn dead_views_are_flagged_and_folding_shrinks_paths() {
+        let r = ViewRegistry::new();
+        let dead = r
+            .register(
+                "dead",
+                r#"transform copy $a := doc("db") modify do delete $a/part[label() = price] return $a"#,
+            )
+            .unwrap();
+        assert!(dead.analysis.dead);
+        assert!(dead.analysis.sel_dead > 0);
+
+        let folded = r
+            .register(
+                "folded",
+                r#"transform copy $a := doc("db") modify do delete $a/part[label() = part] return $a"#,
+            )
+            .unwrap();
+        assert!(!folded.analysis.dead);
+        assert!(folded.analysis.folded_qualifiers > 0);
+        // The tautology was dropped before compilation: the compiled
+        // path carries no qualifier at all.
+        let link = folded.single().unwrap();
+        assert!(link
+            .query()
+            .path
+            .steps
+            .iter()
+            .all(|s| s.qualifier.is_none()));
+
+        let live = r.register("live", DEL).unwrap();
+        assert!(!live.analysis.dead);
+        assert!(live.analysis.footprint.structural.is_none());
+    }
+
+    #[test]
+    fn rename_views_have_bounded_footprints() {
+        let r = ViewRegistry::new();
+        let def = r.register("ren", REN).unwrap();
+        assert!(def.analysis.footprint.is_bounded());
+        assert!(def
+            .analysis
+            .footprint
+            .valued
+            .as_ref()
+            .is_some_and(|v| v.is_empty()));
+    }
+
+    #[test]
     fn remove_works() {
         let r = ViewRegistry::new();
         r.register("v", DEL).unwrap();
-        assert!(r.remove("v"));
-        assert!(!r.remove("v"));
+        assert!(r.remove("v").is_some());
+        assert!(r.remove("v").is_none());
         assert!(r.get("v").is_none());
     }
 }

@@ -20,10 +20,13 @@
 //! server concurrently — including writers: updates serialize per
 //! shard, readers keep their epoch.
 
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::mpsc::Receiver;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+use xust_analyze::{classify_update, statically_commutes};
 
 use xust_compose::{compose, compose_two_pass_sax, ComposedQuery, UserQuery};
 use xust_core::delta::{RenameMapping, TouchedLabels};
@@ -243,6 +246,7 @@ impl ServerBuilder {
                 stats: ServeStats::default(),
                 obs: Obs::new(self.tracing),
                 pool: ThreadPool::new(self.threads),
+                commute: Mutex::new(CommuteState::default()),
             }),
         }
     }
@@ -258,7 +262,27 @@ struct Inner {
     stats: ServeStats,
     obs: Obs,
     pool: ThreadPool,
+    /// Memoized static commutation tables, one per update shape (query
+    /// text): `cache_key → cache_generation` for every view the
+    /// registration-time analysis proved the shape commutes with. Keyed
+    /// additionally by `(doc, registry watermark)` — any registration
+    /// invalidates every table (cheap: they rebuild in one pass over
+    /// the registry on the next write of each shape).
+    commute: Mutex<CommuteState>,
 }
+
+#[derive(Default)]
+struct CommuteState {
+    /// Registry watermark the cached tables were built against.
+    watermark: u64,
+    /// `(doc, update text) → static-clear table`.
+    tables: HashMap<(String, String), Arc<HashMap<String, u64>>>,
+}
+
+/// Memoized tables kept per server before the map is cleared wholesale
+/// — a bound on memory under update-text churn, far above any sane
+/// number of distinct prepared shapes.
+const COMMUTE_TABLE_CAP: usize = 512;
 
 /// See the module docs.
 #[derive(Clone)]
@@ -379,38 +403,57 @@ impl Server {
     // ---- views ----
 
     /// Registers a single-transform view. Re-registering a name drops
-    /// any cached results computed under its old definition.
+    /// any cached results computed under its old definition — unless
+    /// the static analysis proves the new body equivalent to the old
+    /// one (or to another live view), in which case the definition
+    /// joins that containment class's cache family and its warm
+    /// results keep serving.
     pub fn register_view(&self, name: &str, query: &str) -> Result<(), ServeError> {
-        self.inner.registry.register(name, query)?;
-        self.inner.results.purge_view(name);
+        let def = self.inner.registry.register(name, query)?;
+        self.after_register(&def);
         Ok(())
     }
 
     /// Registers a chain view (what-if scenario stacking).
     pub fn register_view_chain(&self, name: &str, queries: &[&str]) -> Result<(), ServeError> {
-        self.inner.registry.register_chain(name, queries)?;
-        self.inner.results.purge_view(name);
+        let def = self.inner.registry.register_chain(name, queries)?;
+        self.after_register(&def);
         Ok(())
     }
 
     /// Registers a security policy as a view named after its group.
     pub fn register_policy(&self, policy: &Policy) -> Result<(), ServeError> {
         let def = self.inner.registry.register_policy(policy)?;
-        self.inner.results.purge_view(&def.name);
+        self.after_register(&def);
         Ok(())
+    }
+
+    /// Post-registration cache hygiene: purge results only for a fresh
+    /// cache family. An adopted family means the body is provably
+    /// equivalent to the family's representative, so existing results
+    /// are still byte-correct for this definition.
+    fn after_register(&self, def: &ViewDef) {
+        if def.cache_generation == def.generation {
+            self.inner.results.purge_view(&def.cache_key);
+        }
     }
 
     /// Unregisters a view; true if it existed. Cached results computed
     /// under the definition are purged with it (across every document's
-    /// cache shard) — a later re-registration starts from a clean slate
+    /// cache shard) unless another live view still shares its cache
+    /// family — a later re-registration starts from a clean slate
     /// *and* a fresh generation, so a straggling insert of the old
     /// definition's result can never be served.
     pub fn remove_view(&self, name: &str) -> bool {
-        let removed = self.inner.registry.remove(name);
-        if removed {
-            self.inner.results.purge_view(name);
+        match self.inner.registry.remove(name) {
+            Some(def) => {
+                if !self.inner.registry.family_in_use(&def.cache_key) {
+                    self.inner.results.purge_view(&def.cache_key);
+                }
+                true
+            }
+            None => false,
         }
-        removed
     }
 
     /// Registered view names, sorted.
@@ -438,7 +481,7 @@ impl Server {
         self.inner
             .stats
             .requests
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed); // relaxed: monotone counter; no data published
         let verb = match request {
             Request::View { .. } => Verb::View,
             Request::Query { .. } => Verb::Query,
@@ -469,7 +512,7 @@ impl Server {
         self.inner
             .stats
             .busy_micros
-            .fetch_add(micros, std::sync::atomic::Ordering::Relaxed);
+            .fetch_add(micros, std::sync::atomic::Ordering::Relaxed); // relaxed: monotone counter; no data published
         self.inner.stats.record_verb(verb, result.is_ok());
         let view_name = match request {
             Request::View { view, .. } | Request::Query { view, .. } => Some(view.as_str()),
@@ -494,7 +537,7 @@ impl Server {
                 self.inner
                     .stats
                     .failures
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed); // relaxed: monotone counter; no data published
                 self.inner.obs.finish(rt, micros, false, view_name);
                 Err(e)
             }
@@ -525,12 +568,12 @@ impl Server {
     /// counters report how often that happened.
     pub fn execute_batch(&self, requests: Vec<Request>) -> Vec<Result<Response, ServeError>> {
         use std::collections::HashMap;
-        use std::sync::atomic::Ordering::Relaxed;
-        self.inner.stats.batches.fetch_add(1, Relaxed);
+        use std::sync::atomic::Ordering::Relaxed; // lint: atomic-ok (stats counters only)
+        self.inner.stats.batches.fetch_add(1, Relaxed); // relaxed: monotone counter; no data published
         self.inner
             .stats
             .batch_items
-            .fetch_add(requests.len() as u64, Relaxed);
+            .fetch_add(requests.len() as u64, Relaxed); // relaxed: monotone counter; no data published
         let snap = Arc::new(self.inner.docs.snapshot());
         // Per-request (verb, view, trace target), kept on this side of
         // the pool: when a worker panics mid-job, its items still owe
@@ -562,7 +605,7 @@ impl Server {
                         .inner
                         .registry
                         .get(view)
-                        .is_some_and(|def| def.single().is_some());
+                        .is_some_and(|def| def.single().is_some() && !def.analysis.dead);
                 if groupable {
                     by_doc.entry(doc.clone()).or_default().push(i);
                 }
@@ -619,7 +662,7 @@ impl Server {
         self.inner
             .stats
             .batch_steals
-            .fetch_add(steal.steals, Relaxed);
+            .fetch_add(steal.steals, Relaxed); // relaxed: monotone counter; no data published
         let mut out: Vec<Option<Result<Response, ServeError>>> =
             (0..descs.len()).map(|_| None).collect();
         for (slot, job_result) in raw.into_iter().enumerate() {
@@ -658,9 +701,9 @@ impl Server {
     /// so `METRICS` and `TRACE` reflect panicked items like any other
     /// failure. Returns the error the caller stores in the item's slot.
     fn account_worker_panic(&self, verb: Verb, view: Option<&str>, target: &str) -> ServeError {
-        use std::sync::atomic::Ordering::Relaxed;
+        use std::sync::atomic::Ordering::Relaxed; // lint: atomic-ok (stats counters only)
         self.inner.stats.record_verb(verb, false);
-        self.inner.stats.failures.fetch_add(1, Relaxed);
+        self.inner.stats.failures.fetch_add(1, Relaxed); // relaxed: monotone counter; no data published
         let rt = self.inner.obs.begin(verb, || target.to_string());
         self.inner.obs.finish(rt, 0, false, view);
         ServeError::Eval("worker panicked".into())
@@ -704,7 +747,7 @@ impl Server {
         update: &str,
         rt: &mut Trace,
     ) -> Result<Response, ServeError> {
-        use std::sync::atomic::Ordering::Relaxed;
+        use std::sync::atomic::Ordering::Relaxed; // lint: atomic-ok (stats counters only)
         let stats = &self.inner.stats;
         let t = rt.start();
         let mq = parse_multi_transform(update).map_err(|e| ServeError::Parse(e.to_string()))?;
@@ -736,7 +779,7 @@ impl Server {
                 let (ct, hit) = self.inner.transforms.get_or_try_insert(
                     update,
                     || -> Result<_, ServeError> {
-                        stats.compiles.fetch_add(1, Relaxed);
+                        stats.compiles.fetch_add(1, Relaxed); // relaxed: monotone counter; no data published
                         Ok(CompiledTransform::compile(query))
                     },
                 )?;
@@ -762,6 +805,12 @@ impl Server {
         for (path, _) in &ops {
             value_alphabet_into(path, &mut update_vals);
         }
+        // Which views this update shape provably commutes with —
+        // decided from registration-time analysis alone, memoized per
+        // (doc, update text). Resolved before the shard write lock is
+        // taken so maintenance answers those entries with a table
+        // lookup instead of the dynamic three-way intersection test.
+        let static_clear = self.static_clear_for(doc, update, &ops, &update_alpha, &update_vals);
         let results = &self.inner.results;
         // The installed tree, smuggled out of the closure: the eager
         // shared recompute below runs on it *after* the shard write
@@ -813,6 +862,7 @@ impl Server {
                     &update_vals,
                     &delta,
                     &renames,
+                    &static_clear,
                     &mut |cached| {
                         for (path, op) in &ops {
                             let matched = eval_path_root(cached, path);
@@ -840,7 +890,10 @@ impl Server {
                 StoreUpdateError::NotFound => ServeError::UnknownDoc(doc.to_string()),
                 StoreUpdateError::Apply(e) => e,
             })?;
-        stats.update_requests.fetch_add(1, Relaxed);
+        stats.update_requests.fetch_add(1, Relaxed); // relaxed: monotone counter; no data published
+        stats
+            .static_retained
+            .fetch_add(outcome.static_retained.len() as u64, Relaxed); // relaxed: monotone counter; no data published
         for v in &outcome.retained {
             stats.record_view_delta(v, true);
         }
@@ -860,16 +913,85 @@ impl Server {
         }
         Ok(Response {
             body: format!(
-                "updated {doc} epoch={} version={} targets={targets} retained={} recomputed={}",
+                "updated {doc} epoch={} version={} targets={targets} retained={} recomputed={} static={}",
                 stamp.epoch,
                 stamp.version,
                 outcome.retained.len(),
-                outcome.recomputed.len()
+                outcome.recomputed.len(),
+                outcome.static_retained.len()
             ),
             method: None,
             micros: 0,
             cache_hit: hit,
         })
+    }
+
+    /// The static-clear table for one write: `cache_key →
+    /// cache_generation` for every cache family this update shape
+    /// *provably* commutes with, decided entirely from
+    /// registration-time analysis ([`xust_analyze::statically_commutes`]).
+    /// Memoized per `(doc, update text)` and invalidated wholesale by
+    /// any registration (the registry watermark moves). The table may
+    /// be a registration behind the registry — harmless: maintenance
+    /// cross-checks each claimed generation against the resident
+    /// entry's, so a stale claim degrades to the dynamic test.
+    fn static_clear_for(
+        &self,
+        doc: &str,
+        update: &str,
+        ops: &[(Path, UpdateOp)],
+        update_alpha: &LabelSet,
+        update_vals: &LabelSet,
+    ) -> Arc<HashMap<String, u64>> {
+        let wm = self.inner.registry.watermark();
+        let key = (doc.to_string(), update.to_string());
+        {
+            let mut state = self.inner.commute.lock().expect("commute lock poisoned");
+            if state.watermark < wm {
+                state.watermark = wm;
+                state.tables.clear();
+            } else if state.watermark == wm {
+                if let Some(table) = state.tables.get(&key) {
+                    return Arc::clone(table);
+                }
+            }
+        }
+        // Build outside the mutex: classification is O(update size) and
+        // the scan takes the registry read lock, which must not nest
+        // inside the commute guard.
+        let mut class = classify_update(ops.iter().map(|(p, o)| (p, o)));
+        // The commutation test must argue about exactly the alphabets
+        // the dynamic relevance test will use for this write, which for
+        // prepared single updates come from the compiled transform.
+        class.alphabet = update_alpha.clone();
+        class.values = update_vals.clone();
+        let mut table: HashMap<String, u64> = HashMap::new();
+        let mut blocked: Vec<Arc<str>> = Vec::new();
+        for def in self.inner.registry.defs() {
+            if def.doc_name != doc || def.analysis.dead {
+                continue;
+            }
+            if statically_commutes(&def.alphabet, &def.analysis.footprint, &class) {
+                table.insert(def.cache_key.to_string(), def.cache_generation);
+            } else {
+                // A cache family is cleared only if *every* member
+                // commutes — equivalent definitions can still differ
+                // syntactically (and so in their static bounds).
+                blocked.push(Arc::clone(&def.cache_key));
+            }
+        }
+        for key in blocked {
+            table.remove(&*key);
+        }
+        let table = Arc::new(table);
+        let mut state = self.inner.commute.lock().expect("commute lock poisoned");
+        if state.watermark == wm {
+            if state.tables.len() >= COMMUTE_TABLE_CAP {
+                state.tables.clear();
+            }
+            state.tables.insert(key, Arc::clone(&table));
+        }
+        table
     }
 
     /// Recomputes every single-link view a write just invalidated in
@@ -881,11 +1003,11 @@ impl Server {
     /// or removal since the maintain sweep simply drops out — the next
     /// read recomputes it privately.
     fn shared_recompute(&self, doc: &str, version: u64, tree: &Arc<Document>, names: &[String]) {
-        use std::sync::atomic::Ordering::Relaxed;
+        use std::sync::atomic::Ordering::Relaxed; // lint: atomic-ok (stats counters only)
         let defs: Vec<Arc<ViewDef>> = names
             .iter()
             .filter_map(|n| self.inner.registry.get(n))
-            .filter(|def| def.single().is_some())
+            .filter(|def| def.single().is_some() && !def.analysis.dead)
             .collect();
         if defs.is_empty() {
             return;
@@ -898,16 +1020,16 @@ impl Server {
         self.inner
             .stats
             .shared_passes
-            .fetch_add(mv.passes as u64, Relaxed);
+            .fetch_add(mv.passes as u64, Relaxed); // relaxed: monotone counter; no data published
         self.inner
             .stats
             .shared_pass_views
-            .fetch_add(mv.shared_views as u64, Relaxed);
-        // A second write racing past this one makes the inserts dead
-        // weight at best — skip them (its own sweep recomputes at the
-        // newer version; `insert` also never downgrades a newer
-        // resident entry, so this check is an optimization, not the
-        // correctness guard).
+            .fetch_add(mv.shared_views as u64, Relaxed); // relaxed: monotone counter; no data published
+                                                         // A second write racing past this one makes the inserts dead
+                                                         // weight at best — skip them (its own sweep recomputes at the
+                                                         // newer version; `insert` also never downgrades a newer
+                                                         // resident entry, so this check is an optimization, not the
+                                                         // correctness guard).
         if !DocView::Live(&self.inner.docs).still_at(doc, version) {
             return;
         }
@@ -917,10 +1039,10 @@ impl Server {
             touched.record(tree, &out.targets, &q.op);
             let body = out.doc.serialize();
             self.inner.results.insert(
-                &def.name,
+                &def.cache_key,
                 doc,
                 version,
-                def.generation,
+                def.cache_generation,
                 out.doc,
                 body,
                 def.alphabet.clone(),
@@ -944,7 +1066,7 @@ impl Server {
         items: Vec<(usize, String)>,
         docs: &DocView<'_>,
     ) -> Vec<(usize, Result<Response, ServeError>)> {
-        use std::sync::atomic::Ordering::Relaxed;
+        use std::sync::atomic::Ordering::Relaxed; // lint: atomic-ok (stats counters only)
         let stats = &self.inner.stats;
         let mut out: Vec<(usize, Result<Response, ServeError>)> = Vec::with_capacity(items.len());
         // Re-check the grouping preconditions (registration and the
@@ -953,7 +1075,9 @@ impl Server {
         let mut fallback: Vec<(usize, String)> = Vec::new();
         for (idx, view) in items {
             match self.inner.registry.get(&view) {
-                Some(def) if def.single().is_some() => shared.push((idx, view, def)),
+                Some(def) if def.single().is_some() && !def.analysis.dead => {
+                    shared.push((idx, view, def))
+                }
                 _ => fallback.push((idx, view)),
             }
         }
@@ -982,16 +1106,19 @@ impl Server {
         let mut pending: Vec<(usize, String, Arc<ViewDef>, Instant, Trace)> = Vec::new();
         for (idx, view, def) in shared {
             let started = Instant::now();
-            stats.requests.fetch_add(1, Relaxed);
-            stats.view_requests.fetch_add(1, Relaxed);
+            stats.requests.fetch_add(1, Relaxed); // relaxed: monotone counter; no data published
+            stats.view_requests.fetch_add(1, Relaxed); // relaxed: monotone counter; no data published
             let mut rt = self.inner.obs.begin(Verb::View, || format!("{view}/{doc}"));
             let t = rt.start();
-            let found = self.inner.results.get(&view, doc, version, def.generation);
+            let found = self
+                .inner
+                .results
+                .get(&def.cache_key, doc, version, def.cache_generation);
             rt.phase(Phase::Cache, t);
             rt.note_result(found.is_some());
             if let Some(body) = found {
                 let micros = started.elapsed().as_micros() as u64;
-                stats.busy_micros.fetch_add(micros, Relaxed);
+                stats.busy_micros.fetch_add(micros, Relaxed); // relaxed: monotone counter; no data published
                 stats.record_verb(Verb::View, true);
                 stats.record_view_latency(&view, micros as f64);
                 self.inner.obs.finish(rt, micros, true, Some(&view));
@@ -1022,10 +1149,10 @@ impl Server {
         let t = Instant::now();
         let (results, mv) = multi_view_with_stats(&base, &queries);
         let eval_micros = t.elapsed().as_micros() as u64;
-        stats.shared_passes.fetch_add(mv.passes as u64, Relaxed);
+        stats.shared_passes.fetch_add(mv.passes as u64, Relaxed); // relaxed: monotone counter; no data published
         stats
             .shared_pass_views
-            .fetch_add(mv.shared_views as u64, Relaxed);
+            .fetch_add(mv.shared_views as u64, Relaxed); // relaxed: monotone counter; no data published
         let live = docs.still_at(doc, version);
         for ((idx, view, def, started, mut rt), r) in pending.into_iter().zip(results) {
             rt.phase_micros(Phase::Eval, eval_micros);
@@ -1037,10 +1164,10 @@ impl Server {
                 let mut touched = TouchedLabels::new();
                 touched.record(&base, &r.targets, &q.op);
                 self.inner.results.insert(
-                    &view,
+                    &def.cache_key,
                     doc,
                     version,
-                    def.generation,
+                    def.cache_generation,
                     r.doc,
                     body.clone(),
                     def.alphabet.clone(),
@@ -1049,7 +1176,7 @@ impl Server {
             }
             rt.phase(Phase::Serialize, t);
             let micros = started.elapsed().as_micros() as u64;
-            stats.busy_micros.fetch_add(micros, Relaxed);
+            stats.busy_micros.fetch_add(micros, Relaxed); // relaxed: monotone counter; no data published
             stats.record_verb(Verb::View, true);
             stats.record_view_latency(&view, micros as f64);
             self.inner.obs.finish(rt, micros, true, Some(&view));
@@ -1133,6 +1260,7 @@ impl Server {
         line("stream_sessions_total", snap.stream_sessions);
         line("update_requests_total", snap.update_requests);
         line("delta_retained_total", snap.delta_retained);
+        line("static_retained_total", snap.static_retained);
         line("delta_recomputed_total", snap.delta_recomputed);
         line("shared_passes_total", snap.shared_passes);
         line("shared_pass_views_total", snap.shared_pass_views);
@@ -1244,6 +1372,60 @@ impl Server {
         result
     }
 
+    /// Reports — **without executing anything** — the registration-time
+    /// static analysis of a view: satisfiability (dead views select
+    /// nothing, ever), per-automaton dead-state counts, folded
+    /// qualifier terms, the static alphabet, the write-footprint
+    /// bounds the commutation test argues about, and the containment
+    /// (cache-family) class the definition landed in.
+    pub fn analyze(&self, view: &str) -> Result<Analysis, ServeError> {
+        let result = self.analyze_inner(view);
+        self.inner.stats.record_verb(Verb::Analyze, result.is_ok());
+        result
+    }
+
+    fn analyze_inner(&self, view: &str) -> Result<Analysis, ServeError> {
+        let def = self
+            .inner
+            .registry
+            .get(view)
+            .ok_or_else(|| ServeError::UnknownView(view.to_string()))?;
+        let labels = |set: &LabelSet| -> Vec<String> {
+            let mut v: Vec<String> = set.iter().map(|s| s.as_str().to_string()).collect();
+            v.sort();
+            if set.has_wildcard() {
+                v.push("*".to_string());
+            }
+            v
+        };
+        let a = &def.analysis;
+        let family_members = self
+            .inner
+            .registry
+            .defs()
+            .iter()
+            .filter(|d| d.cache_key == def.cache_key)
+            .count();
+        Ok(Analysis {
+            view: def.name.clone(),
+            doc: def.doc_name.clone(),
+            dead: a.dead,
+            rules: def.rules().len(),
+            sel_states: a.sel_states,
+            sel_dead: a.sel_dead,
+            filt_states: a.filt_states,
+            filt_dead: a.filt_dead,
+            folded_qualifiers: a.folded_qualifiers,
+            alphabet: labels(&def.alphabet),
+            structural: a.footprint.structural.as_ref().map(&labels),
+            valued: a.footprint.valued.as_ref().map(&labels),
+            cache_key: def.cache_key.to_string(),
+            cache_generation: def.cache_generation,
+            family_members,
+            micros: a.micros,
+        })
+    }
+
     fn explain_inner(&self, view: &str, doc: &str) -> Result<Explanation, ServeError> {
         let def = self
             .inner
@@ -1256,8 +1438,11 @@ impl Server {
             matches!(&source, DocSource::Memory(_)) && matches!(&def.body, ViewBody::Chain(_));
         // `peek` is the non-perturbing probe: no hit/miss counted, no
         // LRU bump — EXPLAIN must not change what it reports on.
-        let result_cached =
-            cacheable.then(|| self.inner.results.peek(view, doc, version, def.generation));
+        let result_cached = cacheable.then(|| {
+            self.inner
+                .results
+                .peek(&def.cache_key, doc, version, def.cache_generation)
+        });
         let (shape_text, links) = match (&source, &def.body) {
             (DocSource::Memory(d), ViewBody::Chain(chain)) => {
                 let nodes = d.arena_len();
@@ -1381,7 +1566,7 @@ impl Server {
         self.inner
             .stats
             .transform_requests
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed); // relaxed: monotone counter; no data published
         let t = rt.start();
         let source = view.get(doc)?;
         rt.phase(Phase::Snapshot, t);
@@ -1390,7 +1575,7 @@ impl Server {
         let (ct, hit) = self.inner.transforms.get_or_try_insert(query, || {
             stats
                 .compiles
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed); // relaxed: monotone counter; no data published
             CompiledTransform::parse(query).map_err(|e| ServeError::Parse(e.to_string()))
         })?;
         rt.phase(Phase::Cache, t);
@@ -1465,7 +1650,7 @@ impl Server {
         self.inner
             .stats
             .view_requests
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed); // relaxed: monotone counter; no data published
         let def = self
             .inner
             .registry
@@ -1480,16 +1665,41 @@ impl Server {
         let (source, version) = docs.get_versioned(doc)?;
         rt.phase(Phase::Snapshot, t);
 
+        // A statically dead view selects nothing on any document: the
+        // materialization *is* the base document. Serve it directly —
+        // no evaluation, and no result-cache entry to maintain (the
+        // registration-time analysis already warned about the view).
+        if def.analysis.dead {
+            if let DocSource::Memory(base) = &source {
+                let t = rt.start();
+                let body = base.serialize();
+                rt.phase(Phase::Serialize, t);
+                return Ok(Response {
+                    body,
+                    method: None, // no evaluation ran at all
+                    micros: 0,
+                    cache_hit: true,
+                });
+            }
+        }
+
         // In-memory chain views are answered from the maintained
         // view-result cache when the entry matches this document
-        // version (and this view definition's generation) exactly.
-        let cacheable =
-            matches!(&source, DocSource::Memory(_)) && matches!(&def.body, ViewBody::Chain(_));
+        // version (and this view definition's cache family generation)
+        // exactly. Entries are keyed by the definition's *cache family*
+        // ([`ViewDef::cache_key`]) — provably equivalent views share
+        // one entry per document version.
+        let cacheable = matches!(&source, DocSource::Memory(_))
+            && matches!(&def.body, ViewBody::Chain(_))
+            && !def.analysis.dead;
         if cacheable {
             // Hit/miss accounting lives in the cache itself (surfaced
             // through `Server::stats`).
             let t = rt.start();
-            let found = self.inner.results.get(view, doc, version, def.generation);
+            let found = self
+                .inner
+                .results
+                .get(&def.cache_key, doc, version, def.cache_generation);
             rt.phase(Phase::Cache, t);
             rt.note_result(found.is_some());
             if let Some(body) = found {
@@ -1547,10 +1757,10 @@ impl Server {
         if let Some(touched) = touched {
             if docs.still_at(doc, version) {
                 self.inner.results.insert(
-                    view,
+                    &def.cache_key,
                     doc,
                     version,
-                    def.generation,
+                    def.cache_generation,
                     out,
                     body.clone(),
                     def.alphabet.clone(),
@@ -1578,7 +1788,7 @@ impl Server {
         self.inner
             .stats
             .query_requests
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed); // relaxed: monotone counter; no data published
         let def = self
             .inner
             .registry
@@ -1632,7 +1842,7 @@ impl Server {
                 }
                 stats
                     .compositions
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed); // relaxed: monotone counter; no data published
                 compose(link.query(), &uq).map_err(|e| ServeError::Parse(e.to_string()))
             })?;
             rt.phase(Phase::Cache, t);
@@ -1685,11 +1895,11 @@ impl Server {
     // ---- helpers ----
 
     fn note_cache(&self, hit: bool) {
-        use std::sync::atomic::Ordering::Relaxed;
+        use std::sync::atomic::Ordering::Relaxed; // lint: atomic-ok (stats counters only)
         if hit {
-            self.inner.stats.cache_hits.fetch_add(1, Relaxed);
+            self.inner.stats.cache_hits.fetch_add(1, Relaxed); // relaxed: monotone counter; no data published
         } else {
-            self.inner.stats.cache_misses.fetch_add(1, Relaxed);
+            self.inner.stats.cache_misses.fetch_add(1, Relaxed); // relaxed: monotone counter; no data published
         }
     }
 
@@ -1902,6 +2112,83 @@ impl std::fmt::Display for Explanation {
     }
 }
 
+/// What [`Server::analyze`] reports: the registration-time static
+/// analysis of one view, exactly as the hot paths consume it. Nothing
+/// here is recomputed — the report *is* the stored
+/// [`xust_analyze::ViewAnalysis`] plus the containment-class
+/// bookkeeping.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// The view analyzed.
+    pub view: String,
+    /// The document the view reads.
+    pub doc: String,
+    /// True when no rule can ever select a node (the view is the
+    /// identity transform; it is excluded from caching and grouping).
+    pub dead: bool,
+    /// Transform rules in the definition (chain links or fused rules).
+    pub rules: usize,
+    /// Selecting-NFA states, summed over rules.
+    pub sel_states: usize,
+    /// Dead selecting-NFA states (unreachable or non-co-reachable).
+    pub sel_dead: usize,
+    /// Filtering-NFA states, summed over rules.
+    pub filt_states: usize,
+    /// Dead filtering-NFA states.
+    pub filt_dead: usize,
+    /// Qualifier (sub-)terms eliminated by constant folding.
+    pub folded_qualifiers: usize,
+    /// The view's static alphabet, sorted (`*` marks a wildcard).
+    pub alphabet: Vec<String>,
+    /// Structural write-footprint bound, sorted; `None` = unbounded.
+    pub structural: Option<Vec<String>>,
+    /// Valued write-footprint bound, sorted; `None` = unbounded.
+    pub valued: Option<Vec<String>>,
+    /// The cache family (containment class) the definition landed in.
+    pub cache_key: String,
+    /// The family's cache generation.
+    pub cache_generation: u64,
+    /// Live views sharing this cache family (including this one).
+    pub family_members: usize,
+    /// Wall-clock cost of the registration-time analysis.
+    pub micros: u64,
+}
+
+impl std::fmt::Display for Analysis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let bound = |b: &Option<Vec<String>>| match b {
+            Some(labels) => format!("{{{}}}", labels.join(",")),
+            None => "unbounded".to_string(),
+        };
+        write!(
+            f,
+            "analyze view={} doc={} dead={} rules={} analysis_micros={}",
+            self.view, self.doc, self.dead, self.rules, self.micros
+        )?;
+        write!(
+            f,
+            "\nnfa: selecting states={} dead={} filtering states={} dead={} folded_qualifiers={}",
+            self.sel_states,
+            self.sel_dead,
+            self.filt_states,
+            self.filt_dead,
+            self.folded_qualifiers
+        )?;
+        write!(f, "\nalphabet: {{{}}}", self.alphabet.join(","))?;
+        write!(
+            f,
+            "\nfootprint: structural={} valued={}",
+            bound(&self.structural),
+            bound(&self.valued)
+        )?;
+        write!(
+            f,
+            "\nfamily: key={} generation={} members={}",
+            self.cache_key, self.cache_generation, self.family_members
+        )
+    }
+}
+
 // ---- streaming sessions ----
 
 impl Server {
@@ -1916,18 +2203,18 @@ impl Server {
     /// store snapshot for its lifetime so the server's epoch bookkeeping
     /// can prove abandoned sessions release their resources.
     pub fn begin_stream(&self, query: &str) -> Result<StreamingSession, ServeError> {
-        use std::sync::atomic::Ordering::Relaxed;
-        self.inner.stats.requests.fetch_add(1, Relaxed);
-        self.inner.stats.stream_sessions.fetch_add(1, Relaxed);
+        use std::sync::atomic::Ordering::Relaxed; // lint: atomic-ok (stats counters only)
+        self.inner.stats.requests.fetch_add(1, Relaxed); // relaxed: monotone counter; no data published
+        self.inner.stats.stream_sessions.fetch_add(1, Relaxed); // relaxed: monotone counter; no data published
         let stats = &self.inner.stats;
         let compiled = self.inner.transforms.get_or_try_insert(query, || {
-            stats.compiles.fetch_add(1, Relaxed);
+            stats.compiles.fetch_add(1, Relaxed); // relaxed: monotone counter; no data published
             CompiledTransform::parse(query).map_err(|e| ServeError::Parse(e.to_string()))
         });
         let (ct, hit) = match compiled {
             Ok(v) => v,
             Err(e) => {
-                stats.failures.fetch_add(1, Relaxed);
+                stats.failures.fetch_add(1, Relaxed); // relaxed: monotone counter; no data published
                 stats.record_verb(Verb::Stream, false);
                 return Err(e);
             }

@@ -44,7 +44,7 @@ impl EwmaCell {
     /// in (0, 1]; the first sample installs itself directly. Returns the
     /// post-fold `(count, value)`.
     pub fn record(&self, sample: f32, weight: f32) -> (u32, f32) {
-        let mut cur = self.state.load(Ordering::Relaxed);
+        let mut cur = ld(&self.state);
         loop {
             let (count, value) = Self::unpack(cur);
             let next_value = if count == 0 {
@@ -55,7 +55,7 @@ impl EwmaCell {
             let next = Self::pack(count.saturating_add(1), next_value);
             match self
                 .state
-                .compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Relaxed)
+                .compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Relaxed) // relaxed: failure ordering; the retry reloads
             {
                 Ok(_) => return Self::unpack(next),
                 Err(seen) => cur = seen,
@@ -105,11 +105,13 @@ pub enum Verb {
     Trace,
     /// `EXPLAIN` — plan report without execution.
     Explain,
+    /// `ANALYZE` — registration-time static-analysis report.
+    Analyze,
 }
 
 impl Verb {
     /// Every verb, in fixed (index) order.
-    pub const ALL: [Verb; 10] = [
+    pub const ALL: [Verb; 11] = [
         Verb::View,
         Verb::Query,
         Verb::Transform,
@@ -120,6 +122,7 @@ impl Verb {
         Verb::Metrics,
         Verb::Trace,
         Verb::Explain,
+        Verb::Analyze,
     ];
 
     /// Lower-case verb name, as rendered in `STATS` and `METRICS`.
@@ -135,6 +138,7 @@ impl Verb {
             Verb::Metrics => "metrics",
             Verb::Trace => "trace",
             Verb::Explain => "explain",
+            Verb::Analyze => "analyze",
         }
     }
 
@@ -160,6 +164,13 @@ pub struct VerbCounters {
     pub requests: AtomicU64,
     /// Of those, how many returned an error.
     pub errors: AtomicU64,
+}
+
+/// Point-in-time read of one stats counter.
+// relaxed: counters are independent monotone values; readers either
+// tolerate staleness (snapshots, reports) or re-validate with a CAS.
+fn ld(counter: &AtomicU64) -> u64 {
+    counter.load(Ordering::Relaxed) // relaxed: point-in-time read; staleness is fine
 }
 
 /// Counters for one [`crate::Server`].
@@ -196,6 +207,10 @@ pub struct ServeStats {
     /// View-result cache entries retained across a write (delta applied
     /// in place, no recomputation).
     pub delta_retained: AtomicU64,
+    /// Of the retained entries, how many were answered by the static
+    /// commutation table alone (no dynamic three-way intersection test
+    /// ran). Always `<= delta_retained`.
+    pub static_retained: AtomicU64,
     /// View-result cache entries invalidated by a write (recomputed
     /// lazily on next request).
     pub delta_recomputed: AtomicU64,
@@ -273,15 +288,15 @@ impl ServeStats {
     /// write, `false` that it was dropped for lazy recomputation.
     pub fn record_view_delta(&self, view: &str, retained: bool) {
         if retained {
-            self.delta_retained.fetch_add(1, Ordering::Relaxed);
+            self.delta_retained.fetch_add(1, Ordering::Relaxed); // relaxed: monotone counter; no data published
         } else {
-            self.delta_recomputed.fetch_add(1, Ordering::Relaxed);
+            self.delta_recomputed.fetch_add(1, Ordering::Relaxed); // relaxed: monotone counter; no data published
         }
         let cell = cell_of(&self.view_delta, view);
         if retained {
-            cell.retained.fetch_add(1, Ordering::Relaxed);
+            cell.retained.fetch_add(1, Ordering::Relaxed); // relaxed: monotone counter; no data published
         } else {
-            cell.recomputed.fetch_add(1, Ordering::Relaxed);
+            cell.recomputed.fetch_add(1, Ordering::Relaxed); // relaxed: monotone counter; no data published
         }
     }
 
@@ -292,12 +307,7 @@ impl ServeStats {
             .read()
             .expect("stats lock poisoned")
             .get(view)
-            .map(|c| {
-                (
-                    c.retained.load(Ordering::Relaxed),
-                    c.recomputed.load(Ordering::Relaxed),
-                )
-            })
+            .map(|c| (ld(&c.retained), ld(&c.recomputed)))
     }
 
     /// Records one write's maintenance outcome for the *written*
@@ -306,8 +316,8 @@ impl ServeStats {
     /// both counts are zero — the row proves the write was examined).
     pub fn record_doc_delta(&self, doc: &str, retained: u64, recomputed: u64) {
         let cell = cell_of(&self.doc_delta, doc);
-        cell.retained.fetch_add(retained, Ordering::Relaxed);
-        cell.recomputed.fetch_add(recomputed, Ordering::Relaxed);
+        cell.retained.fetch_add(retained, Ordering::Relaxed); // relaxed: monotone counter; no data published
+        cell.recomputed.fetch_add(recomputed, Ordering::Relaxed); // relaxed: monotone counter; no data published
     }
 
     /// Drops `doc`'s per-document delta row. Called when the document
@@ -330,71 +340,64 @@ impl ServeStats {
             .read()
             .expect("stats lock poisoned")
             .get(doc)
-            .map(|c| {
-                (
-                    c.retained.load(Ordering::Relaxed),
-                    c.recomputed.load(Ordering::Relaxed),
-                )
-            })
+            .map(|c| (ld(&c.retained), ld(&c.recomputed)))
     }
 
     /// Records one request under `verb`; `ok == false` also bumps the
     /// verb's error counter.
     pub fn record_verb(&self, verb: Verb, ok: bool) {
         let cell = &self.per_verb[verb.index()];
-        cell.requests.fetch_add(1, Ordering::Relaxed);
+        cell.requests.fetch_add(1, Ordering::Relaxed); // relaxed: monotone counter; no data published
         if !ok {
-            cell.errors.fetch_add(1, Ordering::Relaxed);
+            cell.errors.fetch_add(1, Ordering::Relaxed); // relaxed: monotone counter; no data published
         }
     }
 
     /// `(requests, errors)` recorded for `verb`.
     pub fn verb_counts(&self, verb: Verb) -> (u64, u64) {
         let cell = &self.per_verb[verb.index()];
-        (
-            cell.requests.load(Ordering::Relaxed),
-            cell.errors.load(Ordering::Relaxed),
-        )
+        (ld(&cell.requests), ld(&cell.errors))
     }
 
     /// Records one execution with `method`.
     pub fn count_method(&self, m: Method) {
-        self.per_method[method_index(m)].fetch_add(1, Ordering::Relaxed);
+        self.per_method[method_index(m)].fetch_add(1, Ordering::Relaxed); // relaxed: monotone counter; no data published
     }
 
     /// Executions recorded for `method`.
     pub fn method_count(&self, m: Method) -> u64 {
-        self.per_method[method_index(m)].load(Ordering::Relaxed)
+        ld(&self.per_method[method_index(m)])
     }
 
     /// Takes a consistent-enough snapshot for reporting.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
-            requests: self.requests.load(Ordering::Relaxed),
-            failures: self.failures.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            compiles: self.compiles.load(Ordering::Relaxed),
-            compositions: self.compositions.load(Ordering::Relaxed),
-            view_requests: self.view_requests.load(Ordering::Relaxed),
-            query_requests: self.query_requests.load(Ordering::Relaxed),
-            transform_requests: self.transform_requests.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            batch_items: self.batch_items.load(Ordering::Relaxed),
-            batch_steals: self.batch_steals.load(Ordering::Relaxed),
+            requests: ld(&self.requests),
+            failures: ld(&self.failures),
+            cache_hits: ld(&self.cache_hits),
+            cache_misses: ld(&self.cache_misses),
+            compiles: ld(&self.compiles),
+            compositions: ld(&self.compositions),
+            view_requests: ld(&self.view_requests),
+            query_requests: ld(&self.query_requests),
+            transform_requests: ld(&self.transform_requests),
+            batches: ld(&self.batches),
+            batch_items: ld(&self.batch_items),
+            batch_steals: ld(&self.batch_steals),
             interned_labels: xust_intern::Interner::global().len(),
-            stream_sessions: self.stream_sessions.load(Ordering::Relaxed),
-            update_requests: self.update_requests.load(Ordering::Relaxed),
-            delta_retained: self.delta_retained.load(Ordering::Relaxed),
-            delta_recomputed: self.delta_recomputed.load(Ordering::Relaxed),
-            shared_passes: self.shared_passes.load(Ordering::Relaxed),
-            shared_pass_views: self.shared_pass_views.load(Ordering::Relaxed),
+            stream_sessions: ld(&self.stream_sessions),
+            update_requests: ld(&self.update_requests),
+            delta_retained: ld(&self.delta_retained),
+            static_retained: ld(&self.static_retained),
+            delta_recomputed: ld(&self.delta_recomputed),
+            shared_passes: ld(&self.shared_passes),
+            shared_pass_views: ld(&self.shared_pass_views),
             // The result cache is its own source of truth for hit/miss
             // counts; `Server::stats` overlays them (a bare `ServeStats`
             // has no cache attached).
             result_hits: 0,
             result_misses: 0,
-            busy_micros: self.busy_micros.load(Ordering::Relaxed),
+            busy_micros: ld(&self.busy_micros),
             per_method: Method::ALL.map(|m| (m, self.method_count(m))),
             verbs: {
                 let mut v: Vec<(Verb, u64, u64)> = Verb::ALL
@@ -412,13 +415,7 @@ impl ServeStats {
                 let map = self.view_delta.read().expect("stats lock poisoned");
                 let mut v: Vec<(String, u64, u64)> = map
                     .iter()
-                    .map(|(k, c)| {
-                        (
-                            k.clone(),
-                            c.retained.load(Ordering::Relaxed),
-                            c.recomputed.load(Ordering::Relaxed),
-                        )
-                    })
+                    .map(|(k, c)| (k.clone(), ld(&c.retained), ld(&c.recomputed)))
                     .collect();
                 v.sort_by(|a, b| a.0.cmp(&b.0));
                 v
@@ -427,13 +424,7 @@ impl ServeStats {
                 let map = self.doc_delta.read().expect("stats lock poisoned");
                 let mut v: Vec<(String, u64, u64)> = map
                     .iter()
-                    .map(|(k, c)| {
-                        (
-                            k.clone(),
-                            c.retained.load(Ordering::Relaxed),
-                            c.recomputed.load(Ordering::Relaxed),
-                        )
-                    })
+                    .map(|(k, c)| (k.clone(), ld(&c.retained), ld(&c.recomputed)))
                     .collect();
                 v.sort_by(|a, b| a.0.cmp(&b.0));
                 v
@@ -490,6 +481,9 @@ pub struct StatsSnapshot {
     /// View-result cache entries retained across writes (maintained in
     /// place — the delta-aware win).
     pub delta_retained: u64,
+    /// Of those, entries retained on the static commutation table's
+    /// verdict alone (registration-time analysis; no dynamic test ran).
+    pub static_retained: u64,
     /// View-result cache entries invalidated by writes.
     pub delta_recomputed: u64,
     /// One-pass shared evaluations run (factorised sweeps).
@@ -546,9 +540,10 @@ impl std::fmt::Display for StatsSnapshot {
         )?;
         writeln!(
             f,
-            "updates: accepted={} delta_retained={} delta_recomputed={} result_hits={} result_misses={}",
+            "updates: accepted={} delta_retained={} static_retained={} delta_recomputed={} result_hits={} result_misses={}",
             self.update_requests,
             self.delta_retained,
+            self.static_retained,
             self.delta_recomputed,
             self.result_hits,
             self.result_misses
@@ -618,7 +613,7 @@ impl StatsSnapshot {
              \"compiles\":{},\"compositions\":{},\"view_requests\":{},\"query_requests\":{},\
              \"transform_requests\":{},\"batches\":{},\"batch_items\":{},\"batch_steals\":{},\
              \"interned_labels\":{},\"stream_sessions\":{},\"update_requests\":{},\
-             \"delta_retained\":{},\"delta_recomputed\":{},\"shared_passes\":{},\
+             \"delta_retained\":{},\"static_retained\":{},\"delta_recomputed\":{},\"shared_passes\":{},\
              \"shared_pass_views\":{},\"result_hits\":{},\
              \"result_misses\":{},\"busy_micros\":{}",
             self.requests,
@@ -637,6 +632,7 @@ impl StatsSnapshot {
             self.stream_sessions,
             self.update_requests,
             self.delta_retained,
+            self.static_retained,
             self.delta_recomputed,
             self.shared_passes,
             self.shared_pass_views,
@@ -716,7 +712,7 @@ mod tests {
     #[test]
     fn counters_roundtrip() {
         let s = ServeStats::default();
-        s.requests.fetch_add(3, Ordering::Relaxed);
+        s.requests.fetch_add(3, Ordering::Relaxed); // relaxed: monotone counter; no data published
         s.count_method(Method::TwoPass);
         s.count_method(Method::TwoPass);
         s.count_method(Method::Naive);
@@ -860,7 +856,7 @@ mod tests {
     #[test]
     fn json_rendering_is_well_formed() {
         let s = ServeStats::default();
-        s.requests.fetch_add(2, Ordering::Relaxed);
+        s.requests.fetch_add(2, Ordering::Relaxed); // relaxed: monotone counter; no data published
         s.count_method(Method::TopDown);
         s.record_verb(Verb::Query, true);
         s.record_view_latency("pub\"lic", 120.0);

@@ -47,7 +47,7 @@
 //! one can never be wrongly served for a re-created document.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering}; // lint: atomic-ok (snapshot counter only)
 use std::sync::{Arc, RwLock};
 
 use xust_intern::Interner;
@@ -275,7 +275,7 @@ impl DocStore {
             .map(|s| Arc::clone(&s.current.read().expect("doc store lock poisoned")))
             .collect();
         self.active.fetch_add(1, Ordering::SeqCst);
-        self.snapshots_taken.fetch_add(1, Ordering::Relaxed);
+        self.snapshots_taken.fetch_add(1, Ordering::Relaxed); // relaxed: monotone counter; no data published
         StoreSnapshot {
             epochs,
             active: Arc::clone(&self.active),
@@ -293,7 +293,7 @@ impl DocStore {
     /// exports both so snapshot churn is visible even when the gauge
     /// idles at zero.
     pub fn snapshots_taken(&self) -> u64 {
-        self.snapshots_taken.load(Ordering::Relaxed)
+        self.snapshots_taken.load(Ordering::Relaxed) // relaxed: point-in-time read; staleness is fine
     }
 
     /// Current epoch number of every shard, in shard order.

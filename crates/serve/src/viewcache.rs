@@ -59,7 +59,7 @@
 //! [`ServeStats`](crate::ServeStats).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering}; // lint: atomic-ok (hit/miss/size counters only)
 use std::sync::{Arc, Mutex, RwLock};
 
 use xust_core::delta::{RenameMapping, TouchedLabels};
@@ -93,6 +93,12 @@ struct Entry {
     version: u64,
     /// LRU clock value of the last hit.
     last_use: u64,
+    /// Set once a retained rename remapped `view_touched`: the entry's
+    /// footprint has drifted from what the view *definition* statically
+    /// bounds, so registration-time commutation verdicts no longer
+    /// apply to it — it must take the dynamic relevance test until
+    /// replaced by a fresh materialization.
+    drifted: bool,
 }
 
 /// One document's slice of the cache: its own entry map behind its own
@@ -120,6 +126,9 @@ struct DocShardState {
 pub struct MaintainOutcome {
     /// Views whose entries were retained (delta applied in place).
     pub retained: Vec<String>,
+    /// The subset of `retained` resolved by the static commutation
+    /// table alone — the per-entry dynamic relevance test was skipped.
+    pub static_retained: Vec<String>,
     /// Views whose entries failed the relevance test and were dropped
     /// for lazy recomputation.
     pub recomputed: Vec<String>,
@@ -159,7 +168,7 @@ impl ViewResultCache {
     }
 
     fn next_tick(&self) -> u64 {
-        self.tick.fetch_add(1, Ordering::Relaxed) + 1
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1 // relaxed: monotone counter; no data published
     }
 
     /// The shard for `doc`, if one exists.
@@ -226,8 +235,8 @@ impl ViewResultCache {
             }
         });
         match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed), // relaxed: monotone counter; no data published
+            None => self.misses.fetch_add(1, Ordering::Relaxed), // relaxed: monotone counter; no data published
         };
         found
     }
@@ -278,6 +287,7 @@ impl ViewResultCache {
             view_touched,
             version,
             last_use: self.next_tick(),
+            drifted: false,
         };
         // When eviction finds nothing removable (every candidate shard
         // locked, or counter drift under a concurrent purge), insert
@@ -309,9 +319,10 @@ impl ViewResultCache {
                         state.views.insert(view.to_string(), entry);
                         return;
                     }
+                    // relaxed: point-in-time read; staleness is fine
                     None if force || self.entries.load(Ordering::Relaxed) < self.capacity => {
                         state.views.insert(view.to_string(), entry);
-                        self.entries.fetch_add(1, Ordering::Relaxed);
+                        self.entries.fetch_add(1, Ordering::Relaxed); // relaxed: monotone counter; no data published
                         return;
                     }
                     None => {} // at capacity: fall through to evict
@@ -353,7 +364,7 @@ impl ViewResultCache {
             return false; // became busy since the scan: give up, overshoot
         };
         if state.views.remove(&view).is_some() {
-            self.entries.fetch_sub(1, Ordering::Relaxed);
+            self.entries.fetch_sub(1, Ordering::Relaxed); // relaxed: counter decrement; no data published
             true
         } else {
             false // raced with another eviction or a purge
@@ -385,6 +396,13 @@ impl ViewResultCache {
     /// lazy recomputation like any failed relevance test (neighbour
     /// writes can no longer cause this; only the written document's own
     /// history can).
+    ///
+    /// `static_clear` maps cache keys to the view-definition generation
+    /// the registration-time analysis proved this update shape commutes
+    /// with (see `xust_analyze::statically_commutes`). A matching,
+    /// non-drifted entry is retained on that table lookup alone — the
+    /// three intersection tests are skipped — and reported in
+    /// [`MaintainOutcome::static_retained`] as well as `retained`.
     #[allow(clippy::too_many_arguments)]
     pub fn maintain(
         &self,
@@ -395,6 +413,7 @@ impl ViewResultCache {
         update_values: &LabelSet,
         delta: &LabelSet,
         renames: &[RenameMapping],
+        static_clear: &HashMap<String, u64>,
         apply_delta: &mut dyn FnMut(&mut Document),
     ) -> MaintainOutcome {
         let mut outcome = MaintainOutcome::default();
@@ -407,6 +426,14 @@ impl ViewResultCache {
         let mut state = shard.state.lock().expect("view cache shard poisoned");
         let mut dropped = 0usize;
         state.views.retain(|view, e| {
+            // Static fast path: the registration-time table already
+            // proved this (view, update-shape) pair commutes for any
+            // document state. Generation must match (the verdict is
+            // about the *current* definition) and the entry's footprint
+            // must not have drifted from the definition's static bound.
+            let static_ok = e.version == prev_version
+                && !e.drifted
+                && static_clear.get(view).is_some_and(|&g| g == e.generation);
             // All three directions of the relevance test must come back
             // disjoint (wildcards intersect everything non-empty — see
             // `LabelSet::intersects`): the delta vs what the view can
@@ -416,11 +443,12 @@ impl ViewResultCache {
             // the view perturbed. An empty delta means the update
             // matched nothing: the document is byte-identical, every
             // current entry rides along.
-            let retain = e.version == prev_version
-                && (delta.is_empty()
-                    || (!delta.intersects(&e.view_alphabet)
-                        && !update_alphabet.intersects(&e.view_touched.structural)
-                        && !update_values.intersects(&e.view_touched.valued)));
+            let retain = static_ok
+                || (e.version == prev_version
+                    && (delta.is_empty()
+                        || (!delta.intersects(&e.view_alphabet)
+                            && !update_alphabet.intersects(&e.view_touched.structural)
+                            && !update_values.intersects(&e.view_touched.valued))));
             if retain {
                 if !delta.is_empty() {
                     apply_delta(&mut e.doc);
@@ -435,9 +463,18 @@ impl ViewResultCache {
                     // `structural` is caught by the alphabet direction
                     // above — but folding into both is free and keeps
                     // the invariant local.)
-                    e.view_touched.apply_renames(renames);
+                    if !renames.is_empty() {
+                        e.view_touched.apply_renames(renames);
+                        // The footprint may now exceed the definition's
+                        // static bound: no static verdict applies to
+                        // this entry any more.
+                        e.drifted = true;
+                    }
                 }
                 e.version = new_version;
+                if static_ok {
+                    outcome.static_retained.push(view.clone());
+                }
                 outcome.retained.push(view.clone());
                 true
             } else {
@@ -446,7 +483,7 @@ impl ViewResultCache {
                 false
             }
         });
-        self.entries.fetch_sub(dropped, Ordering::Relaxed);
+        self.entries.fetch_sub(dropped, Ordering::Relaxed); // relaxed: counter decrement; no data published
         outcome
     }
 
@@ -466,7 +503,7 @@ impl ViewResultCache {
         state.detached = true;
         let dropped = state.views.len();
         state.views.clear();
-        self.entries.fetch_sub(dropped, Ordering::Relaxed);
+        self.entries.fetch_sub(dropped, Ordering::Relaxed); // relaxed: counter decrement; no data published
         dropped
     }
 
@@ -489,13 +526,13 @@ impl ViewResultCache {
                 dropped += 1;
             }
         }
-        self.entries.fetch_sub(dropped, Ordering::Relaxed);
+        self.entries.fetch_sub(dropped, Ordering::Relaxed); // relaxed: counter decrement; no data published
         dropped
     }
 
     /// Cached entries right now.
     pub fn len(&self) -> usize {
-        self.entries.load(Ordering::Relaxed)
+        self.entries.load(Ordering::Relaxed) // relaxed: point-in-time read; staleness is fine
     }
 
     /// True when nothing is cached.
@@ -511,12 +548,12 @@ impl ViewResultCache {
 
     /// Version-valid hits so far.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.load(Ordering::Relaxed) // relaxed: point-in-time read; staleness is fine
     }
 
     /// Misses so far.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.load(Ordering::Relaxed) // relaxed: point-in-time read; staleness is fine
     }
 }
 
@@ -575,6 +612,7 @@ mod tests {
             &LabelSet::new(),
             &labels(&["hot", "new"]),
             &[],
+            &HashMap::new(),
             &mut |doc| {
                 applied += 1;
                 let root = doc.root().unwrap();
@@ -626,6 +664,7 @@ mod tests {
             &LabelSet::new(),
             &labels(&["zzz"]),
             &[],
+            &HashMap::new(),
             &mut |_| panic!("nothing should be maintained"),
         );
         assert!(out.retained.is_empty());
@@ -662,6 +701,7 @@ mod tests {
             &LabelSet::new(),
             &LabelSet::new(),
             &[],
+            &HashMap::new(),
             &mut |_| panic!("no delta to apply"),
         );
         assert_eq!(out.retained, vec!["wild".to_string()]);
@@ -693,6 +733,7 @@ mod tests {
             &LabelSet::new(),
             &labels(&["p"]),
             &[],
+            &HashMap::new(),
             &mut |_| {},
         );
         assert_eq!(out.recomputed, vec!["v".to_string()]);
@@ -726,6 +767,7 @@ mod tests {
             &LabelSet::new(),
             &labels(&["p"]),
             &[],
+            &HashMap::new(),
             &mut |_| {},
         );
         assert_eq!(out.retained, vec!["v".to_string()]);
@@ -738,6 +780,7 @@ mod tests {
             &labels(&["b"]),
             &labels(&["p"]),
             &[],
+            &HashMap::new(),
             &mut |_| {},
         );
         assert_eq!(out.recomputed, vec!["v".to_string()]);
@@ -783,6 +826,7 @@ mod tests {
             &LabelSet::new(),
             &labels(&["a", "b", "w", "u"]),
             &renames,
+            &HashMap::new(),
             &mut |_| {},
         );
         assert_eq!(out.retained, vec!["v".to_string()]);
@@ -796,6 +840,7 @@ mod tests {
             &labels(&["u"]),
             &labels(&["m", "b", "u", "r"]),
             &[],
+            &HashMap::new(),
             &mut |_| {},
         );
         assert_eq!(
@@ -803,6 +848,91 @@ mod tests {
             vec!["v".to_string()],
             "the renamed ancestor's new label must stay in the footprint"
         );
+    }
+
+    #[test]
+    fn static_clear_skips_the_dynamic_test() {
+        let c = ViewResultCache::new(8);
+        // An entry whose alphabet *intersects* the delta: the dynamic
+        // test would drop it, so a retain proves the static table was
+        // consulted instead. (The caller vouches for soundness; the
+        // cache only honours the lookup.)
+        entry(&c, "v", "d", 1, &["hot"]);
+        let mut clear = HashMap::new();
+        clear.insert("v".to_string(), 1u64);
+        let out = c.maintain(
+            "d",
+            1,
+            2,
+            &labels(&["hot"]),
+            &LabelSet::new(),
+            &labels(&["hot"]),
+            &[],
+            &clear,
+            &mut |_| {},
+        );
+        assert_eq!(out.retained, vec!["v".to_string()]);
+        assert_eq!(out.static_retained, vec!["v".to_string()]);
+        // A generation mismatch disables the verdict: the table speaks
+        // about a *different* definition of the view.
+        entry(&c, "w", "d", 2, &["hot"]);
+        let mut stale = HashMap::new();
+        stale.insert("w".to_string(), 9u64);
+        let out = c.maintain(
+            "d",
+            2,
+            3,
+            &labels(&["hot"]),
+            &LabelSet::new(),
+            &labels(&["hot"]),
+            &[],
+            &stale,
+            &mut |_| {},
+        );
+        assert!(out.static_retained.is_empty());
+        let mut recomputed = out.recomputed.clone();
+        recomputed.sort();
+        assert_eq!(recomputed, vec!["v".to_string(), "w".to_string()]);
+    }
+
+    #[test]
+    fn drifted_entries_fall_back_to_the_dynamic_test() {
+        let c = ViewResultCache::new(8);
+        entry(&c, "v", "d", 1, &["x"]);
+        // A retained rename remaps the stored footprint → drift.
+        let renames = [RenameMapping {
+            old: labels(&["r"]),
+            new: intern("r2"),
+        }];
+        let out = c.maintain(
+            "d",
+            1,
+            2,
+            &labels(&["r", "r2"]),
+            &LabelSet::new(),
+            &labels(&["r", "r2"]),
+            &renames,
+            &HashMap::new(),
+            &mut |_| {},
+        );
+        assert_eq!(out.retained, vec!["v".to_string()]);
+        // The static table now claims this pair commutes, but the entry
+        // has drifted: it must take (and here fail) the dynamic test.
+        let mut clear = HashMap::new();
+        clear.insert("v".to_string(), 1u64);
+        let out = c.maintain(
+            "d",
+            2,
+            3,
+            &labels(&["x"]),
+            &LabelSet::new(),
+            &labels(&["x"]),
+            &[],
+            &clear,
+            &mut |_| {},
+        );
+        assert!(out.static_retained.is_empty());
+        assert_eq!(out.recomputed, vec!["v".to_string()]);
     }
 
     #[test]
@@ -876,6 +1006,7 @@ mod tests {
             &LabelSet::new(),
             &labels(&["x"]),
             &[],
+            &HashMap::new(),
             &mut |_| {},
         );
         assert_eq!(out.recomputed, vec!["v".to_string()]);
@@ -913,6 +1044,7 @@ mod tests {
                     &LabelSet::new(),
                     &labels(&["q"]),
                     &[],
+                    &HashMap::new(),
                     &mut |_| {
                         entered_tx.send(()).unwrap();
                         release_rx.recv().unwrap(); // hold d1's shard lock
@@ -954,6 +1086,7 @@ mod tests {
                     &LabelSet::new(),
                     &labels(&["q"]),
                     &[],
+                    &HashMap::new(),
                     &mut |_| {
                         entered_tx.send(()).unwrap();
                         release_rx.recv().unwrap(); // hold a's shard lock

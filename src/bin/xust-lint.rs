@@ -1,0 +1,444 @@
+//! `xust-lint` — offline, token-level concurrency-hygiene lint for this
+//! workspace. No external dependencies, no type information: the rules
+//! are deliberately textual so the lint stays fast, deterministic, and
+//! runnable as a bare CI gate (`cargo run --bin xust-lint`).
+//!
+//! Rules:
+//!
+//! 1. **relaxed-rationale** (workspace): every use of the `Relaxed`
+//!    memory ordering must carry a `// relaxed: <why>` comment on the
+//!    same line or within the two lines above. Relaxed is correct for
+//!    monotone counters and staleness-tolerant reads — but only the
+//!    author knows which one a given site is, and the rationale is the
+//!    review artifact. Import lines (`use …::Ordering::Relaxed`) don't
+//!    count as uses.
+//! 2. **serve-lock-nesting** (`crates/serve/src`): no `.lock()` /
+//!    `.write()` acquisition textually inside the scope of an earlier
+//!    guard binding in the same function body, unless the line carries
+//!    a `// lock-order: <outer → inner>` annotation naming the
+//!    intended order. The serving crate's deadlock-freedom argument is
+//!    "no thread holds two of our locks at once"; the annotation marks
+//!    the audited exceptions (the store→viewcache outer→inner order on
+//!    the write path).
+//! 3. **atomic-imports** (workspace): `use std::sync::atomic` is
+//!    confined to `crates/serve/src/{stats,obs,executor}.rs` — the
+//!    designated lock-free modules — unless the import carries
+//!    `// lint: atomic-ok (<why>)`. Scattered ad-hoc atomics are how
+//!    unsound orderings creep in.
+//!
+//! Exit status: 0 when clean, 1 with one `file:line: rule: message`
+//! diagnostic per violation otherwise.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = workspace_root();
+    let mut violations = Vec::new();
+    for file in rust_sources(&root) {
+        let Ok(text) = std::fs::read_to_string(&file) else {
+            continue;
+        };
+        let rel = file
+            .strip_prefix(&root)
+            .unwrap_or(&file)
+            .display()
+            .to_string();
+        lint_file(&rel, &text, &mut violations);
+    }
+    if violations.is_empty() {
+        println!("xust-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            println!("{v}");
+        }
+        println!("xust-lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: `CARGO_MANIFEST_DIR` when cargo provides it
+/// (both `cargo run` and the test harness do), else the current
+/// directory.
+fn workspace_root() -> PathBuf {
+    std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Every `.rs` file under the workspace's source directories.
+fn rust_sources(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for top in ["crates", "src", "tests", "benches"] {
+        walk(&root.join(top), &mut out);
+    }
+    out.sort();
+    out
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            // `target/` never appears under the walked roots; vendored
+            // sources do not either (vendor/ is a sibling of crates/).
+            walk(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Modules allowed to import `std::sync::atomic` without annotation.
+const ATOMIC_HOMES: [&str; 3] = [
+    "crates/serve/src/stats.rs",
+    "crates/serve/src/obs.rs",
+    "crates/serve/src/executor.rs",
+];
+
+fn lint_file(rel: &str, text: &str, out: &mut Vec<String>) {
+    let raw: Vec<&str> = text.lines().collect();
+    let code = strip_comments_and_strings(text);
+    let stripped: Vec<&str> = code.lines().collect();
+    check_relaxed(rel, &raw, &stripped, out);
+    check_atomic_imports(rel, &raw, &stripped, out);
+    if rel.starts_with("crates/serve/src/") {
+        check_lock_nesting(rel, &raw, &stripped, out);
+    }
+}
+
+/// Rule 1: `Relaxed` uses need a nearby `// relaxed:` rationale.
+fn check_relaxed(rel: &str, raw: &[&str], stripped: &[&str], out: &mut Vec<String>) {
+    for (i, line) in stripped.iter().enumerate() {
+        if !has_word(line, "Relaxed") {
+            continue;
+        }
+        // Imports bring the name in; they are not ordering decisions.
+        if line.trim_start().starts_with("use ") || line.trim_start().starts_with("pub use ") {
+            continue;
+        }
+        let annotated = (i.saturating_sub(2)..=i).any(|j| raw[j].contains("// relaxed:"));
+        if !annotated {
+            out.push(format!(
+                "{rel}:{}: relaxed-rationale: `Relaxed` ordering without a \
+                 `// relaxed: <why>` comment on this line or the two above",
+                i + 1
+            ));
+        }
+    }
+}
+
+/// Rule 3: atomic imports live in the designated modules.
+fn check_atomic_imports(rel: &str, raw: &[&str], stripped: &[&str], out: &mut Vec<String>) {
+    if ATOMIC_HOMES.contains(&rel) {
+        return;
+    }
+    for (i, line) in stripped.iter().enumerate() {
+        let t = line.trim_start();
+        let is_import = (t.starts_with("use ") || t.starts_with("pub use "))
+            && line.contains("std::sync::atomic");
+        if is_import && !raw[i].contains("// lint: atomic-ok") {
+            out.push(format!(
+                "{rel}:{}: atomic-imports: `std::sync::atomic` import outside \
+                 stats.rs/obs.rs/executor.rs without `// lint: atomic-ok (<why>)`",
+                i + 1
+            ));
+        }
+    }
+}
+
+/// Rule 2: in `crates/serve`, no `.lock()`/`.write()` acquisition
+/// textually inside another guard's scope, unless annotated with
+/// `// lock-order:`.
+///
+/// A *guard binding* is a line that binds the result of `.lock()`,
+/// `.write()`, or `.read()` with `let`. Its scope is the enclosing
+/// block for a plain `let` statement, or the block the line itself
+/// opens for `if let` / `while let` forms (the guard temporary dies
+/// with the statement). This is a textual over-approximation — that is
+/// the point: nesting that *looks* risky should either be restructured
+/// or carry the audited-order annotation.
+fn check_lock_nesting(rel: &str, raw: &[&str], stripped: &[&str], out: &mut Vec<String>) {
+    let mut depth: i32 = 0;
+    // (scope depth the guard lives at, line it was bound on)
+    let mut guards: Vec<(i32, usize)> = Vec::new();
+    for (i, line) in stripped.iter().enumerate() {
+        let acquires = line.contains(".lock(") || line.contains(".write(");
+        let binds = (line.contains("let ") || line.contains("for "))
+            && (acquires || line.contains(".read("));
+        let lock_ann = (i.saturating_sub(2)..=i).any(|j| raw[j].contains("// lock-order:"));
+        if acquires && !binds && !guards.is_empty() && !lock_ann {
+            let (_, outer) = guards[guards.len() - 1];
+            out.push(format!(
+                "{rel}:{}: serve-lock-nesting: acquisition inside the guard scope \
+                 opened at line {} without a `// lock-order:` annotation",
+                i + 1,
+                outer + 1
+            ));
+        }
+        if acquires && binds && !guards.is_empty() && !lock_ann {
+            let (_, outer) = guards[guards.len() - 1];
+            out.push(format!(
+                "{rel}:{}: serve-lock-nesting: guard bound inside the guard scope \
+                 opened at line {} without a `// lock-order:` annotation",
+                i + 1,
+                outer + 1
+            ));
+        }
+        let before = depth;
+        for c in line.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if binds {
+            // `if let` / `while let` guards die with the block the line
+            // opens; a plain `let` guard lives in the enclosing block.
+            let scope = if depth > before { depth } else { before };
+            guards.push((scope, i));
+        }
+        guards.retain(|&(scope, _)| depth >= scope);
+    }
+}
+
+/// True when `word` appears as a standalone identifier token in `line`.
+fn has_word(line: &str, word: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(word) {
+        let at = start + pos;
+        let end = at + word.len();
+        let pre_ok = at == 0 || !is_ident_char(bytes[at - 1]);
+        let post_ok = end == bytes.len() || !is_ident_char(bytes[end]);
+        if pre_ok && post_ok {
+            return true;
+        }
+        start = end;
+    }
+    false
+}
+
+fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Replaces comments and string/char-literal contents with spaces,
+/// preserving line structure, so the token scans above never match
+/// inside prose or literals. Handles `//` line comments, nested `/* */`
+/// block comments, plain and `r#"…"#` raw strings, and escapes. Not a
+/// full lexer — lifetimes (`'a`) are distinguished from char literals
+/// by the closing-quote heuristic, which is enough for this codebase.
+fn strip_comments_and_strings(text: &str) -> String {
+    let b = text.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+    let n = b.len();
+    while i < n {
+        let c = b[i];
+        if c == b'/' && i + 1 < n && b[i + 1] == b'/' {
+            // Line comment: blank to end of line.
+            while i < n && b[i] != b'\n' {
+                out.push(b' ');
+                i += 1;
+            }
+        } else if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
+            let mut level = 1;
+            out.extend_from_slice(b"  ");
+            i += 2;
+            while i < n && level > 0 {
+                if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                    level += 1;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                    level -= 1;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else {
+                    out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+        } else if c == b'r' && i + 1 < n && (b[i + 1] == b'"' || b[i + 1] == b'#') {
+            // Raw string r"…" / r#"…"# / r##"…"##.
+            let mut j = i + 1;
+            let mut hashes = 0;
+            while j < n && b[j] == b'#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && b[j] == b'"' {
+                out.extend(std::iter::repeat_n(b' ', j - i + 1));
+                i = j + 1;
+                'raw: while i < n {
+                    if b[i] == b'"' {
+                        let mut k = i + 1;
+                        let mut seen = 0;
+                        while k < n && seen < hashes && b[k] == b'#' {
+                            seen += 1;
+                            k += 1;
+                        }
+                        if seen == hashes {
+                            out.extend(std::iter::repeat_n(b' ', k - i));
+                            i = k;
+                            break 'raw;
+                        }
+                    }
+                    out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            } else {
+                out.push(c);
+                i += 1;
+            }
+        } else if c == b'"' {
+            out.push(b' ');
+            i += 1;
+            while i < n && b[i] != b'"' {
+                if b[i] == b'\\' && i + 1 < n {
+                    // A backslash-newline continuation must keep its
+                    // newline, or every later line number drifts.
+                    out.push(b' ');
+                    out.push(if b[i + 1] == b'\n' { b'\n' } else { b' ' });
+                    i += 2;
+                } else {
+                    out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            if i < n {
+                out.push(b' ');
+                i += 1;
+            }
+        } else if c == b'\'' {
+            // Char literal vs lifetime: a literal closes within a few
+            // bytes ('x', '\n', '\u{…}'); a lifetime has no closing '.
+            let close = (i + 1..n.min(i + 12)).find(|&k| b[k] == b'\'' && b[k - 1] != b'\\');
+            match close {
+                Some(k) if k > i + 1 => {
+                    for &byte in &b[i..=k] {
+                        out.push(if byte == b'\n' { b'\n' } else { b' ' });
+                    }
+                    i = k + 1;
+                }
+                _ => {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripping_preserves_lines_and_blanks_prose() {
+        let src =
+            "let x = 1; // Relaxed in prose\nlet s = \"Relaxed\";\n/* Relaxed */ let y = 2;\n";
+        let out = strip_comments_and_strings(src);
+        assert_eq!(out.lines().count(), src.lines().count());
+        assert!(!out.contains("Relaxed"));
+        assert!(out.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked() {
+        let src = "let q = r#\"Ordering::Relaxed\"#; let c = 'R'; let l: &'static str = \"x\";";
+        let out = strip_comments_and_strings(src);
+        assert!(!out.contains("Relaxed"));
+        assert!(out.contains("&'static str"), "{out}");
+    }
+
+    #[test]
+    fn relaxed_rule_accepts_nearby_rationale_and_imports() {
+        let mut v = Vec::new();
+        let ok = "use std::sync::atomic::Ordering::Relaxed;\n\
+                  // relaxed: monotone counter\n\
+                  c.fetch_add(1, Relaxed);\n\
+                  c.fetch_add(1, Relaxed); // relaxed: same\n";
+        let raw: Vec<&str> = ok.lines().collect();
+        let code = strip_comments_and_strings(ok);
+        let stripped: Vec<&str> = code.lines().collect();
+        check_relaxed("f.rs", &raw, &stripped, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+        let bad = "c.load(Ordering::Relaxed);\n";
+        let raw: Vec<&str> = bad.lines().collect();
+        let code = strip_comments_and_strings(bad);
+        let stripped: Vec<&str> = code.lines().collect();
+        check_relaxed("f.rs", &raw, &stripped, &mut v);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("relaxed-rationale"));
+    }
+
+    #[test]
+    fn atomic_import_rule_honors_homes_and_annotations() {
+        let src = "use std::sync::atomic::AtomicU64;\n";
+        let raw: Vec<&str> = src.lines().collect();
+        let code = strip_comments_and_strings(src);
+        let stripped: Vec<&str> = code.lines().collect();
+        let mut v = Vec::new();
+        check_atomic_imports("crates/serve/src/stats.rs", &raw, &stripped, &mut v);
+        assert!(v.is_empty());
+        check_atomic_imports("crates/serve/src/server.rs", &raw, &stripped, &mut v);
+        assert_eq!(v.len(), 1);
+        let ann = "use std::sync::atomic::AtomicU64; // lint: atomic-ok (test)\n";
+        let raw: Vec<&str> = ann.lines().collect();
+        let code = strip_comments_and_strings(ann);
+        let stripped: Vec<&str> = code.lines().collect();
+        let mut v = Vec::new();
+        check_atomic_imports("crates/serve/src/server.rs", &raw, &stripped, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn lock_nesting_flags_inner_acquisition_but_not_sequential() {
+        let nested =
+            "fn f() {\n    let g = a.lock().unwrap();\n    let h = b.write().unwrap();\n}\n";
+        let raw: Vec<&str> = nested.lines().collect();
+        let code = strip_comments_and_strings(nested);
+        let stripped: Vec<&str> = code.lines().collect();
+        let mut v = Vec::new();
+        check_lock_nesting("crates/serve/src/x.rs", &raw, &stripped, &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("serve-lock-nesting"));
+
+        // An `if let` read guard dies with its block: the later write
+        // is sequential, not nested.
+        let seq = "fn f() {\n    if let Some(x) = m.read().unwrap().get(k) {\n        return x;\n    }\n    let mut w = m.write().unwrap();\n}\n";
+        let raw: Vec<&str> = seq.lines().collect();
+        let code = strip_comments_and_strings(seq);
+        let stripped: Vec<&str> = code.lines().collect();
+        let mut v = Vec::new();
+        check_lock_nesting("crates/serve/src/x.rs", &raw, &stripped, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+
+        // The annotation is the audited escape hatch.
+        let ann = "fn f() {\n    let g = a.lock().unwrap();\n    let h = b.lock().unwrap(); // lock-order: a → b\n}\n";
+        let raw: Vec<&str> = ann.lines().collect();
+        let code = strip_comments_and_strings(ann);
+        let stripped: Vec<&str> = code.lines().collect();
+        let mut v = Vec::new();
+        check_lock_nesting("crates/serve/src/x.rs", &raw, &stripped, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn word_boundaries_matter() {
+        assert!(has_word("load(Relaxed)", "Relaxed"));
+        assert!(!has_word("RelaxedFoo", "Relaxed"));
+        assert!(!has_word("NotRelaxed", "Relaxed"));
+    }
+}

@@ -96,6 +96,11 @@ serve protocol (one request per line, answers framed as `OK <len>`/`ERR <msg>`):
   EXPLAIN <view> <doc>            the method the planner would pick for each
                                   link of <view> over <doc>, with the evidence
                                   (EWMA + histogram) — without executing
+  ANALYZE <view>                  the registration-time static analysis of
+                                  <view>: satisfiability (dead views), NFA
+                                  dead states, folded qualifiers, alphabet,
+                                  footprint bounds, and its cache family —
+                                  without executing
   STATS | LIST | QUIT
 "#;
 
@@ -492,6 +497,17 @@ fn cmd_serve(o: &Opts) -> Result<(), String> {
         server
             .register_view(name, query)
             .map_err(|e| e.to_string())?;
+        // Registration-time analysis already ran; a dead view is almost
+        // certainly a typo in the query — serve it (as the identity
+        // transform) but tell the operator now, not at request time.
+        if let Ok(a) = server.analyze(name) {
+            if a.dead {
+                eprintln!(
+                    "xust-serve: warning: view '{name}' is statically dead \
+                     (no rule can ever select a node; it serves the base document)"
+                );
+            }
+        }
     }
     if o.stdio || o.port.is_none() {
         let stdin = std::io::stdin().lock();
@@ -563,6 +579,17 @@ fn serve_connection(
                     .map_err(|e| e.to_string()),
                 None => Err("EXPLAIN <view> <doc>".into()),
             },
+            "ANALYZE" => {
+                let view = rest.trim();
+                if view.is_empty() {
+                    Err("ANALYZE <view>".into())
+                } else {
+                    server
+                        .analyze(view)
+                        .map(|a| a.to_string())
+                        .map_err(|e| e.to_string())
+                }
+            }
             "LIST" => Ok(format!(
                 "docs: {}\nviews: {}",
                 server.doc_names().join(","),
@@ -854,6 +881,9 @@ mod tests {
             "EXPLAIN public db\n",
             "EXPLAIN public nosuchdoc\n",
             "EXPLAIN public\n",
+            "ANALYZE public\n",
+            "ANALYZE missing\n",
+            "ANALYZE\n",
             "QUIT\n",
         );
         let mut out = Vec::new();
@@ -879,6 +909,15 @@ mod tests {
         assert!(text.contains("link 0: method="));
         assert!(text.contains("ERR unknown document 'nosuchdoc'"));
         assert!(text.contains("ERR EXPLAIN <view> <doc>"));
+        // ANALYZE: the registration-time static-analysis report.
+        assert!(
+            text.contains("analyze view=public doc=db dead=false rules=1"),
+            "analyze missing: {text}"
+        );
+        assert!(text.contains("footprint: structural="));
+        assert!(text.contains("family: key=public"));
+        assert!(text.contains("ERR unknown view 'missing'"));
+        assert!(text.contains("ERR ANALYZE <view>"));
     }
 
     #[test]

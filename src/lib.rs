@@ -7,6 +7,7 @@
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
 
+pub use xust_analyze as analyze;
 pub use xust_automata as automata;
 pub use xust_compose as compose;
 pub use xust_core as core;

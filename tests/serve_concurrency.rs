@@ -3,7 +3,7 @@
 //! construction happened once per distinct query — everything else was
 //! a cache hit — while all threads observed identical, correct results.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, Ordering}; // lint: atomic-ok (test-only counters)
 use std::sync::{Arc, Barrier};
 use std::thread;
 

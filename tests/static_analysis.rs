@@ -1,0 +1,522 @@
+//! Soundness harness for the registration-time static analysis.
+//!
+//! Two layers, mirroring the two promises `xust-analyze` makes:
+//!
+//! 1. **Alphabet soundness** — `collect_alphabet` (the union of the
+//!    selecting and filtering NFA alphabets) must contain every label
+//!    the evaluation of a path can consult. The property is tested as
+//!    label-independence: relabeling every document label *outside* the
+//!    collected alphabet commutes with evaluation. If evaluation ever
+//!    consulted a label the alphabet misses, some relabeling would
+//!    change which nodes are selected and the two sides would diverge.
+//!    This is the load-bearing premise of both the dynamic relevance
+//!    test and the static commutation table built on top of it.
+//!
+//! 2. **Static-vs-dynamic agreement** — for fuzzed writes against live
+//!    cached views, the static commutation verdict must agree with, or
+//!    be strictly weaker than, the dynamic three-way test: a view the
+//!    static table clears is never recomputed, the write's reported
+//!    `static=` count never exceeds what the external re-derivation of
+//!    [`statically_commutes`] allows, and every served view body stays
+//!    byte-identical to a full recompute. Deterministic companions pin
+//!    dead-view rejection and equivalence-class cache sharing.
+
+mod common;
+
+use proptest::prelude::*;
+
+use xust::analyze::{analyze_view, classify_update, statically_commutes};
+use xust::automata::{FilteringNfa, LabelSet, SelectingNfa};
+use xust::core::{
+    apply_update, evaluate, intern, parse_multi_transform, parse_transform, update_alphabet,
+    value_alphabet_into, CompiledTransform, Method, TransformQuery,
+};
+use xust::serve::{Request, Server};
+use xust::tree::Document;
+use xust::xmark::{generate_string, XmarkConfig};
+use xust::xpath::{eval_path_root, parse_path};
+
+/// Spike region grafted into the XMark document (vocabulary disjoint
+/// from the XMark labels the views read).
+const SPIKE: &str = concat!(
+    "<spike-zone><sa><sc>10</sc></sa>",
+    "<sb><sc>20</sc><zap>x</zap></sb><sa/></spike-zone>"
+);
+
+fn spiked_xmark(seed: u64) -> Document {
+    let base = generate_string(XmarkConfig::new(0.0005).with_seed(seed));
+    let open_end = base.find('>').expect("xmark has a root tag") + 1;
+    let spiked = format!("{}{}{}", &base[..open_end], SPIKE, &base[open_end..]);
+    Document::parse(&spiked).expect("spiked xmark parses")
+}
+
+// ---------------------------------------------------------------------
+// Layer 1: collect_alphabet soundness
+// ---------------------------------------------------------------------
+
+/// Labels the path generator draws from — a mix of labels that occur in
+/// spiked XMark documents and ones that do not (dead steps are part of
+/// the property space too).
+const POOL: [&str; 10] = [
+    "part", "keyword", "bidder", "increase", "person", "emph", "sa", "sb", "sc", "zap",
+];
+
+/// Random label paths with qualifiers, in concrete syntax. No wildcard
+/// and no `label()` tests: the former makes every label relevant (the
+/// property becomes vacuous), the latter is accounted by
+/// `qualifier_label_tests_into`, a separate channel from
+/// `collect_alphabet`.
+fn arb_pool_path() -> impl Strategy<Value = String> {
+    let qual = prop_oneof![
+        (0..POOL.len()).prop_map(|l| format!("[{}]", POOL[l])),
+        (0..POOL.len()).prop_map(|l| format!("[{} = '10']", POOL[l])),
+        Just("[. = '10']".to_string()),
+        (0..POOL.len()).prop_map(|l| format!("[not({})]", POOL[l])),
+        (0..POOL.len()).prop_map(|l| format!("[{} < 15]", POOL[l])),
+    ];
+    let step =
+        ((0..POOL.len()), proptest::option::of(qual), prop::bool::ANY).prop_map(|(l, q, desc)| {
+            let axis = if desc { "//" } else { "/" };
+            match q {
+                Some(q) => format!("{axis}{}{q}", POOL[l]),
+                None => format!("{axis}{}", POOL[l]),
+            }
+        });
+    prop::collection::vec(step, 1..4).prop_map(|steps| {
+        let joined: String = steps.concat();
+        // Paths are root-relative: strip the leading '/' unless the
+        // first step is a descendant one.
+        joined
+            .strip_prefix('/')
+            .filter(|rest| !rest.starts_with('/'))
+            .map(str::to_string)
+            .unwrap_or(joined)
+    })
+}
+
+/// Every element label appearing in `doc`, by scanning its serialized
+/// form for start tags.
+fn doc_labels(doc: &Document) -> Vec<String> {
+    let xml = doc.serialize();
+    let mut labels = std::collections::BTreeSet::new();
+    let bytes = xml.as_bytes();
+    let mut i = 0;
+    while let Some(pos) = xml[i..].find('<') {
+        let at = i + pos + 1;
+        if at < bytes.len() && bytes[at] != b'/' {
+            let end = xml[at..]
+                .find([' ', '>', '/'])
+                .map(|e| at + e)
+                .unwrap_or(xml.len());
+            if at < end {
+                labels.insert(xml[at..end].to_string());
+            }
+        }
+        i = at;
+    }
+    labels.into_iter().collect()
+}
+
+/// Renames every element whose label is in `labels` to `zz<label>`,
+/// using the engine's own update primitives.
+fn relabel(doc: &mut Document, labels: &[String]) {
+    for l in labels {
+        let path = parse_path(&format!("//{l}")).expect("label path parses");
+        let targets = eval_path_root(doc, &path);
+        if targets.is_empty() {
+            continue;
+        }
+        let q = TransformQuery::rename("d", path, format!("zz{l}"));
+        apply_update(doc, &targets, &q.op);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Relabeling outside the collected alphabet commutes with
+    /// evaluation: `eval(relabel(D)) == relabel(eval(D))`.
+    #[test]
+    fn collect_alphabet_covers_every_consulted_label(
+        seed in 0u64..16,
+        path_text in arb_pool_path(),
+    ) {
+        let path = parse_path(&path_text).expect("generated path parses");
+        let mut alphabet = LabelSet::new();
+        SelectingNfa::new(&path).collect_alphabet(&mut alphabet);
+        FilteringNfa::new(&path).collect_alphabet(&mut alphabet);
+        prop_assert!(!alphabet.has_wildcard(), "no wildcard steps generated");
+
+        let doc = spiked_xmark(seed);
+        let outside: Vec<String> = doc_labels(&doc)
+            .into_iter()
+            .filter(|l| !alphabet.contains(intern(l)))
+            .collect();
+
+        let q = TransformQuery::delete("d", path);
+        // relabel(eval(D)): evaluate on the original, then rename.
+        let mut evaluated_first = evaluate(&doc, &q, Method::TwoPass).unwrap();
+        relabel(&mut evaluated_first, &outside);
+        // eval(relabel(D)): rename the document, then evaluate.
+        let mut relabeled = doc.clone();
+        relabel(&mut relabeled, &outside);
+        let relabeled_first = evaluate(&relabeled, &q, Method::TwoPass).unwrap();
+
+        prop_assert_eq!(
+            evaluated_first.serialize(),
+            relabeled_first.serialize(),
+            "path {} consulted a label outside its collected alphabet \
+             (renamed: {:?})",
+            path_text,
+            outside
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Layer 2: static-vs-dynamic differential fuzzer
+// ---------------------------------------------------------------------
+
+/// Registered views: two rename views (statically bounded footprints —
+/// the shapes the commutation table can clear) and two delete views
+/// (unbounded footprints — static must always defer to dynamic).
+const VIEWS: [(&str, &str); 4] = [
+    (
+        "member",
+        r#"transform copy $a := doc("xmark") modify do rename $a//part as member return $a"#,
+    ),
+    (
+        "kwx",
+        r#"transform copy $a := doc("xmark") modify do rename $a//keyword as kw return $a"#,
+    ),
+    (
+        "nosc",
+        r#"transform copy $a := doc("xmark") modify do delete $a//sc return $a"#,
+    ),
+    (
+        "cheap",
+        r#"transform copy $a := doc("xmark") modify do delete $a//bidder[increase > 5] return $a"#,
+    ),
+];
+
+/// The fuzz pool: anchored spike inserts (statically clearable),
+/// descendant inserts (bounded fragment, unbounded anchor), spike and
+/// XMark renames, and deletes (never statically clearable).
+const WRITE_POOL: [&str; 8] = [
+    r#"insert <sx><t>v</t></sx> into $a/site/spike-zone/sb"#,
+    r#"insert <sx/> into $a//spike-zone/sb"#,
+    r#"insert <keyword>k</keyword> into $a/site/spike-zone/sa"#,
+    r#"rename $a//zap as zz"#,
+    r#"rename $a//emph as em"#,
+    r#"rename $a//part as unit"#,
+    r#"delete $a//sc[. = '10']"#,
+    r#"delete $a//zap"#,
+];
+
+fn update_text(body: &str) -> String {
+    format!(r#"transform copy $a := doc("xmark") modify do {body} return $a"#)
+}
+
+/// Full single-link recompute oracle.
+fn recompute_view(base: &Document, link: &str) -> String {
+    let q = parse_transform(link).unwrap();
+    evaluate(base, &q, Method::TwoPass).unwrap().serialize()
+}
+
+fn apply_to_reference(reference: &mut Document, update: &str) {
+    let mq = parse_multi_transform(update).unwrap();
+    for (path, op) in &mq.updates {
+        let targets = eval_path_root(reference, path);
+        apply_update(reference, &targets, op);
+    }
+}
+
+/// Re-derives the static commutation verdict for one registered view
+/// against one update text, from first principles — the same inputs the
+/// server feeds [`statically_commutes`], recomputed independently.
+fn external_verdict(view_link: &str, update: &str) -> bool {
+    let q = parse_transform(view_link).unwrap();
+    let rules = [(q.path.clone(), q.op.clone())];
+    let analysis = analyze_view(rules.iter().map(|(p, o)| (p, o)));
+    let alphabet = CompiledTransform::parse(view_link)
+        .unwrap()
+        .alphabet()
+        .clone();
+
+    let mq = parse_multi_transform(update).unwrap();
+    let mut class = classify_update(mq.updates.iter().map(|(p, o)| (p, o)));
+    let mut alpha = LabelSet::new();
+    let mut vals = LabelSet::new();
+    for (path, op) in &mq.updates {
+        alpha.union_with(&update_alphabet(path, op));
+        value_alphabet_into(path, &mut vals);
+    }
+    class.alphabet = alpha;
+    class.values = vals;
+    statically_commutes(&alphabet, &analysis.footprint, &class)
+}
+
+/// Pulls `retained=R recomputed=C static=S` out of an UPDATE body.
+fn parse_counts(body: &str) -> (u64, u64, u64) {
+    let grab = |key: &str| -> u64 {
+        let tail = &body[body.find(key).unwrap_or_else(|| panic!("{key} in {body}")) + key.len()..];
+        tail.split_whitespace().next().unwrap().parse().unwrap()
+    };
+    (grab("retained="), grab("recomputed="), grab("static="))
+}
+
+fn view_delta_map(server: &Server) -> std::collections::HashMap<String, (u64, u64)> {
+    server
+        .stats()
+        .view_delta
+        .iter()
+        .map(|(v, r, c)| (v.clone(), (*r, *c)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// For every fuzzed write: the static verdict is never more
+    /// permissive than the dynamic test (a statically-cleared view is
+    /// never recomputed, and the reported `static=` count is bounded by
+    /// the external re-derivation), and every served view stays
+    /// byte-identical to full recompute.
+    #[test]
+    fn static_verdicts_agree_with_or_defer_to_dynamic(
+        seed in 0u64..16,
+        picks in prop::collection::vec(0..WRITE_POOL.len(), 1..5),
+    ) {
+        let base = spiked_xmark(seed);
+        let server = Server::builder().threads(1).shards(1).build();
+        server.load_doc("xmark", base.clone());
+        for (name, link) in VIEWS {
+            server.register_view(name, link).unwrap();
+        }
+        let mut reference = base.clone();
+        for (round, &pick) in picks.iter().enumerate() {
+            // (Re-)warm every entry so each write has all views to judge.
+            for (name, link) in VIEWS {
+                let served = server
+                    .handle(&Request::View { view: name.into(), doc: "xmark".into() })
+                    .unwrap()
+                    .body;
+                prop_assert_eq!(&served, &recompute_view(&reference, link));
+            }
+            let text = update_text(WRITE_POOL[pick]);
+            let verdicts: Vec<(&str, bool)> = VIEWS
+                .iter()
+                .map(|(name, link)| (*name, external_verdict(link, &text)))
+                .collect();
+            let before = view_delta_map(&server);
+            let static_before = server.stats().static_retained;
+
+            let resp = server.update_doc("xmark", &text).unwrap();
+            apply_to_reference(&mut reference, &text);
+
+            let (retained, _recomputed, statics) = parse_counts(&resp.body);
+            let cleared = verdicts.iter().filter(|(_, v)| *v).count() as u64;
+            // Static never exceeds what the analysis itself allows, and
+            // every static retain is also a (dynamic-grade) retain.
+            prop_assert!(
+                statics <= cleared,
+                "round {}: write {:?} reported static={} but only {} views \
+                 statically commute", round, WRITE_POOL[pick], statics, cleared
+            );
+            prop_assert!(statics <= retained, "static is a subset of retained");
+            prop_assert_eq!(
+                server.stats().static_retained - static_before,
+                statics,
+                "the static_retained counter must track the response body"
+            );
+            // Agreement: a statically-cleared view is never recomputed.
+            let after = view_delta_map(&server);
+            for (name, verdict) in &verdicts {
+                if !verdict { continue; }
+                let (_, c0) = before.get(*name).copied().unwrap_or((0, 0));
+                let (r1, c1) = after.get(*name).copied().unwrap_or((0, 0));
+                prop_assert_eq!(
+                    c1, c0,
+                    "round {}: view '{}' statically commutes with {:?} but was \
+                     recomputed (dynamic disagreed with static)",
+                    round, name, WRITE_POOL[pick]
+                );
+                prop_assert!(r1 > 0, "the cleared view's entry was retained");
+            }
+            // Served results stay byte-identical to full recompute.
+            for (name, link) in VIEWS {
+                let served = server
+                    .handle(&Request::View { view: name.into(), doc: "xmark".into() })
+                    .unwrap()
+                    .body;
+                prop_assert_eq!(
+                    &served,
+                    &recompute_view(&reference, link),
+                    "round {}: view '{}' diverged after {:?}",
+                    round, name, WRITE_POOL[pick]
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic companions
+// ---------------------------------------------------------------------
+
+/// Anchored disjoint inserts resolve through the static table; a
+/// retained rename drifts the entries, after which static must stand
+/// down (conservatism) while dynamic retention still fires.
+#[test]
+fn static_clear_fires_then_defers_after_drift() {
+    let server = Server::builder().threads(1).shards(1).build();
+    server.load_doc("xmark", spiked_xmark(3));
+    server.register_view("member", VIEWS[0].1).unwrap();
+    server.register_view("kwx", VIEWS[1].1).unwrap();
+    for name in ["member", "kwx"] {
+        server
+            .handle(&Request::View {
+                view: name.into(),
+                doc: "xmark".into(),
+            })
+            .unwrap();
+    }
+    let insert = update_text(r#"insert <sx/> into $a/site/spike-zone/sb"#);
+    let rename = update_text(r#"rename $a//zap as zz"#);
+
+    // Fresh entries: the anchored insert is statically clear for both.
+    let resp = server.update_doc("xmark", &insert).unwrap();
+    assert_eq!(parse_counts(&resp.body), (2, 0, 2), "{}", resp.body);
+    // Inserts do not drift the maintained bodies: static fires again.
+    let resp = server.update_doc("xmark", &insert).unwrap();
+    assert_eq!(parse_counts(&resp.body), (2, 0, 2), "{}", resp.body);
+    // The rename is also statically clear — but applying it to the
+    // cached bodies marks them drifted.
+    let resp = server.update_doc("xmark", &rename).unwrap();
+    assert_eq!(parse_counts(&resp.body), (2, 0, 2), "{}", resp.body);
+    // Drifted entries: static stands down, dynamic still retains.
+    let resp = server.update_doc("xmark", &insert).unwrap();
+    assert_eq!(
+        parse_counts(&resp.body),
+        (2, 0, 0),
+        "drifted entries must fall back to the dynamic test: {}",
+        resp.body
+    );
+    let stats = server.stats();
+    assert_eq!(stats.delta_retained, 8);
+    assert_eq!(stats.static_retained, 6);
+    assert_eq!(stats.delta_recomputed, 0);
+    // The exposition surfaces report the split.
+    assert!(stats.to_string().contains("static_retained=6"));
+    let metrics = server.metrics();
+    assert!(
+        metrics.contains("static_retained_total 6"),
+        "METRICS must carry the static counter: {metrics}"
+    );
+}
+
+/// A statically dead view (unsatisfiable qualifier) is rejected from
+/// evaluation entirely: it serves the base document, occupies no cache
+/// entry, and never participates in write maintenance.
+#[test]
+fn dead_views_serve_base_without_caching_or_maintenance() {
+    const XML: &str = "<db><part><price>9</price></part></db>";
+    let server = Server::builder().threads(1).shards(1).build();
+    server.load_doc_str("db", XML).unwrap();
+    server
+        .register_view(
+            "deadv",
+            r#"transform copy $a := doc("db") modify do delete $a/db[label() = nope]//part return $a"#,
+        )
+        .unwrap();
+    let analysis = server.analyze("deadv").unwrap().to_string();
+    assert!(analysis.contains("dead=true"), "{analysis}");
+
+    let served = server
+        .handle(&Request::View {
+            view: "deadv".into(),
+            doc: "db".into(),
+        })
+        .unwrap();
+    assert_eq!(served.body, XML, "a dead view is the identity transform");
+    assert_eq!(
+        server.view_results().len(),
+        0,
+        "dead views must not occupy result-cache entries"
+    );
+    // A write has nothing of the dead view's to maintain or recompute.
+    let resp = server
+        .update_doc(
+            "db",
+            r#"transform copy $a := doc("db") modify do insert <k/> into $a/db/part return $a"#,
+        )
+        .unwrap();
+    assert_eq!(parse_counts(&resp.body), (0, 0, 0), "{}", resp.body);
+    // And it still serves the (new) base afterwards.
+    let served = server
+        .handle(&Request::View {
+            view: "deadv".into(),
+            doc: "db".into(),
+        })
+        .unwrap();
+    assert_eq!(served.body, "<db><part><price>9</price><k/></part></db>");
+}
+
+/// Two syntactically different but provably equivalent views share one
+/// result-cache entry family: the second serve is a cache hit on the
+/// first's entry.
+#[test]
+fn equivalent_views_share_one_cache_entry_family() {
+    const XML: &str = "<db><part><price>9</price></part><part/></db>";
+    let server = Server::builder().threads(1).shards(1).build();
+    server.load_doc_str("db", XML).unwrap();
+    // v2's qualifier folds to a tautology, making it equivalent to v1.
+    server
+        .register_view(
+            "v1",
+            r#"transform copy $a := doc("db") modify do delete $a//price return $a"#,
+        )
+        .unwrap();
+    server
+        .register_view(
+            "v2",
+            r#"transform copy $a := doc("db") modify do delete $a//price[label() = price] return $a"#,
+        )
+        .unwrap();
+    let a2 = server.analyze("v2").unwrap().to_string();
+    assert!(
+        a2.contains("family: key=v1") && a2.contains("members=2"),
+        "v2 must join v1's cache family: {a2}"
+    );
+
+    // Warm via v1 (one result-cache miss), then serve v2 from the same
+    // entry (a hit, no further miss).
+    let misses_start = server.stats().result_misses;
+    let hits_start = server.stats().result_hits;
+    let first = server
+        .handle(&Request::View {
+            view: "v1".into(),
+            doc: "db".into(),
+        })
+        .unwrap();
+    assert_eq!(server.stats().result_misses, misses_start + 1);
+    let second = server
+        .handle(&Request::View {
+            view: "v2".into(),
+            doc: "db".into(),
+        })
+        .unwrap();
+    assert_eq!(
+        server.stats().result_hits,
+        hits_start + 1,
+        "equivalent view must hit the shared entry"
+    );
+    assert_eq!(server.stats().result_misses, misses_start + 1);
+    assert_eq!(first.body, second.body);
+    assert_eq!(first.body, "<db><part/><part/></db>");
+    assert_eq!(
+        server.view_results().len(),
+        1,
+        "one family, one materialization"
+    );
+}
