@@ -82,26 +82,30 @@ pub mod cache;
 pub mod error;
 pub mod executor;
 pub mod obs;
+pub mod pipeline;
 pub mod planner;
 pub mod registry;
 pub mod server;
 pub mod stats;
 pub mod store;
 pub mod viewcache;
+pub mod wal;
 
 pub use cache::PreparedCache;
 pub use error::ServeError;
 pub use executor::ThreadPool;
 pub use obs::{HistogramSnapshot, LatencyHistogram, Obs, Phase, RequestTrace, Trace};
+pub use pipeline::{serve_pipelined, PipelineOptions};
 pub use planner::{AdaptivePlanner, DocShape, PlanChoice, PlannerConfig};
 pub use registry::{ViewBody, ViewDef, ViewRegistry};
 pub use server::{
     Analysis, CandidateEvidence, DocSource, Explanation, LinkPlan, Request, Response, Server,
-    ServerBuilder, StreamingSession,
+    ServerBuilder, StreamingSession, WalRecovery,
 };
 pub use stats::{json_escape, DeltaCell, EwmaCell, ServeStats, StatsSnapshot, Verb};
 pub use store::{DocStore, StoreSnapshot, StoreUpdateError, VersionedDoc, WriteStamp};
 pub use viewcache::{MaintainOutcome, ViewResultCache};
+pub use wal::{Wal, WalRecord, WalReplay};
 
 // Re-exported so callers can speak the planner's vocabulary without
 // depending on xust-core directly.

@@ -1,0 +1,678 @@
+//! Pipelined, batched serving of the line protocol.
+//!
+//! The original connection loop was strictly one-request-one-reply:
+//! read a line, evaluate, write, flush, read the next line. A client
+//! pipelining N requests paid N full round trips of protocol latency
+//! and the server evaluated them one at a time even when they could
+//! have shared work. [`serve_pipelined`] replaces that loop with a
+//! bounded reader/executor pair per connection:
+//!
+//! * a **reader thread** decodes request lines continuously (with a
+//!   hard per-line length cap — an unbounded line replies `ERR` and
+//!   resynchronizes at the next newline instead of growing the buffer
+//!   until the server dies) and enqueues classified frames, in arrival
+//!   order, onto a bounded channel;
+//! * the **executor** drains the queue: consecutive read-only requests
+//!   (`VIEW`/`QUERY`/`TRANSFORM`) — up to
+//!   [`PipelineOptions::max_batch`] of them — ride the work-stealing
+//!   [`Server::execute_batch`] entry point as *one* grouped batch, so
+//!   co-resident views of one document coalesce into a single shared
+//!   multi-view pass and the whole batch pins one store snapshot;
+//!   replies are written back strictly in request order through one
+//!   buffered writer, flushed once per batch instead of once per
+//!   request.
+//!
+//! ## Pipelining semantics
+//!
+//! Replies always arrive in request order, whatever batching happened
+//! behind the scenes. Write and admin verbs (`UPDATE`, `LOAD`,
+//! `REMOVE`, `STREAM`, `STATS`, `METRICS`, …) are **barriers**: the
+//! pending read batch executes and replies first, then the barrier
+//! verb runs alone. A read pipelined after an `UPDATE` therefore
+//! observes the update (read-your-writes per connection), and a read
+//! pipelined *before* one is never contaminated by it.
+//!
+//! `QUIT` stops the reader immediately; lines already in flight behind
+//! it are discarded unprocessed, matching the strict sequential loop.
+//! A request line that is not valid UTF-8 gets `ERR` and the
+//! connection survives (the old `lines()`-based loop killed it).
+
+use std::io::{self, BufRead, BufWriter, Write};
+use std::sync::mpsc::{self, SyncSender, TryRecvError};
+
+use xust_sax::SaxParser;
+use xust_tree::Document;
+
+use crate::server::{Request, Response, Server};
+use crate::ServeError;
+
+/// Tuning knobs for [`serve_pipelined`]. The defaults serve well; they
+/// exist so tests can exercise the edges (tiny caps, depth-1 queues).
+#[derive(Debug, Clone)]
+pub struct PipelineOptions {
+    /// Hard cap on one request line, in bytes (default 1 MiB). Longer
+    /// lines reply `ERR` and the reader resynchronizes at the next
+    /// newline — the connection survives, the server's memory doesn't
+    /// grow with the line.
+    pub max_line: usize,
+    /// Most read-only requests grouped into one executor batch
+    /// (default 64).
+    pub max_batch: usize,
+    /// Bound on decoded-but-unexecuted frames (default 128): back
+    /// pressure for a client that writes faster than the server
+    /// evaluates.
+    pub queue_depth: usize,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> PipelineOptions {
+        PipelineOptions {
+            max_line: 1 << 20,
+            max_batch: 64,
+            queue_depth: 128,
+        }
+    }
+}
+
+/// One decoded request line, classified by the reader thread.
+enum Frame {
+    /// A well-formed read-only request — batchable.
+    Read(Request),
+    /// Any other non-empty line (write verbs, admin verbs, malformed
+    /// requests) — a barrier, dispatched alone.
+    Line(String),
+    /// A line that blew [`PipelineOptions::max_line`]; the reader
+    /// already resynchronized at the next newline.
+    TooLong,
+    /// A line that was not valid UTF-8.
+    BadUtf8,
+    /// `QUIT` — stop serving; the reader has already stopped reading.
+    Quit,
+    /// The reader hit a transport error and stopped.
+    Io(io::Error),
+}
+
+/// Drives one client connection of the line protocol with pipelining
+/// and batching (see the module docs). Returns when the client sends
+/// `QUIT`, closes the stream, or the transport fails.
+///
+/// The reader side runs on a scoped thread; `reader` must therefore be
+/// `Send`. Replies go through an internal [`BufWriter`], flushed once
+/// per executed batch and per barrier reply.
+pub fn serve_pipelined<R, W>(
+    server: &Server,
+    reader: R,
+    writer: W,
+    opts: &PipelineOptions,
+) -> io::Result<()>
+where
+    R: BufRead + Send,
+    W: Write,
+{
+    let max_line = opts.max_line.max(64);
+    let max_batch = opts.max_batch.max(1);
+    let queue_depth = opts.queue_depth.max(1);
+    let mut writer = BufWriter::new(writer);
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::sync_channel(queue_depth);
+        scope.spawn(move || reader_loop(reader, tx, max_line));
+        // The executor runs here on the caller's thread; `rx` drops
+        // with it, which unblocks a reader waiting on a full queue.
+        let mut carry: Option<Frame> = None;
+        loop {
+            let frame = match carry.take() {
+                Some(f) => f,
+                None => match rx.recv() {
+                    Ok(f) => f,
+                    Err(_) => break, // reader done (EOF), queue drained
+                },
+            };
+            match frame {
+                Frame::Quit => break,
+                Frame::Read(first) => {
+                    // Greedy drain: take every already-decoded read in
+                    // arrival order, stopping at a barrier (carried to
+                    // the next turn), the batch cap, or an empty queue
+                    // — an un-pipelined client degrades to batches of
+                    // one with zero added latency.
+                    let mut batch = vec![first];
+                    while batch.len() < max_batch {
+                        match rx.try_recv() {
+                            Ok(Frame::Read(req)) => batch.push(req),
+                            Ok(other) => {
+                                carry = Some(other);
+                                break;
+                            }
+                            Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+                        }
+                    }
+                    if batch.len() == 1 {
+                        write_reply(&mut writer, server.handle(&batch[0]))?;
+                    } else {
+                        for result in server.execute_batch(batch) {
+                            write_reply(&mut writer, result)?;
+                        }
+                    }
+                    writer.flush()?;
+                }
+                Frame::Line(line) => {
+                    dispatch_line(server, &line, &mut writer)?;
+                    writer.flush()?;
+                }
+                Frame::TooLong => {
+                    writeln!(writer, "ERR request line exceeds {max_line} bytes")?;
+                    writer.flush()?;
+                }
+                Frame::BadUtf8 => {
+                    writeln!(writer, "ERR request line is not valid UTF-8")?;
+                    writer.flush()?;
+                }
+                Frame::Io(e) => return Err(e),
+            }
+        }
+        writer.flush()
+    })
+}
+
+/// The reader half: decodes capped lines, classifies them, and feeds
+/// the executor until EOF, `QUIT`, a transport error, or the executor
+/// hanging up (a send failure means the connection is being torn down).
+fn reader_loop<R: BufRead>(mut reader: R, tx: SyncSender<Frame>, max_line: usize) {
+    loop {
+        let frame = match read_line_capped(&mut reader, max_line) {
+            Ok(LineOutcome::Eof) => return,
+            Ok(LineOutcome::TooLong) => Frame::TooLong,
+            Ok(LineOutcome::Line(bytes)) => match String::from_utf8(bytes) {
+                Ok(line) => {
+                    let line = line.trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    let mut parts = line.splitn(2, ' ');
+                    let verb = parts.next().unwrap_or("");
+                    let rest = parts.next().unwrap_or("").trim();
+                    if verb == "QUIT" {
+                        // Stop *reading*, not just executing: lines the
+                        // client already pipelined behind QUIT must
+                        // never be processed.
+                        let _ = tx.send(Frame::Quit);
+                        return;
+                    }
+                    match classify_read(verb, rest) {
+                        Some(req) => Frame::Read(req),
+                        None => Frame::Line(line.to_string()),
+                    }
+                }
+                Err(_) => Frame::BadUtf8,
+            },
+            Err(e) => {
+                let _ = tx.send(Frame::Io(e));
+                return;
+            }
+        };
+        if tx.send(frame).is_err() {
+            return;
+        }
+    }
+}
+
+/// A well-formed read-only request, if this line is one. Malformed
+/// reads (wrong arity) fall through to [`dispatch_line`], which owns
+/// the usage-error replies.
+fn classify_read(verb: &str, rest: &str) -> Option<Request> {
+    match verb {
+        "VIEW" => rest.split_once(' ').map(|(view, doc)| Request::View {
+            view: view.trim().into(),
+            doc: doc.trim().into(),
+        }),
+        "QUERY" => {
+            let mut p = rest.splitn(3, ' ');
+            match (p.next(), p.next(), p.next()) {
+                (Some(view), Some(doc), Some(query)) => Some(Request::Query {
+                    view: view.into(),
+                    doc: doc.into(),
+                    query: query.into(),
+                }),
+                _ => None,
+            }
+        }
+        "TRANSFORM" => rest.split_once(' ').map(|(doc, query)| Request::Transform {
+            doc: doc.trim().into(),
+            query: query.into(),
+        }),
+        _ => None,
+    }
+}
+
+enum LineOutcome {
+    /// One complete line, without its newline.
+    Line(Vec<u8>),
+    /// The line exceeded the cap; input is resynchronized at the byte
+    /// after its newline (or EOF).
+    TooLong,
+    /// Clean end of stream with no pending bytes.
+    Eof,
+}
+
+/// Reads one `\n`-terminated line of at most `cap` bytes without ever
+/// buffering more than `cap` bytes — the OOM fix for `reader.lines()`.
+fn read_line_capped<R: BufRead>(reader: &mut R, cap: usize) -> io::Result<LineOutcome> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(if line.is_empty() {
+                LineOutcome::Eof
+            } else {
+                // Final unterminated line: serve it like `lines()` did.
+                LineOutcome::Line(line)
+            });
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if line.len() + pos > cap {
+                    reader.consume(pos + 1);
+                    return Ok(LineOutcome::TooLong);
+                }
+                line.extend_from_slice(&buf[..pos]);
+                reader.consume(pos + 1);
+                return Ok(LineOutcome::Line(line));
+            }
+            None => {
+                let n = buf.len();
+                if line.len() + n > cap {
+                    reader.consume(n);
+                    discard_to_newline(reader)?;
+                    return Ok(LineOutcome::TooLong);
+                }
+                line.extend_from_slice(buf);
+                reader.consume(n);
+            }
+        }
+    }
+}
+
+/// Discards input through the next newline (or EOF) in buffer-sized
+/// steps — the resynchronization half of the line cap.
+fn discard_to_newline<R: BufRead>(reader: &mut R) -> io::Result<()> {
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(());
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                reader.consume(pos + 1);
+                return Ok(());
+            }
+            None => {
+                let n = buf.len();
+                reader.consume(n);
+            }
+        }
+    }
+}
+
+/// Frames one request result: `OK <len>\n<body>\n`, or `ERR <msg>\n`
+/// with embedded newlines flattened.
+fn write_reply<W: Write>(writer: &mut W, result: Result<Response, ServeError>) -> io::Result<()> {
+    match result {
+        Ok(resp) => {
+            writeln!(writer, "OK {}", resp.body.len())?;
+            writer.write_all(resp.body.as_bytes())?;
+            writer.write_all(b"\n")
+        }
+        Err(e) => writeln!(writer, "ERR {}", e.to_string().replace('\n', " ")),
+    }
+}
+
+/// Executes one non-batchable line — write verbs, admin verbs, and
+/// malformed reads — and writes its reply. `STREAM` frames its own
+/// incremental output.
+fn dispatch_line<W: Write>(server: &Server, line: &str, writer: &mut W) -> io::Result<()> {
+    let mut parts = line.splitn(2, ' ');
+    let verb = parts.next().unwrap_or("");
+    let rest = parts.next().unwrap_or("").trim();
+    let reply: Result<String, String> = match verb {
+        "STATS" => Ok(server.stats().to_string()),
+        "METRICS" => Ok(server.metrics()),
+        "TRACE" => match rest {
+            "" => Ok(server.traces(8)),
+            n => n
+                .parse::<usize>()
+                .map(|n| server.traces(n))
+                .map_err(|_| "TRACE [n]".to_string()),
+        },
+        "EXPLAIN" => match rest.split_once(' ') {
+            Some((view, doc)) => server
+                .explain(view.trim(), doc.trim())
+                .map(|e| e.to_string())
+                .map_err(|e| e.to_string()),
+            None => Err("EXPLAIN <view> <doc>".into()),
+        },
+        "ANALYZE" => {
+            let view = rest.trim();
+            if view.is_empty() {
+                Err("ANALYZE <view>".into())
+            } else {
+                server
+                    .analyze(view)
+                    .map(|a| a.to_string())
+                    .map_err(|e| e.to_string())
+            }
+        }
+        "LIST" => Ok(format!(
+            "docs: {}\nviews: {}",
+            server.doc_names().join(","),
+            server.view_names().join(",")
+        )),
+        // Well-formed reads never reach here (the reader classified
+        // them); these arms own the wrong-arity usage errors.
+        "VIEW" => Err("VIEW <view> <doc>".into()),
+        "QUERY" => Err("QUERY <view> <doc> <xquery…>".into()),
+        "TRANSFORM" => Err("TRANSFORM <doc> <transform…>".into()),
+        "UPDATE" => match rest.split_once(' ') {
+            Some((doc, update)) => server
+                .handle(&Request::Update {
+                    doc: doc.trim().into(),
+                    update: update.into(),
+                })
+                .map(|r| r.body)
+                .map_err(|e| e.to_string()),
+            None => Err("UPDATE <doc> <transform…>".into()),
+        },
+        "LOAD" => match rest.split_once(' ') {
+            // (Re)load from a server-side file. A reload is an
+            // unbounded delta: the server purges exactly this
+            // document's cached view results (neighbours keep theirs)
+            // and retires its old version. With a WAL attached, the
+            // record is appended before the install — an append
+            // failure replies ERR and installs nothing.
+            Some((doc, path)) => {
+                let doc = doc.trim();
+                let path = path.trim();
+                Document::parse_file(path)
+                    .map_err(|e| format!("{path}: {e}"))
+                    .and_then(|parsed| {
+                        server
+                            .try_load_doc(doc, parsed)
+                            // The stamp's version is exactly the one
+                            // this content was installed at; re-reading
+                            // the store here would race other writers.
+                            .map(|stamp| format!("loaded {doc} version={}", stamp.version))
+                            .map_err(|e| e.to_string())
+                    })
+            }
+            None => Err("LOAD <doc> <path>".into()),
+        },
+        "REMOVE" => {
+            let doc = rest.trim();
+            if doc.is_empty() {
+                Err("REMOVE <doc>".into())
+            } else {
+                match server.try_remove_doc(doc) {
+                    Ok(true) => Ok(format!("removed {doc}")),
+                    Ok(false) => Err(format!("unknown document '{doc}'")),
+                    Err(e) => Err(e.to_string()),
+                }
+            }
+        }
+        "STREAM" => match rest.split_once(' ') {
+            Some((doc, query)) => {
+                // Incremental framing: output leaves as it is produced,
+                // so the reply is written here instead of through the
+                // one-shot OK/ERR path below.
+                match stream_to_client(server, doc.trim(), query, writer) {
+                    Ok(()) => return Ok(()),
+                    Err(StreamFailure::Client(e)) => return Err(e),
+                    Err(StreamFailure::Request(msg)) => Err(msg),
+                }
+            }
+            None => Err("STREAM <doc> <transform…>".into()),
+        },
+        other => Err(format!("unknown verb '{other}'")),
+    };
+    match reply {
+        Ok(body) => {
+            writeln!(writer, "OK {}", body.len())?;
+            writer.write_all(body.as_bytes())?;
+            writer.write_all(b"\n")
+        }
+        Err(msg) => writeln!(writer, "ERR {}", msg.replace('\n', " ")),
+    }
+}
+
+/// How a `STREAM` request can fail: a request-level problem is reported
+/// to the client as `ERR`; a client I/O problem tears the connection
+/// down (there is no one left to report to).
+enum StreamFailure {
+    Request(String),
+    Client(io::Error),
+}
+
+impl From<io::Error> for StreamFailure {
+    fn from(e: io::Error) -> StreamFailure {
+        StreamFailure::Client(e)
+    }
+}
+
+/// Runs one `STREAM <doc> <transform…>` request: streams a file-backed
+/// document through a [`crate::StreamingSession`] and ships the
+/// transformed output incrementally as `OUT <len>` frames (each
+/// followed by exactly `len` raw bytes and a newline), ending with
+/// `DONE <total>`. The server never materializes the document; each
+/// frame is flushed so the client reads output while the input is
+/// still being parsed.
+fn stream_to_client(
+    server: &Server,
+    doc: &str,
+    query: &str,
+    writer: &mut impl Write,
+) -> Result<(), StreamFailure> {
+    let path = match server.doc_path(doc) {
+        Some(p) => p,
+        None => {
+            return Err(StreamFailure::Request(format!(
+                "STREAM needs a file-backed document; '{doc}' is not one"
+            )))
+        }
+    };
+    let fail = |e: &dyn std::fmt::Display| StreamFailure::Request(e.to_string());
+    let mut session = server.begin_stream(query).map_err(|e| fail(&e))?;
+    let mut parser = SaxParser::from_file(&path).map_err(|e| fail(&e))?;
+    while let Some(ev) = parser.next_event().map_err(|e| fail(&e))? {
+        session.feed(ev).map_err(|e| fail(&e))?;
+    }
+    session.begin_replay().map_err(|e| fail(&e))?;
+
+    // Accumulate output into ≥4 KiB frames: incremental enough for the
+    // client to overlap reading with our parsing, without paying frame
+    // overhead per SAX event.
+    const FRAME: usize = 4096;
+    let mut total = 0usize;
+    let mut pending: Vec<u8> = Vec::with_capacity(2 * FRAME);
+    let mut parser = SaxParser::from_file(&path).map_err(|e| fail(&e))?;
+    let mut ship = |writer: &mut dyn Write, pending: &mut Vec<u8>| -> Result<(), StreamFailure> {
+        if pending.is_empty() {
+            return Ok(());
+        }
+        total += pending.len();
+        writeln!(writer, "OUT {}", pending.len())?;
+        writer.write_all(pending)?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        pending.clear();
+        Ok(())
+    };
+    while let Some(ev) = parser.next_event().map_err(|e| fail(&e))? {
+        pending.extend(session.replay(ev).map_err(|e| fail(&e))?);
+        if pending.len() >= FRAME {
+            ship(writer, &mut pending)?;
+        }
+    }
+    let (tail, _) = session.finish().map_err(|e| fail(&e))?;
+    pending.extend(tail);
+    ship(writer, &mut pending)?;
+    writeln!(writer, "DONE {total}")?;
+    writer.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn test_server() -> Server {
+        let server = Server::builder().threads(2).build();
+        server
+            .load_doc_str("db", "<db><part><price>9</price><n>kb</n></part></db>")
+            .unwrap();
+        server
+            .register_view(
+                "public",
+                r#"transform copy $a := doc("db") modify do delete $a//price return $a"#,
+            )
+            .unwrap();
+        server
+    }
+
+    fn run(server: &Server, input: &str, opts: &PipelineOptions) -> String {
+        let mut out = Vec::new();
+        serve_pipelined(server, Cursor::new(input.to_string()), &mut out, opts).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn pipelined_reads_reply_in_request_order() {
+        let server = test_server();
+        // Everything is written before any reply is read (Cursor input
+        // — the whole pipeline is in flight at once).
+        let mut input = String::new();
+        for _ in 0..16 {
+            input.push_str("VIEW public db\n");
+            input.push_str(
+                "QUERY public db <out>{ for $x in doc(\"db\")/db/part return $x }</out>\n",
+            );
+        }
+        input.push_str("QUIT\n");
+        let text = run(&server, &input, &PipelineOptions::default());
+        let view_body = "<db><part><n>kb</n></part></db>";
+        let query_body = "<out><part><n>kb</n></part></out>";
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 16 * 4, "two framed replies per round");
+        for i in 0..16 {
+            assert_eq!(lines[4 * i], format!("OK {}", view_body.len()));
+            assert_eq!(lines[4 * i + 1], view_body);
+            assert_eq!(lines[4 * i + 2], format!("OK {}", query_body.len()));
+            assert_eq!(lines[4 * i + 3], query_body);
+        }
+    }
+
+    #[test]
+    fn oversized_line_replies_err_and_resyncs() {
+        let server = test_server();
+        let opts = PipelineOptions {
+            max_line: 64,
+            ..PipelineOptions::default()
+        };
+        let long = "TRANSFORM db ".to_string() + &"x".repeat(500);
+        let input = format!("{long}\nVIEW public db\nQUIT\n");
+        let text = run(&server, &input, &opts);
+        assert!(
+            text.contains("ERR request line exceeds 64 bytes"),
+            "missing cap error: {text}"
+        );
+        // The connection survived and the next request served normally.
+        assert!(text.contains("<db><part><n>kb</n></part></db>"));
+    }
+
+    #[test]
+    fn invalid_utf8_replies_err_and_continues() {
+        let server = test_server();
+        let mut input: Vec<u8> = Vec::new();
+        input.extend_from_slice(b"VIEW public \xFF\xFE\n");
+        input.extend_from_slice(b"VIEW public db\nQUIT\n");
+        let mut out = Vec::new();
+        serve_pipelined(
+            &server,
+            Cursor::new(input),
+            &mut out,
+            &PipelineOptions::default(),
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("ERR request line is not valid UTF-8"));
+        assert!(text.contains("<db><part><n>kb</n></part></db>"));
+    }
+
+    #[test]
+    fn updates_are_barriers_with_read_your_writes() {
+        let server = test_server();
+        let input = concat!(
+            "VIEW public db\n",
+            "UPDATE db transform copy $a := doc(\"db\") modify do insert <spare/> into $a//n return $a\n",
+            "VIEW public db\n",
+            "QUIT\n",
+        );
+        let text = run(&server, input, &PipelineOptions::default());
+        let lines: Vec<&str> = text.lines().collect();
+        // Pre-update read, update report, post-update read — in order.
+        assert_eq!(lines[1], "<db><part><n>kb</n></part></db>");
+        assert!(lines[3].starts_with("updated db"), "got {}", lines[3]);
+        assert_eq!(lines[5], "<db><part><n>kb<spare/></n></part></db>");
+    }
+
+    #[test]
+    fn quit_discards_pipelined_followers() {
+        let server = test_server();
+        let text = run(
+            &server,
+            "VIEW public db\nQUIT\nVIEW public db\n",
+            &PipelineOptions::default(),
+        );
+        let body = "<db><part><n>kb</n></part></db>";
+        assert_eq!(text.matches(body).count(), 1, "one reply only: {text}");
+    }
+
+    #[test]
+    fn tiny_queue_and_batch_caps_still_serve_everything() {
+        let server = test_server();
+        let opts = PipelineOptions {
+            max_line: 1 << 20,
+            max_batch: 2,
+            queue_depth: 1,
+        };
+        let mut input = String::new();
+        for _ in 0..9 {
+            input.push_str("VIEW public db\n");
+        }
+        input.push_str("QUIT\n");
+        let text = run(&server, &input, &opts);
+        let body = "<db><part><n>kb</n></part></db>";
+        assert_eq!(text.matches(body).count(), 9);
+    }
+
+    #[test]
+    fn capped_reader_handles_boundary_lines() {
+        // Exactly-at-cap lines pass; one byte over fails; the final
+        // unterminated line is served like `lines()` served it.
+        let mut cur = Cursor::new(b"abcd\nabcde\nab".to_vec());
+        match read_line_capped(&mut cur, 4).unwrap() {
+            LineOutcome::Line(l) => assert_eq!(l, b"abcd"),
+            _ => panic!("at-cap line must pass"),
+        }
+        assert!(matches!(
+            read_line_capped(&mut cur, 4).unwrap(),
+            LineOutcome::TooLong
+        ));
+        match read_line_capped(&mut cur, 4).unwrap() {
+            LineOutcome::Line(l) => assert_eq!(l, b"ab"),
+            _ => panic!("unterminated tail must be served"),
+        }
+        assert!(matches!(
+            read_line_capped(&mut cur, 4).unwrap(),
+            LineOutcome::Eof
+        ));
+    }
+}

@@ -21,9 +21,9 @@
 //! shard, readers keep their epoch.
 
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::path::{Path as FsPath, PathBuf};
 use std::sync::mpsc::Receiver;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 use xust_analyze::{classify_update, statically_commutes};
@@ -49,6 +49,7 @@ use crate::registry::{ViewBody, ViewDef, ViewRegistry};
 use crate::stats::{ServeStats, StatsSnapshot, Verb};
 use crate::store::{DocStore, StoreSnapshot, StoreUpdateError, WriteStamp};
 use crate::viewcache::ViewResultCache;
+use crate::wal::{Wal, WalRecord};
 
 /// Where a named document lives.
 #[derive(Debug, Clone)]
@@ -166,6 +167,16 @@ pub struct Response {
     pub cache_hit: bool,
 }
 
+/// What [`Server::attach_wal`] recovered before attaching the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalRecovery {
+    /// Intact records replayed onto the server, in log order.
+    pub applied: usize,
+    /// True when the log ended in a torn or corrupt frame (dropped; a
+    /// crash mid-append produces exactly this).
+    pub truncated: bool,
+}
+
 /// Configures and builds a [`Server`].
 pub struct ServerBuilder {
     threads: usize,
@@ -247,6 +258,7 @@ impl ServerBuilder {
                 obs: Obs::new(self.tracing),
                 pool: ThreadPool::new(self.threads),
                 commute: Mutex::new(CommuteState::default()),
+                wal: RwLock::new(None),
             }),
         }
     }
@@ -269,6 +281,13 @@ struct Inner {
     /// invalidates every table (cheap: they rebuild in one pass over
     /// the registry on the next write of each shape).
     commute: Mutex<CommuteState>,
+    /// The attached write-ahead log, if any ([`Server::attach_wal`]).
+    /// Every applied write appends its record *inside* the owning
+    /// shard's write lock, so log order equals install order.
+    // lock-order: this RwLock is only ever taken alone (clone the Arc
+    // out, then release); the Wal's internal mutex nests inside a
+    // DocStore shard write lock, never the reverse.
+    wal: RwLock<Option<Arc<Wal>>>,
 }
 
 #[derive(Default)]
@@ -315,14 +334,49 @@ impl Server {
     /// this content was installed at (re-reading it later races other
     /// writers).
     pub fn load_doc(&self, name: impl Into<String>, doc: Document) -> WriteStamp {
+        self.try_load_doc(name, doc)
+            .expect("WAL append failed — use try_load_doc to handle it")
+    }
+
+    /// [`Server::load_doc`], surfacing write-ahead-log append failures:
+    /// with a WAL attached, the `Load` record is appended (under the
+    /// owning shard's write lock) before the document is installed, and
+    /// on append failure nothing is installed at all.
+    pub fn try_load_doc(
+        &self,
+        name: impl Into<String>,
+        doc: Document,
+    ) -> Result<WriteStamp, ServeError> {
         let name = name.into();
-        let stamp = self
-            .inner
-            .docs
-            .insert(name.clone(), DocSource::Memory(Arc::new(doc)));
+        let doc = Arc::new(doc);
+        let wal = self.wal_handle();
+        // Serialize for the log *outside* the shard lock; the log keeps
+        // the installed bytes, so replay needs no source file.
+        let record = wal.as_ref().map(|_| WalRecord::Load {
+            doc: name.clone(),
+            xml: doc.serialize(),
+        });
+        let installed = self.inner.docs.insert_with(
+            name.clone(),
+            DocSource::Memory(doc),
+            // lock-order: shard write lock → Wal mutex.
+            |_| match (&wal, &record) {
+                (Some(w), Some(r)) => w
+                    .append(r)
+                    .map_err(|e| ServeError::Io(format!("wal append: {e}"))),
+                _ => Ok(()),
+            },
+        );
+        let stamp = match installed {
+            Ok(stamp) => stamp,
+            Err(e) => {
+                self.inner.stats.record_verb(Verb::Load, false);
+                return Err(e);
+            }
+        };
         self.inner.results.purge_doc(&name);
         self.inner.stats.record_verb(Verb::Load, true);
-        stamp
+        Ok(stamp)
     }
 
     /// Parses and loads a document from XML text.
@@ -338,10 +392,13 @@ impl Server {
                 return Err(ServeError::Parse(e.to_string()));
             }
         };
-        Ok(self.load_doc(name, doc))
+        self.try_load_doc(name, doc)
     }
 
     /// Registers a file-backed document, served via the streaming path.
+    /// The WAL logs the *path* (not the bytes): replay re-registers it,
+    /// so a file that changed between crash and restart is served with
+    /// its new content — the documented limitation of file-backed docs.
     pub fn load_doc_file(
         &self,
         name: impl Into<String>,
@@ -353,7 +410,29 @@ impl Server {
             return Err(ServeError::Io(format!("{}: not a file", path.display())));
         }
         let name = name.into();
-        let stamp = self.inner.docs.insert(name.clone(), DocSource::File(path));
+        let wal = self.wal_handle();
+        let record = wal.as_ref().map(|_| WalRecord::LoadFile {
+            doc: name.clone(),
+            path: path.display().to_string(),
+        });
+        let installed = self.inner.docs.insert_with(
+            name.clone(),
+            DocSource::File(path),
+            // lock-order: shard write lock → Wal mutex.
+            |_| match (&wal, &record) {
+                (Some(w), Some(r)) => w
+                    .append(r)
+                    .map_err(|e| ServeError::Io(format!("wal append: {e}"))),
+                _ => Ok(()),
+            },
+        );
+        let stamp = match installed {
+            Ok(stamp) => stamp,
+            Err(e) => {
+                self.inner.stats.record_verb(Verb::Load, false);
+                return Err(e);
+            }
+        };
         self.inner.results.purge_doc(&name);
         self.inner.stats.record_verb(Verb::Load, true);
         Ok(stamp)
@@ -366,7 +445,28 @@ impl Server {
     /// strictly larger version, so entries for the dead lineage can
     /// never hit again.
     pub fn remove_doc(&self, name: &str) -> bool {
-        let removed = self.inner.docs.remove(name);
+        self.try_remove_doc(name)
+            .expect("WAL append failed — use try_remove_doc to handle it")
+    }
+
+    /// [`Server::remove_doc`], surfacing write-ahead-log append
+    /// failures: with a WAL attached, the `Remove` record is appended
+    /// (under the owning shard's write lock) before the removal is
+    /// installed, and on append failure the document stays.
+    pub fn try_remove_doc(&self, name: &str) -> Result<bool, ServeError> {
+        let wal = self.wal_handle();
+        let removed = self.inner.docs.remove_with(
+            name,
+            // lock-order: shard write lock → Wal mutex.
+            || match &wal {
+                Some(w) => w
+                    .append(&WalRecord::Remove {
+                        doc: name.to_string(),
+                    })
+                    .map_err(|e| ServeError::Io(format!("wal append: {e}"))),
+                None => Ok(()),
+            },
+        )?;
         if removed {
             self.inner.results.purge_doc(name);
             // The per-doc stats row goes with the document (a server
@@ -374,7 +474,7 @@ impl Server {
             self.inner.stats.forget_doc(name);
         }
         self.inner.stats.record_verb(Verb::Remove, removed);
-        removed
+        Ok(removed)
     }
 
     /// Loaded document names, sorted.
@@ -396,6 +496,85 @@ impl Server {
     /// layout) — exposed for observability and tests.
     pub fn store(&self) -> &DocStore {
         &self.inner.docs
+    }
+
+    // ---- durability ----
+
+    /// The attached WAL, cloned out so no caller ever holds the
+    /// registration lock while appending.
+    fn wal_handle(&self) -> Option<Arc<Wal>> {
+        self.inner.wal.read().expect("wal lock poisoned").clone()
+    }
+
+    /// The attached WAL's path, if one is attached.
+    pub fn wal_path(&self) -> Option<PathBuf> {
+        self.wal_handle().map(|w| w.path().to_path_buf())
+    }
+
+    /// Forces everything appended to the attached WAL so far to stable
+    /// storage (`fsync`); a no-op without a WAL. Per-record appends
+    /// flush to the OS only — see the [`crate::wal`] durability notes.
+    pub fn sync_wal(&self) -> Result<(), ServeError> {
+        match self.wal_handle() {
+            Some(w) => w
+                .sync()
+                .map_err(|e| ServeError::Io(format!("wal sync: {e}"))),
+            None => Ok(()),
+        }
+    }
+
+    /// Replays the write-ahead log at `path` onto this server, then
+    /// opens it for appending and attaches it: every subsequently
+    /// *applied* `UPDATE`/`LOAD`/`REMOVE` is logged before its reply.
+    /// A missing file is an empty log (fresh start); a torn tail —
+    /// what a crash mid-append leaves — is dropped and reported in
+    /// [`WalRecovery::truncated`].
+    ///
+    /// Replay runs through the normal write paths (updates re-run
+    /// cache maintenance), with logging detached, so recovered state is
+    /// exactly what a live server that applied the same writes holds —
+    /// the crash-recovery tests assert byte-identical views. Call this
+    /// before loading any other documents: names the log recreates
+    /// would otherwise be overwritten by the replay.
+    pub fn attach_wal(&self, path: impl AsRef<FsPath>) -> Result<WalRecovery, ServeError> {
+        let path = path.as_ref();
+        let replay = Wal::replay(path).map_err(|e| ServeError::Io(format!("wal replay: {e}")))?;
+        let (records, truncated) = (replay.records, replay.truncated);
+        if truncated {
+            // Drop the torn tail before reopening for append: records
+            // appended after leftover garbage would be unreachable to
+            // every later replay (it stops at the first bad frame).
+            Wal::truncate_to(path, replay.valid_len)
+                .map_err(|e| ServeError::Io(format!("wal truncate: {e}")))?;
+        }
+        let applied = records.len();
+        for record in records {
+            match record {
+                WalRecord::Load { doc, xml } => {
+                    self.load_doc_str(doc, &xml)?;
+                }
+                WalRecord::LoadFile { doc, path } => {
+                    self.load_doc_file(doc, path)?;
+                }
+                WalRecord::Remove { doc } => {
+                    self.try_remove_doc(&doc)?;
+                }
+                WalRecord::Update { doc, text } => {
+                    self.update_doc(&doc, &text)?;
+                }
+            }
+        }
+        let wal = Wal::open(path).map_err(|e| ServeError::Io(format!("wal open: {e}")))?;
+        *self.inner.wal.write().expect("wal lock poisoned") = Some(Arc::new(wal));
+        Ok(WalRecovery { applied, truncated })
+    }
+
+    /// Counts a client lost before the protocol loop could start (e.g.
+    /// a failed `try_clone` after accept) under the `conn` pseudo-verb,
+    /// so `METRICS` sees dropped clients a failed accept log line alone
+    /// would hide.
+    pub fn record_conn_failure(&self) {
+        self.inner.stats.record_verb(Verb::Conn, false);
     }
 
     // (document resolution for requests goes through [`DocView`])
@@ -812,6 +991,7 @@ impl Server {
         // lookup instead of the dynamic three-way intersection test.
         let static_clear = self.static_clear_for(doc, update, &ops, &update_alpha, &update_vals);
         let results = &self.inner.results;
+        let wal = self.wal_handle();
         // The installed tree, smuggled out of the closure: the eager
         // shared recompute below runs on it *after* the shard write
         // lock is released.
@@ -826,6 +1006,20 @@ impl Server {
                          (load it in memory to enable live updates)"
                     )));
                 };
+                // Durability first: the record goes to the log before
+                // anything — tree clone, cache maintenance — mutates
+                // shared state, so a failed append leaves the write
+                // fully un-happened (all-or-nothing), and log order
+                // equals install order because both sit under this
+                // shard write lock.
+                // lock-order: shard write lock → Wal mutex.
+                if let Some(w) = &wal {
+                    w.append(&WalRecord::Update {
+                        doc: doc.to_string(),
+                        text: update.to_string(),
+                    })
+                    .map_err(|e| ServeError::Io(format!("wal append: {e}")))?;
+                }
                 let mut next = (**old).clone();
                 let mut delta = LabelSet::new();
                 let mut targets_total = 0usize;

@@ -107,11 +107,15 @@ pub enum Verb {
     Explain,
     /// `ANALYZE` — registration-time static-analysis report.
     Analyze,
+    /// Connection setup — not a wire verb; its error counter records
+    /// clients dropped before the protocol loop started (e.g. a failed
+    /// `try_clone` after accept), so `METRICS` sees every lost client.
+    Conn,
 }
 
 impl Verb {
     /// Every verb, in fixed (index) order.
-    pub const ALL: [Verb; 11] = [
+    pub const ALL: [Verb; 12] = [
         Verb::View,
         Verb::Query,
         Verb::Transform,
@@ -123,6 +127,7 @@ impl Verb {
         Verb::Trace,
         Verb::Explain,
         Verb::Analyze,
+        Verb::Conn,
     ];
 
     /// Lower-case verb name, as rendered in `STATS` and `METRICS`.
@@ -139,6 +144,7 @@ impl Verb {
             Verb::Trace => "trace",
             Verb::Explain => "explain",
             Verb::Analyze => "analyze",
+            Verb::Conn => "conn",
         }
     }
 

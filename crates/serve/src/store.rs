@@ -138,12 +138,38 @@ impl DocStore {
     /// Installs (or replaces) a document: copy-on-write into a fresh
     /// epoch of its shard. Readers holding snapshots are unaffected.
     pub fn insert(&self, name: impl Into<String>, source: DocSource) -> WriteStamp {
+        match self.insert_with(name, source, |_| Ok::<(), std::convert::Infallible>(())) {
+            Ok(stamp) => stamp,
+            Err(never) => match never {},
+        }
+    }
+
+    /// Like [`DocStore::insert`], but runs `before_install` under the
+    /// shard write lock after the stamp is decided and *before* the new
+    /// epoch is installed. On `Err` nothing is installed — the shard
+    /// keeps its epoch and contents. This is the hook the write-ahead
+    /// log uses: log order equals install order because both happen
+    /// under the same lock, and a failed append installs nothing.
+    pub fn insert_with<E>(
+        &self,
+        name: impl Into<String>,
+        source: DocSource,
+        before_install: impl FnOnce(WriteStamp) -> Result<(), E>,
+    ) -> Result<WriteStamp, E> {
         let name = name.into();
         let shard = &self.shards[self.shard_of(&name)];
+        // lock-order: shard write lock first; `before_install` may take
+        // the Wal mutex (innermost) — never the reverse.
         let mut current = shard.current.write().expect("doc store lock poisoned");
         let prev_version = current.docs.get(&name).map_or(0, |d| d.version);
-        let mut docs = current.docs.clone();
         let epoch = current.epoch + 1;
+        let stamp = WriteStamp {
+            epoch,
+            version: epoch,
+            prev_version,
+        };
+        before_install(stamp)?;
+        let mut docs = current.docs.clone();
         docs.insert(
             name,
             VersionedDoc {
@@ -152,11 +178,7 @@ impl DocStore {
             },
         );
         *current = Arc::new(ShardEpoch { epoch, docs });
-        WriteStamp {
-            epoch,
-            version: epoch,
-            prev_version,
-        }
+        Ok(stamp)
     }
 
     /// Atomically transforms one document in place: read-modify-write
@@ -231,16 +253,35 @@ impl DocStore {
     /// removed name's version is *retired*, never reused: a later
     /// re-insert draws a strictly larger version from the epoch counter.
     pub fn remove(&self, name: &str) -> bool {
+        match self.remove_with(name, || Ok::<(), std::convert::Infallible>(())) {
+            Ok(removed) => removed,
+            Err(never) => match never {},
+        }
+    }
+
+    /// Like [`DocStore::remove`], but runs `before_remove` under the
+    /// shard write lock once the document is known to exist and *before*
+    /// the removal is installed. On `Err` the document stays — the
+    /// write-ahead-log hook, mirroring [`DocStore::insert_with`]. The
+    /// callback is not invoked for a name that is not loaded.
+    pub fn remove_with<E>(
+        &self,
+        name: &str,
+        before_remove: impl FnOnce() -> Result<(), E>,
+    ) -> Result<bool, E> {
         let shard = &self.shards[self.shard_of(name)];
+        // lock-order: shard write lock first; `before_remove` may take
+        // the Wal mutex (innermost) — never the reverse.
         let mut current = shard.current.write().expect("doc store lock poisoned");
         if !current.docs.contains_key(name) {
-            return false;
+            return Ok(false);
         }
+        before_remove()?;
         let mut docs = current.docs.clone();
         docs.remove(name);
         let epoch = current.epoch + 1;
         *current = Arc::new(ShardEpoch { epoch, docs });
-        true
+        Ok(true)
     }
 
     /// Resolves one document against the *current* epoch of its owning
@@ -625,6 +666,36 @@ mod tests {
             Some(DocSource::Memory(d)) => assert_eq!(d.serialize(), "<a/>"),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn insert_with_and_remove_with_are_all_or_nothing() {
+        let store = DocStore::new(2);
+        // A failing pre-install hook installs nothing at all.
+        let err = store.insert_with("a", mem("<a/>"), |_| Err("append failed"));
+        assert_eq!(err.unwrap_err(), "append failed");
+        assert!(store.get("a").is_none());
+        assert_eq!(store.epochs(), vec![0, 0]);
+        // The hook sees the stamp the write will install.
+        let stamp = store
+            .insert_with("a", mem("<a/>"), |stamp| {
+                assert_eq!((stamp.version, stamp.prev_version), (1, 0));
+                Ok::<(), ()>(())
+            })
+            .unwrap();
+        assert_eq!(stamp.version, 1);
+        assert_eq!(store.version_of("a"), Some(1));
+        // A failing pre-remove hook keeps the document.
+        let err = store.remove_with("a", || Err("append failed"));
+        assert_eq!(err.unwrap_err(), "append failed");
+        assert_eq!(store.version_of("a"), Some(1));
+        // Missing names never invoke the hook.
+        let ok = store.remove_with("missing", || -> Result<(), ()> {
+            panic!("hook must not run for a missing doc")
+        });
+        assert_eq!(ok, Ok(false));
+        assert_eq!(store.remove_with("a", || Ok::<(), ()>(())), Ok(true));
+        assert!(store.get("a").is_none());
     }
 
     #[test]

@@ -30,7 +30,7 @@ use xust::core::{
     two_pass_sax_files, two_pass_sax_str, LdStorage, Method, MultiTransformQuery, TransformQuery,
 };
 use xust::sax::SaxParser;
-use xust::serve::{Request, Server};
+use xust::serve::{serve_pipelined, PipelineOptions, Request, Server};
 use xust::tree::Document;
 use xust::xmark::{generate_to_file, XmarkConfig};
 
@@ -76,8 +76,11 @@ usage:
   xust stream    -q <transform|@file> -i <input.xml> [-o <out.xml>] [--stats] [--stats-json]
   xust serve     [--doc <name>=<path>]… [--view <name>=<query|@file>]…
                  [--port <p> | --stdio] [--threads <n>] [--shards <n>] [--no-trace]
+                 [--wal <path> | --no-wal]
 
-serve protocol (one request per line, answers framed as `OK <len>`/`ERR <msg>`):
+serve protocol (one request per line, answers framed as `OK <len>`/`ERR <msg>`;
+requests may be pipelined — replies always come back in request order, and
+write verbs act as barriers, so a read after an UPDATE sees the update):
   VIEW <view> <doc>               materialize a registered view
   QUERY <view> <doc> <xquery…>    answer a user query over the virtual view
   TRANSFORM <doc> <transform…>    run an ad-hoc transform (prepared cache + planner)
@@ -102,6 +105,11 @@ serve protocol (one request per line, answers framed as `OK <len>`/`ERR <msg>`):
                                   footprint bounds, and its cache family —
                                   without executing
   STATS | LIST | QUIT
+
+durability: --wal <path> attaches a write-ahead log — every applied
+UPDATE/LOAD/REMOVE is logged before its reply, and on start the log is
+replayed (documents named by both the log and --doc keep their recovered
+state). --no-wal wins over --wal.
 "#;
 
 /// Parsed command-line options (shared across subcommands).
@@ -119,6 +127,8 @@ struct Opts {
     stats_json: bool,
     no_trace: bool,
     stdio: bool,
+    wal: Option<String>,
+    no_wal: bool,
     port: Option<u16>,
     threads: Option<usize>,
     shards: Option<usize>,
@@ -163,6 +173,8 @@ impl Opts {
                 "--stats-json" => o.stats_json = true,
                 "--no-trace" => o.no_trace = true,
                 "--stdio" => o.stdio = true,
+                "--wal" => o.wal = Some(value(a, &mut it)?),
+                "--no-wal" => o.no_wal = true,
                 "--port" => {
                     o.port = Some(
                         value(a, &mut it)?
@@ -473,7 +485,8 @@ fn cmd_stream(o: &Opts) -> Result<(), String> {
 
 /// `serve`: the concurrent view service over TCP or stdio.
 fn cmd_serve(o: &Opts) -> Result<(), String> {
-    if o.docs.is_empty() {
+    let wal = if o.no_wal { None } else { o.wal.as_deref() };
+    if o.docs.is_empty() && wal.is_none() {
         return Err("serve needs at least one --doc <name>=<path>".into());
     }
     let server = Server::builder()
@@ -481,7 +494,31 @@ fn cmd_serve(o: &Opts) -> Result<(), String> {
         .shards(o.shards.unwrap_or(8))
         .tracing(!o.no_trace)
         .build();
+    // Recovery first: the write-ahead log replays every applied write
+    // since it was started, then attaches so new writes are logged.
+    // Documents it recreates are *newer* than their --doc seed files,
+    // so the seeding below skips names the log already recovered.
+    if let Some(path) = wal {
+        let rec = server
+            .attach_wal(path)
+            .map_err(|e| format!("wal {path}: {e}"))?;
+        if rec.applied > 0 || rec.truncated {
+            eprintln!(
+                "xust-serve: replayed {} WAL record(s) from {path}{}",
+                rec.applied,
+                if rec.truncated {
+                    " (dropped a torn tail)"
+                } else {
+                    ""
+                }
+            );
+        }
+    }
     for (name, path) in &o.docs {
+        if server.store().get(name).is_some() {
+            eprintln!("xust-serve: '{name}' recovered from the WAL; skipping --doc seed {path}");
+            continue;
+        }
         // Documents small enough to parse eagerly are shared in memory;
         // callers opting into streaming keep them file-backed.
         if o.stream {
@@ -490,7 +527,9 @@ fn cmd_serve(o: &Opts) -> Result<(), String> {
                 .map_err(|e| e.to_string())?;
         } else {
             let doc = Document::parse_file(path).map_err(|e| format!("{path}: {e}"))?;
-            server.load_doc(name, doc);
+            server
+                .try_load_doc(name.as_str(), doc)
+                .map_err(|e| e.to_string())?;
         }
     }
     for (name, query) in &o.views {
@@ -510,7 +549,9 @@ fn cmd_serve(o: &Opts) -> Result<(), String> {
         }
     }
     if o.stdio || o.port.is_none() {
-        let stdin = std::io::stdin().lock();
+        // The pipelined loop's reader runs on its own thread, so it
+        // needs an owned (Send) handle — `StdinLock` is not one.
+        let stdin = std::io::BufReader::new(std::io::stdin());
         let stdout = std::io::stdout().lock();
         serve_connection(&server, stdin, stdout).map_err(|e| e.to_string())?;
         return Ok(());
@@ -533,11 +574,25 @@ fn cmd_serve(o: &Opts) -> Result<(), String> {
                 continue;
             }
         };
+        // Nagle + delayed-ACK adds avoidable latency to every small
+        // request/reply round trip; replies are already batched through
+        // a buffered writer, so there is nothing for Nagle to save.
+        if let Err(e) = stream.set_nodelay(true) {
+            eprintln!("xust-serve: set_nodelay failed: {e}");
+        }
         let server = server.clone();
         std::thread::spawn(move || {
             let reader = std::io::BufReader::new(match stream.try_clone() {
                 Ok(s) => s,
-                Err(_) => return,
+                Err(e) => {
+                    // Like a failed accept this costs one client, and
+                    // it must be just as visible: a log line for the
+                    // operator plus the `conn` error counter METRICS
+                    // exports.
+                    eprintln!("xust-serve: connection setup failed: {e}");
+                    server.record_conn_failure();
+                    return;
+                }
             });
             let _ = serve_connection(&server, reader, stream);
         });
@@ -547,229 +602,19 @@ fn cmd_serve(o: &Opts) -> Result<(), String> {
 
 /// Drives one client connection of the line protocol (see `USAGE`).
 /// Returns when the client sends `QUIT` or closes the stream.
+///
+/// This is a thin front over [`serve_pipelined`]: a reader thread
+/// decodes (length-capped) request lines continuously, consecutive
+/// read-only requests ride the batch executor as one grouped batch,
+/// and replies come back strictly in request order through a buffered
+/// writer — see the `xust_serve::pipeline` module docs for the exact
+/// pipelining and barrier semantics.
 fn serve_connection(
     server: &Server,
-    reader: impl BufRead,
-    mut writer: impl Write,
+    reader: impl BufRead + Send,
+    writer: impl Write,
 ) -> std::io::Result<()> {
-    for line in reader.lines() {
-        let line = line?;
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        let mut parts = line.splitn(2, ' ');
-        let verb = parts.next().unwrap_or("");
-        let rest = parts.next().unwrap_or("").trim();
-        let reply: Result<String, String> = match verb {
-            "QUIT" => break,
-            "STATS" => Ok(server.stats().to_string()),
-            "METRICS" => Ok(server.metrics()),
-            "TRACE" => match rest {
-                "" => Ok(server.traces(8)),
-                n => n
-                    .parse::<usize>()
-                    .map(|n| server.traces(n))
-                    .map_err(|_| "TRACE [n]".to_string()),
-            },
-            "EXPLAIN" => match rest.split_once(' ') {
-                Some((view, doc)) => server
-                    .explain(view.trim(), doc.trim())
-                    .map(|e| e.to_string())
-                    .map_err(|e| e.to_string()),
-                None => Err("EXPLAIN <view> <doc>".into()),
-            },
-            "ANALYZE" => {
-                let view = rest.trim();
-                if view.is_empty() {
-                    Err("ANALYZE <view>".into())
-                } else {
-                    server
-                        .analyze(view)
-                        .map(|a| a.to_string())
-                        .map_err(|e| e.to_string())
-                }
-            }
-            "LIST" => Ok(format!(
-                "docs: {}\nviews: {}",
-                server.doc_names().join(","),
-                server.view_names().join(",")
-            )),
-            "VIEW" => match rest.split_once(' ') {
-                Some((view, doc)) => server
-                    .handle(&Request::View {
-                        view: view.trim().into(),
-                        doc: doc.trim().into(),
-                    })
-                    .map(|r| r.body)
-                    .map_err(|e| e.to_string()),
-                None => Err("VIEW <view> <doc>".into()),
-            },
-            "QUERY" => {
-                let mut p = rest.splitn(3, ' ');
-                match (p.next(), p.next(), p.next()) {
-                    (Some(view), Some(doc), Some(query)) => server
-                        .handle(&Request::Query {
-                            view: view.into(),
-                            doc: doc.into(),
-                            query: query.into(),
-                        })
-                        .map(|r| r.body)
-                        .map_err(|e| e.to_string()),
-                    _ => Err("QUERY <view> <doc> <xquery…>".into()),
-                }
-            }
-            "TRANSFORM" => match rest.split_once(' ') {
-                Some((doc, query)) => server
-                    .handle(&Request::Transform {
-                        doc: doc.trim().into(),
-                        query: query.into(),
-                    })
-                    .map(|r| r.body)
-                    .map_err(|e| e.to_string()),
-                None => Err("TRANSFORM <doc> <transform…>".into()),
-            },
-            "UPDATE" => match rest.split_once(' ') {
-                Some((doc, update)) => server
-                    .handle(&Request::Update {
-                        doc: doc.trim().into(),
-                        update: update.into(),
-                    })
-                    .map(|r| r.body)
-                    .map_err(|e| e.to_string()),
-                None => Err("UPDATE <doc> <transform…>".into()),
-            },
-            "LOAD" => match rest.split_once(' ') {
-                // (Re)load from a server-side file. A reload is an
-                // unbounded delta: the server purges exactly this
-                // document's cached view results (neighbours keep
-                // theirs) and retires its old version.
-                Some((doc, path)) => {
-                    let doc = doc.trim();
-                    let path = path.trim();
-                    Document::parse_file(path)
-                        .map_err(|e| format!("{path}: {e}"))
-                        .map(|parsed| {
-                            // The stamp's version is exactly the one this
-                            // content was installed at; re-reading the
-                            // store here would race other writers.
-                            let stamp = server.load_doc(doc, parsed);
-                            format!("loaded {doc} version={}", stamp.version)
-                        })
-                }
-                None => Err("LOAD <doc> <path>".into()),
-            },
-            "REMOVE" => {
-                let doc = rest.trim();
-                if doc.is_empty() {
-                    Err("REMOVE <doc>".into())
-                } else if server.remove_doc(doc) {
-                    Ok(format!("removed {doc}"))
-                } else {
-                    Err(format!("unknown document '{doc}'"))
-                }
-            }
-            "STREAM" => match rest.split_once(' ') {
-                Some((doc, query)) => {
-                    // Incremental framing: output leaves as it is
-                    // produced, so the reply is written here instead of
-                    // through the one-shot OK/ERR path below.
-                    match stream_to_client(server, doc.trim(), query, &mut writer) {
-                        Ok(()) => continue,
-                        Err(StreamFailure::Client(e)) => return Err(e),
-                        Err(StreamFailure::Request(msg)) => Err(msg),
-                    }
-                }
-                None => Err("STREAM <doc> <transform…>".into()),
-            },
-            other => Err(format!("unknown verb '{other}'")),
-        };
-        match reply {
-            Ok(body) => {
-                writeln!(writer, "OK {}", body.len())?;
-                writer.write_all(body.as_bytes())?;
-                writer.write_all(b"\n")?;
-            }
-            Err(msg) => writeln!(writer, "ERR {}", msg.replace('\n', " "))?,
-        }
-        writer.flush()?;
-    }
-    Ok(())
-}
-
-/// How a `STREAM` request can fail: a request-level problem is reported
-/// to the client as `ERR`; a client I/O problem tears the connection
-/// down (there is no one left to report to).
-enum StreamFailure {
-    Request(String),
-    Client(std::io::Error),
-}
-
-impl From<std::io::Error> for StreamFailure {
-    fn from(e: std::io::Error) -> StreamFailure {
-        StreamFailure::Client(e)
-    }
-}
-
-/// Runs one `STREAM <doc> <transform…>` request: streams a file-backed
-/// document through a [`xust::serve::StreamingSession`] and ships the
-/// transformed output incrementally as `OUT <len>` frames (each followed
-/// by exactly `len` raw bytes and a newline), ending with `DONE <total>`.
-/// The server never materializes the document; each frame is flushed so
-/// the client reads output while the input is still being parsed.
-fn stream_to_client(
-    server: &Server,
-    doc: &str,
-    query: &str,
-    writer: &mut impl Write,
-) -> Result<(), StreamFailure> {
-    let path = match server.doc_path(doc) {
-        Some(p) => p,
-        None => {
-            return Err(StreamFailure::Request(format!(
-                "STREAM needs a file-backed document; '{doc}' is not one"
-            )))
-        }
-    };
-    let fail = |e: &dyn std::fmt::Display| StreamFailure::Request(e.to_string());
-    let mut session = server.begin_stream(query).map_err(|e| fail(&e))?;
-    let mut parser = SaxParser::from_file(&path).map_err(|e| fail(&e))?;
-    while let Some(ev) = parser.next_event().map_err(|e| fail(&e))? {
-        session.feed(ev).map_err(|e| fail(&e))?;
-    }
-    session.begin_replay().map_err(|e| fail(&e))?;
-
-    // Accumulate output into ≥4 KiB frames: incremental enough for the
-    // client to overlap reading with our parsing, without paying frame
-    // overhead per SAX event.
-    const FRAME: usize = 4096;
-    let mut total = 0usize;
-    let mut pending: Vec<u8> = Vec::with_capacity(2 * FRAME);
-    let mut parser = SaxParser::from_file(&path).map_err(|e| fail(&e))?;
-    let mut ship = |writer: &mut dyn Write, pending: &mut Vec<u8>| -> Result<(), StreamFailure> {
-        if pending.is_empty() {
-            return Ok(());
-        }
-        total += pending.len();
-        writeln!(writer, "OUT {}", pending.len())?;
-        writer.write_all(pending)?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
-        pending.clear();
-        Ok(())
-    };
-    while let Some(ev) = parser.next_event().map_err(|e| fail(&e))? {
-        pending.extend(session.replay(ev).map_err(|e| fail(&e))?);
-        if pending.len() >= FRAME {
-            ship(writer, &mut pending)?;
-        }
-    }
-    let (tail, _) = session.finish().map_err(|e| fail(&e))?;
-    pending.extend(tail);
-    ship(writer, &mut pending)?;
-    writeln!(writer, "DONE {total}")?;
-    writer.flush()?;
-    Ok(())
+    serve_pipelined(server, reader, writer, &PipelineOptions::default())
 }
 
 #[cfg(test)]
@@ -847,6 +692,16 @@ mod tests {
         assert!(o.stats && o.stdio);
         assert!(Opts::parse(&s(&["--doc", "nosign"])).is_err());
         assert!(Opts::parse(&s(&["--view", "=empty"])).is_err());
+    }
+
+    #[test]
+    fn parse_wal_flags() {
+        let o = Opts::parse(&s(&["--wal", "/tmp/x.wal"])).unwrap();
+        assert_eq!(o.wal.as_deref(), Some("/tmp/x.wal"));
+        assert!(!o.no_wal);
+        let o = Opts::parse(&s(&["--wal", "/tmp/x.wal", "--no-wal"])).unwrap();
+        assert!(o.no_wal);
+        assert!(Opts::parse(&s(&["--wal"])).is_err(), "--wal needs a value");
     }
 
     #[test]

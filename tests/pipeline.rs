@@ -1,0 +1,198 @@
+//! Integration tests for the pipelined wire front end.
+//!
+//! The unit tests in `crates/serve/src/pipeline.rs` pin the framing
+//! and batching contract over in-memory transports; these tests drive
+//! the same code over a real TCP socket (the deployment shape: reader
+//! thread + `BufWriter`, `TCP_NODELAY`, client writes a whole burst
+//! before reading a byte) and check the read-your-writes barrier
+//! semantics differentially against the core primitives.
+
+mod common;
+
+use std::io::{BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+use xust::core::{apply_update, parse_multi_transform};
+use xust::serve::{serve_pipelined, PipelineOptions, Server};
+use xust::tree::Document;
+use xust::xpath::eval_path_root;
+
+fn apply_to_reference(reference: &mut Document, update: &str) {
+    let mq = parse_multi_transform(update).unwrap();
+    for (path, op) in &mq.updates {
+        let targets = eval_path_root(reference, path);
+        apply_update(reference, &targets, op);
+    }
+}
+
+/// N requests written before any reply is read → N replies, strictly
+/// in request order, over a real socket. The client sends the whole
+/// burst (including `QUIT`) in one write and only then starts reading;
+/// a blocking one-at-a-time server would deadlock or reorder here.
+#[test]
+fn tcp_burst_of_pipelined_requests_replies_in_order() {
+    const N: usize = 48;
+    let server = Server::builder().threads(2).build();
+    server.load_doc_str("db", "<db><a/><b/></db>").unwrap();
+    server
+        .register_view(
+            "noa",
+            r#"transform copy $a := doc("db") modify do delete $a//a return $a"#,
+        )
+        .unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let (stream, _) = listener.accept().unwrap();
+            stream.set_nodelay(true).unwrap();
+            let reader = BufReader::new(stream.try_clone().unwrap());
+            serve_pipelined(&server, reader, stream, &PipelineOptions::default()).unwrap();
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.set_nodelay(true).unwrap();
+        let mut burst = String::new();
+        for i in 0..N {
+            // Alternate the two read verbs so ordering is observable
+            // beyond "all replies identical".
+            if i % 2 == 0 {
+                burst.push_str("VIEW noa db\n");
+            } else {
+                burst.push_str("QUERY noa db <r>{ for $x in doc(\"db\")//b return $x }</r>\n");
+            }
+        }
+        burst.push_str("QUIT\n");
+        client.write_all(burst.as_bytes()).unwrap();
+        // Only now read: the server must have buffered/processed the
+        // burst without waiting for reply reads.
+        let mut replies = String::new();
+        client.read_to_string(&mut replies).unwrap();
+        let lines: Vec<&str> = replies.lines().collect();
+        assert_eq!(lines.len(), 2 * N, "one OK + one body per request");
+        for i in 0..N {
+            let body = if i % 2 == 0 {
+                "<db><b/></db>"
+            } else {
+                "<r><b/></r>"
+            };
+            assert_eq!(lines[2 * i], format!("OK {}", body.len()), "reply {i}");
+            assert_eq!(lines[2 * i + 1], body, "reply {i}");
+        }
+    });
+}
+
+/// Write verbs are barriers with read-your-writes ordering: every VIEW
+/// pipelined after an UPDATE in the same burst observes that update
+/// (and none of the later ones). Checked differentially against the
+/// core primitives applied to a reference document.
+#[test]
+fn pipelined_updates_and_views_stay_differential() {
+    const XML: &str = "<db><s>1</s><k><s>2</s><t>x</t></k><t>y</t></db>";
+    const VIEW: &str = r#"transform copy $a := doc("db") modify do delete $a//s return $a"#;
+    let updates = [
+        r#"transform copy $a := doc("db") modify do insert <s>3</s> into $a//k return $a"#,
+        r#"transform copy $a := doc("db") modify do rename $a//t as u return $a"#,
+        r#"transform copy $a := doc("db") modify do delete $a//u return $a"#,
+        r#"transform copy $a := doc("db") modify do insert <t>z</t> into $a return $a"#,
+    ];
+    let server = Server::builder().threads(1).shards(1).build();
+    server.load_doc_str("db", XML).unwrap();
+    server.register_view("nos", VIEW).unwrap();
+    let mut reference = Document::parse(XML).unwrap();
+    let view_of = |reference: &Document| {
+        let mut r = reference.clone();
+        let targets = {
+            let mq = parse_multi_transform(VIEW).unwrap();
+            let (path, op) = &mq.updates[0];
+            let t = eval_path_root(&r, path);
+            (t, op.clone())
+        };
+        apply_update(&mut r, &targets.0, &targets.1);
+        r.serialize()
+    };
+    let mut input = String::new();
+    let mut expected = vec![view_of(&reference)];
+    input.push_str("VIEW nos db\n");
+    for u in updates {
+        input.push_str(&format!("UPDATE db {u}\n"));
+        input.push_str("VIEW nos db\n");
+        apply_to_reference(&mut reference, u);
+        expected.push(view_of(&reference));
+    }
+    input.push_str("QUIT\n");
+    let mut out = Vec::new();
+    serve_pipelined(
+        &server,
+        std::io::Cursor::new(input.as_bytes()),
+        &mut out,
+        &PipelineOptions::default(),
+    )
+    .unwrap();
+    let text = String::from_utf8(out).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    // Replies alternate VIEW, (UPDATE, VIEW)*: each reply is an OK
+    // line plus a body line.
+    assert_eq!(lines.len(), 2 * (1 + 2 * updates.len()));
+    let mut at = 0usize;
+    let expect_view = |want: &str, at: &mut usize| {
+        assert_eq!(lines[*at], format!("OK {}", want.len()));
+        assert_eq!(lines[*at + 1], want, "view body diverged from reference");
+        *at += 2;
+    };
+    expect_view(&expected[0], &mut at);
+    for (i, _) in updates.iter().enumerate() {
+        assert!(
+            lines[at].starts_with("OK "),
+            "UPDATE reply {i}: {}",
+            lines[at]
+        );
+        assert!(
+            lines[at + 1].starts_with("updated db"),
+            "UPDATE reply {i}: {}",
+            lines[at + 1]
+        );
+        at += 2;
+        expect_view(&expected[i + 1], &mut at);
+    }
+}
+
+/// Robustness over a socket: an oversized request line gets an `ERR`
+/// (not a dropped connection), and the requests pipelined behind it
+/// still serve after the resync at the next newline.
+#[test]
+fn tcp_oversized_line_replies_err_and_connection_survives() {
+    let server = Server::builder().threads(1).build();
+    server.load_doc_str("db", "<db><a/></db>").unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let opts = PipelineOptions {
+        max_line: 256,
+        ..PipelineOptions::default()
+    };
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let (stream, _) = listener.accept().unwrap();
+            stream.set_nodelay(true).unwrap();
+            let reader = BufReader::new(stream.try_clone().unwrap());
+            serve_pipelined(&server, reader, stream, &opts).unwrap();
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        let long = "TRANSFORM db ".to_string() + &"x".repeat(512) + "\n";
+        let follow =
+            "TRANSFORM db transform copy $a := doc(\"db\") modify do delete $a//zzz return $a\n";
+        client
+            .write_all(format!("{long}{follow}QUIT\n").as_bytes())
+            .unwrap();
+        let mut replies = String::new();
+        client.read_to_string(&mut replies).unwrap();
+        let lines: Vec<&str> = replies.lines().collect();
+        assert!(
+            lines[0].starts_with("ERR request line exceeds"),
+            "oversized line must get an ERR: {}",
+            lines[0]
+        );
+        let body = "<db><a/></db>";
+        assert_eq!(lines[1], format!("OK {}", body.len()));
+        assert_eq!(lines[2], body);
+    });
+}

@@ -1,0 +1,345 @@
+//! Crash-recovery differential suite for the write-ahead log.
+//!
+//! A server with a WAL attached logs every applied `LOAD`/`UPDATE`/
+//! `REMOVE` before replying; a crash loses the in-memory store but not
+//! the log. These tests are differential the same way
+//! `tests/update_maintenance.rs` is: a reference document is maintained
+//! outside the server with the core primitives, the server is dropped
+//! without any shutdown step (the crash), and a fresh server that
+//! replays the log must serve **every** registered view byte-identical
+//! to a full `two_pass` recompute over the reference — replay runs the
+//! normal write paths (including cache maintenance), so recovered
+//! state must be exactly what a live server holds, not merely
+//! equivalent-looking.
+//!
+//! Deterministic companions pin the torn-tail contract: a crash
+//! mid-append drops exactly the torn record, recovery truncates the
+//! garbage so post-recovery writes stay reachable to the *next*
+//! replay, and remove/reload lineages replay in order.
+
+mod common;
+
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+
+use common::{arb_op, build_query_text};
+use xust::core::{apply_update, evaluate, parse_multi_transform, parse_transform, Method};
+use xust::serve::{serve_pipelined, PipelineOptions, Request, Server};
+use xust::tree::Document;
+use xust::xmark::{generate_string, XmarkConfig};
+use xust::xpath::eval_path_root;
+
+/// A spike region with a vocabulary disjoint from the XMark labels and
+/// every registered view's alphabet (same shape as the maintenance
+/// suite): sequences mix retained and recomputed entries, so recovery
+/// is checked across both maintenance outcomes.
+const SPIKE: &str = concat!(
+    "<spike-zone><sa><sc>10</sc></sa>",
+    "<sb><sc>20</sc><zap>x</zap></sb><sa/></spike-zone>"
+);
+
+fn spiked_xmark(seed: u64) -> Document {
+    let base = generate_string(XmarkConfig::new(0.0005).with_seed(seed));
+    let open_end = base.find('>').expect("xmark has a root tag") + 1;
+    let spiked = format!("{}{}{}", &base[..open_end], SPIKE, &base[open_end..]);
+    Document::parse(&spiked).expect("spiked xmark parses")
+}
+
+const VIEWS: [(&str, &[&str]); 3] = [
+    (
+        "noperson",
+        &[r#"transform copy $a := doc("xmark") modify do delete $a//person return $a"#],
+    ),
+    (
+        "kwren",
+        &[r#"transform copy $a := doc("xmark") modify do rename $a//keyword as kw return $a"#],
+    ),
+    (
+        "chain2",
+        &[
+            r#"transform copy $a := doc("xmark") modify do delete $a//emph return $a"#,
+            r#"transform copy $a := doc("xmark") modify do rename $a//bold as b return $a"#,
+        ],
+    ),
+];
+
+fn register_views(server: &Server) {
+    for (name, links) in VIEWS {
+        server.register_view_chain(name, links).unwrap();
+    }
+}
+
+/// Full recompute of a view chain over `base` — the oracle the
+/// recovered server's served bytes must match.
+fn recompute_view(base: &Document, links: &[&str]) -> String {
+    let mut current = base.clone();
+    for link in links {
+        let q = parse_transform(link).unwrap();
+        current = evaluate(&current, &q, Method::TwoPass).unwrap();
+    }
+    current.serialize()
+}
+
+fn apply_to_reference(reference: &mut Document, update: &str) {
+    let mq = parse_multi_transform(update).unwrap();
+    for (path, op) in &mq.updates {
+        let targets = eval_path_root(reference, path);
+        apply_update(reference, &targets, op);
+    }
+}
+
+/// Update target paths: a spike/XMark mix so sequences exercise both
+/// retention and recomputation before the crash.
+const UPDATE_PATHS: [&str; 6] = [
+    "//spike-zone//sa",
+    "//spike-zone/sb[sc]",
+    "//zap",
+    "site/people/person",
+    "//keyword",
+    "//emph",
+];
+
+fn check_all_views(
+    server: &Server,
+    reference: &Document,
+    context: &str,
+) -> Result<(), TestCaseError> {
+    for (name, links) in VIEWS {
+        let served = server
+            .handle(&Request::View {
+                view: name.into(),
+                doc: "xmark".into(),
+            })
+            .unwrap()
+            .body;
+        prop_assert_eq!(
+            &served,
+            &recompute_view(reference, links),
+            "view '{}' diverged from full recompute ({})",
+            name,
+            context
+        );
+    }
+    Ok(())
+}
+
+/// A per-test WAL path; each proptest case removes it first so cases
+/// never replay each other's history.
+fn wal_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("xust-recovery-{tag}-{}.wal", std::process::id()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The core crash-recovery property: load + random update sequence
+    /// with a WAL attached, crash (drop without shutdown), replay onto
+    /// a fresh server — every registered view is byte-identical to a
+    /// full recompute over the independently maintained reference.
+    #[test]
+    fn replayed_wal_yields_views_byte_identical_to_recompute(
+        seed in 0u64..16,
+        updates in prop::collection::vec((0..UPDATE_PATHS.len(), arb_op()), 1..4),
+    ) {
+        let path = wal_path("differential");
+        let _ = std::fs::remove_file(&path);
+        let base = spiked_xmark(seed);
+        let mut reference = base.clone();
+        {
+            let server = Server::builder().threads(2).shards(1).build();
+            let recovery = server.attach_wal(&path).unwrap();
+            prop_assert_eq!(recovery.applied, 0);
+            server.load_doc("xmark", base.clone());
+            register_views(&server);
+            // Warm the cache so the writes maintain real entries.
+            check_all_views(&server, &reference, "before any write")?;
+            for &(path_idx, op) in &updates {
+                let text = build_query_text("xmark", UPDATE_PATHS[path_idx], op);
+                server.update_doc("xmark", &text).unwrap();
+                apply_to_reference(&mut reference, &text);
+            }
+            // The crash: the server drops here with no shutdown step.
+        }
+        let recovered = Server::builder().threads(2).shards(1).build();
+        register_views(&recovered);
+        let recovery = recovered.attach_wal(&path).unwrap();
+        prop_assert!(!recovery.truncated);
+        // One Load record plus one Update record per applied write.
+        prop_assert_eq!(recovery.applied, 1 + updates.len());
+        check_all_views(&recovered, &reference, "after crash recovery")?;
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn torn_tail_recovery_drops_only_the_torn_record_and_stays_appendable() {
+    let path = wal_path("torn");
+    let _ = std::fs::remove_file(&path);
+    let base = spiked_xmark(3);
+    let mut reference = base.clone();
+    let first = r#"transform copy $a := doc("xmark") modify do rename $a//zap as rn return $a"#;
+    let second = r#"transform copy $a := doc("xmark") modify do delete $a//keyword return $a"#;
+    {
+        let server = Server::builder().threads(1).shards(1).build();
+        server.attach_wal(&path).unwrap();
+        server.load_doc("xmark", base.clone());
+        server.update_doc("xmark", first).unwrap();
+        server.update_doc("xmark", second).unwrap();
+    }
+    // Crash mid-append: the last frame loses its final bytes, so only
+    // the `second` update is torn — Load and `first` stay intact.
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+    apply_to_reference(&mut reference, first);
+
+    let recovered = Server::builder().threads(1).shards(1).build();
+    register_views(&recovered);
+    let recovery = recovered.attach_wal(&path).unwrap();
+    assert!(recovery.truncated, "the chopped tail must be reported");
+    assert_eq!(recovery.applied, 2, "Load + first update survive");
+    for (name, links) in VIEWS {
+        let served = recovered
+            .handle(&Request::View {
+                view: name.into(),
+                doc: "xmark".into(),
+            })
+            .unwrap()
+            .body;
+        assert_eq!(
+            served,
+            recompute_view(&reference, links),
+            "view '{name}' after torn-tail recovery"
+        );
+    }
+    // Recovery truncated the garbage, so post-recovery writes land on
+    // the intact prefix and are reachable to the NEXT replay — without
+    // the truncation this write would vanish behind the torn frame.
+    recovered.update_doc("xmark", second).unwrap();
+    apply_to_reference(&mut reference, second);
+    let third = Server::builder().threads(1).shards(1).build();
+    register_views(&third);
+    let recovery = third.attach_wal(&path).unwrap();
+    assert!(!recovery.truncated, "the garbage tail is gone for good");
+    assert_eq!(recovery.applied, 3);
+    for (name, links) in VIEWS {
+        let served = third
+            .handle(&Request::View {
+                view: name.into(),
+                doc: "xmark".into(),
+            })
+            .unwrap()
+            .body;
+        assert_eq!(
+            served,
+            recompute_view(&reference, links),
+            "view '{name}' after second recovery"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn remove_and_reload_lineages_replay_in_order() {
+    let path = wal_path("lineage");
+    let _ = std::fs::remove_file(&path);
+    {
+        let server = Server::builder().threads(1).shards(1).build();
+        server.attach_wal(&path).unwrap();
+        server.load_doc_str("keep", "<keep><a/></keep>").unwrap();
+        server.load_doc_str("gone", "<gone/>").unwrap();
+        assert!(server.try_remove_doc("gone").unwrap());
+        // Reload under the same name: the replayed store must hold the
+        // LAST lineage's content, not the first.
+        server.load_doc_str("keep", "<keep><b/></keep>").unwrap();
+        server
+            .update_doc(
+                "keep",
+                r#"transform copy $a := doc("keep") modify do insert <c/> into $a return $a"#,
+            )
+            .unwrap();
+    }
+    let recovered = Server::builder().threads(1).shards(1).build();
+    let recovery = recovered.attach_wal(&path).unwrap();
+    assert!(!recovery.truncated);
+    assert_eq!(recovery.applied, 5, "2 loads + remove + reload + update");
+    assert!(
+        recovered.store().get("gone").is_none(),
+        "a removed document must stay removed through replay"
+    );
+    let served = recovered
+        .handle(&Request::Transform {
+            doc: "keep".into(),
+            query: r#"transform copy $a := doc("keep") modify do delete $a//zzz return $a"#.into(),
+        })
+        .unwrap()
+        .body;
+    assert_eq!(served, "<keep><b/><c/></keep>");
+    let _ = std::fs::remove_file(&path);
+}
+
+/// End-to-end: a pipelined burst carrying UPDATE barriers is served
+/// through the wire front end with a WAL attached, the server crashes,
+/// and recovery reproduces the views — ties the pipelined write path
+/// (verbs dispatched by `serve_pipelined`, not direct API calls) to
+/// the durability layer.
+#[test]
+fn pipelined_wire_updates_survive_a_crash() {
+    let path = wal_path("pipelined");
+    let _ = std::fs::remove_file(&path);
+    let base = spiked_xmark(9);
+    let mut reference = base.clone();
+    let updates = [
+        r#"transform copy $a := doc("xmark") modify do insert <ins k="1"><t>v</t></ins> into $a//spike-zone/sb return $a"#,
+        r#"transform copy $a := doc("xmark") modify do rename $a//keyword as kw2 return $a"#,
+        r#"transform copy $a := doc("xmark") modify do delete $a//spike-zone/sa[sc] return $a"#,
+    ];
+    {
+        let server = Server::builder().threads(2).shards(1).build();
+        server.attach_wal(&path).unwrap();
+        server.load_doc("xmark", base.clone());
+        register_views(&server);
+        let mut input = String::new();
+        for u in updates {
+            input.push_str(&format!("UPDATE xmark {u}\n"));
+            input.push_str("VIEW noperson xmark\n");
+        }
+        input.push_str("QUIT\n");
+        let mut out = Vec::new();
+        serve_pipelined(
+            &server,
+            std::io::Cursor::new(input.as_bytes()),
+            &mut out,
+            &PipelineOptions::default(),
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(
+            text.matches("updated xmark").count(),
+            updates.len(),
+            "every wire UPDATE must apply: {text}"
+        );
+    }
+    for u in updates {
+        apply_to_reference(&mut reference, u);
+    }
+    let recovered = Server::builder().threads(2).shards(1).build();
+    register_views(&recovered);
+    let recovery = recovered.attach_wal(&path).unwrap();
+    assert_eq!(recovery.applied, 1 + updates.len());
+    for (name, links) in VIEWS {
+        let served = recovered
+            .handle(&Request::View {
+                view: name.into(),
+                doc: "xmark".into(),
+            })
+            .unwrap()
+            .body;
+        assert_eq!(
+            served,
+            recompute_view(&reference, links),
+            "view '{name}' after pipelined-write recovery"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
