@@ -147,6 +147,31 @@ pub fn value_alphabet_into(path: &Path, out: &mut LabelSet) {
     }
 }
 
+/// The *qualifier anchor alphabet* of a path: the label of every step
+/// that carries a qualifier (the node the qualifier's truth is
+/// evaluated **at**). Wildcard and descendant anchors mark the wildcard
+/// bit — any label can anchor them.
+///
+/// This is the eligibility test for in-place result patching
+/// ([`crate::patch`]): an update can flip a qualifier verdict only at
+/// ancestors-or-self of its targets (qualifier inputs are string values
+/// and labels, both of which propagate changes upward only). Every such
+/// ancestor lies on an update-site chain, so when the chain labels are
+/// disjoint from this set, no selection decision *outside* the patched
+/// regions can have changed.
+pub fn qualifier_anchor_alphabet_into(path: &Path, out: &mut LabelSet) {
+    for step in &path.steps {
+        if step.qualifier.is_some() {
+            match &step.kind {
+                xust_xpath::StepKind::Label(l) => out.insert(intern(l)),
+                xust_xpath::StepKind::Wildcard | xust_xpath::StepKind::Descendant => {
+                    out.mark_wildcard()
+                }
+            }
+        }
+    }
+}
+
 /// Every element label in `frag` (the constant element of an insert or
 /// replace).
 pub fn fragment_labels_into(frag: &Document, out: &mut LabelSet) {
@@ -434,6 +459,28 @@ mod tests {
             syms(&t.structural, &["s", "b", "qqq"]),
             [true, false, false]
         );
+    }
+
+    #[test]
+    fn qualifier_anchor_alphabet_marks_anchors_only() {
+        let mut out = LabelSet::new();
+        qualifier_anchor_alphabet_into(
+            &parse_path("site/people/person[name = 'x']/address").unwrap(),
+            &mut out,
+        );
+        assert_eq!(
+            syms(&out, &["person", "site", "people", "name", "address"]),
+            [true, false, false, false, false]
+        );
+        assert!(!out.has_wildcard());
+        // No qualifiers at all: empty — always patch-eligible.
+        let mut none = LabelSet::new();
+        qualifier_anchor_alphabet_into(&parse_path("//person/name").unwrap(), &mut none);
+        assert!(none.is_empty());
+        // Descendant-step anchor: any label could anchor it.
+        let mut wild = LabelSet::new();
+        qualifier_anchor_alphabet_into(&parse_path("a//*[b = '1']").unwrap(), &mut wild);
+        assert!(wild.has_wildcard());
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod multi;
 pub mod multi_sax;
 pub mod multi_view;
 pub mod naive;
+pub mod patch;
 pub mod prepared;
 pub mod query;
 pub mod sax2pass;
@@ -53,8 +54,9 @@ pub mod twopass;
 pub use bottomup::{bottom_up, Annotations};
 pub use copy_update::{apply_update, copy_update};
 pub use delta::{
-    fragment_labels_into, op_alphabet_into, path_alphabet_into, qualifier_label_tests_into,
-    touched_labels_into, update_alphabet, value_alphabet_into, RenameMapping, TouchedLabels,
+    fragment_labels_into, op_alphabet_into, path_alphabet_into, qualifier_anchor_alphabet_into,
+    qualifier_label_tests_into, touched_labels_into, update_alphabet, value_alphabet_into,
+    RenameMapping, TouchedLabels,
 };
 pub use engine::{evaluate, evaluate_str, Method, TransformError};
 pub use multi::{
@@ -67,6 +69,7 @@ pub use multi_sax::{
 };
 pub use multi_view::{multi_view, multi_view_with_stats, MultiViewStats, SharedViewResult};
 pub use naive::{naive_direct, naive_xquery, rewrite_to_xquery};
+pub use patch::{site_chain, Collapse, FragmentTree, Localized, PatchOutcome};
 pub use prepared::{CompiledTransform, QueryCost};
 pub use query::{parse_transform, InsertPos, TransformParseError, TransformQuery, UpdateOp};
 pub use sax2pass::{

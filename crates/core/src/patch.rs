@@ -1,0 +1,961 @@
+//! Provenance-annotated fragment trees and in-place result patching —
+//! the third maintenance fate between "retain" and "recompute".
+//!
+//! A materialized view result is a function of the base document: every
+//! result subtree was produced by `topDown`'s recursion over exactly one
+//! base subtree, carrying a selecting-NFA state set into it. A
+//! [`FragmentTree`] records that provenance — which base node (`src`)
+//! produced which result nodes (`dst`), and the automaton states that
+//! were live *before* consuming the base node's label — for a spine of
+//! large subtrees, leaving small subtrees as opaque leaves.
+//!
+//! When a later update touches the base document, the write path can
+//! **localize** the update's target set against the provenance map
+//! ([`FragmentTree::localize`]): walk each target's ancestor-or-self
+//! chain to the deepest recorded fragment, re-run the view *only under
+//! those base subtrees* with the stored state sets
+//! ([`FragmentTree::patch`]), and splice the freshly produced result
+//! nodes over the stale ones. Everything outside the chosen fragments is
+//! untouched — including its memoized serialization bytes, so a patched
+//! result re-serializes only the changed fragments
+//! ([`FragmentTree::assemble`]).
+//!
+//! Soundness of splicing only under the chosen fragments rests on two
+//! observations, both enforced by the caller (`xust-serve`):
+//!
+//! * the automaton state reached at a node depends only on the labels
+//!   and qualifier verdicts along its root path. An update changes
+//!   labels only inside the chosen fragments, so stored state sets at
+//!   surviving fragments remain valid;
+//! * qualifier *truth* can flip only at ancestors-or-self of the
+//!   update's targets (string values propagate upward). Every such
+//!   ancestor's label is in the update's guard set, so the caller
+//!   requires `guard ∩ view qualifier-anchor alphabet = ∅` (see
+//!   [`crate::delta::qualifier_anchor_alphabet_into`]) before patching.
+//!
+//! Construction is conservative: any shape the alignment model does not
+//! cover exactly (selected root, ε path, consumption mismatch) yields no
+//! tree, and the entry simply behaves as before (flat body, retain or
+//! recompute). Differential fuzzers in `tests/update_maintenance.rs`
+//! hold patched entries byte-identical to full recompute.
+
+use std::collections::{HashMap, HashSet};
+
+use xust_automata::{SelectingNfa, StateSet};
+use xust_tree::{Document, NodeId, NodeKind};
+use xust_xpath::eval_qualifier;
+
+use crate::query::{InsertPos, TransformQuery, UpdateOp};
+
+/// Upper bound on direct child fragments of one interior fragment: a
+/// node with more children than this stays a leaf (index size and
+/// alignment cost stay bounded on pathologically wide documents).
+pub const MAX_CHILD_FRAGS: usize = 1024;
+
+/// One provenance fragment: the base subtree at `src` produced the
+/// result nodes `dst` (0, 1, or 2 of them — a deleted subtree produces
+/// none, a selected sibling-insert produces two).
+#[derive(Debug, Clone)]
+struct Fragment {
+    /// Base-document node whose recursion produced this fragment.
+    src: NodeId,
+    /// Result-document nodes it produced, in sibling order.
+    dst: Vec<NodeId>,
+    /// Selecting-NFA states live *before* consuming `src`'s label — the
+    /// set `topDown` passed into `rec(src, s)`. Re-evaluation resumes
+    /// from exactly here.
+    states: StateSet,
+    /// Child fragments (interior fragments only), in base child order.
+    children: Vec<usize>,
+    /// Parent fragment (`None` for the root fragment).
+    parent: Option<usize>,
+    /// Memoized serialization of `dst` (leaves only; invalidated by
+    /// patches and collapses touching this fragment).
+    bytes: Option<String>,
+    /// Base-subtree node count at recording time (patch-vs-recompute
+    /// threshold input).
+    size: u32,
+    /// True when `children` exhaustively tile `dst[0]`'s children.
+    interior: bool,
+}
+
+/// Outcome of localizing update-site chains against the provenance map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Localized {
+    /// The disjoint set of deepest covering fragments (indices).
+    Fragments(Vec<usize>),
+    /// A chain resolved to the root fragment: the affected span is the
+    /// whole result — fall back to recompute.
+    Root,
+}
+
+/// Outcome of a collapse repair along one chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Collapse {
+    /// The covering fragment was collapsed to an opaque leaf.
+    Done,
+    /// The chain resolved to the root fragment: the whole tree is
+    /// stale — the caller must drop it.
+    RootHit,
+}
+
+/// What [`FragmentTree::patch`] did.
+#[derive(Debug, Clone, Default)]
+pub struct PatchOutcome {
+    /// Base nodes the view's update selected inside the re-evaluated
+    /// regions (post-apply ids) — for folding into the entry's
+    /// touched-label footprint.
+    pub targets: Vec<NodeId>,
+    /// Number of fragments spliced.
+    pub fragments: usize,
+}
+
+struct Misaligned;
+
+/// See the module docs.
+pub struct FragmentTree {
+    /// Slot map of fragments; slot 0 is always the root fragment.
+    frags: Vec<Option<Fragment>>,
+    free: Vec<usize>,
+    /// `base node → fragment` for every fragment root (unique per live
+    /// fragment). Localization and base-side collapse repair walk this.
+    src_index: HashMap<NodeId, usize>,
+    /// `result node → fragment` for every produced dst root. Result-side
+    /// collapse repair (retained delta replays mutate the cached result
+    /// tree) walks this.
+    dst_index: HashMap<NodeId, usize>,
+    /// Base subtrees of at most this many nodes stay opaque leaves.
+    leaf_limit: usize,
+}
+
+impl FragmentTree {
+    /// Records the provenance of `result = q(base)` as a fragment tree,
+    /// descending only into base subtrees larger than `leaf_limit`.
+    /// `nfa` must be the selecting NFA compiled from `q.path`. Returns
+    /// `None` for shapes the alignment model does not cover (ε path,
+    /// selected root under a non-rename op, empty documents, alignment
+    /// mismatch) — the caller keeps serving from the flat body.
+    pub fn build(
+        base: &Document,
+        result: &Document,
+        q: &TransformQuery,
+        nfa: &SelectingNfa,
+        leaf_limit: usize,
+    ) -> Option<FragmentTree> {
+        if q.path.is_empty() {
+            return None; // ε path: the root op is special-cased upstream
+        }
+        let broot = base.root()?;
+        let rroot = result.root()?;
+        let root_label = base.name_sym(broot)?;
+        let init = nfa.initial();
+        let s_after = nfa.next_states(&init, root_label, |_, qual| {
+            eval_qualifier(base, broot, qual)
+        });
+        if s_after.is_empty() {
+            return None; // wholesale copy: one giant leaf would be useless
+        }
+        if s_after.contains(nfa.final_state) && !matches!(q.op, UpdateOp::Rename { .. }) {
+            return None; // selected root shifts child alignment (or empties the doc)
+        }
+        if base.children(broot).count() > MAX_CHILD_FRAGS {
+            return None;
+        }
+        let sizes = subtree_sizes(base);
+        let mut t = FragmentTree {
+            frags: Vec::new(),
+            free: Vec::new(),
+            src_index: HashMap::new(),
+            dst_index: HashMap::new(),
+            leaf_limit: leaf_limit.max(1),
+        };
+        let root = t.alloc(Fragment {
+            src: broot,
+            dst: vec![rroot],
+            states: init,
+            children: Vec::new(),
+            parent: None,
+            bytes: None,
+            size: sizes[broot.index()],
+            interior: false,
+        });
+        debug_assert_eq!(root, 0);
+        let sz = |n: NodeId| sizes[n.index()];
+        let mut created = Vec::new();
+        if t.align_children(base, result, q, nfa, &sz, root, &s_after, &mut created)
+            .is_err()
+        {
+            return None;
+        }
+        Some(t)
+    }
+
+    fn frag(&self, i: usize) -> &Fragment {
+        self.frags[i].as_ref().expect("live fragment")
+    }
+
+    fn frag_mut(&mut self, i: usize) -> &mut Fragment {
+        self.frags[i].as_mut().expect("live fragment")
+    }
+
+    /// Live fragments right now (root included).
+    pub fn fragment_count(&self) -> usize {
+        self.frags.len() - self.free.len()
+    }
+
+    fn alloc(&mut self, f: Fragment) -> usize {
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.frags[i] = Some(f);
+                i
+            }
+            None => {
+                self.frags.push(Some(f));
+                self.frags.len() - 1
+            }
+        };
+        let (src, dsts) = {
+            let f = self.frag(i);
+            (f.src, f.dst.clone())
+        };
+        self.src_index.insert(src, i);
+        for d in dsts {
+            self.dst_index.insert(d, i);
+        }
+        i
+    }
+
+    /// Frees one fragment slot, dropping its index entries. The caller
+    /// owns the parent's `children` bookkeeping.
+    fn release(&mut self, i: usize) {
+        let Some(f) = self.frags[i].take() else {
+            return;
+        };
+        self.src_index.remove(&f.src);
+        for d in &f.dst {
+            self.dst_index.remove(d);
+        }
+        self.free.push(i);
+    }
+
+    /// Frees the whole fragment subtree under `i` (including `i`).
+    fn release_subtree(&mut self, i: usize) {
+        let children = match &self.frags[i] {
+            Some(f) => f.children.clone(),
+            None => return,
+        };
+        for c in children {
+            self.release_subtree(c);
+        }
+        self.release(i);
+    }
+
+    /// Frees every descendant fragment of `i`, leaving `i` itself as an
+    /// opaque leaf.
+    fn free_children(&mut self, i: usize) {
+        let children = std::mem::take(&mut self.frag_mut(i).children);
+        for c in children {
+            self.release_subtree(c);
+        }
+        let f = self.frag_mut(i);
+        f.interior = false;
+        f.bytes = None;
+    }
+
+    /// Lockstep alignment of the base children of fragment `fi`'s `src`
+    /// with the result children of its single `dst`, creating one child
+    /// fragment per base child and recursing into eligible subtrees.
+    /// `s_after` is the state set *after* consuming `src`'s label (what
+    /// `topDown` passed to every child). On `Err` the caller rolls back
+    /// via `created` — the fragment model did not reproduce the result's
+    /// actual shape, so no provenance is recorded below `fi`.
+    #[allow(clippy::too_many_arguments)]
+    fn align_children(
+        &mut self,
+        base: &Document,
+        result: &Document,
+        q: &TransformQuery,
+        nfa: &SelectingNfa,
+        sizes: &dyn Fn(NodeId) -> u32,
+        fi: usize,
+        s_after: &StateSet,
+        created: &mut Vec<usize>,
+    ) -> Result<(), Misaligned> {
+        let src = self.frag(fi).src;
+        let m = self.frag(fi).dst[0];
+        let mut rchild = result.first_child(m);
+        let bchildren: Vec<NodeId> = base.children(src).collect();
+        let mut kids: Vec<usize> = Vec::with_capacity(bchildren.len());
+        for c in bchildren {
+            match base.kind(c) {
+                NodeKind::Text(_) => {
+                    // Text copies through: consumes exactly one result
+                    // child, which must itself be text.
+                    let rc = rchild.ok_or(Misaligned)?;
+                    if !result.is_text(rc) {
+                        return Err(Misaligned);
+                    }
+                    rchild = result.next_sibling(rc);
+                    let ci = self.alloc(Fragment {
+                        src: c,
+                        dst: vec![rc],
+                        states: s_after.clone(),
+                        children: Vec::new(),
+                        parent: Some(fi),
+                        bytes: None,
+                        size: 1,
+                        interior: false,
+                    });
+                    created.push(ci);
+                    kids.push(ci);
+                }
+                NodeKind::Element { name, .. } => {
+                    let label = *name;
+                    let s_c =
+                        nfa.next_states(s_after, label, |_, qual| eval_qualifier(base, c, qual));
+                    let (count, selected) = produced_count(&s_c, nfa, &q.op);
+                    let mut dsts = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        let rc = rchild.ok_or(Misaligned)?;
+                        dsts.push(rc);
+                        rchild = result.next_sibling(rc);
+                    }
+                    let ci = self.alloc(Fragment {
+                        src: c,
+                        dst: dsts,
+                        states: s_after.clone(),
+                        children: Vec::new(),
+                        parent: Some(fi),
+                        bytes: None,
+                        size: sizes(c),
+                        interior: false,
+                    });
+                    created.push(ci);
+                    kids.push(ci);
+                    let descend = count == 1
+                        && !s_c.is_empty()
+                        && (!selected || matches!(q.op, UpdateOp::Rename { .. }))
+                        && sizes(c) as usize > self.leaf_limit
+                        && base.children(c).count() <= MAX_CHILD_FRAGS;
+                    if descend {
+                        self.align_children(base, result, q, nfa, sizes, ci, &s_c, created)?;
+                    }
+                }
+            }
+        }
+        if rchild.is_some() {
+            return Err(Misaligned); // result has children the model did not predict
+        }
+        let f = self.frag_mut(fi);
+        f.children = kids;
+        f.interior = true;
+        Ok(())
+    }
+
+    /// Resolves each update-site chain (deepest-first ancestor-or-self
+    /// base node ids) to its deepest covering fragment, deduplicated and
+    /// reduced to a disjoint set (a fragment covered by another chosen
+    /// fragment is dropped).
+    pub fn localize(&self, chains: &[Vec<NodeId>]) -> Localized {
+        let mut chosen: Vec<usize> = Vec::new();
+        for chain in chains {
+            let Some(f) = chain.iter().find_map(|n| self.src_index.get(n).copied()) else {
+                return Localized::Root; // unmapped chain: treat as whole-tree
+            };
+            if f == 0 {
+                return Localized::Root;
+            }
+            if !chosen.contains(&f) {
+                chosen.push(f);
+            }
+        }
+        let set: HashSet<usize> = chosen.iter().copied().collect();
+        chosen.retain(|&f| {
+            let mut p = self.frag(f).parent;
+            while let Some(pp) = p {
+                if set.contains(&pp) {
+                    return false;
+                }
+                p = self.frag(pp).parent;
+            }
+            true
+        });
+        Localized::Fragments(chosen)
+    }
+
+    /// Total recorded base-subtree size of the chosen fragments — the
+    /// affected-span estimate the patch-vs-recompute threshold compares
+    /// against the document size.
+    pub fn cost(&self, chosen: &[usize]) -> u64 {
+        chosen.iter().map(|&f| self.frag(f).size as u64).sum()
+    }
+
+    /// Re-evaluates the view under each chosen fragment against the
+    /// post-update `base` and splices the produced result nodes into
+    /// `out` (the cached result document) over the stale ones. `chosen`
+    /// must come from [`FragmentTree::localize`] on this tree. `q`/`nfa`
+    /// are the view's transform and its selecting NFA.
+    pub fn patch(
+        &mut self,
+        base: &Document,
+        out: &mut Document,
+        q: &TransformQuery,
+        nfa: &SelectingNfa,
+        chosen: &[usize],
+    ) -> PatchOutcome {
+        let mut outcome = PatchOutcome {
+            targets: Vec::new(),
+            fragments: chosen.len(),
+        };
+        for &fi in chosen {
+            self.patch_one(base, out, q, nfa, fi, &mut outcome.targets);
+        }
+        outcome
+    }
+
+    fn patch_one(
+        &mut self,
+        base: &Document,
+        out: &mut Document,
+        q: &TransformQuery,
+        nfa: &SelectingNfa,
+        fi: usize,
+        targets: &mut Vec<NodeId>,
+    ) {
+        self.free_children(fi);
+        let (src, states, parent, old_dsts) = {
+            let f = self.frag(fi);
+            (
+                f.src,
+                f.states.clone(),
+                f.parent.expect("root is never patched"),
+                f.dst.clone(),
+            )
+        };
+        for d in &old_dsts {
+            self.dst_index.remove(d);
+        }
+        // Splice anchor, resolved before the result tree changes: in
+        // front of the stale nodes when there are any, else in front of
+        // the next sibling fragment that still has live output, else at
+        // the end of the parent's element.
+        enum Anchor {
+            Before(NodeId),
+            Append(NodeId),
+        }
+        let anchor = match old_dsts.first() {
+            Some(&d0) => Anchor::Before(d0),
+            None => {
+                let p = self.frag(parent);
+                let pos = p
+                    .children
+                    .iter()
+                    .position(|&c| c == fi)
+                    .expect("fragment is its parent's child");
+                let next_live = p.children[pos + 1..]
+                    .iter()
+                    .find_map(|&g| self.frag(g).dst.first().copied());
+                match next_live {
+                    Some(d) => Anchor::Before(d),
+                    None => Anchor::Append(p.dst[0]),
+                }
+            }
+        };
+        let produced = reeval(base, out, nfa, &q.op, src, &states, targets);
+        for &pnode in &produced {
+            match anchor {
+                Anchor::Before(a) => out.insert_before(a, pnode),
+                Anchor::Append(pd) => out.append_child(pd, pnode),
+            }
+        }
+        for &d in &old_dsts {
+            out.delete(d);
+        }
+        let rsizes = region_sizes(base, src);
+        {
+            let f = self.frag_mut(fi);
+            f.dst = produced.clone();
+            f.bytes = None;
+            f.size = rsizes.get(&src).copied().unwrap_or(1);
+        }
+        for &d in &produced {
+            self.dst_index.insert(d, fi);
+        }
+        // Rebuild provenance below the fresh region where worthwhile, so
+        // repeated writes into the same area stay localized.
+        let label = base.name_sym(src).expect("fragment srcs are elements");
+        let s_after = nfa.next_states(&states, label, |_, qual| eval_qualifier(base, src, qual));
+        let selected = s_after.contains(nfa.final_state);
+        let descend = produced.len() == 1
+            && !s_after.is_empty()
+            && (!selected || matches!(q.op, UpdateOp::Rename { .. }))
+            && self.frag(fi).size as usize > self.leaf_limit
+            && base.children(src).count() <= MAX_CHILD_FRAGS;
+        if descend {
+            let sz = |n: NodeId| rsizes.get(&n).copied().unwrap_or(1);
+            let mut created = Vec::new();
+            if self
+                .align_children(base, out, q, nfa, &sz, fi, &s_after, &mut created)
+                .is_err()
+            {
+                for &ci in created.iter().rev() {
+                    self.release(ci);
+                }
+                let f = self.frag_mut(fi);
+                f.children.clear();
+                f.interior = false;
+            }
+        }
+    }
+
+    /// Base-side collapse repair: after a *retained* write replayed its
+    /// delta, every fragment whose recorded base subtree covers an
+    /// update site has stale provenance below it. Collapses the deepest
+    /// covering fragment of `chain` (deepest-first pre-apply base ids)
+    /// to an opaque leaf.
+    pub fn collapse_src(&mut self, chain: &[NodeId]) -> Collapse {
+        let Some(fi) = chain.iter().find_map(|n| self.src_index.get(n).copied()) else {
+            return Collapse::RootHit;
+        };
+        if fi == 0 {
+            return Collapse::RootHit;
+        }
+        self.free_children(fi);
+        Collapse::Done
+    }
+
+    /// Result-side collapse repair: the retained delta replay also
+    /// edited the cached result document, invalidating dst ids and
+    /// memoized bytes under the replay's own target chains (deepest-
+    /// first pre-replay result ids).
+    pub fn collapse_dst(&mut self, chain: &[NodeId]) -> Collapse {
+        let Some(fi) = chain.iter().find_map(|n| self.dst_index.get(n).copied()) else {
+            return Collapse::RootHit;
+        };
+        if fi == 0 {
+            return Collapse::RootHit;
+        }
+        self.free_children(fi);
+        Collapse::Done
+    }
+
+    /// Serializes the whole result by walking the fragment tree:
+    /// interior fragments emit live start/end tags, leaves emit their
+    /// memoized bytes (serialized from `doc` on first use). Unchanged
+    /// fragments are never re-serialized across patches.
+    pub fn assemble(&mut self, doc: &Document) -> String {
+        let mut out = String::new();
+        self.write_frag(0, doc, &mut out);
+        out
+    }
+
+    fn write_frag(&mut self, i: usize, doc: &Document, out: &mut String) {
+        if self.frag(i).interior {
+            let d = self.frag(i).dst[0];
+            doc.write_start_tag_into(d, out);
+            if doc.first_child(d).is_none() {
+                out.push_str("/>");
+                return;
+            }
+            out.push('>');
+            let children = self.frag(i).children.clone();
+            for c in children {
+                self.write_frag(c, doc, out);
+            }
+            doc.write_end_tag_into(d, out);
+        } else {
+            if self.frag(i).bytes.is_none() {
+                let mut b = String::new();
+                for d in self.frag(i).dst.clone() {
+                    b.push_str(&doc.serialize_subtree(d));
+                }
+                self.frag_mut(i).bytes = Some(b);
+            }
+            out.push_str(self.frag(i).bytes.as_deref().expect("just memoized"));
+        }
+    }
+}
+
+/// The deepest-first ancestor-or-self chain of `n` — the shape
+/// [`FragmentTree::localize`], [`FragmentTree::collapse_src`] and
+/// [`FragmentTree::collapse_dst`] consume.
+pub fn site_chain(doc: &Document, n: NodeId) -> Vec<NodeId> {
+    let mut chain = vec![n];
+    chain.extend(doc.ancestors(n));
+    chain
+}
+
+/// How many result nodes `topDown` produces for a base child reached
+/// with states `s_c` (post-consumption), and whether it is selected.
+fn produced_count(s_c: &StateSet, nfa: &SelectingNfa, op: &UpdateOp) -> (usize, bool) {
+    if s_c.is_empty() {
+        return (1, false); // pruned wholesale copy
+    }
+    if !s_c.contains(nfa.final_state) {
+        return (1, false);
+    }
+    let count = match op {
+        UpdateOp::Delete => 0,
+        UpdateOp::Replace { elem } => usize::from(elem.root().is_some()),
+        UpdateOp::Insert { elem, pos } if pos.is_sibling() => {
+            1 + usize::from(elem.root().is_some())
+        }
+        _ => 1, // rename / into-inserts keep one node
+    };
+    (count, true)
+}
+
+/// Re-evaluates the view under base node `n` with pre-consumption
+/// states `s`, producing into `out` — a faithful replica of `topDown`'s
+/// `rec` (Fig. 3), including the empty-state-set wholesale-copy pruning
+/// and the sibling-insert wrapping. Selected base nodes are appended to
+/// `targets`.
+fn reeval(
+    base: &Document,
+    out: &mut Document,
+    nfa: &SelectingNfa,
+    op: &UpdateOp,
+    n: NodeId,
+    s: &StateSet,
+    targets: &mut Vec<NodeId>,
+) -> Vec<NodeId> {
+    let label = match base.kind(n) {
+        NodeKind::Text(t) => return vec![out.create_text(t.clone())],
+        NodeKind::Element { name, .. } => *name,
+    };
+    let s_next = nfa.next_states(s, label, |_, qual| eval_qualifier(base, n, qual));
+    if s_next.is_empty() {
+        return vec![out.deep_copy_from(base, n)];
+    }
+    let selected = s_next.contains(nfa.final_state);
+    if selected {
+        targets.push(n);
+        match op {
+            UpdateOp::Delete => return Vec::new(),
+            UpdateOp::Replace { elem } => {
+                return match elem.root() {
+                    Some(r) => vec![out.deep_copy_from(elem, r)],
+                    None => Vec::new(),
+                };
+            }
+            _ => {}
+        }
+    }
+    let name = match (selected, op) {
+        (true, UpdateOp::Rename { name }) => *name,
+        _ => label,
+    };
+    let node = out.create_element_with_attrs(name, base.attrs(n).to_vec());
+    if selected {
+        if let UpdateOp::Insert {
+            elem,
+            pos: InsertPos::FirstInto,
+        } = op
+        {
+            if let Some(r) = elem.root() {
+                let copy = out.deep_copy_from(elem, r);
+                out.append_child(node, copy);
+            }
+        }
+    }
+    let children: Vec<NodeId> = base.children(n).collect();
+    for c in children {
+        for p in reeval(base, out, nfa, op, c, &s_next, targets) {
+            out.append_child(node, p);
+        }
+    }
+    if selected {
+        if let UpdateOp::Insert {
+            elem,
+            pos: InsertPos::LastInto,
+        } = op
+        {
+            if let Some(r) = elem.root() {
+                let copy = out.deep_copy_from(elem, r);
+                out.append_child(node, copy);
+            }
+        }
+        if let UpdateOp::Insert { elem, pos } = op {
+            if pos.is_sibling() {
+                if let Some(r) = elem.root() {
+                    let copy = out.deep_copy_from(elem, r);
+                    return match pos {
+                        InsertPos::Before => vec![copy, node],
+                        InsertPos::After => vec![node, copy],
+                        _ => unreachable!("is_sibling() covers Before/After only"),
+                    };
+                }
+            }
+        }
+    }
+    vec![node]
+}
+
+/// Subtree node counts for every live node, indexed by arena slot.
+fn subtree_sizes(doc: &Document) -> Vec<u32> {
+    let mut sizes = vec![0u32; doc.arena_len()];
+    if let Some(root) = doc.root() {
+        let order: Vec<NodeId> = doc.descendants_or_self(root).collect();
+        for &n in order.iter().rev() {
+            let mut s = 1u32;
+            for c in doc.children(n) {
+                s = s.saturating_add(sizes[c.index()]);
+            }
+            sizes[n.index()] = s;
+        }
+    }
+    sizes
+}
+
+/// Subtree node counts within the region rooted at `src` only.
+fn region_sizes(base: &Document, src: NodeId) -> HashMap<NodeId, u32> {
+    let order: Vec<NodeId> = base.descendants_or_self(src).collect();
+    let mut m: HashMap<NodeId, u32> = HashMap::with_capacity(order.len());
+    for &n in order.iter().rev() {
+        let mut s = 1u32;
+        for c in base.children(n) {
+            s = s.saturating_add(m.get(&c).copied().unwrap_or(1));
+        }
+        m.insert(n, s);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::copy_update::apply_update;
+    use crate::query::parse_transform;
+    use crate::topdown::top_down;
+    use xust_xpath::eval_path_root;
+
+    fn view(q: &str) -> (TransformQuery, SelectingNfa) {
+        let q = parse_transform(q).unwrap();
+        let nfa = SelectingNfa::new(&q.path);
+        (q, nfa)
+    }
+
+    const DOC: &str = "<db><zone><part><pname>kb</pname><price>9</price></part>\
+         <part><pname>mouse</pname><price>20</price></part></zone>\
+         <other><note>x</note><part><pname>pad</pname></part></other></db>";
+
+    const DELETE_PRICE: &str =
+        r#"transform copy $a := doc("db") modify do delete $a//price return $a"#;
+
+    /// End-to-end: build provenance, apply a write to the base, localize
+    /// the site, patch, and compare against full recompute — for every
+    /// update-op shape.
+    #[test]
+    fn patched_result_matches_full_recompute() {
+        let ops: &[(&str, &str)] = &[
+            (DELETE_PRICE, "insert"),
+            (DELETE_PRICE, "delete"),
+            (
+                r#"transform copy $a := doc("db") modify do rename $a//pname as nm return $a"#,
+                "insert",
+            ),
+            (
+                r#"transform copy $a := doc("db") modify do insert <tag/> after $a//pname return $a"#,
+                "rename",
+            ),
+            (
+                r#"transform copy $a := doc("db") modify do replace $a//price with <gone/> return $a"#,
+                "replace",
+            ),
+            (
+                r#"transform copy $a := doc("db") modify do insert <tag/> into $a//part return $a"#,
+                "insert",
+            ),
+        ];
+        for (vq, write_kind) in ops {
+            let (q, nfa) = view(vq);
+            let mut base = Document::parse(DOC).unwrap();
+            let result = top_down(&base, &q);
+            let mut tree = FragmentTree::build(&base, &result, &q, &nfa, 1).expect("tree builds");
+            let mut out = Document::new();
+            let r = out.deep_copy_from(&result, result.root().unwrap());
+            out.set_root(r);
+            // One small write into the first <part> subtree.
+            let targets = eval_path_root(
+                &base,
+                &xust_xpath::parse_path("//part[pname = 'kb']").unwrap(),
+            );
+            assert_eq!(targets.len(), 1);
+            let t = targets[0];
+            let (write_op, site) = match *write_kind {
+                "insert" => (
+                    UpdateOp::Insert {
+                        elem: Document::parse("<w>1</w>").unwrap(),
+                        pos: InsertPos::LastInto,
+                    },
+                    t,
+                ),
+                "delete" => (UpdateOp::Delete, base.parent(t).unwrap()),
+                "rename" => (
+                    UpdateOp::Rename {
+                        name: xust_intern::intern("piece"),
+                    },
+                    t,
+                ),
+                "replace" => (
+                    UpdateOp::Replace {
+                        elem: Document::parse("<swap><pname>kb</pname></swap>").unwrap(),
+                    },
+                    base.parent(t).unwrap(),
+                ),
+                _ => unreachable!(),
+            };
+            let chain = site_chain(&base, site);
+            apply_update(&mut base, &targets, &write_op);
+            match tree.localize(&[chain]) {
+                Localized::Fragments(chosen) => {
+                    assert!(!chosen.is_empty(), "{vq}: localization found fragments");
+                    tree.patch(&base, &mut out, &q, &nfa, &chosen);
+                    let expect = top_down(&base, &q).serialize();
+                    assert_eq!(tree.assemble(&out), expect, "{vq} + {write_kind}");
+                    assert_eq!(out.serialize(), expect, "spliced doc agrees too");
+                }
+                Localized::Root => panic!("{vq}: unexpectedly localized to root"),
+            }
+        }
+    }
+
+    /// Repeated patches into the same region stay correct (provenance is
+    /// rebuilt below the patched fragment).
+    #[test]
+    fn repeated_patches_stay_aligned() {
+        let (q, nfa) = view(DELETE_PRICE);
+        let mut base = Document::parse(DOC).unwrap();
+        let result = top_down(&base, &q);
+        let mut tree = FragmentTree::build(&base, &result, &q, &nfa, 1).unwrap();
+        let mut out = Document::new();
+        let r = out.deep_copy_from(&result, result.root().unwrap());
+        out.set_root(r);
+        for i in 0..4 {
+            let targets = eval_path_root(
+                &base,
+                &xust_xpath::parse_path("//part[pname = 'kb']").unwrap(),
+            );
+            let t = targets[0];
+            let op = UpdateOp::Insert {
+                elem: Document::parse(&format!("<w>{i}</w>")).unwrap(),
+                pos: InsertPos::FirstInto,
+            };
+            let chain = site_chain(&base, t);
+            apply_update(&mut base, &targets, &op);
+            let Localized::Fragments(chosen) = tree.localize(&[chain]) else {
+                panic!("localized to root");
+            };
+            tree.patch(&base, &mut out, &q, &nfa, &chosen);
+            assert_eq!(
+                tree.assemble(&out),
+                top_down(&base, &q).serialize(),
+                "write {i}"
+            );
+        }
+    }
+
+    /// A deleted-to-empty fragment splices back in correctly when later
+    /// content reappears next to it (anchor resolution with empty dst).
+    #[test]
+    fn empty_dst_fragment_reanchors() {
+        let (q, nfa) =
+            view(r#"transform copy $a := doc("db") modify do delete $a/db/zone/part return $a"#);
+        let mut base =
+            Document::parse("<db><zone><part>1</part><tail>t</tail></zone></db>").unwrap();
+        let result = top_down(&base, &q);
+        assert_eq!(result.serialize(), "<db><zone><tail>t</tail></zone></db>");
+        let mut tree = FragmentTree::build(&base, &result, &q, &nfa, 1).unwrap();
+        let mut out = Document::new();
+        let r = out.deep_copy_from(&result, result.root().unwrap());
+        out.set_root(r);
+        // Rename the deleted part's source so the view stops deleting it:
+        // the fragment with an empty dst must re-anchor before <tail>.
+        let targets = eval_path_root(&base, &xust_xpath::parse_path("//part").unwrap());
+        let op = UpdateOp::Rename {
+            name: xust_intern::intern("kept"),
+        };
+        let chain = site_chain(&base, targets[0]);
+        apply_update(&mut base, &targets, &op);
+        let Localized::Fragments(chosen) = tree.localize(&[chain]) else {
+            panic!("localized to root");
+        };
+        tree.patch(&base, &mut out, &q, &nfa, &chosen);
+        assert_eq!(
+            tree.assemble(&out),
+            "<db><zone><kept>1</kept><tail>t</tail></zone></db>"
+        );
+    }
+
+    #[test]
+    fn collapse_repairs_keep_assembly_live() {
+        let (q, nfa) = view(DELETE_PRICE);
+        let base = Document::parse(DOC).unwrap();
+        let result = top_down(&base, &q);
+        let mut tree = FragmentTree::build(&base, &result, &q, &nfa, 1).unwrap();
+        let mut out = Document::new();
+        let r = out.deep_copy_from(&result, result.root().unwrap());
+        out.set_root(r);
+        // Memoize everything, then edit the result doc directly (as a
+        // retained replay would) and collapse along the edited chain.
+        let before = tree.assemble(&out);
+        assert_eq!(before, result.serialize());
+        let pnames = eval_path_root(&out, &xust_xpath::parse_path("//pname").unwrap());
+        let t = pnames[0];
+        let chain = site_chain(&out, t);
+        out.rename(t, "renamed");
+        assert_eq!(tree.collapse_dst(&chain), Collapse::Done);
+        assert_eq!(tree.assemble(&out), out.serialize());
+        // Root chain: whole tree stale.
+        assert_eq!(tree.collapse_dst(&[out.root().unwrap()]), Collapse::RootHit);
+    }
+
+    #[test]
+    fn conservative_shapes_build_no_tree() {
+        // ε path.
+        let (q, nfa) = view(r#"transform copy $a := doc("db") modify do delete $a return $a"#);
+        let base = Document::parse("<db><a/></db>").unwrap();
+        assert!(FragmentTree::build(&base, &Document::new(), &q, &nfa, 1).is_none());
+        // Selected root under a delete.
+        let (q, nfa) =
+            view(r#"transform copy $a := doc("db") modify do insert <x/> into $a//db return $a"#);
+        let result = top_down(&base, &q);
+        assert!(
+            FragmentTree::build(&base, &result, &q, &nfa, 1).is_none(),
+            "selected root shifts alignment"
+        );
+        // Unmatched path: root s_next empty only when the automaton dies
+        // at the root label.
+        let (q, nfa) =
+            view(r#"transform copy $a := doc("db") modify do delete $a/zzz/yyy return $a"#);
+        let result = top_down(&base, &q);
+        assert!(FragmentTree::build(&base, &result, &q, &nfa, 1).is_none());
+    }
+
+    #[test]
+    fn localize_picks_deepest_and_dedups() {
+        let (q, nfa) = view(DELETE_PRICE);
+        let base = Document::parse(DOC).unwrap();
+        let result = top_down(&base, &q);
+        let tree = FragmentTree::build(&base, &result, &q, &nfa, 1).unwrap();
+        let parts = eval_path_root(&base, &xust_xpath::parse_path("//part").unwrap());
+        let zone = eval_path_root(&base, &xust_xpath::parse_path("/db/zone").unwrap())[0];
+        // Two sites under the same zone plus the zone itself: the zone
+        // fragment covers its parts.
+        let chains: Vec<Vec<NodeId>> = vec![
+            site_chain(&base, parts[0]),
+            site_chain(&base, parts[1]),
+            site_chain(&base, zone),
+        ];
+        let Localized::Fragments(chosen) = tree.localize(&chains) else {
+            panic!("root");
+        };
+        assert_eq!(chosen.len(), 1, "zone fragment absorbs its parts");
+        assert!(tree.cost(&chosen) >= 1);
+        // A root site falls back.
+        assert_eq!(
+            tree.localize(&[site_chain(&base, base.root().unwrap())]),
+            Localized::Root
+        );
+    }
+}

@@ -201,6 +201,8 @@ pub enum Phase {
     Eval,
     /// Delta-aware view-result maintenance (write path).
     Maintain,
+    /// In-place fragment patching of cached results (write path).
+    Patch,
     /// Result serialization + cache install.
     Serialize,
 }
@@ -215,6 +217,7 @@ impl Phase {
             Phase::Snapshot => "snapshot",
             Phase::Eval => "eval",
             Phase::Maintain => "maintain",
+            Phase::Patch => "patch",
             Phase::Serialize => "serialize",
         }
     }

@@ -31,13 +31,14 @@ use xust_analyze::{classify_update, statically_commutes};
 use xust_compose::{compose, compose_two_pass_sax, ComposedQuery, UserQuery};
 use xust_core::delta::{RenameMapping, TouchedLabels};
 use xust_core::{
-    apply_update, multi_top_down, multi_view_with_stats, parse_multi_transform,
-    touched_labels_into, update_alphabet, value_alphabet_into, CompiledTransform, LabelSet,
-    LdStorage, Method, SaxStats, TransformQuery, TransformStream, UpdateOp,
+    apply_update, intern, multi_top_down, multi_view_with_stats, parse_multi_transform,
+    qualifier_anchor_alphabet_into, site_chain, touched_labels_into, update_alphabet,
+    value_alphabet_into, CompiledTransform, FragmentTree, LabelSet, LdStorage, Method, SaxStats,
+    Sym, TransformQuery, TransformStream, UpdateOp,
 };
 use xust_sax::{SaxEvent, SaxParser, SaxWriter};
 use xust_secview::Policy;
-use xust_tree::Document;
+use xust_tree::{Document, NodeId, NodeKind};
 use xust_xpath::{eval_path_root, Path};
 
 use crate::cache::PreparedCache;
@@ -48,7 +49,7 @@ use crate::planner::{AdaptivePlanner, DocShape, PlanChoice, PlannerConfig};
 use crate::registry::{ViewBody, ViewDef, ViewRegistry};
 use crate::stats::{ServeStats, StatsSnapshot, Verb};
 use crate::store::{DocStore, StoreSnapshot, StoreUpdateError, WriteStamp};
-use crate::viewcache::ViewResultCache;
+use crate::viewcache::{DeltaReplay, PatchCtx, PatchView, ViewResultCache};
 use crate::wal::{Wal, WalRecord};
 
 /// Where a named document lives.
@@ -185,6 +186,7 @@ pub struct ServerBuilder {
     result_capacity: usize,
     planner: PlannerConfig,
     tracing: bool,
+    patching: bool,
 }
 
 impl Default for ServerBuilder {
@@ -198,6 +200,7 @@ impl Default for ServerBuilder {
             result_capacity: 64,
             planner: PlannerConfig::default(),
             tracing: true,
+            patching: true,
         }
     }
 }
@@ -244,6 +247,15 @@ impl ServerBuilder {
         self
     }
 
+    /// Provenance-annotated in-place result patching (default on).
+    /// Off, cached view results carry no fragment trees and writes fall
+    /// back to retain-or-recompute — the mode the `ivm_patch` bench row
+    /// compares against.
+    pub fn patching(mut self, on: bool) -> ServerBuilder {
+        self.patching = on;
+        self
+    }
+
     /// Builds the server.
     pub fn build(self) -> Server {
         Server {
@@ -259,6 +271,7 @@ impl ServerBuilder {
                 pool: ThreadPool::new(self.threads),
                 commute: Mutex::new(CommuteState::default()),
                 wal: RwLock::new(None),
+                patching: self.patching,
             }),
         }
     }
@@ -288,6 +301,10 @@ struct Inner {
     // out, then release); the Wal's internal mutex nests inside a
     // DocStore shard write lock, never the reverse.
     wal: RwLock<Option<Arc<Wal>>>,
+    /// Whether cached view results carry provenance fragment trees and
+    /// single-rule writes may patch them in place (see
+    /// [`ServerBuilder::patching`]).
+    patching: bool,
 }
 
 #[derive(Default)]
@@ -349,6 +366,7 @@ impl Server {
     ) -> Result<WriteStamp, ServeError> {
         let name = name.into();
         let doc = Arc::new(doc);
+        let hist_src = Arc::clone(&doc);
         let wal = self.wal_handle();
         // Serialize for the log *outside* the shard lock; the log keeps
         // the installed bytes, so replay needs no source file.
@@ -375,6 +393,11 @@ impl Server {
             }
         };
         self.inner.results.purge_doc(&name);
+        // Seed the per-doc label histogram from the installed content;
+        // the write path shifts it incrementally from here on.
+        self.inner
+            .stats
+            .seed_doc_labels(&name, doc_label_histogram(&hist_src));
         self.inner.stats.record_verb(Verb::Load, true);
         Ok(stamp)
     }
@@ -566,6 +589,18 @@ impl Server {
         }
         let wal = Wal::open(path).map_err(|e| ServeError::Io(format!("wal open: {e}")))?;
         *self.inner.wal.write().expect("wal lock poisoned") = Some(Arc::new(wal));
+        // Recovery is part of the server's operational record: surface
+        // it in STATS/METRICS, not just the attach call's return value.
+        self.inner
+            .stats
+            .wal_recovered
+            .fetch_add(applied as u64, std::sync::atomic::Ordering::Relaxed); // relaxed: monotone counter; no data published
+        if truncated {
+            self.inner
+                .stats
+                .wal_truncations
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed); // relaxed: monotone counter; no data published
+        }
         Ok(WalRecovery { applied, truncated })
     }
 
@@ -990,6 +1025,31 @@ impl Server {
         // taken so maintenance answers those entries with a table
         // lookup instead of the dynamic three-way intersection test.
         let static_clear = self.static_clear_for(doc, update, &ops, &update_alpha, &update_vals);
+        // The patch fate's view table — single-rule writes only
+        // (multi-rule writes interleave arena slot recycling between
+        // rules, so node ids captured for one rule can be stale by the
+        // next). Resolved before the shard write lock, like the static
+        // table: maintenance under the lock only does hash lookups.
+        let patching = self.inner.patching && ops.len() == 1;
+        let mut patch_views: HashMap<String, PatchView> = HashMap::new();
+        if patching {
+            for def in self.inner.registry.defs() {
+                if def.doc_name != doc || def.analysis.dead {
+                    continue;
+                }
+                let Some(link) = def.single() else { continue };
+                let mut anchor = LabelSet::new();
+                qualifier_anchor_alphabet_into(&link.query().path, &mut anchor);
+                patch_views.insert(
+                    def.cache_key.to_string(),
+                    PatchView {
+                        ct: Arc::clone(link),
+                        anchor_alphabet: anchor,
+                        generation: def.cache_generation,
+                    },
+                );
+            }
+        }
         let results = &self.inner.results;
         let wal = self.wal_handle();
         // The installed tree, smuggled out of the closure: the eager
@@ -1030,14 +1090,39 @@ impl Server {
                 // (`TouchedLabels::apply_renames`) or later relevance
                 // tests would compare against pre-rename names.
                 let mut renames: Vec<RenameMapping> = Vec::new();
+                // Patch-fate inputs, collected against the pre-apply
+                // tree: one ancestor-or-self chain per update site
+                // (sites are chosen to survive the apply — the parent
+                // for structural/sibling ops, the target itself for
+                // renames and into-inserts), and the guard alphabet —
+                // every site-chain label plus rename target names —
+                // at which this write could flip a qualifier verdict.
+                let mut sites: Vec<Vec<NodeId>> = Vec::new();
+                let mut guard = LabelSet::new();
+                // Net element-label counts this write shifts, for the
+                // per-doc histogram (exact, from the pre-apply tree).
+                let mut label_shift: HashMap<Sym, i64> = HashMap::new();
                 let t = rt.start();
                 for (path, op) in &ops {
                     let matched = eval_path_root(&next, path);
                     targets_total += matched.len();
                     touched_labels_into(&next, &matched, op, &mut delta);
+                    if patching {
+                        for &m in &matched {
+                            let chain = site_chain(&next, update_site(&next, m, op));
+                            for &n in &chain {
+                                if let Some(l) = next.name(n) {
+                                    guard.insert(intern(l));
+                                }
+                            }
+                            sites.push(chain);
+                        }
+                    }
                     if let UpdateOp::Rename { name } = op {
                         renames.extend(RenameMapping::capture(&next, &matched, *name));
+                        guard.insert(*name);
                     }
+                    shift_update_labels(&next, &matched, op, &mut label_shift);
                     apply_update(&mut next, &matched, op);
                 }
                 rt.phase(Phase::Eval, t);
@@ -1048,6 +1133,12 @@ impl Server {
                 // and result reads — of every other document, same
                 // store shard or not, proceed untouched.
                 let t = rt.start();
+                let ctx = PatchCtx {
+                    base: &next,
+                    sites: &sites,
+                    guard: &guard,
+                    views: &patch_views,
+                };
                 let outcome = results.maintain(
                     doc,
                     stamp.prev_version,
@@ -1057,14 +1148,34 @@ impl Server {
                     &delta,
                     &renames,
                     &static_clear,
+                    patching.then_some(&ctx),
                     &mut |cached| {
+                        let mut replay = DeltaReplay::default();
                         for (path, op) in &ops {
                             let matched = eval_path_root(cached, path);
+                            if patching {
+                                // Result-side chains for provenance
+                                // repair, read before the replay
+                                // mutates the cached tree.
+                                for &m in &matched {
+                                    replay
+                                        .chains
+                                        .push(site_chain(cached, update_site(cached, m, op)));
+                                }
+                            }
                             apply_update(cached, &matched, op);
                         }
+                        replay
                     },
                 );
-                rt.phase(Phase::Maintain, t);
+                // Localization and splicing get their own phase when
+                // any entry took the patch fate; retention sweeps keep
+                // reporting as maintenance.
+                if outcome.patched.is_empty() {
+                    rt.phase(Phase::Maintain, t);
+                } else {
+                    rt.phase(Phase::Patch, t);
+                }
                 // The per-doc row is recorded here, still under the
                 // shard write lock, so it is ordered against a racing
                 // `remove_doc` (which takes the same lock to remove the
@@ -1074,8 +1185,13 @@ impl Server {
                 stats.record_doc_delta(
                     doc,
                     outcome.retained.len() as u64,
+                    outcome.patched.len() as u64,
+                    outcome.patched_fragments,
                     outcome.recomputed.len() as u64,
                 );
+                if !label_shift.is_empty() {
+                    stats.shift_doc_labels(doc, &label_shift);
+                }
                 let next = Arc::new(next);
                 new_tree = Some(Arc::clone(&next));
                 Ok((DocSource::Memory(next), (outcome, targets_total)))
@@ -1091,6 +1207,12 @@ impl Server {
         for v in &outcome.retained {
             stats.record_view_delta(v, true);
         }
+        for v in &outcome.patched {
+            stats.record_view_patched(v);
+        }
+        stats
+            .patched_fragments
+            .fetch_add(outcome.patched_fragments, Relaxed); // relaxed: monotone counter; no data published
         for v in &outcome.recomputed {
             stats.record_view_delta(v, false);
         }
@@ -1107,12 +1229,13 @@ impl Server {
         }
         Ok(Response {
             body: format!(
-                "updated {doc} epoch={} version={} targets={targets} retained={} recomputed={} static={}",
+                "updated {doc} epoch={} version={} targets={targets} retained={} recomputed={} static={} patched={}",
                 stamp.epoch,
                 stamp.version,
                 outcome.retained.len(),
                 outcome.recomputed.len(),
-                outcome.static_retained.len()
+                outcome.static_retained.len(),
+                outcome.patched.len()
             ),
             method: None,
             micros: 0,
@@ -1228,10 +1351,18 @@ impl Server {
             return;
         }
         for (def, out) in defs.iter().zip(outs) {
-            let q = def.single().expect("filtered on single()").query();
+            let link = def.single().expect("filtered on single()");
+            let q = link.query();
             let mut touched = TouchedLabels::new();
             touched.record(tree, &out.targets, &q.op);
             let body = out.doc.serialize();
+            let frags = self
+                .inner
+                .patching
+                .then(|| {
+                    FragmentTree::build(tree, &out.doc, q, link.selecting(), frag_leaf_limit(tree))
+                })
+                .flatten();
             self.inner.results.insert(
                 &def.cache_key,
                 doc,
@@ -1241,6 +1372,7 @@ impl Server {
                 body,
                 def.alphabet.clone(),
                 touched,
+                frags,
             );
         }
     }
@@ -1354,9 +1486,23 @@ impl Server {
             let t = rt.start();
             let body = r.doc.serialize();
             if live {
-                let q = def.single().expect("re-checked above").query();
+                let link = def.single().expect("re-checked above");
+                let q = link.query();
                 let mut touched = TouchedLabels::new();
                 touched.record(&base, &r.targets, &q.op);
+                let frags = self
+                    .inner
+                    .patching
+                    .then(|| {
+                        FragmentTree::build(
+                            &base,
+                            &r.doc,
+                            q,
+                            link.selecting(),
+                            frag_leaf_limit(&base),
+                        )
+                    })
+                    .flatten();
                 self.inner.results.insert(
                     &def.cache_key,
                     doc,
@@ -1366,6 +1512,7 @@ impl Server {
                     body.clone(),
                     def.alphabet.clone(),
                     touched,
+                    frags,
                 );
             }
             rt.phase(Phase::Serialize, t);
@@ -1455,7 +1602,11 @@ impl Server {
         line("update_requests_total", snap.update_requests);
         line("delta_retained_total", snap.delta_retained);
         line("static_retained_total", snap.static_retained);
+        line("patched_total", snap.delta_patched);
+        line("patched_fragments_total", snap.patched_fragments);
         line("delta_recomputed_total", snap.delta_recomputed);
+        line("wal_recovered_total", snap.wal_recovered);
+        line("wal_truncations_total", snap.wal_truncations);
         line("shared_passes_total", snap.shared_passes);
         line("shared_pass_views_total", snap.shared_pass_views);
         line("result_cache_hits_total", snap.result_hits);
@@ -1950,6 +2101,18 @@ impl Server {
         // and `insert` never downgrades a newer resident entry).
         if let Some(touched) = touched {
             if docs.still_at(doc, version) {
+                let frags = def
+                    .single()
+                    .filter(|_| self.inner.patching)
+                    .and_then(|link| {
+                        FragmentTree::build(
+                            &base,
+                            &out,
+                            link.query(),
+                            link.selecting(),
+                            frag_leaf_limit(&base),
+                        )
+                    });
                 self.inner.results.insert(
                     &def.cache_key,
                     doc,
@@ -1959,6 +2122,7 @@ impl Server {
                     body.clone(),
                     def.alphabet.clone(),
                     touched,
+                    frags,
                 );
             }
         }
@@ -2200,6 +2364,93 @@ impl Default for Server {
     fn default() -> Server {
         Server::new()
     }
+}
+
+/// The update site whose ancestor-or-self chain localizes one target's
+/// effect: the node that both *survives* the apply and *covers* every
+/// node the op touches. Renames and into-inserts edit under the target,
+/// so the target itself qualifies; deletes, replaces, and sibling
+/// inserts change the target's parent's child list, so the parent is
+/// the deepest surviving cover (a replaced root falls back to itself —
+/// its chain then hits the root fragment and patching degrades to
+/// recompute, which is correct).
+fn update_site(doc: &Document, target: NodeId, op: &UpdateOp) -> NodeId {
+    match op {
+        UpdateOp::Rename { .. } => target,
+        UpdateOp::Insert { pos, .. } if !pos.is_sibling() => target,
+        _ => doc.parent(target).unwrap_or(target),
+    }
+}
+
+/// Adds `sign` (±1) times every element label under `node` to `out`.
+fn shift_subtree_labels(doc: &Document, node: NodeId, sign: i64, out: &mut HashMap<Sym, i64>) {
+    for n in doc.descendants_or_self(node) {
+        if let NodeKind::Element { name, .. } = doc.kind(n) {
+            *out.entry(*name).or_insert(0) += sign;
+        }
+    }
+}
+
+/// The full element-label histogram of `doc` — the load-time seed the
+/// write path then shifts incrementally ([`ServeStats::seed_doc_labels`]).
+fn doc_label_histogram(doc: &Document) -> HashMap<Sym, i64> {
+    let mut hist = HashMap::new();
+    if let Some(r) = doc.root() {
+        shift_subtree_labels(doc, r, 1, &mut hist);
+    }
+    hist
+}
+
+/// Folds one rule's exact label-count delta into `out`, read off the
+/// pre-apply tree: subtrees an op removes count negative, subtrees it
+/// grafts count positive once per target, and a rename moves one count
+/// per matched element from the old name to the new.
+fn shift_update_labels(
+    doc: &Document,
+    targets: &[NodeId],
+    op: &UpdateOp,
+    out: &mut HashMap<Sym, i64>,
+) {
+    match op {
+        UpdateOp::Delete => {
+            for &t in targets {
+                shift_subtree_labels(doc, t, -1, out);
+            }
+        }
+        UpdateOp::Rename { name } => {
+            for &t in targets {
+                if let NodeKind::Element { name: old, .. } = doc.kind(t) {
+                    *out.entry(*old).or_insert(0) -= 1;
+                    *out.entry(*name).or_insert(0) += 1;
+                }
+            }
+        }
+        UpdateOp::Insert { elem, .. } => {
+            if let Some(r) = elem.root() {
+                for _ in targets {
+                    shift_subtree_labels(elem, r, 1, out);
+                }
+            }
+        }
+        UpdateOp::Replace { elem } => {
+            for &t in targets {
+                shift_subtree_labels(doc, t, -1, out);
+            }
+            if let Some(r) = elem.root() {
+                for _ in targets {
+                    shift_subtree_labels(elem, r, 1, out);
+                }
+            }
+        }
+    }
+}
+
+/// Provenance granularity for one materialization: aim for fragments
+/// of ~1/64th of the base document, clamped so tiny documents still
+/// split (exercising the patch path) and huge ones don't track tens of
+/// thousands of fragments.
+fn frag_leaf_limit(base: &Document) -> usize {
+    (base.node_count() / 64).clamp(8, 512)
 }
 
 /// What [`Server::explain`] reports: the plan a `VIEW view doc`

@@ -8,9 +8,9 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
-use xust_core::Method;
+use xust_core::{Method, Sym};
 
 /// A latency EWMA whose whole state — sample count and smoothed value —
 /// lives in **one** atomic word, merged with a single CAS loop.
@@ -217,9 +217,20 @@ pub struct ServeStats {
     /// commutation table alone (no dynamic three-way intersection test
     /// ran). Always `<= delta_retained`.
     pub static_retained: AtomicU64,
+    /// View-result cache entries that failed the relevance test but
+    /// were **patched in place** through their provenance maps instead
+    /// of dropped (the third maintenance fate).
+    pub delta_patched: AtomicU64,
+    /// Result fragments spliced across all patch fates.
+    pub patched_fragments: AtomicU64,
     /// View-result cache entries invalidated by a write (recomputed
     /// lazily on next request).
     pub delta_recomputed: AtomicU64,
+    /// Intact write-ahead-log records replayed at attach time.
+    pub wal_recovered: AtomicU64,
+    /// WAL recoveries that found — and dropped — a torn tail frame
+    /// (what a crash mid-append leaves behind).
+    pub wal_truncations: AtomicU64,
     /// One-pass shared evaluations run: each counts a single document
     /// sweep that produced results for every view riding it (write-path
     /// recompute sweeps and grouped batch evaluations alike).
@@ -246,6 +257,12 @@ pub struct ServeStats {
     /// proof that neighbour invalidation is gone (there is no `stale`
     /// counter any more because there is no stale path).
     doc_delta: RwLock<HashMap<String, Arc<DeltaCell>>>,
+    /// Per-document element-label histograms (`label → live count`),
+    /// seeded when an in-memory document is (re)loaded and shifted
+    /// incrementally by every applied write — the selectivity raw
+    /// material `STATS` surfaces per document.
+    // lock-order: leaf mutex — nothing else is ever taken while held.
+    doc_labels: Mutex<HashMap<String, HashMap<Sym, i64>>>,
 }
 
 /// Per-view delta-maintenance counters.
@@ -253,6 +270,12 @@ pub struct ServeStats {
 pub struct DeltaCell {
     /// Writes this view's cached result survived (maintained in place).
     pub retained: AtomicU64,
+    /// Writes this view's cached result absorbed through an in-place
+    /// provenance patch (failed the relevance test, was not dropped).
+    pub patched: AtomicU64,
+    /// Result fragments spliced into this row's cached results (only
+    /// per-document rows track this; per-view rows leave it at zero).
+    pub patched_fragments: AtomicU64,
     /// Writes that invalidated this view's cached result.
     pub recomputed: AtomicU64,
 }
@@ -270,6 +293,17 @@ fn cell_of<T: Default>(map: &RwLock<HashMap<String, Arc<T>>>, key: &str) -> Arc<
     }
     let mut map = map.write().expect("stats lock poisoned");
     Arc::clone(map.entry(key.to_string()).or_default())
+}
+
+/// One histogram row in reporting order: count descending, then label
+/// ascending (stable output for tests and operators alike).
+fn sorted_labels(hist: &HashMap<Sym, i64>) -> Vec<(String, i64)> {
+    let mut v: Vec<(String, i64)> = hist
+        .iter()
+        .map(|(l, &n)| (l.as_str().to_string(), n))
+        .collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    v
 }
 
 impl ServeStats {
@@ -306,47 +340,120 @@ impl ServeStats {
         }
     }
 
-    /// The delta counters for `view`: `(retained, recomputed)`, if any
-    /// write ever examined a cached result of this view.
-    pub fn view_delta(&self, view: &str) -> Option<(u64, u64)> {
+    /// Records one patch-fate outcome for `view` (and the global
+    /// total): the view's cached result failed the relevance test but
+    /// was spliced in place through its provenance map.
+    pub fn record_view_patched(&self, view: &str) {
+        self.delta_patched.fetch_add(1, Ordering::Relaxed); // relaxed: monotone counter; no data published
+        cell_of(&self.view_delta, view)
+            .patched
+            .fetch_add(1, Ordering::Relaxed); // relaxed: monotone counter; no data published
+    }
+
+    /// The delta counters for `view`: `(retained, patched, recomputed)`,
+    /// if any write ever examined a cached result of this view.
+    pub fn view_delta(&self, view: &str) -> Option<(u64, u64, u64)> {
         self.view_delta
             .read()
             .expect("stats lock poisoned")
             .get(view)
-            .map(|c| (ld(&c.retained), ld(&c.recomputed)))
+            .map(|c| (ld(&c.retained), ld(&c.patched), ld(&c.recomputed)))
     }
 
     /// Records one write's maintenance outcome for the *written*
-    /// document: how many of its cached entries were retained and how
-    /// many dropped for recomputation. Called once per write (even when
-    /// both counts are zero — the row proves the write was examined).
-    pub fn record_doc_delta(&self, doc: &str, retained: u64, recomputed: u64) {
+    /// document: how many of its cached entries were retained, patched
+    /// in place (and with how many spliced fragments), and dropped for
+    /// recomputation. Called once per write (even when every count is
+    /// zero — the row proves the write was examined).
+    pub fn record_doc_delta(
+        &self,
+        doc: &str,
+        retained: u64,
+        patched: u64,
+        patched_fragments: u64,
+        recomputed: u64,
+    ) {
         let cell = cell_of(&self.doc_delta, doc);
         cell.retained.fetch_add(retained, Ordering::Relaxed); // relaxed: monotone counter; no data published
+        cell.patched.fetch_add(patched, Ordering::Relaxed); // relaxed: monotone counter; no data published
+        cell.patched_fragments
+            .fetch_add(patched_fragments, Ordering::Relaxed); // relaxed: monotone counter; no data published
         cell.recomputed.fetch_add(recomputed, Ordering::Relaxed); // relaxed: monotone counter; no data published
     }
 
-    /// Drops `doc`'s per-document delta row. Called when the document
-    /// is removed from the store: without this, a server with
-    /// document-name churn (load → write → remove cycles) accumulates
-    /// one permanent row per ever-written name — unbounded memory and
-    /// an ever-growing `STATS` reply. A re-created name starts a fresh
-    /// row (its versions are a new lineage; so are its counters).
+    /// Drops `doc`'s per-document delta row and label histogram. Called
+    /// when the document is removed from the store: without this, a
+    /// server with document-name churn (load → write → remove cycles)
+    /// accumulates one permanent row per ever-written name — unbounded
+    /// memory and an ever-growing `STATS` reply. A re-created name
+    /// starts a fresh row (its versions are a new lineage; so are its
+    /// counters).
     pub fn forget_doc(&self, doc: &str) {
         self.doc_delta
             .write()
             .expect("stats lock poisoned")
             .remove(doc);
+        self.doc_labels
+            .lock()
+            .expect("stats lock poisoned")
+            .remove(doc);
     }
 
-    /// The delta counters for writes to `doc`: `(retained,
-    /// recomputed)`, if `doc` was ever written through the update path.
-    pub fn doc_delta(&self, doc: &str) -> Option<(u64, u64)> {
+    /// The delta counters for writes to `doc`: `(retained, patched,
+    /// patched_fragments, recomputed)`, if `doc` was ever written
+    /// through the update path.
+    pub fn doc_delta(&self, doc: &str) -> Option<(u64, u64, u64, u64)> {
         self.doc_delta
             .read()
             .expect("stats lock poisoned")
             .get(doc)
-            .map(|c| (ld(&c.retained), ld(&c.recomputed)))
+            .map(|c| {
+                (
+                    ld(&c.retained),
+                    ld(&c.patched),
+                    ld(&c.patched_fragments),
+                    ld(&c.recomputed),
+                )
+            })
+    }
+
+    /// Installs `doc`'s label histogram wholesale — called when an
+    /// in-memory document is loaded or reloaded (a reload is an
+    /// unbounded delta; the seed is the new ground truth).
+    pub fn seed_doc_labels(&self, doc: &str, hist: HashMap<Sym, i64>) {
+        self.doc_labels
+            .lock()
+            .expect("stats lock poisoned")
+            .insert(doc.to_string(), hist);
+    }
+
+    /// Folds one write's label-count shift into `doc`'s histogram;
+    /// labels whose count returns to zero are dropped from the row. A
+    /// shift for a document that was never seeded (file-backed, or
+    /// racing a removal) is discarded — there is no ground truth to
+    /// shift.
+    pub fn shift_doc_labels(&self, doc: &str, delta: &HashMap<Sym, i64>) {
+        let mut map = self.doc_labels.lock().expect("stats lock poisoned");
+        let Some(hist) = map.get_mut(doc) else {
+            return;
+        };
+        for (&label, &d) in delta {
+            if d == 0 {
+                continue;
+            }
+            let slot = hist.entry(label).or_insert(0);
+            *slot += d;
+            if *slot == 0 {
+                hist.remove(&label);
+            }
+        }
+    }
+
+    /// `doc`'s element-label histogram, sorted by count descending then
+    /// label ascending — `None` when the document was never seeded.
+    pub fn doc_labels(&self, doc: &str) -> Option<Vec<(String, i64)>> {
+        let map = self.doc_labels.lock().expect("stats lock poisoned");
+        map.get(doc).map(sorted_labels)
     }
 
     /// Records one request under `verb`; `ok == false` also bumps the
@@ -395,7 +502,11 @@ impl ServeStats {
             update_requests: ld(&self.update_requests),
             delta_retained: ld(&self.delta_retained),
             static_retained: ld(&self.static_retained),
+            delta_patched: ld(&self.delta_patched),
+            patched_fragments: ld(&self.patched_fragments),
             delta_recomputed: ld(&self.delta_recomputed),
+            wal_recovered: ld(&self.wal_recovered),
+            wal_truncations: ld(&self.wal_truncations),
             shared_passes: ld(&self.shared_passes),
             shared_pass_views: ld(&self.shared_pass_views),
             // The result cache is its own source of truth for hit/miss
@@ -419,18 +530,42 @@ impl ServeStats {
             },
             view_delta: {
                 let map = self.view_delta.read().expect("stats lock poisoned");
-                let mut v: Vec<(String, u64, u64)> = map
+                let mut v: Vec<(String, u64, u64, u64)> = map
                     .iter()
-                    .map(|(k, c)| (k.clone(), ld(&c.retained), ld(&c.recomputed)))
+                    .map(|(k, c)| {
+                        (
+                            k.clone(),
+                            ld(&c.retained),
+                            ld(&c.patched),
+                            ld(&c.recomputed),
+                        )
+                    })
                     .collect();
                 v.sort_by(|a, b| a.0.cmp(&b.0));
                 v
             },
             doc_delta: {
                 let map = self.doc_delta.read().expect("stats lock poisoned");
-                let mut v: Vec<(String, u64, u64)> = map
+                let mut v: Vec<(String, u64, u64, u64, u64)> = map
                     .iter()
-                    .map(|(k, c)| (k.clone(), ld(&c.retained), ld(&c.recomputed)))
+                    .map(|(k, c)| {
+                        (
+                            k.clone(),
+                            ld(&c.retained),
+                            ld(&c.patched),
+                            ld(&c.patched_fragments),
+                            ld(&c.recomputed),
+                        )
+                    })
+                    .collect();
+                v.sort_by(|a, b| a.0.cmp(&b.0));
+                v
+            },
+            doc_labels: {
+                let map = self.doc_labels.lock().expect("stats lock poisoned");
+                let mut v: Vec<(String, Vec<(String, i64)>)> = map
+                    .iter()
+                    .map(|(doc, hist)| (doc.clone(), sorted_labels(hist)))
                     .collect();
                 v.sort_by(|a, b| a.0.cmp(&b.0));
                 v
@@ -490,8 +625,17 @@ pub struct StatsSnapshot {
     /// Of those, entries retained on the static commutation table's
     /// verdict alone (registration-time analysis; no dynamic test ran).
     pub static_retained: u64,
+    /// Entries that failed the relevance test but were patched in place
+    /// through their provenance maps (the third maintenance fate).
+    pub delta_patched: u64,
+    /// Result fragments spliced across all patch fates.
+    pub patched_fragments: u64,
     /// View-result cache entries invalidated by writes.
     pub delta_recomputed: u64,
+    /// Intact WAL records replayed at attach time.
+    pub wal_recovered: u64,
+    /// WAL recoveries that dropped a torn tail.
+    pub wal_truncations: u64,
     /// One-pass shared evaluations run (factorised sweeps).
     pub shared_passes: u64,
     /// Views whose results rode a shared pass.
@@ -510,12 +654,18 @@ pub struct StatsSnapshot {
     pub verbs: Vec<(Verb, u64, u64)>,
     /// Per-view latency EWMAs: `(view, samples, micros)`, sorted by view.
     pub view_latency: Vec<(String, u32, f32)>,
-    /// Per-view delta outcomes: `(view, retained, recomputed)`, sorted.
-    pub view_delta: Vec<(String, u64, u64)>,
-    /// Per-document delta outcomes for writes to that document:
-    /// `(doc, retained, recomputed)`, sorted. A document appears here
-    /// iff it was written — neighbour rows never move.
-    pub doc_delta: Vec<(String, u64, u64)>,
+    /// Per-view delta outcomes: `(view, retained, patched,
+    /// recomputed)`, sorted.
+    pub view_delta: Vec<(String, u64, u64, u64)>,
+    /// Per-document delta outcomes for writes to that document: `(doc,
+    /// retained, patched, patched_fragments, recomputed)`, sorted. A
+    /// document appears here iff it was written — neighbour rows never
+    /// move.
+    pub doc_delta: Vec<(String, u64, u64, u64, u64)>,
+    /// Per-document element-label histograms: `(doc, [(label, count)])`
+    /// sorted by document, rows sorted by count descending then label.
+    /// Only seeded (in-memory) documents appear.
+    pub doc_labels: Vec<(String, Vec<(String, i64)>)>,
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -546,13 +696,20 @@ impl std::fmt::Display for StatsSnapshot {
         )?;
         writeln!(
             f,
-            "updates: accepted={} delta_retained={} static_retained={} delta_recomputed={} result_hits={} result_misses={}",
+            "updates: accepted={} delta_retained={} static_retained={} delta_patched={} patched_fragments={} delta_recomputed={} result_hits={} result_misses={}",
             self.update_requests,
             self.delta_retained,
             self.static_retained,
+            self.delta_patched,
+            self.patched_fragments,
             self.delta_recomputed,
             self.result_hits,
             self.result_misses
+        )?;
+        writeln!(
+            f,
+            "wal: recovered={} truncations={}",
+            self.wal_recovered, self.wal_truncations
         )?;
         writeln!(
             f,
@@ -569,17 +726,28 @@ impl std::fmt::Display for StatsSnapshot {
         for (view, n, ewma) in &self.view_latency {
             write!(f, "\nview {view}: ewma={ewma:.0}µs samples={n}")?;
         }
-        for (view, retained, recomputed) in &self.view_delta {
+        for (view, retained, patched, recomputed) in &self.view_delta {
             write!(
                 f,
-                "\nview {view}: delta_retained={retained} delta_recomputed={recomputed}"
+                "\nview {view}: delta_retained={retained} delta_patched={patched} delta_recomputed={recomputed}"
             )?;
         }
-        for (doc, retained, recomputed) in &self.doc_delta {
+        for (doc, retained, patched, fragments, recomputed) in &self.doc_delta {
             write!(
                 f,
-                "\ndoc {doc}: delta_retained={retained} delta_recomputed={recomputed}"
+                "\ndoc {doc}: delta_retained={retained} delta_patched={patched} patched_fragments={fragments} delta_recomputed={recomputed}"
             )?;
+        }
+        for (doc, labels) in &self.doc_labels {
+            write!(f, "\ndoc {doc} labels:")?;
+            // The busiest labels carry the selectivity signal; a long
+            // tail of one-offs would drown the reply.
+            for (label, count) in labels.iter().take(12) {
+                write!(f, " {label}={count}")?;
+            }
+            if labels.len() > 12 {
+                write!(f, " (+{} more)", labels.len() - 12)?;
+            }
         }
         for (verb, requests, errors) in &self.verbs {
             write!(f, "\nverb {verb}: requests={requests} errors={errors}")?;
@@ -619,7 +787,9 @@ impl StatsSnapshot {
              \"compiles\":{},\"compositions\":{},\"view_requests\":{},\"query_requests\":{},\
              \"transform_requests\":{},\"batches\":{},\"batch_items\":{},\"batch_steals\":{},\
              \"interned_labels\":{},\"stream_sessions\":{},\"update_requests\":{},\
-             \"delta_retained\":{},\"static_retained\":{},\"delta_recomputed\":{},\"shared_passes\":{},\
+             \"delta_retained\":{},\"static_retained\":{},\"delta_patched\":{},\
+             \"patched_fragments\":{},\"delta_recomputed\":{},\"wal_recovered\":{},\
+             \"wal_truncations\":{},\"shared_passes\":{},\
              \"shared_pass_views\":{},\"result_hits\":{},\
              \"result_misses\":{},\"busy_micros\":{}",
             self.requests,
@@ -639,7 +809,11 @@ impl StatsSnapshot {
             self.update_requests,
             self.delta_retained,
             self.static_retained,
+            self.delta_patched,
+            self.patched_fragments,
             self.delta_recomputed,
+            self.wal_recovered,
+            self.wal_truncations,
             self.shared_passes,
             self.shared_pass_views,
             self.result_hits,
@@ -685,26 +859,48 @@ impl StatsSnapshot {
             );
         }
         s.push_str("],\"view_delta\":[");
-        for (i, (view, retained, recomputed)) in self.view_delta.iter().enumerate() {
+        for (i, (view, retained, patched, recomputed)) in self.view_delta.iter().enumerate() {
             if i > 0 {
                 s.push(',');
             }
             let _ = write!(
                 s,
-                "{{\"view\":\"{}\",\"retained\":{retained},\"recomputed\":{recomputed}}}",
+                "{{\"view\":\"{}\",\"retained\":{retained},\"patched\":{patched},\
+                 \"recomputed\":{recomputed}}}",
                 json_escape(view)
             );
         }
         s.push_str("],\"doc_delta\":[");
-        for (i, (doc, retained, recomputed)) in self.doc_delta.iter().enumerate() {
+        for (i, (doc, retained, patched, fragments, recomputed)) in
+            self.doc_delta.iter().enumerate()
+        {
             if i > 0 {
                 s.push(',');
             }
             let _ = write!(
                 s,
-                "{{\"doc\":\"{}\",\"retained\":{retained},\"recomputed\":{recomputed}}}",
+                "{{\"doc\":\"{}\",\"retained\":{retained},\"patched\":{patched},\
+                 \"patched_fragments\":{fragments},\"recomputed\":{recomputed}}}",
                 json_escape(doc)
             );
+        }
+        s.push_str("],\"doc_labels\":[");
+        for (i, (doc, labels)) in self.doc_labels.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{{\"doc\":\"{}\",\"labels\":[", json_escape(doc));
+            for (j, (label, count)) in labels.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(
+                    s,
+                    "{{\"label\":\"{}\",\"count\":{count}}}",
+                    json_escape(label)
+                );
+            }
+            s.push_str("]}");
         }
         s.push_str("]}");
         s
@@ -714,6 +910,7 @@ impl StatsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use xust_core::intern;
 
     #[test]
     fn counters_roundtrip() {
@@ -799,29 +996,34 @@ mod tests {
         s.record_view_delta("public", true);
         s.record_view_delta("public", false);
         s.record_view_delta("audit", false);
-        assert_eq!(s.view_delta("public"), Some((2, 1)));
-        assert_eq!(s.view_delta("audit"), Some((0, 1)));
+        s.record_view_patched("public");
+        assert_eq!(s.view_delta("public"), Some((2, 1, 1)));
+        assert_eq!(s.view_delta("audit"), Some((0, 0, 1)));
         let snap = s.snapshot();
         assert_eq!(snap.delta_retained, 2);
+        assert_eq!(snap.delta_patched, 1);
         assert_eq!(snap.delta_recomputed, 2);
         assert_eq!(
             snap.view_delta,
-            vec![("audit".into(), 0, 1), ("public".into(), 2, 1)]
+            vec![("audit".into(), 0, 0, 1), ("public".into(), 2, 1, 1)]
         );
         let text = snap.to_string();
         assert!(text.contains("delta_retained=2"));
-        assert!(text.contains("view public: delta_retained=2 delta_recomputed=1"));
+        assert!(
+            text.contains("view public: delta_retained=2 delta_patched=1 delta_recomputed=1"),
+            "{text}"
+        );
     }
 
     #[test]
     fn per_doc_delta_counters_roll_up() {
         let s = ServeStats::default();
         assert!(s.doc_delta("hot").is_none());
-        s.record_doc_delta("hot", 3, 1);
-        s.record_doc_delta("hot", 2, 0);
-        s.record_doc_delta("cold", 0, 0);
-        assert_eq!(s.doc_delta("hot"), Some((5, 1)));
-        assert_eq!(s.doc_delta("cold"), Some((0, 0)));
+        s.record_doc_delta("hot", 3, 1, 4, 1);
+        s.record_doc_delta("hot", 2, 0, 0, 0);
+        s.record_doc_delta("cold", 0, 0, 0, 0);
+        assert_eq!(s.doc_delta("hot"), Some((5, 1, 4, 1)));
+        assert_eq!(s.doc_delta("cold"), Some((0, 0, 0, 0)));
         assert!(
             s.doc_delta("neighbour").is_none(),
             "never-written docs have no row"
@@ -829,17 +1031,17 @@ mod tests {
         let snap = s.snapshot();
         assert_eq!(
             snap.doc_delta,
-            vec![("cold".into(), 0, 0), ("hot".into(), 5, 1)]
+            vec![("cold".into(), 0, 0, 0, 0), ("hot".into(), 5, 1, 4, 1)]
         );
-        assert!(snap
-            .to_string()
-            .contains("doc hot: delta_retained=5 delta_recomputed=1"));
+        assert!(snap.to_string().contains(
+            "doc hot: delta_retained=5 delta_patched=1 patched_fragments=4 delta_recomputed=1"
+        ));
         // Removing a document drops its row; a re-created name starts
         // a fresh lineage of counters.
         s.forget_doc("hot");
         assert!(s.doc_delta("hot").is_none());
-        s.record_doc_delta("hot", 1, 0);
-        assert_eq!(s.doc_delta("hot"), Some((1, 0)));
+        s.record_doc_delta("hot", 1, 0, 0, 0);
+        assert_eq!(s.doc_delta("hot"), Some((1, 0, 0, 0)));
     }
 
     #[test]
@@ -867,7 +1069,8 @@ mod tests {
         s.record_verb(Verb::Query, true);
         s.record_view_latency("pub\"lic", 120.0);
         s.record_view_delta("public", true);
-        s.record_doc_delta("db", 1, 0);
+        s.record_doc_delta("db", 1, 1, 2, 0);
+        s.seed_doc_labels("db", HashMap::from([(intern("person"), 3)]));
         let json = s.snapshot().render_json();
         assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
         assert!(json.contains("\"requests\":2"), "{json}");
@@ -877,10 +1080,48 @@ mod tests {
         );
         assert!(json.contains("\"view\":\"pub\\\"lic\""), "escaped: {json}");
         assert!(
-            json.contains("{\"doc\":\"db\",\"retained\":1,\"recomputed\":0}"),
+            json.contains(
+                "{\"doc\":\"db\",\"retained\":1,\"patched\":1,\
+                 \"patched_fragments\":2,\"recomputed\":0}"
+            ),
+            "{json}"
+        );
+        assert!(
+            json.contains("{\"doc\":\"db\",\"labels\":[{\"label\":\"person\",\"count\":3}]}"),
             "{json}"
         );
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn doc_label_histogram_shifts_and_clamps() {
+        let s = ServeStats::default();
+        assert!(s.doc_labels("db").is_none());
+        // Shifts against an unseeded doc are discarded: without a seed
+        // baseline the counts would be deltas, not a histogram.
+        s.shift_doc_labels("db", &HashMap::from([(intern("person"), 1)]));
+        assert!(s.doc_labels("db").is_none());
+        s.seed_doc_labels(
+            "db",
+            HashMap::from([(intern("person"), 2), (intern("item"), 5)]),
+        );
+        s.shift_doc_labels(
+            "db",
+            &HashMap::from([(intern("person"), -2), (intern("open_auction"), 1)]),
+        );
+        // Zero-count keys are dropped; new keys appear; sort is count
+        // desc, then label asc.
+        assert_eq!(
+            s.doc_labels("db").unwrap(),
+            vec![("item".into(), 5), ("open_auction".into(), 1)]
+        );
+        let snap = s.snapshot();
+        assert_eq!(snap.doc_labels.len(), 1);
+        let text = snap.to_string();
+        assert!(text.contains("doc db labels:"), "{text}");
+        assert!(text.contains("item=5"), "{text}");
+        s.forget_doc("db");
+        assert!(s.doc_labels("db").is_none());
     }
 
     #[test]

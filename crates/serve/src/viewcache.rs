@@ -29,8 +29,9 @@
 //! ## The write path
 //!
 //! When `UPDATE` applies a delta to a stored document, every entry for
-//! that document faces one of two fates, decided by the relevance test
-//! of `xust_core::delta`:
+//! that document faces one of three fates, decided by the relevance
+//! test of `xust_core::delta` and the provenance map of
+//! `xust_core::patch`:
 //!
 //! * **retained** — the update provably cannot change what the view's
 //!   automata see, and the view provably cannot have changed what the
@@ -45,11 +46,35 @@
 //!   vocabulary via [`TouchedLabels::apply_renames`] — they describe
 //!   *nodes* whose names just changed, and later relevance tests must
 //!   see the current names, not the materialization-time ones.
-//! * **recomputed** — the test fails (or either side carries a
-//!   wildcard): the entry is dropped and the next request rebuilds it
+//! * **patched** — the relevance test fails (the write genuinely
+//!   changes the view's output) but the entry carries a
+//!   [`FragmentTree`] provenance map and the write is a single-rule
+//!   update whose sites localize to a small set of recorded fragments:
+//!   the view is re-evaluated **only under those base subtrees** with
+//!   the fragment's stored NFA states, and the fresh result nodes are
+//!   spliced over the stale ones in the cached tree. Unaffected
+//!   fragments keep their memoized serialization bytes, so both patch
+//!   time and the next re-serialization are proportional to the
+//!   affected span, not the result size — the update-time-sublinear
+//!   regime. Eligibility additionally requires the update's guard
+//!   labels (every label on a site's ancestor chain, plus rename
+//!   targets) to be disjoint from the view's qualifier *anchor*
+//!   alphabet: a write can flip a qualifier verdict only at
+//!   ancestors-or-self of its targets, so disjointness proves every
+//!   selection decision outside the patched regions is unchanged.
+//! * **recomputed** — the test fails and patching is ineligible (no
+//!   provenance, multi-rule write, guard overlap, affected span above
+//!   the fallback threshold, or a site localizing to the root
+//!   fragment): the entry is dropped and the next request rebuilds it
 //!   lazily.
 //!
-//! There is no third, "stale" fate any more: under shard-epoch keying a
+//! Retained entries with a non-empty delta get their provenance
+//! *repaired* rather than rebuilt: the deepest fragment covering each
+//! update site (on the base side) and each replayed target (on the
+//! result side) is collapsed to an opaque leaf — still correct, just
+//! less granular, until the next full materialization restores detail.
+//!
+//! There is no "stale" fate: under shard-epoch keying a
 //! neighbour's write silently un-keyed every same-shard entry, and the
 //! sweep had to drop them untested. Per-document versions make that
 //! structurally impossible — a neighbour write moves neither this
@@ -63,8 +88,56 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering}; // lint: atomic-ok (h
 use std::sync::{Arc, Mutex, RwLock};
 
 use xust_core::delta::{RenameMapping, TouchedLabels};
-use xust_core::LabelSet;
-use xust_tree::Document;
+use xust_core::{Collapse, CompiledTransform, FragmentTree, LabelSet, Localized, PatchOutcome};
+use xust_tree::{Document, NodeId};
+
+/// Fallback threshold: patch only when the affected base span times
+/// this factor fits inside the document (small documents always pass —
+/// the span comparison floor is 256 nodes — since a recompute there is
+/// cheap anyway but patching keeps the fuzzers honest).
+const PATCH_SPAN_FACTOR: u64 = 4;
+
+/// What a retained entry's delta replay touched in the *cached result*
+/// tree: the deepest-first ancestor-or-self chain of every replayed
+/// target, read off the result document **before** the replay mutated
+/// it. Result-side provenance repair collapses along these.
+#[derive(Debug, Default, Clone)]
+pub struct DeltaReplay {
+    /// One chain per replayed update target (see
+    /// [`xust_core::site_chain`]).
+    pub chains: Vec<Vec<NodeId>>,
+}
+
+/// Everything the patch fate needs to know about one registered view.
+pub struct PatchView {
+    /// The view's compiled transform (prebuilt selecting NFA included).
+    pub ct: Arc<CompiledTransform>,
+    /// The view path's qualifier anchor alphabet
+    /// ([`xust_core::qualifier_anchor_alphabet_into`]).
+    pub anchor_alphabet: LabelSet,
+    /// The registration generation `ct` belongs to.
+    pub generation: u64,
+}
+
+/// Write-side context for the patch fate, built by the server for
+/// **single-rule** updates only (multi-rule writes interleave arena
+/// slot recycling between rules, so node ids captured for one rule can
+/// be stale by the next — provenance cannot be trusted across them).
+pub struct PatchCtx<'a> {
+    /// The base document **after** the write applied.
+    pub base: &'a Document,
+    /// Per-target site chains (deepest-first ancestor-or-self of each
+    /// update site, pre-apply ids — sites are chosen to survive the
+    /// update: the parent for structural/sibling ops, the target itself
+    /// for renames and into-inserts).
+    pub sites: &'a [Vec<NodeId>],
+    /// Union of every site-chain label plus rename target labels: the
+    /// labels at which the write could have flipped a qualifier
+    /// verdict or changed a name.
+    pub guard: &'a LabelSet,
+    /// Patch-eligible registered views by cache key.
+    pub views: &'a HashMap<String, PatchView>,
+}
 
 /// One cached, maintained view result.
 struct Entry {
@@ -91,6 +164,12 @@ struct Entry {
     /// Version of the base document this result reflects — bumped only
     /// by writes to *that* document, never by shard neighbours.
     version: u64,
+    /// Provenance of `doc` — which base subtrees produced which result
+    /// fragments, with memoized per-fragment bytes. Present only when
+    /// the materialization path could record it (single-transform view,
+    /// alignable shape); dropped whenever a write's effect on it cannot
+    /// be repaired. `None` simply disables the patch fate.
+    frags: Option<FragmentTree>,
     /// LRU clock value of the last hit.
     last_use: u64,
     /// Set once a retained rename remapped `view_touched`: the entry's
@@ -129,6 +208,11 @@ pub struct MaintainOutcome {
     /// The subset of `retained` resolved by the static commutation
     /// table alone — the per-entry dynamic relevance test was skipped.
     pub static_retained: Vec<String>,
+    /// Views whose entries failed the relevance test but were patched
+    /// in place through their provenance maps.
+    pub patched: Vec<String>,
+    /// Total fragments spliced across all patched entries.
+    pub patched_fragments: u64,
     /// Views whose entries failed the relevance test and were dropped
     /// for lazy recomputation.
     pub recomputed: Vec<String>,
@@ -227,9 +311,17 @@ impl ViewResultCache {
             match state.views.get_mut(view) {
                 Some(e) if e.version == version && e.generation == generation => {
                     e.last_use = self.next_tick();
-                    Some(Arc::clone(
-                        e.body.get_or_insert_with(|| e.doc.serialize().into()),
-                    ))
+                    if e.body.is_none() {
+                        // Re-serialize through the provenance map when
+                        // one is live: fragments untouched since the
+                        // last serialization reuse their memoized bytes.
+                        let s = match e.frags.as_mut() {
+                            Some(t) => t.assemble(&e.doc),
+                            None => e.doc.serialize(),
+                        };
+                        e.body = Some(s.into());
+                    }
+                    Some(Arc::clone(e.body.as_ref().expect("just materialized")))
                 }
                 _ => None,
             }
@@ -264,6 +356,9 @@ impl ViewResultCache {
     /// A resident entry at a *newer* version or generation wins over
     /// the candidate: a batch pinned to an old snapshot must not
     /// clobber a maintained, up-to-date result with its older one.
+    /// `frags`, when present, is the provenance map recorded over
+    /// `result` at materialization time — it enables the patch fate for
+    /// this entry.
     #[allow(clippy::too_many_arguments)]
     pub fn insert(
         &self,
@@ -275,6 +370,7 @@ impl ViewResultCache {
         body: String,
         view_alphabet: LabelSet,
         view_touched: TouchedLabels,
+        frags: Option<FragmentTree>,
     ) {
         if self.capacity == 0 {
             return;
@@ -285,6 +381,7 @@ impl ViewResultCache {
             generation,
             view_alphabet,
             view_touched,
+            frags,
             version,
             last_use: self.next_tick(),
             drifted: false,
@@ -403,6 +500,18 @@ impl ViewResultCache {
     /// non-drifted entry is retained on that table lookup alone — the
     /// three intersection tests are skipped — and reported in
     /// [`MaintainOutcome::static_retained`] as well as `retained`.
+    ///
+    /// `patch_ctx`, when present (single-rule writes only), enables two
+    /// things: provenance *repair* on retained entries (collapse along
+    /// site and replay chains instead of dropping the fragment tree),
+    /// and the **patch** fate for entries that fail the relevance test.
+    /// Fates are tried in order static-retain → dynamic-retain → patch
+    /// → recompute: retention is strictly cheaper than patching, so a
+    /// provably commuting write never pays for localization.
+    ///
+    /// `apply_delta` now reports what it replayed (the result-side
+    /// chains provenance repair needs); callers without provenance
+    /// return [`DeltaReplay::default`].
     #[allow(clippy::too_many_arguments)]
     pub fn maintain(
         &self,
@@ -414,7 +523,8 @@ impl ViewResultCache {
         delta: &LabelSet,
         renames: &[RenameMapping],
         static_clear: &HashMap<String, u64>,
-        apply_delta: &mut dyn FnMut(&mut Document),
+        patch_ctx: Option<&PatchCtx<'_>>,
+        apply_delta: &mut dyn FnMut(&mut Document) -> DeltaReplay,
     ) -> MaintainOutcome {
         let mut outcome = MaintainOutcome::default();
         if self.capacity == 0 {
@@ -451,11 +561,35 @@ impl ViewResultCache {
                             && !update_values.intersects(&e.view_touched.valued))));
             if retain {
                 if !delta.is_empty() {
-                    apply_delta(&mut e.doc);
+                    let replay = apply_delta(&mut e.doc);
                     // Serialization deferred to the next hit: the store's
                     // shard write lock is held here, and the sweep must
                     // stay proportional to the delta.
                     e.body = None;
+                    // Provenance repair: the write changed both the base
+                    // (site chains) and the cached result (replay
+                    // chains). Collapse the deepest covering fragment of
+                    // each to an opaque leaf; if any chain reaches the
+                    // root fragment — or there is no patch context to
+                    // localize against — the whole map is stale.
+                    if e.frags.is_some() {
+                        let repaired = match patch_ctx {
+                            Some(ctx) => {
+                                let t = e.frags.as_mut().expect("checked above");
+                                ctx.sites
+                                    .iter()
+                                    .all(|c| t.collapse_src(c) == Collapse::Done)
+                                    && replay
+                                        .chains
+                                        .iter()
+                                        .all(|c| t.collapse_dst(c) == Collapse::Done)
+                            }
+                            None => false,
+                        };
+                        if !repaired {
+                            e.frags = None;
+                        }
+                    }
                     // The write just renamed nodes in the cached tree;
                     // rename the stored footprint with them. (For a
                     // retained entry only `valued` can actually move —
@@ -476,6 +610,13 @@ impl ViewResultCache {
                     outcome.static_retained.push(view.clone());
                 }
                 outcome.retained.push(view.clone());
+                true
+            } else if let Some(po) = patch_ctx.and_then(|ctx| try_patch(e, view, ctx, prev_version))
+            {
+                e.version = new_version;
+                e.body = None; // next hit re-assembles through the map
+                outcome.patched.push(view.clone());
+                outcome.patched_fragments += po.fragments as u64;
                 true
             } else {
                 outcome.recomputed.push(view.clone());
@@ -557,6 +698,51 @@ impl ViewResultCache {
     }
 }
 
+/// The patch fate for one entry that just failed the relevance test.
+/// `None` means ineligible — fall through to recompute. On success the
+/// entry's cached tree has been spliced and its touched-label footprint
+/// widened by what the re-evaluation selected; the caller moves the
+/// version forward and invalidates the flat body.
+fn try_patch(
+    e: &mut Entry,
+    view: &str,
+    ctx: &PatchCtx<'_>,
+    prev_version: u64,
+) -> Option<PatchOutcome> {
+    if e.version != prev_version {
+        return None; // computed from content this write is not replacing
+    }
+    let pv = ctx.views.get(view)?;
+    if pv.generation != e.generation {
+        return None; // the compiled view is not the one this entry reflects
+    }
+    // Guard test: the write may only have flipped qualifier verdicts at
+    // nodes on its site chains; if those labels cannot anchor any of the
+    // view's qualifiers, every selection decision outside the localized
+    // regions still stands.
+    if ctx.guard.intersects(&pv.anchor_alphabet) {
+        return None;
+    }
+    let frags = e.frags.as_mut()?;
+    let chosen = match frags.localize(ctx.sites) {
+        Localized::Fragments(chosen) if !chosen.is_empty() => chosen,
+        _ => return None, // a site reached the root fragment: whole-result span
+    };
+    // Fallback threshold: affected span vs document size.
+    let span = frags.cost(&chosen);
+    if span.saturating_mul(PATCH_SPAN_FACTOR) > (ctx.base.node_count() as u64).max(256) {
+        return None;
+    }
+    let q = pv.ct.query();
+    let po = frags.patch(ctx.base, &mut e.doc, q, pv.ct.selecting(), &chosen);
+    // The splice changed what this materialization has touched: fold the
+    // re-evaluated targets into the stored footprint so later relevance
+    // tests see them. (This only widens the sets — never unsound — and
+    // `record` wants the document the targets live in: the new base.)
+    e.view_touched.record(ctx.base, &po.targets, &q.op);
+    Some(po)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -583,6 +769,7 @@ mod tests {
             "<r><keep/></r>".into(),
             labels(alpha),
             touched(alpha, &["r"]),
+            None,
         );
     }
 
@@ -613,11 +800,13 @@ mod tests {
             &labels(&["hot", "new"]),
             &[],
             &HashMap::new(),
+            None,
             &mut |doc| {
                 applied += 1;
                 let root = doc.root().unwrap();
                 let n = doc.create_element("new");
                 doc.append_child(root, n);
+                DeltaReplay::default()
             },
         );
         assert_eq!(out.retained, vec!["disjoint".to_string()]);
@@ -655,6 +844,7 @@ mod tests {
                 a
             },
             TouchedLabels::new(),
+            None,
         );
         let out = c.maintain(
             "d",
@@ -665,6 +855,7 @@ mod tests {
             &labels(&["zzz"]),
             &[],
             &HashMap::new(),
+            None,
             &mut |_| panic!("nothing should be maintained"),
         );
         assert!(out.retained.is_empty());
@@ -690,6 +881,7 @@ mod tests {
                 a
             },
             TouchedLabels::new(),
+            None,
         );
         // A no-op write (update matched zero targets): even wildcard
         // views ride across the version bump untouched.
@@ -702,6 +894,7 @@ mod tests {
             &LabelSet::new(),
             &[],
             &HashMap::new(),
+            None,
             &mut |_| panic!("no delta to apply"),
         );
         assert_eq!(out.retained, vec!["wild".to_string()]);
@@ -724,6 +917,7 @@ mod tests {
             "<r/>".into(),
             labels(&["s"]),
             touched(&["s", "inner"], &["r", "s"]),
+            None,
         );
         let out = c.maintain(
             "d",
@@ -734,7 +928,8 @@ mod tests {
             &labels(&["p"]),
             &[],
             &HashMap::new(),
-            &mut |_| {},
+            None,
+            &mut |_| DeltaReplay::default(),
         );
         assert_eq!(out.recomputed, vec!["v".to_string()]);
     }
@@ -756,6 +951,7 @@ mod tests {
             "<r/>".into(),
             labels(&["s"]),
             touched(&["t"], &["r", "b"]),
+            None,
         );
         let sel = labels(&["p", "b"]);
         // Plain path over b: value-insensitive → retained.
@@ -768,7 +964,8 @@ mod tests {
             &labels(&["p"]),
             &[],
             &HashMap::new(),
-            &mut |_| {},
+            None,
+            &mut |_| DeltaReplay::default(),
         );
         assert_eq!(out.retained, vec!["v".to_string()]);
         // Same write shape, but now the update compares b's value.
@@ -781,7 +978,8 @@ mod tests {
             &labels(&["p"]),
             &[],
             &HashMap::new(),
-            &mut |_| {},
+            None,
+            &mut |_| DeltaReplay::default(),
         );
         assert_eq!(out.recomputed, vec!["v".to_string()]);
     }
@@ -805,6 +1003,7 @@ mod tests {
             "<r/>".into(),
             labels(&["s"]),
             touched(&["s"], &["r", "a", "w"]),
+            None,
         );
         // The rename write: selection alphabet {a, b, w, u}, no value
         // reads, delta {a, b, w, u} — disjoint from everything stored.
@@ -827,7 +1026,8 @@ mod tests {
             &labels(&["a", "b", "w", "u"]),
             &renames,
             &HashMap::new(),
-            &mut |_| {},
+            None,
+            &mut |_| DeltaReplay::default(),
         );
         assert_eq!(out.retained, vec!["v".to_string()]);
         // A later write whose qualifier compares u's value must now be
@@ -841,7 +1041,8 @@ mod tests {
             &labels(&["m", "b", "u", "r"]),
             &[],
             &HashMap::new(),
-            &mut |_| {},
+            None,
+            &mut |_| DeltaReplay::default(),
         );
         assert_eq!(
             out.recomputed,
@@ -869,7 +1070,8 @@ mod tests {
             &labels(&["hot"]),
             &[],
             &clear,
-            &mut |_| {},
+            None,
+            &mut |_| DeltaReplay::default(),
         );
         assert_eq!(out.retained, vec!["v".to_string()]);
         assert_eq!(out.static_retained, vec!["v".to_string()]);
@@ -887,7 +1089,8 @@ mod tests {
             &labels(&["hot"]),
             &[],
             &stale,
-            &mut |_| {},
+            None,
+            &mut |_| DeltaReplay::default(),
         );
         assert!(out.static_retained.is_empty());
         let mut recomputed = out.recomputed.clone();
@@ -913,7 +1116,8 @@ mod tests {
             &labels(&["r", "r2"]),
             &renames,
             &HashMap::new(),
-            &mut |_| {},
+            None,
+            &mut |_| DeltaReplay::default(),
         );
         assert_eq!(out.retained, vec!["v".to_string()]);
         // The static table now claims this pair commutes, but the entry
@@ -929,10 +1133,117 @@ mod tests {
             &labels(&["x"]),
             &[],
             &clear,
-            &mut |_| {},
+            None,
+            &mut |_| DeltaReplay::default(),
         );
         assert!(out.static_retained.is_empty());
         assert_eq!(out.recomputed, vec!["v".to_string()]);
+    }
+
+    /// The third fate, at the cache level: an entry that *fails* the
+    /// relevance test but carries provenance is patched in place —
+    /// reported as `patched`, kept resident at the new version, and its
+    /// next read serves bytes identical to a full recompute.
+    #[test]
+    fn failed_relevance_with_provenance_patches_in_place() {
+        use xust_core::{
+            apply_update, qualifier_anchor_alphabet_into, site_chain, top_down,
+            touched_labels_into, update_alphabet, value_alphabet_into, InsertPos, UpdateOp,
+        };
+        use xust_xpath::{eval_path_root, parse_path};
+        let ct = Arc::new(
+            CompiledTransform::parse(
+                r#"transform copy $a := doc("d") modify do delete $a//price return $a"#,
+            )
+            .unwrap(),
+        );
+        let mut base = Document::parse(
+            "<db><zone><part><pname>kb</pname><price>9</price></part>\
+             <part><pname>m</pname><price>3</price></part></zone>\
+             <other><pad>p</pad></other></db>",
+        )
+        .unwrap();
+        let result = top_down(&base, ct.query());
+        let body = result.serialize();
+        let mut vt = TouchedLabels::new();
+        vt.record(
+            &base,
+            &eval_path_root(&base, &ct.query().path),
+            &ct.query().op,
+        );
+        let frags = FragmentTree::build(&base, &result, ct.query(), ct.selecting(), 1);
+        assert!(frags.is_some(), "provenance must record for this shape");
+        let c = ViewResultCache::new(8);
+        c.insert(
+            "v",
+            "d",
+            1,
+            1,
+            result,
+            body,
+            ct.alphabet().clone(),
+            vt,
+            frags,
+        );
+        // The write: insert <w>1</w> into the first part. Its value
+        // footprint (part, pname) collides with the view's valued
+        // ancestors of the deleted prices, so retention must fail.
+        let wpath = parse_path("//part[pname = 'kb']").unwrap();
+        let targets = eval_path_root(&base, &wpath);
+        assert_eq!(targets.len(), 1);
+        let op = UpdateOp::Insert {
+            elem: Document::parse("<w>1</w>").unwrap(),
+            pos: InsertPos::LastInto,
+        };
+        let mut delta = LabelSet::new();
+        touched_labels_into(&base, &targets, &op, &mut delta);
+        let ua = update_alphabet(&wpath, &op);
+        let mut uv = LabelSet::new();
+        value_alphabet_into(&wpath, &mut uv);
+        let sites: Vec<Vec<NodeId>> = targets.iter().map(|&t| site_chain(&base, t)).collect();
+        let mut guard = LabelSet::new();
+        for chain in &sites {
+            for &n in chain {
+                if let Some(s) = base.name_sym(n) {
+                    guard.insert(s);
+                }
+            }
+        }
+        apply_update(&mut base, &targets, &op);
+        let mut anchor = LabelSet::new();
+        qualifier_anchor_alphabet_into(&ct.query().path, &mut anchor);
+        let mut views = HashMap::new();
+        views.insert(
+            "v".to_string(),
+            PatchView {
+                ct: Arc::clone(&ct),
+                anchor_alphabet: anchor,
+                generation: 1,
+            },
+        );
+        let ctx = PatchCtx {
+            base: &base,
+            sites: &sites,
+            guard: &guard,
+            views: &views,
+        };
+        let out = c.maintain(
+            "d",
+            1,
+            2,
+            &ua,
+            &uv,
+            &delta,
+            &[],
+            &HashMap::new(),
+            Some(&ctx),
+            &mut |_| panic!("relevance must fail: this write changes the view"),
+        );
+        assert_eq!(out.patched, vec!["v".to_string()]);
+        assert!(out.retained.is_empty() && out.recomputed.is_empty());
+        assert!(out.patched_fragments >= 1);
+        let expect = top_down(&base, ct.query()).serialize();
+        assert_eq!(c.get("v", "d", 2, 1).as_deref(), Some(expect.as_str()));
     }
 
     #[test]
@@ -984,6 +1295,7 @@ mod tests {
             "<old/>".into(),
             labels(&["x"]),
             TouchedLabels::new(),
+            None,
         );
         assert_eq!(c.get("v", "d", 5, 1).as_deref(), Some("<r><keep/></r>"));
         assert!(c.get("v", "d", 3, 1).is_none());
@@ -1007,7 +1319,8 @@ mod tests {
             &labels(&["x"]),
             &[],
             &HashMap::new(),
-            &mut |_| {},
+            None,
+            &mut |_| DeltaReplay::default(),
         );
         assert_eq!(out.recomputed, vec!["v".to_string()]);
         assert_eq!((c.len(), c.doc_count()), (0, 1), "empty shard lingers");
@@ -1045,9 +1358,11 @@ mod tests {
                     &labels(&["q"]),
                     &[],
                     &HashMap::new(),
+                    None,
                     &mut |_| {
                         entered_tx.send(()).unwrap();
                         release_rx.recv().unwrap(); // hold d1's shard lock
+                        DeltaReplay::default()
                     },
                 )
             })
@@ -1087,9 +1402,11 @@ mod tests {
                     &labels(&["q"]),
                     &[],
                     &HashMap::new(),
+                    None,
                     &mut |_| {
                         entered_tx.send(()).unwrap();
                         release_rx.recv().unwrap(); // hold a's shard lock
+                        DeltaReplay::default()
                     },
                 )
             })

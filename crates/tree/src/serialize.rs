@@ -1,6 +1,6 @@
 use std::io::Write;
 
-use xust_sax::{SaxResult, SaxWriter};
+use xust_sax::{escape_attr_into, SaxResult, SaxWriter};
 
 use crate::document::Document;
 use crate::node::{NodeId, NodeKind};
@@ -55,6 +55,35 @@ impl Document {
         w.finish()?;
         Ok(())
     }
+
+    /// Appends `node`'s open start tag — `<name` plus attributes, **no
+    /// closing `>`** — to `out`, byte-identical to what [`SaxWriter`]
+    /// emits. Fragment sinks (`xust-core`'s patch assembly) use this to
+    /// frame live element tags around memoized child bytes; the
+    /// caller decides between `>` and `/>`. No-op on text nodes.
+    pub fn write_start_tag_into(&self, node: NodeId, out: &mut String) {
+        let NodeKind::Element { name, attrs } = self.kind(node) else {
+            return;
+        };
+        out.push('<');
+        out.push_str(name.as_str());
+        for (k, v) in attrs {
+            out.push(' ');
+            out.push_str(k.as_str());
+            out.push_str("=\"");
+            escape_attr_into(v, out);
+            out.push('"');
+        }
+    }
+
+    /// Appends `node`'s end tag `</name>` to `out`. No-op on text nodes.
+    pub fn write_end_tag_into(&self, node: NodeId, out: &mut String) {
+        if let Some(name) = self.name(node) {
+            out.push_str("</");
+            out.push_str(name);
+            out.push('>');
+        }
+    }
 }
 
 #[cfg(test)]
@@ -90,6 +119,28 @@ mod tests {
         let root = d.root().unwrap();
         let b = d.first_child(root).unwrap();
         assert_eq!(d.serialize_subtree(b), "<b>x</b>");
+    }
+
+    #[test]
+    fn tag_helpers_match_sax_writer_bytes() {
+        let d = Document::parse("<a x=\"1 &lt; 2\" y=\"q\"><b/>t</a>").unwrap();
+        let root = d.root().unwrap();
+        let mut open = String::new();
+        d.write_start_tag_into(root, &mut open);
+        assert_eq!(open, "<a x=\"1 &lt; 2\" y=\"q\"");
+        let mut close = String::new();
+        d.write_end_tag_into(root, &mut close);
+        assert_eq!(close, "</a>");
+        // Framing children with the helpers reproduces serialize() exactly.
+        let b = d.first_child(root).unwrap();
+        let t = d.next_sibling(b).unwrap();
+        let mut framed = String::new();
+        d.write_start_tag_into(root, &mut framed);
+        framed.push('>');
+        framed.push_str(&d.serialize_subtree(b));
+        framed.push_str(&d.serialize_subtree(t));
+        d.write_end_tag_into(root, &mut framed);
+        assert_eq!(framed, d.serialize());
     }
 
     #[test]

@@ -504,8 +504,9 @@ fn cmd_serve(o: &Opts) -> Result<(), String> {
             .map_err(|e| format!("wal {path}: {e}"))?;
         if rec.applied > 0 || rec.truncated {
             eprintln!(
-                "xust-serve: replayed {} WAL record(s) from {path}{}",
+                "xust-serve: wal replay from {path}: recovered={} truncated={}{}",
                 rec.applied,
+                rec.truncated,
                 if rec.truncated {
                     " (dropped a torn tail)"
                 } else {

@@ -270,7 +270,7 @@ fn view_delta_map(server: &Server) -> std::collections::HashMap<String, (u64, u6
         .stats()
         .view_delta
         .iter()
-        .map(|(v, r, c)| (v.clone(), (*r, *c)))
+        .map(|(v, r, _p, c)| (v.clone(), (*r, *c)))
         .collect()
 }
 

@@ -284,7 +284,7 @@ proptest! {
                 .iter()
                 .map(|&(i, _, _, _)| MULTI_DOCS[i])
                 .collect();
-            for (doc, _, _) in &server.stats().doc_delta {
+            for (doc, _, _, _, _) in &server.stats().doc_delta {
                 prop_assert!(
                     written.contains(doc.as_str()),
                     "unwritten doc '{}' has a delta row",
@@ -342,7 +342,7 @@ fn retention_fires_on_disjoint_label_workloads() {
     // STATS (the protocol answer) reports the retention.
     let rendered = stats.to_string();
     assert!(rendered.contains(&format!("delta_retained={}", stats.delta_retained)));
-    assert!(rendered.contains("view noperson: delta_retained=3 delta_recomputed=0"));
+    assert!(rendered.contains("view noperson: delta_retained=3 delta_patched=0 delta_recomputed=0"));
 
     // The maintained entries are *served*: reads after the writes are
     // result-cache hits and still byte-identical to full recompute.
@@ -389,17 +389,21 @@ fn intersecting_deltas_are_never_retained() {
     let update = r#"transform copy $a := doc("xmark") modify do insert <keyword>new</keyword> into $a//spike-zone/sb return $a"#;
     server.update_doc("xmark", update).unwrap();
     apply_to_reference(&mut reference, update);
-    let (_, retained, recomputed) = server
+    let (_, retained, patched, recomputed) = server
         .stats()
         .view_delta
         .iter()
-        .find(|(v, _, _)| v == "kwren")
+        .find(|(v, _, _, _)| v == "kwren")
         .cloned()
         .unwrap();
     assert_eq!(
-        (retained, recomputed),
-        (0, 1),
-        "a view whose alphabet intersects the delta must be recomputed"
+        retained, 0,
+        "a view whose alphabet intersects the delta must never be retained as-is"
+    );
+    assert_eq!(
+        patched + recomputed,
+        1,
+        "the entry must take exactly one of the non-retain fates"
     );
     // …and the recomputed answer is correct (a false retention would
     // have served the stale body instead).
@@ -614,14 +618,14 @@ fn steady_writes_to_a_hot_doc_leave_neighbour_hits_intact() {
     // The per-doc counters prove the sweeps only ever examined the
     // written document: the neighbour has no row at all.
     assert!(
-        stats.doc_delta.iter().all(|(d, _, _)| d != "calm"),
+        stats.doc_delta.iter().all(|(d, _, _, _, _)| d != "calm"),
         "a never-written document must have no delta row: {:?}",
         stats.doc_delta
     );
-    let (_, retained, _) = stats
+    let (_, retained, _, _, _) = stats
         .doc_delta
         .iter()
-        .find(|(d, _, _)| d == "hot")
+        .find(|(d, _, _, _, _)| d == "hot")
         .cloned()
         .unwrap();
     assert!(retained > 0, "the hot doc's own entries are retained");
@@ -909,4 +913,218 @@ fn reload_drops_entries_instead_of_maintaining_them() {
         })
         .unwrap();
     assert_eq!(served.body, "<db><b/></db>");
+}
+
+/// Paths whose writes intersect the registered views' alphabets —
+/// exactly the writes that fail retention and become patch candidates.
+const PATCH_PATHS: [&str; 5] = [
+    "//keyword",
+    "//bidder",
+    "//emph",
+    "site/people/person",
+    "//item[location = 'United States']",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// The patch-fate differential property: single-rule writes that
+    /// collide with view alphabets (so their entries fail retention and
+    /// either patch in place or recompute) keep **every** served view
+    /// byte-identical to full recompute after **every** write —
+    /// whichever fate each entry took — and the patched bookkeeping
+    /// stays coherent (fragments only ever spliced by patching writes).
+    #[test]
+    fn patched_entries_equal_full_recompute(
+        seed in 0u64..32,
+        writes in prop::collection::vec(
+            (0..PATCH_PATHS.len(), arb_op(), 0..RENAME_NAMES.len()),
+            1..5,
+        ),
+    ) {
+        let base = spiked_xmark(seed);
+        let server = Server::builder().threads(2).shards(1).build();
+        server.load_doc("xmark", base.clone());
+        register_views(&server);
+        let mut reference = base.clone();
+        check_all_views(&server, &reference, "before any write")?;
+        for (round, &(path_idx, op, name_idx)) in writes.iter().enumerate() {
+            let patched_before = server.stats().delta_patched;
+            let fragments_before = server.stats().patched_fragments;
+            let text = build_query_text_renaming(
+                "xmark",
+                PATCH_PATHS[path_idx],
+                op,
+                RENAME_NAMES[name_idx],
+            );
+            server.update_doc("xmark", &text).unwrap();
+            apply_to_reference(&mut reference, &text);
+            let stats = server.stats();
+            if stats.patched_fragments > fragments_before {
+                prop_assert!(
+                    stats.delta_patched > patched_before,
+                    "fragments spliced without a patched entry (round {})",
+                    round
+                );
+            }
+            let ctx = format!("round={round} update={text}");
+            check_all_views(&server, &reference, &ctx)?;
+        }
+    }
+}
+
+/// The patch fate actually fires — deterministically. An insert of a
+/// fresh `<keyword>` into the spike zone collides with `kwren`'s
+/// alphabet (so its entry cannot be retained) but its site chain is
+/// disjoint from every qualifier anchor, and the affected span is one
+/// small fragment: the entry must be spliced in place, reported in the
+/// reply, STATS, and METRICS, and serve bytes identical to recompute.
+/// A `patching(false)` server takes the recompute fate on the same
+/// write — the control proving the counters measure the patch path.
+#[test]
+fn patching_fires_on_localized_intersecting_writes() {
+    let base = spiked_xmark(3);
+    let update = r#"transform copy $a := doc("xmark") modify do insert <keyword>new</keyword> into $a//spike-zone/sb return $a"#;
+    let mut reference = base.clone();
+    apply_to_reference(&mut reference, update);
+
+    let server = Server::builder().threads(1).shards(1).build();
+    server.load_doc("xmark", base.clone());
+    register_views(&server);
+    for (name, _) in VIEWS {
+        server
+            .handle(&Request::View {
+                view: name.into(),
+                doc: "xmark".into(),
+            })
+            .unwrap();
+    }
+    let resp = server.update_doc("xmark", update).unwrap();
+    let stats = server.stats();
+    assert!(
+        stats.delta_patched >= 1,
+        "the localized intersecting write must take the patch fate: {}",
+        resp.body
+    );
+    assert!(stats.patched_fragments >= 1);
+    assert!(
+        resp.body.contains("patched=1"),
+        "the reply reports the patch: {}",
+        resp.body
+    );
+    assert!(stats.to_string().contains("delta_patched=1"));
+    let metrics = server.metrics();
+    assert!(metrics.contains("xust_patched_total 1"), "{metrics}");
+    assert!(
+        metrics.contains("xust_patched_fragments_total"),
+        "{metrics}"
+    );
+    // The spliced entry *serves*, from cache, byte-identical bytes.
+    // (chain2 — multi-link, never patch-eligible — fell to the lazy
+    // recompute fate, so exactly one of the four reads is a miss.)
+    let hits_before = server.stats().result_hits;
+    for (name, links) in VIEWS {
+        let served = server
+            .handle(&Request::View {
+                view: name.into(),
+                doc: "xmark".into(),
+            })
+            .unwrap();
+        assert_eq!(
+            served.body,
+            recompute_view(&reference, links),
+            "view '{name}' diverged after the patch"
+        );
+    }
+    assert_eq!(
+        server.stats().result_hits,
+        hits_before + VIEWS.len() as u64 - 1
+    );
+
+    // Control: with patching disabled the same write recomputes.
+    let control = Server::builder()
+        .threads(1)
+        .shards(1)
+        .patching(false)
+        .build();
+    control.load_doc("xmark", base);
+    register_views(&control);
+    for (name, _) in VIEWS {
+        control
+            .handle(&Request::View {
+                view: name.into(),
+                doc: "xmark".into(),
+            })
+            .unwrap();
+    }
+    let resp = control.update_doc("xmark", update).unwrap();
+    let control_stats = control.stats();
+    assert_eq!(control_stats.delta_patched, 0);
+    assert!(
+        resp.body.contains("patched=0"),
+        "no patch without provenance: {}",
+        resp.body
+    );
+    assert!(
+        control_stats.delta_recomputed >= 1,
+        "the entry falls back to the recompute fate"
+    );
+}
+
+/// Provenance survives retained writes: a spike-only rename is retained
+/// (the delta is disjoint from every view), which *repairs* the stored
+/// fragment trees instead of dropping them — collapsing the covering
+/// fragments on both the base and result sides — and marks the entries
+/// drifted. A later localized intersecting write must still take the
+/// patch fate through the repaired map, and serve bytes identical to
+/// recompute.
+#[test]
+fn patching_survives_retained_renames() {
+    let base = spiked_xmark(5);
+    let server = Server::builder().threads(1).shards(1).build();
+    server.load_doc("xmark", base.clone());
+    register_views(&server);
+    let mut reference = base.clone();
+    for (name, _) in VIEWS {
+        server
+            .handle(&Request::View {
+                view: name.into(),
+                doc: "xmark".into(),
+            })
+            .unwrap();
+    }
+    // Round 1: retained rename (spike vocabulary only). Every entry
+    // survives, with its provenance repaired, and is now drifted.
+    let rename = r#"transform copy $a := doc("xmark") modify do rename $a//zap as rn return $a"#;
+    let resp = server.update_doc("xmark", rename).unwrap();
+    assert!(
+        resp.body
+            .contains(&format!("retained={} recomputed=0", VIEWS.len())),
+        "the spike rename must be retained: {}",
+        resp.body
+    );
+    apply_to_reference(&mut reference, rename);
+    // Round 2: localized intersecting write — the patch must fire on
+    // the repaired provenance (a dropped map would recompute instead).
+    let insert = r#"transform copy $a := doc("xmark") modify do insert <keyword>new</keyword> into $a//spike-zone/sb return $a"#;
+    let resp = server.update_doc("xmark", insert).unwrap();
+    apply_to_reference(&mut reference, insert);
+    assert!(
+        server.stats().delta_patched >= 1,
+        "repaired provenance must still enable the patch fate: {}",
+        resp.body
+    );
+    for (name, links) in VIEWS {
+        let served = server
+            .handle(&Request::View {
+                view: name.into(),
+                doc: "xmark".into(),
+            })
+            .unwrap();
+        assert_eq!(
+            served.body,
+            recompute_view(&reference, links),
+            "view '{name}' diverged after rename-then-patch"
+        );
+    }
 }
